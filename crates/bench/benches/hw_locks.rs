@@ -1,0 +1,61 @@
+//! Criterion bench: uncontended acquire/release latency of the hardware
+//! lock family (the workload behind experiment E7).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fence_trade::prelude::*;
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_uncontended_passage");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let n = 8;
+    let bakery = HwBakery::new(n);
+    group.bench_function(BenchmarkId::new("bakery", n), |b| {
+        b.iter(|| {
+            bakery.acquire(0);
+            bakery.release(0);
+        });
+    });
+
+    let gt2 = HwGt::new(n, 2);
+    group.bench_function(BenchmarkId::new("gt_f2", n), |b| {
+        b.iter(|| {
+            gt2.acquire(0);
+            gt2.release(0);
+        });
+    });
+
+    let tournament = HwTournament::new(n);
+    group.bench_function(BenchmarkId::new("tournament", n), |b| {
+        b.iter(|| {
+            tournament.acquire(0);
+            tournament.release(0);
+        });
+    });
+
+    let peterson = HwPeterson::new();
+    group.bench_function("peterson/2", |b| {
+        b.iter(|| {
+            peterson.acquire(0);
+            peterson.release(0);
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_counting_object(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hw_counting_solo");
+    group.sample_size(20).measurement_time(Duration::from_secs(2));
+
+    let counter = CountingLock::new(HwGt::new(8, 2));
+    group.bench_function("gt_f2_count_next", |b| {
+        b.iter(|| counter.next(0));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_uncontended, bench_counting_object);
+criterion_main!(benches);

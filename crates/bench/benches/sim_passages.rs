@@ -1,0 +1,49 @@
+//! Criterion bench: simulator cost of one uncontended passage for each
+//! lock family (the workload behind experiments E1–E3).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fence_trade::prelude::*;
+
+fn bench_solo_passages(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_solo_passage");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    let n = 64;
+    for (label, kind) in [
+        ("bakery", LockKind::Bakery),
+        ("gt_f2", LockKind::Gt { f: 2 }),
+        ("gt_f3", LockKind::Gt { f: 3 }),
+        ("tournament", LockKind::Tournament),
+    ] {
+        let inst = build_ordering(kind, n, ObjectKind::Counter);
+        group.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut m = inst.machine(MemoryModel::Pso);
+                m.run_solo(ProcId(0), 10_000_000)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_contended_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_contended_run");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+
+    for n in [4usize, 8] {
+        let inst = build_ordering(LockKind::Gt { f: 2 }, n, ObjectKind::Counter);
+        group.bench_with_input(BenchmarkId::new("gt_f2_round_robin", n), &inst, |b, inst| {
+            b.iter(|| {
+                let mut m = inst.machine(MemoryModel::Pso);
+                assert!(fence_trade::simlocks::run_to_completion(&mut m, 100_000_000));
+                m.counters().rho()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo_passages, bench_contended_runs);
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! **E4 — the lower-bound encoding, measured** (paper §4–5, Theorem 4.2).
+//!
+//! For random permutations π, construct and encode `E_π` for the Bakery
+//! and `GT_f` counters; report commands `m`, value sum `v`, actual code
+//! bits `B`, the analytic bound `β(log(ρ/β)+1)`, and the information floor
+//! `log₂ n!` — and verify the round trip π → stacks → bits → stacks → E_π
+//! → π for every sample.
+
+use fence_trade::lowerbound::{self, log2_factorial};
+use fence_trade::prelude::*;
+use ft_bench::{f as fmt, random_permutations, Table};
+
+fn run_family(t: &mut Table, kind: LockKind, cases: &[(usize, usize)]) {
+    for &(n, samples) in cases {
+        let inst = build_ordering(kind, n, ObjectKind::Counter);
+        let perms = random_permutations(n, samples, 0xE4 + n as u64);
+        let (mut sm, mut sv, mut sb, mut sbeta, mut srho, mut slhs) =
+            (0f64, 0f64, 0f64, 0f64, 0f64, 0f64);
+        let mut max_bits = 0usize;
+        for pi in &perms {
+            let enc = encode_permutation(&inst, pi, &EncodeOptions::default())
+                .unwrap_or_else(|e| panic!("{kind} n={n} pi={pi:?}: {e}"));
+            assert_eq!(enc.recovered_permutation(), *pi, "injectivity");
+            let bits = lowerbound::serialize_stacks(&enc.stacks);
+            let back = lowerbound::deserialize_stacks(&bits, n).expect("codec");
+            let out =
+                decode(&proof_machine(&inst), &back, &DecodeOptions::default()).expect("decode");
+            assert_eq!(recover_permutation(&out.machine), *pi, "bit round trip");
+
+            sm += enc.commands as f64;
+            sv += enc.value_sum as f64;
+            sb += bits.len() as f64;
+            sbeta += enc.beta as f64;
+            srho += enc.rho as f64;
+            slhs += theorem_lhs(enc.beta, enc.rho);
+            max_bits = max_bits.max(bits.len());
+        }
+        let k = perms.len() as f64;
+        t.row(&[
+            kind.to_string(),
+            n.to_string(),
+            fmt(sm / k, 0),
+            fmt(sv / k, 0),
+            fmt(sbeta / k, 0),
+            fmt(srho / k, 0),
+            fmt(sb / k, 0),
+            fmt(slhs / k, 0),
+            fmt(log2_factorial(n), 0),
+            fmt((sb / k) / n_log_n(n).max(1.0), 2),
+        ]);
+    }
+}
+
+fn main() {
+    let mut t = Table::new(
+        "e4_encoding",
+        "E4: lower-bound encodings of E_pi (averages over seeded random permutations)",
+        &[
+            "algorithm", "n", "cmds m", "value v", "beta", "rho", "code bits B",
+            "beta(log(rho/beta)+1)", "log2(n!)", "B / n log n",
+        ],
+    );
+
+    run_family(
+        &mut t,
+        LockKind::Bakery,
+        &[(4, 3), (8, 3), (12, 3), (16, 3), (20, 2), (24, 1)],
+    );
+    run_family(&mut t, LockKind::Gt { f: 2 }, &[(4, 3), (8, 3), (16, 3)]);
+    run_family(&mut t, LockKind::Gt { f: 3 }, &[(8, 2)]);
+    run_family(&mut t, LockKind::Tournament, &[(4, 2), (8, 2), (16, 1)]);
+    run_family(&mut t, LockKind::Filter, &[(4, 2), (6, 2)]);
+
+    // E4b: exhaustive codebooks — every permutation, literal injectivity.
+    let mut t2 = Table::new(
+        "e4b_codebooks",
+        "E4b: exhaustive codebooks (EVERY permutation encoded)",
+        &["algorithm", "n", "n!", "injective", "min bits", "mean bits", "max bits", "log2(n!)"],
+    );
+    for (kind, n) in [
+        (LockKind::Bakery, 4usize),
+        (LockKind::Bakery, 5),
+        (LockKind::Gt { f: 2 }, 4),
+        (LockKind::Tournament, 4),
+    ] {
+        let inst = build_ordering(kind, n, ObjectKind::Counter);
+        let book = fence_trade::lowerbound::build_codebook(&inst, &EncodeOptions::default())
+            .unwrap_or_else(|e| panic!("{kind} n={n}: {e}"));
+        t2.row(&[
+            kind.to_string(),
+            n.to_string(),
+            book.permutations.to_string(),
+            book.injective.to_string(),
+            book.min_bits.to_string(),
+            fmt(book.mean_bits, 1),
+            book.max_bits.to_string(),
+            fmt(log2_factorial(n), 1),
+        ]);
+    }
+    t2.note(
+        "The counting argument, literally: n! pairwise-distinct codes, every \
+         one of them longer than log2(n!) bits — so *some* execution must pay \
+         Ω(n log n) in the beta/rho currency the code length is made of.",
+    );
+    t2.finish();
+
+    t.note(
+        "Theorem 4.2's chain, measured: every permutation's stacks serialize to \
+         B bits; B tracks beta(log(rho/beta)+1) (both O(m log(v/m))); and since \
+         all n! codes are distinct (asserted by the round trip on every sample \
+         and exhaustively for n=4 in the test suite), some code needs log2(n!) \
+         bits — so B/(n log n) must stay bounded below away from 0, which the \
+         last column shows. Commands m scale with beta, value v with rho, \
+         exactly as Lemmas 5.3-5.11 require (checked by `lowerbound::check_all`).",
+    );
+    t.finish();
+}

@@ -1,0 +1,87 @@
+//! **E5 — separating memory models** (paper §1, §3): exhaustive model
+//! checking shows Peterson's lock with one store–load fence is correct
+//! under TSO and broken under PSO, and prints the violating schedule. Also
+//! regenerates the Algorithm-1 listing-order counterexample (broken even
+//! under SC).
+
+use fence_trade::prelude::*;
+use fence_trade::simlocks::peterson::{SITE_FLAG, SITE_RELEASE, SITE_VICTIM};
+use ft_bench::Table;
+
+fn main() {
+    let cfg = CheckConfig { check_termination: false, ..CheckConfig::default() };
+    let models = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso];
+
+    let mut t = Table::new(
+        "e5_separation",
+        "E5: Peterson fence placements, model-checked exhaustively (2 processes)",
+        &["fences", "#", "SC", "TSO", "PSO", "states(PSO)"],
+    );
+    for mask in simlocks_masks() {
+        let inst = build_mutex(LockKind::Peterson, 2, mask);
+        let mut labels = Vec::new();
+        let mut pso_states = 0;
+        for model in models {
+            let v = check(&inst.machine(model), &cfg);
+            if model == MemoryModel::Pso {
+                pso_states = v.stats().states;
+            }
+            labels.push(v.label().to_string());
+        }
+        t.row(&[
+            mask.describe(3),
+            mask.count_enabled(3).to_string(),
+            labels[0].clone(),
+            labels[1].clone(),
+            labels[2].clone(),
+            pso_states.to_string(),
+        ]);
+    }
+    t.note(
+        "Separation: with only the store-load fence f1 (+release), TSO is `ok` \
+         while PSO reports MUTEX-VIOLATION — write reordering is exactly the \
+         capability the lower bound charges for. With both write fences, PSO is \
+         ok. With none, even TSO fails. (f0 = after flag write, f1 = after \
+         victim write, f2 = release.)",
+    );
+    t.finish();
+
+    // Print the PSO counterexample for the separating placement.
+    let witness = FenceMask::only(&[SITE_VICTIM, SITE_RELEASE]);
+    let inst = build_mutex(LockKind::Peterson, 2, witness);
+    if let Verdict::MutexViolation(_, cex) = check(&inst.machine(MemoryModel::Pso), &cfg) {
+        println!("PSO counterexample for {}:\n{cex}", witness.describe(3));
+    }
+
+    // The paper's printed Bakery listing, under SC.
+    let mut t2 = Table::new(
+        "e5b_paper_listing",
+        "E5b: Algorithm 1 exactly as printed (C[i]:=0 before T[i]:=tmp) vs Lamport's order",
+        &["variant", "SC", "TSO", "PSO"],
+    );
+    for (label, kind) in [
+        ("paper listing order", LockKind::BakeryPaperListing),
+        ("Lamport order (ours)", LockKind::Bakery),
+    ] {
+        let inst = build_mutex(kind, 2, FenceMask::ALL);
+        let mut cells = vec![label.to_string()];
+        for model in models {
+            cells.push(check(&inst.machine(model), &cfg).label().to_string());
+        }
+        t2.row(&cells);
+    }
+    t2.note(
+        "The extended abstract's Algorithm 1 lists the doorway close before the \
+         ticket write; our checker shows that order violates mutual exclusion \
+         even under sequential consistency. The reproduction uses Lamport's \
+         original order (ticket inside the doorway), which passes everywhere; \
+         fence counts and the complexity claims are unaffected.",
+    );
+    t2.finish();
+
+    let _ = SITE_FLAG;
+}
+
+fn simlocks_masks() -> Vec<FenceMask> {
+    FenceMask::enumerate(3)
+}

@@ -1,0 +1,136 @@
+//! **E7 — the tradeoff's shape on real hardware** (paper §1 motivation):
+//! uncontended latency, contended throughput, and fence counts of the lock
+//! family on `std::sync::atomic`, with `parking_lot::Mutex` as an
+//! engineering baseline.
+//!
+//! Absolute numbers are machine-specific (this harness may run on a single
+//! core, where contended spin locks serialize through the scheduler); the
+//! *shape* — fences per op constant for Bakery vs logarithmic for trees,
+//! and uncontended cost tracking fence count — is the reproduced claim.
+
+use std::time::Instant;
+
+use fence_trade::prelude::*;
+use ft_bench::{f as fmt, Table};
+
+fn uncontended<L: RawLock>(lock: &L, iters: usize) -> (f64, f64) {
+    let t = Instant::now();
+    for _ in 0..iters {
+        lock.acquire(0);
+        lock.release(0);
+    }
+    let ns = t.elapsed().as_nanos() as f64 / iters as f64;
+    (ns, lock.fences() as f64 / iters as f64)
+}
+
+fn contended<L: RawLock>(lock: &L, threads: usize, iters: usize) -> f64 {
+    let counter = CountingLock::new(ByRef(lock));
+    let t = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let counter = &counter;
+            scope.spawn(move || {
+                for _ in 0..iters {
+                    counter.next(tid);
+                }
+            });
+        }
+    });
+    (threads * iters) as f64 / t.elapsed().as_secs_f64()
+}
+
+/// Adapter: treat a borrowed lock as a lock (so one instance serves both
+/// the uncontended and contended phases with a single fence counter).
+struct ByRef<'a, L: RawLock>(&'a L);
+impl<L: RawLock> RawLock for ByRef<'_, L> {
+    fn max_threads(&self) -> usize {
+        self.0.max_threads()
+    }
+    fn acquire(&self, tid: usize) {
+        self.0.acquire(tid);
+    }
+    fn release(&self, tid: usize) {
+        self.0.release(tid);
+    }
+    fn fences(&self) -> u64 {
+        self.0.fences()
+    }
+    fn name(&self) -> String {
+        self.0.name()
+    }
+}
+
+/// `parking_lot`'s raw mutex wrapped as a `RawLock` baseline (it uses
+/// atomic RMW instructions rather than fences; fence count reported as 0).
+struct PlMutex(parking_lot::RawMutex);
+impl PlMutex {
+    fn new() -> Self {
+        use parking_lot::lock_api::RawMutex as _;
+        PlMutex(parking_lot::RawMutex::INIT)
+    }
+}
+impl RawLock for PlMutex {
+    fn max_threads(&self) -> usize {
+        usize::MAX
+    }
+    fn acquire(&self, _tid: usize) {
+        use parking_lot::lock_api::RawMutex as _;
+        self.0.lock();
+    }
+    fn release(&self, _tid: usize) {
+        use parking_lot::lock_api::RawMutex as _;
+        // SAFETY: release is only called by the thread that acquired.
+        unsafe { self.0.unlock() }
+    }
+    fn fences(&self) -> u64 {
+        0
+    }
+    fn name(&self) -> String {
+        "parking_lot (baseline)".into()
+    }
+}
+
+fn main() {
+    let threads = std::thread::available_parallelism().map_or(2, |p| p.get()).clamp(2, 8);
+    let n = threads.next_power_of_two().max(2);
+    let iters_u = 50_000;
+    let iters_c = 2_000;
+
+    let tput_hdr = format!("ops/s ({threads} thr)");
+    let mut t = Table::new(
+        "e7_hw",
+        "E7: hardware lock costs (uncontended ns/op, fences/op, contended ops/s)",
+        &["lock", "ns/op (solo)", "fences/op", tput_hdr.as_str()],
+    );
+
+    macro_rules! bench {
+        ($lock:expr) => {{
+            let lock = $lock;
+            let (ns, fences) = uncontended(&lock, iters_u);
+            let tput = contended(&lock, threads, iters_c);
+            t.row(&[lock.name(), fmt(ns, 0), fmt(fences, 1), fmt(tput, 0)]);
+        }};
+    }
+
+    bench!(HwBakery::new(n));
+    bench!(HwGt::new(n, 2));
+    if n >= 4 {
+        bench!(HwGt::new(n, 3));
+    }
+    bench!(HwTournament::new(n));
+    bench!(HwTtas::new());
+    bench!(HwMcs::new(n));
+    bench!(PlMutex::new());
+
+    t.note(format!(
+        "Machine: {threads} worker threads, {} cores. Fences/op reproduces the \
+         simulator's beta exactly (4 for Bakery, 4f for GT_f, 3·log2(n) for the \
+         tournament; the counting object adds none here since only lock fences \
+         are counted). Uncontended latency grows with both the fence count and \
+         the scan width — Bakery's O(n) scan is visible against the trees. \
+         Contended throughput on few cores is scheduler-bound; treat it as a \
+         smoke check, not a scalability result.",
+        std::thread::available_parallelism().map_or(1, |p| p.get()),
+    ));
+    t.finish();
+}

@@ -1,0 +1,158 @@
+//! Shared harness utilities for the experiment binaries (`exp_e1` …
+//! `exp_e8`): aligned-table rendering, result persistence under
+//! `results/`, and seeded permutation sampling.
+
+use std::fs;
+use std::path::PathBuf;
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A simple aligned text table that renders to stdout and to
+/// `results/<name>.txt`.
+#[derive(Debug)]
+pub struct Table {
+    name: String,
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table named `name` (the results file stem) with a title line.
+    #[must_use]
+    pub fn new(name: &str, title: &str, headers: &[&str]) -> Self {
+        Table {
+            name: name.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Append a free-form note printed under the table.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Render the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.title);
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for i in 0..ncols {
+                let _ = write!(s, "{:>w$}  ", cells[i], w = widths[i]);
+            }
+            s.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "\n{n}");
+        }
+        out
+    }
+
+    /// Print to stdout and persist to `results/<name>.txt`.
+    pub fn finish(&self) {
+        let rendered = self.render();
+        println!("{rendered}");
+        let path = results_dir().join(format!("{}.txt", self.name));
+        if let Err(e) = fs::write(&path, &rendered) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        }
+    }
+}
+
+/// The repository `results/` directory (created on demand).
+#[must_use]
+pub fn results_dir() -> PathBuf {
+    let dir = workspace_root().join("results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/bench -> crates -> root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("workspace root exists")
+        .to_path_buf()
+}
+
+/// `count` seeded random permutations of `0..n`.
+#[must_use]
+pub fn random_permutations(n: usize, count: usize, seed: u64) -> Vec<Vec<usize>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let mut v: Vec<usize> = (0..n).collect();
+            v.shuffle(&mut rng);
+            v
+        })
+        .collect()
+}
+
+/// Format a float with `digits` decimals.
+#[must_use]
+pub fn f(x: f64, digits: usize) -> String {
+    format!("{x:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("t", "Test", &["a", "bbb"]);
+        t.row(&["1".into(), "2".into()]);
+        t.note("note");
+        let r = t.render();
+        assert!(r.contains("Test"));
+        assert!(r.contains("bbb"));
+        assert!(r.contains("note"));
+    }
+
+    #[test]
+    fn permutations_are_permutations_and_seeded() {
+        let a = random_permutations(6, 3, 9);
+        let b = random_permutations(6, 3, 9);
+        assert_eq!(a, b, "seeding is deterministic");
+        for p in &a {
+            let mut s = p.clone();
+            s.sort_unstable();
+            assert_eq!(s, (0..6).collect::<Vec<usize>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("t", "T", &["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,283 @@
+//! The assembler: named locals, labels with forward references, and emit
+//! helpers for every instruction.
+
+use crate::instr::{BinOp, CondOp, Instr, Loc, Src};
+use crate::program::Program;
+
+/// A label handle. Bind it with [`Asm::bind`]; reference it from jumps
+/// before or after binding.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// A program under construction.
+///
+/// While building, jump instructions store *label ids*; [`Asm::assemble`]
+/// rewrites them to instruction indices and verifies every label was bound.
+#[derive(Debug)]
+pub struct Asm {
+    name: String,
+    instrs: Vec<Instr>,
+    local_names: Vec<String>,
+    labels: Vec<Option<usize>>,
+}
+
+impl Asm {
+    /// Start a new program named `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Asm { name: name.into(), instrs: Vec::new(), local_names: Vec::new(), labels: Vec::new() }
+    }
+
+    /// Allocate a fresh local variable with a debug name.
+    pub fn local(&mut self, name: impl Into<String>) -> Loc {
+        self.local_names.push(name.into());
+        Loc(self.local_names.len() - 1)
+    }
+
+    /// Create an unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, label: Label) {
+        assert!(self.labels[label.0].is_none(), "label bound twice");
+        self.labels[label.0] = Some(self.instrs.len());
+    }
+
+    /// Create a label bound to the next emitted instruction.
+    pub fn here(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Emit `dst := shared[addr]`.
+    pub fn read(&mut self, addr: impl Into<Src>, dst: Loc) {
+        self.instrs.push(Instr::Read { addr: addr.into(), dst });
+    }
+
+    /// Emit `shared[addr] := val`.
+    pub fn write(&mut self, addr: impl Into<Src>, val: impl Into<Src>) {
+        self.instrs.push(Instr::Write { addr: addr.into(), val: val.into() });
+    }
+
+    /// Emit a fence.
+    pub fn fence(&mut self) {
+        self.instrs.push(Instr::Fence);
+    }
+
+    /// Emit `dst := CAS(shared[addr], expected, new)` — `dst` receives the
+    /// observed pre-operation payload.
+    pub fn cas(
+        &mut self,
+        addr: impl Into<Src>,
+        expected: impl Into<Src>,
+        new: impl Into<Src>,
+        dst: Loc,
+    ) {
+        self.instrs.push(Instr::Cas {
+            addr: addr.into(),
+            expected: expected.into(),
+            new: new.into(),
+            dst,
+        });
+    }
+
+    /// Emit `dst := SWAP(shared[addr], new)` — `dst` receives the observed
+    /// pre-operation payload.
+    pub fn swap(&mut self, addr: impl Into<Src>, new: impl Into<Src>, dst: Loc) {
+        self.instrs.push(Instr::Swap { addr: addr.into(), new: new.into(), dst });
+    }
+
+    /// Emit `return val`.
+    pub fn ret(&mut self, val: impl Into<Src>) {
+        self.instrs.push(Instr::Return { val: val.into() });
+    }
+
+    /// Emit `dst := src`.
+    pub fn mov(&mut self, dst: Loc, src: impl Into<Src>) {
+        self.instrs.push(Instr::Mov { dst, src: src.into() });
+    }
+
+    /// Emit `dst := a ⊕ b`.
+    pub fn bin(&mut self, op: BinOp, dst: Loc, a: impl Into<Src>, b: impl Into<Src>) {
+        self.instrs.push(Instr::Bin { op, dst, a: a.into(), b: b.into() });
+    }
+
+    /// Emit `dst := a + b`.
+    pub fn add(&mut self, dst: Loc, a: impl Into<Src>, b: impl Into<Src>) {
+        self.bin(BinOp::Add, dst, a, b);
+    }
+
+    /// Emit `dst := a - b`.
+    pub fn sub(&mut self, dst: Loc, a: impl Into<Src>, b: impl Into<Src>) {
+        self.bin(BinOp::Sub, dst, a, b);
+    }
+
+    /// Emit `dst := a * b`.
+    pub fn mul(&mut self, dst: Loc, a: impl Into<Src>, b: impl Into<Src>) {
+        self.bin(BinOp::Mul, dst, a, b);
+    }
+
+    /// Emit `dst := a / b`.
+    pub fn div(&mut self, dst: Loc, a: impl Into<Src>, b: impl Into<Src>) {
+        self.bin(BinOp::Div, dst, a, b);
+    }
+
+    /// Emit `dst := a mod b`.
+    pub fn rem(&mut self, dst: Loc, a: impl Into<Src>, b: impl Into<Src>) {
+        self.bin(BinOp::Rem, dst, a, b);
+    }
+
+    /// Emit `dst := max(a, b)`.
+    pub fn max(&mut self, dst: Loc, a: impl Into<Src>, b: impl Into<Src>) {
+        self.bin(BinOp::Max, dst, a, b);
+    }
+
+    /// Emit an unconditional jump to `label`.
+    pub fn jmp(&mut self, label: Label) {
+        self.instrs.push(Instr::Jmp { target: label.0 });
+    }
+
+    /// Emit a conditional jump: go to `label` if `a ⋈ b`.
+    pub fn jmp_if(&mut self, cond: CondOp, a: impl Into<Src>, b: impl Into<Src>, label: Label) {
+        self.instrs.push(Instr::JmpIf { cond, a: a.into(), b: b.into(), target: label.0 });
+    }
+
+    /// Emit an annotation marker (e.g. critical-section entry/exit).
+    pub fn annot(&mut self, value: u64) {
+        self.instrs.push(Instr::Annot { value });
+    }
+
+    /// Emit a no-op.
+    pub fn nop(&mut self) {
+        self.instrs.push(Instr::Nop);
+    }
+
+    /// Number of instructions emitted so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced label was never bound, or if the program
+    /// contains no `Return` (every paper process must return exactly once).
+    #[must_use]
+    pub fn assemble(self) -> Program {
+        let Asm { name, mut instrs, local_names, labels } = self;
+        assert!(
+            instrs.iter().any(|i| matches!(i, Instr::Return { .. })),
+            "program {name} has no return instruction"
+        );
+        for ins in &mut instrs {
+            if let Instr::Jmp { target } | Instr::JmpIf { target, .. } = ins {
+                *target = labels[*target]
+                    .unwrap_or_else(|| panic!("program {name}: unbound label {target}"));
+            }
+        }
+        Program::from_parts(name, instrs, local_names)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut asm = Asm::new("labels");
+        let t = asm.local("t");
+        let fwd = asm.label();
+        let back = asm.here(); // @0 (nothing emitted yet, binds to 0)
+        asm.mov(t, 1i64); // @0
+        asm.jmp_if(CondOp::Eq, t, 0i64, back); // @1 -> @0
+        asm.jmp(fwd); // @2 -> @3
+        asm.bind(fwd);
+        asm.ret(0i64); // @3
+        let p = asm.assemble();
+        match p.instrs()[1] {
+            Instr::JmpIf { target, .. } => assert_eq!(target, 0),
+            ref other => panic!("unexpected {other:?}"),
+        }
+        match p.instrs()[2] {
+            Instr::Jmp { target } => assert_eq!(target, 3),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound label")]
+    fn unbound_label_panics() {
+        let mut asm = Asm::new("bad");
+        let l = asm.label();
+        asm.jmp(l);
+        asm.ret(0i64);
+        let _ = asm.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "no return")]
+    fn missing_return_panics() {
+        let mut asm = Asm::new("bad");
+        asm.fence();
+        let _ = asm.assemble();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut asm = Asm::new("bad");
+        let l = asm.label();
+        asm.bind(l);
+        asm.bind(l);
+    }
+
+    #[test]
+    fn locals_are_sequential_and_named() {
+        let mut asm = Asm::new("locals");
+        let a = asm.local("a");
+        let b = asm.local("b");
+        assert_eq!((a, b), (Loc(0), Loc(1)));
+        asm.ret(0i64);
+        let p = asm.assemble();
+        assert_eq!(p.local_names(), ["a", "b"]);
+    }
+
+    #[test]
+    fn emit_helpers_cover_instructions() {
+        let mut asm = Asm::new("all");
+        let x = asm.local("x");
+        asm.read(0i64, x);
+        asm.write(1i64, x);
+        asm.add(x, x, 1i64);
+        asm.sub(x, x, 1i64);
+        asm.mul(x, x, 2i64);
+        asm.div(x, x, 2i64);
+        asm.rem(x, x, 3i64);
+        asm.max(x, x, 0i64);
+        asm.annot(1);
+        asm.nop();
+        asm.fence();
+        asm.ret(x);
+        assert_eq!(asm.len(), 12);
+        assert!(!asm.is_empty());
+        let p = asm.assemble();
+        assert_eq!(p.memory_instr_count(), 4);
+    }
+}

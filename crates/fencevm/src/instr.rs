@@ -1,0 +1,304 @@
+//! The instruction set.
+
+use std::fmt;
+
+/// A local (per-process) variable slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(pub usize);
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// An operand: an immediate or a local variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// A constant.
+    Imm(i64),
+    /// The value of a local variable.
+    Loc(Loc),
+}
+
+impl From<Loc> for Src {
+    fn from(l: Loc) -> Self {
+        Src::Loc(l)
+    }
+}
+
+impl From<i64> for Src {
+    fn from(x: i64) -> Self {
+        Src::Imm(x)
+    }
+}
+
+impl fmt::Display for Src {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Src::Imm(x) => write!(f, "{x}"),
+            Src::Loc(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+/// Binary arithmetic/logic operations on locals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division (panics on division by zero).
+    Div,
+    /// Remainder (panics on division by zero).
+    Rem,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+impl BinOp {
+    /// Apply the operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division/remainder by zero or arithmetic overflow — both
+    /// indicate a programming error in the emitted algorithm.
+    #[must_use]
+    pub fn apply(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.checked_add(b).expect("add overflow"),
+            BinOp::Sub => a.checked_sub(b).expect("sub overflow"),
+            BinOp::Mul => a.checked_mul(b).expect("mul overflow"),
+            BinOp::Div => a.checked_div(b).expect("division by zero or overflow"),
+            BinOp::Rem => a.checked_rem(b).expect("remainder by zero or overflow"),
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+        }
+    }
+}
+
+/// Comparison conditions for conditional jumps.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CondOp {
+    /// `a == b`
+    Eq,
+    /// `a != b`
+    Ne,
+    /// `a < b`
+    Lt,
+    /// `a <= b`
+    Le,
+    /// `a > b`
+    Gt,
+    /// `a >= b`
+    Ge,
+}
+
+impl CondOp {
+    /// Evaluate the condition.
+    #[must_use]
+    pub fn eval(self, a: i64, b: i64) -> bool {
+        match self {
+            CondOp::Eq => a == b,
+            CondOp::Ne => a != b,
+            CondOp::Lt => a < b,
+            CondOp::Le => a <= b,
+            CondOp::Gt => a > b,
+            CondOp::Ge => a >= b,
+        }
+    }
+}
+
+/// One instruction.
+///
+/// `Read`/`Write`/`Fence`/`Return` are *memory* instructions, each costing
+/// one machine step. Everything else is *internal* and free. Jump targets
+/// are instruction indices (the [`Asm`](crate::Asm) assembler resolves
+/// labels to indices).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// `dst := shared[addr]` — one machine read step.
+    Read {
+        /// Register id to read (evaluated as an operand, so arrays index
+        /// with `base + j` held in a local).
+        addr: Src,
+        /// Local receiving the value's payload.
+        dst: Loc,
+    },
+    /// `shared[addr] := val` — one machine write step (buffered).
+    Write {
+        /// Register id to write.
+        addr: Src,
+        /// Payload to write (must evaluate to a non-negative value).
+        val: Src,
+    },
+    /// A fence — one machine step once the write buffer has drained.
+    Fence,
+    /// Compare-and-swap — one machine step once the write buffer has
+    /// drained (the comparison-primitive extension of the paper's §6).
+    /// `dst` receives the register's pre-operation payload; the swap
+    /// happened iff that equals `expected`.
+    Cas {
+        /// Register id to operate on.
+        addr: Src,
+        /// Expected payload.
+        expected: Src,
+        /// Payload stored on success (must be non-negative).
+        new: Src,
+        /// Local receiving the observed payload.
+        dst: Loc,
+    },
+    /// Fetch-and-store — one machine step once the write buffer has
+    /// drained. `dst` receives the register's pre-operation payload.
+    Swap {
+        /// Register id to operate on.
+        addr: Src,
+        /// Payload stored unconditionally (must be non-negative).
+        new: Src,
+        /// Local receiving the observed payload.
+        dst: Loc,
+    },
+    /// Terminate with a return value — one machine step.
+    Return {
+        /// The value returned (must evaluate to a non-negative value).
+        val: Src,
+    },
+    /// `dst := src` (internal).
+    Mov {
+        /// Destination local.
+        dst: Loc,
+        /// Source operand.
+        src: Src,
+    },
+    /// `dst := a ⊕ b` (internal).
+    Bin {
+        /// The operation.
+        op: BinOp,
+        /// Destination local.
+        dst: Loc,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+    },
+    /// Unconditional jump (internal).
+    Jmp {
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Conditional jump (internal): jump to `target` if `a ⋈ b`.
+    JmpIf {
+        /// The comparison.
+        cond: CondOp,
+        /// Left operand.
+        a: Src,
+        /// Right operand.
+        b: Src,
+        /// Target instruction index.
+        target: usize,
+    },
+    /// Set the process annotation visible to invariant checkers (internal).
+    /// Used to mark critical sections.
+    Annot {
+        /// The annotation value.
+        value: u64,
+    },
+    /// Do nothing (internal). Handy as a label anchor.
+    Nop,
+}
+
+impl Instr {
+    /// Whether this instruction costs a machine step.
+    #[must_use]
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Read { .. }
+                | Instr::Write { .. }
+                | Instr::Fence
+                | Instr::Cas { .. }
+                | Instr::Swap { .. }
+                | Instr::Return { .. }
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Read { addr, dst } => write!(f, "read  {dst} := [{addr}]"),
+            Instr::Write { addr, val } => write!(f, "write [{addr}] := {val}"),
+            Instr::Fence => write!(f, "fence"),
+            Instr::Cas { addr, expected, new, dst } => {
+                write!(f, "cas   {dst} := [{addr}] ({expected} -> {new})")
+            }
+            Instr::Swap { addr, new, dst } => {
+                write!(f, "swap  {dst} := [{addr}] := {new}")
+            }
+            Instr::Return { val } => write!(f, "ret   {val}"),
+            Instr::Mov { dst, src } => write!(f, "mov   {dst} := {src}"),
+            Instr::Bin { op, dst, a, b } => {
+                write!(f, "{:<5} {dst} := {a}, {b}", format!("{op:?}").to_lowercase())
+            }
+            Instr::Jmp { target } => write!(f, "jmp   @{target}"),
+            Instr::JmpIf { cond, a, b, target } => {
+                write!(f, "j{:<4} {a}, {b} -> @{target}", format!("{cond:?}").to_lowercase())
+            }
+            Instr::Annot { value } => write!(f, "annot {value}"),
+            Instr::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_semantics() {
+        assert_eq!(BinOp::Add.apply(2, 3), 5);
+        assert_eq!(BinOp::Sub.apply(2, 3), -1);
+        assert_eq!(BinOp::Mul.apply(4, 3), 12);
+        assert_eq!(BinOp::Div.apply(7, 2), 3);
+        assert_eq!(BinOp::Rem.apply(7, 2), 1);
+        assert_eq!(BinOp::Min.apply(7, 2), 2);
+        assert_eq!(BinOp::Max.apply(7, 2), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = BinOp::Div.apply(1, 0);
+    }
+
+    #[test]
+    fn condop_semantics() {
+        assert!(CondOp::Eq.eval(1, 1));
+        assert!(CondOp::Ne.eval(1, 2));
+        assert!(CondOp::Lt.eval(1, 2));
+        assert!(CondOp::Le.eval(2, 2));
+        assert!(CondOp::Gt.eval(3, 2));
+        assert!(CondOp::Ge.eval(2, 2));
+        assert!(!CondOp::Lt.eval(2, 2));
+    }
+
+    #[test]
+    fn memory_classification() {
+        assert!(Instr::Fence.is_memory());
+        assert!(Instr::Read { addr: Src::Imm(0), dst: Loc(0) }.is_memory());
+        assert!(!Instr::Nop.is_memory());
+        assert!(!Instr::Jmp { target: 0 }.is_memory());
+        assert!(!Instr::Annot { value: 1 }.is_memory());
+    }
+
+    #[test]
+    fn src_conversions() {
+        assert_eq!(Src::from(Loc(3)), Src::Loc(Loc(3)));
+        assert_eq!(Src::from(5i64), Src::Imm(5));
+    }
+}

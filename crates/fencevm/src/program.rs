@@ -1,0 +1,111 @@
+//! Assembled programs.
+
+use std::fmt;
+
+use crate::instr::Instr;
+
+/// An immutable, assembled program: a straight vector of instructions with
+/// resolved jump targets, plus metadata for debugging.
+///
+/// Programs are shared between process instances via `Arc<Program>`; see
+/// [`VmProc`](crate::VmProc).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Instr>,
+    local_names: Vec<String>,
+}
+
+impl Program {
+    pub(crate) fn from_parts(name: String, instrs: Vec<Instr>, local_names: Vec<String>) -> Self {
+        for (i, ins) in instrs.iter().enumerate() {
+            if let Instr::Jmp { target } | Instr::JmpIf { target, .. } = ins {
+                assert!(
+                    *target < instrs.len(),
+                    "program {name}: instruction {i} jumps to out-of-range target {target}"
+                );
+            }
+        }
+        Program { name, instrs, local_names }
+    }
+
+    /// The program's name (for diagnostics).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The instruction sequence.
+    #[must_use]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Number of local variable slots.
+    #[must_use]
+    pub fn locals_len(&self) -> usize {
+        self.local_names.len()
+    }
+
+    /// Debug names of the locals, by slot.
+    #[must_use]
+    pub fn local_names(&self) -> &[String] {
+        &self.local_names
+    }
+
+    /// Number of memory instructions (a static upper-bound proxy for steps
+    /// per straight-line pass).
+    #[must_use]
+    pub fn memory_instr_count(&self) -> usize {
+        self.instrs.iter().filter(|i| i.is_memory()).count()
+    }
+
+    /// Number of `Fence` instructions in the program text (static fence
+    /// sites, not dynamic fence steps).
+    #[must_use]
+    pub fn fence_site_count(&self) -> usize {
+        self.instrs.iter().filter(|i| matches!(i, Instr::Fence)).count()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} ({} locals)", self.name, self.local_names.len())?;
+        for (i, ins) in self.instrs.iter().enumerate() {
+            writeln!(f, "  @{i:<4} {ins}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::{Loc, Src};
+
+    #[test]
+    fn counts_and_metadata() {
+        let p = Program::from_parts(
+            "t".into(),
+            vec![
+                Instr::Read { addr: Src::Imm(0), dst: Loc(0) },
+                Instr::Nop,
+                Instr::Fence,
+                Instr::Return { val: Src::Imm(0) },
+            ],
+            vec!["x".into()],
+        );
+        assert_eq!(p.name(), "t");
+        assert_eq!(p.instrs().len(), 4);
+        assert_eq!(p.locals_len(), 1);
+        assert_eq!(p.memory_instr_count(), 3);
+        assert_eq!(p.fence_site_count(), 1);
+        assert!(p.to_string().contains("fence"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-range")]
+    fn out_of_range_jump_rejected() {
+        let _ = Program::from_parts("bad".into(), vec![Instr::Jmp { target: 7 }], vec![]);
+    }
+}

@@ -1,0 +1,402 @@
+//! The interpreter: a [`Program`] instance implementing [`wbmem::Process`].
+
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use wbmem::{Poised, Process, RegId, Value};
+
+use crate::instr::{Instr, Loc, Src};
+use crate::program::Program;
+
+/// Safety bound on consecutive internal instructions: a loop with no memory
+/// instruction in its body is a programming error (the machine could never
+/// schedule it fairly), so the interpreter panics rather than spinning.
+const MAX_INTERNAL_RUN: usize = 1_000_000;
+
+/// One executing instance of a [`Program`].
+///
+/// The interpreter maintains the invariant that between machine steps the
+/// program counter always rests on a *memory* instruction (or just past a
+/// `Return`): internal instructions are executed eagerly — they model free
+/// local computation.
+///
+/// Equality and hashing cover the dynamic state (pc, locals, annotation)
+/// plus the identity of the shared program, making `VmProc` usable as a
+/// model-checker state component. States of processes running *different*
+/// program instances compare unequal even if textually identical.
+#[derive(Clone, Debug)]
+pub struct VmProc {
+    prog: Arc<Program>,
+    pc: usize,
+    locals: Vec<i64>,
+    annot: u64,
+}
+
+impl VmProc {
+    /// Start `prog` at its first instruction with zeroed locals.
+    #[must_use]
+    pub fn new(prog: Arc<Program>) -> Self {
+        let locals = vec![0; prog.locals_len()];
+        let mut p = VmProc { prog, pc: 0, locals, annot: 0 };
+        p.settle();
+        p
+    }
+
+    /// The underlying program.
+    #[must_use]
+    pub fn program(&self) -> &Arc<Program> {
+        &self.prog
+    }
+
+    /// The current program counter (always at a memory instruction or a
+    /// `Return`).
+    #[must_use]
+    pub fn pc(&self) -> usize {
+        self.pc
+    }
+
+    /// Current value of a local variable (for tests and debugging).
+    #[must_use]
+    pub fn local(&self, l: Loc) -> i64 {
+        self.locals[l.0]
+    }
+
+    fn eval(&self, src: Src) -> i64 {
+        match src {
+            Src::Imm(x) => x,
+            Src::Loc(l) => self.locals[l.0],
+        }
+    }
+
+    fn eval_reg(&self, src: Src) -> RegId {
+        let x = self.eval(src);
+        let id = u32::try_from(x).unwrap_or_else(|_| {
+            panic!("program {}: invalid register id {x} at pc {}", self.prog.name(), self.pc)
+        });
+        RegId(id)
+    }
+
+    fn eval_nonneg(&self, src: Src) -> u64 {
+        let x = self.eval(src);
+        u64::try_from(x).unwrap_or_else(|_| {
+            panic!("program {}: negative value {x} at pc {}", self.prog.name(), self.pc)
+        })
+    }
+
+    /// Execute internal instructions until the pc rests on a memory
+    /// instruction (or past the end, which only happens after `Return`).
+    fn settle(&mut self) {
+        for _ in 0..MAX_INTERNAL_RUN {
+            let Some(ins) = self.prog.instrs().get(self.pc) else {
+                panic!(
+                    "program {} fell off the end without a return",
+                    self.prog.name()
+                );
+            };
+            match *ins {
+                Instr::Read { .. }
+                | Instr::Write { .. }
+                | Instr::Fence
+                | Instr::Cas { .. }
+                | Instr::Swap { .. }
+                | Instr::Return { .. } => {
+                    return;
+                }
+                Instr::Mov { dst, src } => {
+                    self.locals[dst.0] = self.eval(src);
+                    self.pc += 1;
+                }
+                Instr::Bin { op, dst, a, b } => {
+                    self.locals[dst.0] = op.apply(self.eval(a), self.eval(b));
+                    self.pc += 1;
+                }
+                Instr::Jmp { target } => self.pc = target,
+                Instr::JmpIf { cond, a, b, target } => {
+                    if cond.eval(self.eval(a), self.eval(b)) {
+                        self.pc = target;
+                    } else {
+                        self.pc += 1;
+                    }
+                }
+                Instr::Annot { value } => {
+                    self.annot = value;
+                    self.pc += 1;
+                }
+                Instr::Nop => self.pc += 1,
+            }
+        }
+        panic!(
+            "program {}: more than {MAX_INTERNAL_RUN} consecutive internal instructions \
+             (loop without a memory operation?)",
+            self.prog.name()
+        );
+    }
+}
+
+impl Process for VmProc {
+    fn poised(&self) -> Poised {
+        match self.prog.instrs()[self.pc] {
+            Instr::Read { addr, .. } => Poised::Read(self.eval_reg(addr)),
+            Instr::Write { addr, val } => {
+                Poised::Write(self.eval_reg(addr), Value::Int(self.eval_nonneg(val)))
+            }
+            Instr::Fence => Poised::Fence,
+            Instr::Cas { addr, expected, new, .. } => Poised::Cas {
+                reg: self.eval_reg(addr),
+                expected: self.eval_nonneg(expected),
+                new: Value::Int(self.eval_nonneg(new)),
+            },
+            Instr::Swap { addr, new, .. } => Poised::Swap {
+                reg: self.eval_reg(addr),
+                new: Value::Int(self.eval_nonneg(new)),
+            },
+            Instr::Return { val } => Poised::Return(self.eval_nonneg(val)),
+            ref other => unreachable!(
+                "program {}: pc rests on internal instruction {other:?}",
+                self.prog.name()
+            ),
+        }
+    }
+
+    fn advance(&mut self, read_value: Option<Value>) {
+        match self.prog.instrs()[self.pc] {
+            Instr::Read { dst, .. } | Instr::Cas { dst, .. } | Instr::Swap { dst, .. } => {
+                let v = read_value.expect("read/cas step must supply the observed value");
+                let payload = i64::try_from(v.payload()).expect("payload fits in i64");
+                self.locals[dst.0] = payload;
+            }
+            Instr::Write { .. } | Instr::Fence => {
+                debug_assert!(read_value.is_none());
+            }
+            Instr::Return { .. } => {
+                // The machine records returns itself and never calls
+                // advance for them; reaching this arm is a driver bug.
+                panic!("advance called on a return instruction");
+            }
+            ref other => unreachable!("advance on internal instruction {other:?}"),
+        }
+        self.pc += 1;
+        self.settle();
+    }
+
+    fn annotation(&self) -> u64 {
+        self.annot
+    }
+}
+
+impl PartialEq for VmProc {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.prog, &other.prog)
+            && self.pc == other.pc
+            && self.locals == other.locals
+            && self.annot == other.annot
+    }
+}
+
+impl Eq for VmProc {}
+
+impl Hash for VmProc {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        Arc::as_ptr(&self.prog).hash(state);
+        self.pc.hash(state);
+        self.locals.hash(state);
+        self.annot.hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::instr::CondOp;
+    use wbmem::{Machine, MachineConfig, MemoryLayout, MemoryModel, ProcId, SchedElem};
+
+    fn pso() -> MachineConfig {
+        MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned())
+    }
+
+    #[test]
+    fn straight_line_program_runs() {
+        let mut asm = Asm::new("t");
+        let x = asm.local("x");
+        asm.mov(x, 20i64);
+        asm.add(x, x, 22i64);
+        asm.write(0i64, x);
+        asm.fence();
+        asm.ret(x);
+        let mut m = Machine::new(pso(), vec![VmProc::new(asm.assemble().into())]);
+        m.run_solo(ProcId(0), 100);
+        assert_eq!(m.return_value(ProcId(0)), Some(42));
+        assert_eq!(m.memory(RegId(0)).payload(), 42);
+    }
+
+    #[test]
+    fn spin_loop_reads_until_value_appears() {
+        // p0 spins on register 0 until it reads 1; p1 writes it.
+        let mut a = Asm::new("spinner");
+        let t = a.local("t");
+        let spin = a.here();
+        a.read(0i64, t);
+        a.jmp_if(CondOp::Ne, t, 1i64, spin);
+        a.ret(7i64);
+        let spinner = VmProc::new(a.assemble().into());
+
+        let mut b = Asm::new("writer");
+        b.write(0i64, 1i64);
+        b.fence();
+        b.ret(0i64);
+        let writer = VmProc::new(b.assemble().into());
+
+        let mut m = Machine::new(pso(), vec![spinner, writer]);
+        // Spin twice with nothing there.
+        m.step(SchedElem::op(ProcId(0)));
+        m.step(SchedElem::op(ProcId(0)));
+        assert_eq!(m.return_value(ProcId(0)), None);
+        // Writer publishes.
+        m.run_solo(ProcId(1), 10);
+        // Spinner now observes 1 and returns.
+        m.run_solo(ProcId(0), 10);
+        assert_eq!(m.return_value(ProcId(0)), Some(7));
+    }
+
+    #[test]
+    fn dynamic_addressing_walks_an_array() {
+        // Sum registers base..base+3 (initialized via init_reg).
+        let mut a = Asm::new("sum");
+        let (i, acc, addr, t) = {
+            let i = a.local("i");
+            let acc = a.local("acc");
+            let addr = a.local("addr");
+            let t = a.local("t");
+            (i, acc, addr, t)
+        };
+        let done = a.label();
+        let head = a.here();
+        a.jmp_if(CondOp::Ge, i, 3i64, done);
+        a.add(addr, i, 10i64); // base = 10
+        a.read(addr, t);
+        a.add(acc, acc, t);
+        a.add(i, i, 1i64);
+        a.jmp(head);
+        a.bind(done);
+        a.ret(acc);
+        let mut m = Machine::new(pso(), vec![VmProc::new(a.assemble().into())]);
+        for (k, v) in [(10u32, 5u64), (11, 6), (12, 7)] {
+            m.init_reg(RegId(k), Value::Int(v));
+        }
+        m.run_solo(ProcId(0), 100);
+        assert_eq!(m.return_value(ProcId(0)), Some(18));
+    }
+
+    #[test]
+    fn annotation_tracks_annot_instrs() {
+        let mut a = Asm::new("annots");
+        a.annot(1);
+        a.fence(); // memory step so we can observe the annotation
+        a.annot(0);
+        a.ret(0i64);
+        let p = VmProc::new(a.assemble().into());
+        assert_eq!(p.annotation(), 1, "annot before first memory instr applies at init");
+        let mut m = Machine::new(pso(), vec![p]);
+        m.step(SchedElem::op(ProcId(0)));
+        assert_eq!(m.annotation(ProcId(0)), 0, "after fence, annot 0 was settled");
+    }
+
+    #[test]
+    fn equality_and_hash_depend_on_dynamic_state() {
+        let mut a = Asm::new("two_reads");
+        let t = a.local("t");
+        a.read(0i64, t);
+        a.read(0i64, t);
+        a.ret(0i64);
+        let prog: Arc<Program> = a.assemble().into();
+        let p1 = VmProc::new(prog.clone());
+        let mut p2 = VmProc::new(prog);
+        assert_eq!(p1, p2);
+        p2.advance(Some(Value::Int(3)));
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn instances_of_equal_but_distinct_programs_differ() {
+        let build = || {
+            let mut a = Asm::new("same");
+            a.ret(0i64);
+            VmProc::new(a.assemble().into())
+        };
+        assert_ne!(build(), build(), "identity is per program instance");
+    }
+
+    #[test]
+    fn cas_program_branches_on_observed_value() {
+        // Increment a register atomically via a CAS retry loop.
+        let mut a = Asm::new("cas_incr");
+        let seen = a.local("seen");
+        let next = a.local("next");
+        let retry = a.here();
+        a.read(0i64, seen);
+        a.add(next, seen, 1i64);
+        let obs = a.local("obs");
+        a.cas(0i64, seen, next, obs);
+        a.jmp_if(CondOp::Ne, obs, seen, retry);
+        a.ret(next);
+        let mut m = Machine::new(pso(), vec![VmProc::new(a.assemble().into())]);
+        m.init_reg(RegId(0), Value::Int(41));
+        m.run_solo(ProcId(0), 100);
+        assert_eq!(m.return_value(ProcId(0)), Some(42));
+        assert_eq!(m.memory(RegId(0)).payload(), 42);
+    }
+
+    #[test]
+    fn swap_program_observes_and_stores() {
+        let mut a = Asm::new("swapper");
+        let old = a.local("old");
+        a.swap(3i64, 9i64, old);
+        a.ret(old);
+        let mut m = Machine::new(pso(), vec![VmProc::new(a.assemble().into())]);
+        m.init_reg(RegId(3), Value::Int(7));
+        m.run_solo(ProcId(0), 100);
+        assert_eq!(m.return_value(ProcId(0)), Some(7));
+        assert_eq!(m.memory(RegId(3)).payload(), 9);
+    }
+
+    #[test]
+    fn program_display_covers_all_instructions() {
+        let mut a = Asm::new("display");
+        let t = a.local("t");
+        a.read(0i64, t);
+        a.write(1i64, t);
+        a.cas(2i64, 0i64, 1i64, t);
+        a.swap(3i64, 5i64, t);
+        a.fence();
+        a.annot(1);
+        a.nop();
+        a.ret(0i64);
+        let text = a.assemble().to_string();
+        for needle in ["read", "write", "cas", "swap", "fence", "annot", "nop", "ret"] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive internal instructions")]
+    fn infinite_internal_loop_is_detected() {
+        let mut a = Asm::new("tight");
+        let head = a.here();
+        a.nop();
+        a.jmp(head);
+        a.ret(0i64);
+        let _ = VmProc::new(a.assemble().into());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid register id")]
+    fn negative_register_id_panics() {
+        let mut a = Asm::new("bad_addr");
+        let t = a.local("t");
+        a.read(-1i64, t);
+        a.ret(0i64);
+        let p = VmProc::new(a.assemble().into());
+        let _ = p.poised();
+    }
+}

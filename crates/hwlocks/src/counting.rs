@@ -1,0 +1,92 @@
+//! A lock-based ordering object on hardware: the paper's `Count`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::raw::RawLock;
+
+/// A counter protected by any [`RawLock`]: `next()` returns the number of
+/// earlier completed operations — the hardware analogue of the simulator's
+/// `Counter` ordering object. Rank order is exactly critical-section order,
+/// so the sequence of return values across threads is a permutation of
+/// `0..total_calls`.
+#[derive(Debug)]
+pub struct CountingLock<L> {
+    lock: L,
+    value: AtomicU64,
+}
+
+impl<L: RawLock> CountingLock<L> {
+    /// Wrap `lock` around a zeroed counter.
+    #[must_use]
+    pub fn new(lock: L) -> Self {
+        CountingLock { lock, value: AtomicU64::new(0) }
+    }
+
+    /// Perform one counting operation as thread `tid`; returns this call's
+    /// rank. The read-increment-write inside the critical section is
+    /// deliberately non-atomic-style (Relaxed load then Relaxed store): the
+    /// lock's fences are what make it safe, as in the paper's `Count`.
+    pub fn next(&self, tid: usize) -> u64 {
+        self.lock.acquire(tid);
+        let v = self.value.load(Ordering::Relaxed);
+        self.value.store(v + 1, Ordering::Relaxed);
+        std::sync::atomic::fence(Ordering::SeqCst); // the object's own fence
+        self.lock.release(tid);
+        v
+    }
+
+    /// The number of completed operations.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.value.load(Ordering::SeqCst)
+    }
+
+    /// The underlying lock.
+    #[must_use]
+    pub fn lock(&self) -> &L {
+        &self.lock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bakery::HwBakery;
+    use crate::gt::HwGt;
+
+    fn ranks_are_a_permutation<L: RawLock>(lock: L, threads: usize, iters: usize) {
+        let counter = CountingLock::new(lock);
+        let mut all: Vec<u64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|tid| {
+                    let counter = &counter;
+                    scope.spawn(move || (0..iters).map(|_| counter.next(tid)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        all.sort_unstable();
+        let expect: Vec<u64> = (0..(threads * iters) as u64).collect();
+        assert_eq!(all, expect, "ranks must form a permutation");
+        assert_eq!(counter.current(), (threads * iters) as u64);
+    }
+
+    #[test]
+    fn bakery_counting_ranks() {
+        ranks_are_a_permutation(HwBakery::new(4), 4, 200);
+    }
+
+    #[test]
+    fn gt_counting_ranks() {
+        ranks_are_a_permutation(HwGt::new(4, 2), 4, 200);
+    }
+
+    #[test]
+    fn solo_ranks_are_sequential() {
+        let c = CountingLock::new(HwBakery::new(2));
+        assert_eq!(c.next(0), 0);
+        assert_eq!(c.next(0), 1);
+        assert_eq!(c.next(1), 2);
+        assert_eq!(c.current(), 3);
+    }
+}

@@ -1,0 +1,126 @@
+//! Hardware generalized tournament lock `GT_f`.
+
+use crate::bakery::HwBakery;
+use crate::raw::RawLock;
+
+/// The `GT_f` lock on real atomics: a height-`f` tree of `b`-slot
+/// [`HwBakery`] nodes with `b = ⌈n^(1/f)⌉`. Per passage: `4f` fences and
+/// `O(f·b)` coherence misses — the whole tradeoff spectrum, from
+/// `GT_1` = Bakery to `GT_{log n}` ≈ the binary tournament.
+#[derive(Debug)]
+pub struct HwGt {
+    n: usize,
+    f: usize,
+    b: usize,
+    /// `levels[l]` = Bakery nodes at level `l` (0 = deepest).
+    levels: Vec<Vec<HwBakery>>,
+}
+
+impl HwGt {
+    /// A `GT_f` lock for `n` threads with tree height `f ≥ 1`.
+    #[must_use]
+    pub fn new(n: usize, f: usize) -> Self {
+        assert!(n >= 1 && f >= 1);
+        let b = simlocks_branching(n, f);
+        let mut levels = Vec::with_capacity(f);
+        for level in 0..f {
+            let span = b.checked_pow(level as u32 + 1).expect("tree dims overflow");
+            let node_count = n.div_ceil(span).max(1);
+            levels.push((0..node_count).map(|_| HwBakery::new(b)).collect());
+        }
+        HwGt { n, f, b, levels }
+    }
+
+    /// The branching factor `b`.
+    #[must_use]
+    pub fn branching(&self) -> usize {
+        self.b
+    }
+
+    fn position(&self, tid: usize, level: usize) -> (usize, usize) {
+        let below = self.b.pow(level as u32);
+        (tid / (below * self.b), (tid / below) % self.b)
+    }
+}
+
+/// Smallest `b` with `b^f ≥ n` (kept dependency-free; mirrors
+/// `simlocks::branching_factor`).
+fn simlocks_branching(n: usize, f: usize) -> usize {
+    let mut b = 1usize;
+    loop {
+        let mut acc = 1usize;
+        let mut ok = false;
+        for _ in 0..f {
+            acc = acc.saturating_mul(b);
+            if acc >= n {
+                ok = true;
+                break;
+            }
+        }
+        if ok || acc >= n {
+            return b;
+        }
+        b += 1;
+    }
+}
+
+impl RawLock for HwGt {
+    fn max_threads(&self) -> usize {
+        self.n
+    }
+
+    fn acquire(&self, tid: usize) {
+        assert!(tid < self.n, "thread {tid} out of range");
+        for level in 0..self.f {
+            let (node, slot) = self.position(tid, level);
+            self.levels[level][node].acquire_slot(slot);
+        }
+    }
+
+    fn release(&self, tid: usize) {
+        assert!(tid < self.n, "thread {tid} out of range");
+        for level in (0..self.f).rev() {
+            let (node, slot) = self.position(tid, level);
+            self.levels[level][node].release_slot(slot);
+        }
+    }
+
+    fn fences(&self) -> u64 {
+        self.levels.iter().flatten().map(RawLock::fences).sum()
+    }
+
+    fn name(&self) -> String {
+        format!("hw-gt[n={},f={},b={}]", self.n, self.f, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::stress_mutual_exclusion;
+
+    #[test]
+    fn branching_matches_formula() {
+        assert_eq!(HwGt::new(16, 2).branching(), 4);
+        assert_eq!(HwGt::new(16, 4).branching(), 2);
+        assert_eq!(HwGt::new(9, 2).branching(), 3);
+    }
+
+    #[test]
+    fn uncontended_passage_counts_4f_fences() {
+        for f in [1usize, 2, 3] {
+            let lock = HwGt::new(8, f);
+            lock.acquire(0);
+            lock.release(0);
+            assert_eq!(lock.fences(), 4 * f as u64, "f={f}");
+        }
+    }
+
+    #[test]
+    fn stress_mutex_holds_various_shapes() {
+        for (n, f) in [(4usize, 2usize), (6, 2), (8, 3)] {
+            let lock = HwGt::new(n, f);
+            stress_mutual_exclusion(&lock, n.min(4), 300);
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! Hardware Peterson lock (two threads).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::raw::{FenceCounter, Pad, RawLock};
+
+/// Peterson's two-thread lock with the paper's fence discipline: relaxed
+/// stores, a counted `SeqCst` fence after each of the `flag` and `victim`
+/// writes (the second being the essential store–load fence), `SeqCst`
+/// loads in the wait test.
+#[derive(Debug)]
+pub struct HwPeterson {
+    flag: [Pad<AtomicU64>; 2],
+    victim: Pad<AtomicU64>,
+    fences: FenceCounter,
+}
+
+impl Default for HwPeterson {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HwPeterson {
+    /// A fresh, unheld lock.
+    #[must_use]
+    pub fn new() -> Self {
+        HwPeterson {
+            flag: [Pad::new(AtomicU64::new(0)), Pad::new(AtomicU64::new(0))],
+            victim: Pad::new(AtomicU64::new(0)),
+            fences: FenceCounter::new(),
+        }
+    }
+
+    /// Acquire as side `side ∈ {0, 1}` (exposed for reuse inside
+    /// [`HwTournament`](crate::HwTournament)).
+    pub fn acquire_side(&self, side: usize) {
+        assert!(side < 2, "peterson side must be 0 or 1");
+        let me = side as u64 + 1;
+        self.flag[side].store(1, Ordering::Relaxed);
+        self.fences.fence(); // site 0
+        self.victim.store(me, Ordering::Relaxed);
+        self.fences.fence(); // site 1: the store-load fence
+        let mut spins = 0;
+        while self.flag[1 - side].load(Ordering::SeqCst) == 1
+            && self.victim.load(Ordering::SeqCst) == me
+        {
+            crate::raw::spin_wait(&mut spins);
+        }
+    }
+
+    /// Release as side `side`.
+    pub fn release_side(&self, side: usize) {
+        assert!(side < 2, "peterson side must be 0 or 1");
+        self.flag[side].store(0, Ordering::Relaxed);
+        self.fences.fence(); // site 2
+    }
+}
+
+impl RawLock for HwPeterson {
+    fn max_threads(&self) -> usize {
+        2
+    }
+
+    fn acquire(&self, tid: usize) {
+        self.acquire_side(tid);
+    }
+
+    fn release(&self, tid: usize) {
+        self.release_side(tid);
+    }
+
+    fn fences(&self) -> u64 {
+        self.fences.count()
+    }
+
+    fn name(&self) -> String {
+        "hw-peterson".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::stress_mutual_exclusion;
+
+    #[test]
+    fn uncontended_passage_counts_three_fences() {
+        let lock = HwPeterson::new();
+        lock.acquire(0);
+        lock.release(0);
+        assert_eq!(lock.fences(), 3);
+    }
+
+    #[test]
+    fn stress_mutex_holds() {
+        let lock = HwPeterson::new();
+        stress_mutual_exclusion(&lock, 2, 5_000);
+    }
+}

@@ -1,0 +1,170 @@
+//! The hardware lock interface and shared instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A cache-line-padded cell, preventing false sharing between per-thread
+/// lock registers (the hardware analogue of the DSM "local segment").
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct Pad<T>(pub T);
+
+impl<T> Pad<T> {
+    /// Wrap a value.
+    pub fn new(v: T) -> Self {
+        Pad(v)
+    }
+}
+
+impl<T> std::ops::Deref for Pad<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+/// Counts the memory fences a lock executes, so hardware measurements can
+/// be set against the simulator's `β`.
+#[derive(Debug, Default)]
+pub struct FenceCounter(AtomicU64);
+
+impl FenceCounter {
+    /// A zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Execute one sequentially consistent fence and count it.
+    #[inline]
+    pub fn fence(&self) {
+        std::sync::atomic::fence(Ordering::SeqCst);
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fences executed so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Spin-wait backoff: busy-spin briefly, then start yielding the CPU —
+/// essential on machines with fewer cores than contending threads, where a
+/// pure spin burns the lock holder's whole quantum.
+#[inline]
+pub fn spin_wait(spins: &mut u32) {
+    if *spins < 16 {
+        std::hint::spin_loop();
+        *spins += 1;
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// A mutual-exclusion lock for a fixed set of threads, identified by dense
+/// ids `0..max_threads()`.
+///
+/// All implementations in this crate follow one discipline, mirroring the
+/// paper's machine: **plain stores are `Relaxed`** (they may be buffered
+/// and reordered, like PSO writes), **every algorithmic fence site executes
+/// a counted `SeqCst` fence** (the `fence()` operation), and **loads are
+/// `SeqCst`** (conservatively ruling out read reordering, which the paper's
+/// algorithms also forbid via their fences under RMO). Correctness
+/// therefore rests exactly where the paper says it must: on the placement
+/// of the fences.
+pub trait RawLock: Send + Sync {
+    /// Number of supported threads.
+    fn max_threads(&self) -> usize;
+
+    /// Acquire the lock as thread `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `tid >= max_threads()`.
+    fn acquire(&self, tid: usize);
+
+    /// Release the lock as thread `tid` (which must hold it).
+    fn release(&self, tid: usize);
+
+    /// Total fences executed by all threads so far.
+    fn fences(&self) -> u64;
+
+    /// Short descriptive name.
+    fn name(&self) -> String;
+}
+
+/// Run `f` under the lock.
+pub fn with_lock<L: RawLock + ?Sized, R>(lock: &L, tid: usize, f: impl FnOnce() -> R) -> R {
+    let _guard = LockGuard::acquire(lock, tid);
+    f()
+}
+
+/// An RAII guard: the lock is held from [`LockGuard::acquire`] until the
+/// guard drops, so early returns and panics release it reliably.
+#[derive(Debug)]
+pub struct LockGuard<'a, L: RawLock + ?Sized> {
+    lock: &'a L,
+    tid: usize,
+}
+
+impl<'a, L: RawLock + ?Sized> LockGuard<'a, L> {
+    /// Acquire `lock` as thread `tid` and hold it for the guard's lifetime.
+    pub fn acquire(lock: &'a L, tid: usize) -> Self {
+        lock.acquire(tid);
+        LockGuard { lock, tid }
+    }
+
+    /// The thread id this guard holds the lock as.
+    #[must_use]
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+}
+
+impl<L: RawLock + ?Sized> Drop for LockGuard<'_, L> {
+    fn drop(&mut self) {
+        self.lock.release(self.tid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_is_cache_line_aligned() {
+        assert!(std::mem::align_of::<Pad<u8>>() >= 128);
+        let p = Pad::new(5u32);
+        assert_eq!(*p, 5);
+    }
+
+    #[test]
+    fn guard_releases_on_drop_and_on_panic() {
+        use crate::bakery::HwBakery;
+        let lock = HwBakery::new(2);
+        {
+            let g = LockGuard::acquire(&lock, 0);
+            assert_eq!(g.tid(), 0);
+        }
+        // Released: another thread id can take it immediately.
+        let _g = LockGuard::acquire(&lock, 1);
+        drop(_g);
+
+        // Panic inside a guard scope still releases.
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = LockGuard::acquire(&lock, 0);
+            panic!("boom");
+        }));
+        assert!(caught.is_err());
+        let _g = LockGuard::acquire(&lock, 1);
+    }
+
+    #[test]
+    fn fence_counter_counts() {
+        let c = FenceCounter::new();
+        assert_eq!(c.count(), 0);
+        c.fence();
+        c.fence();
+        assert_eq!(c.count(), 2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Hardware test-and-test-and-set lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::raw::{FenceCounter, Pad, RawLock};
+
+/// Test-and-test-and-set over `compare_exchange`: the comparison-primitive
+/// baseline of the paper's §6 note. O(1) fences and uncontended cost, but
+/// every release invalidates every spinner's cached line — the contention
+/// behaviour experiment E9 compares against `GT_f`.
+#[derive(Debug, Default)]
+pub struct HwTtas {
+    word: Pad<AtomicU64>,
+    fences: FenceCounter,
+}
+
+impl HwTtas {
+    /// A fresh, unheld lock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl RawLock for HwTtas {
+    fn max_threads(&self) -> usize {
+        usize::MAX
+    }
+
+    fn acquire(&self, tid: usize) {
+        let claim = tid as u64 + 1;
+        loop {
+            // Test: spin cache-locally until the word looks free.
+            let mut spins = 0;
+            while self.word.load(Ordering::Relaxed) != 0 {
+                crate::raw::spin_wait(&mut spins);
+            }
+            // And-set: claim with a CAS (its success ordering is the
+            // acquire edge).
+            if self
+                .word
+                .compare_exchange(0, claim, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    fn release(&self, _tid: usize) {
+        self.word.store(0, Ordering::Relaxed);
+        self.fences.fence(); // site 0: release
+    }
+
+    fn fences(&self) -> u64 {
+        self.fences.count()
+    }
+
+    fn name(&self) -> String {
+        "hw-ttas".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::stress_mutual_exclusion;
+
+    #[test]
+    fn uncontended_passage_counts_one_fence() {
+        let lock = HwTtas::new();
+        lock.acquire(0);
+        lock.release(0);
+        assert_eq!(lock.fences(), 1);
+    }
+
+    #[test]
+    fn stress_mutex_holds() {
+        let lock = HwTtas::new();
+        stress_mutual_exclusion(&lock, 4, 500);
+    }
+}

@@ -1,0 +1,45 @@
+//! Shared test harness: a mutual-exclusion stress test usable by every
+//! lock implementation (and by downstream integration tests).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::raw::RawLock;
+
+/// Drive `threads` threads through `iters` lock passages each, verifying
+/// (a) no two threads are ever inside the critical section at once and
+/// (b) a deliberately racy read-modify-write counter loses no updates.
+///
+/// # Panics
+///
+/// Panics if mutual exclusion is violated or updates are lost.
+pub fn stress_mutual_exclusion<L: RawLock>(lock: &L, threads: usize, iters: usize) {
+    assert!(threads <= lock.max_threads());
+    let in_cs = AtomicU64::new(0);
+    // The "protected resource": a non-atomic-style counter emulated with
+    // Relaxed load + store, which WOULD lose updates without the lock.
+    let counter = AtomicU64::new(0);
+
+    std::thread::scope(|scope| {
+        for tid in 0..threads {
+            let (lock, in_cs, counter) = (&*lock, &in_cs, &counter);
+            scope.spawn(move || {
+                for _ in 0..iters {
+                    lock.acquire(tid);
+                    let inside = in_cs.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(inside, 0, "mutual exclusion violated (tid {tid})");
+                    let v = counter.load(Ordering::Relaxed);
+                    std::hint::spin_loop();
+                    counter.store(v + 1, Ordering::Relaxed);
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
+                    lock.release(tid);
+                }
+            });
+        }
+    });
+
+    assert_eq!(
+        counter.load(Ordering::SeqCst),
+        (threads * iters) as u64,
+        "updates were lost: the lock failed"
+    );
+}

@@ -1,0 +1,88 @@
+//! Hardware binary tournament-tree lock.
+
+use crate::peterson::HwPeterson;
+use crate::raw::RawLock;
+
+/// A binary tournament tree of [`HwPeterson`] nodes for `n = 2^k` threads:
+/// Θ(log n) fences and Θ(log n) coherence misses per passage.
+#[derive(Debug)]
+pub struct HwTournament {
+    n: usize,
+    /// Heap-indexed internal nodes (root = 1; index 0 unused).
+    nodes: Vec<HwPeterson>,
+}
+
+impl HwTournament {
+    /// A tournament lock for `n` threads (`n` a power of two, `n ≥ 2`).
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "tournament needs a power-of-two n >= 2");
+        HwTournament { n, nodes: (0..n).map(|_| HwPeterson::new()).collect() }
+    }
+
+    fn path(&self, tid: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
+        assert!(tid < self.n, "thread {tid} out of range");
+        let mut v = self.n + tid;
+        std::iter::from_fn(move || {
+            if v <= 1 {
+                return None;
+            }
+            let side = v & 1;
+            v >>= 1;
+            Some((v, side))
+        })
+    }
+}
+
+impl RawLock for HwTournament {
+    fn max_threads(&self) -> usize {
+        self.n
+    }
+
+    fn acquire(&self, tid: usize) {
+        for (node, side) in self.path(tid) {
+            self.nodes[node].acquire_side(side);
+        }
+    }
+
+    fn release(&self, tid: usize) {
+        let path: Vec<(usize, usize)> = self.path(tid).collect();
+        for &(node, side) in path.iter().rev() {
+            self.nodes[node].release_side(side);
+        }
+    }
+
+    fn fences(&self) -> u64 {
+        self.nodes.iter().map(RawLock::fences).sum()
+    }
+
+    fn name(&self) -> String {
+        format!("hw-tournament[{}]", self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::stress_mutual_exclusion;
+
+    #[test]
+    fn uncontended_passage_fences_scale_with_levels() {
+        let lock = HwTournament::new(8);
+        lock.acquire(0);
+        lock.release(0);
+        assert_eq!(lock.fences(), 3 * 3, "3 fences per level over log2(8) levels");
+    }
+
+    #[test]
+    fn stress_mutex_holds() {
+        let lock = HwTournament::new(4);
+        stress_mutual_exclusion(&lock, 4, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_power_of_two() {
+        let _ = HwTournament::new(6);
+    }
+}

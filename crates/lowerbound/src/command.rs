@@ -1,0 +1,259 @@
+//! The encoding commands of Table 1 and their per-process stacks.
+//!
+//! The lower-bound proof encodes each constructed execution `E_π` as `n`
+//! *command stacks*, one per process. Commands are **appended at the
+//! bottom** during encoding (Section 5.2) and **consumed from the top**
+//! during decoding (Section 5.1) — so commands execute in the order they
+//! were appended, while the counter-update rules (D1b, D2b) pop and re-push
+//! at the top.
+//!
+//! The set parameters `S` of `wait-read-finish(k, S)` and
+//! `wait-local-finish(k, S)` are always ∅ *as encoded*; they fill in during
+//! decoding as the waited-for processes identify themselves. Only `(tag,
+//! k)` is ever serialized.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use wbmem::ProcId;
+
+/// One encoding command (Table 1 of the paper).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Command {
+    /// Take steps until poised at a fence with a non-empty write buffer.
+    Proceed,
+    /// Commit the whole pending write batch (visibly).
+    Commit,
+    /// `k` of this process's buffered writes will be committed *hidden* —
+    /// each immediately overwritten by an earlier process's commit before
+    /// anyone reads it.
+    WaitHiddenCommit(u64),
+    /// Wait until `k` early processes that read registers in this process's
+    /// write buffer have finished, before committing writes to those
+    /// registers. `S` collects the identified readers during decoding.
+    WaitReadFinish(u64, BTreeSet<ProcId>),
+    /// Wait (before taking any step) until `k` early processes that access
+    /// this process's memory segment have finished. `S` collects the
+    /// identified accessors during decoding.
+    WaitLocalFinish(u64, BTreeSet<ProcId>),
+}
+
+impl Command {
+    /// The command's *value* (Section 5.3): 1 for the parameterless
+    /// commands, the counter `k` for the parameterized ones. The sum of
+    /// values over all stacks is `O(ρ(E))`.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        match self {
+            Command::Proceed | Command::Commit => 1,
+            Command::WaitHiddenCommit(k)
+            | Command::WaitReadFinish(k, _)
+            | Command::WaitLocalFinish(k, _) => *k,
+        }
+    }
+
+    /// Numeric tag for serialization.
+    #[must_use]
+    pub fn tag(&self) -> u8 {
+        match self {
+            Command::Proceed => 0,
+            Command::Commit => 1,
+            Command::WaitHiddenCommit(_) => 2,
+            Command::WaitReadFinish(..) => 3,
+            Command::WaitLocalFinish(..) => 4,
+        }
+    }
+
+    /// Whether the command carries a counter parameter.
+    #[must_use]
+    pub fn has_parameter(&self) -> bool {
+        self.tag() >= 2
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Command::Proceed => write!(f, "proceed"),
+            Command::Commit => write!(f, "commit"),
+            Command::WaitHiddenCommit(k) => write!(f, "wait-hidden-commit({k})"),
+            Command::WaitReadFinish(k, s) => {
+                write!(f, "wait-read-finish({k}, {{{}}})", fmt_set(s))
+            }
+            Command::WaitLocalFinish(k, s) => {
+                write!(f, "wait-local-finish({k}, {{{}}})", fmt_set(s))
+            }
+        }
+    }
+}
+
+fn fmt_set(s: &BTreeSet<ProcId>) -> String {
+    s.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+}
+
+/// The `n` command stacks. Top = consumption end; bottom = append end.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Stacks {
+    stacks: Vec<VecDeque<Command>>,
+}
+
+impl Stacks {
+    /// `n` empty stacks.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Stacks { stacks: vec![VecDeque::new(); n] }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// The top command of `p`'s stack (the one the decoder acts on).
+    #[must_use]
+    pub fn top(&self, p: ProcId) -> Option<&Command> {
+        self.stacks[p.index()].front()
+    }
+
+    /// Pop the top command of `p`'s stack.
+    pub fn pop_top(&mut self, p: ProcId) -> Option<Command> {
+        self.stacks[p.index()].pop_front()
+    }
+
+    /// Push a command on top of `p`'s stack (decoder counter updates).
+    pub fn push_top(&mut self, p: ProcId, cmd: Command) {
+        self.stacks[p.index()].push_front(cmd);
+    }
+
+    /// Append a command at the bottom of `p`'s stack (encoder).
+    pub fn push_bottom(&mut self, p: ProcId, cmd: Command) {
+        self.stacks[p.index()].push_back(cmd);
+    }
+
+    /// Whether `p`'s stack is empty.
+    #[must_use]
+    pub fn is_empty_of(&self, p: ProcId) -> bool {
+        self.stacks[p.index()].is_empty()
+    }
+
+    /// Number of commands on `p`'s stack.
+    #[must_use]
+    pub fn len_of(&self, p: ProcId) -> usize {
+        self.stacks[p.index()].len()
+    }
+
+    /// Commands of `p`'s stack, top to bottom.
+    #[must_use]
+    pub fn commands_of(&self, p: ProcId) -> Vec<Command> {
+        self.stacks[p.index()].iter().cloned().collect()
+    }
+
+    /// Total number of commands over all stacks (the paper's `m_π`).
+    #[must_use]
+    pub fn total_commands(&self) -> usize {
+        self.stacks.iter().map(VecDeque::len).sum()
+    }
+
+    /// Sum of command values over all stacks (the paper's `v_π`).
+    #[must_use]
+    pub fn total_value(&self) -> u64 {
+        self.stacks.iter().flatten().map(Command::value).sum()
+    }
+
+    /// Mutate the top command of `p`'s stack in place.
+    pub fn with_top_mut(&mut self, p: ProcId, f: impl FnOnce(&mut Command)) {
+        if let Some(top) = self.stacks[p.index()].front_mut() {
+            f(top);
+        }
+    }
+
+    /// Render all stacks, one per line, top → bottom.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, st) in self.stacks.iter().enumerate() {
+            let cmds: Vec<String> = st.iter().map(ToString::to_string).collect();
+            let _ = writeln!(out, "p{i}: [{}]", cmds.join(" | "));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values() {
+        assert_eq!(Command::Proceed.value(), 1);
+        assert_eq!(Command::Commit.value(), 1);
+        assert_eq!(Command::WaitHiddenCommit(5).value(), 5);
+        assert_eq!(Command::WaitReadFinish(3, BTreeSet::new()).value(), 3);
+        assert_eq!(Command::WaitLocalFinish(2, BTreeSet::new()).value(), 2);
+    }
+
+    #[test]
+    fn fifo_discipline_append_bottom_pop_top() {
+        let mut s = Stacks::new(1);
+        let p = ProcId(0);
+        s.push_bottom(p, Command::Proceed);
+        s.push_bottom(p, Command::Commit);
+        s.push_bottom(p, Command::Proceed);
+        assert_eq!(s.pop_top(p), Some(Command::Proceed));
+        assert_eq!(s.pop_top(p), Some(Command::Commit));
+        assert_eq!(s.pop_top(p), Some(Command::Proceed));
+        assert_eq!(s.pop_top(p), None);
+    }
+
+    #[test]
+    fn push_top_reinserts_at_consumption_end() {
+        let mut s = Stacks::new(1);
+        let p = ProcId(0);
+        s.push_bottom(p, Command::WaitHiddenCommit(2));
+        s.push_bottom(p, Command::Commit);
+        let top = s.pop_top(p).unwrap();
+        assert_eq!(top, Command::WaitHiddenCommit(2));
+        s.push_top(p, Command::WaitHiddenCommit(1));
+        assert_eq!(s.top(p), Some(&Command::WaitHiddenCommit(1)));
+        assert_eq!(s.len_of(p), 2);
+    }
+
+    #[test]
+    fn totals() {
+        let mut s = Stacks::new(2);
+        s.push_bottom(ProcId(0), Command::Proceed);
+        s.push_bottom(ProcId(1), Command::WaitHiddenCommit(4));
+        assert_eq!(s.total_commands(), 2);
+        assert_eq!(s.total_value(), 5);
+    }
+
+    #[test]
+    fn with_top_mut_edits_in_place() {
+        let mut s = Stacks::new(1);
+        let p = ProcId(0);
+        s.push_bottom(p, Command::WaitReadFinish(2, BTreeSet::new()));
+        s.with_top_mut(p, |c| {
+            if let Command::WaitReadFinish(_, set) = c {
+                set.insert(ProcId(7));
+            }
+        });
+        match s.top(p).unwrap() {
+            Command::WaitReadFinish(2, set) => assert!(set.contains(&ProcId(7))),
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Command::Proceed.to_string(), "proceed");
+        assert_eq!(Command::WaitHiddenCommit(3).to_string(), "wait-hidden-commit(3)");
+        let mut set = BTreeSet::new();
+        set.insert(ProcId(1));
+        assert_eq!(
+            Command::WaitLocalFinish(1, set).to_string(),
+            "wait-local-finish(1, {p1})"
+        );
+    }
+}

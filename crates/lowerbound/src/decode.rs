@@ -1,0 +1,641 @@
+//! The decoder: extended configurations → executions (Section 5.1).
+//!
+//! An extended configuration is a system configuration plus the `n` command
+//! stacks. The decoding rules below deterministically produce the unique
+//! execution `E(Γ)`:
+//!
+//! * **(D1)** If some process is *commit enabled* (top `commit`, poised at a
+//!   fence with a non-empty buffer), the smallest such `p` is about to
+//!   commit to its smallest buffered register `R` — but if some waiting
+//!   process `q` with `wait-hidden-commit(k)` on top also holds a buffered
+//!   write to `R`, then `q` commits first (that commit is *hidden*: `p`'s
+//!   commit will overwrite it before anyone reads).
+//! * **(D2)** Otherwise the smallest *non-commit enabled* process (top
+//!   `proceed`, solo-terminating, poised at a read/write, a rank-correct
+//!   return, or an empty-buffer fence) takes its operation step. Reads of
+//!   buffered registers and returns feed the `wait-read-finish` /
+//!   `wait-local-finish` bookkeeping of other stacks.
+//! * **(D3)** If every process is waiting or finished, the execution ends.
+
+use fencevm::VmProc;
+use wbmem::{Event, EventKind, Machine, Poised, ProcId, SchedElem, SoloOutcome, StepOutcome};
+
+use crate::command::{Command, Stacks};
+
+/// Decoder resource bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct DecodeOptions {
+    /// Maximum steps in the decoded execution.
+    pub max_steps: usize,
+    /// Step bound for solo-termination checks (divergence is detected
+    /// exactly by configuration revisit; this bound only guards unbounded
+    /// progress).
+    pub solo_bound: usize,
+}
+
+impl Default for DecodeOptions {
+    fn default() -> Self {
+        DecodeOptions { max_steps: 2_000_000, solo_bound: 500_000 }
+    }
+}
+
+/// One decoded step.
+#[derive(Clone, Debug)]
+pub struct DecodedStep {
+    /// The schedule element applied.
+    pub elem: SchedElem,
+    /// The resulting event.
+    pub event: Event,
+    /// Whether this was a *hidden* commit (executed by a waiting process).
+    pub hidden: bool,
+}
+
+/// The decoded execution and everything the encoder needs to extend it.
+#[derive(Clone, Debug)]
+pub struct DecodeOutcome {
+    /// The machine at the final configuration `C_i`.
+    pub machine: Machine<VmProc>,
+    /// The stacks as left by decoding (consumed commands removed).
+    pub stacks: Stacks,
+    /// The execution, step by step.
+    pub steps: Vec<DecodedStep>,
+    /// For each process, the number of steps after which its stack was
+    /// empty for the *first* time (`Some(0)` if it started empty, `None` if
+    /// it never emptied).
+    pub stack_empty_at: Vec<Option<usize>>,
+}
+
+impl DecodeOutcome {
+    /// The events of the suffix `E**` starting at step `from`.
+    #[must_use]
+    pub fn suffix(&self, from: usize) -> &[DecodedStep] {
+        &self.steps[from.min(self.steps.len())..]
+    }
+
+    /// The decoded execution as a [`wbmem::Trace`], for the analytics in
+    /// [`wbmem::stats`].
+    #[must_use]
+    pub fn trace(&self) -> wbmem::Trace {
+        self.steps.iter().map(|s| s.event.clone()).collect()
+    }
+}
+
+/// Decoding failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// A solo-termination check was inconclusive within the bound.
+    SoloUnknown {
+        /// The process whose classification failed.
+        proc: ProcId,
+    },
+    /// The execution exceeded `max_steps`.
+    MaxSteps {
+        /// The bound that was hit.
+        steps: usize,
+    },
+    /// An internal consistency violation (a decoder bug or a non-ordering
+    /// algorithm).
+    Internal(String),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::SoloUnknown { proc } => {
+                write!(f, "solo-termination check for {proc} inconclusive")
+            }
+            DecodeError::MaxSteps { steps } => write!(f, "decode exceeded {steps} steps"),
+            DecodeError::Internal(msg) => write!(f, "decoder invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn is_commit_enabled(m: &Machine<VmProc>, st: &Stacks, p: ProcId) -> bool {
+    matches!(st.top(p), Some(Command::Commit))
+        && matches!(m.poised(p), Poised::Fence)
+        && !m.buffer_is_empty(p)
+}
+
+/// The cheap part of the non-commit-enabled test (everything but the solo
+/// run).
+fn op_permits_step(m: &Machine<VmProc>, p: ProcId) -> bool {
+    match m.poised(p) {
+        Poised::Read(_) | Poised::Write(_, _) => true,
+        Poised::Return(r) => r == m.nb_final(),
+        Poised::Fence => m.buffer_is_empty(p),
+        // The encoding construction is defined for read/write algorithms;
+        // the paper handles comparison primitives by simulation ([12]). A
+        // CAS-using program is therefore never scheduled here — encoding it
+        // stalls with diagnostics rather than silently mis-encoding.
+        Poised::Cas { .. } | Poised::Swap { .. } => false,
+        Poised::Done => false,
+    }
+}
+
+fn is_non_commit_enabled(
+    m: &Machine<VmProc>,
+    st: &Stacks,
+    p: ProcId,
+    opts: &DecodeOptions,
+) -> Result<bool, DecodeError> {
+    if m.is_done(p) || !matches!(st.top(p), Some(Command::Proceed)) || !op_permits_step(m, p) {
+        return Ok(false);
+    }
+    match m.solo_outcome(p, opts.solo_bound) {
+        SoloOutcome::Terminates { .. } => Ok(true),
+        SoloOutcome::Diverges { .. } => Ok(false),
+        SoloOutcome::Unknown => Err(DecodeError::SoloUnknown { proc: p }),
+    }
+}
+
+/// Decode the execution determined by `(initial, stacks)`.
+///
+/// # Errors
+///
+/// Returns an error if a solo check is inconclusive or the step bound is
+/// exceeded; both indicate a malformed program or insufficient bounds
+/// rather than a property of the encoding.
+pub fn decode(
+    initial: &Machine<VmProc>,
+    stacks: &Stacks,
+    opts: &DecodeOptions,
+) -> Result<DecodeOutcome, DecodeError> {
+    let n = initial.n();
+    assert_eq!(stacks.n(), n, "stack count must match process count");
+    let mut m = initial.clone();
+    let mut st = stacks.clone();
+    let mut steps: Vec<DecodedStep> = Vec::new();
+    let mut stack_empty_at: Vec<Option<usize>> = (0..n)
+        .map(|i| st.is_empty_of(ProcId::from(i)).then_some(0))
+        .collect();
+
+    'outer: loop {
+        if steps.len() >= opts.max_steps {
+            return Err(DecodeError::MaxSteps { steps: opts.max_steps });
+        }
+
+        // ---- Rule D1: a commit step. ----
+        let commit_enabled =
+            (0..n).map(ProcId::from).find(|&p| is_commit_enabled(&m, &st, p));
+        if let Some(p) = commit_enabled {
+            let r = *m
+                .buffer(p)
+                .regs()
+                .first()
+                .expect("commit-enabled process has a non-empty buffer");
+            // A waiting hidden-committer takes precedence.
+            let q = (0..n).map(ProcId::from).find(|&q| {
+                matches!(st.top(q), Some(Command::WaitHiddenCommit(k)) if *k > 0)
+                    && m.buffer(q).contains(r)
+            });
+            let pstar = q.unwrap_or(p);
+            let hidden = q.is_some();
+            let pre_len = m.buffer(pstar).len();
+
+            let event = match m.step(SchedElem::commit(pstar, r)) {
+                StepOutcome::Stepped(e) => e,
+                StepOutcome::NoOp => {
+                    return Err(DecodeError::Internal(format!(
+                        "commit of {r} by {pstar} did not step"
+                    )))
+                }
+            };
+
+            if hidden {
+                // (D1b) decrement the wait-hidden-commit counter.
+                match st.pop_top(pstar) {
+                    Some(Command::WaitHiddenCommit(k)) => {
+                        if k > 1 {
+                            st.push_top(pstar, Command::WaitHiddenCommit(k - 1));
+                        }
+                    }
+                    other => {
+                        return Err(DecodeError::Internal(format!(
+                            "hidden committer {pstar} had top {other:?}"
+                        )))
+                    }
+                }
+            } else if pre_len == 1 {
+                // (D1a) the batch is fully committed.
+                if st.pop_top(pstar) != Some(Command::Commit) {
+                    return Err(DecodeError::Internal(format!(
+                        "commit-enabled {pstar} had non-commit top"
+                    )));
+                }
+            }
+
+            // (D1c) the commit accesses the register owner's segment.
+            if let Some(owner) = m.config().layout.owner(r) {
+                if owner != pstar
+                    && matches!(st.top(owner), Some(Command::WaitLocalFinish(..)))
+                {
+                    st.with_top_mut(owner, |c| {
+                        if let Command::WaitLocalFinish(_, s) = c {
+                            s.insert(pstar);
+                        }
+                    });
+                }
+            }
+
+            steps.push(DecodedStep { elem: SchedElem::commit(pstar, r), event, hidden });
+            note_empties(&st, &mut stack_empty_at, steps.len());
+            continue 'outer;
+        }
+
+        // ---- Rule D2: a read/write/return/fence step. ----
+        let mut chosen: Option<ProcId> = None;
+        for i in 0..n {
+            let p = ProcId::from(i);
+            if is_non_commit_enabled(&m, &st, p, opts)? {
+                chosen = Some(p);
+                break;
+            }
+        }
+        let Some(p) = chosen else {
+            break 'outer; // (D3) all waiting or finished.
+        };
+
+        let event = match m.step(SchedElem::op(p)) {
+            StepOutcome::Stepped(e) => e,
+            StepOutcome::NoOp => {
+                return Err(DecodeError::Internal(format!("enabled {p} did not step")))
+            }
+        };
+
+        // (D2a) pop `proceed` once p is poised at a fence/return/done.
+        if matches!(m.poised(p), Poised::Fence | Poised::Return(_) | Poised::Done)
+            && st.pop_top(p) != Some(Command::Proceed) {
+                return Err(DecodeError::Internal(format!("{p} stepped without proceed on top")));
+            }
+
+        match &event.kind {
+            EventKind::Return { .. } => {
+                // (D2b) processes waiting for p's termination.
+                for qi in 0..n {
+                    let q = ProcId::from(qi);
+                    if q == p {
+                        continue;
+                    }
+                    let pop = match st.top(q) {
+                        Some(Command::WaitReadFinish(_, s))
+                        | Some(Command::WaitLocalFinish(_, s)) => s.contains(&p),
+                        _ => false,
+                    };
+                    if pop {
+                        match st.pop_top(q).expect("just inspected") {
+                            Command::WaitReadFinish(k, s) => {
+                                if k > 1 {
+                                    st.push_top(q, Command::WaitReadFinish(k - 1, s));
+                                }
+                            }
+                            Command::WaitLocalFinish(k, s) => {
+                                if k > 1 {
+                                    st.push_top(q, Command::WaitLocalFinish(k - 1, s));
+                                }
+                            }
+                            _ => unreachable!("matched wait command above"),
+                        }
+                    }
+                }
+            }
+            EventKind::Read { reg, from_memory: true, .. } => {
+                let reg = *reg;
+                // (D2c) readers of registers another process is about to
+                // commit.
+                for qi in 0..n {
+                    let q = ProcId::from(qi);
+                    if q == p {
+                        continue;
+                    }
+                    if matches!(st.top(q), Some(Command::WaitReadFinish(..)))
+                        && m.buffer(q).contains(reg)
+                    {
+                        st.with_top_mut(q, |c| {
+                            if let Command::WaitReadFinish(_, s) = c {
+                                s.insert(p);
+                            }
+                        });
+                    }
+                }
+                // (D2d) readers of q's memory segment.
+                if let Some(owner) = m.config().layout.owner(reg) {
+                    if owner != p
+                        && matches!(st.top(owner), Some(Command::WaitLocalFinish(..)))
+                    {
+                        st.with_top_mut(owner, |c| {
+                            if let Command::WaitLocalFinish(_, s) = c {
+                                s.insert(p);
+                            }
+                        });
+                    }
+                }
+            }
+            _ => {} // (D2e)
+        }
+
+        steps.push(DecodedStep { elem: SchedElem::op(p), event, hidden: false });
+        note_empties(&st, &mut stack_empty_at, steps.len());
+    }
+
+    Ok(DecodeOutcome { machine: m, stacks: st, steps, stack_empty_at })
+}
+
+fn note_empties(st: &Stacks, stack_empty_at: &mut [Option<usize>], now: usize) {
+    for (i, slot) in stack_empty_at.iter_mut().enumerate() {
+        if slot.is_none() && st.is_empty_of(ProcId::from(i)) {
+            *slot = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simlocks::{build_ordering, LockKind, ObjectKind};
+    use wbmem::MachineConfig;
+
+    fn tagged_machine(inst: &simlocks::OrderingInstance) -> Machine<VmProc> {
+        let cfg = MachineConfig::new(wbmem::MemoryModel::Pso, inst.layout.clone())
+            .with_tagged_writes();
+        inst.machine_from(cfg)
+    }
+
+    #[test]
+    fn empty_stacks_decode_to_the_empty_execution() {
+        let inst = build_ordering(LockKind::Bakery, 3, ObjectKind::Counter);
+        let m = tagged_machine(&inst);
+        let out = decode(&m, &Stacks::new(3), &DecodeOptions::default()).unwrap();
+        assert!(out.steps.is_empty());
+        assert_eq!(out.stack_empty_at, vec![Some(0); 3]);
+    }
+
+    #[test]
+    fn single_proceed_runs_to_the_first_fence_with_pending_writes() {
+        // Bakery p0: write C[0] (buffered), then fence with non-empty
+        // buffer -> must stop there. The proceed command should carry p0
+        // through exactly one step (the write).
+        let inst = build_ordering(LockKind::Bakery, 2, ObjectKind::Counter);
+        let m = tagged_machine(&inst);
+        let mut st = Stacks::new(2);
+        st.push_bottom(ProcId(0), Command::Proceed);
+        let out = decode(&m, &st, &DecodeOptions::default()).unwrap();
+        assert_eq!(out.steps.len(), 1);
+        assert!(matches!(out.steps[0].event.kind, EventKind::Write { .. }));
+        assert!(matches!(out.machine.poised(ProcId(0)), Poised::Fence));
+        assert!(!out.machine.buffer_is_empty(ProcId(0)));
+        // The proceed was consumed when p0 became poised at the fence.
+        assert!(out.stacks.is_empty_of(ProcId(0)));
+        assert_eq!(out.stack_empty_at[0], Some(1));
+    }
+
+    #[test]
+    fn proceed_then_commit_advances_through_the_fence() {
+        let inst = build_ordering(LockKind::Bakery, 2, ObjectKind::Counter);
+        let m = tagged_machine(&inst);
+        let mut st = Stacks::new(2);
+        st.push_bottom(ProcId(0), Command::Proceed);
+        st.push_bottom(ProcId(0), Command::Commit);
+        st.push_bottom(ProcId(0), Command::Proceed);
+        let out = decode(&m, &st, &DecodeOptions::default()).unwrap();
+        // write C0; commit C0; fence; then proceed through the doorway scan
+        // (2 reads of T) until the next fence with pending writes (ticket
+        // batch: T[0] := 1 after writing C[0] := 0? order: T then C — two
+        // buffered writes).
+        let kinds: Vec<&EventKind> = out.steps.iter().map(|s| &s.event.kind).collect();
+        assert!(matches!(kinds[0], EventKind::Write { .. }));
+        assert!(matches!(kinds[1], EventKind::Commit { .. }));
+        assert!(matches!(kinds[2], EventKind::Fence));
+        // After the scan, p0 is poised at the ticket fence with T buffered.
+        assert!(matches!(out.machine.poised(ProcId(0)), Poised::Fence));
+        assert!(!out.machine.buffer_is_empty(ProcId(0)));
+    }
+
+    /// The exact command script for one solo Bakery-2 counter passage:
+    /// five write batches (doorway open, ticket, doorway close, counter,
+    /// release), each `proceed` + `commit`, then three `proceed`s for the
+    /// release fence, the final fence, and the return step.
+    fn bakery2_full_script() -> Vec<Command> {
+        let mut v = Vec::new();
+        for _ in 0..5 {
+            v.push(Command::Proceed);
+            v.push(Command::Commit);
+        }
+        v.extend([Command::Proceed, Command::Proceed, Command::Proceed]);
+        v
+    }
+
+    /// A raw two-process instance where both write one shared register and
+    /// return fixed ranks (p0 → 0, p1 → 1).
+    fn two_writer_instance() -> simlocks::OrderingInstance {
+        use std::sync::Arc;
+        let mut alloc = simlocks::RegAlloc::new();
+        let _shared = alloc.alloc(None); // R0
+        let mk = |who: i64| {
+            let mut asm = fencevm::Asm::new(format!("writer{who}"));
+            asm.write(0i64, who + 1);
+            asm.fence();
+            asm.ret(who);
+            Arc::new(asm.assemble())
+        };
+        simlocks::OrderingInstance {
+            name: "two-writer".into(),
+            n: 2,
+            programs: vec![mk(0), mk(1)],
+            layout: alloc.into_layout(),
+            fence_sites: 0,
+        }
+    }
+
+    #[test]
+    fn return_rank_gate_blocks_wrong_rank() {
+        // p1 returns the constant 1, but running alone it would be the
+        // first to finish — rank 0. The gate `return(r) ⟺ r = NbFinal`
+        // must park it forever at its return step.
+        let inst = two_writer_instance();
+        let m = tagged_machine(&inst);
+        let mut st = Stacks::new(2);
+        for cmd in [Command::Proceed, Command::Commit, Command::Proceed, Command::Proceed] {
+            st.push_bottom(ProcId(1), cmd);
+        }
+        let out = decode(&m, &st, &DecodeOptions::default()).unwrap();
+        assert!(!out.machine.is_done(ProcId(1)), "the rank gate must block return(1)");
+        assert!(matches!(out.machine.poised(ProcId(1)), Poised::Return(1)));
+
+        // Whereas a full script for bakery-p1 alone returns rank 0: the
+        // counter is an ordering object, ranks follow completion order.
+        let inst = build_ordering(LockKind::Bakery, 2, ObjectKind::Counter);
+        let m = tagged_machine(&inst);
+        let mut st = Stacks::new(2);
+        for cmd in bakery2_full_script() {
+            st.push_bottom(ProcId(1), cmd);
+        }
+        let out = decode(&m, &st, &DecodeOptions::default()).unwrap();
+        assert_eq!(out.machine.return_value(ProcId(1)), Some(0));
+    }
+
+    #[test]
+    fn hidden_commit_interleaves_before_visible_commit() {
+        // p0 buffers a write to R0 and carries wait-hidden-commit(1); p1
+        // buffers its own write to R0 and carries commit. When p1 becomes
+        // commit enabled on R0, rule D1 makes p0 commit *first* (hidden),
+        // and p1's visible commit immediately overwrites it.
+        let inst = two_writer_instance();
+        let m = tagged_machine(&inst);
+        let mut st = Stacks::new(2);
+        for cmd in [
+            Command::Proceed,
+            Command::WaitHiddenCommit(1),
+            Command::Proceed,
+            Command::Proceed,
+        ] {
+            st.push_bottom(ProcId(0), cmd);
+        }
+        for cmd in [Command::Proceed, Command::Commit, Command::Proceed, Command::Proceed] {
+            st.push_bottom(ProcId(1), cmd);
+        }
+        let out = decode(&m, &st, &DecodeOptions::default()).unwrap();
+        assert!(out.machine.all_done());
+        assert_eq!(out.machine.return_value(ProcId(0)), Some(0));
+        assert_eq!(out.machine.return_value(ProcId(1)), Some(1));
+        // p1's value survives; p0's write was hidden.
+        assert_eq!(out.machine.memory(wbmem::RegId(0)).payload(), 2);
+        let commits: Vec<(&DecodedStep, u64)> = out
+            .steps
+            .iter()
+            .filter_map(|s| match s.event.kind {
+                EventKind::Commit { value, .. } => Some((s, value.payload())),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(commits.len(), 2);
+        assert!(commits[0].0.hidden, "p0's commit is hidden");
+        assert_eq!(commits[0].1, 1);
+        assert!(!commits[1].0.hidden, "p1's commit is visible");
+        assert_eq!(commits[1].1, 2);
+        assert_eq!(
+            commits[0].0.event.proc,
+            ProcId(0),
+            "the hidden commit belongs to the waiting process"
+        );
+    }
+
+    #[test]
+    fn wait_read_finish_protects_a_reader_then_releases_the_writer() {
+        // p0 buffers a write to R0 and must wait (wait-read-finish) for one
+        // early reader of R0 to finish before committing. p1 reads R0 from
+        // memory (D2c adds it to the set), finishes (D2b decrements), and
+        // only then does p0's commit land.
+        use std::sync::Arc;
+        let mut alloc = simlocks::RegAlloc::new();
+        let _r0 = alloc.alloc(None);
+        let writer = {
+            let mut asm = fencevm::Asm::new("writer");
+            asm.write(0i64, 7i64);
+            asm.fence();
+            asm.ret(1i64);
+            Arc::new(asm.assemble())
+        };
+        let reader = {
+            let mut asm = fencevm::Asm::new("reader");
+            let t = asm.local("t");
+            asm.read(0i64, t);
+            asm.fence();
+            asm.ret(0i64);
+            Arc::new(asm.assemble())
+        };
+        let inst = simlocks::OrderingInstance {
+            name: "writer-reader".into(),
+            n: 2,
+            programs: vec![writer, reader],
+            layout: alloc.into_layout(),
+            fence_sites: 0,
+        };
+        let m = tagged_machine(&inst);
+
+        let mut st = Stacks::new(2);
+        for cmd in [
+            Command::Proceed,
+            Command::WaitReadFinish(1, Default::default()),
+            Command::Commit,
+            Command::Proceed,
+            Command::Proceed,
+        ] {
+            st.push_bottom(ProcId(0), cmd);
+        }
+        for cmd in [Command::Proceed, Command::Proceed, Command::Proceed] {
+            st.push_bottom(ProcId(1), cmd);
+        }
+        let out = decode(&m, &st, &DecodeOptions::default()).unwrap();
+        assert!(out.machine.all_done());
+        assert_eq!(out.machine.return_value(ProcId(0)), Some(1));
+        assert_eq!(out.machine.return_value(ProcId(1)), Some(0));
+
+        // The reader's memory read saw the initial value (the write was
+        // still buffered), and the commit landed strictly after the reader
+        // returned.
+        let read_at = out
+            .steps
+            .iter()
+            .position(|s| {
+                matches!(s.event.kind,
+                    EventKind::Read { reg, from_memory: true, value, .. }
+                        if reg == wbmem::RegId(0) && value.is_bot())
+            })
+            .expect("protected read exists");
+        let reader_ret = out
+            .steps
+            .iter()
+            .position(|s| {
+                s.event.proc == ProcId(1) && matches!(s.event.kind, EventKind::Return { .. })
+            })
+            .expect("reader returns");
+        let commit_at = out
+            .steps
+            .iter()
+            .position(|s| {
+                s.event.proc == ProcId(0)
+                    && matches!(s.event.kind, EventKind::Commit { reg, .. } if reg == wbmem::RegId(0))
+            })
+            .expect("writer commits");
+        assert!(read_at < reader_ret && reader_ret < commit_at);
+    }
+
+    #[test]
+    fn wait_local_finish_holds_a_process_back() {
+        // p1 must wait for 1 accessor of its segment to finish before its
+        // first step. Give p0 a full budget; p0's doorway reads T[1] (in
+        // p1's segment), so p0 is the accessor; p1 should take no step
+        // until p0 returns, then run with its own budget.
+        let inst = build_ordering(LockKind::Bakery, 2, ObjectKind::Counter);
+        let m = tagged_machine(&inst);
+        let mut st = Stacks::new(2);
+        st.push_bottom(ProcId(1), Command::WaitLocalFinish(1, Default::default()));
+        for cmd in bakery2_full_script() {
+            st.push_bottom(ProcId(0), cmd);
+        }
+        for cmd in bakery2_full_script() {
+            st.push_bottom(ProcId(1), cmd);
+        }
+        let out = decode(&m, &st, &DecodeOptions::default()).unwrap();
+        assert!(out.machine.is_done(ProcId(0)));
+        assert!(out.machine.is_done(ProcId(1)));
+        assert_eq!(out.machine.return_value(ProcId(0)), Some(0));
+        assert_eq!(out.machine.return_value(ProcId(1)), Some(1));
+        // p1's first step must come after p0's return step.
+        let p0_return = out
+            .steps
+            .iter()
+            .position(|s| {
+                s.event.proc == ProcId(0) && matches!(s.event.kind, EventKind::Return { .. })
+            })
+            .expect("p0 returns");
+        let p1_first = out
+            .steps
+            .iter()
+            .position(|s| s.event.proc == ProcId(1))
+            .expect("p1 steps");
+        assert!(p1_first > p0_return, "p1 stepped at {p1_first}, p0 returned at {p0_return}");
+    }
+}

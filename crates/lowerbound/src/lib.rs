@@ -1,0 +1,72 @@
+//! # lowerbound — the paper's Section-5 machinery, executable
+//!
+//! The heart of *“Trading Fences with RMRs and Separating Memory Models”*
+//! is an information-theoretic lower bound: for each permutation `π` of the
+//! `n` processes, a canonical execution `E_π` of any *ordering algorithm*
+//! is constructed and encoded as per-process **command stacks** such that
+//!
+//! * the number of commands is `O(β(E_π))` (fence steps),
+//! * the total command value is `O(ρ(E_π))` (remote steps),
+//! * the code has `O(β·(log(ρ/β) + 1))` bits, and
+//! * distinct permutations yield distinct codes — so some code has
+//!   `≥ log₂ n! = Ω(n log n)` bits, forcing
+//!   `β(E)·(log(ρ(E)/β(E)) + 1) ∈ Ω(n log n)` (Theorem 4.2).
+//!
+//! This crate implements the whole pipeline, not just its statement:
+//!
+//! ```text
+//!   π ──encode──▶ stacks ──serialize──▶ bits
+//!                   ▲                     │
+//!                   └──── deserialize ────┘
+//!   stacks ──decode──▶ E_π ──return values──▶ π   (injectivity, (I2))
+//! ```
+//!
+//! * [`decode()`](decode()) — decoding rules **D1–D3** (Section 5.1): an extended
+//!   configuration (machine + stacks) deterministically unrolls into an
+//!   execution.
+//! * [`encode_permutation`] — encoding rules **E1–E2b** (Section 5.2): the
+//!   iterative construction of the stacks for a permutation.
+//! * [`bits`] — an actual bit-string codec (3-bit tags + Elias-γ counters)
+//!   with the analytic length bound for comparison.
+//! * [`invariants`] — executable checks of Lemma 5.1 (I2/I4/I6/I10) and the
+//!   quantitative Lemmas 5.3–5.11.
+//!
+//! ## Example: round-trip a permutation through bits
+//!
+//! ```
+//! use lowerbound::{encode_permutation, decode, proof_machine, EncodeOptions,
+//!                  DecodeOptions, bits};
+//! use simlocks::{build_ordering, LockKind, ObjectKind};
+//!
+//! let inst = build_ordering(LockKind::Bakery, 3, ObjectKind::Counter);
+//! let pi = vec![2, 0, 1];
+//! let enc = encode_permutation(&inst, &pi, &EncodeOptions::default()).unwrap();
+//!
+//! // The stacks are a real bit code …
+//! let code = bits::serialize_stacks(&enc.stacks);
+//! let back = bits::deserialize_stacks(&code, 3).unwrap();
+//!
+//! // … and decoding them replays E_π, whose return values reveal π.
+//! let out = decode(&proof_machine(&inst), &back, &DecodeOptions::default()).unwrap();
+//! let recovered = lowerbound::recover_permutation(&out.machine);
+//! assert_eq!(recovered, pi);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod codebook;
+pub mod command;
+pub mod decode;
+pub mod encode;
+pub mod invariants;
+
+pub use bits::{analytic_bound_bits, deserialize_stacks, log2_factorial, serialize_stacks,
+               BitString};
+pub use codebook::{build_codebook, Codebook};
+pub use command::{Command, Stacks};
+pub use decode::{decode, DecodeError, DecodeOptions, DecodeOutcome, DecodedStep};
+pub use encode::{encode_permutation, proof_machine, recover_permutation, EncodeError,
+                 EncodeOptions, Encoding};
+pub use invariants::check_all;

@@ -1,0 +1,120 @@
+//! Property-based tests for the lower-bound machinery: codec round trips
+//! on arbitrary stacks, and full π → stacks → bits → E_π → π round trips
+//! on random permutations.
+
+use proptest::prelude::*;
+
+use lowerbound::{
+    decode, deserialize_stacks, encode_permutation, proof_machine, recover_permutation,
+    serialize_stacks, Command, DecodeOptions, EncodeOptions, Stacks,
+};
+use simlocks::{build_ordering, LockKind, ObjectKind};
+use wbmem::ProcId;
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        Just(Command::Proceed),
+        Just(Command::Commit),
+        (1u64..10_000).prop_map(Command::WaitHiddenCommit),
+        (1u64..10_000).prop_map(|k| Command::WaitReadFinish(k, Default::default())),
+        (1u64..10_000).prop_map(|k| Command::WaitLocalFinish(k, Default::default())),
+    ]
+}
+
+fn arb_stacks() -> impl Strategy<Value = Stacks> {
+    (1usize..6)
+        .prop_flat_map(|n| {
+            prop::collection::vec(prop::collection::vec(arb_command(), 0..20), n)
+        })
+        .prop_map(|per_proc| {
+            let mut st = Stacks::new(per_proc.len());
+            for (i, cmds) in per_proc.into_iter().enumerate() {
+                for c in cmds {
+                    st.push_bottom(ProcId::from(i), c);
+                }
+            }
+            st
+        })
+}
+
+proptest! {
+    /// Arbitrary stacks serialize and deserialize losslessly.
+    #[test]
+    fn codec_round_trips_arbitrary_stacks(st in arb_stacks()) {
+        let n = st.n();
+        let bits = serialize_stacks(&st);
+        let back = deserialize_stacks(&bits, n).expect("round trip");
+        prop_assert_eq!(back, st);
+    }
+
+    /// Code length is monotone in content: appending a command never
+    /// shortens the code.
+    #[test]
+    fn appending_commands_grows_the_code(st in arb_stacks(), cmd in arb_command()) {
+        let before = serialize_stacks(&st).len();
+        let mut bigger = st.clone();
+        bigger.push_bottom(ProcId(0), cmd);
+        let after = serialize_stacks(&bigger).len();
+        prop_assert!(after > before);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Decoding is a pure function of (machine, stacks): two runs agree on
+    /// every step and on the final configuration.
+    #[test]
+    fn decoding_is_deterministic(seed in 0u64..64) {
+        let inst = build_ordering(LockKind::Bakery, 3, ObjectKind::Counter);
+        let mut pi: Vec<usize> = (0..3).collect();
+        pi.rotate_left((seed % 3) as usize);
+        let enc = encode_permutation(&inst, &pi, &EncodeOptions::default())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let m = proof_machine(&inst);
+        let a = decode(&m, &enc.stacks, &DecodeOptions::default()).unwrap();
+        let b = decode(&m, &enc.stacks, &DecodeOptions::default()).unwrap();
+        prop_assert_eq!(a.steps.len(), b.steps.len());
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            prop_assert_eq!(&x.event, &y.event);
+            prop_assert_eq!(x.elem, y.elem);
+            prop_assert_eq!(x.hidden, y.hidden);
+        }
+        prop_assert_eq!(a.machine.state_key(), b.machine.state_key());
+        prop_assert_eq!(a.stack_empty_at, b.stack_empty_at);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Full pipeline on random permutations: encode, serialize, decode,
+    /// recover — for the Bakery counter.
+    #[test]
+    fn full_round_trip_random_permutations(
+        n in 2usize..6,
+        shuffle in prop::collection::vec(any::<prop::sample::Index>(), 16),
+    ) {
+        let mut pi: Vec<usize> = (0..n).collect();
+        for (i, idx) in shuffle.iter().enumerate().take(n.saturating_sub(1)) {
+            let j = i + idx.index(n - i);
+            pi.swap(i, j);
+        }
+        let inst = build_ordering(LockKind::Bakery, n, ObjectKind::Counter);
+        let enc = encode_permutation(&inst, &pi, &EncodeOptions::default())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(&enc.recovered_permutation(), &pi);
+
+        let bits = serialize_stacks(&enc.stacks);
+        let back = deserialize_stacks(&bits, n).expect("codec");
+        let out = decode(&proof_machine(&inst), &back, &DecodeOptions::default())
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        prop_assert_eq!(recover_permutation(&out.machine), pi);
+
+        // Quantitative relations (Lemmas 5.3-5.11, loose forms).
+        prop_assert!(enc.commands as u64 >= enc.beta / 8);
+        prop_assert!(enc.value_sum >= enc.commands as u64);
+        let violations = lowerbound::check_all(&enc);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+}

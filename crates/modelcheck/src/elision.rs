@@ -1,0 +1,115 @@
+//! Fence-elision search: which fence sites does each memory model actually
+//! need?
+//!
+//! For a lock family, enumerate fence masks, model-check each under each
+//! memory model, and tabulate. This regenerates the paper's qualitative
+//! separation story: under SC nothing is needed, under TSO a single
+//! store–load fence suffices for Peterson, and under PSO the write-ordering
+//! fences become load-bearing.
+
+use simlocks::{build_mutex, FenceMask, LockKind};
+use wbmem::MemoryModel;
+
+use crate::checker::{check, CheckConfig};
+
+/// One row of the elision table: a fence placement and its verdict under
+/// each model.
+#[derive(Clone, Debug)]
+pub struct ElisionRow {
+    /// The fence placement.
+    pub mask: FenceMask,
+    /// Human-readable mask description.
+    pub mask_desc: String,
+    /// Number of fence sites enabled.
+    pub enabled: u32,
+    /// `(model, verdict label, states explored)` per model checked.
+    pub verdicts: Vec<(MemoryModel, &'static str, usize)>,
+}
+
+impl ElisionRow {
+    /// Whether this placement was fully correct under `model`.
+    #[must_use]
+    pub fn ok_under(&self, model: MemoryModel) -> bool {
+        self.verdicts.iter().any(|&(m, label, _)| m == model && label == "ok")
+    }
+}
+
+/// Model-check every mask in `masks` for `kind` with `n` processes under
+/// each of `models`.
+#[must_use]
+pub fn elision_table(
+    kind: LockKind,
+    n: usize,
+    masks: &[FenceMask],
+    models: &[MemoryModel],
+    config: &CheckConfig,
+) -> Vec<ElisionRow> {
+    let sites = build_mutex(kind, n, FenceMask::ALL).fence_sites;
+    masks
+        .iter()
+        .map(|&mask| {
+            let inst = build_mutex(kind, n, mask);
+            let verdicts = models
+                .iter()
+                .map(|&model| {
+                    let v = check(&inst.machine(model), config);
+                    (model, v.label(), v.stats().states)
+                })
+                .collect();
+            ElisionRow {
+                mask,
+                mask_desc: mask.describe(sites),
+                enabled: mask.count_enabled(sites),
+                verdicts,
+            }
+        })
+        .collect()
+}
+
+/// The minimum number of enabled fence sites over rows correct under
+/// `model`, if any placement is.
+#[must_use]
+pub fn minimal_fences(rows: &[ElisionRow], model: MemoryModel) -> Option<u32> {
+    rows.iter().filter(|r| r.ok_under(model)).map(|r| r.enabled).min()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peterson_elision_separates_tso_from_pso() {
+        let masks = FenceMask::enumerate(3);
+        let models = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso];
+        let rows = elision_table(
+            LockKind::Peterson,
+            2,
+            &masks,
+            &models,
+            &CheckConfig { check_termination: false, ..CheckConfig::default() },
+        );
+        assert_eq!(rows.len(), 8);
+
+        // SC never needs an acquire fence.
+        assert_eq!(minimal_fences(&rows, MemoryModel::Sc), Some(0));
+
+        // TSO and PSO minimums differ in *acquire* fences: find the minimal
+        // count of acquire-side fences (sites 0 and 1) among correct rows.
+        let min_acquire = |model: MemoryModel| {
+            rows.iter()
+                .filter(|r| r.ok_under(model))
+                .map(|r| u32::from(r.mask.has(0)) + u32::from(r.mask.has(1)))
+                .min()
+        };
+        assert_eq!(min_acquire(MemoryModel::Tso), Some(1), "TSO: one store-load fence");
+        assert_eq!(min_acquire(MemoryModel::Pso), Some(2), "PSO: both write fences");
+
+        // And the specific witness: {victim fence} alone is TSO-ok, PSO-bad.
+        let witness = rows
+            .iter()
+            .find(|r| r.mask.has(1) && !r.mask.has(0))
+            .expect("witness row exists");
+        assert!(witness.ok_under(MemoryModel::Tso));
+        assert!(!witness.ok_under(MemoryModel::Pso));
+    }
+}

@@ -1,0 +1,108 @@
+//! Shared-register allocation with DSM segment assignment.
+
+use wbmem::{MemoryLayout, ProcId, RegId};
+
+/// Hands out contiguous register ids and records which process's memory
+/// segment each register lives in. All lock instances participating in one
+/// algorithm instance must draw from the same allocator so their address
+/// spaces don't collide.
+#[derive(Debug, Default)]
+pub struct RegAlloc {
+    next: u32,
+    layout: MemoryLayout,
+}
+
+impl RegAlloc {
+    /// A fresh allocator starting at register 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate one register, optionally placing it in `owner`'s segment.
+    pub fn alloc(&mut self, owner: Option<ProcId>) -> RegId {
+        let reg = RegId(self.next);
+        self.next = self.next.checked_add(1).expect("register space exhausted");
+        if let Some(p) = owner {
+            self.layout.assign(reg, p);
+        }
+        reg
+    }
+
+    /// Allocate `len` contiguous registers; `owner(i)` names the segment of
+    /// the `i`-th. Returns the base register (element `i` is `base + i`).
+    pub fn alloc_array(
+        &mut self,
+        len: usize,
+        mut owner: impl FnMut(usize) -> Option<ProcId>,
+    ) -> RegId {
+        assert!(len > 0, "zero-length register array");
+        let base = RegId(self.next);
+        for i in 0..len {
+            let _ = self.alloc(owner(i));
+        }
+        debug_assert_eq!(base.0 + len as u32, self.next);
+        base
+    }
+
+    /// Number of registers allocated so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.next as usize
+    }
+
+    /// Whether nothing has been allocated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.next == 0
+    }
+
+    /// A snapshot of the segment layout accumulated so far.
+    #[must_use]
+    pub fn layout(&self) -> MemoryLayout {
+        self.layout.clone()
+    }
+
+    /// Consume the allocator, yielding the final layout.
+    #[must_use]
+    pub fn into_layout(self) -> MemoryLayout {
+        self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocation() {
+        let mut a = RegAlloc::new();
+        assert!(a.is_empty());
+        let r0 = a.alloc(None);
+        let r1 = a.alloc(Some(ProcId(3)));
+        assert_eq!((r0, r1), (RegId(0), RegId(1)));
+        assert_eq!(a.len(), 2);
+        let layout = a.into_layout();
+        assert_eq!(layout.owner(r0), None);
+        assert_eq!(layout.owner(r1), Some(ProcId(3)));
+    }
+
+    #[test]
+    fn arrays_are_contiguous_with_per_slot_owners() {
+        let mut a = RegAlloc::new();
+        let _pad = a.alloc(None);
+        let base = a.alloc_array(3, |i| Some(ProcId::from(i)));
+        assert_eq!(base, RegId(1));
+        assert_eq!(a.len(), 4);
+        let layout = a.layout();
+        for i in 0..3u32 {
+            assert_eq!(layout.owner(RegId(base.0 + i)), Some(ProcId(i)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_array_rejected() {
+        RegAlloc::new().alloc_array(0, |_| None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Fence-site masks for ablation experiments.
+//!
+//! Every lock algorithm in this crate numbers its static fence sites (e.g.
+//! Bakery's four: after each of the three acquire writes and after the
+//! release write). A [`FenceMask`] selects which sites are actually emitted,
+//! letting experiment E8 search for the minimal fence placement that is
+//! still correct under each memory model. Tree locks apply the same
+//! base-lock mask at every node.
+
+use fencevm::Asm;
+
+/// A set of enabled fence sites (bit `i` = site `i` emitted).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct FenceMask(u64);
+
+impl FenceMask {
+    /// Every site enabled (the algorithms as published).
+    pub const ALL: FenceMask = FenceMask(u64::MAX);
+
+    /// Every site disabled.
+    pub const NONE: FenceMask = FenceMask(0);
+
+    /// A mask enabling exactly `sites`.
+    #[must_use]
+    pub fn only(sites: &[u32]) -> Self {
+        let mut bits = 0;
+        for &s in sites {
+            assert!(s < 64, "fence site {s} out of range");
+            bits |= 1 << s;
+        }
+        FenceMask(bits)
+    }
+
+    /// This mask with site `site` removed.
+    #[must_use]
+    pub fn without(self, site: u32) -> Self {
+        assert!(site < 64, "fence site {site} out of range");
+        FenceMask(self.0 & !(1 << site))
+    }
+
+    /// This mask with site `site` added.
+    #[must_use]
+    pub fn with(self, site: u32) -> Self {
+        assert!(site < 64, "fence site {site} out of range");
+        FenceMask(self.0 | (1 << site))
+    }
+
+    /// Whether site `site` is enabled.
+    #[must_use]
+    pub fn has(self, site: u32) -> bool {
+        site < 64 && self.0 & (1 << site) != 0
+    }
+
+    /// Emit a fence at `site` if enabled.
+    pub fn emit(self, asm: &mut Asm, site: u32) {
+        if self.has(site) {
+            asm.fence();
+        }
+    }
+
+    /// Enumerate all `2^sites` masks over the first `sites` sites
+    /// (for exhaustive elision search; `sites ≤ 20` to stay sane).
+    #[must_use]
+    pub fn enumerate(sites: u32) -> Vec<FenceMask> {
+        assert!(sites <= 20, "too many sites to enumerate");
+        (0..(1u64 << sites)).map(FenceMask).collect()
+    }
+
+    /// Number of enabled sites among the first `sites`.
+    #[must_use]
+    pub fn count_enabled(self, sites: u32) -> u32 {
+        let mask = if sites >= 64 { u64::MAX } else { (1u64 << sites) - 1 };
+        (self.0 & mask).count_ones()
+    }
+
+    /// Render the mask over the first `sites` sites, e.g. `[f0 f2]`.
+    #[must_use]
+    pub fn describe(self, sites: u32) -> String {
+        let on: Vec<String> =
+            (0..sites).filter(|&s| self.has(s)).map(|s| format!("f{s}")).collect();
+        format!("[{}]", on.join(" "))
+    }
+}
+
+impl Default for FenceMask {
+    fn default() -> Self {
+        FenceMask::ALL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_and_none() {
+        assert!(FenceMask::ALL.has(0));
+        assert!(FenceMask::ALL.has(63));
+        assert!(!FenceMask::NONE.has(0));
+    }
+
+    #[test]
+    fn without_and_with() {
+        let m = FenceMask::ALL.without(2);
+        assert!(m.has(1));
+        assert!(!m.has(2));
+        assert!(m.with(2).has(2));
+    }
+
+    #[test]
+    fn only_selects_exactly() {
+        let m = FenceMask::only(&[0, 3]);
+        assert!(m.has(0));
+        assert!(!m.has(1));
+        assert!(m.has(3));
+        assert_eq!(m.count_enabled(4), 2);
+    }
+
+    #[test]
+    fn enumerate_covers_all_subsets() {
+        let masks = FenceMask::enumerate(3);
+        assert_eq!(masks.len(), 8);
+        assert!(masks.contains(&FenceMask::NONE));
+        assert!(masks.contains(&FenceMask::only(&[0, 1, 2])));
+    }
+
+    #[test]
+    fn emit_respects_mask() {
+        let mut asm = Asm::new("t");
+        FenceMask::only(&[1]).emit(&mut asm, 0);
+        assert_eq!(asm.len(), 0);
+        FenceMask::only(&[1]).emit(&mut asm, 1);
+        assert_eq!(asm.len(), 1);
+    }
+
+    #[test]
+    fn describe_lists_enabled() {
+        assert_eq!(FenceMask::only(&[0, 2]).describe(3), "[f0 f2]");
+    }
+}

@@ -1,0 +1,186 @@
+//! The Filter lock (Peterson's n-process generalization) — a point
+//! strictly *above* the tradeoff curve.
+//!
+//! The lower bound says `f·(log(r/f)+1) ∈ Ω(log n)`; it does not promise
+//! that every algorithm sits near the bound. Filter is the classic
+//! cautionary example: `n−1` elimination levels, each a Peterson round, so
+//! a passage costs **Θ(n) fences *and* Θ(n) RMRs even uncontended**
+//! (Θ(n²) total work under contention) — a product of Θ(n), exponentially
+//! above the Θ(log n) floor that `GT_f` achieves. Experiment E3 plots it
+//! against the optimal family.
+//!
+//! ```text
+//! Acquire(i):
+//!   for ℓ in 1..n:
+//!     write(level[i], ℓ); fence        // site 0 (per level)
+//!     write(victim[ℓ], 1+i); fence     // site 1 (per level)
+//!     wait until victim[ℓ] != 1+i or ∀k≠i: level[k] < ℓ
+//! Release(i):
+//!   write(level[i], 0); fence          // site 2
+//! ```
+
+use fencevm::{Asm, CondOp};
+use wbmem::ProcId;
+
+use crate::alloc::RegAlloc;
+use crate::fences::FenceMask;
+use crate::lock::LockAlgorithm;
+
+/// Fence site after each `level` write.
+pub const SITE_LEVEL: u32 = 0;
+/// Fence site after each `victim` write (the store–load fence per round).
+pub const SITE_VICTIM: u32 = 1;
+/// Fence site after the release write.
+pub const SITE_RELEASE: u32 = 2;
+
+/// A Filter lock for `n` processes.
+#[derive(Clone, Debug)]
+pub struct FilterLock {
+    n: usize,
+    level_base: i64,
+    victim_base: i64,
+    fences: FenceMask,
+}
+
+impl FilterLock {
+    /// Allocate `level[0..n]` (each in its process's segment) and
+    /// `victim[1..n]` (contended, unowned).
+    pub fn new(alloc: &mut RegAlloc, n: usize, fences: FenceMask) -> Self {
+        assert!(n >= 2, "filter needs at least two processes");
+        let level_base = alloc.alloc_array(n, |i| Some(ProcId::from(i)));
+        let victim_base = alloc.alloc_array(n, |_| None); // index 0 unused
+        FilterLock {
+            n,
+            level_base: i64::from(level_base.0),
+            victim_base: i64::from(victim_base.0),
+            fences,
+        }
+    }
+}
+
+impl LockAlgorithm for FilterLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        format!("filter[{}]", self.n)
+    }
+
+    fn emit_acquire(&self, asm: &mut Asm, who: usize) {
+        assert!(who < self.n, "process {who} out of range");
+        let me = 1 + who as i64;
+        let n = self.n as i64;
+        let t = asm.local("flt_t");
+        let k = asm.local("flt_k");
+        let addr = asm.local("flt_addr");
+
+        for level in 1..self.n as i64 {
+            asm.write(self.level_base + who as i64, level);
+            self.fences.emit(asm, SITE_LEVEL);
+            asm.write(self.victim_base + level, me);
+            self.fences.emit(asm, SITE_VICTIM);
+
+            let next_level = asm.label();
+            let spin = asm.here();
+            asm.read(self.victim_base + level, t);
+            asm.jmp_if(CondOp::Ne, t, me, next_level);
+            // Scan: anyone else at this level or above?
+            asm.mov(k, 0i64);
+            let scan = asm.here();
+            asm.jmp_if(CondOp::Ge, k, n, next_level);
+            let advance = asm.label();
+            asm.jmp_if(CondOp::Eq, k, who as i64, advance);
+            asm.add(addr, k, self.level_base);
+            asm.read(addr, t);
+            asm.jmp_if(CondOp::Ge, t, level, spin);
+            asm.bind(advance);
+            asm.add(k, k, 1i64);
+            asm.jmp(scan);
+            asm.bind(next_level);
+        }
+    }
+
+    fn emit_release(&self, asm: &mut Asm, who: usize) {
+        assert!(who < self.n, "process {who} out of range");
+        asm.write(self.level_base + who as i64, 0i64);
+        self.fences.emit(asm, SITE_RELEASE);
+    }
+
+    fn fence_sites(&self) -> u32 {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{build_mutex_programs, build_object, run_to_completion};
+    use crate::objects::ObjectKind;
+    use wbmem::{MemoryModel, ProcId, SoloOutcome};
+
+    fn counter_instance(n: usize) -> crate::instance::OrderingInstance {
+        let mut alloc = RegAlloc::new();
+        let lock = FilterLock::new(&mut alloc, n, FenceMask::ALL);
+        build_object(&lock, alloc, ObjectKind::Counter)
+    }
+
+    #[test]
+    fn solo_passage_costs_linear_fences_and_rmrs() {
+        for n in [2usize, 8, 32] {
+            let inst = counter_instance(n);
+            let mut m = inst.machine(MemoryModel::Pso);
+            let out = m.run_solo(ProcId(0), 1_000_000);
+            assert!(matches!(out, SoloOutcome::Terminates { .. }), "n={n}");
+            let c = m.counters().proc(0);
+            assert_eq!(
+                c.fences,
+                2 * (n as u64 - 1) + 3,
+                "2 per level + release + object + final (n={n})"
+            );
+            assert!(c.rmrs as usize >= 2 * (n - 1), "rmrs={} n={n}", c.rmrs);
+            assert!(c.rmrs as usize <= 5 * n + 8, "rmrs={} n={n}", c.rmrs);
+        }
+    }
+
+    #[test]
+    fn counter_is_ordering_and_completes() {
+        let inst = counter_instance(4);
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let rets = inst.run_sequential(model, 1_000_000);
+            assert_eq!(rets, vec![0, 1, 2, 3], "under {model}");
+            let mut m = inst.machine(model);
+            assert!(run_to_completion(&mut m, 50_000_000), "stuck under {model}");
+            let mut all: Vec<u64> = m.return_values().into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3], "under {model}");
+        }
+    }
+
+    #[test]
+    fn mutex_holds_under_round_robin() {
+        let mut alloc = RegAlloc::new();
+        let lock = FilterLock::new(&mut alloc, 3, FenceMask::ALL);
+        let built = build_mutex_programs(&lock, alloc);
+        let mut m = built.machine(MemoryModel::Pso);
+        let mut steps = 0;
+        while !m.all_done() && steps < 5_000_000 {
+            for i in 0..3 {
+                m.step(wbmem::SchedElem::op(ProcId::from(i)));
+                let in_cs = (0..3)
+                    .filter(|&j| m.annotation(ProcId::from(j)) == crate::ANNOT_IN_CS)
+                    .count();
+                assert!(in_cs <= 1, "mutex violated");
+            }
+            steps += 3;
+        }
+        assert!(m.all_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_process() {
+        let mut alloc = RegAlloc::new();
+        let _ = FilterLock::new(&mut alloc, 1, FenceMask::ALL);
+    }
+}

@@ -1,0 +1,271 @@
+//! The generalized tournament lock `GT_f` (Section 3, Figure 1): the whole
+//! tradeoff spectrum.
+//!
+//! For a fence budget `1 ≤ f`, the tree has height `f` and branching factor
+//! `b = ⌈n^(1/f)⌉` (the smallest `b` with `b^f ≥ n`). Every internal node is
+//! a `b`-slot [`Bakery`] lock; a process acquires the `f` node locks on the
+//! path from its leaf to the root, competing at each node in the slot named
+//! by the corresponding base-`b` digit of its id. Per passage:
+//!
+//! * fences: `4f` (three per Bakery acquire, one per release) — `O(f)`;
+//! * RMRs: `O(b)` per node — `O(f · n^(1/f))` total,
+//!
+//! matching the lower bound `f·(log(r/f)+1) ∈ Ω(log n)` for every `f`
+//! (equation (2) of the paper). `GT_1` *is* the Bakery lock; `GT_{log n}`
+//! is a tournament tree with two-slot Bakery nodes.
+//!
+//! **Slot-collapse safety.** At level `ℓ` (0 = deepest), process `i`
+//! competes at node `⌊i/b^(ℓ+1)⌋` in slot `⌊i/b^ℓ⌋ mod b`. Two processes
+//! share a `(node, slot)` pair at level `ℓ` exactly when they share the
+//! level-`ℓ-1` node — and then they hold that child's lock mutually
+//! exclusively, so a slot is never contended.
+
+use fencevm::Asm;
+use wbmem::ProcId;
+
+use crate::alloc::RegAlloc;
+use crate::bakery::Bakery;
+use crate::fences::FenceMask;
+use crate::lock::LockAlgorithm;
+
+/// A generalized tournament lock of height `f` with Bakery nodes.
+#[derive(Clone, Debug)]
+pub struct GtLock {
+    n: usize,
+    f: usize,
+    b: usize,
+    /// `levels[l]` holds the Bakery instances at level `l` (0 = deepest).
+    levels: Vec<Vec<Bakery>>,
+}
+
+/// The smallest branching factor `b` with `b^f ≥ n`.
+#[must_use]
+pub fn branching_factor(n: usize, f: usize) -> usize {
+    assert!(n >= 1 && f >= 1);
+    let mut b = 1usize;
+    while pow_at_least(b, f, n).is_none() {
+        b += 1;
+    }
+    b
+}
+
+/// `Some(b^f)` if `b^f ≥ n` without overflow, else `None`.
+fn pow_at_least(b: usize, f: usize, n: usize) -> Option<usize> {
+    let mut acc = 1usize;
+    for _ in 0..f {
+        acc = acc.saturating_mul(b);
+        if acc >= n {
+            return Some(acc);
+        }
+    }
+    (acc >= n).then_some(acc)
+}
+
+impl GtLock {
+    /// Build `GT_f` for `n` processes.
+    ///
+    /// At the deepest level each slot is statically bound to one process,
+    /// so its Bakery registers are placed in that process's memory segment;
+    /// higher-level node registers are unowned.
+    pub fn new(alloc: &mut RegAlloc, n: usize, f: usize, fences: FenceMask) -> Self {
+        assert!(n >= 1, "need at least one process");
+        assert!(f >= 1, "tree height must be at least 1");
+        let b = branching_factor(n, f);
+        let mut levels = Vec::with_capacity(f);
+        for level in 0..f {
+            // Nodes that actually cover live processes.
+            let span = checked_pow(b, level + 1);
+            let node_count = n.div_ceil(span).max(1);
+            let mut nodes = Vec::with_capacity(node_count);
+            for node in 0..node_count {
+                let bakery = Bakery::new(
+                    alloc,
+                    b,
+                    |slot| {
+                        if level == 0 {
+                            let proc = node * b + slot;
+                            (proc < n).then(|| ProcId::from(proc))
+                        } else {
+                            None
+                        }
+                    },
+                    fences,
+                );
+                nodes.push(bakery);
+            }
+            levels.push(nodes);
+        }
+        GtLock { n, f, b, levels }
+    }
+
+    /// The branching factor `b = ⌈n^(1/f)⌉`.
+    #[must_use]
+    pub fn branching(&self) -> usize {
+        self.b
+    }
+
+    /// The tree height `f`.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.f
+    }
+
+    /// `(node, slot)` for process `who` at `level`.
+    fn position(&self, who: usize, level: usize) -> (usize, usize) {
+        let below = checked_pow(self.b, level);
+        let node = who / (below * self.b);
+        let slot = (who / below) % self.b;
+        (node, slot)
+    }
+}
+
+fn checked_pow(b: usize, e: usize) -> usize {
+    let mut acc = 1usize;
+    for _ in 0..e {
+        acc = acc.checked_mul(b).expect("GT tree dimensions overflow");
+    }
+    acc
+}
+
+impl LockAlgorithm for GtLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        format!("gt[n={},f={},b={}]", self.n, self.f, self.b)
+    }
+
+    fn emit_acquire(&self, asm: &mut Asm, who: usize) {
+        assert!(who < self.n, "process {who} out of range");
+        for level in 0..self.f {
+            let (node, slot) = self.position(who, level);
+            self.levels[level][node].emit_acquire_slot(asm, slot);
+        }
+    }
+
+    fn emit_release(&self, asm: &mut Asm, who: usize) {
+        assert!(who < self.n, "process {who} out of range");
+        // Root (last acquired) released first.
+        for level in (0..self.f).rev() {
+            let (node, slot) = self.position(who, level);
+            self.levels[level][node].emit_release_slot(asm, slot);
+        }
+    }
+
+    fn fence_sites(&self) -> u32 {
+        4 // Bakery's sites, applied at every node.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{build_mutex_programs, run_to_completion};
+    use wbmem::{MemoryModel, ProcId, SoloOutcome};
+
+    #[test]
+    fn branching_factor_is_minimal() {
+        assert_eq!(branching_factor(16, 1), 16);
+        assert_eq!(branching_factor(16, 2), 4);
+        assert_eq!(branching_factor(16, 4), 2);
+        assert_eq!(branching_factor(17, 2), 5);
+        assert_eq!(branching_factor(1, 3), 1);
+        assert_eq!(branching_factor(1000, 3), 10);
+    }
+
+    #[test]
+    fn solo_passage_matches_the_tradeoff_formula() {
+        let n = 64;
+        for f in [1usize, 2, 3, 6] {
+            let mut alloc = RegAlloc::new();
+            let lock = GtLock::new(&mut alloc, n, f, FenceMask::ALL);
+            let b = lock.branching();
+            let built = build_mutex_programs(&lock, alloc);
+            let mut m = built.machine(MemoryModel::Pso);
+            let out = m.run_solo(ProcId(0), 1_000_000);
+            assert!(matches!(out, SoloOutcome::Terminates { .. }), "f={f}");
+            let c = m.counters().proc(0);
+            assert_eq!(
+                c.fences,
+                4 * f as u64 + 1,
+                "4 fences per level plus the final fence (f={f})"
+            );
+            // O(f * b) RMRs: each node costs ~2(b-1) solo.
+            let per_node = 2 * (b as u64).saturating_sub(1);
+            assert!(
+                c.rmrs >= (f as u64) * per_node.min(1),
+                "rmrs={} f={f} b={b}",
+                c.rmrs
+            );
+            assert!(
+                c.rmrs <= (f as u64) * (6 * b as u64 + 8),
+                "rmrs={} f={f} b={b}",
+                c.rmrs
+            );
+        }
+    }
+
+    #[test]
+    fn gt1_is_bakery_shaped() {
+        let n = 8;
+        let mut alloc = RegAlloc::new();
+        let lock = GtLock::new(&mut alloc, n, 1, FenceMask::ALL);
+        assert_eq!(lock.branching(), n);
+        assert_eq!(lock.levels.len(), 1);
+        assert_eq!(lock.levels[0].len(), 1);
+    }
+
+    #[test]
+    fn completes_under_round_robin_every_model() {
+        for (n, f) in [(6usize, 2usize), (8, 3), (9, 2)] {
+            let mut alloc = RegAlloc::new();
+            let lock = GtLock::new(&mut alloc, n, f, FenceMask::ALL);
+            let built = build_mutex_programs(&lock, alloc);
+            for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+                let mut m = built.machine(model);
+                run_to_completion(&mut m, 20_000_000);
+                assert!(m.all_done(), "gt[n={n},f={f}] did not finish under {model}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_level_registers_live_in_their_process_segment() {
+        let mut alloc = RegAlloc::new();
+        let _ = GtLock::new(&mut alloc, 9, 2, FenceMask::ALL);
+        let layout = alloc.into_layout();
+        // b = 3: level 0 has 3 nodes of 3 slots; process i owns slot i%3 of
+        // node i/3, i.e. the first 2*9 C/T registers map back to processes.
+        // Level-1 (root) registers are unowned.
+        assert_eq!(layout.assigned_len(), 18, "9 C + 9 T leaf registers owned");
+        // Solo passage of p0 spins only on level-0 node 0 and the root —
+        // and its own C/T are local.
+        let mut alloc = RegAlloc::new();
+        let lock = GtLock::new(&mut alloc, 9, 2, FenceMask::ALL);
+        let built = crate::instance::build_mutex_programs(&lock, alloc);
+        for i in 0..9u32 {
+            // C of leaf slot for process i sits at node (i/3)*6... just
+            // verify ownership is assigned to the right process by probing
+            // the layout: each process owns exactly 2 lock registers plus
+            // its mutex scratch register.
+            let owned_by_i = built
+                .layout
+                .iter()
+                .filter(|&(_, p)| p == ProcId::from(i as usize))
+                .count();
+            assert_eq!(owned_by_i, 3, "p{i}");
+        }
+    }
+
+    #[test]
+    fn positions_are_consistent() {
+        let mut alloc = RegAlloc::new();
+        let lock = GtLock::new(&mut alloc, 27, 3, FenceMask::ALL);
+        assert_eq!(lock.branching(), 3);
+        // Process 14 = 112 base 3: slots are its digits, low to high.
+        assert_eq!(lock.position(14, 0), (4, 2));
+        assert_eq!(lock.position(14, 1), (1, 1));
+        assert_eq!(lock.position(14, 2), (0, 1));
+    }
+}

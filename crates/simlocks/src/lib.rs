@@ -1,0 +1,66 @@
+//! # simlocks — the paper's lock family and ordering objects, as programs
+//!
+//! This crate implements the algorithms of *“Trading Fences with RMRs and
+//! Separating Memory Models”* (Attiya–Hendler–Woelfel, PODC 2015) as
+//! [`fencevm`] programs that run on the [`wbmem`] write-buffer machine:
+//!
+//! * [`Bakery`] — Lamport's Bakery lock (the paper's Algorithm 1):
+//!   O(1) fences, O(n) RMRs per passage.
+//! * [`Tournament`] — the binary tournament tree: O(log n) fences,
+//!   O(log n) RMRs.
+//! * [`GtLock`] — the generalized tournament `GT_f` (Section 3): for every
+//!   fence budget `f`, O(f) fences and O(f·n^(1/f)) RMRs, sweeping the
+//!   whole tradeoff spectrum between the previous two.
+//! * [`Peterson2`] — Peterson's two-process lock, the memory-model
+//!   separation witness (correct under TSO with one fence, broken under
+//!   PSO).
+//! * Ordering objects (Section 4): counter, fetch-and-increment and queue
+//!   protected by any of the locks, whose return values expose the access
+//!   rank — the object class the paper's lower bound covers.
+//!
+//! Every fence in every algorithm is an ablatable *site* controlled by a
+//! [`FenceMask`], enabling the fence-elision experiments.
+//!
+//! ## Example
+//!
+//! ```
+//! use simlocks::{build_ordering, LockKind, ObjectKind};
+//! use wbmem::MemoryModel;
+//!
+//! // A 4-process counter protected by GT_2, run sequentially under PSO:
+//! let inst = build_ordering(LockKind::Gt { f: 2 }, 4, ObjectKind::Counter);
+//! let returns = inst.run_sequential(MemoryModel::Pso, 100_000);
+//! assert_eq!(returns, vec![0, 1, 2, 3]); // the ordering property
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod bakery;
+pub mod fences;
+pub mod filter;
+pub mod gt;
+pub mod instance;
+pub mod lock;
+pub mod mcs;
+pub mod objects;
+pub mod peterson;
+pub mod tas;
+pub mod tournament;
+
+pub use alloc::RegAlloc;
+pub use bakery::Bakery;
+pub use fences::FenceMask;
+pub use filter::FilterLock;
+pub use gt::{branching_factor, GtLock};
+pub use instance::{
+    build_mutex, build_mutex_programs, build_object, build_ordering, build_repeating,
+    build_steady_state, run_to_completion, LockKind, OrderingInstance, ANNOT_IN_CS,
+};
+pub use lock::LockAlgorithm;
+pub use mcs::McsLock;
+pub use objects::ObjectKind;
+pub use peterson::Peterson2;
+pub use tas::TtasLock;
+pub use tournament::Tournament;

@@ -1,0 +1,33 @@
+//! The lock-algorithm abstraction.
+
+use fencevm::Asm;
+
+/// A mutual-exclusion algorithm whose acquire/release sections can be
+/// emitted into a process's program.
+///
+/// A lock instance owns its shared registers (allocated from a
+/// [`RegAlloc`](crate::RegAlloc) at construction); `emit_acquire` /
+/// `emit_release` splice the per-process code into an [`Asm`] under
+/// construction. `who` is the global process id, `0 ≤ who < n()`.
+pub trait LockAlgorithm {
+    /// Number of processes this instance supports.
+    fn n(&self) -> usize;
+
+    /// A short human-readable name, e.g. `"bakery"` or `"gt(f=2)"`.
+    fn name(&self) -> String;
+
+    /// Emit the acquire section for process `who`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `who >= n()`.
+    fn emit_acquire(&self, asm: &mut Asm, who: usize);
+
+    /// Emit the release section for process `who`.
+    fn emit_release(&self, asm: &mut Asm, who: usize);
+
+    /// Number of *logical* fence sites in the base algorithm, i.e. the
+    /// meaningful bit width of a [`FenceMask`](crate::FenceMask) for this
+    /// lock. Tree locks reuse their node algorithm's sites at every node.
+    fn fence_sites(&self) -> u32;
+}

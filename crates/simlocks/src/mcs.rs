@@ -1,0 +1,190 @@
+//! The MCS queue lock — local-spin mutual exclusion with fetch-and-store.
+//!
+//! The paper's reference \[12\] (Golab–Hadzilacos–Hendler–Woelfel) studies
+//! RMR-efficient implementations of strong primitives; MCS is the classic
+//! beneficiary: each process enqueues its own *qnode* with a `swap` on the
+//! tail pointer and then spins **on its own node** — in its own memory
+//! segment — so a passage costs **O(1) RMRs even under contention**, at
+//! the price of fetch-and-store/CAS hardware.
+//!
+//! ```text
+//! Acquire(i):
+//!   L[i] := 1; N[i] := nil            // my qnode (in my segment)
+//!   pred := swap(tail, i)             // drains the buffer itself
+//!   if pred != nil:
+//!     N[pred] := i; fence             // site 0: link visible to pred
+//!     wait until L[i] == 0            // local spin!
+//! Release(i):
+//!   if N[i] == nil:
+//!     if CAS(tail, i, nil) succeeds: return
+//!     wait until N[i] != nil          // local spin
+//!   L[N[i]] := 0; fence               // site 1: hand the lock over
+//! ```
+//!
+//! Together with [`TtasLock`](crate::TtasLock) this brackets the strong-
+//! primitive design space in experiment E9: TTAS spins remotely (Θ(n)
+//! contended RMRs), MCS spins locally (O(1)).
+
+use fencevm::{Asm, CondOp};
+use wbmem::ProcId;
+
+use crate::alloc::RegAlloc;
+use crate::fences::FenceMask;
+use crate::lock::LockAlgorithm;
+
+/// Fence site after linking into the predecessor's `next` field.
+pub const SITE_LINK: u32 = 0;
+/// Fence site after the hand-over write in release.
+pub const SITE_HANDOVER: u32 = 1;
+
+/// An MCS queue lock. Register layout: `tail` (unowned), then per-process
+/// `L[i]` (locked flag) and `N[i]` (successor), both in `p_i`'s segment.
+/// Process ids are encoded as `1 + i` in shared registers (0 = nil).
+#[derive(Clone, Debug)]
+pub struct McsLock {
+    n: usize,
+    tail: i64,
+    l_base: i64,
+    n_base: i64,
+    fences: FenceMask,
+}
+
+impl McsLock {
+    /// Allocate the lock's registers.
+    pub fn new(alloc: &mut RegAlloc, n: usize, fences: FenceMask) -> Self {
+        assert!(n >= 1, "need at least one process");
+        let tail = alloc.alloc(None);
+        let l_base = alloc.alloc_array(n, |i| Some(ProcId::from(i)));
+        let n_base = alloc.alloc_array(n, |i| Some(ProcId::from(i)));
+        McsLock {
+            n,
+            tail: i64::from(tail.0),
+            l_base: i64::from(l_base.0),
+            n_base: i64::from(n_base.0),
+            fences,
+        }
+    }
+}
+
+impl LockAlgorithm for McsLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        format!("mcs[{}]", self.n)
+    }
+
+    fn emit_acquire(&self, asm: &mut Asm, who: usize) {
+        assert!(who < self.n, "process {who} out of range");
+        let me = 1 + who as i64;
+        let t = asm.local("mcs_t");
+        let pred = asm.local("mcs_pred");
+        let addr = asm.local("mcs_addr");
+
+        // Prepare my qnode: locked, no successor. Both writes are to my own
+        // segment; the swap below drains them before the enqueue becomes
+        // visible, so no fence is needed here.
+        asm.write(self.l_base + who as i64, 1i64);
+        asm.write(self.n_base + who as i64, 0i64);
+        asm.swap(self.tail, me, pred);
+
+        let acquired = asm.label();
+        asm.jmp_if(CondOp::Eq, pred, 0i64, acquired);
+        // Link into the predecessor's next pointer and publish it.
+        asm.add(addr, pred, self.n_base - 1);
+        asm.write(addr, me);
+        self.fences.emit(asm, SITE_LINK);
+        // Spin on my own locked flag — a register in my segment.
+        let spin = asm.here();
+        asm.read(self.l_base + who as i64, t);
+        asm.jmp_if(CondOp::Ne, t, 0i64, spin);
+        asm.bind(acquired);
+    }
+
+    fn emit_release(&self, asm: &mut Asm, who: usize) {
+        assert!(who < self.n, "process {who} out of range");
+        let me = 1 + who as i64;
+        let t = asm.local("mcs_rt");
+        let addr = asm.local("mcs_raddr");
+
+        let done = asm.label();
+        let hand_over = asm.label();
+        asm.read(self.n_base + who as i64, t);
+        asm.jmp_if(CondOp::Ne, t, 0i64, hand_over);
+        // No known successor: try to reset the tail.
+        asm.cas(self.tail, me, 0i64, t);
+        asm.jmp_if(CondOp::Eq, t, me, done); // observed me -> swap happened
+        // A successor is mid-enqueue: wait for its link (local spin).
+        let spin = asm.here();
+        asm.read(self.n_base + who as i64, t);
+        asm.jmp_if(CondOp::Eq, t, 0i64, spin);
+
+        asm.bind(hand_over);
+        // t holds 1 + successor id; unlock its flag.
+        asm.add(addr, t, self.l_base - 1);
+        asm.write(addr, 0i64);
+        self.fences.emit(asm, SITE_HANDOVER);
+        asm.bind(done);
+    }
+
+    fn fence_sites(&self) -> u32 {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{build_object, run_to_completion};
+    use crate::objects::ObjectKind;
+    use wbmem::{MemoryModel, ProcId, SoloOutcome};
+
+    fn counter_instance(n: usize) -> crate::instance::OrderingInstance {
+        let mut alloc = RegAlloc::new();
+        let lock = McsLock::new(&mut alloc, n, FenceMask::ALL);
+        build_object(&lock, alloc, ObjectKind::Counter)
+    }
+
+    #[test]
+    fn solo_passage_is_constant_cost_for_any_n() {
+        for n in [2usize, 64, 1024] {
+            let inst = counter_instance(n);
+            let mut m = inst.machine(MemoryModel::Pso);
+            let out = m.run_solo(ProcId(0), 100_000);
+            assert!(matches!(out, SoloOutcome::Terminates { .. }), "n={n}");
+            let c = m.counters().proc(0);
+            assert_eq!(c.swap_ops, 1, "n={n}");
+            assert_eq!(c.cas_ops, 1, "uncontended release resets the tail (n={n})");
+            assert!(c.rmrs <= 4, "rmrs={} must be O(1) (n={n})", c.rmrs);
+            assert_eq!(c.fences, 2, "object + final fence only (n={n})");
+        }
+    }
+
+    #[test]
+    fn sequential_and_contended_counter_is_ordering() {
+        let inst = counter_instance(5);
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let rets = inst.run_sequential(model, 200_000);
+            assert_eq!(rets, vec![0, 1, 2, 3, 4], "under {model}");
+            let mut m = inst.machine(model);
+            assert!(run_to_completion(&mut m, 10_000_000), "stuck under {model}");
+            let mut all: Vec<u64> = m.return_values().into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4], "under {model}");
+        }
+    }
+
+    #[test]
+    fn contended_rmrs_stay_constant_per_passage() {
+        // The MCS signature: local spinning keeps contended per-passage
+        // RMRs O(1) — compare TTAS, which grows linearly.
+        for n in [4usize, 16, 64] {
+            let inst = counter_instance(n);
+            let mut m = inst.machine(MemoryModel::Pso);
+            assert!(run_to_completion(&mut m, 100_000_000), "n={n}");
+            let per_passage = m.counters().rho() as f64 / n as f64;
+            assert!(per_passage <= 8.0, "n={n}: {per_passage} RMRs/passage not O(1)");
+        }
+    }
+}

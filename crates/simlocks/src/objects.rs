@@ -1,0 +1,92 @@
+//! Ordering objects built from a lock (Section 4 of the paper).
+//!
+//! The lower bound covers every *ordering algorithm*: an algorithm in which,
+//! in the clean executions the proof constructs, the `k`-th process to
+//! access the object returns `k-1` — so the sequence of return values
+//! reveals the access order. Locks, counters, queues and fetch-and-increment
+//! all yield ordering algorithms; this module provides the lock-based
+//! constructions the paper sketches:
+//!
+//! * [`ObjectKind::Counter`] — the paper's `Count`: in the critical section
+//!   read `C`, write `C + 1`, fence, return the value read.
+//! * [`ObjectKind::FetchIncrement`] — semantically identical to `Count`
+//!   (fetch-and-increment *is* a counter returning the old value); kept as
+//!   a distinct kind so experiments can name it.
+//! * [`ObjectKind::Queue`] — a lock-based enqueue: append the caller's id
+//!   at the tail and return the position, which is the caller's rank.
+//!
+//! Every generated program ends with `fence(); return(x)` — the proof's
+//! w.l.o.g. assumption that a process fences just before returning.
+
+use std::fmt;
+
+/// The ordering object exercised inside the critical section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ObjectKind {
+    /// Read-increment-write counter returning the old value.
+    Counter,
+    /// Fetch-and-increment (same protocol as [`ObjectKind::Counter`]).
+    FetchIncrement,
+    /// Enqueue into an array queue, returning the slot index.
+    Queue,
+    /// A counter whose processes first *announce* themselves with a write
+    /// to one shared scratch register **before** acquiring the lock. The
+    /// announcement is semantically inert (never read), but it puts a
+    /// shared-register write in every process's first write batch — which
+    /// is exactly what makes the lower-bound encoder's
+    /// `wait-hidden-commit` command fire: a stalled later process's
+    /// announcement can be committed hidden, immediately overwritten by an
+    /// earlier process's announcement.
+    NoisyCounter,
+}
+
+impl ObjectKind {
+    /// All object kinds.
+    pub const ALL: [ObjectKind; 4] = [
+        ObjectKind::Counter,
+        ObjectKind::FetchIncrement,
+        ObjectKind::Queue,
+        ObjectKind::NoisyCounter,
+    ];
+
+    /// Registers this object needs for `n` processes.
+    #[must_use]
+    pub fn register_count(self, n: usize) -> usize {
+        match self {
+            ObjectKind::Counter | ObjectKind::FetchIncrement => 1,
+            ObjectKind::Queue => 1 + n, // tail pointer + n array slots
+            ObjectKind::NoisyCounter => 2, // counter + announcement scratch
+        }
+    }
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ObjectKind::Counter => "counter",
+            ObjectKind::FetchIncrement => "fetch-increment",
+            ObjectKind::Queue => "queue",
+            ObjectKind::NoisyCounter => "noisy-counter",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_counts() {
+        assert_eq!(ObjectKind::Counter.register_count(8), 1);
+        assert_eq!(ObjectKind::FetchIncrement.register_count(8), 1);
+        assert_eq!(ObjectKind::Queue.register_count(8), 9);
+        assert_eq!(ObjectKind::NoisyCounter.register_count(8), 2);
+    }
+
+    #[test]
+    fn display_names() {
+        let names: Vec<String> = ObjectKind::ALL.iter().map(ToString::to_string).collect();
+        assert_eq!(names, ["counter", "fetch-increment", "queue", "noisy-counter"]);
+    }
+}

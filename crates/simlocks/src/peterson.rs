@@ -1,0 +1,199 @@
+//! Peterson's two-process lock, with ablatable fences.
+//!
+//! This is the memory-model separation witness of experiment E5:
+//!
+//! * With **both** write fences (sites 0 and 1), the lock is correct under
+//!   SC, TSO and PSO: every write is globally visible before the next
+//!   operation.
+//! * With only the **store–load** fence (site 1, after the `victim` write),
+//!   the lock is still correct under **TSO** — the FIFO buffer commits
+//!   `flag` before `victim`, and the fence drains both before the reads —
+//!   but **broken under PSO**: the buffer may commit `victim` first, let
+//!   the rival run a complete passage seeing `flag = 0`, and only then
+//!   commit `flag`, after which both processes' wait conditions pass.
+//! * With **no** fences it is broken even under TSO.
+//!
+//! The model checker in the `modelcheck` crate finds these violations
+//! exhaustively and prints the traces.
+//!
+//! ```text
+//! Acquire(s):                          // fence sites
+//!   write(flag[s], 1); fence           // 0
+//!   write(victim, 1+s); fence          // 1
+//!   wait until flag[1-s] == 0 or victim != 1+s
+//! Release(s):
+//!   write(flag[s], 0); fence           // 2
+//! ```
+//!
+//! `victim` carries `1 + s` rather than `s` so that the written values are
+//! distinguishable from the initial ⊥ payload.
+
+use fencevm::{Asm, CondOp};
+use wbmem::ProcId;
+
+use crate::alloc::RegAlloc;
+use crate::fences::FenceMask;
+use crate::lock::LockAlgorithm;
+
+/// Fence site after `write(flag[s], 1)`.
+pub const SITE_FLAG: u32 = 0;
+/// Fence site after `write(victim, 1+s)` — the store–load fence.
+pub const SITE_VICTIM: u32 = 1;
+/// Fence site after the release write.
+pub const SITE_RELEASE: u32 = 2;
+
+/// A Peterson lock instance for two competitor slots.
+#[derive(Clone, Debug)]
+pub struct Peterson2 {
+    flag: [i64; 2],
+    victim: i64,
+    fences: FenceMask,
+}
+
+impl Peterson2 {
+    /// Allocate a Peterson instance. `slot_owner(s)` places `flag[s]` in
+    /// that process's segment; `victim` is contended and unowned.
+    pub fn new(
+        alloc: &mut RegAlloc,
+        mut slot_owner: impl FnMut(usize) -> Option<ProcId>,
+        fences: FenceMask,
+    ) -> Self {
+        let f0 = alloc.alloc(slot_owner(0));
+        let f1 = alloc.alloc(slot_owner(1));
+        let victim = alloc.alloc(None);
+        Peterson2 {
+            flag: [i64::from(f0.0), i64::from(f1.0)],
+            victim: i64::from(victim.0),
+            fences,
+        }
+    }
+
+    /// Emit the acquire section for `slot ∈ {0, 1}`.
+    pub fn emit_acquire_slot(&self, asm: &mut Asm, slot: usize) {
+        assert!(slot < 2, "peterson slot must be 0 or 1");
+        let me = 1 + slot as i64;
+        let t = asm.local("pet_t");
+
+        asm.write(self.flag[slot], 1i64);
+        self.fences.emit(asm, SITE_FLAG);
+        asm.write(self.victim, me);
+        self.fences.emit(asm, SITE_VICTIM);
+
+        let done = asm.label();
+        let spin = asm.here();
+        asm.read(self.flag[1 - slot], t);
+        asm.jmp_if(CondOp::Eq, t, 0i64, done);
+        asm.read(self.victim, t);
+        asm.jmp_if(CondOp::Ne, t, me, done);
+        asm.jmp(spin);
+        asm.bind(done);
+    }
+
+    /// Emit the release section for `slot`.
+    pub fn emit_release_slot(&self, asm: &mut Asm, slot: usize) {
+        assert!(slot < 2, "peterson slot must be 0 or 1");
+        asm.write(self.flag[slot], 0i64);
+        self.fences.emit(asm, SITE_RELEASE);
+    }
+}
+
+impl LockAlgorithm for Peterson2 {
+    fn n(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> String {
+        "peterson".into()
+    }
+
+    fn emit_acquire(&self, asm: &mut Asm, who: usize) {
+        self.emit_acquire_slot(asm, who);
+    }
+
+    fn emit_release(&self, asm: &mut Asm, who: usize) {
+        self.emit_release_slot(asm, who);
+    }
+
+    fn fence_sites(&self) -> u32 {
+        3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{build_mutex_programs, run_to_completion};
+    use wbmem::{MemoryModel, ProcId, SchedElem};
+
+    fn build(fences: FenceMask) -> crate::instance::OrderingInstance {
+        let mut alloc = RegAlloc::new();
+        let lock = Peterson2::new(&mut alloc, |s| Some(ProcId::from(s)), fences);
+        build_mutex_programs(&lock, alloc)
+    }
+
+    #[test]
+    fn completes_under_round_robin_all_models() {
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let mut m = build(FenceMask::ALL).machine(model);
+            run_to_completion(&mut m, 100_000);
+            assert!(m.all_done(), "peterson did not finish under {model}");
+        }
+    }
+
+    #[test]
+    fn single_store_load_fence_violates_mutex_under_pso() {
+        // The schedule from the module docs, hand-rolled:
+        //   p0: flag0:=1, victim:=1 (both buffered)
+        //   system commits victim (reordered past flag0!)
+        //   p1: full acquire; sees flag0 == 0 -> in CS
+        //   p0: commits flag0; fence; reads flag1=1, victim=2 != 1 -> in CS
+        let inst = build(FenceMask::only(&[SITE_VICTIM, SITE_RELEASE]));
+        let mut m = inst.machine(MemoryModel::Pso);
+        let (p0, p1) = (ProcId(0), ProcId(1));
+        // p0 executes its two writes (buffered; fence site 0 is elided).
+        m.step(SchedElem::op(p0)); // write flag0
+        m.step(SchedElem::op(p0)); // write victim
+        // Commit victim only — PSO write reordering.
+        let victim_reg = wbmem::RegId(2);
+        m.step(SchedElem::commit(p0, victim_reg));
+        // p1 runs alone through its whole acquire.
+        for _ in 0..40 {
+            m.step(SchedElem::op(p1));
+            if m.annotation(p1) == 1 {
+                break;
+            }
+        }
+        assert_eq!(m.annotation(p1), 1, "p1 should be in its critical section");
+        // p0 now drains its buffer (flag0), fences, and passes its test.
+        for _ in 0..40 {
+            m.step(SchedElem::op(p0));
+            if m.annotation(p0) == 1 {
+                break;
+            }
+        }
+        assert_eq!(m.annotation(p0), 1, "p0 entered too: mutual exclusion violated");
+        assert_eq!(m.annotation(p1), 1, "while p1 is still inside");
+    }
+
+    #[test]
+    fn full_fences_resist_the_same_schedule() {
+        // The same adversarial schedule cannot break the fully fenced lock:
+        // site 0 forces flag0 to commit before victim is even written.
+        let inst = build(FenceMask::ALL);
+        let mut m = inst.machine(MemoryModel::Pso);
+        let (p0, p1) = (ProcId(0), ProcId(1));
+        m.step(SchedElem::op(p0)); // write flag0
+        m.step(SchedElem::op(p0)); // fence -> commits flag0
+        m.step(SchedElem::op(p0)); // fence completes
+        m.step(SchedElem::op(p0)); // write victim
+        // Try the reorder: victim is the only buffered write.
+        m.step(SchedElem::commit(p0, wbmem::RegId(2)));
+        for _ in 0..40 {
+            m.step(SchedElem::op(p1));
+            if m.annotation(p1) == 1 {
+                break;
+            }
+        }
+        assert_eq!(m.annotation(p1), 0, "p1 must spin: flag0 is visible");
+    }
+}

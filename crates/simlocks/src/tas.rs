@@ -1,0 +1,130 @@
+//! Test-and-test-and-set lock — the comparison-primitive extension.
+//!
+//! The paper's §6 notes the lower bound also covers algorithms using
+//! comparison primitives such as CAS. This lock is the canonical CAS-based
+//! mutex: spin on a local-cache read of the lock word, then try to claim it
+//! with a CAS.
+//!
+//! ```text
+//! Acquire(i):
+//!   repeat:
+//!     wait until L == 0            // test (cache-local spinning)
+//!     if CAS(L, 0, 1+i) == 0: done // and-set
+//! Release(i):
+//!   write(L, 0); fence             // site 0
+//! ```
+//!
+//! Per solo passage: **zero explicit fences** in acquire (the CAS drains
+//! the write buffer itself) and O(1) RMRs. But strong primitives don't
+//! escape the contention costs the tradeoff is about: under contention
+//! every release invalidates every spinner's cached copy of `L`, so a
+//! passage costs Θ(n) RMRs in the CC model — experiment E9 measures
+//! exactly that against `GT_f`'s O(f·n^(1/f)).
+
+use fencevm::{Asm, CondOp};
+
+use crate::alloc::RegAlloc;
+use crate::fences::FenceMask;
+use crate::lock::LockAlgorithm;
+
+/// Fence site after the release write.
+pub const SITE_RELEASE: u32 = 0;
+
+/// A test-and-test-and-set lock for any number of processes.
+#[derive(Clone, Debug)]
+pub struct TtasLock {
+    n: usize,
+    lock_reg: i64,
+    fences: FenceMask,
+}
+
+impl TtasLock {
+    /// Allocate the lock word (contended by everyone, hence unowned).
+    pub fn new(alloc: &mut RegAlloc, n: usize, fences: FenceMask) -> Self {
+        assert!(n >= 1, "need at least one process");
+        let lock_reg = alloc.alloc(None);
+        TtasLock { n, lock_reg: i64::from(lock_reg.0), fences }
+    }
+}
+
+impl LockAlgorithm for TtasLock {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        format!("ttas[{}]", self.n)
+    }
+
+    fn emit_acquire(&self, asm: &mut Asm, who: usize) {
+        assert!(who < self.n, "process {who} out of range");
+        let t = asm.local("ttas_t");
+        let spin = asm.here();
+        asm.read(self.lock_reg, t);
+        asm.jmp_if(CondOp::Ne, t, 0i64, spin);
+        asm.cas(self.lock_reg, 0i64, 1 + who as i64, t);
+        asm.jmp_if(CondOp::Ne, t, 0i64, spin);
+    }
+
+    fn emit_release(&self, asm: &mut Asm, who: usize) {
+        assert!(who < self.n, "process {who} out of range");
+        asm.write(self.lock_reg, 0i64);
+        self.fences.emit(asm, SITE_RELEASE);
+    }
+
+    fn fence_sites(&self) -> u32 {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{build_mutex_programs, build_object, run_to_completion};
+    use crate::objects::ObjectKind;
+    use wbmem::{MemoryModel, ProcId, SoloOutcome};
+
+    fn counter_instance(n: usize) -> crate::instance::OrderingInstance {
+        let mut alloc = RegAlloc::new();
+        let lock = TtasLock::new(&mut alloc, n, FenceMask::ALL);
+        build_object(&lock, alloc, ObjectKind::Counter)
+    }
+
+    #[test]
+    fn solo_passage_is_constant_cost() {
+        for n in [2usize, 16, 256] {
+            let inst = counter_instance(n);
+            let mut m = inst.machine(MemoryModel::Pso);
+            let out = m.run_solo(ProcId(0), 100_000);
+            assert!(matches!(out, SoloOutcome::Terminates { .. }));
+            let c = m.counters().proc(0);
+            assert_eq!(c.fences, 3, "release + object + final fence only (n={n})");
+            assert_eq!(c.cas_ops, 1);
+            // O(1) RMRs, independent of n.
+            assert!(c.rmrs <= 6, "rmrs={} n={n}", c.rmrs);
+        }
+    }
+
+    #[test]
+    fn counter_completes_and_orders_under_every_model() {
+        let inst = counter_instance(4);
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let rets = inst.run_sequential(model, 100_000);
+            assert_eq!(rets, vec![0, 1, 2, 3], "under {model}");
+            let mut m = inst.machine(model);
+            assert!(run_to_completion(&mut m, 10_000_000));
+            let mut all: Vec<u64> = m.return_values().into_iter().flatten().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn mutex_program_builds_and_runs() {
+        let mut alloc = RegAlloc::new();
+        let lock = TtasLock::new(&mut alloc, 3, FenceMask::ALL);
+        let built = build_mutex_programs(&lock, alloc);
+        let mut m = built.machine(MemoryModel::Pso);
+        assert!(run_to_completion(&mut m, 1_000_000));
+    }
+}

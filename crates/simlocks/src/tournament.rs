@@ -1,0 +1,164 @@
+//! The binary tournament-tree lock (Peterson–Fischer / Yang–Anderson
+//! style): the `f = log n` extreme of the tradeoff.
+//!
+//! `n` processes (a power of two) are leaves of a complete binary tree; each
+//! internal node holds a two-slot Peterson lock. A process acquires the
+//! Peterson locks on the path from its leaf to the root (side = the child it
+//! came from) and releases them top-down. Per passage: Θ(log n) fences and
+//! Θ(log n) RMRs — so `f·(log(r/f)+1) = Θ(log n)`, matching the lower bound
+//! at the other end of the spectrum from Bakery.
+
+use fencevm::Asm;
+use wbmem::ProcId;
+
+use crate::alloc::RegAlloc;
+use crate::fences::FenceMask;
+use crate::lock::LockAlgorithm;
+use crate::peterson::Peterson2;
+
+/// A binary tournament tree of Peterson locks for `n = 2^k` processes.
+#[derive(Clone, Debug)]
+pub struct Tournament {
+    n: usize,
+    /// `nodes[v]` for `v in 1..n` is the Peterson lock at heap-indexed
+    /// internal node `v` (root = 1). Index 0 is unused.
+    nodes: Vec<Option<Peterson2>>,
+}
+
+impl Tournament {
+    /// Build the tree. At the lowest level each Peterson side is used by
+    /// exactly one process, so its flag register is placed in that process's
+    /// memory segment; all other node registers are unowned.
+    pub fn new(alloc: &mut RegAlloc, n: usize, fences: FenceMask) -> Self {
+        assert!(n >= 2 && n.is_power_of_two(), "tournament needs a power-of-two n >= 2");
+        // users[v][s] = processes that acquire node v from side s.
+        let mut users = vec![[Vec::new(), Vec::new()]; n];
+        for i in 0..n {
+            let mut v = n + i;
+            while v > 1 {
+                let side = v & 1;
+                v >>= 1;
+                users[v][side].push(i);
+            }
+        }
+        let mut nodes = vec![None; n];
+        for (v, node_users) in users.iter().enumerate().skip(1) {
+            let owner = |s: usize| {
+                if node_users[s].len() == 1 {
+                    Some(ProcId::from(node_users[s][0]))
+                } else {
+                    None
+                }
+            };
+            nodes[v] = Some(Peterson2::new(alloc, owner, fences));
+        }
+        Tournament { n, nodes }
+    }
+
+    /// Process `who`'s root-ward path: `(node, side)` pairs from its leaf's
+    /// parent up to the root.
+    fn path(&self, who: usize) -> Vec<(usize, usize)> {
+        assert!(who < self.n, "process {who} out of range");
+        let mut path = Vec::new();
+        let mut v = self.n + who;
+        while v > 1 {
+            let side = v & 1;
+            v >>= 1;
+            path.push((v, side));
+        }
+        path
+    }
+}
+
+impl LockAlgorithm for Tournament {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> String {
+        format!("tournament[{}]", self.n)
+    }
+
+    fn emit_acquire(&self, asm: &mut Asm, who: usize) {
+        for (v, side) in self.path(who) {
+            self.nodes[v]
+                .as_ref()
+                .expect("internal node exists")
+                .emit_acquire_slot(asm, side);
+        }
+    }
+
+    fn emit_release(&self, asm: &mut Asm, who: usize) {
+        // Top-down: the root was acquired last, release it first.
+        for (v, side) in self.path(who).into_iter().rev() {
+            self.nodes[v]
+                .as_ref()
+                .expect("internal node exists")
+                .emit_release_slot(asm, side);
+        }
+    }
+
+    fn fence_sites(&self) -> u32 {
+        3 // Peterson's sites, applied at every node.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{build_mutex_programs, run_to_completion};
+    use wbmem::{MemoryModel, ProcId, SoloOutcome};
+
+    #[test]
+    fn solo_passage_is_logarithmic_in_fences_and_rmrs() {
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            let levels = n.trailing_zeros() as u64;
+            let mut alloc = RegAlloc::new();
+            let lock = Tournament::new(&mut alloc, n, FenceMask::ALL);
+            let built = build_mutex_programs(&lock, alloc);
+            let mut m = built.machine(MemoryModel::Pso);
+            let out = m.run_solo(ProcId(0), 100_000);
+            assert!(matches!(out, SoloOutcome::Terminates { .. }));
+            let c = m.counters().proc(0);
+            assert_eq!(
+                c.fences,
+                3 * levels + 1,
+                "2 acquire + 1 release fence per level, plus the final fence (n={n})"
+            );
+            assert!(c.rmrs <= 6 * levels + 2, "rmrs={} n={n}", c.rmrs);
+        }
+    }
+
+    #[test]
+    fn completes_under_round_robin_every_model() {
+        let mut alloc = RegAlloc::new();
+        let lock = Tournament::new(&mut alloc, 8, FenceMask::ALL);
+        let built = build_mutex_programs(&lock, alloc);
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let mut m = built.machine(model);
+            run_to_completion(&mut m, 5_000_000);
+            assert!(m.all_done(), "tournament[8] did not finish under {model}");
+        }
+    }
+
+    #[test]
+    fn paths_reach_the_root() {
+        let mut alloc = RegAlloc::new();
+        let lock = Tournament::new(&mut alloc, 8, FenceMask::ALL);
+        for who in 0..8 {
+            let path = lock.path(who);
+            assert_eq!(path.len(), 3);
+            assert_eq!(path.last().unwrap().0, 1, "last node is the root");
+        }
+        // Siblings share their lowest node from opposite sides.
+        assert_eq!(lock.path(0)[0].0, lock.path(1)[0].0);
+        assert_ne!(lock.path(0)[0].1, lock.path(1)[0].1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_power_of_two_rejected() {
+        let mut alloc = RegAlloc::new();
+        let _ = Tournament::new(&mut alloc, 6, FenceMask::ALL);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the lock family: ordering, mutual exclusion,
+//! and cost-shape properties under randomized parameters and schedules.
+
+use proptest::prelude::*;
+
+use simlocks::{build_mutex, build_ordering, FenceMask, LockKind, ObjectKind, ANNOT_IN_CS};
+use wbmem::{MemoryModel, ProcId};
+
+fn arb_kind(n: usize) -> impl Strategy<Value = LockKind> {
+    let mut kinds = vec![LockKind::Bakery, LockKind::Gt { f: 2 }, LockKind::Ttas];
+    if n >= 4 {
+        kinds.push(LockKind::Gt { f: 3 });
+    }
+    if n.is_power_of_two() && n >= 2 {
+        kinds.push(LockKind::Tournament);
+    }
+    prop::sample::select(kinds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sequential executions of any ordering object over any lock return
+    /// exactly the ranks 0..n-1, under every memory model.
+    #[test]
+    fn sequential_ordering_property(
+        n in 2usize..7,
+        object in prop::sample::select(vec![
+            ObjectKind::Counter,
+            ObjectKind::Queue,
+            ObjectKind::FetchIncrement,
+            ObjectKind::NoisyCounter,
+        ]),
+        model in prop::sample::select(vec![MemoryModel::Tso, MemoryModel::Pso]),
+        kind_seed in any::<prop::sample::Index>(),
+    ) {
+        let kinds = [LockKind::Bakery, LockKind::Gt { f: 2 }];
+        let kind = kinds[kind_seed.index(kinds.len())];
+        let inst = build_ordering(kind, n, object);
+        let rets = inst.run_sequential(model, 2_000_000);
+        prop_assert_eq!(rets, (0..n as u64).collect::<Vec<u64>>());
+    }
+
+    /// Under arbitrary schedules (random choice of enabled process step or
+    /// commit each turn), mutual exclusion is never violated for fully
+    /// fenced locks.
+    #[test]
+    fn random_schedules_preserve_mutex(
+        n in 2usize..5,
+        picks in prop::collection::vec(any::<prop::sample::Index>(), 0..4000),
+        model in prop::sample::select(vec![MemoryModel::Tso, MemoryModel::Pso]),
+    ) {
+        let kind = if n.is_power_of_two() { LockKind::Tournament } else { LockKind::Gt { f: 2 } };
+        let inst = build_mutex(kind, n, FenceMask::ALL);
+        let mut m = inst.machine(model);
+        for pick in picks {
+            let choices = m.choices();
+            if choices.is_empty() {
+                break;
+            }
+            m.step(choices[pick.index(choices.len())]);
+            let in_cs = (0..n)
+                .filter(|&i| m.annotation(ProcId::from(i)) == ANNOT_IN_CS)
+                .count();
+            prop_assert!(in_cs <= 1, "mutex violated for {} under {}", inst.name, model);
+        }
+    }
+
+    /// Contended completions always return a permutation of ranks.
+    #[test]
+    fn round_robin_returns_permutation(
+        (n, kind) in (2usize..7).prop_flat_map(|n| (Just(n), arb_kind(n))),
+    ) {
+        let inst = build_ordering(kind, n, ObjectKind::Counter);
+        let mut m = inst.machine(MemoryModel::Pso);
+        prop_assert!(simlocks::run_to_completion(&mut m, 50_000_000), "{} stuck", inst.name);
+        let mut rets: Vec<u64> = m.return_values().into_iter().flatten().collect();
+        rets.sort_unstable();
+        prop_assert_eq!(rets, (0..n as u64).collect::<Vec<u64>>());
+    }
+
+    /// GT cost shape: for any (n, f), a solo passage has exactly 4f+2
+    /// fences and at most O(f·b) RMRs.
+    #[test]
+    fn gt_solo_cost_shape(n in 2usize..80, f in 1usize..6) {
+        let inst = build_ordering(LockKind::Gt { f }, n, ObjectKind::Counter);
+        let mut m = inst.machine(MemoryModel::Pso);
+        let out = m.run_solo(ProcId(0), 10_000_000);
+        let terminated = matches!(out, wbmem::SoloOutcome::Terminates { .. });
+        prop_assert!(terminated);
+        let c = m.counters().proc(0);
+        prop_assert_eq!(c.fences, 4 * f as u64 + 2);
+        let b = simlocks::branching_factor(n, f) as u64;
+        prop_assert!(c.rmrs <= (f as u64) * (6 * b + 8), "rmrs={} f={} b={}", c.rmrs, f, b);
+    }
+}

@@ -1,0 +1,243 @@
+//! Per-process write buffers.
+//!
+//! * Under **PSO/RMO** the buffer is the paper's `WB_p ⊆ R × D`: an
+//!   unordered set with at most one entry per register (a new write to `R`
+//!   replaces the buffered one), and the system may commit *any* entry.
+//! * Under **TSO** the buffer is a FIFO queue; only the oldest entry may
+//!   commit, so writes reach memory in program order. A later write to the
+//!   same register enqueues behind the earlier one.
+//! * Under **SC** writes never enter a buffer (the machine commits them
+//!   directly), so the buffer is permanently empty.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::model::MemoryModel;
+use crate::reg::RegId;
+use crate::value::Value;
+
+/// A process's write buffer, with model-specific structure.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum WriteBuffer {
+    /// SC: writes are never buffered.
+    Sc,
+    /// TSO: FIFO of pending writes, oldest first.
+    Tso(VecDeque<(RegId, Value)>),
+    /// PSO/RMO: unordered pending writes, one per register. A `BTreeMap`
+    /// keeps registers sorted so "smallest buffered register" is O(1).
+    Pso(BTreeMap<RegId, Value>),
+}
+
+impl WriteBuffer {
+    /// An empty buffer appropriate for `model`.
+    #[must_use]
+    pub fn new(model: MemoryModel) -> Self {
+        match model {
+            MemoryModel::Sc => WriteBuffer::Sc,
+            MemoryModel::Tso => WriteBuffer::Tso(VecDeque::new()),
+            MemoryModel::Pso | MemoryModel::Rmo => WriteBuffer::Pso(BTreeMap::new()),
+        }
+    }
+
+    /// Whether no writes are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        match self {
+            WriteBuffer::Sc => true,
+            WriteBuffer::Tso(q) => q.is_empty(),
+            WriteBuffer::Pso(m) => m.is_empty(),
+        }
+    }
+
+    /// Number of pending writes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            WriteBuffer::Sc => 0,
+            WriteBuffer::Tso(q) => q.len(),
+            WriteBuffer::Pso(m) => m.len(),
+        }
+    }
+
+    /// The value a read of `reg` by the owning process observes from this
+    /// buffer, if any (the *youngest* pending write to `reg`).
+    #[must_use]
+    pub fn read(&self, reg: RegId) -> Option<Value> {
+        match self {
+            WriteBuffer::Sc => None,
+            WriteBuffer::Tso(q) => {
+                q.iter().rev().find(|(r, _)| *r == reg).map(|&(_, v)| v)
+            }
+            WriteBuffer::Pso(m) => m.get(&reg).copied(),
+        }
+    }
+
+    /// Record a write.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an SC buffer: SC writes must be committed directly by the
+    /// machine, never buffered.
+    pub fn push(&mut self, reg: RegId, val: Value) {
+        match self {
+            WriteBuffer::Sc => panic!("SC writes are not buffered"),
+            WriteBuffer::Tso(q) => q.push_back((reg, val)),
+            WriteBuffer::Pso(m) => {
+                m.insert(reg, val);
+            }
+        }
+    }
+
+    /// The registers whose pending writes the *system* may commit right now:
+    /// every buffered register under PSO, only the oldest under TSO.
+    #[must_use]
+    pub fn commit_choices(&self) -> Vec<RegId> {
+        match self {
+            WriteBuffer::Sc => Vec::new(),
+            WriteBuffer::Tso(q) => q.front().map(|&(r, _)| r).into_iter().collect(),
+            WriteBuffer::Pso(m) => m.keys().copied().collect(),
+        }
+    }
+
+    /// Whether a commit of `reg` is currently permitted.
+    #[must_use]
+    pub fn can_commit(&self, reg: RegId) -> bool {
+        match self {
+            WriteBuffer::Sc => false,
+            WriteBuffer::Tso(q) => q.front().is_some_and(|&(r, _)| r == reg),
+            WriteBuffer::Pso(m) => m.contains_key(&reg),
+        }
+    }
+
+    /// Whether any pending write (committable now or not) targets `reg`.
+    #[must_use]
+    pub fn contains(&self, reg: RegId) -> bool {
+        self.read(reg).is_some()
+    }
+
+    /// The register a fence-blocked process commits next: the smallest
+    /// buffered register under PSO (the paper's rule), the oldest under TSO.
+    #[must_use]
+    pub fn fence_commit_target(&self) -> Option<RegId> {
+        match self {
+            WriteBuffer::Sc => None,
+            WriteBuffer::Tso(q) => q.front().map(|&(r, _)| r),
+            WriteBuffer::Pso(m) => m.keys().next().copied(),
+        }
+    }
+
+    /// Remove and return the pending write to `reg`, if committable.
+    pub fn take(&mut self, reg: RegId) -> Option<Value> {
+        match self {
+            WriteBuffer::Sc => None,
+            WriteBuffer::Tso(q) => {
+                if q.front().is_some_and(|&(r, _)| r == reg) {
+                    q.pop_front().map(|(_, v)| v)
+                } else {
+                    None
+                }
+            }
+            WriteBuffer::Pso(m) => m.remove(&reg),
+        }
+    }
+
+    /// The set of distinct registers with pending writes, ascending.
+    #[must_use]
+    pub fn regs(&self) -> Vec<RegId> {
+        match self {
+            WriteBuffer::Sc => Vec::new(),
+            WriteBuffer::Tso(q) => {
+                let mut v: Vec<RegId> = q.iter().map(|&(r, _)| r).collect();
+                v.sort_unstable();
+                v.dedup();
+                v
+            }
+            WriteBuffer::Pso(m) => m.keys().copied().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> RegId {
+        RegId(i)
+    }
+    fn v(x: u64) -> Value {
+        Value::Int(x)
+    }
+
+    #[test]
+    fn sc_buffer_is_always_empty() {
+        let b = WriteBuffer::new(MemoryModel::Sc);
+        assert!(b.is_empty());
+        assert_eq!(b.commit_choices(), vec![]);
+        assert_eq!(b.read(r(0)), None);
+        assert_eq!(b.fence_commit_target(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not buffered")]
+    fn sc_push_panics() {
+        WriteBuffer::new(MemoryModel::Sc).push(r(0), v(1));
+    }
+
+    #[test]
+    fn pso_replaces_write_to_same_register() {
+        let mut b = WriteBuffer::new(MemoryModel::Pso);
+        b.push(r(5), v(1));
+        b.push(r(5), v(2));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.read(r(5)), Some(v(2)));
+    }
+
+    #[test]
+    fn pso_commit_any_order_smallest_fence_target() {
+        let mut b = WriteBuffer::new(MemoryModel::Pso);
+        b.push(r(9), v(1));
+        b.push(r(2), v(2));
+        b.push(r(4), v(3));
+        assert_eq!(b.commit_choices(), vec![r(2), r(4), r(9)]);
+        assert_eq!(b.fence_commit_target(), Some(r(2)));
+        assert!(b.can_commit(r(9)));
+        assert_eq!(b.take(r(9)), Some(v(1)));
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn tso_is_fifo_and_head_only() {
+        let mut b = WriteBuffer::new(MemoryModel::Tso);
+        b.push(r(9), v(1));
+        b.push(r(2), v(2));
+        assert_eq!(b.commit_choices(), vec![r(9)]);
+        assert!(!b.can_commit(r(2)));
+        assert_eq!(b.take(r(2)), None); // not the head
+        assert_eq!(b.take(r(9)), Some(v(1)));
+        assert_eq!(b.commit_choices(), vec![r(2)]);
+    }
+
+    #[test]
+    fn tso_read_sees_youngest_write() {
+        let mut b = WriteBuffer::new(MemoryModel::Tso);
+        b.push(r(1), v(10));
+        b.push(r(1), v(20));
+        assert_eq!(b.read(r(1)), Some(v(20)));
+        assert_eq!(b.len(), 2); // both entries are queued
+        assert_eq!(b.regs(), vec![r(1)]);
+    }
+
+    #[test]
+    fn rmo_behaves_like_pso() {
+        let b = WriteBuffer::new(MemoryModel::Rmo);
+        assert!(matches!(b, WriteBuffer::Pso(_)));
+    }
+
+    #[test]
+    fn contains_and_regs() {
+        let mut b = WriteBuffer::new(MemoryModel::Pso);
+        b.push(r(3), v(1));
+        assert!(b.contains(r(3)));
+        assert!(!b.contains(r(4)));
+        assert_eq!(b.regs(), vec![r(3)]);
+    }
+}

@@ -1,0 +1,175 @@
+//! Fence and RMR accounting.
+//!
+//! `β(E)` (fence steps) and `ρ(E)` (remote steps) are the two quantities the
+//! paper's tradeoff relates: `β(E)·(log(ρ(E)/β(E)) + 1) ∈ Ω(n log n)` for
+//! ordering algorithms under write reordering.
+
+use std::fmt;
+use std::ops::{Add, AddAssign};
+
+/// Step counts for a single process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcCounters {
+    /// Fence steps executed (`β` contribution).
+    pub fences: u64,
+    /// Remote steps: remote reads + remote commits (`ρ` contribution).
+    pub rmrs: u64,
+    /// Read steps (local + remote).
+    pub reads: u64,
+    /// Reads that were remote.
+    pub remote_reads: u64,
+    /// Reads served from the process's own write buffer.
+    pub buffer_reads: u64,
+    /// Write steps (always local).
+    pub writes: u64,
+    /// Commit steps attributed to this process.
+    pub commits: u64,
+    /// Commits that were remote.
+    pub remote_commits: u64,
+    /// Compare-and-swap steps (comparison primitives, §6 extension).
+    pub cas_ops: u64,
+    /// CAS steps that were remote.
+    pub remote_cas: u64,
+    /// Fetch-and-store steps.
+    pub swap_ops: u64,
+    /// Swap steps that were remote.
+    pub remote_swaps: u64,
+}
+
+impl Add for ProcCounters {
+    type Output = ProcCounters;
+    fn add(self, o: ProcCounters) -> ProcCounters {
+        ProcCounters {
+            fences: self.fences + o.fences,
+            rmrs: self.rmrs + o.rmrs,
+            reads: self.reads + o.reads,
+            remote_reads: self.remote_reads + o.remote_reads,
+            buffer_reads: self.buffer_reads + o.buffer_reads,
+            writes: self.writes + o.writes,
+            commits: self.commits + o.commits,
+            remote_commits: self.remote_commits + o.remote_commits,
+            cas_ops: self.cas_ops + o.cas_ops,
+            remote_cas: self.remote_cas + o.remote_cas,
+            swap_ops: self.swap_ops + o.swap_ops,
+            remote_swaps: self.remote_swaps + o.remote_swaps,
+        }
+    }
+}
+
+impl AddAssign for ProcCounters {
+    fn add_assign(&mut self, o: ProcCounters) {
+        *self = *self + o;
+    }
+}
+
+impl fmt::Display for ProcCounters {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "fences={} rmrs={} (reads={} remote={} buffered={}; writes={}; commits={} remote={}; cas={} remote={})",
+            self.fences,
+            self.rmrs,
+            self.reads,
+            self.remote_reads,
+            self.buffer_reads,
+            self.writes,
+            self.commits,
+            self.remote_commits,
+            self.cas_ops,
+            self.remote_cas
+        )
+    }
+}
+
+/// Per-process and aggregate step counts for an execution.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    per_proc: Vec<ProcCounters>,
+}
+
+impl Counters {
+    /// Counters for `n` processes, all zero.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Counters { per_proc: vec![ProcCounters::default(); n] }
+    }
+
+    /// Counters for process `p`.
+    #[must_use]
+    pub fn proc(&self, p: usize) -> &ProcCounters {
+        &self.per_proc[p]
+    }
+
+    /// Mutable counters for process `p`.
+    pub fn proc_mut(&mut self, p: usize) -> &mut ProcCounters {
+        &mut self.per_proc[p]
+    }
+
+    /// Sum over all processes.
+    #[must_use]
+    pub fn total(&self) -> ProcCounters {
+        self.per_proc.iter().copied().fold(ProcCounters::default(), Add::add)
+    }
+
+    /// Total fence steps: the paper's `β(E)`.
+    #[must_use]
+    pub fn beta(&self) -> u64 {
+        self.total().fences
+    }
+
+    /// Total remote steps: the paper's `ρ(E)`.
+    #[must_use]
+    pub fn rho(&self) -> u64 {
+        self.total().rmrs
+    }
+
+    /// Number of processes tracked.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.per_proc.len()
+    }
+
+    /// Whether zero processes are tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.per_proc.is_empty()
+    }
+
+    /// Iterate over per-process counters in process-id order.
+    pub fn iter(&self) -> impl Iterator<Item = &ProcCounters> {
+        self.per_proc.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_aggregate() {
+        let mut c = Counters::new(2);
+        c.proc_mut(0).fences = 3;
+        c.proc_mut(0).rmrs = 5;
+        c.proc_mut(1).fences = 1;
+        c.proc_mut(1).rmrs = 2;
+        assert_eq!(c.beta(), 4);
+        assert_eq!(c.rho(), 7);
+        assert_eq!(c.total().fences, 4);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn add_combines_fieldwise() {
+        let a = ProcCounters { fences: 1, rmrs: 2, reads: 3, ..Default::default() };
+        let b = ProcCounters { fences: 10, rmrs: 20, reads: 30, ..Default::default() };
+        let s = a + b;
+        assert_eq!(s.fences, 11);
+        assert_eq!(s.rmrs, 22);
+        assert_eq!(s.reads, 33);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!ProcCounters::default().to_string().is_empty());
+    }
+}

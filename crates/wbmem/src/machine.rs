@@ -1,0 +1,1126 @@
+//! The shared-memory machine: configurations, the step rule, and accounting.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crate::buffer::WriteBuffer;
+use crate::counters::Counters;
+use crate::event::{Event, EventKind, Trace};
+use crate::model::MemoryModel;
+use crate::process::{Poised, Process};
+use crate::reg::{MemoryLayout, ProcId, RegId};
+use crate::rmr::LocalityTracker;
+use crate::sched::SchedElem;
+use crate::value::Value;
+
+/// Static machine parameters.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Memory model governing buffering and commit order.
+    pub model: MemoryModel,
+    /// DSM segment assignment for RMR accounting.
+    pub layout: MemoryLayout,
+    /// Make every written value globally unique by tagging it with a nonce
+    /// (the lower-bound proof's w.l.o.g. assumption that all written values
+    /// are distinct). Algorithms observe only payloads, so behaviour is
+    /// unchanged; only cache-locality accounting becomes strict.
+    pub tag_writes: bool,
+    /// Record an execution [`Trace`]. Off by default; turn on for analysis.
+    pub record_trace: bool,
+}
+
+impl MachineConfig {
+    /// A configuration with tagging and tracing disabled.
+    #[must_use]
+    pub fn new(model: MemoryModel, layout: MemoryLayout) -> Self {
+        MachineConfig { model, layout, tag_writes: false, record_trace: false }
+    }
+
+    /// Enable write tagging.
+    #[must_use]
+    pub fn with_tagged_writes(mut self) -> Self {
+        self.tag_writes = true;
+        self
+    }
+
+    /// Enable trace recording.
+    #[must_use]
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// One process's slot in a configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct ProcSlot<P> {
+    prog: P,
+    buffer: WriteBuffer,
+    returned: Option<u64>,
+}
+
+/// The result of applying one schedule element.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The element had no effect (the process was in a final state, or a
+    /// named commit was not committable and no operation applied).
+    NoOp,
+    /// A step was taken; the primary event describes it. (An SC-mode write
+    /// records both a `Write` and a `Commit` in the trace; the `Commit` is
+    /// the primary event.)
+    Stepped(Event),
+}
+
+impl StepOutcome {
+    /// The event of the step, if one was taken.
+    #[must_use]
+    pub fn event(&self) -> Option<&Event> {
+        match self {
+            StepOutcome::NoOp => None,
+            StepOutcome::Stepped(e) => Some(e),
+        }
+    }
+}
+
+/// Outcome of running a process alone from the current configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SoloOutcome {
+    /// The process reaches a final state after `steps` further steps.
+    Terminates {
+        /// Steps taken to reach the final state.
+        steps: usize,
+        /// The value returned.
+        ret: u64,
+    },
+    /// The process provably never finishes alone: its solo execution
+    /// revisited a configuration (it is spinning on unchanged memory).
+    Diverges {
+        /// Steps taken before the revisit was detected.
+        steps: usize,
+    },
+    /// The step bound was exhausted without termination or a revisit.
+    Unknown,
+}
+
+impl SoloOutcome {
+    /// Whether the process enters a final state in every (fair) solo run.
+    #[must_use]
+    pub fn terminates(self) -> bool {
+        matches!(self, SoloOutcome::Terminates { .. })
+    }
+}
+
+/// A snapshot of the behaviourally relevant machine state (shared memory,
+/// buffers, process states, return flags) — everything that determines
+/// future behaviour, and nothing that doesn't (no counters, no caches, no
+/// trace). Used as the visited-set key by the model checker.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StateKey<P: Process> {
+    mem: Vec<(RegId, Value)>,
+    procs: Vec<(P, WriteBuffer, Option<u64>)>,
+}
+
+/// A system configuration plus the machinery to evolve it: the paper's
+/// `Exec_A(C; σ)` made executable.
+///
+/// See the [crate docs](crate) for the model; see [`Machine::step`] for the
+/// step rule.
+#[derive(Clone, Debug)]
+pub struct Machine<P: Process> {
+    config: MachineConfig,
+    mem: BTreeMap<RegId, Value>,
+    procs: Vec<ProcSlot<P>>,
+    locality: LocalityTracker,
+    counters: Counters,
+    trace: Trace,
+    next_nonce: u64,
+}
+
+impl<P: Process> Machine<P> {
+    /// A machine at the initial configuration: every register ⊥, every
+    /// buffer empty, every process at its initial state.
+    #[must_use]
+    pub fn new(config: MachineConfig, procs: Vec<P>) -> Self {
+        let n = procs.len();
+        let model = config.model;
+        Machine {
+            config,
+            mem: BTreeMap::new(),
+            procs: procs
+                .into_iter()
+                .map(|prog| ProcSlot { prog, buffer: WriteBuffer::new(model), returned: None })
+                .collect(),
+            locality: LocalityTracker::new(n),
+            counters: Counters::new(n),
+            trace: Trace::new(),
+            next_nonce: 0,
+        }
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// The machine's configuration parameters.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Pre-execution register initialization: sets shared memory directly,
+    /// without a step, without accounting, and without granting anyone
+    /// commit ownership.
+    pub fn init_reg(&mut self, reg: RegId, value: Value) {
+        self.mem.insert(reg, value);
+    }
+
+    /// The current value of `reg` in shared memory (⊥ if never committed).
+    #[must_use]
+    pub fn memory(&self, reg: RegId) -> Value {
+        self.mem.get(&reg).copied().unwrap_or(Value::Bot)
+    }
+
+    /// The operation process `p` is poised to execute (`next_p(C)`), or
+    /// [`Poised::Done`] if `p` has returned.
+    #[must_use]
+    pub fn poised(&self, p: ProcId) -> Poised {
+        let slot = &self.procs[p.index()];
+        if slot.returned.is_some() {
+            Poised::Done
+        } else {
+            slot.prog.poised()
+        }
+    }
+
+    /// Whether `p` is in a final state.
+    #[must_use]
+    pub fn is_done(&self, p: ProcId) -> bool {
+        self.procs[p.index()].returned.is_some()
+    }
+
+    /// Whether every process is in a final state.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        self.procs.iter().all(|s| s.returned.is_some())
+    }
+
+    /// The number of processes in a final state (the paper's `NbFinal(C)`).
+    #[must_use]
+    pub fn nb_final(&self) -> u64 {
+        self.procs.iter().filter(|s| s.returned.is_some()).count() as u64
+    }
+
+    /// The value `p` returned, if it has.
+    #[must_use]
+    pub fn return_value(&self, p: ProcId) -> Option<u64> {
+        self.procs[p.index()].returned
+    }
+
+    /// All return values, indexed by process id (`None` for unfinished).
+    #[must_use]
+    pub fn return_values(&self) -> Vec<Option<u64>> {
+        self.procs.iter().map(|s| s.returned).collect()
+    }
+
+    /// Process `p`'s write buffer.
+    #[must_use]
+    pub fn buffer(&self, p: ProcId) -> &WriteBuffer {
+        &self.procs[p.index()].buffer
+    }
+
+    /// Whether `p`'s write buffer is empty.
+    #[must_use]
+    pub fn buffer_is_empty(&self, p: ProcId) -> bool {
+        self.procs[p.index()].buffer.is_empty()
+    }
+
+    /// Process `p`'s program annotation (see
+    /// [`Process::annotation`]).
+    #[must_use]
+    pub fn annotation(&self, p: ProcId) -> u64 {
+        self.procs[p.index()].prog.annotation()
+    }
+
+    /// Fence/RMR accounting so far.
+    #[must_use]
+    pub fn counters(&self) -> &Counters {
+        &self.counters
+    }
+
+    /// The recorded trace (empty unless `record_trace` was set).
+    #[must_use]
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// The locality tracker (caches and commit ownership).
+    #[must_use]
+    pub fn locality(&self) -> &LocalityTracker {
+        &self.locality
+    }
+
+    /// A hashable snapshot of the behaviourally relevant state.
+    #[must_use]
+    pub fn state_key(&self) -> StateKey<P> {
+        StateKey {
+            mem: self.mem.iter().map(|(&r, &v)| (r, v)).collect(),
+            procs: self
+                .procs
+                .iter()
+                .map(|s| (s.prog.clone(), s.buffer.clone(), s.returned))
+                .collect(),
+        }
+    }
+
+    /// Apply one schedule element, following the paper's rule:
+    ///
+    /// 1. If the element names a register `R` and `p` has a committable
+    ///    buffered write to `R`, the step commits it.
+    /// 2. Otherwise, if `p` is poised at `fence()` with a non-empty buffer,
+    ///    the step commits the write to the smallest buffered register
+    ///    (oldest, under TSO).
+    /// 3. Otherwise the step performs `p`'s poised operation (read, write,
+    ///    fence, or return). If `p` is in a final state, nothing happens.
+    pub fn step(&mut self, elem: SchedElem) -> StepOutcome {
+        let p = elem.proc;
+        if self.is_done(p) {
+            return StepOutcome::NoOp;
+        }
+        if let Some(reg) = elem.reg {
+            if self.procs[p.index()].buffer.can_commit(reg) {
+                return self.do_commit(p, reg);
+            }
+        }
+        match self.poised(p) {
+            Poised::Fence => {
+                if let Some(reg) = self.procs[p.index()].buffer.fence_commit_target() {
+                    self.do_commit(p, reg)
+                } else {
+                    self.counters.proc_mut(p.index()).fences += 1;
+                    self.procs[p.index()].prog.advance(None);
+                    self.emit(p, EventKind::Fence)
+                }
+            }
+            Poised::Cas { reg, expected, new } => {
+                // A CAS orders the store buffer like a fence: drain first.
+                if let Some(target) = self.procs[p.index()].buffer.fence_commit_target() {
+                    self.do_commit(p, target)
+                } else {
+                    self.do_cas(p, reg, expected, new)
+                }
+            }
+            Poised::Swap { reg, new } => {
+                if let Some(target) = self.procs[p.index()].buffer.fence_commit_target() {
+                    self.do_commit(p, target)
+                } else {
+                    self.do_swap(p, reg, new)
+                }
+            }
+            Poised::Read(reg) => self.do_read(p, reg),
+            Poised::Write(reg, value) => self.do_write(p, reg, value),
+            Poised::Return(value) => {
+                self.procs[p.index()].returned = Some(value);
+                self.emit(p, EventKind::Return { value })
+            }
+            Poised::Done => StepOutcome::NoOp,
+        }
+    }
+
+    fn do_read(&mut self, p: ProcId, reg: RegId) -> StepOutcome {
+        let (value, from_memory) = match self.procs[p.index()].buffer.read(reg) {
+            Some(v) => (v, false),
+            None => (self.memory(reg), true),
+        };
+        let local = self.locality.read_is_local(&self.config.layout, p, reg, value);
+        let c = self.counters.proc_mut(p.index());
+        c.reads += 1;
+        if !from_memory {
+            c.buffer_reads += 1;
+        }
+        if !local {
+            c.remote_reads += 1;
+            c.rmrs += 1;
+        }
+        self.locality.observe(p, reg, value);
+        self.procs[p.index()].prog.advance(Some(value));
+        self.emit(p, EventKind::Read { reg, value, from_memory, remote: !local })
+    }
+
+    fn do_write(&mut self, p: ProcId, reg: RegId, value: Value) -> StepOutcome {
+        let value = if self.config.tag_writes {
+            let nonce = self.next_nonce;
+            self.next_nonce += 1;
+            Value::Tagged { payload: value.payload(), nonce }
+        } else {
+            value
+        };
+        self.counters.proc_mut(p.index()).writes += 1;
+        self.locality.observe(p, reg, value);
+        self.procs[p.index()].prog.advance(None);
+        if self.config.model.buffers_writes() {
+            self.procs[p.index()].buffer.push(reg, value);
+            self.emit(p, EventKind::Write { reg, value })
+        } else {
+            // SC: the write commits immediately; record both effects.
+            if self.config.record_trace {
+                self.trace.push(Event { proc: p, kind: EventKind::Write { reg, value } });
+            }
+            self.commit_to_memory(p, reg, value)
+        }
+    }
+
+    fn do_cas(&mut self, p: ProcId, reg: RegId, expected: u64, new: Value) -> StepOutcome {
+        debug_assert!(self.procs[p.index()].buffer.is_empty(), "CAS requires a drained buffer");
+        let observed = self.memory(reg);
+        let success = observed.payload() == expected;
+        let (stored, local) = if success {
+            // A successful CAS writes memory: charge it like a commit.
+            let local = self.locality.commit_is_local(&self.config.layout, p, reg);
+            let value = if self.config.tag_writes {
+                let nonce = self.next_nonce;
+                self.next_nonce += 1;
+                Value::Tagged { payload: new.payload(), nonce }
+            } else {
+                new
+            };
+            self.mem.insert(reg, value);
+            self.locality.record_commit(p, reg);
+            self.locality.observe(p, reg, value);
+            (Some(value), local)
+        } else {
+            // A failed CAS only observes: charge it like a read.
+            let local = self.locality.read_is_local(&self.config.layout, p, reg, observed);
+            (None, local)
+        };
+        self.locality.observe(p, reg, observed);
+        let c = self.counters.proc_mut(p.index());
+        c.cas_ops += 1;
+        if !local {
+            c.remote_cas += 1;
+            c.rmrs += 1;
+        }
+        self.procs[p.index()].prog.advance(Some(observed));
+        self.emit(p, EventKind::Cas { reg, observed, stored, remote: !local })
+    }
+
+    fn do_swap(&mut self, p: ProcId, reg: RegId, new: Value) -> StepOutcome {
+        debug_assert!(self.procs[p.index()].buffer.is_empty(), "swap requires a drained buffer");
+        let observed = self.memory(reg);
+        // A swap always writes memory: charge it by the commit rule.
+        let local = self.locality.commit_is_local(&self.config.layout, p, reg);
+        let stored = if self.config.tag_writes {
+            let nonce = self.next_nonce;
+            self.next_nonce += 1;
+            Value::Tagged { payload: new.payload(), nonce }
+        } else {
+            new
+        };
+        self.mem.insert(reg, stored);
+        self.locality.record_commit(p, reg);
+        self.locality.observe(p, reg, stored);
+        self.locality.observe(p, reg, observed);
+        let c = self.counters.proc_mut(p.index());
+        c.swap_ops += 1;
+        if !local {
+            c.remote_swaps += 1;
+            c.rmrs += 1;
+        }
+        self.procs[p.index()].prog.advance(Some(observed));
+        self.emit(p, EventKind::Swap { reg, observed, stored, remote: !local })
+    }
+
+    fn do_commit(&mut self, p: ProcId, reg: RegId) -> StepOutcome {
+        let value = self.procs[p.index()]
+            .buffer
+            .take(reg)
+            .expect("do_commit requires a committable buffered write");
+        self.commit_to_memory(p, reg, value)
+    }
+
+    fn commit_to_memory(&mut self, p: ProcId, reg: RegId, value: Value) -> StepOutcome {
+        let local = self.locality.commit_is_local(&self.config.layout, p, reg);
+        self.mem.insert(reg, value);
+        self.locality.record_commit(p, reg);
+        let c = self.counters.proc_mut(p.index());
+        c.commits += 1;
+        if !local {
+            c.remote_commits += 1;
+            c.rmrs += 1;
+        }
+        self.emit(p, EventKind::Commit { reg, value, remote: !local })
+    }
+
+    fn emit(&mut self, p: ProcId, kind: EventKind) -> StepOutcome {
+        let event = Event { proc: p, kind };
+        if self.config.record_trace {
+            self.trace.push(event.clone());
+        }
+        StepOutcome::Stepped(event)
+    }
+
+    /// Apply a whole schedule; returns the number of elements that produced
+    /// a step.
+    pub fn run_schedule(&mut self, schedule: &[SchedElem]) -> usize {
+        schedule
+            .iter()
+            .filter(|&&e| matches!(self.step(e), StepOutcome::Stepped(_)))
+            .count()
+    }
+
+    /// Run `(p, ⊥)` elements until `p` finishes or `max_steps` effective
+    /// steps elapse. Returns the solo outcome; the machine is mutated.
+    pub fn run_solo(&mut self, p: ProcId, max_steps: usize) -> SoloOutcome {
+        for steps in 0..max_steps {
+            if let Some(ret) = self.return_value(p) {
+                return SoloOutcome::Terminates { steps, ret };
+            }
+            self.step(SchedElem::op(p));
+        }
+        match self.return_value(p) {
+            Some(ret) => SoloOutcome::Terminates { steps: max_steps, ret },
+            None => SoloOutcome::Unknown,
+        }
+    }
+
+    /// Decide whether `p` would enter a final state running alone from the
+    /// current configuration, **without mutating the machine**.
+    ///
+    /// Since processes are deterministic and a solo run with eager commits
+    /// is unique, divergence is detected exactly: if the solo run revisits a
+    /// configuration (process state, buffer, and memory overlay), it spins
+    /// forever. `max_steps` is a safety bound for genuinely unbounded
+    /// progress; exceeding it yields [`SoloOutcome::Unknown`].
+    #[must_use]
+    pub fn solo_outcome(&self, p: ProcId, max_steps: usize) -> SoloOutcome {
+        if let Some(ret) = self.return_value(p) {
+            return SoloOutcome::Terminates { steps: 0, ret };
+        }
+        let slot = &self.procs[p.index()];
+        let mut prog = slot.prog.clone();
+        let mut buffer = slot.buffer.clone();
+        // Commits during the solo run land in an overlay so we never clone
+        // or mutate shared memory.
+        let mut overlay: HashMap<RegId, Value> = HashMap::new();
+        type SoloState<P> = (P, WriteBuffer, Vec<(RegId, Value)>);
+        let mut seen: HashSet<SoloState<P>> = HashSet::new();
+
+        for steps in 0..max_steps {
+            let mut overlay_key: Vec<(RegId, Value)> =
+                overlay.iter().map(|(&r, &v)| (r, v)).collect();
+            overlay_key.sort_unstable();
+            if !seen.insert((prog.clone(), buffer.clone(), overlay_key)) {
+                return SoloOutcome::Diverges { steps };
+            }
+            match prog.poised() {
+                Poised::Return(ret) => return SoloOutcome::Terminates { steps, ret },
+                Poised::Done => {
+                    // A `Process` reporting Done without the machine having
+                    // seen its return step cannot occur for well-formed
+                    // programs; treat it as termination with value 0.
+                    return SoloOutcome::Terminates { steps, ret: 0 };
+                }
+                Poised::Fence => {
+                    if let Some(reg) = buffer.fence_commit_target() {
+                        let v = buffer.take(reg).expect("fence target is committable");
+                        overlay.insert(reg, v);
+                    } else {
+                        prog.advance(None);
+                    }
+                }
+                Poised::Cas { reg, expected, new } => {
+                    if let Some(target) = buffer.fence_commit_target() {
+                        let v = buffer.take(target).expect("fence target is committable");
+                        overlay.insert(target, v);
+                    } else {
+                        let observed =
+                            overlay.get(&reg).copied().unwrap_or_else(|| self.memory(reg));
+                        if observed.payload() == expected {
+                            overlay.insert(reg, new);
+                        }
+                        prog.advance(Some(observed));
+                    }
+                }
+                Poised::Swap { reg, new } => {
+                    if let Some(target) = buffer.fence_commit_target() {
+                        let v = buffer.take(target).expect("fence target is committable");
+                        overlay.insert(target, v);
+                    } else {
+                        let observed =
+                            overlay.get(&reg).copied().unwrap_or_else(|| self.memory(reg));
+                        overlay.insert(reg, new);
+                        prog.advance(Some(observed));
+                    }
+                }
+                Poised::Read(reg) => {
+                    let v = buffer
+                        .read(reg)
+                        .or_else(|| overlay.get(&reg).copied())
+                        .unwrap_or_else(|| self.memory(reg));
+                    prog.advance(Some(v));
+                }
+                Poised::Write(reg, value) => {
+                    // Tagging is irrelevant to control flow (programs see
+                    // only payloads), so solo runs skip it.
+                    prog.advance(None);
+                    if self.config.model.buffers_writes() {
+                        buffer.push(reg, value);
+                    } else {
+                        overlay.insert(reg, value);
+                    }
+                }
+            }
+        }
+        SoloOutcome::Unknown
+    }
+
+    /// Every schedule element that would produce a step from the current
+    /// configuration, with duplicates removed: all committable buffered
+    /// writes of every unfinished process, plus `(p, ⊥)` where that is not
+    /// just a synonym for the smallest-register fence commit.
+    #[must_use]
+    pub fn choices(&self) -> Vec<SchedElem> {
+        let mut out = Vec::new();
+        for (i, slot) in self.procs.iter().enumerate() {
+            if slot.returned.is_some() {
+                continue;
+            }
+            let p = ProcId::from(i);
+            for reg in slot.buffer.commit_choices() {
+                out.push(SchedElem::commit(p, reg));
+            }
+            let fence_blocked =
+                matches!(
+                    slot.prog.poised(),
+                    Poised::Fence | Poised::Cas { .. } | Poised::Swap { .. }
+                ) && !slot.buffer.is_empty();
+            if !fence_blocked {
+                out.push(SchedElem::op(p));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted process for tests: executes a fixed list of operations.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Script {
+        ops: Vec<Poised>,
+        pc: usize,
+        last_read: Option<Value>,
+    }
+
+    impl Script {
+        fn new(ops: Vec<Poised>) -> Self {
+            Script { ops, pc: 0, last_read: None }
+        }
+    }
+
+    impl Process for Script {
+        fn poised(&self) -> Poised {
+            self.ops.get(self.pc).copied().unwrap_or(Poised::Done)
+        }
+        fn advance(&mut self, read_value: Option<Value>) {
+            if read_value.is_some() {
+                self.last_read = read_value;
+            }
+            self.pc += 1;
+        }
+    }
+
+    fn r(i: u32) -> RegId {
+        RegId(i)
+    }
+    fn p(i: u32) -> ProcId {
+        ProcId(i)
+    }
+
+    fn pso_machine(procs: Vec<Script>) -> Machine<Script> {
+        Machine::new(
+            MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned()).with_trace(),
+            procs,
+        )
+    }
+
+    #[test]
+    fn write_is_buffered_until_committed_pso() {
+        let w = Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
+        let mut m = pso_machine(vec![w]);
+        m.step(SchedElem::op(p(0)));
+        assert_eq!(m.memory(r(0)), Value::Bot, "write must not be visible yet");
+        assert!(m.buffer(p(0)).contains(r(0)));
+        m.step(SchedElem::commit(p(0), r(0)));
+        assert_eq!(m.memory(r(0)), Value::Int(1));
+        assert!(m.buffer_is_empty(p(0)));
+    }
+
+    #[test]
+    fn fence_blocks_until_buffer_empty() {
+        let w = Script::new(vec![
+            Poised::Write(r(3), Value::Int(1)),
+            Poised::Write(r(1), Value::Int(2)),
+            Poised::Fence,
+            Poised::Return(0),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(0)));
+        // Fence with two buffered writes: first (p,⊥) commits smallest reg.
+        let out = m.step(SchedElem::op(p(0)));
+        assert!(matches!(
+            out.event().map(|e| &e.kind),
+            Some(EventKind::Commit { reg, .. }) if *reg == r(1)
+        ));
+        // Second commits the remaining write; third executes the fence.
+        m.step(SchedElem::op(p(0)));
+        let out = m.step(SchedElem::op(p(0)));
+        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Fence)));
+        assert_eq!(m.counters().proc(0).fences, 1);
+        m.step(SchedElem::op(p(0)));
+        assert!(m.all_done());
+    }
+
+    #[test]
+    fn reads_are_served_from_own_buffer() {
+        let w = Script::new(vec![
+            Poised::Write(r(0), Value::Int(9)),
+            Poised::Read(r(0)),
+            Poised::Return(0),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        m.step(SchedElem::op(p(0)));
+        let out = m.step(SchedElem::op(p(0)));
+        match out.event().map(|e| &e.kind) {
+            Some(EventKind::Read { value, from_memory, remote, .. }) => {
+                assert_eq!(*value, Value::Int(9));
+                assert!(!from_memory);
+                assert!(!remote, "buffer reads hit the cache");
+            }
+            other => panic!("expected read event, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pso_allows_write_reordering_tso_does_not() {
+        let writer = || {
+            Script::new(vec![
+                Poised::Write(r(0), Value::Int(1)),
+                Poised::Write(r(1), Value::Int(2)),
+                Poised::Return(0),
+            ])
+        };
+        // PSO: the second write can commit first.
+        let mut m = pso_machine(vec![writer()]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(0)));
+        let out = m.step(SchedElem::commit(p(0), r(1)));
+        assert!(matches!(out, StepOutcome::Stepped(_)));
+        assert_eq!(m.memory(r(1)), Value::Int(2));
+        assert_eq!(m.memory(r(0)), Value::Bot, "older write still pending");
+
+        // TSO: naming the younger write falls through (no commit possible,
+        // and the poised op — return — runs instead).
+        let cfg = MachineConfig::new(MemoryModel::Tso, MemoryLayout::unowned());
+        let mut m = Machine::new(cfg, vec![writer()]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(0)));
+        let out = m.step(SchedElem::commit(p(0), r(1)));
+        assert!(
+            matches!(out.event().map(|e| &e.kind), Some(EventKind::Return { .. })),
+            "TSO must not commit the younger write; the element falls through to return"
+        );
+        assert_eq!(m.memory(r(1)), Value::Bot);
+    }
+
+    #[test]
+    fn sc_commits_writes_immediately() {
+        let w = Script::new(vec![Poised::Write(r(0), Value::Int(5)), Poised::Return(0)]);
+        let cfg = MachineConfig::new(MemoryModel::Sc, MemoryLayout::unowned()).with_trace();
+        let mut m = Machine::new(cfg, vec![w]);
+        let out = m.step(SchedElem::op(p(0)));
+        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Commit { .. })));
+        assert_eq!(m.memory(r(0)), Value::Int(5));
+        // The trace records both the write and the commit.
+        assert_eq!(m.trace().len(), 2);
+    }
+
+    #[test]
+    fn rmr_accounting_first_remote_then_cached() {
+        // p1 reads a register twice; first read is remote, second is a
+        // cache hit (same value).
+        let reader = Script::new(vec![Poised::Read(r(0)), Poised::Read(r(0)), Poised::Return(0)]);
+        let mut m = pso_machine(vec![reader]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(0)));
+        let c = m.counters().proc(0);
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.remote_reads, 1);
+        assert_eq!(c.rmrs, 1);
+    }
+
+    #[test]
+    fn rmr_accounting_invalidation_by_other_writer() {
+        // p0 reads R twice, p1 commits a new value in between: both of p0's
+        // reads are remote.
+        let reader = Script::new(vec![Poised::Read(r(0)), Poised::Read(r(0)), Poised::Return(0)]);
+        let writer = Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
+        let mut m = pso_machine(vec![reader, writer]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(1)));
+        m.step(SchedElem::commit(p(1), r(0)));
+        m.step(SchedElem::op(p(0)));
+        assert_eq!(m.counters().proc(0).remote_reads, 2);
+    }
+
+    #[test]
+    fn dsm_segment_reads_are_always_local() {
+        let mut layout = MemoryLayout::unowned();
+        layout.assign(r(0), p(0));
+        let reader = Script::new(vec![Poised::Read(r(0)), Poised::Return(0)]);
+        let cfg = MachineConfig::new(MemoryModel::Pso, layout);
+        let mut m = Machine::new(cfg, vec![reader]);
+        m.step(SchedElem::op(p(0)));
+        assert_eq!(m.counters().proc(0).rmrs, 0);
+    }
+
+    #[test]
+    fn commit_ownership_makes_repeat_commits_local() {
+        let w = Script::new(vec![
+            Poised::Write(r(0), Value::Int(1)),
+            Poised::Write(r(0), Value::Int(2)),
+            Poised::Return(0),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::commit(p(0), r(0))); // first commit: remote
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::commit(p(0), r(0))); // second: local (owned)
+        let c = m.counters().proc(0);
+        assert_eq!(c.commits, 2);
+        assert_eq!(c.remote_commits, 1);
+    }
+
+    #[test]
+    fn return_records_value_and_finalizes() {
+        let w = Script::new(vec![Poised::Return(42)]);
+        let mut m = pso_machine(vec![w]);
+        assert_eq!(m.nb_final(), 0);
+        m.step(SchedElem::op(p(0)));
+        assert_eq!(m.return_value(p(0)), Some(42));
+        assert_eq!(m.nb_final(), 1);
+        assert!(m.all_done());
+        assert_eq!(m.poised(p(0)), Poised::Done);
+        // Further elements are no-ops.
+        assert_eq!(m.step(SchedElem::op(p(0))), StepOutcome::NoOp);
+    }
+
+    #[test]
+    fn tagging_makes_written_values_unique() {
+        let w = |reg| Script::new(vec![Poised::Write(reg, Value::Int(1)), Poised::Return(0)]);
+        let cfg = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned())
+            .with_tagged_writes();
+        let mut m = Machine::new(cfg, vec![w(r(0)), w(r(1))]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(1)));
+        m.step(SchedElem::commit(p(0), r(0)));
+        m.step(SchedElem::commit(p(1), r(1)));
+        let a = m.memory(r(0));
+        let b = m.memory(r(1));
+        assert_ne!(a, b);
+        assert_eq!(a.payload(), b.payload());
+    }
+
+    #[test]
+    fn solo_outcome_detects_termination_and_divergence() {
+        // Terminating: write, fence, return.
+        let fin = Script::new(vec![
+            Poised::Write(r(0), Value::Int(1)),
+            Poised::Fence,
+            Poised::Return(7),
+        ]);
+        // Diverging: spin reading r(9) forever (Script has no loops, so
+        // emulate with a long repeat — divergence needs a real looping
+        // process; use a custom one).
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct Spinner;
+        impl Process for Spinner {
+            fn poised(&self) -> Poised {
+                Poised::Read(RegId(9))
+            }
+            fn advance(&mut self, _v: Option<Value>) {}
+        }
+        let m = pso_machine(vec![fin]);
+        assert!(matches!(
+            m.solo_outcome(p(0), 1000),
+            SoloOutcome::Terminates { ret: 7, .. }
+        ));
+
+        let cfg = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned());
+        let m = Machine::new(cfg, vec![Spinner]);
+        assert!(matches!(m.solo_outcome(p(0), 1000), SoloOutcome::Diverges { .. }));
+    }
+
+    #[test]
+    fn solo_outcome_does_not_mutate() {
+        let w = Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
+        let m = pso_machine(vec![w]);
+        let key_before = m.state_key();
+        let _ = m.solo_outcome(p(0), 100);
+        assert_eq!(m.state_key(), key_before);
+    }
+
+    #[test]
+    fn choices_enumerate_commits_and_ops() {
+        let w = Script::new(vec![
+            Poised::Write(r(0), Value::Int(1)),
+            Poised::Write(r(1), Value::Int(2)),
+            Poised::Fence,
+            Poised::Return(0),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(0)));
+        // Fence-blocked with two buffered writes: exactly the two commits.
+        let cs = m.choices();
+        assert_eq!(
+            cs,
+            vec![SchedElem::commit(p(0), r(0)), SchedElem::commit(p(0), r(1))]
+        );
+    }
+
+    #[test]
+    fn choices_empty_iff_all_done() {
+        let w = Script::new(vec![Poised::Return(0)]);
+        let mut m = pso_machine(vec![w]);
+        assert!(!m.choices().is_empty());
+        m.step(SchedElem::op(p(0)));
+        assert!(m.choices().is_empty());
+        assert!(m.all_done());
+    }
+
+    #[test]
+    fn state_key_ignores_counters() {
+        let reader = Script::new(vec![Poised::Read(r(0)), Poised::Read(r(0)), Poised::Return(0)]);
+        let mut a = pso_machine(vec![reader.clone()]);
+        let mut b = pso_machine(vec![reader]);
+        a.step(SchedElem::op(p(0)));
+        a.step(SchedElem::op(p(0)));
+        b.step(SchedElem::op(p(0)));
+        b.step(SchedElem::op(p(0)));
+        assert_eq!(a.state_key(), b.state_key());
+    }
+
+    #[test]
+    fn init_reg_sets_memory_without_accounting() {
+        let reader = Script::new(vec![Poised::Read(r(5)), Poised::Return(0)]);
+        let mut m = pso_machine(vec![reader]);
+        m.init_reg(r(5), Value::Int(33));
+        assert_eq!(m.memory(r(5)), Value::Int(33));
+        assert_eq!(m.counters().total().commits, 0);
+        m.step(SchedElem::op(p(0)));
+        // First read of an init value is still remote (never observed).
+        assert_eq!(m.counters().proc(0).remote_reads, 1);
+    }
+
+    #[test]
+    fn run_schedule_counts_effective_steps() {
+        let w = Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
+        let mut m = pso_machine(vec![w]);
+        let sched = vec![SchedElem::op(p(0)), SchedElem::op(p(0)), SchedElem::op(p(0))];
+        let steps = m.run_schedule(&sched);
+        assert_eq!(steps, 2, "third element is a no-op after return");
+    }
+
+    #[test]
+    fn tso_reads_see_youngest_own_buffered_write() {
+        let w = Script::new(vec![
+            Poised::Write(r(0), Value::Int(1)),
+            Poised::Write(r(0), Value::Int(2)),
+            Poised::Read(r(0)),
+            Poised::Return(0),
+        ]);
+        let cfg = MachineConfig::new(MemoryModel::Tso, MemoryLayout::unowned());
+        let mut m = Machine::new(cfg, vec![w]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(0)));
+        let out = m.step(SchedElem::op(p(0)));
+        match out.event().map(|e| &e.kind) {
+            Some(EventKind::Read { value, from_memory, .. }) => {
+                assert_eq!(*value, Value::Int(2), "youngest write wins");
+                assert!(!from_memory);
+            }
+            other => panic!("expected read, got {other:?}"),
+        }
+        // Both queued entries still commit, in order.
+        m.step(SchedElem::commit(p(0), r(0)));
+        assert_eq!(m.memory(r(0)), Value::Int(1));
+        m.step(SchedElem::commit(p(0), r(0)));
+        assert_eq!(m.memory(r(0)), Value::Int(2));
+    }
+
+    #[test]
+    fn tso_fence_drains_in_program_order() {
+        let w = Script::new(vec![
+            Poised::Write(r(9), Value::Int(1)),
+            Poised::Write(r(2), Value::Int(2)),
+            Poised::Fence,
+            Poised::Return(0),
+        ]);
+        let cfg = MachineConfig::new(MemoryModel::Tso, MemoryLayout::unowned())
+            .with_trace();
+        let mut m = Machine::new(cfg, vec![w]);
+        m.run_solo(p(0), 100);
+        let commits: Vec<RegId> = m
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Commit { reg, .. } => Some(reg),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(commits, vec![r(9), r(2)], "FIFO drain: program order, not register order");
+    }
+
+    #[test]
+    fn swap_observes_then_stores_unconditionally() {
+        let w = Script::new(vec![
+            Poised::Swap { reg: r(0), new: Value::Int(5) },
+            Poised::Swap { reg: r(0), new: Value::Int(6) },
+            Poised::Return(0),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        let out = m.step(SchedElem::op(p(0)));
+        match out.event().map(|e| &e.kind) {
+            Some(EventKind::Swap { observed, stored, remote, .. }) => {
+                assert!(observed.is_bot());
+                assert_eq!(stored.payload(), 5);
+                assert!(remote, "first swap of an unowned register is remote");
+            }
+            other => panic!("expected swap, got {other:?}"),
+        }
+        let out = m.step(SchedElem::op(p(0)));
+        match out.event().map(|e| &e.kind) {
+            Some(EventKind::Swap { observed, remote, .. }) => {
+                assert_eq!(observed.payload(), 5);
+                assert!(!remote, "p owns the register after its own swap");
+            }
+            other => panic!("expected swap, got {other:?}"),
+        }
+        assert_eq!(m.memory(r(0)).payload(), 6);
+        assert_eq!(m.counters().proc(0).swap_ops, 2);
+        assert_eq!(m.counters().proc(0).remote_swaps, 1);
+    }
+
+    #[test]
+    fn swap_drains_the_buffer_first() {
+        let w = Script::new(vec![
+            Poised::Write(r(3), Value::Int(7)),
+            Poised::Swap { reg: r(0), new: Value::Int(1) },
+            Poised::Return(0),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        m.step(SchedElem::op(p(0)));
+        let out = m.step(SchedElem::op(p(0)));
+        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Commit { .. })));
+        let out = m.step(SchedElem::op(p(0)));
+        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Swap { .. })));
+    }
+
+    #[test]
+    fn cas_succeeds_and_fails_by_payload() {
+        let w = Script::new(vec![
+            Poised::Cas { reg: r(0), expected: 0, new: Value::Int(5) }, // ⊥ payload 0 → succeeds
+            Poised::Cas { reg: r(0), expected: 0, new: Value::Int(9) }, // now 5 → fails
+            Poised::Return(0),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        let out = m.step(SchedElem::op(p(0)));
+        match out.event().map(|e| &e.kind) {
+            Some(EventKind::Cas { stored, remote, .. }) => {
+                assert_eq!(*stored, Some(Value::Int(5)));
+                assert!(remote, "first CAS of an unowned register is remote");
+            }
+            other => panic!("expected cas event, got {other:?}"),
+        }
+        let out = m.step(SchedElem::op(p(0)));
+        match out.event().map(|e| &e.kind) {
+            Some(EventKind::Cas { stored, observed, remote, .. }) => {
+                assert_eq!(*stored, None, "payload 5 != expected 0");
+                assert_eq!(*observed, Value::Int(5));
+                assert!(!remote, "p owns the register after its own CAS commit");
+            }
+            other => panic!("expected cas event, got {other:?}"),
+        }
+        assert_eq!(m.memory(r(0)), Value::Int(5));
+        assert_eq!(m.counters().proc(0).cas_ops, 2);
+        assert_eq!(m.counters().proc(0).remote_cas, 1);
+    }
+
+    #[test]
+    fn cas_drains_the_buffer_first() {
+        let w = Script::new(vec![
+            Poised::Write(r(3), Value::Int(7)),
+            Poised::Cas { reg: r(0), expected: 0, new: Value::Int(1) },
+            Poised::Return(0),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        m.step(SchedElem::op(p(0))); // buffered write
+        let out = m.step(SchedElem::op(p(0))); // cas poised, buffer non-empty → commit
+        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Commit { .. })));
+        assert_eq!(m.memory(r(3)), Value::Int(7));
+        let out = m.step(SchedElem::op(p(0))); // now the CAS itself
+        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Cas { .. })));
+    }
+
+    #[test]
+    fn cas_atomicity_under_contention() {
+        // Two processes race a CAS on the same register: exactly one wins.
+        let racer =
+            || Script::new(vec![Poised::Cas { reg: r(0), expected: 0, new: Value::Int(1) },
+                                Poised::Return(0)]);
+        let cfg = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned())
+            .with_tagged_writes();
+        let mut m = Machine::new(cfg, vec![racer(), racer()]);
+        let e0 = m.step(SchedElem::op(p(0)));
+        let e1 = m.step(SchedElem::op(p(1)));
+        let wins = [e0, e1]
+            .iter()
+            .filter(|o| {
+                matches!(o.event().map(|e| &e.kind), Some(EventKind::Cas { stored: Some(_), .. }))
+            })
+            .count();
+        assert_eq!(wins, 1, "exactly one CAS succeeds");
+    }
+
+    #[test]
+    fn solo_outcome_handles_cas() {
+        let w = Script::new(vec![
+            Poised::Write(r(1), Value::Int(2)),
+            Poised::Cas { reg: r(0), expected: 0, new: Value::Int(1) },
+            Poised::Return(4),
+        ]);
+        let m = pso_machine(vec![w]);
+        assert!(matches!(
+            m.solo_outcome(p(0), 100),
+            SoloOutcome::Terminates { ret: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn run_solo_terminates_process() {
+        let w = Script::new(vec![
+            Poised::Write(r(0), Value::Int(1)),
+            Poised::Fence,
+            Poised::Return(3),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        let out = m.run_solo(p(0), 100);
+        assert!(matches!(out, SoloOutcome::Terminates { ret: 3, .. }));
+        assert_eq!(m.memory(r(0)), Value::Int(1), "fence forced the commit");
+    }
+}

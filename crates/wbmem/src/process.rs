@@ -1,0 +1,130 @@
+//! The interface between programs and the machine.
+
+use crate::reg::RegId;
+use crate::value::Value;
+
+/// The operation a process is poised to execute, as observed by the machine
+/// before the corresponding step is taken.
+///
+/// This mirrors the paper's `next_p(C)`: a deterministic function of the
+/// process's local state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Poised {
+    /// `read(R)` — the step returns a value (from the write buffer if it
+    /// holds a write to `R`, otherwise from shared memory).
+    Read(RegId),
+    /// `write(R, x)` — the write enters the process's write buffer (commits
+    /// immediately under SC).
+    Write(RegId, Value),
+    /// `fence()` — the process cannot take further steps until its write
+    /// buffer is empty.
+    Fence,
+    /// `cas(R, expected, new)` — a comparison primitive (the paper's §6
+    /// extension): atomically, if `R`'s current payload equals `expected`,
+    /// store `new`. Like a fence, it cannot execute until the write buffer
+    /// has drained (real hardware CAS orders the store buffer).
+    Cas {
+        /// Register operated on.
+        reg: RegId,
+        /// Payload the current value must equal for the swap to happen.
+        expected: u64,
+        /// Value stored on success.
+        new: Value,
+    },
+    /// `swap(R, new)` — fetch-and-store (used by queue locks such as MCS):
+    /// atomically store `new` and observe the previous value. Like CAS, it
+    /// drains the write buffer before executing.
+    Swap {
+        /// Register operated on.
+        reg: RegId,
+        /// Value stored unconditionally.
+        new: Value,
+    },
+    /// `return(x)` — the process enters a final state with value `x`.
+    Return(u64),
+    /// The process is in a final state (`next_p(C) = ∅`).
+    Done,
+}
+
+impl Poised {
+    /// The shape of the poised operation, without operands.
+    #[must_use]
+    pub fn kind(self) -> PoisedKind {
+        match self {
+            Poised::Read(_) => PoisedKind::Read,
+            Poised::Write(_, _) => PoisedKind::Write,
+            Poised::Fence => PoisedKind::Fence,
+            Poised::Cas { .. } => PoisedKind::Cas,
+            Poised::Swap { .. } => PoisedKind::Swap,
+            Poised::Return(_) => PoisedKind::Return,
+            Poised::Done => PoisedKind::Done,
+        }
+    }
+}
+
+/// Operation shapes (see [`Poised`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PoisedKind {
+    /// A read operation.
+    Read,
+    /// A write operation.
+    Write,
+    /// A fence operation.
+    Fence,
+    /// A compare-and-swap operation.
+    Cas,
+    /// A fetch-and-store operation.
+    Swap,
+    /// A return operation.
+    Return,
+    /// Final state.
+    Done,
+}
+
+/// A deterministic process: a cloneable state machine executing the paper's
+/// operations.
+///
+/// The machine drives a process by inspecting [`poised`](Process::poised)
+/// and, once it has performed the operation's memory effects, calling
+/// [`advance`](Process::advance) (with the read result for read steps).
+/// Commit steps belong to the *system* and never advance the process.
+///
+/// Implementations must be deterministic — `poised` must be a pure function
+/// of the state — because the lower-bound encoder replays and solo-runs
+/// processes and relies on identical behaviour each time. `Clone + Eq +
+/// Hash` make states snapshotable and model-checkable.
+pub trait Process: Clone + Eq + std::hash::Hash {
+    /// The operation this process is poised to execute.
+    fn poised(&self) -> Poised;
+
+    /// Consume the poised operation. For reads and compare-and-swaps,
+    /// `read_value` carries the value observed (for CAS, the value of the
+    /// register *before* the operation — the swap succeeded iff its payload
+    /// equals the expectation); for every other operation it is `None`.
+    ///
+    /// Must not be called when [`poised`](Process::poised) is
+    /// [`Poised::Done`]. The machine never calls `advance` for a
+    /// [`Poised::Return`] step either — it records the return value itself
+    /// and treats the process as final from then on.
+    fn advance(&mut self, read_value: Option<Value>);
+
+    /// A program-defined annotation (e.g. "in critical section"), visible to
+    /// invariant checkers. Defaults to `0`.
+    fn annotation(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poised_kind_classification() {
+        assert_eq!(Poised::Read(RegId(0)).kind(), PoisedKind::Read);
+        assert_eq!(Poised::Write(RegId(0), Value::Int(1)).kind(), PoisedKind::Write);
+        assert_eq!(Poised::Fence.kind(), PoisedKind::Fence);
+        assert_eq!(Poised::Return(3).kind(), PoisedKind::Return);
+        assert_eq!(Poised::Done.kind(), PoisedKind::Done);
+    }
+}

@@ -1,0 +1,180 @@
+//! Register and process identifiers, and the DSM segment layout.
+//!
+//! The paper partitions the register set `R` into per-process memory
+//! segments `R_0, …, R_{n-1}`. [`MemoryLayout`] records which process (if
+//! any) owns each register; registers with no recorded owner belong to a
+//! notional extra segment local to nobody, which is a conservative choice
+//! (it can only classify more steps as remote, never fewer, so lower-bound
+//! measurements remain valid).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A process identifier in `[0, n)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+impl ProcId {
+    /// The identifier as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcId {
+    fn from(i: usize) -> Self {
+        ProcId(u32::try_from(i).expect("process index fits in u32"))
+    }
+}
+
+/// A shared-register identifier. Registers are totally ordered by id, which
+/// the schedule semantics relies on (a fence commits the write to the
+/// *smallest* buffered register).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RegId(pub u32);
+
+impl RegId {
+    /// The identifier as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RegId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<usize> for RegId {
+    fn from(i: usize) -> Self {
+        RegId(u32::try_from(i).expect("register index fits in u32"))
+    }
+}
+
+/// The DSM partition: which process's local memory segment each register
+/// lives in.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MemoryLayout {
+    owners: HashMap<RegId, ProcId>,
+}
+
+impl MemoryLayout {
+    /// A layout in which no register is local to any process (pure CC-model
+    /// accounting: locality can only come from the value cache).
+    #[must_use]
+    pub fn unowned() -> Self {
+        Self::default()
+    }
+
+    /// Assign register `reg` to process `owner`'s local segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reg` was already assigned to a *different* owner: segment
+    /// membership is a partition, not a preference.
+    pub fn assign(&mut self, reg: RegId, owner: ProcId) {
+        if let Some(prev) = self.owners.insert(reg, owner) {
+            assert_eq!(
+                prev, owner,
+                "register {reg} reassigned from {prev} to {owner}"
+            );
+        }
+    }
+
+    /// The owner of `reg`, if any.
+    #[must_use]
+    pub fn owner(&self, reg: RegId) -> Option<ProcId> {
+        self.owners.get(&reg).copied()
+    }
+
+    /// Whether `reg` lies in `p`'s local memory segment.
+    #[must_use]
+    pub fn is_local_to(&self, reg: RegId, p: ProcId) -> bool {
+        self.owner(reg) == Some(p)
+    }
+
+    /// Number of registers with an assigned owner.
+    #[must_use]
+    pub fn assigned_len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Iterate over `(register, owner)` assignments in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (RegId, ProcId)> + '_ {
+        self.owners.iter().map(|(&r, &p)| (r, p))
+    }
+}
+
+impl FromIterator<(RegId, ProcId)> for MemoryLayout {
+    fn from_iter<I: IntoIterator<Item = (RegId, ProcId)>>(iter: I) -> Self {
+        let mut layout = MemoryLayout::unowned();
+        for (r, p) in iter {
+            layout.assign(r, p);
+        }
+        layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unowned_layout_has_no_locals() {
+        let layout = MemoryLayout::unowned();
+        assert_eq!(layout.owner(RegId(3)), None);
+        assert!(!layout.is_local_to(RegId(3), ProcId(0)));
+        assert_eq!(layout.assigned_len(), 0);
+    }
+
+    #[test]
+    fn assignment_and_lookup() {
+        let mut layout = MemoryLayout::unowned();
+        layout.assign(RegId(7), ProcId(2));
+        assert!(layout.is_local_to(RegId(7), ProcId(2)));
+        assert!(!layout.is_local_to(RegId(7), ProcId(1)));
+        assert_eq!(layout.owner(RegId(7)), Some(ProcId(2)));
+    }
+
+    #[test]
+    fn reassigning_same_owner_is_idempotent() {
+        let mut layout = MemoryLayout::unowned();
+        layout.assign(RegId(1), ProcId(0));
+        layout.assign(RegId(1), ProcId(0));
+        assert_eq!(layout.assigned_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "reassigned")]
+    fn reassigning_different_owner_panics() {
+        let mut layout = MemoryLayout::unowned();
+        layout.assign(RegId(1), ProcId(0));
+        layout.assign(RegId(1), ProcId(1));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let layout: MemoryLayout =
+            [(RegId(0), ProcId(0)), (RegId(1), ProcId(1))].into_iter().collect();
+        assert_eq!(layout.owner(RegId(1)), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(RegId(1) < RegId(2));
+        assert!(ProcId(0) < ProcId(1));
+        assert_eq!(RegId(5).to_string(), "R5");
+        assert_eq!(ProcId(5).to_string(), "p5");
+        assert_eq!(RegId::from(4usize).index(), 4);
+        assert_eq!(ProcId::from(4usize).index(), 4);
+    }
+}

@@ -1,0 +1,129 @@
+//! Hybrid DSM + CC locality tracking.
+//!
+//! The paper's lower bound is proved in a model **combining** the Distributed
+//! Shared Memory and Cache-Coherent models, so that every step it classifies
+//! as remote is an RMR in *both*. Concretely (Section 2):
+//!
+//! * A `read(R)` step by `p` is **local** iff `R ∈ R_p` (DSM locality), *or*
+//!   the read returns a value `x` such that `p` previously executed
+//!   `write(R, x)` or previously read `x` from `R` (cache validity).
+//! * `write` and `fence` steps are always local.
+//! * A commit of `(R, x)` by `p` is **local** iff `R ∈ R_p`, *or* `p` was
+//!   the last process to commit a write to `R` (exclusive/dirty ownership).
+//!
+//! [`LocalityTracker`] maintains the value caches and last-committer map and
+//! answers these questions; the [`Machine`](crate::Machine) consults it on
+//! every read and commit.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::reg::{MemoryLayout, ProcId, RegId};
+use crate::value::Value;
+
+/// Tracks per-process value caches and per-register commit ownership.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LocalityTracker {
+    /// `(R, x)` pairs each process has written or observed: the CC cache.
+    caches: Vec<HashSet<(RegId, Value)>>,
+    /// The last process to commit to each register.
+    last_committer: HashMap<RegId, ProcId>,
+}
+
+impl LocalityTracker {
+    /// A tracker for `n` processes with empty caches.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        LocalityTracker { caches: vec![HashSet::new(); n], last_committer: HashMap::new() }
+    }
+
+    /// Whether a read of `reg` by `p` returning `value` is local.
+    #[must_use]
+    pub fn read_is_local(
+        &self,
+        layout: &MemoryLayout,
+        p: ProcId,
+        reg: RegId,
+        value: Value,
+    ) -> bool {
+        layout.is_local_to(reg, p) || self.caches[p.index()].contains(&(reg, value))
+    }
+
+    /// Record that `p` observed (read or wrote) `value` at `reg`.
+    pub fn observe(&mut self, p: ProcId, reg: RegId, value: Value) {
+        self.caches[p.index()].insert((reg, value));
+    }
+
+    /// Whether a commit to `reg` by `p` is local, i.e. `reg` is in `p`'s
+    /// segment or `p` also performed the previous commit to `reg`.
+    #[must_use]
+    pub fn commit_is_local(&self, layout: &MemoryLayout, p: ProcId, reg: RegId) -> bool {
+        layout.is_local_to(reg, p) || self.last_committer.get(&reg) == Some(&p)
+    }
+
+    /// Record that `p` committed to `reg`.
+    pub fn record_commit(&mut self, p: ProcId, reg: RegId) {
+        self.last_committer.insert(reg, p);
+    }
+
+    /// The last committer to `reg`, if any commit has happened.
+    #[must_use]
+    pub fn last_committer(&self, reg: RegId) -> Option<ProcId> {
+        self.last_committer.get(&reg).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout_r0_owned_by_p0() -> MemoryLayout {
+        let mut l = MemoryLayout::unowned();
+        l.assign(RegId(0), ProcId(0));
+        l
+    }
+
+    #[test]
+    fn segment_reads_are_local() {
+        let t = LocalityTracker::new(2);
+        let l = layout_r0_owned_by_p0();
+        assert!(t.read_is_local(&l, ProcId(0), RegId(0), Value::Bot));
+        assert!(!t.read_is_local(&l, ProcId(1), RegId(0), Value::Bot));
+    }
+
+    #[test]
+    fn cached_value_reads_are_local() {
+        let mut t = LocalityTracker::new(2);
+        let l = MemoryLayout::unowned();
+        let (r, v) = (RegId(5), Value::Int(7));
+        assert!(!t.read_is_local(&l, ProcId(1), r, v), "first read is remote");
+        t.observe(ProcId(1), r, v);
+        assert!(t.read_is_local(&l, ProcId(1), r, v), "re-reading same value is a cache hit");
+        assert!(
+            !t.read_is_local(&l, ProcId(1), r, Value::Int(8)),
+            "a different value at the same register misses"
+        );
+    }
+
+    #[test]
+    fn commit_ownership_transfers() {
+        let mut t = LocalityTracker::new(3);
+        let l = MemoryLayout::unowned();
+        let r = RegId(2);
+        assert!(!t.commit_is_local(&l, ProcId(0), r), "very first commit is remote");
+        t.record_commit(ProcId(0), r);
+        assert!(t.commit_is_local(&l, ProcId(0), r), "repeat commit by owner is local");
+        assert!(!t.commit_is_local(&l, ProcId(1), r));
+        t.record_commit(ProcId(1), r);
+        assert!(!t.commit_is_local(&l, ProcId(0), r), "ownership moved to p1");
+        assert_eq!(t.last_committer(r), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn segment_commits_always_local() {
+        let mut t = LocalityTracker::new(2);
+        let l = layout_r0_owned_by_p0();
+        assert!(t.commit_is_local(&l, ProcId(0), RegId(0)));
+        t.record_commit(ProcId(1), RegId(0));
+        assert!(t.commit_is_local(&l, ProcId(0), RegId(0)), "segment locality is unconditional");
+    }
+}

@@ -1,0 +1,104 @@
+//! Schedules.
+//!
+//! A schedule is a sequence of pairs `(p, R?)` (the paper's
+//! `[n] × (R ∪ {⊥})`). Each element, applied to a configuration, yields at
+//! most one step — see [`Machine::step`](crate::Machine::step) for the
+//! three-case rule.
+
+use rand::Rng;
+
+use crate::reg::{ProcId, RegId};
+
+/// One schedule element: a process and an optional register naming a commit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SchedElem {
+    /// The process selected to take a step.
+    pub proc: ProcId,
+    /// `Some(R)`: commit `p`'s buffered write to `R` if one is committable;
+    /// `None` (the paper's ⊥): let `p` execute its poised operation.
+    pub reg: Option<RegId>,
+}
+
+impl SchedElem {
+    /// An element selecting `p`'s poised operation (`(p, ⊥)`).
+    #[must_use]
+    pub fn op(proc: ProcId) -> Self {
+        SchedElem { proc, reg: None }
+    }
+
+    /// An element committing `p`'s buffered write to `reg`.
+    #[must_use]
+    pub fn commit(proc: ProcId, reg: RegId) -> Self {
+        SchedElem { proc, reg: Some(reg) }
+    }
+}
+
+/// A finite schedule.
+pub type Schedule = Vec<SchedElem>;
+
+/// A `p`-only schedule of `len` operation elements (`(p, ⊥)` repeated).
+/// Under the machine semantics this suffices for solo progress: a
+/// fence-blocked process commits one buffered write per element.
+#[must_use]
+pub fn solo(p: ProcId, len: usize) -> Schedule {
+    vec![SchedElem::op(p); len]
+}
+
+/// A round-robin schedule over `n` processes, `rounds` rounds of operation
+/// elements.
+#[must_use]
+pub fn round_robin(n: usize, rounds: usize) -> Schedule {
+    let mut s = Schedule::with_capacity(n * rounds);
+    for _ in 0..rounds {
+        for p in 0..n {
+            s.push(SchedElem::op(ProcId::from(p)));
+        }
+    }
+    s
+}
+
+/// A uniformly random sequence of `(p, ⊥)` elements over `n` processes.
+/// (Commit nondeterminism is better explored via
+/// [`Machine::choices`](crate::Machine::choices); this helper only
+/// randomizes process interleaving.)
+pub fn random_ops<R: Rng>(rng: &mut R, n: usize, len: usize) -> Schedule {
+    (0..len).map(|_| SchedElem::op(ProcId::from(rng.gen_range(0..n)))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SchedElem::op(ProcId(1)), SchedElem { proc: ProcId(1), reg: None });
+        assert_eq!(
+            SchedElem::commit(ProcId(1), RegId(2)),
+            SchedElem { proc: ProcId(1), reg: Some(RegId(2)) }
+        );
+    }
+
+    #[test]
+    fn solo_schedule_shape() {
+        let s = solo(ProcId(3), 4);
+        assert_eq!(s.len(), 4);
+        assert!(s.iter().all(|e| e.proc == ProcId(3) && e.reg.is_none()));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let s = round_robin(3, 2);
+        let procs: Vec<u32> = s.iter().map(|e| e.proc.0).collect();
+        assert_eq!(procs, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_ops_in_range() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let s = random_ops(&mut rng, 4, 100);
+        assert_eq!(s.len(), 100);
+        assert!(s.iter().all(|e| e.proc.0 < 4 && e.reg.is_none()));
+    }
+}

@@ -1,0 +1,250 @@
+//! Trace analytics: who touched which registers, whose memory segments
+//! were accessed, and where the RMRs went.
+//!
+//! These are the quantities the paper's construction reasons about — e.g.
+//! rule (E1)'s λ is exactly a row of the [`segment_access_matrix`] — made
+//! available as plain functions over a recorded [`Trace`].
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::event::{EventKind, Trace};
+use crate::reg::{MemoryLayout, ProcId, RegId};
+
+/// Per-register access counts across a trace.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegisterStats {
+    /// Read steps of the register (memory- or buffer-served).
+    pub reads: u64,
+    /// Reads served from shared memory.
+    pub memory_reads: u64,
+    /// Write steps targeting the register.
+    pub writes: u64,
+    /// Commits landing on the register.
+    pub commits: u64,
+    /// CAS steps on the register.
+    pub cas_ops: u64,
+    /// Swap steps on the register.
+    pub swap_ops: u64,
+    /// Remote steps (RMRs) charged on the register.
+    pub rmrs: u64,
+}
+
+/// Access counts for every register mentioned in the trace, keyed and
+/// ordered by register id.
+#[must_use]
+pub fn register_histogram(trace: &Trace) -> BTreeMap<RegId, RegisterStats> {
+    let mut hist: BTreeMap<RegId, RegisterStats> = BTreeMap::new();
+    for event in trace.events() {
+        let (reg, is_remote) = match &event.kind {
+            EventKind::Read { reg, from_memory, remote, .. } => {
+                let s = hist.entry(*reg).or_default();
+                s.reads += 1;
+                if *from_memory {
+                    s.memory_reads += 1;
+                }
+                (*reg, *remote)
+            }
+            EventKind::Write { reg, .. } => {
+                hist.entry(*reg).or_default().writes += 1;
+                (*reg, false)
+            }
+            EventKind::Commit { reg, remote, .. } => {
+                hist.entry(*reg).or_default().commits += 1;
+                (*reg, *remote)
+            }
+            EventKind::Cas { reg, remote, .. } => {
+                hist.entry(*reg).or_default().cas_ops += 1;
+                (*reg, *remote)
+            }
+            EventKind::Swap { reg, remote, .. } => {
+                hist.entry(*reg).or_default().swap_ops += 1;
+                (*reg, *remote)
+            }
+            EventKind::Fence | EventKind::Return { .. } => continue,
+        };
+        if is_remote {
+            hist.entry(reg).or_default().rmrs += 1;
+        }
+    }
+    hist
+}
+
+/// The segment-access matrix: `matrix[a][o]` counts the *accesses* (in the
+/// paper's §2 sense: memory-served reads, commits, and CAS steps) process
+/// `a` performed on registers in process `o`'s memory segment.
+///
+/// Rule (E1)'s λ for process `p` is the number of **distinct** non-`p`
+/// processes with a non-zero entry in column `p` — see
+/// [`segment_accessors`].
+#[must_use]
+pub fn segment_access_matrix(trace: &Trace, layout: &MemoryLayout, n: usize) -> Vec<Vec<u64>> {
+    let mut matrix = vec![vec![0u64; n]; n];
+    for event in trace.events() {
+        let reg = match &event.kind {
+            EventKind::Read { reg, from_memory: true, .. }
+            | EventKind::Commit { reg, .. }
+            | EventKind::Cas { reg, .. }
+            | EventKind::Swap { reg, .. } => *reg,
+            _ => continue,
+        };
+        if let Some(owner) = layout.owner(reg) {
+            if event.proc.index() < n && owner.index() < n {
+                matrix[event.proc.index()][owner.index()] += 1;
+            }
+        }
+    }
+    matrix
+}
+
+/// The distinct processes other than `p` that access `p`'s memory segment
+/// in the trace — rule (E1)'s accessor set.
+#[must_use]
+pub fn segment_accessors(trace: &Trace, layout: &MemoryLayout, p: ProcId) -> Vec<ProcId> {
+    let mut seen: Vec<ProcId> = trace
+        .events()
+        .iter()
+        .filter(|e| {
+            e.proc != p && e.kind.accesses_segment_of(|r| layout.owner(r) == Some(p))
+        })
+        .map(|e| e.proc)
+        .collect();
+    seen.sort_unstable();
+    seen.dedup();
+    seen
+}
+
+/// Remote steps charged to each process in the trace (a trace-derived view
+/// of the counters' per-process `rmrs`).
+#[must_use]
+pub fn rmrs_by_process(trace: &Trace) -> HashMap<ProcId, u64> {
+    let mut out: HashMap<ProcId, u64> = HashMap::new();
+    for event in trace.events() {
+        if event.kind.is_remote() {
+            *out.entry(event.proc).or_default() += 1;
+        }
+    }
+    out
+}
+
+/// Fence steps per process in the trace.
+#[must_use]
+pub fn fences_by_process(trace: &Trace) -> HashMap<ProcId, u64> {
+    let mut out: HashMap<ProcId, u64> = HashMap::new();
+    for event in trace.events() {
+        if matches!(event.kind, EventKind::Fence) {
+            *out.entry(event.proc).or_default() += 1;
+        }
+    }
+    out
+}
+
+/// Render the segment-access matrix as an aligned table (rows = accessor,
+/// columns = segment owner).
+#[must_use]
+pub fn render_matrix(matrix: &[Vec<u64>]) -> String {
+    use std::fmt::Write as _;
+    let n = matrix.len();
+    let mut out = String::new();
+    let _ = write!(out, "{:>6}", "");
+    for o in 0..n {
+        let _ = write!(out, "{:>6}", format!("R_p{o}"));
+    }
+    let _ = writeln!(out);
+    for (a, row) in matrix.iter().enumerate() {
+        let _ = write!(out, "{:>6}", format!("p{a}"));
+        for &c in row {
+            let _ = write!(out, "{c:>6}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+    use crate::value::Value;
+
+    fn read(p: u32, r: u32, mem: bool, remote: bool) -> Event {
+        Event {
+            proc: ProcId(p),
+            kind: EventKind::Read {
+                reg: RegId(r),
+                value: Value::Bot,
+                from_memory: mem,
+                remote,
+            },
+        }
+    }
+
+    fn commit(p: u32, r: u32, remote: bool) -> Event {
+        Event {
+            proc: ProcId(p),
+            kind: EventKind::Commit { reg: RegId(r), value: Value::Int(1), remote },
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        [
+            read(0, 5, true, true),
+            read(0, 5, true, false),
+            read(1, 5, false, false),
+            commit(1, 5, true),
+            commit(1, 7, false),
+            Event { proc: ProcId(0), kind: EventKind::Fence },
+            Event {
+                proc: ProcId(0),
+                kind: EventKind::Write { reg: RegId(7), value: Value::Int(3) },
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn histogram_counts_by_kind() {
+        let hist = register_histogram(&sample_trace());
+        let r5 = hist[&RegId(5)];
+        assert_eq!(r5.reads, 3);
+        assert_eq!(r5.memory_reads, 2);
+        assert_eq!(r5.commits, 1);
+        assert_eq!(r5.rmrs, 2, "one remote read + one remote commit");
+        let r7 = hist[&RegId(7)];
+        assert_eq!(r7.writes, 1);
+        assert_eq!(r7.commits, 1);
+        assert_eq!(r7.rmrs, 0);
+    }
+
+    #[test]
+    fn matrix_counts_segment_accesses() {
+        let mut layout = MemoryLayout::unowned();
+        layout.assign(RegId(5), ProcId(1)); // reg 5 lives in p1's segment
+        let m = segment_access_matrix(&sample_trace(), &layout, 2);
+        assert_eq!(m[0][1], 2, "p0 memory-read reg 5 twice");
+        assert_eq!(m[1][1], 1, "p1's commit to its own segment still counts as access");
+        assert_eq!(m[0][0], 0);
+        assert!(render_matrix(&m).contains("R_p1"));
+    }
+
+    #[test]
+    fn accessors_excludes_buffer_reads_and_self() {
+        let mut layout = MemoryLayout::unowned();
+        layout.assign(RegId(5), ProcId(1));
+        // p1's buffer read of its own reg doesn't count; p0's memory reads do.
+        assert_eq!(segment_accessors(&sample_trace(), &layout, ProcId(1)), vec![ProcId(0)]);
+        // p1 commits to reg 7, but nobody owns reg 7.
+        assert_eq!(segment_accessors(&sample_trace(), &layout, ProcId(0)), Vec::<ProcId>::new());
+    }
+
+    #[test]
+    fn per_process_tallies() {
+        let t = sample_trace();
+        let rmrs = rmrs_by_process(&t);
+        assert_eq!(rmrs.get(&ProcId(0)), Some(&1));
+        assert_eq!(rmrs.get(&ProcId(1)), Some(&1));
+        let fences = fences_by_process(&t);
+        assert_eq!(fences.get(&ProcId(0)), Some(&1));
+        assert_eq!(fences.get(&ProcId(1)), None);
+    }
+}

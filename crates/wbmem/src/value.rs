@@ -1,0 +1,117 @@
+//! Register values.
+//!
+//! The paper's domain is `D ⊇ {⊥}`, with every register initially ⊥. The
+//! lower-bound proof additionally assumes (w.l.o.g.) that **all written
+//! values are distinct**; to honour that without contorting the algorithms,
+//! values come in two written flavours: a plain integer, and a *tagged*
+//! integer that pairs the algorithm-visible payload with a globally unique
+//! nonce assigned by the machine at write time (see
+//! [`MachineConfig::tag_writes`](crate::MachineConfig)).
+//!
+//! Algorithms observe only the [`payload`](Value::payload); equality of the
+//! full `Value` (payload *and* nonce) is what the cache-locality rule of the
+//! RMR accounting uses, exactly as in the paper where distinct writes are
+//! distinct domain elements.
+
+use std::fmt;
+
+/// A shared-register value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Default)]
+pub enum Value {
+    /// The initial value ⊥ held by every register before any commit.
+    #[default]
+    Bot,
+    /// A plain written integer.
+    Int(u64),
+    /// A written integer made globally unique by a machine-assigned nonce.
+    Tagged {
+        /// The algorithm-visible integer.
+        payload: u64,
+        /// A machine-assigned unique identifier for this write.
+        nonce: u64,
+    },
+}
+
+impl Value {
+    /// The algorithm-visible integer carried by this value.
+    ///
+    /// ⊥ reads as `0`, which lets algorithms written against 0-initialized
+    /// registers (Bakery's `C`/`T` arrays, Peterson's flags, …) run
+    /// unchanged on ⊥-initialized memory.
+    #[must_use]
+    pub fn payload(self) -> u64 {
+        match self {
+            Value::Bot => 0,
+            Value::Int(x) => x,
+            Value::Tagged { payload, .. } => payload,
+        }
+    }
+
+    /// Whether this is the initial value ⊥.
+    #[must_use]
+    pub fn is_bot(self) -> bool {
+        matches!(self, Value::Bot)
+    }
+}
+
+
+impl From<u64> for Value {
+    fn from(x: u64) -> Self {
+        Value::Int(x)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bot => write!(f, "⊥"),
+            Value::Int(x) => write!(f, "{x}"),
+            Value::Tagged { payload, nonce } => write!(f, "{payload}#{nonce}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bot_payload_is_zero() {
+        assert_eq!(Value::Bot.payload(), 0);
+        assert!(Value::Bot.is_bot());
+        assert!(!Value::Int(0).is_bot());
+    }
+
+    #[test]
+    fn tagged_values_with_equal_payload_are_distinct() {
+        let a = Value::Tagged { payload: 1, nonce: 10 };
+        let b = Value::Tagged { payload: 1, nonce: 11 };
+        assert_ne!(a, b);
+        assert_eq!(a.payload(), b.payload());
+    }
+
+    #[test]
+    fn bot_differs_from_int_zero_as_a_value() {
+        // payload-equal but value-distinct: the cache rule distinguishes them.
+        assert_ne!(Value::Bot, Value::Int(0));
+        assert_eq!(Value::Bot.payload(), Value::Int(0).payload());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Bot.to_string(), "⊥");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Tagged { payload: 3, nonce: 9 }.to_string(), "3#9");
+    }
+
+    #[test]
+    fn from_u64() {
+        assert_eq!(Value::from(5), Value::Int(5));
+    }
+
+    #[test]
+    fn default_is_bot() {
+        assert_eq!(Value::default(), Value::Bot);
+    }
+}

@@ -1,0 +1,188 @@
+//! Property-based tests for the write-buffer machine semantics.
+
+use proptest::prelude::*;
+use wbmem::{
+    Machine, MachineConfig, MemoryLayout, MemoryModel, Poised, ProcId, Process, RegId,
+    SchedElem, Value, WriteBuffer,
+};
+
+// ---------- buffer-level properties ----------
+
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u8)>> {
+    prop::collection::vec((0u8..8, 0u8..16), 0..40)
+}
+
+proptest! {
+    /// PSO: reading a register from the buffer always yields the most
+    /// recent pending write to it, and the buffer holds at most one entry
+    /// per register.
+    #[test]
+    fn pso_buffer_read_is_last_write(ops in arb_ops()) {
+        let mut buf = WriteBuffer::new(MemoryModel::Pso);
+        let mut latest = std::collections::HashMap::new();
+        for (r, v) in ops {
+            let (reg, val) = (RegId(u32::from(r)), Value::Int(u64::from(v)));
+            buf.push(reg, val);
+            latest.insert(reg, val);
+            prop_assert_eq!(buf.read(reg), Some(val));
+        }
+        prop_assert_eq!(buf.len(), latest.len());
+        for (reg, val) in latest {
+            prop_assert_eq!(buf.read(reg), Some(val));
+            prop_assert!(buf.can_commit(reg));
+        }
+    }
+
+    /// TSO: commits drain in exactly push order, regardless of registers.
+    #[test]
+    fn tso_buffer_commits_fifo(ops in arb_ops()) {
+        let mut buf = WriteBuffer::new(MemoryModel::Tso);
+        for &(r, v) in &ops {
+            buf.push(RegId(u32::from(r)), Value::Int(u64::from(v)));
+        }
+        let mut drained = Vec::new();
+        while let Some(reg) = buf.fence_commit_target() {
+            let val = buf.take(reg).expect("head is committable");
+            drained.push((reg, val));
+        }
+        let expect: Vec<(RegId, Value)> = ops
+            .iter()
+            .map(|&(r, v)| (RegId(u32::from(r)), Value::Int(u64::from(v))))
+            .collect();
+        prop_assert_eq!(drained, expect);
+    }
+
+    /// PSO: a fence-blocked process always commits the smallest buffered
+    /// register first.
+    #[test]
+    fn pso_fence_target_is_minimum(ops in arb_ops()) {
+        let mut buf = WriteBuffer::new(MemoryModel::Pso);
+        for &(r, v) in &ops {
+            buf.push(RegId(u32::from(r)), Value::Int(u64::from(v)));
+        }
+        if let Some(target) = buf.fence_commit_target() {
+            let min = buf.regs().into_iter().min().unwrap();
+            prop_assert_eq!(target, min);
+        } else {
+            prop_assert!(buf.is_empty());
+        }
+    }
+}
+
+// ---------- machine-level properties ----------
+
+/// A scripted process usable as a proptest value.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+struct Script {
+    ops: Vec<Poised>,
+    pc: usize,
+}
+
+impl Process for Script {
+    fn poised(&self) -> Poised {
+        self.ops.get(self.pc).copied().unwrap_or(Poised::Done)
+    }
+    fn advance(&mut self, _v: Option<Value>) {
+        self.pc += 1;
+    }
+}
+
+fn arb_script(max_len: usize) -> impl Strategy<Value = Script> {
+    let op = prop_oneof![
+        (0u32..6).prop_map(|r| Poised::Read(RegId(r))),
+        (0u32..6, 0u64..8).prop_map(|(r, v)| Poised::Write(RegId(r), Value::Int(v))),
+        Just(Poised::Fence),
+    ];
+    prop::collection::vec(op, 0..max_len).prop_map(|mut ops| {
+        ops.push(Poised::Return(0));
+        Script { ops, pc: 0 }
+    })
+}
+
+fn arb_layout() -> impl Strategy<Value = MemoryLayout> {
+    prop::collection::vec(prop::option::of(0u32..3), 6).prop_map(|owners| {
+        owners
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, o)| o.map(|p| (RegId(i as u32), ProcId(p))))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any schedule and model: RMR totals decompose into remote reads
+    /// plus remote commits, buffers are empty after completion (every
+    /// program ends fence-free... via run_solo draining), and solo runs are
+    /// deterministic (two identical machines agree on everything).
+    #[test]
+    fn solo_runs_are_deterministic_and_account_consistently(
+        scripts in prop::collection::vec(arb_script(12), 1..4),
+        layout in arb_layout(),
+        model in prop::sample::select(vec![MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso]),
+    ) {
+        let config = MachineConfig::new(model, layout);
+        let mk = || Machine::new(config.clone(), scripts.clone());
+        let mut a = mk();
+        let mut b = mk();
+        for i in 0..scripts.len() {
+            a.run_solo(ProcId::from(i), 10_000);
+            b.run_solo(ProcId::from(i), 10_000);
+        }
+        prop_assert!(a.all_done());
+        prop_assert_eq!(a.state_key(), b.state_key());
+        for i in 0..scripts.len() {
+            let c = a.counters().proc(i);
+            prop_assert_eq!(c.rmrs, c.remote_reads + c.remote_commits);
+            prop_assert!(c.remote_reads <= c.reads);
+            prop_assert!(c.remote_commits <= c.commits);
+        }
+    }
+
+    /// Commits never invent values: after any random schedule, every
+    /// register's content is ⊥ or some value that was written by someone.
+    #[test]
+    fn memory_holds_only_written_values(
+        scripts in prop::collection::vec(arb_script(10), 1..4),
+        choices in prop::collection::vec((0usize..4, prop::option::of(0u32..6)), 0..200),
+        model in prop::sample::select(vec![MemoryModel::Tso, MemoryModel::Pso]),
+    ) {
+        let config = MachineConfig::new(model, MemoryLayout::unowned()).with_tagged_writes();
+        let mut m = Machine::new(config, scripts.clone());
+        for (p, r) in choices {
+            if p < scripts.len() {
+                m.step(SchedElem { proc: ProcId::from(p), reg: r.map(RegId) });
+            }
+        }
+        for r in 0..6u32 {
+            let v = m.memory(RegId(r));
+            // Tagged values carry unique nonces assigned at write steps, so
+            // any non-⊥ value must be Tagged.
+            let valid = v.is_bot() || matches!(v, Value::Tagged { .. });
+            prop_assert!(valid);
+        }
+    }
+
+    /// The enabled-choices enumeration is sound and complete: every choice
+    /// steps, and a no-choice machine is all-done.
+    #[test]
+    fn choices_are_exactly_the_enabled_elements(
+        scripts in prop::collection::vec(arb_script(8), 1..3),
+        picks in prop::collection::vec(0usize..8, 0..60),
+    ) {
+        let config = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned());
+        let mut m = Machine::new(config, scripts);
+        for pick in picks {
+            let choices = m.choices();
+            if choices.is_empty() {
+                prop_assert!(m.all_done());
+                break;
+            }
+            let elem = choices[pick % choices.len()];
+            let out = m.step(elem);
+            let stepped = matches!(out, wbmem::StepOutcome::Stepped(_));
+            prop_assert!(stepped, "enabled choice {:?} did not step", elem);
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! The memory-model separation, machine-checked: Peterson's lock with a
+//! single store–load fence is correct under TSO but broken under PSO — the
+//! model checker prints the violating schedule. Bonus: the write order as
+//! *printed* in the paper's Algorithm 1 listing is broken even under SC.
+//!
+//! ```text
+//! cargo run --release --example separation
+//! ```
+
+use fence_trade::prelude::*;
+use fence_trade::simlocks::peterson::{SITE_RELEASE, SITE_VICTIM};
+
+fn main() {
+    let cfg = CheckConfig { check_termination: false, ..CheckConfig::default() };
+
+    println!("== Peterson, fence only after the victim write (store-load fence) ==\n");
+    let mask = FenceMask::only(&[SITE_VICTIM, SITE_RELEASE]);
+    let inst = build_mutex(LockKind::Peterson, 2, mask);
+    for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+        let verdict = check(&inst.machine(model), &cfg);
+        println!("{model}: {} ({} states)", verdict.label(), verdict.stats().states);
+        if let Verdict::MutexViolation(_, cex) = &verdict {
+            println!("\n{cex}");
+        }
+    }
+
+    println!("== Full elision table (which fences does each model need?) ==\n");
+    let masks = FenceMask::enumerate(3);
+    let models = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso];
+    let rows = elision_table(LockKind::Peterson, 2, &masks, &models, &cfg);
+    println!("{:<14} {:>6} {:>8} {:>8} {:>8}", "fences", "count", "SC", "TSO", "PSO");
+    for row in &rows {
+        let v: Vec<&str> = row.verdicts.iter().map(|&(_, label, _)| label).collect();
+        println!("{:<14} {:>6} {:>8} {:>8} {:>8}", row.mask_desc, row.enabled, v[0], v[1], v[2]);
+    }
+    println!("\nTSO needs one acquire fence (after victim); PSO needs both write");
+    println!("fences — write reordering is exactly what the extra fence buys off.");
+
+    println!("\n== The paper's printed Bakery listing (C[i]:=0 before T[i]:=tmp) ==\n");
+    let inst = build_mutex(LockKind::BakeryPaperListing, 2, FenceMask::ALL);
+    let verdict = check(&inst.machine(MemoryModel::Sc), &cfg);
+    println!("SC: {}", verdict.label());
+    if let Verdict::MutexViolation(_, cex) = &verdict {
+        println!("\n{cex}");
+        println!("(Lamport's original publishes the ticket inside the doorway; the");
+        println!("listing's inverted lines 6-7 open a window where the door reads");
+        println!("closed but the ticket is still 0. Our default Bakery uses the");
+        println!("correct order and passes the same check.)");
+    }
+}

@@ -1,0 +1,136 @@
+//! Cross-crate integration for the Section-5 machinery: encode random
+//! permutations over several ordering algorithms, verify invariants, and
+//! round-trip through the bit codec.
+
+use fence_trade::lowerbound::{self, check_all, log2_factorial};
+use fence_trade::prelude::*;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn random_perm(n: usize, rng: &mut SmallRng) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..n).collect();
+    v.shuffle(rng);
+    v
+}
+
+fn full_round_trip(inst: &OrderingInstance, pi: &[usize]) -> lowerbound::Encoding {
+    let enc = encode_permutation(inst, pi, &EncodeOptions::default())
+        .unwrap_or_else(|e| panic!("{} pi={pi:?}: {e}", inst.name));
+    assert_eq!(enc.recovered_permutation(), pi, "{}", inst.name);
+
+    let violations = check_all(&enc);
+    assert!(violations.is_empty(), "{} pi={pi:?}: {violations:?}", inst.name);
+
+    // bits -> stacks -> execution -> pi
+    let bits = lowerbound::serialize_stacks(&enc.stacks);
+    let back = lowerbound::deserialize_stacks(&bits, inst.n).expect("codec");
+    assert_eq!(back, enc.stacks);
+    let out = decode(&proof_machine(inst), &back, &DecodeOptions::default()).expect("decode");
+    assert_eq!(recover_permutation(&out.machine), pi);
+    enc
+}
+
+#[test]
+fn bakery_counter_random_permutations() {
+    let mut rng = SmallRng::seed_from_u64(7);
+    let inst = build_ordering(LockKind::Bakery, 6, ObjectKind::Counter);
+    for _ in 0..5 {
+        let pi = random_perm(6, &mut rng);
+        full_round_trip(&inst, &pi);
+    }
+}
+
+#[test]
+fn gt_counter_random_permutations() {
+    let mut rng = SmallRng::seed_from_u64(11);
+    for f in [2usize, 3] {
+        let inst = build_ordering(LockKind::Gt { f }, 6, ObjectKind::Counter);
+        for _ in 0..3 {
+            let pi = random_perm(6, &mut rng);
+            full_round_trip(&inst, &pi);
+        }
+    }
+}
+
+#[test]
+fn tournament_counter_random_permutations() {
+    let mut rng = SmallRng::seed_from_u64(13);
+    let inst = build_ordering(LockKind::Tournament, 4, ObjectKind::Counter);
+    for _ in 0..4 {
+        let pi = random_perm(4, &mut rng);
+        full_round_trip(&inst, &pi);
+    }
+}
+
+#[test]
+fn queue_object_encodes_too() {
+    let inst = build_ordering(LockKind::Bakery, 4, ObjectKind::Queue);
+    for pi in [vec![0, 1, 2, 3], vec![3, 2, 1, 0], vec![1, 3, 0, 2]] {
+        full_round_trip(&inst, &pi);
+    }
+}
+
+#[test]
+fn codes_are_injective_across_all_permutations_of_four() {
+    let inst = build_ordering(LockKind::Bakery, 4, ObjectKind::Counter);
+    let mut codes = std::collections::HashSet::new();
+    let mut count = 0;
+    // All 24 permutations of 4.
+    for a in 0..4usize {
+        for b in 0..4usize {
+            for c in 0..4usize {
+                for d in 0..4usize {
+                    let pi = vec![a, b, c, d];
+                    let mut sorted = pi.clone();
+                    sorted.sort_unstable();
+                    if sorted != vec![0, 1, 2, 3] {
+                        continue;
+                    }
+                    let enc = encode_permutation(&inst, &pi, &EncodeOptions::default())
+                        .unwrap_or_else(|e| panic!("pi={pi:?}: {e}"));
+                    let bits = lowerbound::serialize_stacks(&enc.stacks);
+                    codes.insert(bits.to_bytes());
+                    count += 1;
+                }
+            }
+        }
+    }
+    assert_eq!(count, 24);
+    assert_eq!(codes.len(), 24, "all 24 codes must be distinct");
+}
+
+#[test]
+fn code_length_tracks_the_analytic_bound() {
+    let mut rng = SmallRng::seed_from_u64(23);
+    for n in [4usize, 8] {
+        let inst = build_ordering(LockKind::Bakery, n, ObjectKind::Counter);
+        let pi = random_perm(n, &mut rng);
+        let enc = full_round_trip(&inst, &pi);
+        let bits = lowerbound::serialize_stacks(&enc.stacks).len() as f64;
+        let bound = lowerbound::analytic_bound_bits(enc.commands, enc.value_sum, n);
+        assert!(bits <= bound, "n={n}: {bits} bits > analytic bound {bound}");
+        // And the information-theoretic floor is respected on average; a
+        // single code is allowed to be short, but ours carry per-command
+        // overhead, so they clear log2(n!) comfortably.
+        assert!(bits >= log2_factorial(n), "n={n}: code shorter than log2(n!)");
+    }
+}
+
+#[test]
+fn theorem_4_2_inequality_on_measured_executions() {
+    // β(E)·(log(ρ/β)+1) must be Ω(n log n); empirically the constant is
+    // comfortably above 1 for Bakery-Count.
+    let mut rng = SmallRng::seed_from_u64(31);
+    for n in [4usize, 6, 8] {
+        let inst = build_ordering(LockKind::Bakery, n, ObjectKind::Counter);
+        let pi = random_perm(n, &mut rng);
+        let enc = encode_permutation(&inst, &pi, &EncodeOptions::default()).unwrap();
+        let lhs = theorem_lhs(enc.beta, enc.rho);
+        assert!(
+            lhs >= n_log_n(n),
+            "n={n}: beta(log(rho/beta)+1) = {lhs} below n log n = {}",
+            n_log_n(n)
+        );
+    }
+}

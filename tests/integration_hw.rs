@@ -1,0 +1,84 @@
+//! Hardware-lock integration: stress under real threads, and agreement of
+//! hardware fence counts with the simulator's β for the same algorithm.
+
+use fence_trade::hwlocks::testutil::stress_mutual_exclusion;
+use fence_trade::prelude::*;
+
+#[test]
+fn all_hw_locks_stress_clean() {
+    stress_mutual_exclusion(&HwBakery::new(3), 3, 400);
+    stress_mutual_exclusion(&HwPeterson::new(), 2, 800);
+    stress_mutual_exclusion(&HwTournament::new(4), 4, 300);
+    stress_mutual_exclusion(&HwGt::new(6, 2), 4, 300);
+    stress_mutual_exclusion(&HwTtas::new(), 4, 400);
+    stress_mutual_exclusion(&HwMcs::new(4), 4, 400);
+}
+
+#[test]
+fn strong_primitive_locks_agree_with_simulator_shape() {
+    // Uncontended: TTAS pays 1 fence, MCS 0 — matching the simulator's
+    // per-passage lock fences (its instance adds the 2 object fences).
+    let ttas = HwTtas::new();
+    ttas.acquire(0);
+    ttas.release(0);
+    assert_eq!(ttas.fences(), 1);
+
+    let mcs = HwMcs::new(4);
+    mcs.acquire(0);
+    mcs.release(0);
+    assert_eq!(mcs.fences(), 0);
+
+    let sim_ttas = build_ordering(LockKind::Ttas, 4, ObjectKind::Counter);
+    let sim = solo_passage(&sim_ttas, MemoryModel::Pso, 100_000);
+    assert_eq!(sim.fences - 2.0, ttas.fences() as f64);
+
+    let sim_mcs = build_ordering(LockKind::Mcs, 4, ObjectKind::Counter);
+    let sim = solo_passage(&sim_mcs, MemoryModel::Pso, 100_000);
+    assert_eq!(sim.fences - 2.0, mcs.fences() as f64);
+}
+
+#[test]
+fn hardware_fences_match_simulator_beta_per_passage() {
+    // Same algorithm, same fence sites: the hardware counter and the
+    // simulator's β must agree on the *lock* fences per uncontended
+    // passage (the simulator instance adds 2 object/final fences).
+    let n = 8;
+    for f in [1usize, 2, 3] {
+        let hw = HwGt::new(n, f);
+        hw.acquire(0);
+        hw.release(0);
+        let hw_fences = hw.fences() as f64;
+
+        let inst = build_ordering(LockKind::Gt { f }, n, ObjectKind::Counter);
+        let sim = solo_passage(&inst, MemoryModel::Pso, 1_000_000);
+        assert_eq!(sim.fences - 2.0, hw_fences, "f={f}");
+    }
+}
+
+#[test]
+fn counting_lock_ranks_are_a_permutation_under_contention() {
+    let threads = 3;
+    let iters = 300;
+    let counter = CountingLock::new(HwGt::new(4, 2));
+    let mut ranks: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let counter = &counter;
+                scope.spawn(move || (0..iters).map(|_| counter.next(tid)).collect::<Vec<u64>>())
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+    });
+    ranks.sort_unstable();
+    assert_eq!(ranks, (0..(threads * iters) as u64).collect::<Vec<u64>>());
+}
+
+#[test]
+fn with_lock_runs_closure_under_mutex() {
+    let lock = HwBakery::new(2);
+    let v = fence_trade::hwlocks::with_lock(&lock, 0, || 41 + 1);
+    assert_eq!(v, 42);
+    // Lock is free again.
+    lock.acquire(1);
+    lock.release(1);
+}

@@ -1,0 +1,109 @@
+//! Cross-crate integration: every lock family × every memory model, under
+//! sequential, fair round-robin, and randomized adversarial schedules.
+
+use fence_trade::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn all_kinds(n: usize) -> Vec<LockKind> {
+    let mut kinds = vec![LockKind::Bakery, LockKind::Gt { f: 2 }, LockKind::Gt { f: 3 }];
+    if n.is_power_of_two() && n >= 2 {
+        kinds.push(LockKind::Tournament);
+    }
+    if n == 2 {
+        kinds.push(LockKind::Peterson);
+    }
+    kinds
+}
+
+#[test]
+fn sequential_runs_return_ranks_everywhere() {
+    for n in [2usize, 4, 6] {
+        for kind in all_kinds(n) {
+            for object in [ObjectKind::Counter, ObjectKind::Queue] {
+                let inst = build_ordering(kind, n, object);
+                for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso, MemoryModel::Rmo]
+                {
+                    let rets = inst.run_sequential(model, 1_000_000);
+                    assert_eq!(
+                        rets,
+                        (0..n as u64).collect::<Vec<u64>>(),
+                        "{} under {model}",
+                        inst.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn round_robin_completes_and_returns_a_permutation() {
+    for n in [4usize, 8] {
+        for kind in all_kinds(n) {
+            let inst = build_ordering(kind, n, ObjectKind::Counter);
+            for model in [MemoryModel::Tso, MemoryModel::Pso] {
+                let mut m = inst.machine(model);
+                assert!(
+                    fence_trade::simlocks::run_to_completion(&mut m, 50_000_000),
+                    "{} stuck under {model}",
+                    inst.name
+                );
+                let mut rets: Vec<u64> =
+                    m.return_values().into_iter().map(Option::unwrap).collect();
+                rets.sort_unstable();
+                assert_eq!(rets, (0..n as u64).collect::<Vec<u64>>(), "{}", inst.name);
+            }
+        }
+    }
+}
+
+/// Drive a machine with uniformly random enabled choices (interleavings
+/// *and* commit orders); mutual exclusion must hold in every visited state.
+fn random_adversary_preserves_mutex(kind: LockKind, n: usize, model: MemoryModel, seed: u64) {
+    let inst = build_mutex(kind, n, FenceMask::ALL);
+    let mut m = inst.machine(model);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _ in 0..60_000 {
+        let choices = m.choices();
+        if choices.is_empty() {
+            break;
+        }
+        let pick = choices[rng.gen_range(0..choices.len())];
+        m.step(pick);
+        let in_cs = (0..n)
+            .filter(|&i| m.annotation(ProcId::from(i)) == fence_trade::simlocks::ANNOT_IN_CS)
+            .count();
+        assert!(in_cs <= 1, "{kind} n={n} {model} seed={seed}: mutex violated");
+    }
+}
+
+#[test]
+fn random_adversarial_schedules_preserve_mutex() {
+    for seed in 0..4u64 {
+        random_adversary_preserves_mutex(LockKind::Bakery, 3, MemoryModel::Pso, seed);
+        random_adversary_preserves_mutex(LockKind::Gt { f: 2 }, 4, MemoryModel::Pso, seed);
+        random_adversary_preserves_mutex(LockKind::Tournament, 4, MemoryModel::Pso, seed);
+        random_adversary_preserves_mutex(LockKind::Peterson, 2, MemoryModel::Tso, seed);
+    }
+}
+
+#[test]
+fn rmo_behaves_like_pso_for_these_algorithms() {
+    let inst = build_ordering(LockKind::Gt { f: 2 }, 4, ObjectKind::Counter);
+    let solo_pso = solo_passage(&inst, MemoryModel::Pso, 1_000_000);
+    let solo_rmo = solo_passage(&inst, MemoryModel::Rmo, 1_000_000);
+    assert_eq!(solo_pso.fences, solo_rmo.fences);
+    assert_eq!(solo_pso.rmrs, solo_rmo.rmrs);
+}
+
+#[test]
+fn sc_and_pso_solo_rmr_counts_coincide() {
+    // Under SC writes commit immediately; commit locality is identical, so
+    // solo RMR counts agree with PSO for these programs.
+    let inst = build_ordering(LockKind::Bakery, 8, ObjectKind::Counter);
+    let pso = solo_passage(&inst, MemoryModel::Pso, 1_000_000);
+    let sc = solo_passage(&inst, MemoryModel::Sc, 1_000_000);
+    assert_eq!(sc.rmrs, pso.rmrs);
+    assert_eq!(sc.fences, pso.fences);
+}

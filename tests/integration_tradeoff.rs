@@ -1,0 +1,97 @@
+//! Integration of measurement and theory: equation (1)'s product, equation
+//! (2)'s tightness along `GT_f`, and the endpoint identities.
+
+use fence_trade::prelude::*;
+
+#[test]
+fn gt_family_matches_equation_2_shapes() {
+    let n = 64;
+    for f in [1usize, 2, 3, 6] {
+        let inst = build_ordering(LockKind::Gt { f }, n, ObjectKind::Counter);
+        let cost = solo_passage(&inst, MemoryModel::Pso, 10_000_000);
+        // O(f) fences, exactly 4f + 2 in our construction.
+        assert_eq!(cost.fences, predicted_gt_fences(f), "f={f}");
+        // O(f·n^(1/f)) RMRs: within a small constant of the prediction.
+        let scale = predicted_gt_rmrs(n, f);
+        assert!(cost.rmrs >= scale * 0.5, "f={f}: rmrs={} vs scale {scale}", cost.rmrs);
+        assert!(cost.rmrs <= scale * 6.0 + 16.0, "f={f}: rmrs={} vs scale {scale}", cost.rmrs);
+    }
+}
+
+#[test]
+fn rmrs_fall_as_fences_rise_until_the_log_n_floor() {
+    // The predicted RMR scale f·n^(1/f) drops steeply for small f and
+    // flattens near f = log n (for n = 256: 256, 32, 16, 16 at
+    // f = 1, 2, 4, 8), where constant overheads take over. Assert the
+    // steep region strictly and the flat region loosely.
+    let n = 256;
+    let cost_at = |f: usize| {
+        let inst = build_ordering(LockKind::Gt { f }, n, ObjectKind::Counter);
+        solo_passage(&inst, MemoryModel::Pso, 10_000_000)
+    };
+    let (c1, c2, c4, c8) = (cost_at(1), cost_at(2), cost_at(4), cost_at(8));
+    assert!(c1.fences < c2.fences && c2.fences < c4.fences && c4.fences < c8.fences);
+    assert!(c2.rmrs < c1.rmrs / 4.0, "f=1→2 must be a steep RMR drop");
+    assert!(c4.rmrs < c2.rmrs, "f=2→4 still falls");
+    assert!(c8.rmrs <= 3.0 * c4.rmrs, "past the floor, constants may add a little");
+}
+
+#[test]
+fn normalized_product_is_a_constant_band_across_n_and_f() {
+    for n in [16usize, 64, 256] {
+        let log_n = (n as f64).log2() as usize;
+        for f in [1usize, 2, log_n] {
+            let inst = build_ordering(LockKind::Gt { f }, n, ObjectKind::Counter);
+            let cost = solo_passage(&inst, MemoryModel::Pso, 10_000_000);
+            let norm = normalized_tradeoff(cost.fences, cost.rmrs, n);
+            assert!(
+                (0.5..=14.0).contains(&norm),
+                "n={n} f={f}: normalized product {norm} escapes the band"
+            );
+        }
+    }
+}
+
+#[test]
+fn endpoints_bakery_and_tournament() {
+    let n = 64;
+    // GT_1 has Bakery's profile: O(1) fences, Θ(n) RMRs.
+    let gt1 = build_ordering(LockKind::Gt { f: 1 }, n, ObjectKind::Counter);
+    let bak = build_ordering(LockKind::Bakery, n, ObjectKind::Counter);
+    let c_gt1 = solo_passage(&gt1, MemoryModel::Pso, 10_000_000);
+    let c_bak = solo_passage(&bak, MemoryModel::Pso, 10_000_000);
+    assert_eq!(c_gt1.fences, c_bak.fences, "GT_1 is the Bakery lock");
+    assert_eq!(c_gt1.rmrs, c_bak.rmrs, "GT_1 is the Bakery lock");
+
+    // GT_{log n} is tournament-shaped: both Θ(log n).
+    let gtl = build_ordering(LockKind::Gt { f: 6 }, n, ObjectKind::Counter);
+    let c_gtl = solo_passage(&gtl, MemoryModel::Pso, 10_000_000);
+    let tour = build_ordering(LockKind::Tournament, n, ObjectKind::Counter);
+    let c_tour = solo_passage(&tour, MemoryModel::Pso, 10_000_000);
+    assert!(c_gtl.rmrs <= 4.0 * c_tour.rmrs + 16.0);
+    assert!(c_tour.rmrs <= 4.0 * c_gtl.rmrs + 16.0);
+}
+
+#[test]
+fn contended_bakery_is_quadratic_total_linear_per_passage() {
+    for n in [4usize, 8, 16] {
+        let inst = build_ordering(LockKind::Bakery, n, ObjectKind::Counter);
+        let cost = contended_passage(&inst, MemoryModel::Pso, 100_000_000);
+        assert!(
+            cost.rmrs >= 1.5 * (n as f64 - 1.0),
+            "n={n}: contended per-passage RMRs {} not Ω(n)",
+            cost.rmrs
+        );
+        assert_eq!(cost.fences, 6.0, "n={n}");
+    }
+}
+
+#[test]
+fn fence_counts_are_model_independent() {
+    let inst = build_ordering(LockKind::Gt { f: 2 }, 9, ObjectKind::Counter);
+    let mut counts = Vec::new();
+    for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+        counts.push(solo_passage(&inst, model, 10_000_000).fences);
+    }
+    assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+}
