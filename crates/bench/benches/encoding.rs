@@ -10,7 +10,9 @@ use fence_trade::prelude::*;
 
 fn bench_encode(c: &mut Criterion) {
     let mut group = c.benchmark_group("lowerbound_encode");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [4usize, 6, 8] {
         let inst = build_ordering(LockKind::Bakery, n, ObjectKind::Counter);
@@ -24,7 +26,9 @@ fn bench_encode(c: &mut Criterion) {
 
 fn bench_decode_and_codec(c: &mut Criterion) {
     let mut group = c.benchmark_group("lowerbound_decode");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let n = 6;
     let inst = build_ordering(LockKind::Bakery, n, ObjectKind::Counter);

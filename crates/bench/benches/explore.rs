@@ -1,0 +1,143 @@
+//! Criterion bench: state-exploration throughput of the model checker's
+//! three engines (clone-based DFS vs undo-log DFS vs parallel sweep, 1 vs N
+//! worker threads) on seed lock configurations.
+//!
+//! Besides the usual stdout report, a machine-readable summary — states,
+//! mean wall-clock per full exploration, and states/sec per engine, plus
+//! the speedup of each engine over the clone-DFS baseline — is written to
+//! `BENCH_explore.json` at the repository root.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use criterion::Criterion;
+use fence_trade::prelude::*;
+use modelcheck::Stats;
+
+struct Workload {
+    label: &'static str,
+    inst: OrderingInstance,
+    model: MemoryModel,
+}
+
+fn workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            label: "peterson2_pso",
+            inst: build_mutex(LockKind::Peterson, 2, FenceMask::ALL),
+            model: MemoryModel::Pso,
+        },
+        Workload {
+            label: "bakery2_pso",
+            inst: build_mutex(LockKind::Bakery, 2, FenceMask::ALL),
+            model: MemoryModel::Pso,
+        },
+        Workload {
+            label: "ttas3_pso",
+            inst: build_mutex(LockKind::Ttas, 3, FenceMask::ALL),
+            model: MemoryModel::Pso,
+        },
+        Workload {
+            label: "filter3_pso",
+            inst: build_mutex(LockKind::Filter, 3, FenceMask::ALL),
+            model: MemoryModel::Pso,
+        },
+    ]
+}
+
+fn engines() -> Vec<(&'static str, Engine)> {
+    vec![
+        ("clone_dfs", Engine::CloneDfs),
+        ("undo", Engine::Undo),
+        ("parallel_2", Engine::Parallel { threads: 2 }),
+        ("parallel_4", Engine::Parallel { threads: 4 }),
+    ]
+}
+
+struct Row {
+    workload: &'static str,
+    engine: &'static str,
+    states: usize,
+    mean_ns: f64,
+    states_per_sec: f64,
+    speedup_vs_clone: f64,
+}
+
+fn main() {
+    let cfg_base = CheckConfig {
+        check_termination: false,
+        max_states: 500_000,
+        ..CheckConfig::default()
+    };
+
+    let mut c = Criterion::default();
+    let mut rows: Vec<Row> = Vec::new();
+
+    for w in &workloads() {
+        let mut clone_mean_ns = 0f64;
+        for (engine_label, engine) in engines() {
+            let cfg = cfg_base.clone().with_engine(engine);
+            // One untimed run for the state count (identical across
+            // engines — asserted by the differential tests).
+            let stats: Stats = check(&w.inst.machine(w.model), &cfg).stats();
+
+            {
+                let mut group = c.benchmark_group(format!("explore/{}", w.label));
+                group
+                    .sample_size(10)
+                    .measurement_time(Duration::from_secs(2));
+                group.bench_function(engine_label, |b| {
+                    b.iter(|| check(&w.inst.machine(w.model), &cfg).stats().states)
+                });
+                group.finish();
+            }
+
+            let mean_ns = c.results().last().expect("recorded").mean_ns();
+            if engine_label == "clone_dfs" {
+                clone_mean_ns = mean_ns;
+            }
+            rows.push(Row {
+                workload: w.label,
+                engine: engine_label,
+                states: stats.states,
+                mean_ns,
+                states_per_sec: stats.states as f64 / (mean_ns / 1e9),
+                speedup_vs_clone: if mean_ns > 0.0 {
+                    clone_mean_ns / mean_ns
+                } else {
+                    0.0
+                },
+            });
+        }
+    }
+
+    let json = render_json(&rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_explore.json");
+    std::fs::write(path, &json).expect("write BENCH_explore.json");
+    println!("\nwrote {path}");
+}
+
+fn render_json(rows: &[Row]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut s = String::from("{\n");
+    let _ = writeln!(s, "  \"bench\": \"explore\",");
+    let _ = writeln!(s, "  \"available_cores\": {cores},");
+    let _ = writeln!(
+        s,
+        "  \"ft_threads\": {},",
+        std::env::var("FT_THREADS").map_or("null".into(), |v| format!("\"{v}\""))
+    );
+    s.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"states\": {}, \
+             \"mean_ns_per_exploration\": {:.0}, \"states_per_sec\": {:.0}, \
+             \"speedup_vs_clone\": {:.3}}}",
+            r.workload, r.engine, r.states, r.mean_ns, r.states_per_sec, r.speedup_vs_clone
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -8,7 +8,9 @@ use fence_trade::prelude::*;
 
 fn bench_uncontended(c: &mut Criterion) {
     let mut group = c.benchmark_group("hw_uncontended_passage");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     let n = 8;
     let bakery = HwBakery::new(n);
@@ -48,7 +50,9 @@ fn bench_uncontended(c: &mut Criterion) {
 
 fn bench_counting_object(c: &mut Criterion) {
     let mut group = c.benchmark_group("hw_counting_solo");
-    group.sample_size(20).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
 
     let counter = CountingLock::new(HwGt::new(8, 2));
     group.bench_function("gt_f2_count_next", |b| {

@@ -8,7 +8,9 @@ use fence_trade::prelude::*;
 
 fn bench_solo_passages(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_solo_passage");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     let n = 64;
     for (label, kind) in [
@@ -30,17 +32,26 @@ fn bench_solo_passages(c: &mut Criterion) {
 
 fn bench_contended_runs(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_contended_run");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
 
     for n in [4usize, 8] {
         let inst = build_ordering(LockKind::Gt { f: 2 }, n, ObjectKind::Counter);
-        group.bench_with_input(BenchmarkId::new("gt_f2_round_robin", n), &inst, |b, inst| {
-            b.iter(|| {
-                let mut m = inst.machine(MemoryModel::Pso);
-                assert!(fence_trade::simlocks::run_to_completion(&mut m, 100_000_000));
-                m.counters().rho()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("gt_f2_round_robin", n),
+            &inst,
+            |b, inst| {
+                b.iter(|| {
+                    let mut m = inst.machine(MemoryModel::Pso);
+                    assert!(fence_trade::simlocks::run_to_completion(
+                        &mut m,
+                        100_000_000
+                    ));
+                    m.counters().rho()
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -14,7 +14,14 @@ fn main() {
     let mut t = Table::new(
         "e10_steady_state",
         "E10: amortized per-passage costs over 8 passages/process (round-robin, PSO)",
-        &["n", "lock", "fences/psg", "RMRs/psg", "one-shot RMRs/psg", "amortization"],
+        &[
+            "n",
+            "lock",
+            "fences/psg",
+            "RMRs/psg",
+            "one-shot RMRs/psg",
+            "amortization",
+        ],
     );
 
     for n in [4usize, 8, 16, 32] {
@@ -40,7 +47,10 @@ fn main() {
 
             let one_shot = build_ordering(kind, n, ObjectKind::Counter);
             let mut m1 = one_shot.machine(MemoryModel::Pso);
-            assert!(fence_trade::simlocks::run_to_completion(&mut m1, 500_000_000));
+            assert!(fence_trade::simlocks::run_to_completion(
+                &mut m1,
+                500_000_000
+            ));
             let one_shot_rmrs = m1.counters().rho() as f64 / n as f64;
 
             t.row(&[

@@ -13,7 +13,14 @@ fn main() {
     let mut t = Table::new(
         "e1_bakery",
         "E1: Bakery counter passage cost vs n (PSO write-buffer machine)",
-        &["n", "solo fences", "solo RMRs", "RMRs/n", "contended RMRs/passage", "f(log(r/f)+1)/log n"],
+        &[
+            "n",
+            "solo fences",
+            "solo RMRs",
+            "RMRs/n",
+            "contended RMRs/passage",
+            "f(log(r/f)+1)/log n",
+        ],
     );
 
     for n in [2usize, 4, 8, 16, 32, 64, 128, 256, 512, 1024] {

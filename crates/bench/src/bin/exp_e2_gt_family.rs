@@ -11,7 +11,16 @@ fn main() {
     let mut t = Table::new(
         "e2_gt_family",
         "E2: GT_f fences and RMRs per solo passage (PSO machine)",
-        &["n", "f", "b", "fences", "pred fences", "RMRs", "pred f*n^(1/f)", "RMRs/pred"],
+        &[
+            "n",
+            "f",
+            "b",
+            "fences",
+            "pred fences",
+            "RMRs",
+            "pred f*n^(1/f)",
+            "RMRs/pred",
+        ],
     );
 
     for n in [16usize, 64, 256, 1024, 4096] {

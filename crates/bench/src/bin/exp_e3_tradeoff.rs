@@ -8,7 +8,14 @@ fn main() {
     let mut t = Table::new(
         "e3_tradeoff",
         "E3: normalized tradeoff product f(log(r/f)+1)/log n across locks and n",
-        &["n", "lock", "fences", "RMRs", "norm product (solo)", "norm product (contended)"],
+        &[
+            "n",
+            "lock",
+            "fences",
+            "RMRs",
+            "norm product (solo)",
+            "norm product (contended)",
+        ],
     );
 
     for n in [16usize, 64, 256] {

@@ -8,16 +8,16 @@
 
 use fence_trade::lowerbound::{self, log2_factorial};
 use fence_trade::prelude::*;
-use ft_bench::{f as fmt, random_permutations, Table};
+use ft_bench::{f as fmt, par_map, random_permutations, Table};
 
 fn run_family(t: &mut Table, kind: LockKind, cases: &[(usize, usize)]) {
     for &(n, samples) in cases {
         let inst = build_ordering(kind, n, ObjectKind::Counter);
         let perms = random_permutations(n, samples, 0xE4 + n as u64);
-        let (mut sm, mut sv, mut sb, mut sbeta, mut srho, mut slhs) =
-            (0f64, 0f64, 0f64, 0f64, 0f64, 0f64);
-        let mut max_bits = 0usize;
-        for pi in &perms {
+        // Each seeded permutation encodes and round-trips independently, so
+        // the samples run on `FT_THREADS` workers; the aggregation below is
+        // order-independent, so the table does not change with thread count.
+        let measured = par_map(&perms, |pi| {
             let enc = encode_permutation(&inst, pi, &EncodeOptions::default())
                 .unwrap_or_else(|e| panic!("{kind} n={n} pi={pi:?}: {e}"));
             assert_eq!(enc.recovered_permutation(), *pi, "injectivity");
@@ -26,14 +26,26 @@ fn run_family(t: &mut Table, kind: LockKind, cases: &[(usize, usize)]) {
             let out =
                 decode(&proof_machine(&inst), &back, &DecodeOptions::default()).expect("decode");
             assert_eq!(recover_permutation(&out.machine), *pi, "bit round trip");
-
-            sm += enc.commands as f64;
-            sv += enc.value_sum as f64;
-            sb += bits.len() as f64;
-            sbeta += enc.beta as f64;
-            srho += enc.rho as f64;
-            slhs += theorem_lhs(enc.beta, enc.rho);
-            max_bits = max_bits.max(bits.len());
+            (
+                enc.commands as f64,
+                enc.value_sum as f64,
+                bits.len(),
+                enc.beta as f64,
+                enc.rho as f64,
+                theorem_lhs(enc.beta, enc.rho),
+            )
+        });
+        let (mut sm, mut sv, mut sb, mut sbeta, mut srho, mut slhs) =
+            (0f64, 0f64, 0f64, 0f64, 0f64, 0f64);
+        let mut max_bits = 0usize;
+        for &(m, v, bits, beta, rho, lhs) in &measured {
+            sm += m;
+            sv += v;
+            sb += bits as f64;
+            sbeta += beta;
+            srho += rho;
+            slhs += lhs;
+            max_bits = max_bits.max(bits);
         }
         let k = perms.len() as f64;
         t.row(&[
@@ -56,8 +68,16 @@ fn main() {
         "e4_encoding",
         "E4: lower-bound encodings of E_pi (averages over seeded random permutations)",
         &[
-            "algorithm", "n", "cmds m", "value v", "beta", "rho", "code bits B",
-            "beta(log(rho/beta)+1)", "log2(n!)", "B / n log n",
+            "algorithm",
+            "n",
+            "cmds m",
+            "value v",
+            "beta",
+            "rho",
+            "code bits B",
+            "beta(log(rho/beta)+1)",
+            "log2(n!)",
+            "B / n log n",
         ],
     );
 
@@ -75,18 +95,30 @@ fn main() {
     let mut t2 = Table::new(
         "e4b_codebooks",
         "E4b: exhaustive codebooks (EVERY permutation encoded)",
-        &["algorithm", "n", "n!", "injective", "min bits", "mean bits", "max bits", "log2(n!)"],
+        &[
+            "algorithm",
+            "n",
+            "n!",
+            "injective",
+            "min bits",
+            "mean bits",
+            "max bits",
+            "log2(n!)",
+        ],
     );
-    for (kind, n) in [
+    let codebook_cases = [
         (LockKind::Bakery, 4usize),
         (LockKind::Bakery, 5),
         (LockKind::Gt { f: 2 }, 4),
         (LockKind::Tournament, 4),
-    ] {
+    ];
+    // The exhaustive codebooks (n! encodings each) are the heavy part of
+    // this binary; each is independent, so build them in parallel.
+    let codebook_rows = par_map(&codebook_cases, |&(kind, n)| {
         let inst = build_ordering(kind, n, ObjectKind::Counter);
         let book = fence_trade::lowerbound::build_codebook(&inst, &EncodeOptions::default())
             .unwrap_or_else(|e| panic!("{kind} n={n}: {e}"));
-        t2.row(&[
+        vec![
             kind.to_string(),
             n.to_string(),
             book.permutations.to_string(),
@@ -95,7 +127,10 @@ fn main() {
             fmt(book.mean_bits, 1),
             book.max_bits.to_string(),
             fmt(log2_factorial(n), 1),
-        ]);
+        ]
+    });
+    for row in &codebook_rows {
+        t2.row(row);
     }
     t2.note(
         "The counting argument, literally: n! pairwise-distinct codes, every \

@@ -6,35 +6,53 @@
 
 use fence_trade::prelude::*;
 use fence_trade::simlocks::peterson::{SITE_FLAG, SITE_RELEASE, SITE_VICTIM};
-use ft_bench::Table;
+use ft_bench::{f as fmt, Table};
 
 fn main() {
-    let cfg = CheckConfig { check_termination: false, ..CheckConfig::default() };
+    let cfg = CheckConfig {
+        check_termination: false,
+        ..CheckConfig::default()
+    };
     let models = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso];
 
     let mut t = Table::new(
         "e5_separation",
         "E5: Peterson fence placements, model-checked exhaustively (2 processes)",
-        &["fences", "#", "SC", "TSO", "PSO", "states(PSO)"],
+        &[
+            "fences",
+            "#",
+            "SC",
+            "TSO",
+            "PSO",
+            "states(PSO)",
+            "kstates/s(PSO)",
+        ],
     );
-    for mask in simlocks_masks() {
+    // Each placement is an independent model-checking job; sweep them on
+    // `FT_THREADS` workers (row order is preserved by `par_map`).
+    let masks = simlocks_masks();
+    let rows = ft_bench::par_map(&masks, |&mask| {
         let inst = build_mutex(LockKind::Peterson, 2, mask);
         let mut labels = Vec::new();
-        let mut pso_states = 0;
+        let mut pso = modelcheck::Stats::default();
         for model in models {
             let v = check(&inst.machine(model), &cfg);
             if model == MemoryModel::Pso {
-                pso_states = v.stats().states;
+                pso = v.stats();
             }
             labels.push(v.label().to_string());
         }
+        (mask, labels, pso)
+    });
+    for (mask, labels, pso) in &rows {
         t.row(&[
             mask.describe(3),
             mask.count_enabled(3).to_string(),
             labels[0].clone(),
             labels[1].clone(),
             labels[2].clone(),
-            pso_states.to_string(),
+            pso.states.to_string(),
+            fmt(pso.states_per_sec() / 1e3, 1),
         ]);
     }
     t.note(

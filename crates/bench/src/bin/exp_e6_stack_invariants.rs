@@ -12,8 +12,15 @@ fn main() {
         "e6_stack_invariants",
         "E6: command composition of the encodings (per-command-type counts, averaged)",
         &[
-            "algorithm", "n", "proceed", "commit", "wait-hidden", "wait-read",
-            "wait-local", "violations", "max |S_p| vs 4*fences+13",
+            "algorithm",
+            "n",
+            "proceed",
+            "commit",
+            "wait-hidden",
+            "wait-read",
+            "wait-local",
+            "violations",
+            "max |S_p| vs 4*fences+13",
         ],
     );
 
@@ -58,7 +65,11 @@ fn main() {
             fmt(counts[3] / k, 1),
             fmt(counts[4] / k, 1),
             violations.to_string(),
-            if slack_ok { "holds".into() } else { "VIOLATED".to_string() },
+            if slack_ok {
+                "holds".into()
+            } else {
+                "VIOLATED".to_string()
+            },
         ]);
     }
 
@@ -83,7 +94,5 @@ fn main() {
             .iter()
             .any(|c| matches!(c, Command::WaitLocalFinish(..)))
     });
-    println!(
-        "probe: wait-local-finish present in a bakery encoding: {has_wlf} (expected true)\n"
-    );
+    println!("probe: wait-local-finish present in a bakery encoding: {has_wlf} (expected true)\n");
 }

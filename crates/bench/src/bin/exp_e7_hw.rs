@@ -1,6 +1,6 @@
 //! **E7 — the tradeoff's shape on real hardware** (paper §1 motivation):
 //! uncontended latency, contended throughput, and fence counts of the lock
-//! family on `std::sync::atomic`, with `parking_lot::Mutex` as an
+//! family on `std::sync::atomic`, with `std::sync::Mutex` as an
 //! engineering baseline.
 //!
 //! Absolute numbers are machine-specific (this harness may run on a single
@@ -60,38 +60,50 @@ impl<L: RawLock> RawLock for ByRef<'_, L> {
     }
 }
 
-/// `parking_lot`'s raw mutex wrapped as a `RawLock` baseline (it uses
-/// atomic RMW instructions rather than fences; fence count reported as 0).
-struct PlMutex(parking_lot::RawMutex);
-impl PlMutex {
+/// `std::sync::Mutex` + `Condvar` as a binary semaphore, wrapped as a
+/// `RawLock` engineering baseline (a `MutexGuard` cannot be parked across
+/// the trait's split acquire/release calls, so the guard-free semaphore
+/// shape is used; it uses atomic RMW instructions rather than explicit
+/// fences, so fence count is reported as 0).
+struct StdMutex {
+    held: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+impl StdMutex {
     fn new() -> Self {
-        use parking_lot::lock_api::RawMutex as _;
-        PlMutex(parking_lot::RawMutex::INIT)
+        StdMutex {
+            held: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        }
     }
 }
-impl RawLock for PlMutex {
+impl RawLock for StdMutex {
     fn max_threads(&self) -> usize {
         usize::MAX
     }
     fn acquire(&self, _tid: usize) {
-        use parking_lot::lock_api::RawMutex as _;
-        self.0.lock();
+        let mut held = self.held.lock().unwrap();
+        while *held {
+            held = self.cv.wait(held).unwrap();
+        }
+        *held = true;
     }
     fn release(&self, _tid: usize) {
-        use parking_lot::lock_api::RawMutex as _;
-        // SAFETY: release is only called by the thread that acquired.
-        unsafe { self.0.unlock() }
+        *self.held.lock().unwrap() = false;
+        self.cv.notify_one();
     }
     fn fences(&self) -> u64 {
         0
     }
     fn name(&self) -> String {
-        "parking_lot (baseline)".into()
+        "std Mutex+Condvar (baseline)".into()
     }
 }
 
 fn main() {
-    let threads = std::thread::available_parallelism().map_or(2, |p| p.get()).clamp(2, 8);
+    let threads = std::thread::available_parallelism()
+        .map_or(2, |p| p.get())
+        .clamp(2, 8);
     let n = threads.next_power_of_two().max(2);
     let iters_u = 50_000;
     let iters_c = 2_000;
@@ -120,7 +132,7 @@ fn main() {
     bench!(HwTournament::new(n));
     bench!(HwTtas::new());
     bench!(HwMcs::new(n));
-    bench!(PlMutex::new());
+    bench!(StdMutex::new());
 
     t.note(format!(
         "Machine: {threads} worker threads, {} cores. Fences/op reproduces the \

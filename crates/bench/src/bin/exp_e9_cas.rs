@@ -11,13 +11,24 @@ fn main() {
     let mut t = Table::new(
         "e9_cas",
         "E9: strong primitives (TTAS via CAS, MCS via swap) vs read/write locks (PSO machine)",
-        &["n", "lock", "fences/psg", "CAS/psg", "swap/psg", "solo RMRs", "contended RMRs"],
+        &[
+            "n",
+            "lock",
+            "fences/psg",
+            "CAS/psg",
+            "swap/psg",
+            "solo RMRs",
+            "contended RMRs",
+        ],
     );
 
     for n in [4usize, 8, 16, 32, 64] {
-        for kind in
-            [LockKind::Ttas, LockKind::Mcs, LockKind::Gt { f: 2 }, LockKind::Tournament]
-        {
+        for kind in [
+            LockKind::Ttas,
+            LockKind::Mcs,
+            LockKind::Gt { f: 2 },
+            LockKind::Tournament,
+        ] {
             if kind == LockKind::Tournament && !n.is_power_of_two() {
                 continue;
             }
@@ -57,7 +68,10 @@ fn main() {
     t.finish();
 
     // Model-check the TTAS mutex for small n under every model.
-    let cfg = CheckConfig { check_termination: false, ..CheckConfig::default() };
+    let cfg = CheckConfig {
+        check_termination: false,
+        ..CheckConfig::default()
+    };
     let mut t2 = Table::new(
         "e9b_cas_check",
         "E9b: strong-primitive locks, model-checked exhaustively",
@@ -73,8 +87,10 @@ fn main() {
             t2.row(&cells);
         }
     }
-    t2.note("CAS's implicit buffer drain makes TTAS correct under every model with \
+    t2.note(
+        "CAS's implicit buffer drain makes TTAS correct under every model with \
              only the release fence — strong primitives trade fence count for \
-             contention, not for freedom from the tradeoff.");
+             contention, not for freedom from the tradeoff.",
+    );
     t2.finish();
 }

@@ -1,9 +1,13 @@
 //! Shared harness utilities for the experiment binaries (`exp_e1` …
 //! `exp_e8`): aligned-table rendering, result persistence under
-//! `results/`, and seeded permutation sampling.
+//! `results/`, seeded permutation sampling, and a small scoped-thread
+//! parallel map ([`par_map`]) honouring the `FT_THREADS` environment
+//! variable ([`parallelism`]).
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -65,7 +69,11 @@ impl Table {
             s.trim_end().to_string()
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * ncols)
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -120,6 +128,58 @@ pub fn random_permutations(n: usize, count: usize, seed: u64) -> Vec<Vec<usize>>
 #[must_use]
 pub fn f(x: f64, digits: usize) -> String {
     format!("{x:.digits$}")
+}
+
+/// The worker count for embarrassingly-parallel sweeps: `FT_THREADS` if set
+/// to a positive integer, otherwise the number of available cores.
+#[must_use]
+pub fn parallelism() -> usize {
+    let auto = || std::thread::available_parallelism().map_or(1, |p| p.get());
+    match std::env::var("FT_THREADS") {
+        Ok(s) => s
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(auto),
+        Err(_) => auto(),
+    }
+}
+
+/// Map `f` over `items` on up to [`parallelism`] scoped threads, preserving
+/// input order in the output. `f` must be independent per item (the sweeps
+/// this serves — seeded permutations, fence-elision candidates, lock×model
+/// cells — all are). Falls back to a plain sequential map for one worker or
+/// one item.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let threads = parallelism().min(items.len());
+    if threads <= 1 {
+        return items.iter().map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(item) = items.get(i) else { break };
+                    local.push((i, f(item)));
+                }
+                collected.lock().expect("unpoisoned").extend(local);
+            });
+        }
+    });
+    let mut pairs = collected.into_inner().expect("unpoisoned");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), items.len());
+    pairs.into_iter().map(|(_, u)| u).collect()
 }
 
 #[cfg(test)]

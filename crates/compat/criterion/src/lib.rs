@@ -1,0 +1,317 @@
+//! A small, dependency-free stand-in for the subset of the [`criterion`]
+//! crate this workspace uses: `criterion_group!` / `criterion_main!`,
+//! benchmark groups with `sample_size` / `measurement_time`,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `Bencher::iter`
+//! and `black_box`.
+//!
+//! The build environment is fully offline, so the real crate cannot be
+//! fetched. Measurement is deliberately simple — warm up briefly, then
+//! time batches of iterations until the measurement budget is spent, and
+//! report min/mean/max ns per iteration — with no statistical analysis,
+//! plotting, or saved baselines. Numbers print to stdout in a stable
+//! `name … time: [min mean max]` shape.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-exported opaque-value barrier (inference-preserving).
+pub use std::hint::black_box;
+
+/// One timed measurement: iterations and total elapsed time.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// Iterations in this sample.
+    pub iters: u64,
+    /// Wall clock for all `iters` together.
+    pub elapsed: Duration,
+}
+
+impl Sample {
+    /// Nanoseconds per iteration.
+    #[must_use]
+    pub fn ns_per_iter(&self) -> f64 {
+        self.elapsed.as_nanos() as f64 / self.iters.max(1) as f64
+    }
+}
+
+/// A completed benchmark: its full id and per-sample timings.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// `group/function` (or `group/function/param`).
+    pub id: String,
+    /// All measured samples.
+    pub samples: Vec<Sample>,
+}
+
+impl BenchResult {
+    /// Mean nanoseconds per iteration over all samples.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(Sample::ns_per_iter).sum::<f64>() / self.samples.len() as f64
+    }
+}
+
+/// The timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Sample>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `f`, called repeatedly; each call is one iteration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: grow the batch until it
+        // costs ≳1ms or the routine is clearly slow.
+        let mut batch: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 4;
+        }
+        // Measurement: `sample_size` samples or until the time budget is
+        // spent, whichever comes first (always at least one sample).
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size.max(1) {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.samples.push(Sample {
+                iters: batch,
+                elapsed: t.elapsed(),
+            });
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// A parameterized benchmark identifier (`function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// An id for `function_name` at `parameter`.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label (accepts `&str`, `String`
+/// and [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The label to report under.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Set the per-benchmark measurement time budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = format!("{}/{}", self.group_name, id.into_label());
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut bencher);
+        self.criterion.record(label, samples);
+        self
+    }
+
+    /// Run one benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (printing happens per-benchmark; this is a
+    /// API-compatibility no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Start a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            group_name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+
+    /// Run one stand-alone benchmark (an implicit single-entry group).
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let label = id.into_label();
+        let mut samples = Vec::new();
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+        };
+        f(&mut bencher);
+        self.record(label, samples);
+        self
+    }
+
+    fn record(&mut self, id: String, samples: Vec<Sample>) {
+        let result = BenchResult { id, samples };
+        let (mut min, mut max) = (f64::INFINITY, 0f64);
+        for s in &result.samples {
+            min = min.min(s.ns_per_iter());
+            max = max.max(s.ns_per_iter());
+        }
+        println!(
+            "{:<48} time: [{} {} {}]",
+            result.id,
+            fmt_ns(min),
+            fmt_ns(result.mean_ns()),
+            fmt_ns(max)
+        );
+        self.results.push(result);
+    }
+
+    /// All results recorded so far (for custom reporters).
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if !ns.is_finite() {
+        "n/a".to_string()
+    } else if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_records() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3).measurement_time(Duration::from_millis(30));
+            g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            g.bench_with_input(BenchmarkId::new("sum", 10), &10u64, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+            g.finish();
+        }
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].id, "g/noop");
+        assert_eq!(c.results()[1].id, "g/sum/10");
+        assert!(c.results().iter().all(|r| !r.samples.is_empty()));
+        assert!(c.results()[0].mean_ns() >= 0.0);
+    }
+}

@@ -1,0 +1,625 @@
+//! A small, dependency-free stand-in for the subset of the [`proptest`]
+//! crate this workspace uses.
+//!
+//! The build environment is fully offline, so the real crate cannot be
+//! fetched. This implementation keeps the same *surface*: the
+//! [`proptest!`], [`prop_assert!`], [`prop_assert_eq!`] and
+//! [`prop_oneof!`] macros, the [`Strategy`] trait with `prop_map` /
+//! `prop_flat_map`, [`Just`], [`any`], range and tuple strategies, and
+//! the `prop::{collection, option, sample}` modules — but deliberately
+//! omits *shrinking*: a failing case reports its inputs (via the panic
+//! message) without minimizing them. Case generation is deterministic:
+//! the RNG is seeded from the test's module path and name, so failures
+//! reproduce exactly across runs.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+
+// ---------------------------------------------------------------------------
+// Test-case RNG
+// ---------------------------------------------------------------------------
+
+/// The deterministic generator driving strategy sampling (SplitMix64).
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// A generator seeded from an arbitrary byte string (e.g. the test
+    /// name), so every test gets a distinct but stable stream.
+    #[must_use]
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(h)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample from `0..bound` (`bound` must be non-zero).
+    pub fn below(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "cannot sample below 0");
+        ((u128::from(self.next_u64()) * bound as u128) >> 64) as usize
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Errors and config
+// ---------------------------------------------------------------------------
+
+/// A failed test case (carries the failure reason).
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Fail the current case with `reason`.
+    #[must_use]
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to generate and run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; this workspace's properties
+        // exercise whole-machine executions per case, so the compat
+        // default trades a little coverage for wall clock.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generate a value, then generate from the strategy `f` builds
+    /// from it.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn sample(&self, rng: &mut TestRng) -> T::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// A uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                let off = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                self.start.wrapping_add(off as $t)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+impl Strategy for Range<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let (a, b) = (self.start as u32, self.end as u32);
+        assert!(a < b, "cannot sample from empty range");
+        loop {
+            let off = ((u128::from(rng.next_u64()) * u128::from(u64::from(b - a))) >> 64) as u32;
+            if let Some(c) = char::from_u32(a + off) {
+                return c;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `any` / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical strategy (the subset this workspace uses).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy's concrete type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (`any::<T>()`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// A strategy backed by a plain function pointer.
+pub struct FnStrategy<T>(fn(&mut TestRng) -> T);
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = FnStrategy<bool>;
+    fn arbitrary() -> Self::Strategy {
+        FnStrategy(|rng| rng.next_u64() & 1 == 1)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FnStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FnStrategy(|rng| rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// prop::{collection, option, sample}
+// ---------------------------------------------------------------------------
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A number-of-elements specification: an exact count or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            SizeRange {
+                lo: exact,
+                hi: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// A strategy for vectors with `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.lo + rng.below(self.size.hi - self.size.lo);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Generates `Option`s from `inner` (`Some` with probability 1/2).
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// A strategy for `Option<T>` values.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Sampling strategies (`prop::sample`).
+pub mod sample {
+    use super::{Arbitrary, FnStrategy, Strategy, TestRng};
+
+    /// Uniform choice from a fixed set of values.
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    /// A strategy choosing uniformly among `options` (must be non-empty).
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            self.options[rng.below(self.options.len())].clone()
+        }
+    }
+
+    /// An index into a not-yet-known-length collection: sampled as raw
+    /// entropy, projected with [`Index::index`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// This index projected onto `0..len` (`len` must be non-zero).
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index requires a non-empty collection");
+            ((u128::from(self.0) * len as u128) >> 64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        type Strategy = FnStrategy<Index>;
+        fn arbitrary() -> Self::Strategy {
+            FnStrategy(|rng: &mut TestRng| Index(rng.next_u64()))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define property tests: `proptest! { #[test] fn name(x in strategy) { … } }`.
+///
+/// Differences from the real crate: no shrinking, and the failing case's
+/// index (not its minimized inputs) is reported in the panic message.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __pt_config: $crate::ProptestConfig = $cfg;
+                let mut __pt_rng = $crate::TestRng::from_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __pt_case in 0..__pt_config.cases {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __pt_rng);)+
+                    let __pt_result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = __pt_result {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}",
+                            stringify!($name), __pt_case, __pt_config.cases, e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", args…)`: fail the
+/// current case (without panicking) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`: fail the current case when `a != b`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// `prop_oneof![s1, s2, …]`: uniform choice among strategies of a common
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The `prop` namespace and common items (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// The `prop::…` module namespace.
+    pub mod prop {
+        pub use crate::{collection, option, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_vecs_sample_in_bounds() {
+        let mut rng = crate::TestRng::from_name("t1");
+        let s = prop::collection::vec((0u8..8, 0u8..16), 0..40);
+        for _ in 0..200 {
+            let v = s.sample(&mut rng);
+            assert!(v.len() < 40);
+            assert!(v.iter().all(|&(a, b)| a < 8 && b < 16));
+        }
+    }
+
+    #[test]
+    fn exact_size_vec_and_option() {
+        let mut rng = crate::TestRng::from_name("t2");
+        let s = prop::collection::vec(prop::option::of(0u32..3), 6);
+        for _ in 0..50 {
+            let v = s.sample(&mut rng);
+            assert_eq!(v.len(), 6);
+            assert!(v.iter().flatten().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn oneof_map_flat_map_select() {
+        let mut rng = crate::TestRng::from_name("t3");
+        let s = (1usize..4).prop_flat_map(|n| {
+            (
+                Just(n),
+                prop_oneof![
+                    (0u64..5).prop_map(|x| x * 2),
+                    prop::sample::select(vec![100u64, 200]),
+                ],
+            )
+        });
+        let mut saw_even_small = false;
+        let mut saw_select = false;
+        for _ in 0..200 {
+            let (n, x) = s.sample(&mut rng);
+            assert!((1..4).contains(&n));
+            if x < 10 {
+                assert_eq!(x % 2, 0);
+                saw_even_small = true;
+            } else {
+                assert!(x == 100 || x == 200);
+                saw_select = true;
+            }
+        }
+        assert!(saw_even_small && saw_select);
+    }
+
+    #[test]
+    fn index_projects_in_bounds() {
+        let mut rng = crate::TestRng::from_name("t4");
+        let s = any::<prop::sample::Index>();
+        for _ in 0..100 {
+            let idx = s.sample(&mut rng);
+            for len in [1usize, 2, 7, 1000] {
+                assert!(idx.index(len) < len);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: sampled values respect their strategies and
+        /// `prop_assert!`/`?` plumbing compiles.
+        #[test]
+        fn macro_end_to_end(x in 0u32..10, v in prop::collection::vec(0u8..4, 0..9)) {
+            prop_assert!(x < 10);
+            prop_assert_eq!(v.iter().filter(|&&b| b > 3).count(), 0);
+            let parsed: Result<u32, _> = "7".parse::<u32>().map_err(|e| {
+                TestCaseError::fail(format!("{e}"))
+            });
+            let seven = parsed?;
+            prop_assert_eq!(seven, 7);
+        }
+    }
+}

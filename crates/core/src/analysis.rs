@@ -29,7 +29,10 @@ pub fn solo_passage(inst: &OrderingInstance, model: MemoryModel, max_steps: usiz
         inst.name
     );
     let c = m.counters().proc(0);
-    PassageCost { fences: c.fences as f64, rmrs: c.rmrs as f64 }
+    PassageCost {
+        fences: c.fences as f64,
+        rmrs: c.rmrs as f64,
+    }
 }
 
 /// Measure the **average contended** passage: all `n` processes run under a
@@ -123,7 +126,9 @@ pub fn scaling_exponent(points: &[(f64, f64)]) -> f64 {
         })
         .collect();
     let k = logs.len() as f64;
-    let (sx, sy): (f64, f64) = logs.iter().fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
+    let (sx, sy): (f64, f64) = logs
+        .iter()
+        .fold((0.0, 0.0), |(a, b), &(x, y)| (a + x, b + y));
     let (mx, my) = (sx / k, sy / k);
     let num: f64 = logs.iter().map(|&(x, y)| (x - mx) * (y - my)).sum();
     let den: f64 = logs.iter().map(|&(x, _)| (x - mx) * (x - mx)).sum();
@@ -175,8 +180,16 @@ mod tests {
             let inst = build_ordering(LockKind::Bakery, n, ObjectKind::Counter);
             let cost = solo_passage(&inst, MemoryModel::Pso, 1_000_000);
             assert_eq!(cost.fences, 6.0, "n={n}: 4 lock + object + final");
-            assert!(cost.rmrs >= 2.0 * (n as f64 - 1.0), "n={n}: rmrs={}", cost.rmrs);
-            assert!(cost.rmrs <= 4.0 * n as f64 + 8.0, "n={n}: rmrs={}", cost.rmrs);
+            assert!(
+                cost.rmrs >= 2.0 * (n as f64 - 1.0),
+                "n={n}: rmrs={}",
+                cost.rmrs
+            );
+            assert!(
+                cost.rmrs <= 4.0 * n as f64 + 8.0,
+                "n={n}: rmrs={}",
+                cost.rmrs
+            );
         }
     }
 
@@ -199,8 +212,14 @@ mod tests {
         let inst = build_ordering(LockKind::Gt { f: 2 }, 8, ObjectKind::Counter);
         let solo = solo_passage(&inst, MemoryModel::Pso, 1_000_000);
         let cont = contended_passage(&inst, MemoryModel::Pso, 50_000_000);
-        assert!(cont.rmrs >= solo.rmrs * 0.9, "contention should not reduce RMRs");
-        assert_eq!(cont.fences, solo.fences, "fence count per passage is schedule-independent");
+        assert!(
+            cont.rmrs >= solo.rmrs * 0.9,
+            "contention should not reduce RMRs"
+        );
+        assert_eq!(
+            cont.fences, solo.fences,
+            "fence count per passage is schedule-independent"
+        );
     }
 
     #[test]
@@ -228,14 +247,20 @@ mod tests {
             &ns,
             10_000_000,
         );
-        assert!((0.9..=1.1).contains(&bakery), "bakery exponent {bakery} should be ~1");
+        assert!(
+            (0.9..=1.1).contains(&bakery),
+            "bakery exponent {bakery} should be ~1"
+        );
 
         let gt2 = solo_rmr_exponent(
             |n| build_ordering(LockKind::Gt { f: 2 }, n, ObjectKind::Counter),
             &ns,
             10_000_000,
         );
-        assert!((0.35..=0.65).contains(&gt2), "GT_2 exponent {gt2} should be ~0.5");
+        assert!(
+            (0.35..=0.65).contains(&gt2),
+            "GT_2 exponent {gt2} should be ~0.5"
+        );
 
         let tournament = solo_rmr_exponent(
             |n| build_ordering(LockKind::Tournament, n, ObjectKind::Counter),
@@ -252,6 +277,9 @@ mod tests {
             &ns,
             10_000_000,
         );
-        assert!(ttas.abs() < 0.05, "solo TTAS exponent {ttas} should be ~0 (constant)");
+        assert!(
+            ttas.abs() < 0.05,
+            "solo TTAS exponent {ttas} should be ~0 (constant)"
+        );
     }
 }

@@ -47,16 +47,17 @@ pub use wbmem;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use crate::analysis::{
-        contended_passage, n_log_n, normalized_tradeoff, predicted_gt_fences,
-        predicted_gt_rmrs, scaling_exponent, solo_passage, solo_rmr_exponent, theorem_lhs,
-        tradeoff_lhs, PassageCost,
+        contended_passage, n_log_n, normalized_tradeoff, predicted_gt_fences, predicted_gt_rmrs,
+        scaling_exponent, solo_passage, solo_rmr_exponent, theorem_lhs, tradeoff_lhs, PassageCost,
     };
-    pub use hwlocks::{CountingLock, HwBakery, HwGt, HwMcs, HwPeterson, HwTournament, HwTtas, RawLock};
+    pub use hwlocks::{
+        CountingLock, HwBakery, HwGt, HwMcs, HwPeterson, HwTournament, HwTtas, RawLock,
+    };
     pub use lowerbound::{
         decode, encode_permutation, proof_machine, recover_permutation, DecodeOptions,
         EncodeOptions,
     };
-    pub use modelcheck::{check, elision_table, CheckConfig, Verdict};
+    pub use modelcheck::{check, elision_table, elision_table_par, CheckConfig, Engine, Verdict};
     pub use simlocks::{
         build_mutex, build_ordering, FenceMask, LockKind, ObjectKind, OrderingInstance,
     };

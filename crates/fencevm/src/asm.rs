@@ -25,7 +25,12 @@ impl Asm {
     /// Start a new program named `name`.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Asm { name: name.into(), instrs: Vec::new(), local_names: Vec::new(), labels: Vec::new() }
+        Asm {
+            name: name.into(),
+            instrs: Vec::new(),
+            local_names: Vec::new(),
+            labels: Vec::new(),
+        }
     }
 
     /// Allocate a fresh local variable with a debug name.
@@ -59,12 +64,18 @@ impl Asm {
 
     /// Emit `dst := shared[addr]`.
     pub fn read(&mut self, addr: impl Into<Src>, dst: Loc) {
-        self.instrs.push(Instr::Read { addr: addr.into(), dst });
+        self.instrs.push(Instr::Read {
+            addr: addr.into(),
+            dst,
+        });
     }
 
     /// Emit `shared[addr] := val`.
     pub fn write(&mut self, addr: impl Into<Src>, val: impl Into<Src>) {
-        self.instrs.push(Instr::Write { addr: addr.into(), val: val.into() });
+        self.instrs.push(Instr::Write {
+            addr: addr.into(),
+            val: val.into(),
+        });
     }
 
     /// Emit a fence.
@@ -92,7 +103,11 @@ impl Asm {
     /// Emit `dst := SWAP(shared[addr], new)` — `dst` receives the observed
     /// pre-operation payload.
     pub fn swap(&mut self, addr: impl Into<Src>, new: impl Into<Src>, dst: Loc) {
-        self.instrs.push(Instr::Swap { addr: addr.into(), new: new.into(), dst });
+        self.instrs.push(Instr::Swap {
+            addr: addr.into(),
+            new: new.into(),
+            dst,
+        });
     }
 
     /// Emit `return val`.
@@ -102,12 +117,20 @@ impl Asm {
 
     /// Emit `dst := src`.
     pub fn mov(&mut self, dst: Loc, src: impl Into<Src>) {
-        self.instrs.push(Instr::Mov { dst, src: src.into() });
+        self.instrs.push(Instr::Mov {
+            dst,
+            src: src.into(),
+        });
     }
 
     /// Emit `dst := a ⊕ b`.
     pub fn bin(&mut self, op: BinOp, dst: Loc, a: impl Into<Src>, b: impl Into<Src>) {
-        self.instrs.push(Instr::Bin { op, dst, a: a.into(), b: b.into() });
+        self.instrs.push(Instr::Bin {
+            op,
+            dst,
+            a: a.into(),
+            b: b.into(),
+        });
     }
 
     /// Emit `dst := a + b`.
@@ -147,7 +170,12 @@ impl Asm {
 
     /// Emit a conditional jump: go to `label` if `a ⋈ b`.
     pub fn jmp_if(&mut self, cond: CondOp, a: impl Into<Src>, b: impl Into<Src>, label: Label) {
-        self.instrs.push(Instr::JmpIf { cond, a: a.into(), b: b.into(), target: label.0 });
+        self.instrs.push(Instr::JmpIf {
+            cond,
+            a: a.into(),
+            b: b.into(),
+            target: label.0,
+        });
     }
 
     /// Emit an annotation marker (e.g. critical-section entry/exit).
@@ -180,7 +208,12 @@ impl Asm {
     /// contains no `Return` (every paper process must return exactly once).
     #[must_use]
     pub fn assemble(self) -> Program {
-        let Asm { name, mut instrs, local_names, labels } = self;
+        let Asm {
+            name,
+            mut instrs,
+            local_names,
+            labels,
+        } = self;
         assert!(
             instrs.iter().any(|i| matches!(i, Instr::Return { .. })),
             "program {name} has no return instruction"

@@ -234,7 +234,12 @@ impl fmt::Display for Instr {
             Instr::Read { addr, dst } => write!(f, "read  {dst} := [{addr}]"),
             Instr::Write { addr, val } => write!(f, "write [{addr}] := {val}"),
             Instr::Fence => write!(f, "fence"),
-            Instr::Cas { addr, expected, new, dst } => {
+            Instr::Cas {
+                addr,
+                expected,
+                new,
+                dst,
+            } => {
                 write!(f, "cas   {dst} := [{addr}] ({expected} -> {new})")
             }
             Instr::Swap { addr, new, dst } => {
@@ -243,11 +248,19 @@ impl fmt::Display for Instr {
             Instr::Return { val } => write!(f, "ret   {val}"),
             Instr::Mov { dst, src } => write!(f, "mov   {dst} := {src}"),
             Instr::Bin { op, dst, a, b } => {
-                write!(f, "{:<5} {dst} := {a}, {b}", format!("{op:?}").to_lowercase())
+                write!(
+                    f,
+                    "{:<5} {dst} := {a}, {b}",
+                    format!("{op:?}").to_lowercase()
+                )
             }
             Instr::Jmp { target } => write!(f, "jmp   @{target}"),
             Instr::JmpIf { cond, a, b, target } => {
-                write!(f, "j{:<4} {a}, {b} -> @{target}", format!("{cond:?}").to_lowercase())
+                write!(
+                    f,
+                    "j{:<4} {a}, {b} -> @{target}",
+                    format!("{cond:?}").to_lowercase()
+                )
             }
             Instr::Annot { value } => write!(f, "annot {value}"),
             Instr::Nop => write!(f, "nop"),
@@ -290,7 +303,11 @@ mod tests {
     #[test]
     fn memory_classification() {
         assert!(Instr::Fence.is_memory());
-        assert!(Instr::Read { addr: Src::Imm(0), dst: Loc(0) }.is_memory());
+        assert!(Instr::Read {
+            addr: Src::Imm(0),
+            dst: Loc(0)
+        }
+        .is_memory());
         assert!(!Instr::Nop.is_memory());
         assert!(!Instr::Jmp { target: 0 }.is_memory());
         assert!(!Instr::Annot { value: 1 }.is_memory());

@@ -26,7 +26,11 @@ impl Program {
                 );
             }
         }
-        Program { name, instrs, local_names }
+        Program {
+            name,
+            instrs,
+            local_names,
+        }
     }
 
     /// The program's name (for diagnostics).
@@ -64,13 +68,21 @@ impl Program {
     /// sites, not dynamic fence steps).
     #[must_use]
     pub fn fence_site_count(&self) -> usize {
-        self.instrs.iter().filter(|i| matches!(i, Instr::Fence)).count()
+        self.instrs
+            .iter()
+            .filter(|i| matches!(i, Instr::Fence))
+            .count()
     }
 }
 
 impl fmt::Display for Program {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "program {} ({} locals)", self.name, self.local_names.len())?;
+        writeln!(
+            f,
+            "program {} ({} locals)",
+            self.name,
+            self.local_names.len()
+        )?;
         for (i, ins) in self.instrs.iter().enumerate() {
             writeln!(f, "  @{i:<4} {ins}")?;
         }
@@ -88,7 +100,10 @@ mod tests {
         let p = Program::from_parts(
             "t".into(),
             vec![
-                Instr::Read { addr: Src::Imm(0), dst: Loc(0) },
+                Instr::Read {
+                    addr: Src::Imm(0),
+                    dst: Loc(0),
+                },
                 Instr::Nop,
                 Instr::Fence,
                 Instr::Return { val: Src::Imm(0) },

@@ -37,7 +37,12 @@ impl VmProc {
     #[must_use]
     pub fn new(prog: Arc<Program>) -> Self {
         let locals = vec![0; prog.locals_len()];
-        let mut p = VmProc { prog, pc: 0, locals, annot: 0 };
+        let mut p = VmProc {
+            prog,
+            pc: 0,
+            locals,
+            annot: 0,
+        };
         p.settle();
         p
     }
@@ -71,7 +76,11 @@ impl VmProc {
     fn eval_reg(&self, src: Src) -> RegId {
         let x = self.eval(src);
         let id = u32::try_from(x).unwrap_or_else(|_| {
-            panic!("program {}: invalid register id {x} at pc {}", self.prog.name(), self.pc)
+            panic!(
+                "program {}: invalid register id {x} at pc {}",
+                self.prog.name(),
+                self.pc
+            )
         });
         RegId(id)
     }
@@ -79,7 +88,11 @@ impl VmProc {
     fn eval_nonneg(&self, src: Src) -> u64 {
         let x = self.eval(src);
         u64::try_from(x).unwrap_or_else(|_| {
-            panic!("program {}: negative value {x} at pc {}", self.prog.name(), self.pc)
+            panic!(
+                "program {}: negative value {x} at pc {}",
+                self.prog.name(),
+                self.pc
+            )
         })
     }
 
@@ -141,7 +154,12 @@ impl Process for VmProc {
                 Poised::Write(self.eval_reg(addr), Value::Int(self.eval_nonneg(val)))
             }
             Instr::Fence => Poised::Fence,
-            Instr::Cas { addr, expected, new, .. } => Poised::Cas {
+            Instr::Cas {
+                addr,
+                expected,
+                new,
+                ..
+            } => Poised::Cas {
                 reg: self.eval_reg(addr),
                 expected: self.eval_nonneg(expected),
                 new: Value::Int(self.eval_nonneg(new)),
@@ -296,10 +314,18 @@ mod tests {
         a.annot(0);
         a.ret(0i64);
         let p = VmProc::new(a.assemble().into());
-        assert_eq!(p.annotation(), 1, "annot before first memory instr applies at init");
+        assert_eq!(
+            p.annotation(),
+            1,
+            "annot before first memory instr applies at init"
+        );
         let mut m = Machine::new(pso(), vec![p]);
         m.step(SchedElem::op(ProcId(0)));
-        assert_eq!(m.annotation(ProcId(0)), 0, "after fence, annot 0 was settled");
+        assert_eq!(
+            m.annotation(ProcId(0)),
+            0,
+            "after fence, annot 0 was settled"
+        );
     }
 
     #[test]
@@ -373,7 +399,9 @@ mod tests {
         a.nop();
         a.ret(0i64);
         let text = a.assemble().to_string();
-        for needle in ["read", "write", "cas", "swap", "fence", "annot", "nop", "ret"] {
+        for needle in [
+            "read", "write", "cas", "swap", "fence", "annot", "nop", "ret",
+        ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
     }

@@ -19,7 +19,10 @@ impl<L: RawLock> CountingLock<L> {
     /// Wrap `lock` around a zeroed counter.
     #[must_use]
     pub fn new(lock: L) -> Self {
-        CountingLock { lock, value: AtomicU64::new(0) }
+        CountingLock {
+            lock,
+            value: AtomicU64::new(0),
+        }
     }
 
     /// Perform one counting operation as thread `tid`; returns this call's
@@ -63,7 +66,10 @@ mod tests {
                     scope.spawn(move || (0..iters).map(|_| counter.next(tid)).collect::<Vec<_>>())
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         all.sort_unstable();
         let expect: Vec<u64> = (0..(threads * iters) as u64).collect();

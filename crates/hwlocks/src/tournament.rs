@@ -16,8 +16,14 @@ impl HwTournament {
     /// A tournament lock for `n` threads (`n` a power of two, `n ≥ 2`).
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "tournament needs a power-of-two n >= 2");
-        HwTournament { n, nodes: (0..n).map(|_| HwPeterson::new()).collect() }
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "tournament needs a power-of-two n >= 2"
+        );
+        HwTournament {
+            n,
+            nodes: (0..n).map(|_| HwPeterson::new()).collect(),
+        }
     }
 
     fn path(&self, tid: usize) -> impl Iterator<Item = (usize, usize)> + '_ {
@@ -71,7 +77,11 @@ mod tests {
         let lock = HwTournament::new(8);
         lock.acquire(0);
         lock.release(0);
-        assert_eq!(lock.fences(), 3 * 3, "3 fences per level over log2(8) levels");
+        assert_eq!(
+            lock.fences(),
+            3 * 3,
+            "3 fences per level over log2(8) levels"
+        );
     }
 
     #[test]

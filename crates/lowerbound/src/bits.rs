@@ -106,7 +106,10 @@ impl<'a> BitReader<'a> {
     /// Read from the start of `bits`.
     #[must_use]
     pub fn new(bits: &'a BitString) -> Self {
-        BitReader { bits: &bits.bits, pos: 0 }
+        BitReader {
+            bits: &bits.bits,
+            pos: 0,
+        }
     }
 
     /// Read one bit.

@@ -50,20 +50,19 @@ pub fn build_codebook(
     let mut items: Vec<usize> = (0..n).collect();
     let mut stack = vec![0usize; n];
     // Heap's algorithm, iterative.
-    let mut process = |pi: &[usize],
-                       codes: &mut std::collections::HashSet<Vec<u8>>|
-     -> Result<(), EncodeError> {
-        let enc = encode_permutation(inst, pi, opts)?;
-        let bits = serialize_stacks(&enc.stacks);
-        codes.insert(bits.to_bytes());
-        count += 1;
-        min_bits = min_bits.min(bits.len());
-        max_bits = max_bits.max(bits.len());
-        sum_bits += bits.len() as u64;
-        max_beta = max_beta.max(enc.beta);
-        max_rho = max_rho.max(enc.rho);
-        Ok(())
-    };
+    let mut process =
+        |pi: &[usize], codes: &mut std::collections::HashSet<Vec<u8>>| -> Result<(), EncodeError> {
+            let enc = encode_permutation(inst, pi, opts)?;
+            let bits = serialize_stacks(&enc.stacks);
+            codes.insert(bits.to_bytes());
+            count += 1;
+            min_bits = min_bits.min(bits.len());
+            max_bits = max_bits.max(bits.len());
+            sum_bits += bits.len() as u64;
+            max_beta = max_beta.max(enc.beta);
+            max_rho = max_rho.max(enc.rho);
+            Ok(())
+        };
 
     process(&items, &mut codes)?;
     let mut i = 1;

@@ -88,7 +88,10 @@ impl fmt::Display for Command {
 }
 
 fn fmt_set(s: &BTreeSet<ProcId>) -> String {
-    s.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+    s.iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join(",")
 }
 
 /// The `n` command stacks. Top = consumption end; bottom = append end.
@@ -101,7 +104,9 @@ impl Stacks {
     /// `n` empty stacks.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Stacks { stacks: vec![VecDeque::new(); n] }
+        Stacks {
+            stacks: vec![VecDeque::new(); n],
+        }
     }
 
     /// Number of processes.
@@ -248,7 +253,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Command::Proceed.to_string(), "proceed");
-        assert_eq!(Command::WaitHiddenCommit(3).to_string(), "wait-hidden-commit(3)");
+        assert_eq!(
+            Command::WaitHiddenCommit(3).to_string(),
+            "wait-hidden-commit(3)"
+        );
         let mut set = BTreeSet::new();
         set.insert(ProcId(1));
         assert_eq!(

@@ -35,7 +35,10 @@ pub struct DecodeOptions {
 
 impl Default for DecodeOptions {
     fn default() -> Self {
-        DecodeOptions { max_steps: 2_000_000, solo_bound: 500_000 }
+        DecodeOptions {
+            max_steps: 2_000_000,
+            solo_bound: 500_000,
+        }
     }
 }
 
@@ -173,12 +176,15 @@ pub fn decode(
 
     'outer: loop {
         if steps.len() >= opts.max_steps {
-            return Err(DecodeError::MaxSteps { steps: opts.max_steps });
+            return Err(DecodeError::MaxSteps {
+                steps: opts.max_steps,
+            });
         }
 
         // ---- Rule D1: a commit step. ----
-        let commit_enabled =
-            (0..n).map(ProcId::from).find(|&p| is_commit_enabled(&m, &st, p));
+        let commit_enabled = (0..n)
+            .map(ProcId::from)
+            .find(|&p| is_commit_enabled(&m, &st, p));
         if let Some(p) = commit_enabled {
             let r = *m
                 .buffer(p)
@@ -228,9 +234,7 @@ pub fn decode(
 
             // (D1c) the commit accesses the register owner's segment.
             if let Some(owner) = m.config().layout.owner(r) {
-                if owner != pstar
-                    && matches!(st.top(owner), Some(Command::WaitLocalFinish(..)))
-                {
+                if owner != pstar && matches!(st.top(owner), Some(Command::WaitLocalFinish(..))) {
                     st.with_top_mut(owner, |c| {
                         if let Command::WaitLocalFinish(_, s) = c {
                             s.insert(pstar);
@@ -239,7 +243,11 @@ pub fn decode(
                 }
             }
 
-            steps.push(DecodedStep { elem: SchedElem::commit(pstar, r), event, hidden });
+            steps.push(DecodedStep {
+                elem: SchedElem::commit(pstar, r),
+                event,
+                hidden,
+            });
             note_empties(&st, &mut stack_empty_at, steps.len());
             continue 'outer;
         }
@@ -265,10 +273,15 @@ pub fn decode(
         };
 
         // (D2a) pop `proceed` once p is poised at a fence/return/done.
-        if matches!(m.poised(p), Poised::Fence | Poised::Return(_) | Poised::Done)
-            && st.pop_top(p) != Some(Command::Proceed) {
-                return Err(DecodeError::Internal(format!("{p} stepped without proceed on top")));
-            }
+        if matches!(
+            m.poised(p),
+            Poised::Fence | Poised::Return(_) | Poised::Done
+        ) && st.pop_top(p) != Some(Command::Proceed)
+        {
+            return Err(DecodeError::Internal(format!(
+                "{p} stepped without proceed on top"
+            )));
+        }
 
         match &event.kind {
             EventKind::Return { .. } => {
@@ -300,7 +313,11 @@ pub fn decode(
                     }
                 }
             }
-            EventKind::Read { reg, from_memory: true, .. } => {
+            EventKind::Read {
+                reg,
+                from_memory: true,
+                ..
+            } => {
                 let reg = *reg;
                 // (D2c) readers of registers another process is about to
                 // commit.
@@ -321,9 +338,7 @@ pub fn decode(
                 }
                 // (D2d) readers of q's memory segment.
                 if let Some(owner) = m.config().layout.owner(reg) {
-                    if owner != p
-                        && matches!(st.top(owner), Some(Command::WaitLocalFinish(..)))
-                    {
+                    if owner != p && matches!(st.top(owner), Some(Command::WaitLocalFinish(..))) {
                         st.with_top_mut(owner, |c| {
                             if let Command::WaitLocalFinish(_, s) = c {
                                 s.insert(p);
@@ -335,11 +350,20 @@ pub fn decode(
             _ => {} // (D2e)
         }
 
-        steps.push(DecodedStep { elem: SchedElem::op(p), event, hidden: false });
+        steps.push(DecodedStep {
+            elem: SchedElem::op(p),
+            event,
+            hidden: false,
+        });
         note_empties(&st, &mut stack_empty_at, steps.len());
     }
 
-    Ok(DecodeOutcome { machine: m, stacks: st, steps, stack_empty_at })
+    Ok(DecodeOutcome {
+        machine: m,
+        stacks: st,
+        steps,
+        stack_empty_at,
+    })
 }
 
 fn note_empties(st: &Stacks, stack_empty_at: &mut [Option<usize>], now: usize) {
@@ -357,8 +381,8 @@ mod tests {
     use wbmem::MachineConfig;
 
     fn tagged_machine(inst: &simlocks::OrderingInstance) -> Machine<VmProc> {
-        let cfg = MachineConfig::new(wbmem::MemoryModel::Pso, inst.layout.clone())
-            .with_tagged_writes();
+        let cfg =
+            MachineConfig::new(wbmem::MemoryModel::Pso, inst.layout.clone()).with_tagged_writes();
         inst.machine_from(cfg)
     }
 
@@ -456,11 +480,19 @@ mod tests {
         let inst = two_writer_instance();
         let m = tagged_machine(&inst);
         let mut st = Stacks::new(2);
-        for cmd in [Command::Proceed, Command::Commit, Command::Proceed, Command::Proceed] {
+        for cmd in [
+            Command::Proceed,
+            Command::Commit,
+            Command::Proceed,
+            Command::Proceed,
+        ] {
             st.push_bottom(ProcId(1), cmd);
         }
         let out = decode(&m, &st, &DecodeOptions::default()).unwrap();
-        assert!(!out.machine.is_done(ProcId(1)), "the rank gate must block return(1)");
+        assert!(
+            !out.machine.is_done(ProcId(1)),
+            "the rank gate must block return(1)"
+        );
         assert!(matches!(out.machine.poised(ProcId(1)), Poised::Return(1)));
 
         // Whereas a full script for bakery-p1 alone returns rank 0: the
@@ -492,7 +524,12 @@ mod tests {
         ] {
             st.push_bottom(ProcId(0), cmd);
         }
-        for cmd in [Command::Proceed, Command::Commit, Command::Proceed, Command::Proceed] {
+        for cmd in [
+            Command::Proceed,
+            Command::Commit,
+            Command::Proceed,
+            Command::Proceed,
+        ] {
             st.push_bottom(ProcId(1), cmd);
         }
         let out = decode(&m, &st, &DecodeOptions::default()).unwrap();
@@ -636,6 +673,9 @@ mod tests {
             .iter()
             .position(|s| s.event.proc == ProcId(1))
             .expect("p1 steps");
-        assert!(p1_first > p0_return, "p1 stepped at {p1_first}, p0 returned at {p0_return}");
+        assert!(
+            p1_first > p0_return,
+            "p1 stepped at {p1_first}, p0 returned at {p0_return}"
+        );
     }
 }

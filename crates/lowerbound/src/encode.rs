@@ -39,7 +39,10 @@ pub struct EncodeOptions {
 
 impl Default for EncodeOptions {
     fn default() -> Self {
-        EncodeOptions { max_iterations: 100_000, decode: DecodeOptions::default() }
+        EncodeOptions {
+            max_iterations: 100_000,
+            decode: DecodeOptions::default(),
+        }
     }
 }
 
@@ -88,7 +91,10 @@ pub fn recover_permutation(m: &Machine<VmProc>) -> Vec<usize> {
             .return_value(ProcId::from(i))
             .unwrap_or_else(|| panic!("process p{i} did not return"));
         let k = usize::try_from(r).expect("rank fits");
-        assert!(k < n && pi[k] == usize::MAX, "return values are not a permutation");
+        assert!(
+            k < n && pi[k] == usize::MAX,
+            "return values are not a permutation"
+        );
         pi[k] = i;
     }
     pi
@@ -129,10 +135,20 @@ impl std::fmt::Display for EncodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EncodeError::Decode(e) => write!(f, "decode failed: {e}"),
-            EncodeError::Stalled { iterations, diagnostics } => {
-                write!(f, "encoding stalled after {iterations} iterations:\n{diagnostics}")
+            EncodeError::Stalled {
+                iterations,
+                diagnostics,
+            } => {
+                write!(
+                    f,
+                    "encoding stalled after {iterations} iterations:\n{diagnostics}"
+                )
             }
-            EncodeError::RankMismatch { proc, expected, got } => write!(
+            EncodeError::RankMismatch {
+                proc,
+                expected,
+                got,
+            } => write!(
                 f,
                 "process p{proc} should return its rank {expected}, got {got:?}"
             ),
@@ -205,7 +221,9 @@ pub fn encode_permutation(
         }
 
         // τ_i: the largest π-index whose stack is non-empty.
-        let tau = (0..n).rev().find(|&k| !stacks.is_empty_of(ProcId::from(pi[k])));
+        let tau = (0..n)
+            .rev()
+            .find(|&k| !stacks.is_empty_of(ProcId::from(pi[k])));
         let ell = match tau {
             None => 0,
             Some(t) if dec.machine.is_done(ProcId::from(pi[t])) => t + 1,
@@ -256,7 +274,10 @@ fn next_command(
             }
         }
         if !accessors.is_empty() {
-            return Ok(Command::WaitLocalFinish(accessors.len() as u64, BTreeSet::new()));
+            return Ok(Command::WaitLocalFinish(
+                accessors.len() as u64,
+                BTreeSet::new(),
+            ));
         }
     }
 
@@ -275,9 +296,9 @@ fn next_command(
             let gamma = batch
                 .iter()
                 .filter(|&&r| {
-                    suffix.iter().any(|s| {
-                        matches!(s.event.kind, EventKind::Commit { reg, .. } if reg == r)
-                    })
+                    suffix
+                        .iter()
+                        .any(|s| matches!(s.event.kind, EventKind::Commit { reg, .. } if reg == r))
                 })
                 .count() as u64;
             if gamma > 0 {
@@ -288,14 +309,22 @@ fn next_command(
             // memory during E**.
             let mut readers: BTreeSet<ProcId> = BTreeSet::new();
             for s in suffix {
-                if let EventKind::Read { reg, from_memory: true, .. } = s.event.kind {
+                if let EventKind::Read {
+                    reg,
+                    from_memory: true,
+                    ..
+                } = s.event.kind
+                {
                     if s.event.proc != p_ell && batch.contains(&reg) {
                         readers.insert(s.event.proc);
                     }
                 }
             }
             if !readers.is_empty() {
-                return Ok(Command::WaitReadFinish(readers.len() as u64, BTreeSet::new()));
+                return Ok(Command::WaitReadFinish(
+                    readers.len() as u64,
+                    BTreeSet::new(),
+                ));
             }
 
             Ok(Command::Commit)
@@ -415,7 +444,10 @@ mod tests {
             assert_eq!(has_whc, has_hidden_step, "commands and steps must agree");
             saw_hidden |= has_hidden_step;
         }
-        assert!(saw_hidden, "some permutation must exercise the hidden-commit path");
+        assert!(
+            saw_hidden,
+            "some permutation must exercise the hidden-commit path"
+        );
     }
 
     fn all_permutations(n: usize) -> Vec<Vec<usize>> {

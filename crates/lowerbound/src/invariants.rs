@@ -51,11 +51,16 @@ pub fn check_i4_single_wait_local_finish_on_top(enc: &Encoding) -> Vec<String> {
             .map(|(k, _)| k)
             .collect();
         if wlf_positions.len() > 1 {
-            out.push(format!("(I4) p{i} has {} wait-local-finish commands", wlf_positions.len()));
+            out.push(format!(
+                "(I4) p{i} has {} wait-local-finish commands",
+                wlf_positions.len()
+            ));
         }
         if let Some(&pos) = wlf_positions.first() {
             if pos != 0 {
-                out.push(format!("(I4) p{i} has wait-local-finish at depth {pos}, not the top"));
+                out.push(format!(
+                    "(I4) p{i} has wait-local-finish at depth {pos}, not the top"
+                ));
             }
         }
     }
@@ -82,8 +87,7 @@ pub fn check_i5_wait_local_finish_counts(enc: &Encoding) -> Vec<String> {
         let earlier: std::collections::BTreeSet<ProcId> =
             enc.pi[..rank].iter().map(|&q| ProcId::from(q)).collect();
         let accessors = wbmem::stats::segment_accessors(&trace, layout, p);
-        let earlier_accessors =
-            accessors.iter().filter(|q| earlier.contains(q)).count() as u64;
+        let earlier_accessors = accessors.iter().filter(|q| earlier.contains(q)).count() as u64;
         if earlier_accessors != lambda {
             out.push(format!(
                 "(I5) p{proc} (rank {rank}) carries wait-local-finish({lambda}) but \
@@ -103,7 +107,12 @@ pub fn check_i6_stacks_drained(enc: &Encoding) -> Vec<String> {
         if !enc.outcome.stacks.is_empty_of(p) {
             out.push(format!(
                 "(I6) p{i}'s stack not drained: {:?}",
-                enc.outcome.stacks.commands_of(p).iter().map(ToString::to_string).collect::<Vec<_>>()
+                enc.outcome
+                    .stacks
+                    .commands_of(p)
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
             ));
         }
     }

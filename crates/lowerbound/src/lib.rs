@@ -62,11 +62,13 @@ pub mod decode;
 pub mod encode;
 pub mod invariants;
 
-pub use bits::{analytic_bound_bits, deserialize_stacks, log2_factorial, serialize_stacks,
-               BitString};
+pub use bits::{
+    analytic_bound_bits, deserialize_stacks, log2_factorial, serialize_stacks, BitString,
+};
 pub use codebook::{build_codebook, Codebook};
 pub use command::{Command, Stacks};
 pub use decode::{decode, DecodeError, DecodeOptions, DecodeOutcome, DecodedStep};
-pub use encode::{encode_permutation, proof_machine, recover_permutation, EncodeError,
-                 EncodeOptions, Encoding};
+pub use encode::{
+    encode_permutation, proof_machine, recover_permutation, EncodeError, EncodeOptions, Encoding,
+};
 pub use invariants::check_all;

@@ -23,9 +23,7 @@ fn arb_command() -> impl Strategy<Value = Command> {
 
 fn arb_stacks() -> impl Strategy<Value = Stacks> {
     (1usize..6)
-        .prop_flat_map(|n| {
-            prop::collection::vec(prop::collection::vec(arb_command(), 0..20), n)
-        })
+        .prop_flat_map(|n| prop::collection::vec(prop::collection::vec(arb_command(), 0..20), n))
         .prop_map(|per_proc| {
             let mut st = Stacks::new(per_proc.len());
             for (i, cmds) in per_proc.into_iter().enumerate() {

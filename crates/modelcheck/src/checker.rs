@@ -1,11 +1,49 @@
 //! The explicit-state checker.
+//!
+//! Three interchangeable exploration engines produce bit-identical verdicts
+//! and statistics (see [`Engine`]):
+//!
+//! * [`Engine::CloneDfs`] — the original depth-first search that clones the
+//!   whole machine at every transition. Kept as the differential oracle.
+//! * [`Engine::Undo`] — the default: one machine, mutated in place via
+//!   [`Machine::step_recorded`] and rewound with [`Machine::undo`], so
+//!   backtracking costs O(step footprint) instead of O(machine). A single
+//!   clone is taken at the root (and one more per counterexample replay).
+//! * [`Engine::Parallel`] — N workers sweep disjoint top-level subtrees
+//!   with a sharded global visited set. A completed sweep expands every
+//!   reachable state exactly once, so its statistics equal the sequential
+//!   ones; any violation, state limit, or stuck state cancels the sweep and
+//!   reruns the sequential undo engine, whose verdict (including the
+//!   counterexample) is returned verbatim. Either way the result is
+//!   bit-identical to the sequential engines.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
-use wbmem::{Machine, Process, SchedElem, StepOutcome};
+use wbmem::{Machine, Process, SchedElem, StepOutcome, UndoToken};
+
+/// Which exploration engine [`check`] runs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Engine {
+    /// The original clone-per-transition depth-first search. Slowest;
+    /// retained as the differential-testing oracle.
+    CloneDfs,
+    /// Undo-log depth-first search: a single machine stepped forward and
+    /// rewound in place.
+    #[default]
+    Undo,
+    /// Multi-threaded sweep. `threads == 0` means one worker per available
+    /// core. With one worker this is exactly [`Engine::Undo`].
+    Parallel {
+        /// Worker count (`0` = available parallelism).
+        threads: usize,
+    },
+}
 
 /// What to verify during exploration.
 #[derive(Clone, Debug)]
@@ -21,6 +59,8 @@ pub struct CheckConfig {
     /// Verify that every reachable state can still reach an all-done state
     /// (no deadlock and no inescapable livelock region).
     pub check_termination: bool,
+    /// Exploration engine (default: [`Engine::Undo`]).
+    pub engine: Engine,
 }
 
 impl Default for CheckConfig {
@@ -30,12 +70,26 @@ impl Default for CheckConfig {
             check_mutex: true,
             check_permutation: false,
             check_termination: true,
+            engine: Engine::default(),
         }
     }
 }
 
+impl CheckConfig {
+    /// This configuration with a different [`Engine`].
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+}
+
 /// Exploration statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+///
+/// `elapsed` is informational and **ignored by equality**: two runs that
+/// explore the same space compare equal regardless of wall-clock speed, so
+/// differential tests can assert `Stats` equality across engines.
+#[derive(Clone, Copy, Debug, Default)]
 pub struct Stats {
     /// Distinct states visited.
     pub states: usize,
@@ -43,6 +97,31 @@ pub struct Stats {
     pub transitions: usize,
     /// Number of all-done states found.
     pub terminal_states: usize,
+    /// Wall-clock time of the exploration.
+    pub elapsed: Duration,
+}
+
+impl PartialEq for Stats {
+    fn eq(&self, o: &Self) -> bool {
+        self.states == o.states
+            && self.transitions == o.transitions
+            && self.terminal_states == o.terminal_states
+    }
+}
+
+impl Eq for Stats {}
+
+impl Stats {
+    /// Distinct states visited per second of exploration (0 if untimed).
+    #[must_use]
+    pub fn states_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.states as f64 / secs
+        } else {
+            0.0
+        }
+    }
 }
 
 /// A violating execution: the schedule that reaches it and a rendered trace.
@@ -107,6 +186,17 @@ impl Verdict {
         }
     }
 
+    /// The counterexample, for violation verdicts.
+    #[must_use]
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::MutexViolation(_, c)
+            | Verdict::PermutationViolation(_, c)
+            | Verdict::NoTermination(_, c) => Some(c),
+            Verdict::Ok(_) | Verdict::StateLimit(_) => None,
+        }
+    }
+
     /// Short label for tables.
     #[must_use]
     pub fn label(&self) -> &'static str {
@@ -118,24 +208,34 @@ impl Verdict {
             Verdict::StateLimit(_) => "state-limit",
         }
     }
+
+    fn stats_mut(&mut self) -> &mut Stats {
+        match self {
+            Verdict::Ok(s) | Verdict::StateLimit(s) => s,
+            Verdict::MutexViolation(s, _)
+            | Verdict::PermutationViolation(s, _)
+            | Verdict::NoTermination(s, _) => s,
+        }
+    }
 }
 
 /// 128-bit state fingerprint. The two 64-bit halves come from hash chains
 /// that differ both in seed and in structure (the second hashes the first
-/// half *and* re-hashes the key), so a collision requires both independent
-/// halves to collide simultaneously — negligible for the ≤10^7-state spaces
-/// this checker targets. A collision's effect would be a silently pruned
-/// state, so we buy the margin.
+/// half *and* re-hashes the state), so a collision requires both
+/// independent halves to collide simultaneously — negligible for the
+/// ≤10^7-state spaces this checker targets. A collision's effect would be a
+/// silently pruned state, so we buy the margin. The state is hashed in a
+/// single streaming pass ([`Machine::hash_state`]); no snapshot is
+/// allocated.
 fn fingerprint<P: Process>(m: &Machine<P>) -> u128 {
-    let key = m.state_key();
     let mut h1 = DefaultHasher::new();
     0xA5A5_A5A5u32.hash(&mut h1);
-    key.hash(&mut h1);
+    m.hash_state(&mut h1);
     let first = h1.finish();
     let mut h2 = DefaultHasher::new();
     0x5A5A_5A5Au32.hash(&mut h2);
     first.hash(&mut h2);
-    key.hash(&mut h2);
+    m.hash_state(&mut h2);
     0x9E37_79B9u32.hash(&mut h2);
     (u128::from(first) << 64) | u128::from(h2.finish())
 }
@@ -152,82 +252,133 @@ fn returns_are_permutation<P: Process>(m: &Machine<P>) -> bool {
     rets == (0..m.n() as u64).collect::<Vec<u64>>()
 }
 
-/// Exhaustively explore every schedule of `initial` (process interleavings
-/// *and* commit orders) and check the configured properties.
-///
-/// The state space must be finite (true for the one-shot lock/object
-/// programs in `simlocks`: tickets are bounded by `n` and every process
-/// returns once). Exploration is depth-first with a fingerprint visited
-/// set; counterexamples are replayed from the initial machine with tracing
-/// to render them.
-#[must_use]
-pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict {
-    let mut visited: HashSet<u128> = HashSet::new();
-    let mut stats = Stats::default();
+/// Replay `sched` on a fresh clone of `initial` and render the execution.
+fn render<P: Process>(initial: &Machine<P>, sched: &[SchedElem]) -> Counterexample {
+    let mut m = initial.clone();
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    for (i, &e) in sched.iter().enumerate() {
+        if let StepOutcome::Stepped(ev) = m.step(e) {
+            let _ = writeln!(out, "{i:5}  {ev}");
+        }
+    }
+    let cs: Vec<usize> = (0..m.n())
+        .filter(|&i| m.annotation(wbmem::ProcId::from(i)) == simlocks::ANNOT_IN_CS)
+        .collect();
+    let _ = writeln!(
+        out,
+        "       in-CS: {cs:?}  returns: {:?}",
+        m.return_values()
+    );
+    Counterexample {
+        schedule: sched.to_vec(),
+        trace: out,
+    }
+}
 
-    // For the termination check we record the condensed graph.
-    let mut ids: HashMap<u128, u32> = HashMap::new();
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    let mut terminal: Vec<u32> = Vec::new();
-    // First-visit parent of each state id, for counterexample replay.
-    let mut parents: Vec<Option<(u32, SchedElem)>> = Vec::new();
+/// Dense state ids plus first-visit parents, for counterexample replay.
+#[derive(Default)]
+struct SearchIndex {
+    ids: HashMap<u128, u32>,
+    parents: Vec<Option<(u32, SchedElem)>>,
+}
 
-    let id_of = |fp: u128,
-                     parent: Option<(u32, SchedElem)>,
-                     ids: &mut HashMap<u128, u32>,
-                     parents: &mut Vec<Option<(u32, SchedElem)>>|
-     -> (u32, bool) {
-        if let Some(&id) = ids.get(&fp) {
+impl SearchIndex {
+    /// The id for `fp`, allocating one (and recording `parent`) on first
+    /// sight. Returns `(id, freshly allocated)`.
+    fn id_of(&mut self, fp: u128, parent: Option<(u32, SchedElem)>) -> (u32, bool) {
+        if let Some(&id) = self.ids.get(&fp) {
             (id, false)
         } else {
-            let id = u32::try_from(ids.len()).expect("state ids fit in u32");
-            ids.insert(fp, id);
-            parents.push(parent);
+            let id = u32::try_from(self.ids.len()).expect("state ids fit in u32");
+            self.ids.insert(fp, id);
+            self.parents.push(parent);
             (id, true)
         }
-    };
+    }
 
-    let root_fp = fingerprint(initial);
-    let (root_id, _) = id_of(root_fp, None, &mut ids, &mut parents);
-    visited.insert(root_fp);
-    stats.states = 1;
+    fn len(&self) -> usize {
+        self.ids.len()
+    }
 
-    let path_to = |id: u32, parents: &[Option<(u32, SchedElem)>]| -> Vec<SchedElem> {
+    /// The schedule from the root to state `id` along first-visit parents.
+    fn path_to(&self, id: u32) -> Vec<SchedElem> {
         let mut sched = Vec::new();
         let mut cur = id;
-        while let Some((p, e)) = parents[cur as usize] {
+        while let Some((p, e)) = self.parents[cur as usize] {
             sched.push(e);
             cur = p;
         }
         sched.reverse();
         sched
-    };
+    }
+}
 
-    let render = |sched: &[SchedElem]| -> Counterexample {
-        let mut m = initial.clone();
-        // Rebuild with tracing by replaying on a traced clone: we cannot
-        // toggle the config, so render from step outcomes instead.
-        let mut out = String::new();
-        use std::fmt::Write as _;
-        for (i, &e) in sched.iter().enumerate() {
-            if let StepOutcome::Stepped(ev) = m.step(e) {
-                let _ = writeln!(out, "{i:5}  {ev}");
+/// Reverse reachability from terminal states: the smallest-id state that
+/// cannot reach completion, if any.
+fn find_stuck(n_states: usize, edges: &[(u32, u32)], terminal: &[u32]) -> Option<u32> {
+    let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n_states];
+    for &(a, b) in edges {
+        rev[b as usize].push(a);
+    }
+    let mut can_finish = vec![false; n_states];
+    let mut queue: Vec<u32> = terminal.to_vec();
+    for &t in terminal {
+        can_finish[t as usize] = true;
+    }
+    while let Some(s) = queue.pop() {
+        for &pred in &rev[s as usize] {
+            if !can_finish[pred as usize] {
+                can_finish[pred as usize] = true;
+                queue.push(pred);
             }
         }
-        let cs: Vec<usize> = (0..m.n())
-            .filter(|&i| m.annotation(wbmem::ProcId::from(i)) == simlocks::ANNOT_IN_CS)
-            .collect();
-        let _ = writeln!(out, "       in-CS: {cs:?}  returns: {:?}", m.return_values());
-        Counterexample { schedule: sched.to_vec(), trace: out }
-    };
+    }
+    (0..n_states).find(|&s| !can_finish[s]).map(|s| s as u32)
+}
 
-    // Depth-first exploration; the stack holds (machine, its id, choices,
-    // next choice index).
+/// Exhaustively explore every schedule of `initial` (process interleavings
+/// *and* commit orders) and check the configured properties.
+///
+/// The state space must be finite (true for the one-shot lock/object
+/// programs in `simlocks`: tickets are bounded by `n` and every process
+/// returns once). All engines explore depth-first over a fingerprint
+/// visited set and return identical verdicts and statistics (see
+/// [`Engine`]); counterexamples are replayed from the initial machine to
+/// render them.
+#[must_use]
+pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict {
+    let start = Instant::now();
+    let mut verdict = match config.engine {
+        Engine::CloneDfs => check_clone_dfs(initial, config),
+        Engine::Undo => check_undo(initial, config),
+        Engine::Parallel { threads } => check_parallel(initial, config, threads),
+    };
+    verdict.stats_mut().elapsed = start.elapsed();
+    verdict
+}
+
+/// The original engine: clone the machine at every transition. O(machine)
+/// per edge; kept as the differential oracle for the undo engine.
+fn check_clone_dfs<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict {
+    let mut visited: HashSet<u128> = HashSet::new();
+    let mut stats = Stats::default();
+    let mut index = SearchIndex::default();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut terminal: Vec<u32> = Vec::new();
+
+    let root_fp = fingerprint(initial);
+    let (root_id, _) = index.id_of(root_fp, None);
+    visited.insert(root_fp);
+    stats.states = 1;
+
+    // Depth-first exploration; the stack holds (machine, its id, remaining
+    // choices).
     let mut stack: Vec<(Machine<P>, u32, Vec<SchedElem>)> = Vec::new();
 
     // Check the initial state itself.
     if config.check_mutex && in_cs_count(initial) > 1 {
-        return Verdict::MutexViolation(stats, render(&[]));
+        return Verdict::MutexViolation(stats, render(initial, &[]));
     }
     if initial.all_done() {
         terminal.push(root_id);
@@ -248,7 +399,7 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
         }
         stats.transitions += 1;
         let fp = fingerprint(&child);
-        let (child_id, fresh) = id_of(fp, Some((id, elem)), &mut ids, &mut parents);
+        let (child_id, fresh) = index.id_of(fp, Some((id, elem)));
         if config.check_termination {
             edges.push((id, child_id));
         }
@@ -261,7 +412,7 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
         }
 
         if config.check_mutex && in_cs_count(&child) > 1 {
-            return Verdict::MutexViolation(stats, render(&path_to(child_id, &parents)));
+            return Verdict::MutexViolation(stats, render(initial, &index.path_to(child_id)));
         }
         if child.all_done() {
             stats.terminal_states += 1;
@@ -269,46 +420,408 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
             if config.check_permutation && !returns_are_permutation(&child) {
                 return Verdict::PermutationViolation(
                     stats,
-                    render(&path_to(child_id, &parents)),
+                    render(initial, &index.path_to(child_id)),
                 );
             }
             continue; // no choices from a terminal state
         }
 
         let child_choices = child.choices();
-        debug_assert!(!child_choices.is_empty(), "non-terminal state has no choices");
+        debug_assert!(
+            !child_choices.is_empty(),
+            "non-terminal state has no choices"
+        );
         stack.push((child, child_id, child_choices));
     }
 
     if config.check_termination {
-        // Reverse reachability from terminal states.
-        let n_states = ids.len();
-        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n_states];
-        for &(a, b) in &edges {
-            rev[b as usize].push(a);
-        }
-        let mut can_finish = vec![false; n_states];
-        let mut queue: Vec<u32> = terminal.clone();
-        for &t in &terminal {
-            can_finish[t as usize] = true;
-        }
-        while let Some(s) = queue.pop() {
-            for &pred in &rev[s as usize] {
-                if !can_finish[pred as usize] {
-                    can_finish[pred as usize] = true;
-                    queue.push(pred);
-                }
-            }
-        }
-        if let Some(stuck) = (0..n_states).find(|&s| !can_finish[s]) {
-            return Verdict::NoTermination(
-                stats,
-                render(&path_to(stuck as u32, &parents)),
-            );
+        if let Some(stuck) = find_stuck(index.len(), &edges, &terminal) {
+            return Verdict::NoTermination(stats, render(initial, &index.path_to(stuck)));
         }
     }
 
     Verdict::Ok(stats)
+}
+
+/// One frame of the undo-engine's explicit DFS stack. Its choices live in
+/// `arena[start..]` at push time and are consumed from the back (`next`
+/// counts down to `start`), matching the clone engine's `Vec::pop` order so
+/// both engines visit states in the same order.
+struct Frame<P> {
+    id: u32,
+    start: usize,
+    next: usize,
+    /// How to rewind the machine to this frame's parent (None at the root).
+    token: Option<UndoToken<P>>,
+}
+
+/// The default engine: a single machine stepped forward with
+/// [`Machine::step_recorded`] and rewound with [`Machine::undo`] on
+/// backtrack. Traversal order, statistics, verdicts, and counterexamples
+/// are identical to [`check_clone_dfs`]; the work per edge drops from
+/// O(machine clone) to O(step footprint), and the choice arena makes the
+/// hot loop allocation-free in steady state.
+fn check_undo<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict {
+    let mut visited: HashSet<u128> = HashSet::new();
+    let mut stats = Stats::default();
+    let mut index = SearchIndex::default();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut terminal: Vec<u32> = Vec::new();
+
+    let root_fp = fingerprint(initial);
+    let (root_id, _) = index.id_of(root_fp, None);
+    visited.insert(root_fp);
+    stats.states = 1;
+
+    if config.check_mutex && in_cs_count(initial) > 1 {
+        return Verdict::MutexViolation(stats, render(initial, &[]));
+    }
+    if initial.all_done() {
+        terminal.push(root_id);
+        stats.terminal_states = 1;
+    }
+
+    // The one clone of the run (plus one per rendered counterexample).
+    let mut m = initial.clone();
+    let mut arena: Vec<SchedElem> = Vec::new();
+    let mut scratch: Vec<SchedElem> = Vec::new();
+    let mut frames: Vec<Frame<P>> = Vec::new();
+
+    m.choices_into(&mut scratch);
+    arena.extend_from_slice(&scratch);
+    frames.push(Frame {
+        id: root_id,
+        start: 0,
+        next: arena.len(),
+        token: None,
+    });
+
+    while let Some(top) = frames.last_mut() {
+        if top.next == top.start {
+            // Frame exhausted: rewind to the parent state.
+            let frame = frames.pop().expect("frame present");
+            arena.truncate(frame.start);
+            if let Some(token) = frame.token {
+                m.undo(token);
+            }
+            continue;
+        }
+        top.next -= 1;
+        let elem = arena[top.next];
+        let parent_id = top.id;
+
+        let (out, token) = m.step_recorded(elem);
+        if matches!(out, StepOutcome::NoOp) {
+            m.undo(token);
+            continue;
+        }
+        stats.transitions += 1;
+        let fp = fingerprint(&m);
+        let (child_id, fresh) = index.id_of(fp, Some((parent_id, elem)));
+        if config.check_termination {
+            edges.push((parent_id, child_id));
+        }
+        if !fresh || !visited.insert(fp) {
+            m.undo(token);
+            continue;
+        }
+        stats.states += 1;
+        if stats.states > config.max_states {
+            return Verdict::StateLimit(stats);
+        }
+
+        if config.check_mutex && in_cs_count(&m) > 1 {
+            return Verdict::MutexViolation(stats, render(initial, &index.path_to(child_id)));
+        }
+        if m.all_done() {
+            stats.terminal_states += 1;
+            terminal.push(child_id);
+            if config.check_permutation && !returns_are_permutation(&m) {
+                return Verdict::PermutationViolation(
+                    stats,
+                    render(initial, &index.path_to(child_id)),
+                );
+            }
+            m.undo(token);
+            continue; // no choices from a terminal state
+        }
+
+        let start = arena.len();
+        m.choices_into(&mut scratch);
+        debug_assert!(!scratch.is_empty(), "non-terminal state has no choices");
+        arena.extend_from_slice(&scratch);
+        frames.push(Frame {
+            id: child_id,
+            start,
+            next: arena.len(),
+            token: Some(token),
+        });
+    }
+
+    if config.check_termination {
+        if let Some(stuck) = find_stuck(index.len(), &edges, &terminal) {
+            return Verdict::NoTermination(stats, render(initial, &index.path_to(stuck)));
+        }
+    }
+
+    Verdict::Ok(stats)
+}
+
+/// Number of shards in the parallel engine's visited set. Must be a power
+/// of two; 64 keeps lock contention low for any realistic worker count.
+const VISITED_SHARDS: usize = 64;
+
+fn shard_of(fp: u128) -> usize {
+    // The top bits feed the shard index; the full fingerprint is stored, so
+    // this only routes, it does not weaken collision resistance.
+    (fp >> 64) as usize & (VISITED_SHARDS - 1)
+}
+
+/// What one parallel worker reports back.
+#[derive(Default)]
+struct WorkerReport {
+    transitions: usize,
+    /// Fingerprints of the all-done states this worker first visited.
+    terminal_fps: Vec<u128>,
+    /// `(parent fp, child fp)` edges from every state this worker expanded
+    /// (only collected when the termination check is on).
+    edges: Vec<(u128, u128)>,
+    /// Worker saw a property violation (details come from the sequential
+    /// rerun).
+    violated: bool,
+}
+
+/// The parallel engine: split the root's outgoing transitions round-robin
+/// across `threads` workers, each running an undo-log DFS gated on a shared
+/// sharded visited set, so every reachable state is expanded by exactly one
+/// worker. A completed sweep therefore reproduces the sequential `Stats`
+/// exactly (states = visited-set inserts, transitions = out-edges of
+/// expanded states, terminals counted at first insert). Any violation,
+/// state-limit overrun, or stuck state cancels the sweep and defers to the
+/// sequential undo engine so verdicts — counterexamples included — stay
+/// bit-identical to the sequential engines.
+fn check_parallel<P: Process>(
+    initial: &Machine<P>,
+    config: &CheckConfig,
+    threads: usize,
+) -> Verdict {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    if threads <= 1 {
+        return check_undo(initial, config);
+    }
+
+    // Root-state checks mirror the sequential engines; any violation is
+    // reproduced sequentially for an identical verdict.
+    if config.check_mutex && in_cs_count(initial) > 1 {
+        return check_undo(initial, config);
+    }
+
+    let visited: Vec<Mutex<HashSet<u128>>> = (0..VISITED_SHARDS)
+        .map(|_| Mutex::new(HashSet::new()))
+        .collect();
+    let state_count = AtomicUsize::new(1); // the root
+    let cancel = AtomicBool::new(false);
+
+    let root_fp = fingerprint(initial);
+    visited[shard_of(root_fp)]
+        .lock()
+        .expect("unpoisoned")
+        .insert(root_fp);
+
+    let root_choices = initial.choices();
+    let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let assigned: Vec<SchedElem> = root_choices
+                    .iter()
+                    .copied()
+                    .skip(w)
+                    .step_by(threads)
+                    .collect();
+                let visited = &visited;
+                let state_count = &state_count;
+                let cancel = &cancel;
+                scope.spawn(move || {
+                    parallel_worker(
+                        initial,
+                        config,
+                        root_fp,
+                        assigned,
+                        visited,
+                        state_count,
+                        cancel,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    let limit_hit = state_count.load(Ordering::SeqCst) > config.max_states;
+    if limit_hit || reports.iter().any(|r| r.violated) || cancel.load(Ordering::SeqCst) {
+        // The sweep stopped early; reproduce the exact sequential verdict.
+        return check_undo(initial, config);
+    }
+
+    let stats = Stats {
+        states: state_count.load(Ordering::SeqCst),
+        transitions: reports.iter().map(|r| r.transitions).sum(),
+        terminal_states: reports.iter().map(|r| r.terminal_fps.len()).sum::<usize>()
+            + usize::from(initial.all_done()),
+        elapsed: Duration::ZERO,
+    };
+
+    if config.check_termination {
+        // Merge the per-worker fingerprint graphs and run the same reverse
+        // reachability as the sequential engines. Ids are arbitrary here —
+        // only the existence of a stuck state matters; its identity (and
+        // counterexample) comes from the sequential rerun.
+        let mut ids: HashMap<u128, u32> = HashMap::new();
+        let mut id_of = |fp: u128| -> u32 {
+            let next = u32::try_from(ids.len()).expect("state ids fit in u32");
+            *ids.entry(fp).or_insert(next)
+        };
+        id_of(root_fp);
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut terminal: Vec<u32> = Vec::new();
+        if initial.all_done() {
+            terminal.push(id_of(root_fp));
+        }
+        for report in &reports {
+            for &(a, b) in &report.edges {
+                let edge = (id_of(a), id_of(b));
+                edges.push(edge);
+            }
+            for &t in &report.terminal_fps {
+                terminal.push(id_of(t));
+            }
+        }
+        if find_stuck(ids.len(), &edges, &terminal).is_some() {
+            return check_undo(initial, config);
+        }
+    }
+
+    Verdict::Ok(stats)
+}
+
+/// One parallel worker: an undo-log DFS over the subtrees rooted at its
+/// `assigned` subset of the root's outgoing transitions, expanding only the
+/// states whose fingerprint it was first to insert into the shared visited
+/// set. Aborts promptly (returning a partial report, which the caller
+/// discards) once `cancel` is raised.
+fn parallel_worker<P: Process>(
+    initial: &Machine<P>,
+    config: &CheckConfig,
+    root_fp: u128,
+    assigned: Vec<SchedElem>,
+    visited: &[Mutex<HashSet<u128>>],
+    state_count: &AtomicUsize,
+    cancel: &AtomicBool,
+) -> WorkerReport {
+    let mut report = WorkerReport::default();
+    if assigned.is_empty() {
+        return report;
+    }
+
+    /// A frame of the worker's DFS; like [`Frame`] but keyed by
+    /// fingerprint (the global id space is only assembled at merge time).
+    struct WFrame<P> {
+        fp: u128,
+        start: usize,
+        next: usize,
+        token: Option<UndoToken<P>>,
+    }
+
+    let mut m = initial.clone();
+    let mut arena: Vec<SchedElem> = assigned;
+    let mut scratch: Vec<SchedElem> = Vec::new();
+    let mut frames: Vec<WFrame<P>> = Vec::new();
+    frames.push(WFrame {
+        fp: root_fp,
+        start: 0,
+        next: arena.len(),
+        token: None,
+    });
+
+    let mut steps_since_poll = 0usize;
+    while let Some(top) = frames.last_mut() {
+        if top.next == top.start {
+            let frame = frames.pop().expect("frame present");
+            arena.truncate(frame.start);
+            if let Some(token) = frame.token {
+                m.undo(token);
+            }
+            continue;
+        }
+        top.next -= 1;
+        let elem = arena[top.next];
+        let parent_fp = top.fp;
+
+        steps_since_poll += 1;
+        if steps_since_poll >= 256 {
+            steps_since_poll = 0;
+            if cancel.load(Ordering::Relaxed) {
+                return report;
+            }
+        }
+
+        let (out, token) = m.step_recorded(elem);
+        if matches!(out, StepOutcome::NoOp) {
+            m.undo(token);
+            continue;
+        }
+        report.transitions += 1;
+        let fp = fingerprint(&m);
+        if config.check_termination {
+            report.edges.push((parent_fp, fp));
+        }
+        let fresh = visited[shard_of(fp)].lock().expect("unpoisoned").insert(fp);
+        if !fresh {
+            m.undo(token);
+            continue;
+        }
+        let states = state_count.fetch_add(1, Ordering::SeqCst) + 1;
+        if states > config.max_states {
+            cancel.store(true, Ordering::SeqCst);
+            return report;
+        }
+
+        if config.check_mutex && in_cs_count(&m) > 1 {
+            report.violated = true;
+            cancel.store(true, Ordering::SeqCst);
+            return report;
+        }
+        if m.all_done() {
+            report.terminal_fps.push(fp);
+            if config.check_permutation && !returns_are_permutation(&m) {
+                report.violated = true;
+                cancel.store(true, Ordering::SeqCst);
+                return report;
+            }
+            m.undo(token);
+            continue;
+        }
+
+        let start = arena.len();
+        m.choices_into(&mut scratch);
+        debug_assert!(!scratch.is_empty(), "non-terminal state has no choices");
+        arena.extend_from_slice(&scratch);
+        frames.push(WFrame {
+            fp,
+            start,
+            next: arena.len(),
+            token: Some(token),
+        });
+    }
+
+    report
 }
 
 #[cfg(test)]
@@ -333,7 +846,10 @@ mod tests {
     #[test]
     fn single_fence_peterson_splits_tso_from_pso() {
         // The separation witness: fence only after the victim write.
-        let mask = FenceMask::only(&[simlocks::peterson::SITE_VICTIM, simlocks::peterson::SITE_RELEASE]);
+        let mask = FenceMask::only(&[
+            simlocks::peterson::SITE_VICTIM,
+            simlocks::peterson::SITE_RELEASE,
+        ]);
         let inst = build_mutex(LockKind::Peterson, 2, mask);
 
         let tso = check(&inst.machine(MemoryModel::Tso), &cfg());
@@ -371,11 +887,17 @@ mod tests {
         // some schedules... under our semantics buffered writes can always
         // still be committed later (commit choices remain available), so
         // termination actually survives. Verify mutex at least.
-        let mask =
-            FenceMask::only(&[simlocks::peterson::SITE_FLAG, simlocks::peterson::SITE_VICTIM]);
+        let mask = FenceMask::only(&[
+            simlocks::peterson::SITE_FLAG,
+            simlocks::peterson::SITE_VICTIM,
+        ]);
         let inst = build_mutex(LockKind::Peterson, 2, mask);
         let v = check(&inst.machine(MemoryModel::Pso), &cfg());
-        assert!(!matches!(v, Verdict::MutexViolation(..)), "got {}", v.label());
+        assert!(
+            !matches!(v, Verdict::MutexViolation(..)),
+            "got {}",
+            v.label()
+        );
     }
 
     #[test]
@@ -410,6 +932,8 @@ mod tests {
         assert!(s.states > 10);
         assert!(s.transitions >= s.states - 1);
         assert!(s.terminal_states >= 1);
+        assert!(s.elapsed > Duration::ZERO, "elapsed must be stamped");
+        assert!(s.states_per_sec() > 0.0);
     }
 
     #[test]
@@ -453,11 +977,7 @@ mod tests {
 
     #[test]
     fn permutation_check_accepts_correct_counters() {
-        let inst = simlocks::build_ordering(
-            LockKind::Ttas,
-            2,
-            simlocks::ObjectKind::Counter,
-        );
+        let inst = simlocks::build_ordering(LockKind::Ttas, 2, simlocks::ObjectKind::Counter);
         let config = CheckConfig {
             check_permutation: true,
             check_termination: false,
@@ -470,8 +990,90 @@ mod tests {
     #[test]
     fn state_limit_is_reported() {
         let inst = build_mutex(LockKind::Bakery, 3, FenceMask::ALL);
-        let small = CheckConfig { max_states: 50, ..CheckConfig::default() };
+        let small = CheckConfig {
+            max_states: 50,
+            ..CheckConfig::default()
+        };
         let v = check(&inst.machine(MemoryModel::Pso), &small);
         assert!(matches!(v, Verdict::StateLimit(_)), "got {}", v.label());
+    }
+
+    // --- engine equivalence ---
+
+    fn engines() -> [Engine; 3] {
+        [
+            Engine::CloneDfs,
+            Engine::Undo,
+            Engine::Parallel { threads: 4 },
+        ]
+    }
+
+    #[test]
+    fn engines_agree_on_a_correct_lock() {
+        let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+        let verdicts: Vec<Verdict> = engines()
+            .iter()
+            .map(|&engine| check(&inst.machine(MemoryModel::Pso), &cfg().with_engine(engine)))
+            .collect();
+        for v in &verdicts {
+            assert!(v.is_ok(), "{}", v.label());
+        }
+        assert_eq!(verdicts[0].stats(), verdicts[1].stats(), "clone vs undo");
+        assert_eq!(
+            verdicts[0].stats(),
+            verdicts[2].stats(),
+            "clone vs parallel"
+        );
+    }
+
+    #[test]
+    fn engines_agree_on_a_violating_lock() {
+        let mask = FenceMask::only(&[simlocks::peterson::SITE_VICTIM]);
+        let inst = build_mutex(LockKind::Peterson, 2, mask);
+        let verdicts: Vec<Verdict> = engines()
+            .iter()
+            .map(|&engine| check(&inst.machine(MemoryModel::Pso), &cfg().with_engine(engine)))
+            .collect();
+        for v in &verdicts {
+            assert!(matches!(v, Verdict::MutexViolation(..)), "{}", v.label());
+        }
+        assert_eq!(verdicts[0].stats(), verdicts[1].stats(), "clone vs undo");
+        assert_eq!(
+            verdicts[0].stats(),
+            verdicts[2].stats(),
+            "clone vs parallel"
+        );
+        let cex0 = verdicts[0].counterexample().expect("cex");
+        let cex1 = verdicts[1].counterexample().expect("cex");
+        let cex2 = verdicts[2].counterexample().expect("cex");
+        assert_eq!(cex0.schedule, cex1.schedule);
+        assert_eq!(cex0.schedule, cex2.schedule);
+        assert_eq!(cex0.trace, cex1.trace);
+    }
+
+    #[test]
+    fn engines_agree_on_state_limit() {
+        let inst = build_mutex(LockKind::Bakery, 3, FenceMask::ALL);
+        for engine in engines() {
+            let small = CheckConfig {
+                max_states: 50,
+                ..CheckConfig::default()
+            }
+            .with_engine(engine);
+            let v = check(&inst.machine(MemoryModel::Pso), &small);
+            assert!(
+                matches!(v, Verdict::StateLimit(_)),
+                "{engine:?}: {}",
+                v.label()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_zero_threads_means_auto() {
+        let inst = build_mutex(LockKind::Ttas, 2, FenceMask::ALL);
+        let config = cfg().with_engine(Engine::Parallel { threads: 0 });
+        let v = check(&inst.machine(MemoryModel::Tso), &config);
+        assert!(v.is_ok(), "{}", v.label());
     }
 }

@@ -7,10 +7,14 @@
 //! store–load fence suffices for Peterson, and under PSO the write-ordering
 //! fences become load-bearing.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
 use simlocks::{build_mutex, FenceMask, LockKind};
 use wbmem::MemoryModel;
 
-use crate::checker::{check, CheckConfig};
+use crate::checker::{check, CheckConfig, Stats};
 
 /// One row of the elision table: a fence placement and its verdict under
 /// each model.
@@ -22,15 +26,53 @@ pub struct ElisionRow {
     pub mask_desc: String,
     /// Number of fence sites enabled.
     pub enabled: u32,
-    /// `(model, verdict label, states explored)` per model checked.
-    pub verdicts: Vec<(MemoryModel, &'static str, usize)>,
+    /// `(model, verdict label, exploration stats)` per model checked.
+    pub verdicts: Vec<(MemoryModel, &'static str, Stats)>,
 }
 
 impl ElisionRow {
     /// Whether this placement was fully correct under `model`.
     #[must_use]
     pub fn ok_under(&self, model: MemoryModel) -> bool {
-        self.verdicts.iter().any(|&(m, label, _)| m == model && label == "ok")
+        self.verdicts
+            .iter()
+            .any(|&(m, label, _)| m == model && label == "ok")
+    }
+
+    /// Total states explored across all models checked for this row.
+    #[must_use]
+    pub fn total_states(&self) -> usize {
+        self.verdicts.iter().map(|&(_, _, s)| s.states).sum()
+    }
+
+    /// Total exploration wall-clock across all models checked for this row.
+    #[must_use]
+    pub fn total_elapsed(&self) -> Duration {
+        self.verdicts.iter().map(|&(_, _, s)| s.elapsed).sum()
+    }
+}
+
+fn elision_row(
+    kind: LockKind,
+    n: usize,
+    sites: u32,
+    mask: FenceMask,
+    models: &[MemoryModel],
+    config: &CheckConfig,
+) -> ElisionRow {
+    let inst = build_mutex(kind, n, mask);
+    let verdicts = models
+        .iter()
+        .map(|&model| {
+            let v = check(&inst.machine(model), config);
+            (model, v.label(), v.stats())
+        })
+        .collect();
+    ElisionRow {
+        mask,
+        mask_desc: mask.describe(sites),
+        enabled: mask.count_enabled(sites),
+        verdicts,
     }
 }
 
@@ -44,33 +86,58 @@ pub fn elision_table(
     models: &[MemoryModel],
     config: &CheckConfig,
 ) -> Vec<ElisionRow> {
+    elision_table_par(kind, n, masks, models, config, 1)
+}
+
+/// [`elision_table`] with the candidate masks checked on up to `threads`
+/// scoped worker threads (each mask is an independent model-checking job).
+/// Row order matches `masks` regardless of thread count, and each check is
+/// itself sequential, so the output is identical to the sequential table.
+#[must_use]
+pub fn elision_table_par(
+    kind: LockKind,
+    n: usize,
+    masks: &[FenceMask],
+    models: &[MemoryModel],
+    config: &CheckConfig,
+    threads: usize,
+) -> Vec<ElisionRow> {
     let sites = build_mutex(kind, n, FenceMask::ALL).fence_sites;
-    masks
-        .iter()
-        .map(|&mask| {
-            let inst = build_mutex(kind, n, mask);
-            let verdicts = models
-                .iter()
-                .map(|&model| {
-                    let v = check(&inst.machine(model), config);
-                    (model, v.label(), v.stats().states)
-                })
-                .collect();
-            ElisionRow {
-                mask,
-                mask_desc: mask.describe(sites),
-                enabled: mask.count_enabled(sites),
-                verdicts,
-            }
-        })
-        .collect()
+    let threads = threads.max(1).min(masks.len());
+    if threads <= 1 {
+        return masks
+            .iter()
+            .map(|&mask| elision_row(kind, n, sites, mask, models, config))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, ElisionRow)>> = Mutex::new(Vec::with_capacity(masks.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&mask) = masks.get(i) else { break };
+                    local.push((i, elision_row(kind, n, sites, mask, models, config)));
+                }
+                collected.lock().expect("unpoisoned").extend(local);
+            });
+        }
+    });
+    let mut rows = collected.into_inner().expect("unpoisoned");
+    rows.sort_unstable_by_key(|&(i, _)| i);
+    rows.into_iter().map(|(_, r)| r).collect()
 }
 
 /// The minimum number of enabled fence sites over rows correct under
 /// `model`, if any placement is.
 #[must_use]
 pub fn minimal_fences(rows: &[ElisionRow], model: MemoryModel) -> Option<u32> {
-    rows.iter().filter(|r| r.ok_under(model)).map(|r| r.enabled).min()
+    rows.iter()
+        .filter(|r| r.ok_under(model))
+        .map(|r| r.enabled)
+        .min()
 }
 
 #[cfg(test)]
@@ -86,7 +153,10 @@ mod tests {
             2,
             &masks,
             &models,
-            &CheckConfig { check_termination: false, ..CheckConfig::default() },
+            &CheckConfig {
+                check_termination: false,
+                ..CheckConfig::default()
+            },
         );
         assert_eq!(rows.len(), 8);
 
@@ -101,8 +171,16 @@ mod tests {
                 .map(|r| u32::from(r.mask.has(0)) + u32::from(r.mask.has(1)))
                 .min()
         };
-        assert_eq!(min_acquire(MemoryModel::Tso), Some(1), "TSO: one store-load fence");
-        assert_eq!(min_acquire(MemoryModel::Pso), Some(2), "PSO: both write fences");
+        assert_eq!(
+            min_acquire(MemoryModel::Tso),
+            Some(1),
+            "TSO: one store-load fence"
+        );
+        assert_eq!(
+            min_acquire(MemoryModel::Pso),
+            Some(2),
+            "PSO: both write fences"
+        );
 
         // And the specific witness: {victim fence} alone is TSO-ok, PSO-bad.
         let witness = rows

@@ -40,6 +40,6 @@ pub mod checker;
 pub mod elision;
 pub mod outcomes;
 
-pub use checker::{check, CheckConfig, Counterexample, Stats, Verdict};
-pub use elision::{elision_table, minimal_fences, ElisionRow};
+pub use checker::{check, CheckConfig, Counterexample, Engine, Stats, Verdict};
+pub use elision::{elision_table, elision_table_par, minimal_fences, ElisionRow};
 pub use outcomes::{terminal_outcomes, Outcome};

@@ -64,7 +64,11 @@ fn outcome_of<P: Process>(m: &Machine<P>) -> Outcome {
             (!v.is_bot()).then_some((r, v.payload()))
         })
         .collect();
-    let rets: Vec<u64> = m.return_values().into_iter().map(|r| r.unwrap_or(u64::MAX)).collect();
+    let rets: Vec<u64> = m
+        .return_values()
+        .into_iter()
+        .map(|r| r.unwrap_or(u64::MAX))
+        .collect();
     (mem, rets)
 }
 
@@ -139,8 +143,10 @@ mod tests {
         let pso = outcomes_for(&inst, MemoryModel::Pso);
         assert!(sc.is_subset(&pso));
         // Both final values are reachable in both models.
-        let finals: BTreeSet<u64> =
-            pso.iter().map(|(mem, _)| mem.first().expect("r0 written").1).collect();
+        let finals: BTreeSet<u64> = pso
+            .iter()
+            .map(|(mem, _)| mem.first().expect("r0 written").1)
+            .collect();
         assert_eq!(finals, BTreeSet::from([10, 11]));
     }
 

@@ -1,0 +1,165 @@
+//! Differential test for the three exploration engines.
+//!
+//! For every seed lock × memory-model configuration at `n = 2, 3`, the
+//! clone-based DFS (the original engine, kept as oracle), the undo-log DFS,
+//! and the parallel sweep must produce **identical** `Stats.states` /
+//! `Stats.transitions` / `Stats.terminal_states` and identical verdict
+//! labels; violation counterexamples must carry the *same* schedule, and
+//! that schedule must replay on a fresh machine to an actual two-in-CS
+//! state (for mutex violations) without ever hitting a no-op element.
+
+use modelcheck::{check, CheckConfig, Engine, Verdict};
+use simlocks::{build_mutex, FenceMask, LockKind, ANNOT_IN_CS};
+use wbmem::{MemoryModel, ProcId, StepOutcome};
+
+fn kinds_for(n: usize) -> Vec<LockKind> {
+    let mut kinds = vec![
+        LockKind::Bakery,
+        LockKind::BakeryPaperListing,
+        LockKind::Gt { f: 2 },
+        LockKind::Ttas,
+        LockKind::Mcs,
+        LockKind::Filter,
+    ];
+    if n == 2 {
+        kinds.push(LockKind::Peterson);
+    }
+    if n.is_power_of_two() && n >= 2 {
+        kinds.push(LockKind::Tournament);
+    }
+    kinds
+}
+
+fn engines() -> [Engine; 3] {
+    [
+        Engine::CloneDfs,
+        Engine::Undo,
+        Engine::Parallel { threads: 4 },
+    ]
+}
+
+/// Replay a counterexample schedule on a fresh machine; every element must
+/// take a real step, and the final state must witness the violation.
+fn assert_mutex_cex_replays(
+    inst: &simlocks::OrderingInstance,
+    model: MemoryModel,
+    n: usize,
+    cex: &modelcheck::Counterexample,
+) {
+    let mut m = inst.machine(model);
+    for (i, &elem) in cex.schedule.iter().enumerate() {
+        let out = m.step(elem);
+        assert!(
+            !matches!(out, StepOutcome::NoOp),
+            "{}/{model}: counterexample step {i} ({elem:?}) was a no-op",
+            inst.name
+        );
+    }
+    let in_cs = (0..n)
+        .filter(|&i| m.annotation(ProcId::from(i)) == ANNOT_IN_CS)
+        .count();
+    assert!(
+        in_cs >= 2,
+        "{}/{model}: replayed counterexample ends with {in_cs} processes in CS",
+        inst.name
+    );
+}
+
+#[test]
+fn engines_agree_on_every_seed_config() {
+    let models = [
+        MemoryModel::Sc,
+        MemoryModel::Tso,
+        MemoryModel::Pso,
+        MemoryModel::Rmo,
+    ];
+    // Cap the space so the heaviest configs (n = 3 under PSO) stay cheap:
+    // an equal `StateLimit` on every engine is still a differential check.
+    let base = CheckConfig {
+        check_termination: false,
+        max_states: 20_000,
+        ..CheckConfig::default()
+    };
+
+    let mut configs = 0usize;
+    let mut violations = 0usize;
+    for n in [2usize, 3] {
+        for kind in kinds_for(n) {
+            let inst = build_mutex(kind, n, FenceMask::ALL);
+            for model in models {
+                let verdicts: Vec<Verdict> = engines()
+                    .iter()
+                    .map(|&engine| check(&inst.machine(model), &base.clone().with_engine(engine)))
+                    .collect();
+
+                let ctx = format!("{} n={n} {model}", inst.name);
+                assert_eq!(
+                    verdicts[0].label(),
+                    verdicts[1].label(),
+                    "{ctx}: clone vs undo label"
+                );
+                assert_eq!(
+                    verdicts[0].label(),
+                    verdicts[2].label(),
+                    "{ctx}: clone vs parallel label"
+                );
+                // `Stats` equality ignores `elapsed`, so this is exactly
+                // states + transitions + terminal_states, bit-identical.
+                assert_eq!(
+                    verdicts[0].stats(),
+                    verdicts[1].stats(),
+                    "{ctx}: clone vs undo stats"
+                );
+                assert_eq!(
+                    verdicts[0].stats(),
+                    verdicts[2].stats(),
+                    "{ctx}: clone vs parallel stats"
+                );
+
+                if let Some(cex0) = verdicts[0].counterexample() {
+                    violations += 1;
+                    for v in &verdicts[1..] {
+                        let cex = v.counterexample().expect("violating engines agree");
+                        assert_eq!(cex0.schedule, cex.schedule, "{ctx}: schedules");
+                        assert_eq!(cex0.trace, cex.trace, "{ctx}: traces");
+                    }
+                    if matches!(verdicts[0], Verdict::MutexViolation(..)) {
+                        assert_mutex_cex_replays(&inst, model, n, cex0);
+                    }
+                }
+                configs += 1;
+            }
+        }
+    }
+    assert!(configs >= 48, "matrix actually swept ({configs} configs)");
+    assert!(
+        violations >= 4,
+        "matrix includes violating configs ({violations})"
+    );
+}
+
+/// The engines must also agree when termination checking is on (it adds the
+/// edge bookkeeping and reverse-reachability pass to every engine).
+#[test]
+fn engines_agree_with_termination_checking() {
+    let cfg = CheckConfig {
+        max_states: 20_000,
+        ..CheckConfig::default()
+    };
+    for (kind, n, model) in [
+        (LockKind::Peterson, 2usize, MemoryModel::Tso),
+        (LockKind::Bakery, 2, MemoryModel::Pso),
+        (LockKind::Ttas, 3, MemoryModel::Pso),
+    ] {
+        let inst = build_mutex(kind, n, FenceMask::ALL);
+        let verdicts: Vec<Verdict> = engines()
+            .iter()
+            .map(|&engine| check(&inst.machine(model), &cfg.clone().with_engine(engine)))
+            .collect();
+        let ctx = format!("{} n={n} {model}", inst.name);
+        assert_eq!(verdicts[0].label(), verdicts[1].label(), "{ctx}");
+        assert_eq!(verdicts[0].label(), verdicts[2].label(), "{ctx}");
+        assert_eq!(verdicts[0].stats(), verdicts[1].stats(), "{ctx}");
+        assert_eq!(verdicts[0].stats(), verdicts[2].stats(), "{ctx}");
+    }
+}

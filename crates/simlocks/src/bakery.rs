@@ -102,7 +102,11 @@ impl Bakery {
     /// Emit the acquire section for `slot` (may differ from the global
     /// process id inside tree locks).
     pub fn emit_acquire_slot(&self, asm: &mut Asm, slot: usize) {
-        assert!(slot < self.n, "slot {slot} out of range for bakery[{}]", self.n);
+        assert!(
+            slot < self.n,
+            "slot {slot} out of range for bakery[{}]",
+            self.n
+        );
         let n = self.n as i64;
         let slot_i = slot as i64;
         let tmp = asm.local("bak_tmp");
@@ -176,7 +180,11 @@ impl Bakery {
 
     /// Emit the release section for `slot`.
     pub fn emit_release_slot(&self, asm: &mut Asm, slot: usize) {
-        assert!(slot < self.n, "slot {slot} out of range for bakery[{}]", self.n);
+        assert!(
+            slot < self.n,
+            "slot {slot} out of range for bakery[{}]",
+            self.n
+        );
         asm.write(self.t_base + slot as i64, 0i64);
         self.fences.emit(asm, SITE_RELEASE);
     }
@@ -255,8 +263,7 @@ mod tests {
     #[test]
     fn paper_listing_order_is_available_and_named() {
         let mut alloc = RegAlloc::new();
-        let b = Bakery::new(&mut alloc, 2, |_| None, FenceMask::ALL)
-            .with_paper_listing_order();
+        let b = Bakery::new(&mut alloc, 2, |_| None, FenceMask::ALL).with_paper_listing_order();
         assert!(b.name().contains("paper-listing"));
     }
 }

@@ -69,15 +69,21 @@ impl FenceMask {
     /// Number of enabled sites among the first `sites`.
     #[must_use]
     pub fn count_enabled(self, sites: u32) -> u32 {
-        let mask = if sites >= 64 { u64::MAX } else { (1u64 << sites) - 1 };
+        let mask = if sites >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << sites) - 1
+        };
         (self.0 & mask).count_ones()
     }
 
     /// Render the mask over the first `sites` sites, e.g. `[f0 f2]`.
     #[must_use]
     pub fn describe(self, sites: u32) -> String {
-        let on: Vec<String> =
-            (0..sites).filter(|&s| self.has(s)).map(|s| format!("f{s}")).collect();
+        let on: Vec<String> = (0..sites)
+            .filter(|&s| self.has(s))
+            .map(|s| format!("f{s}"))
+            .collect();
         format!("[{}]", on.join(" "))
     }
 }

@@ -12,13 +12,13 @@ use fencevm::{Asm, Program, VmProc};
 use wbmem::{Machine, MachineConfig, MemoryLayout, MemoryModel, ProcId, SchedElem};
 
 use crate::alloc::RegAlloc;
+use crate::bakery::Bakery;
 use crate::fences::FenceMask;
 use crate::gt::GtLock;
 use crate::lock::LockAlgorithm;
 use crate::objects::ObjectKind;
 use crate::peterson::Peterson2;
 use crate::tournament::Tournament;
-use crate::bakery::Bakery;
 
 /// Annotation value while a process is inside its critical section.
 pub const ANNOT_IN_CS: u64 = 1;
@@ -51,7 +51,11 @@ impl OrderingInstance {
     #[must_use]
     pub fn machine_from(&self, mut config: MachineConfig) -> Machine<VmProc> {
         config.layout = self.layout.clone();
-        let procs = self.programs.iter().map(|p| VmProc::new(p.clone())).collect();
+        let procs = self
+            .programs
+            .iter()
+            .map(|p| VmProc::new(p.clone()))
+            .collect();
         Machine::new(config, procs)
     }
 
@@ -75,7 +79,10 @@ impl OrderingInstance {
                 self.name
             );
         }
-        m.return_values().into_iter().map(|v| v.expect("all finished")).collect()
+        m.return_values()
+            .into_iter()
+            .map(|v| v.expect("all finished"))
+            .collect()
     }
 }
 
@@ -291,12 +298,9 @@ impl LockKind {
         fences: FenceMask,
     ) -> Box<dyn LockAlgorithm> {
         match self {
-            LockKind::Bakery => {
-                Box::new(Bakery::new(alloc, n, |s| Some(ProcId::from(s)), fences))
-            }
+            LockKind::Bakery => Box::new(Bakery::new(alloc, n, |s| Some(ProcId::from(s)), fences)),
             LockKind::BakeryPaperListing => Box::new(
-                Bakery::new(alloc, n, |s| Some(ProcId::from(s)), fences)
-                    .with_paper_listing_order(),
+                Bakery::new(alloc, n, |s| Some(ProcId::from(s)), fences).with_paper_listing_order(),
             ),
             LockKind::Peterson => {
                 assert_eq!(n, 2, "Peterson is a two-process lock");
@@ -359,7 +363,11 @@ mod tests {
 
     #[test]
     fn sequential_counter_is_ordering() {
-        for kind in [LockKind::Bakery, LockKind::Tournament, LockKind::Gt { f: 2 }] {
+        for kind in [
+            LockKind::Bakery,
+            LockKind::Tournament,
+            LockKind::Gt { f: 2 },
+        ] {
             let inst = build_ordering(kind, 4, ObjectKind::Counter);
             for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
                 let rets = inst.run_sequential(model, 100_000);
@@ -377,12 +385,15 @@ mod tests {
 
     #[test]
     fn contended_counter_returns_a_permutation() {
-        for kind in [LockKind::Bakery, LockKind::Tournament, LockKind::Gt { f: 3 }] {
+        for kind in [
+            LockKind::Bakery,
+            LockKind::Tournament,
+            LockKind::Gt { f: 3 },
+        ] {
             let inst = build_ordering(kind, 8, ObjectKind::Counter);
             let mut m = inst.machine(MemoryModel::Pso);
             assert!(run_to_completion(&mut m, 10_000_000), "{} stuck", inst.name);
-            let mut rets: Vec<u64> =
-                m.return_values().into_iter().map(Option::unwrap).collect();
+            let mut rets: Vec<u64> = m.return_values().into_iter().map(Option::unwrap).collect();
             rets.sort_unstable();
             assert_eq!(rets, (0..8).collect::<Vec<u64>>(), "{}", inst.name);
         }
@@ -396,9 +407,7 @@ mod tests {
         let mut m = inst.machine(MemoryModel::Pso);
         assert!(run_to_completion(&mut m, 10_000_000));
         // Queue slot k holds 1 + (id of the process that returned k).
-        let tail_base = inst
-            .layout
-            .assigned_len(); // not the tail register; compute from returns instead
+        let tail_base = inst.layout.assigned_len(); // not the tail register; compute from returns instead
         let _ = tail_base;
         let rets = m.return_values();
         for (proc, ret) in rets.iter().enumerate() {
@@ -425,8 +434,9 @@ mod tests {
         while !m.all_done() && steps < 2_000_000 {
             for i in 0..6 {
                 m.step(SchedElem::op(ProcId::from(i)));
-                let in_cs =
-                    (0..6).filter(|&j| m.annotation(ProcId::from(j)) == ANNOT_IN_CS).count();
+                let in_cs = (0..6)
+                    .filter(|&j| m.annotation(ProcId::from(j)) == ANNOT_IN_CS)
+                    .count();
                 assert!(in_cs <= 1, "mutual exclusion violated");
             }
             steps += 6;
@@ -436,18 +446,30 @@ mod tests {
 
     #[test]
     fn repeating_passages_complete_and_count() {
-        for kind in [LockKind::Bakery, LockKind::Gt { f: 2 }, LockKind::Ttas, LockKind::Mcs] {
+        for kind in [
+            LockKind::Bakery,
+            LockKind::Gt { f: 2 },
+            LockKind::Ttas,
+            LockKind::Mcs,
+        ] {
             let (n, passages) = (3usize, 4usize);
             let inst = build_steady_state(kind, n, passages);
             for model in [MemoryModel::Tso, MemoryModel::Pso] {
                 let mut m = inst.machine(model);
-                assert!(run_to_completion(&mut m, 100_000_000), "{} stuck", inst.name);
+                assert!(
+                    run_to_completion(&mut m, 100_000_000),
+                    "{} stuck",
+                    inst.name
+                );
                 // The counter register is the last allocated one; find it by
                 // scanning: its final payload must be n * passages.
                 let expect = (n * passages) as u64;
-                let found = (0..256u32)
-                    .any(|r| m.memory(wbmem::RegId(r)).payload() == expect);
-                assert!(found, "{}: counter never reached {expect} under {model}", inst.name);
+                let found = (0..256u32).any(|r| m.memory(wbmem::RegId(r)).payload() == expect);
+                assert!(
+                    found,
+                    "{}: counter never reached {expect} under {model}",
+                    inst.name
+                );
             }
         }
     }

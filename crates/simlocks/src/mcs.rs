@@ -115,7 +115,7 @@ impl LockAlgorithm for McsLock {
         // No known successor: try to reset the tail.
         asm.cas(self.tail, me, 0i64, t);
         asm.jmp_if(CondOp::Eq, t, me, done); // observed me -> swap happened
-        // A successor is mid-enqueue: wait for its link (local spin).
+                                             // A successor is mid-enqueue: wait for its link (local spin).
         let spin = asm.here();
         asm.read(self.n_base + who as i64, t);
         asm.jmp_if(CondOp::Eq, t, 0i64, spin);
@@ -184,7 +184,10 @@ mod tests {
             let mut m = inst.machine(MemoryModel::Pso);
             assert!(run_to_completion(&mut m, 100_000_000), "n={n}");
             let per_passage = m.counters().rho() as f64 / n as f64;
-            assert!(per_passage <= 8.0, "n={n}: {per_passage} RMRs/passage not O(1)");
+            assert!(
+                per_passage <= 8.0,
+                "n={n}: {per_passage} RMRs/passage not O(1)"
+            );
         }
     }
 }

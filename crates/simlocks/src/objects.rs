@@ -54,7 +54,7 @@ impl ObjectKind {
     pub fn register_count(self, n: usize) -> usize {
         match self {
             ObjectKind::Counter | ObjectKind::FetchIncrement => 1,
-            ObjectKind::Queue => 1 + n, // tail pointer + n array slots
+            ObjectKind::Queue => 1 + n,    // tail pointer + n array slots
             ObjectKind::NoisyCounter => 2, // counter + announcement scratch
         }
     }
@@ -87,6 +87,9 @@ mod tests {
     #[test]
     fn display_names() {
         let names: Vec<String> = ObjectKind::ALL.iter().map(ToString::to_string).collect();
-        assert_eq!(names, ["counter", "fetch-increment", "queue", "noisy-counter"]);
+        assert_eq!(
+            names,
+            ["counter", "fetch-increment", "queue", "noisy-counter"]
+        );
     }
 }

@@ -153,7 +153,7 @@ mod tests {
         // p0 executes its two writes (buffered; fence site 0 is elided).
         m.step(SchedElem::op(p0)); // write flag0
         m.step(SchedElem::op(p0)); // write victim
-        // Commit victim only — PSO write reordering.
+                                   // Commit victim only — PSO write reordering.
         let victim_reg = wbmem::RegId(2);
         m.step(SchedElem::commit(p0, victim_reg));
         // p1 runs alone through its whole acquire.
@@ -171,7 +171,11 @@ mod tests {
                 break;
             }
         }
-        assert_eq!(m.annotation(p0), 1, "p0 entered too: mutual exclusion violated");
+        assert_eq!(
+            m.annotation(p0),
+            1,
+            "p0 entered too: mutual exclusion violated"
+        );
         assert_eq!(m.annotation(p1), 1, "while p1 is still inside");
     }
 
@@ -186,7 +190,7 @@ mod tests {
         m.step(SchedElem::op(p0)); // fence -> commits flag0
         m.step(SchedElem::op(p0)); // fence completes
         m.step(SchedElem::op(p0)); // write victim
-        // Try the reorder: victim is the only buffered write.
+                                   // Try the reorder: victim is the only buffered write.
         m.step(SchedElem::commit(p0, wbmem::RegId(2)));
         for _ in 0..40 {
             m.step(SchedElem::op(p1));

@@ -43,7 +43,11 @@ impl TtasLock {
     pub fn new(alloc: &mut RegAlloc, n: usize, fences: FenceMask) -> Self {
         assert!(n >= 1, "need at least one process");
         let lock_reg = alloc.alloc(None);
-        TtasLock { n, lock_reg: i64::from(lock_reg.0), fences }
+        TtasLock {
+            n,
+            lock_reg: i64::from(lock_reg.0),
+            fences,
+        }
     }
 }
 

@@ -30,7 +30,10 @@ impl Tournament {
     /// exactly one process, so its flag register is placed in that process's
     /// memory segment; all other node registers are unowned.
     pub fn new(alloc: &mut RegAlloc, n: usize, fences: FenceMask) -> Self {
-        assert!(n >= 2 && n.is_power_of_two(), "tournament needs a power-of-two n >= 2");
+        assert!(
+            n >= 2 && n.is_power_of_two(),
+            "tournament needs a power-of-two n >= 2"
+        );
         // users[v][s] = processes that acquire node v from side s.
         let mut users = vec![[Vec::new(), Vec::new()]; n];
         for i in 0..n {

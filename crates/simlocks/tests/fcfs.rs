@@ -34,18 +34,22 @@ fn milestones(trace: &Trace, n: usize) -> Vec<Milestones> {
         let slot = &mut ms[p];
         match &event.kind {
             EventKind::Write { reg, value }
-                if *reg == RegId(p as u32) && value.payload() == 1 && slot.doorway_start.is_none()
-                => {
-                    slot.doorway_start = Some(i);
-                }
-            EventKind::Commit { reg, value, .. } if *reg == RegId(p as u32)
-                && value.payload() == 0 && slot.doorway_end.is_none() => {
-                    slot.doorway_end = Some(i);
-                }
-            EventKind::Read { reg, .. }
-                if *reg == counter_reg && slot.cs_entry.is_none() => {
-                    slot.cs_entry = Some(i);
-                }
+                if *reg == RegId(p as u32)
+                    && value.payload() == 1
+                    && slot.doorway_start.is_none() =>
+            {
+                slot.doorway_start = Some(i);
+            }
+            EventKind::Commit { reg, value, .. }
+                if *reg == RegId(p as u32)
+                    && value.payload() == 0
+                    && slot.doorway_end.is_none() =>
+            {
+                slot.doorway_end = Some(i);
+            }
+            EventKind::Read { reg, .. } if *reg == counter_reg && slot.cs_entry.is_none() => {
+                slot.cs_entry = Some(i);
+            }
             _ => {}
         }
     }
@@ -59,8 +63,7 @@ fn assert_fcfs(trace: &Trace, n: usize) {
             if p == q {
                 continue;
             }
-            let (Some(p_done), Some(q_start)) = (ms[p].doorway_end, ms[q].doorway_start)
-            else {
+            let (Some(p_done), Some(q_start)) = (ms[p].doorway_end, ms[q].doorway_start) else {
                 continue;
             };
             if p_done < q_start {
@@ -78,7 +81,10 @@ fn assert_fcfs(trace: &Trace, n: usize) {
     }
 }
 
-fn traced_machine(n: usize, model: MemoryModel) -> (simlocks::OrderingInstance, wbmem::Machine<fencevm::VmProc>) {
+fn traced_machine(
+    n: usize,
+    model: MemoryModel,
+) -> (simlocks::OrderingInstance, wbmem::Machine<fencevm::VmProc>) {
     let inst = build_ordering(LockKind::Bakery, n, ObjectKind::Counter);
     let cfg = MachineConfig::new(model, inst.layout.clone()).with_trace();
     let m = inst.machine_from(cfg);

@@ -27,6 +27,24 @@ pub enum WriteBuffer {
     Pso(BTreeMap<RegId, Value>),
 }
 
+/// How to reverse one buffer mutation (see [`WriteBuffer::push_recorded`]
+/// and [`WriteBuffer::take_recorded`]). Applying the undo of a mutation to
+/// the buffer that performed it restores the exact prior buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufferUndo {
+    /// The buffer was not mutated.
+    None,
+    /// Reverse a TSO push: drop the youngest entry.
+    PopBack,
+    /// Reverse a PSO push: restore the register's prior entry (`None`
+    /// removes it).
+    RestorePso(RegId, Option<Value>),
+    /// Reverse a TSO take: requeue the entry at the front (oldest).
+    PushFront(RegId, Value),
+    /// Reverse a PSO take: re-insert the entry.
+    Insert(RegId, Value),
+}
+
 impl WriteBuffer {
     /// An empty buffer appropriate for `model`.
     #[must_use]
@@ -64,9 +82,7 @@ impl WriteBuffer {
     pub fn read(&self, reg: RegId) -> Option<Value> {
         match self {
             WriteBuffer::Sc => None,
-            WriteBuffer::Tso(q) => {
-                q.iter().rev().find(|(r, _)| *r == reg).map(|&(_, v)| v)
-            }
+            WriteBuffer::Tso(q) => q.iter().rev().find(|(r, _)| *r == reg).map(|&(_, v)| v),
             WriteBuffer::Pso(m) => m.get(&reg).copied(),
         }
     }
@@ -87,6 +103,23 @@ impl WriteBuffer {
         }
     }
 
+    /// Record a write, returning how to reverse it. Same semantics as
+    /// [`push`](Self::push).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an SC buffer, like `push`.
+    pub fn push_recorded(&mut self, reg: RegId, val: Value) -> BufferUndo {
+        match self {
+            WriteBuffer::Sc => panic!("SC writes are not buffered"),
+            WriteBuffer::Tso(q) => {
+                q.push_back((reg, val));
+                BufferUndo::PopBack
+            }
+            WriteBuffer::Pso(m) => BufferUndo::RestorePso(reg, m.insert(reg, val)),
+        }
+    }
+
     /// The registers whose pending writes the *system* may commit right now:
     /// every buffered register under PSO, only the oldest under TSO.
     #[must_use]
@@ -95,6 +128,24 @@ impl WriteBuffer {
             WriteBuffer::Sc => Vec::new(),
             WriteBuffer::Tso(q) => q.front().map(|&(r, _)| r).into_iter().collect(),
             WriteBuffer::Pso(m) => m.keys().copied().collect(),
+        }
+    }
+
+    /// Visit every register in [`commit_choices`](Self::commit_choices)
+    /// order without allocating.
+    pub fn for_each_commit_choice(&self, mut f: impl FnMut(RegId)) {
+        match self {
+            WriteBuffer::Sc => {}
+            WriteBuffer::Tso(q) => {
+                if let Some(&(r, _)) = q.front() {
+                    f(r);
+                }
+            }
+            WriteBuffer::Pso(m) => {
+                for &r in m.keys() {
+                    f(r);
+                }
+            }
         }
     }
 
@@ -137,6 +188,48 @@ impl WriteBuffer {
                 }
             }
             WriteBuffer::Pso(m) => m.remove(&reg),
+        }
+    }
+
+    /// Remove and return the pending write to `reg` (if committable)
+    /// together with how to reverse the removal.
+    pub fn take_recorded(&mut self, reg: RegId) -> (Option<Value>, BufferUndo) {
+        match self.take(reg) {
+            None => (None, BufferUndo::None),
+            Some(v) => {
+                let undo = match self {
+                    WriteBuffer::Sc => unreachable!("SC take never succeeds"),
+                    WriteBuffer::Tso(_) => BufferUndo::PushFront(reg, v),
+                    WriteBuffer::Pso(_) => BufferUndo::Insert(reg, v),
+                };
+                (Some(v), undo)
+            }
+        }
+    }
+
+    /// Reverse a mutation previously recorded by
+    /// [`push_recorded`](Self::push_recorded) or
+    /// [`take_recorded`](Self::take_recorded). Undos must be applied to the
+    /// buffer that produced them, in reverse order of the mutations.
+    pub fn apply_undo(&mut self, undo: BufferUndo) {
+        match (undo, self) {
+            (BufferUndo::None, _) => {}
+            (BufferUndo::PopBack, WriteBuffer::Tso(q)) => {
+                q.pop_back();
+            }
+            (BufferUndo::RestorePso(reg, old), WriteBuffer::Pso(m)) => match old {
+                Some(v) => {
+                    m.insert(reg, v);
+                }
+                None => {
+                    m.remove(&reg);
+                }
+            },
+            (BufferUndo::PushFront(reg, v), WriteBuffer::Tso(q)) => q.push_front((reg, v)),
+            (BufferUndo::Insert(reg, v), WriteBuffer::Pso(m)) => {
+                m.insert(reg, v);
+            }
+            (undo, buf) => panic!("buffer undo {undo:?} does not match buffer {buf:?}"),
         }
     }
 
@@ -230,6 +323,46 @@ mod tests {
     fn rmo_behaves_like_pso() {
         let b = WriteBuffer::new(MemoryModel::Rmo);
         assert!(matches!(b, WriteBuffer::Pso(_)));
+    }
+
+    #[test]
+    fn recorded_ops_round_trip() {
+        // PSO: push over an existing entry, then take — undo in reverse
+        // order restores the original buffer exactly.
+        let mut b = WriteBuffer::new(MemoryModel::Pso);
+        b.push(r(1), v(10));
+        let orig = b.clone();
+        let u1 = b.push_recorded(r(1), v(20));
+        let (got, u2) = b.take_recorded(r(1));
+        assert_eq!(got, Some(v(20)));
+        b.apply_undo(u2);
+        b.apply_undo(u1);
+        assert_eq!(b, orig);
+
+        // TSO: take pops the head; undo requeues it at the front.
+        let mut b = WriteBuffer::new(MemoryModel::Tso);
+        b.push(r(9), v(1));
+        b.push(r(2), v(2));
+        let orig = b.clone();
+        let (got, u) = b.take_recorded(r(9));
+        assert_eq!(got, Some(v(1)));
+        b.apply_undo(u);
+        assert_eq!(b, orig);
+
+        // A failed take records nothing.
+        let (got, u) = b.take_recorded(r(2));
+        assert_eq!(got, None);
+        assert_eq!(u, BufferUndo::None);
+    }
+
+    #[test]
+    fn for_each_commit_choice_matches_vec() {
+        let mut b = WriteBuffer::new(MemoryModel::Pso);
+        b.push(r(9), v(1));
+        b.push(r(2), v(2));
+        let mut seen = Vec::new();
+        b.for_each_commit_choice(|reg| seen.push(reg));
+        assert_eq!(seen, b.commit_choices());
     }
 
     #[test]

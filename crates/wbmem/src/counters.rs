@@ -91,7 +91,9 @@ impl Counters {
     /// Counters for `n` processes, all zero.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Counters { per_proc: vec![ProcCounters::default(); n] }
+        Counters {
+            per_proc: vec![ProcCounters::default(); n],
+        }
     }
 
     /// Counters for process `p`.
@@ -108,7 +110,10 @@ impl Counters {
     /// Sum over all processes.
     #[must_use]
     pub fn total(&self) -> ProcCounters {
-        self.per_proc.iter().copied().fold(ProcCounters::default(), Add::add)
+        self.per_proc
+            .iter()
+            .copied()
+            .fold(ProcCounters::default(), Add::add)
     }
 
     /// Total fence steps: the paper's `β(E)`.
@@ -160,8 +165,18 @@ mod tests {
 
     #[test]
     fn add_combines_fieldwise() {
-        let a = ProcCounters { fences: 1, rmrs: 2, reads: 3, ..Default::default() };
-        let b = ProcCounters { fences: 10, rmrs: 20, reads: 30, ..Default::default() };
+        let a = ProcCounters {
+            fences: 1,
+            rmrs: 2,
+            reads: 3,
+            ..Default::default()
+        };
+        let b = ProcCounters {
+            fences: 10,
+            rmrs: 20,
+            reads: 30,
+            ..Default::default()
+        };
         let s = a + b;
         assert_eq!(s.fences, 11);
         assert_eq!(s.rmrs, 22);

@@ -105,7 +105,9 @@ impl EventKind {
     #[must_use]
     pub fn accesses_segment_of(&self, owns: impl Fn(RegId) -> bool) -> bool {
         match self {
-            EventKind::Read { reg, from_memory, .. } => *from_memory && owns(*reg),
+            EventKind::Read {
+                reg, from_memory, ..
+            } => *from_memory && owns(*reg),
             EventKind::Commit { reg, .. }
             | EventKind::Cas { reg, .. }
             | EventKind::Swap { reg, .. } => owns(*reg),
@@ -117,7 +119,12 @@ impl EventKind {
 impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.kind {
-            EventKind::Read { reg, value, from_memory, remote } => write!(
+            EventKind::Read {
+                reg,
+                value,
+                from_memory,
+                remote,
+            } => write!(
                 f,
                 "{} read {} = {} [{}{}]",
                 self.proc,
@@ -130,7 +137,12 @@ impl fmt::Display for Event {
                 write!(f, "{} write {} := {}", self.proc, reg, value)
             }
             EventKind::Fence => write!(f, "{} fence", self.proc),
-            EventKind::Cas { reg, observed, stored, remote } => write!(
+            EventKind::Cas {
+                reg,
+                observed,
+                stored,
+                remote,
+            } => write!(
                 f,
                 "{} cas {} saw {} -> {}{}",
                 self.proc,
@@ -147,7 +159,12 @@ impl fmt::Display for Event {
                 value,
                 if *remote { " [RMR]" } else { "" }
             ),
-            EventKind::Swap { reg, observed, stored, remote } => write!(
+            EventKind::Swap {
+                reg,
+                observed,
+                stored,
+                remote,
+            } => write!(
                 f,
                 "{} swap {} saw {} := {}{}",
                 self.proc,
@@ -185,6 +202,12 @@ impl Trace {
         &self.events
     }
 
+    /// Drop every event past the first `len` (used by the machine's
+    /// undo-log to rewind the trace; a no-op if the trace is shorter).
+    pub fn truncate(&mut self, len: usize) {
+        self.events.truncate(len);
+    }
+
     /// Number of recorded events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -212,7 +235,9 @@ impl Trace {
 
 impl FromIterator<Event> for Trace {
     fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
-        Trace { events: iter.into_iter().collect() }
+        Trace {
+            events: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -230,7 +255,11 @@ mod tests {
         };
         assert!(read.is_remote());
         assert!(!EventKind::Fence.is_remote());
-        assert!(!EventKind::Write { reg: RegId(0), value: Value::Int(1) }.is_remote());
+        assert!(!EventKind::Write {
+            reg: RegId(0),
+            value: Value::Int(1)
+        }
+        .is_remote());
     }
 
     #[test]
@@ -248,19 +277,35 @@ mod tests {
             from_memory: false,
             remote: false,
         };
-        let commit = EventKind::Commit { reg: RegId(0), value: Value::Int(1), remote: true };
-        let write = EventKind::Write { reg: RegId(0), value: Value::Int(1) };
+        let commit = EventKind::Commit {
+            reg: RegId(0),
+            value: Value::Int(1),
+            remote: true,
+        };
+        let write = EventKind::Write {
+            reg: RegId(0),
+            value: Value::Int(1),
+        };
         assert!(mem_read.accesses_segment_of(owns_r0));
-        assert!(!buf_read.accesses_segment_of(owns_r0), "buffer reads don't touch memory");
+        assert!(
+            !buf_read.accesses_segment_of(owns_r0),
+            "buffer reads don't touch memory"
+        );
         assert!(commit.accesses_segment_of(owns_r0));
-        assert!(!write.accesses_segment_of(owns_r0), "writes only touch the buffer");
+        assert!(
+            !write.accesses_segment_of(owns_r0),
+            "writes only touch the buffer"
+        );
     }
 
     #[test]
     fn trace_records_in_order() {
         let mut t = Trace::new();
         assert!(t.is_empty());
-        t.push(Event { proc: ProcId(0), kind: EventKind::Fence });
+        t.push(Event {
+            proc: ProcId(0),
+            kind: EventKind::Fence,
+        });
         t.push(Event {
             proc: ProcId(1),
             kind: EventKind::Return { value: 3 },

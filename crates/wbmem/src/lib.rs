@@ -81,12 +81,12 @@ pub mod sched;
 pub mod stats;
 pub mod value;
 
-pub use buffer::WriteBuffer;
+pub use buffer::{BufferUndo, WriteBuffer};
 pub use counters::{Counters, ProcCounters};
 pub use event::{Event, EventKind, Trace};
-pub use machine::{Machine, MachineConfig, SoloOutcome, StateKey, StepOutcome};
+pub use machine::{Machine, MachineConfig, SoloOutcome, StateKey, StepOutcome, UndoToken};
 pub use model::MemoryModel;
 pub use process::{Poised, PoisedKind, Process};
 pub use reg::{MemoryLayout, ProcId, RegId};
-pub use sched::{Schedule, SchedElem};
+pub use sched::{SchedElem, Schedule};
 pub use value::Value;

@@ -2,8 +2,8 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use crate::buffer::WriteBuffer;
-use crate::counters::Counters;
+use crate::buffer::{BufferUndo, WriteBuffer};
+use crate::counters::{Counters, ProcCounters};
 use crate::event::{Event, EventKind, Trace};
 use crate::model::MemoryModel;
 use crate::process::{Poised, Process};
@@ -32,7 +32,12 @@ impl MachineConfig {
     /// A configuration with tagging and tracing disabled.
     #[must_use]
     pub fn new(model: MemoryModel, layout: MemoryLayout) -> Self {
-        MachineConfig { model, layout, tag_writes: false, record_trace: false }
+        MachineConfig {
+            model,
+            layout,
+            tag_writes: false,
+            record_trace: false,
+        }
     }
 
     /// Enable write tagging.
@@ -119,6 +124,80 @@ pub struct StateKey<P: Process> {
     procs: Vec<(P, WriteBuffer, Option<u64>)>,
 }
 
+/// Everything needed to reverse one [`Machine::step_recorded`] call.
+///
+/// A step's mutation footprint is small — one process's program and buffer,
+/// at most one shared-memory cell, at most one commit-ownership entry, at
+/// most two cache entries, one process's counters — so recording it and
+/// reversing it is O(footprint), not O(machine). This is what makes
+/// depth-first search backtrack by undoing instead of cloning whole
+/// configurations.
+///
+/// Tokens must be applied to the machine that produced them, in reverse
+/// order of the steps they record (LIFO).
+#[derive(Clone, Debug)]
+pub struct UndoToken<P> {
+    proc: ProcId,
+    /// The program state before the step, if the step advanced it.
+    prog: Option<P>,
+    returned: Option<u64>,
+    buffer: BufferUndo,
+    /// `(reg, prior value)` for the shared-memory cell the step wrote.
+    mem: Option<(RegId, Option<Value>)>,
+    /// `(reg, prior owner)` for the commit-ownership entry the step moved.
+    committer: Option<(RegId, Option<ProcId>)>,
+    /// Cache entries the step newly inserted (a step observes ≤ 2 values).
+    cache: [Option<(RegId, Value)>; 2],
+    counters: ProcCounters,
+    next_nonce: u64,
+    trace_len: usize,
+}
+
+/// Receives the pre-images of a step's mutations as they happen. The unit
+/// sink `()` compiles to nothing (plain [`Machine::step`]); an
+/// [`UndoToken`] records them ([`Machine::step_recorded`]).
+trait UndoSink<P> {
+    fn save_prog(&mut self, _prog: &P) {}
+    fn mem_overwritten(&mut self, _reg: RegId, _old: Option<Value>) {}
+    fn committer_moved(&mut self, _reg: RegId, _old: Option<ProcId>) {}
+    fn cache_inserted(&mut self, _reg: RegId, _value: Value) {}
+    fn buffer_mutated(&mut self, _undo: BufferUndo) {}
+}
+
+impl<P> UndoSink<P> for () {}
+
+impl<P: Process> UndoSink<P> for UndoToken<P> {
+    fn save_prog(&mut self, prog: &P) {
+        if self.prog.is_none() {
+            self.prog = Some(prog.clone());
+        }
+    }
+    fn mem_overwritten(&mut self, reg: RegId, old: Option<Value>) {
+        debug_assert!(self.mem.is_none(), "a step writes at most one cell");
+        self.mem = Some((reg, old));
+    }
+    fn committer_moved(&mut self, reg: RegId, old: Option<ProcId>) {
+        debug_assert!(self.committer.is_none(), "a step commits at most once");
+        self.committer = Some((reg, old));
+    }
+    fn cache_inserted(&mut self, reg: RegId, value: Value) {
+        let slot = self
+            .cache
+            .iter_mut()
+            .find(|s| s.is_none())
+            .expect("a step observes at most two values");
+        *slot = Some((reg, value));
+    }
+    fn buffer_mutated(&mut self, undo: BufferUndo) {
+        debug_assert_eq!(
+            self.buffer,
+            BufferUndo::None,
+            "a step mutates the buffer at most once"
+        );
+        self.buffer = undo;
+    }
+}
+
 /// A system configuration plus the machinery to evolve it: the paper's
 /// `Exec_A(C; σ)` made executable.
 ///
@@ -147,7 +226,11 @@ impl<P: Process> Machine<P> {
             mem: BTreeMap::new(),
             procs: procs
                 .into_iter()
-                .map(|prog| ProcSlot { prog, buffer: WriteBuffer::new(model), returned: None })
+                .map(|prog| ProcSlot {
+                    prog,
+                    buffer: WriteBuffer::new(model),
+                    returned: None,
+                })
                 .collect(),
             locality: LocalityTracker::new(n),
             counters: Counters::new(n),
@@ -260,6 +343,25 @@ impl<P: Process> Machine<P> {
         &self.locality
     }
 
+    /// Hash the behaviourally relevant state (exactly what
+    /// [`state_key`](Self::state_key) captures) directly into `h`, without
+    /// materializing a snapshot. The model checker fingerprints every
+    /// explored state, so this path must not allocate.
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash as _;
+        self.mem.len().hash(h);
+        for (reg, value) in &self.mem {
+            reg.hash(h);
+            value.hash(h);
+        }
+        self.procs.len().hash(h);
+        for slot in &self.procs {
+            slot.prog.hash(h);
+            slot.buffer.hash(h);
+            slot.returned.hash(h);
+        }
+    }
+
     /// A hashable snapshot of the behaviourally relevant state.
     #[must_use]
     pub fn state_key(&self) -> StateKey<P> {
@@ -283,21 +385,80 @@ impl<P: Process> Machine<P> {
     /// 3. Otherwise the step performs `p`'s poised operation (read, write,
     ///    fence, or return). If `p` is in a final state, nothing happens.
     pub fn step(&mut self, elem: SchedElem) -> StepOutcome {
+        self.step_impl(elem, &mut ())
+    }
+
+    /// Like [`step`](Self::step), but also returns an [`UndoToken`] that
+    /// [`undo`](Self::undo) accepts to restore the pre-step machine —
+    /// counters, caches, ownership, and trace included — in O(footprint)
+    /// time. A `NoOp` step yields a trivial (but still valid) token.
+    pub fn step_recorded(&mut self, elem: SchedElem) -> (StepOutcome, UndoToken<P>) {
+        let i = elem.proc.index();
+        let mut token = UndoToken {
+            proc: elem.proc,
+            prog: None,
+            returned: self.procs[i].returned,
+            buffer: BufferUndo::None,
+            mem: None,
+            committer: None,
+            cache: [None, None],
+            counters: *self.counters.proc(i),
+            next_nonce: self.next_nonce,
+            trace_len: self.trace.len(),
+        };
+        let out = self.step_impl(elem, &mut token);
+        (out, token)
+    }
+
+    /// Reverse the step that produced `token`. Tokens must be applied to
+    /// the machine that produced them, newest first (LIFO) — the depth-first
+    /// search discipline.
+    pub fn undo(&mut self, token: UndoToken<P>) {
+        let i = token.proc.index();
+        let slot = &mut self.procs[i];
+        if let Some(prog) = token.prog {
+            slot.prog = prog;
+        }
+        slot.returned = token.returned;
+        slot.buffer.apply_undo(token.buffer);
+        if let Some((reg, old)) = token.mem {
+            match old {
+                Some(v) => {
+                    self.mem.insert(reg, v);
+                }
+                None => {
+                    self.mem.remove(&reg);
+                }
+            }
+        }
+        if let Some((reg, old)) = token.committer {
+            self.locality.set_last_committer(reg, old);
+        }
+        for (reg, value) in token.cache.into_iter().flatten() {
+            self.locality.unobserve(token.proc, reg, value);
+        }
+        *self.counters.proc_mut(i) = token.counters;
+        self.next_nonce = token.next_nonce;
+        self.trace.truncate(token.trace_len);
+    }
+
+    fn step_impl<U: UndoSink<P>>(&mut self, elem: SchedElem, u: &mut U) -> StepOutcome {
         let p = elem.proc;
         if self.is_done(p) {
             return StepOutcome::NoOp;
         }
         if let Some(reg) = elem.reg {
             if self.procs[p.index()].buffer.can_commit(reg) {
-                return self.do_commit(p, reg);
+                return self.do_commit(p, reg, u);
             }
         }
         match self.poised(p) {
             Poised::Fence => {
                 if let Some(reg) = self.procs[p.index()].buffer.fence_commit_target() {
-                    self.do_commit(p, reg)
+                    self.do_commit(p, reg, u)
                 } else {
                     self.counters.proc_mut(p.index()).fences += 1;
+                    u.save_prog(&self.procs[p.index()].prog);
                     self.procs[p.index()].prog.advance(None);
                     self.emit(p, EventKind::Fence)
                 }
@@ -305,20 +466,20 @@ impl<P: Process> Machine<P> {
             Poised::Cas { reg, expected, new } => {
                 // A CAS orders the store buffer like a fence: drain first.
                 if let Some(target) = self.procs[p.index()].buffer.fence_commit_target() {
-                    self.do_commit(p, target)
+                    self.do_commit(p, target, u)
                 } else {
-                    self.do_cas(p, reg, expected, new)
+                    self.do_cas(p, reg, expected, new, u)
                 }
             }
             Poised::Swap { reg, new } => {
                 if let Some(target) = self.procs[p.index()].buffer.fence_commit_target() {
-                    self.do_commit(p, target)
+                    self.do_commit(p, target, u)
                 } else {
-                    self.do_swap(p, reg, new)
+                    self.do_swap(p, reg, new, u)
                 }
             }
-            Poised::Read(reg) => self.do_read(p, reg),
-            Poised::Write(reg, value) => self.do_write(p, reg, value),
+            Poised::Read(reg) => self.do_read(p, reg, u),
+            Poised::Write(reg, value) => self.do_write(p, reg, value, u),
             Poised::Return(value) => {
                 self.procs[p.index()].returned = Some(value);
                 self.emit(p, EventKind::Return { value })
@@ -327,12 +488,14 @@ impl<P: Process> Machine<P> {
         }
     }
 
-    fn do_read(&mut self, p: ProcId, reg: RegId) -> StepOutcome {
+    fn do_read<U: UndoSink<P>>(&mut self, p: ProcId, reg: RegId, u: &mut U) -> StepOutcome {
         let (value, from_memory) = match self.procs[p.index()].buffer.read(reg) {
             Some(v) => (v, false),
             None => (self.memory(reg), true),
         };
-        let local = self.locality.read_is_local(&self.config.layout, p, reg, value);
+        let local = self
+            .locality
+            .read_is_local(&self.config.layout, p, reg, value);
         let c = self.counters.proc_mut(p.index());
         c.reads += 1;
         if !from_memory {
@@ -342,36 +505,73 @@ impl<P: Process> Machine<P> {
             c.remote_reads += 1;
             c.rmrs += 1;
         }
-        self.locality.observe(p, reg, value);
+        if self.locality.observe(p, reg, value) {
+            u.cache_inserted(reg, value);
+        }
+        u.save_prog(&self.procs[p.index()].prog);
         self.procs[p.index()].prog.advance(Some(value));
-        self.emit(p, EventKind::Read { reg, value, from_memory, remote: !local })
+        self.emit(
+            p,
+            EventKind::Read {
+                reg,
+                value,
+                from_memory,
+                remote: !local,
+            },
+        )
     }
 
-    fn do_write(&mut self, p: ProcId, reg: RegId, value: Value) -> StepOutcome {
+    fn do_write<U: UndoSink<P>>(
+        &mut self,
+        p: ProcId,
+        reg: RegId,
+        value: Value,
+        u: &mut U,
+    ) -> StepOutcome {
         let value = if self.config.tag_writes {
             let nonce = self.next_nonce;
             self.next_nonce += 1;
-            Value::Tagged { payload: value.payload(), nonce }
+            Value::Tagged {
+                payload: value.payload(),
+                nonce,
+            }
         } else {
             value
         };
         self.counters.proc_mut(p.index()).writes += 1;
-        self.locality.observe(p, reg, value);
+        if self.locality.observe(p, reg, value) {
+            u.cache_inserted(reg, value);
+        }
+        u.save_prog(&self.procs[p.index()].prog);
         self.procs[p.index()].prog.advance(None);
         if self.config.model.buffers_writes() {
-            self.procs[p.index()].buffer.push(reg, value);
+            let undo = self.procs[p.index()].buffer.push_recorded(reg, value);
+            u.buffer_mutated(undo);
             self.emit(p, EventKind::Write { reg, value })
         } else {
             // SC: the write commits immediately; record both effects.
             if self.config.record_trace {
-                self.trace.push(Event { proc: p, kind: EventKind::Write { reg, value } });
+                self.trace.push(Event {
+                    proc: p,
+                    kind: EventKind::Write { reg, value },
+                });
             }
-            self.commit_to_memory(p, reg, value)
+            self.commit_to_memory(p, reg, value, u)
         }
     }
 
-    fn do_cas(&mut self, p: ProcId, reg: RegId, expected: u64, new: Value) -> StepOutcome {
-        debug_assert!(self.procs[p.index()].buffer.is_empty(), "CAS requires a drained buffer");
+    fn do_cas<U: UndoSink<P>>(
+        &mut self,
+        p: ProcId,
+        reg: RegId,
+        expected: u64,
+        new: Value,
+        u: &mut U,
+    ) -> StepOutcome {
+        debug_assert!(
+            self.procs[p.index()].buffer.is_empty(),
+            "CAS requires a drained buffer"
+        );
         let observed = self.memory(reg);
         let success = observed.payload() == expected;
         let (stored, local) = if success {
@@ -380,75 +580,130 @@ impl<P: Process> Machine<P> {
             let value = if self.config.tag_writes {
                 let nonce = self.next_nonce;
                 self.next_nonce += 1;
-                Value::Tagged { payload: new.payload(), nonce }
+                Value::Tagged {
+                    payload: new.payload(),
+                    nonce,
+                }
             } else {
                 new
             };
-            self.mem.insert(reg, value);
-            self.locality.record_commit(p, reg);
-            self.locality.observe(p, reg, value);
+            u.mem_overwritten(reg, self.mem.insert(reg, value));
+            u.committer_moved(reg, self.locality.record_commit(p, reg));
+            if self.locality.observe(p, reg, value) {
+                u.cache_inserted(reg, value);
+            }
             (Some(value), local)
         } else {
             // A failed CAS only observes: charge it like a read.
-            let local = self.locality.read_is_local(&self.config.layout, p, reg, observed);
+            let local = self
+                .locality
+                .read_is_local(&self.config.layout, p, reg, observed);
             (None, local)
         };
-        self.locality.observe(p, reg, observed);
+        if self.locality.observe(p, reg, observed) {
+            u.cache_inserted(reg, observed);
+        }
         let c = self.counters.proc_mut(p.index());
         c.cas_ops += 1;
         if !local {
             c.remote_cas += 1;
             c.rmrs += 1;
         }
+        u.save_prog(&self.procs[p.index()].prog);
         self.procs[p.index()].prog.advance(Some(observed));
-        self.emit(p, EventKind::Cas { reg, observed, stored, remote: !local })
+        self.emit(
+            p,
+            EventKind::Cas {
+                reg,
+                observed,
+                stored,
+                remote: !local,
+            },
+        )
     }
 
-    fn do_swap(&mut self, p: ProcId, reg: RegId, new: Value) -> StepOutcome {
-        debug_assert!(self.procs[p.index()].buffer.is_empty(), "swap requires a drained buffer");
+    fn do_swap<U: UndoSink<P>>(
+        &mut self,
+        p: ProcId,
+        reg: RegId,
+        new: Value,
+        u: &mut U,
+    ) -> StepOutcome {
+        debug_assert!(
+            self.procs[p.index()].buffer.is_empty(),
+            "swap requires a drained buffer"
+        );
         let observed = self.memory(reg);
         // A swap always writes memory: charge it by the commit rule.
         let local = self.locality.commit_is_local(&self.config.layout, p, reg);
         let stored = if self.config.tag_writes {
             let nonce = self.next_nonce;
             self.next_nonce += 1;
-            Value::Tagged { payload: new.payload(), nonce }
+            Value::Tagged {
+                payload: new.payload(),
+                nonce,
+            }
         } else {
             new
         };
-        self.mem.insert(reg, stored);
-        self.locality.record_commit(p, reg);
-        self.locality.observe(p, reg, stored);
-        self.locality.observe(p, reg, observed);
+        u.mem_overwritten(reg, self.mem.insert(reg, stored));
+        u.committer_moved(reg, self.locality.record_commit(p, reg));
+        if self.locality.observe(p, reg, stored) {
+            u.cache_inserted(reg, stored);
+        }
+        if self.locality.observe(p, reg, observed) {
+            u.cache_inserted(reg, observed);
+        }
         let c = self.counters.proc_mut(p.index());
         c.swap_ops += 1;
         if !local {
             c.remote_swaps += 1;
             c.rmrs += 1;
         }
+        u.save_prog(&self.procs[p.index()].prog);
         self.procs[p.index()].prog.advance(Some(observed));
-        self.emit(p, EventKind::Swap { reg, observed, stored, remote: !local })
+        self.emit(
+            p,
+            EventKind::Swap {
+                reg,
+                observed,
+                stored,
+                remote: !local,
+            },
+        )
     }
 
-    fn do_commit(&mut self, p: ProcId, reg: RegId) -> StepOutcome {
-        let value = self.procs[p.index()]
-            .buffer
-            .take(reg)
-            .expect("do_commit requires a committable buffered write");
-        self.commit_to_memory(p, reg, value)
+    fn do_commit<U: UndoSink<P>>(&mut self, p: ProcId, reg: RegId, u: &mut U) -> StepOutcome {
+        let (value, undo) = self.procs[p.index()].buffer.take_recorded(reg);
+        let value = value.expect("do_commit requires a committable buffered write");
+        u.buffer_mutated(undo);
+        self.commit_to_memory(p, reg, value, u)
     }
 
-    fn commit_to_memory(&mut self, p: ProcId, reg: RegId, value: Value) -> StepOutcome {
+    fn commit_to_memory<U: UndoSink<P>>(
+        &mut self,
+        p: ProcId,
+        reg: RegId,
+        value: Value,
+        u: &mut U,
+    ) -> StepOutcome {
         let local = self.locality.commit_is_local(&self.config.layout, p, reg);
-        self.mem.insert(reg, value);
-        self.locality.record_commit(p, reg);
+        u.mem_overwritten(reg, self.mem.insert(reg, value));
+        u.committer_moved(reg, self.locality.record_commit(p, reg));
         let c = self.counters.proc_mut(p.index());
         c.commits += 1;
         if !local {
             c.remote_commits += 1;
             c.rmrs += 1;
         }
-        self.emit(p, EventKind::Commit { reg, value, remote: !local })
+        self.emit(
+            p,
+            EventKind::Commit {
+                reg,
+                value,
+                remote: !local,
+            },
+        )
     }
 
     fn emit(&mut self, p: ProcId, kind: EventKind) -> StepOutcome {
@@ -478,7 +733,10 @@ impl<P: Process> Machine<P> {
             self.step(SchedElem::op(p));
         }
         match self.return_value(p) {
-            Some(ret) => SoloOutcome::Terminates { steps: max_steps, ret },
+            Some(ret) => SoloOutcome::Terminates {
+                steps: max_steps,
+                ret,
+            },
             None => SoloOutcome::Unknown,
         }
     }
@@ -533,8 +791,10 @@ impl<P: Process> Machine<P> {
                         let v = buffer.take(target).expect("fence target is committable");
                         overlay.insert(target, v);
                     } else {
-                        let observed =
-                            overlay.get(&reg).copied().unwrap_or_else(|| self.memory(reg));
+                        let observed = overlay
+                            .get(&reg)
+                            .copied()
+                            .unwrap_or_else(|| self.memory(reg));
                         if observed.payload() == expected {
                             overlay.insert(reg, new);
                         }
@@ -546,8 +806,10 @@ impl<P: Process> Machine<P> {
                         let v = buffer.take(target).expect("fence target is committable");
                         overlay.insert(target, v);
                     } else {
-                        let observed =
-                            overlay.get(&reg).copied().unwrap_or_else(|| self.memory(reg));
+                        let observed = overlay
+                            .get(&reg)
+                            .copied()
+                            .unwrap_or_else(|| self.memory(reg));
                         overlay.insert(reg, new);
                         prog.advance(Some(observed));
                     }
@@ -581,24 +843,29 @@ impl<P: Process> Machine<P> {
     #[must_use]
     pub fn choices(&self) -> Vec<SchedElem> {
         let mut out = Vec::new();
+        self.choices_into(&mut out);
+        out
+    }
+
+    /// [`choices`](Self::choices) into a caller-provided buffer (cleared
+    /// first), so a search loop can reuse one allocation across nodes.
+    pub fn choices_into(&self, out: &mut Vec<SchedElem>) {
+        out.clear();
         for (i, slot) in self.procs.iter().enumerate() {
             if slot.returned.is_some() {
                 continue;
             }
             let p = ProcId::from(i);
-            for reg in slot.buffer.commit_choices() {
-                out.push(SchedElem::commit(p, reg));
-            }
-            let fence_blocked =
-                matches!(
-                    slot.prog.poised(),
-                    Poised::Fence | Poised::Cas { .. } | Poised::Swap { .. }
-                ) && !slot.buffer.is_empty();
+            slot.buffer
+                .for_each_commit_choice(|reg| out.push(SchedElem::commit(p, reg)));
+            let fence_blocked = matches!(
+                slot.prog.poised(),
+                Poised::Fence | Poised::Cas { .. } | Poised::Swap { .. }
+            ) && !slot.buffer.is_empty();
             if !fence_blocked {
                 out.push(SchedElem::op(p));
             }
         }
-        out
     }
 }
 
@@ -616,7 +883,11 @@ mod tests {
 
     impl Script {
         fn new(ops: Vec<Poised>) -> Self {
-            Script { ops, pc: 0, last_read: None }
+            Script {
+                ops,
+                pc: 0,
+                last_read: None,
+            }
         }
     }
 
@@ -678,7 +949,10 @@ mod tests {
         // Second commits the remaining write; third executes the fence.
         m.step(SchedElem::op(p(0)));
         let out = m.step(SchedElem::op(p(0)));
-        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Fence)));
+        assert!(matches!(
+            out.event().map(|e| &e.kind),
+            Some(EventKind::Fence)
+        ));
         assert_eq!(m.counters().proc(0).fences, 1);
         m.step(SchedElem::op(p(0)));
         assert!(m.all_done());
@@ -695,7 +969,12 @@ mod tests {
         m.step(SchedElem::op(p(0)));
         let out = m.step(SchedElem::op(p(0)));
         match out.event().map(|e| &e.kind) {
-            Some(EventKind::Read { value, from_memory, remote, .. }) => {
+            Some(EventKind::Read {
+                value,
+                from_memory,
+                remote,
+                ..
+            }) => {
                 assert_eq!(*value, Value::Int(9));
                 assert!(!from_memory);
                 assert!(!remote, "buffer reads hit the cache");
@@ -742,7 +1021,10 @@ mod tests {
         let cfg = MachineConfig::new(MemoryModel::Sc, MemoryLayout::unowned()).with_trace();
         let mut m = Machine::new(cfg, vec![w]);
         let out = m.step(SchedElem::op(p(0)));
-        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Commit { .. })));
+        assert!(matches!(
+            out.event().map(|e| &e.kind),
+            Some(EventKind::Commit { .. })
+        ));
         assert_eq!(m.memory(r(0)), Value::Int(5));
         // The trace records both the write and the commit.
         assert_eq!(m.trace().len(), 2);
@@ -752,7 +1034,11 @@ mod tests {
     fn rmr_accounting_first_remote_then_cached() {
         // p1 reads a register twice; first read is remote, second is a
         // cache hit (same value).
-        let reader = Script::new(vec![Poised::Read(r(0)), Poised::Read(r(0)), Poised::Return(0)]);
+        let reader = Script::new(vec![
+            Poised::Read(r(0)),
+            Poised::Read(r(0)),
+            Poised::Return(0),
+        ]);
         let mut m = pso_machine(vec![reader]);
         m.step(SchedElem::op(p(0)));
         m.step(SchedElem::op(p(0)));
@@ -766,7 +1052,11 @@ mod tests {
     fn rmr_accounting_invalidation_by_other_writer() {
         // p0 reads R twice, p1 commits a new value in between: both of p0's
         // reads are remote.
-        let reader = Script::new(vec![Poised::Read(r(0)), Poised::Read(r(0)), Poised::Return(0)]);
+        let reader = Script::new(vec![
+            Poised::Read(r(0)),
+            Poised::Read(r(0)),
+            Poised::Return(0),
+        ]);
         let writer = Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
         let mut m = pso_machine(vec![reader, writer]);
         m.step(SchedElem::op(p(0)));
@@ -821,8 +1111,8 @@ mod tests {
     #[test]
     fn tagging_makes_written_values_unique() {
         let w = |reg| Script::new(vec![Poised::Write(reg, Value::Int(1)), Poised::Return(0)]);
-        let cfg = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned())
-            .with_tagged_writes();
+        let cfg =
+            MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned()).with_tagged_writes();
         let mut m = Machine::new(cfg, vec![w(r(0)), w(r(1))]);
         m.step(SchedElem::op(p(0)));
         m.step(SchedElem::op(p(1)));
@@ -861,7 +1151,10 @@ mod tests {
 
         let cfg = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned());
         let m = Machine::new(cfg, vec![Spinner]);
-        assert!(matches!(m.solo_outcome(p(0), 1000), SoloOutcome::Diverges { .. }));
+        assert!(matches!(
+            m.solo_outcome(p(0), 1000),
+            SoloOutcome::Diverges { .. }
+        ));
     }
 
     #[test]
@@ -904,7 +1197,11 @@ mod tests {
 
     #[test]
     fn state_key_ignores_counters() {
-        let reader = Script::new(vec![Poised::Read(r(0)), Poised::Read(r(0)), Poised::Return(0)]);
+        let reader = Script::new(vec![
+            Poised::Read(r(0)),
+            Poised::Read(r(0)),
+            Poised::Return(0),
+        ]);
         let mut a = pso_machine(vec![reader.clone()]);
         let mut b = pso_machine(vec![reader]);
         a.step(SchedElem::op(p(0)));
@@ -930,7 +1227,11 @@ mod tests {
     fn run_schedule_counts_effective_steps() {
         let w = Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
         let mut m = pso_machine(vec![w]);
-        let sched = vec![SchedElem::op(p(0)), SchedElem::op(p(0)), SchedElem::op(p(0))];
+        let sched = vec![
+            SchedElem::op(p(0)),
+            SchedElem::op(p(0)),
+            SchedElem::op(p(0)),
+        ];
         let steps = m.run_schedule(&sched);
         assert_eq!(steps, 2, "third element is a no-op after return");
     }
@@ -949,7 +1250,9 @@ mod tests {
         m.step(SchedElem::op(p(0)));
         let out = m.step(SchedElem::op(p(0)));
         match out.event().map(|e| &e.kind) {
-            Some(EventKind::Read { value, from_memory, .. }) => {
+            Some(EventKind::Read {
+                value, from_memory, ..
+            }) => {
                 assert_eq!(*value, Value::Int(2), "youngest write wins");
                 assert!(!from_memory);
             }
@@ -970,8 +1273,7 @@ mod tests {
             Poised::Fence,
             Poised::Return(0),
         ]);
-        let cfg = MachineConfig::new(MemoryModel::Tso, MemoryLayout::unowned())
-            .with_trace();
+        let cfg = MachineConfig::new(MemoryModel::Tso, MemoryLayout::unowned()).with_trace();
         let mut m = Machine::new(cfg, vec![w]);
         m.run_solo(p(0), 100);
         let commits: Vec<RegId> = m
@@ -983,20 +1285,35 @@ mod tests {
                 _ => None,
             })
             .collect();
-        assert_eq!(commits, vec![r(9), r(2)], "FIFO drain: program order, not register order");
+        assert_eq!(
+            commits,
+            vec![r(9), r(2)],
+            "FIFO drain: program order, not register order"
+        );
     }
 
     #[test]
     fn swap_observes_then_stores_unconditionally() {
         let w = Script::new(vec![
-            Poised::Swap { reg: r(0), new: Value::Int(5) },
-            Poised::Swap { reg: r(0), new: Value::Int(6) },
+            Poised::Swap {
+                reg: r(0),
+                new: Value::Int(5),
+            },
+            Poised::Swap {
+                reg: r(0),
+                new: Value::Int(6),
+            },
             Poised::Return(0),
         ]);
         let mut m = pso_machine(vec![w]);
         let out = m.step(SchedElem::op(p(0)));
         match out.event().map(|e| &e.kind) {
-            Some(EventKind::Swap { observed, stored, remote, .. }) => {
+            Some(EventKind::Swap {
+                observed,
+                stored,
+                remote,
+                ..
+            }) => {
                 assert!(observed.is_bot());
                 assert_eq!(stored.payload(), 5);
                 assert!(remote, "first swap of an unowned register is remote");
@@ -1005,7 +1322,9 @@ mod tests {
         }
         let out = m.step(SchedElem::op(p(0)));
         match out.event().map(|e| &e.kind) {
-            Some(EventKind::Swap { observed, remote, .. }) => {
+            Some(EventKind::Swap {
+                observed, remote, ..
+            }) => {
                 assert_eq!(observed.payload(), 5);
                 assert!(!remote, "p owns the register after its own swap");
             }
@@ -1020,22 +1339,39 @@ mod tests {
     fn swap_drains_the_buffer_first() {
         let w = Script::new(vec![
             Poised::Write(r(3), Value::Int(7)),
-            Poised::Swap { reg: r(0), new: Value::Int(1) },
+            Poised::Swap {
+                reg: r(0),
+                new: Value::Int(1),
+            },
             Poised::Return(0),
         ]);
         let mut m = pso_machine(vec![w]);
         m.step(SchedElem::op(p(0)));
         let out = m.step(SchedElem::op(p(0)));
-        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Commit { .. })));
+        assert!(matches!(
+            out.event().map(|e| &e.kind),
+            Some(EventKind::Commit { .. })
+        ));
         let out = m.step(SchedElem::op(p(0)));
-        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Swap { .. })));
+        assert!(matches!(
+            out.event().map(|e| &e.kind),
+            Some(EventKind::Swap { .. })
+        ));
     }
 
     #[test]
     fn cas_succeeds_and_fails_by_payload() {
         let w = Script::new(vec![
-            Poised::Cas { reg: r(0), expected: 0, new: Value::Int(5) }, // ⊥ payload 0 → succeeds
-            Poised::Cas { reg: r(0), expected: 0, new: Value::Int(9) }, // now 5 → fails
+            Poised::Cas {
+                reg: r(0),
+                expected: 0,
+                new: Value::Int(5),
+            }, // ⊥ payload 0 → succeeds
+            Poised::Cas {
+                reg: r(0),
+                expected: 0,
+                new: Value::Int(9),
+            }, // now 5 → fails
             Poised::Return(0),
         ]);
         let mut m = pso_machine(vec![w]);
@@ -1049,7 +1385,12 @@ mod tests {
         }
         let out = m.step(SchedElem::op(p(0)));
         match out.event().map(|e| &e.kind) {
-            Some(EventKind::Cas { stored, observed, remote, .. }) => {
+            Some(EventKind::Cas {
+                stored,
+                observed,
+                remote,
+                ..
+            }) => {
                 assert_eq!(*stored, None, "payload 5 != expected 0");
                 assert_eq!(*observed, Value::Int(5));
                 assert!(!remote, "p owns the register after its own CAS commit");
@@ -1065,33 +1406,56 @@ mod tests {
     fn cas_drains_the_buffer_first() {
         let w = Script::new(vec![
             Poised::Write(r(3), Value::Int(7)),
-            Poised::Cas { reg: r(0), expected: 0, new: Value::Int(1) },
+            Poised::Cas {
+                reg: r(0),
+                expected: 0,
+                new: Value::Int(1),
+            },
             Poised::Return(0),
         ]);
         let mut m = pso_machine(vec![w]);
         m.step(SchedElem::op(p(0))); // buffered write
         let out = m.step(SchedElem::op(p(0))); // cas poised, buffer non-empty → commit
-        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Commit { .. })));
+        assert!(matches!(
+            out.event().map(|e| &e.kind),
+            Some(EventKind::Commit { .. })
+        ));
         assert_eq!(m.memory(r(3)), Value::Int(7));
         let out = m.step(SchedElem::op(p(0))); // now the CAS itself
-        assert!(matches!(out.event().map(|e| &e.kind), Some(EventKind::Cas { .. })));
+        assert!(matches!(
+            out.event().map(|e| &e.kind),
+            Some(EventKind::Cas { .. })
+        ));
     }
 
     #[test]
     fn cas_atomicity_under_contention() {
         // Two processes race a CAS on the same register: exactly one wins.
-        let racer =
-            || Script::new(vec![Poised::Cas { reg: r(0), expected: 0, new: Value::Int(1) },
-                                Poised::Return(0)]);
-        let cfg = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned())
-            .with_tagged_writes();
+        let racer = || {
+            Script::new(vec![
+                Poised::Cas {
+                    reg: r(0),
+                    expected: 0,
+                    new: Value::Int(1),
+                },
+                Poised::Return(0),
+            ])
+        };
+        let cfg =
+            MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned()).with_tagged_writes();
         let mut m = Machine::new(cfg, vec![racer(), racer()]);
         let e0 = m.step(SchedElem::op(p(0)));
         let e1 = m.step(SchedElem::op(p(1)));
         let wins = [e0, e1]
             .iter()
             .filter(|o| {
-                matches!(o.event().map(|e| &e.kind), Some(EventKind::Cas { stored: Some(_), .. }))
+                matches!(
+                    o.event().map(|e| &e.kind),
+                    Some(EventKind::Cas {
+                        stored: Some(_),
+                        ..
+                    })
+                )
             })
             .count();
         assert_eq!(wins, 1, "exactly one CAS succeeds");
@@ -1101,7 +1465,11 @@ mod tests {
     fn solo_outcome_handles_cas() {
         let w = Script::new(vec![
             Poised::Write(r(1), Value::Int(2)),
-            Poised::Cas { reg: r(0), expected: 0, new: Value::Int(1) },
+            Poised::Cas {
+                reg: r(0),
+                expected: 0,
+                new: Value::Int(1),
+            },
             Poised::Return(4),
         ]);
         let m = pso_machine(vec![w]);
@@ -1109,6 +1477,134 @@ mod tests {
             m.solo_outcome(p(0), 100),
             SoloOutcome::Terminates { ret: 4, .. }
         ));
+    }
+
+    /// Capture everything a correct undo must restore — not just the
+    /// behavioural state, but accounting, locality, trace, and nonces.
+    fn full_snapshot(
+        m: &Machine<Script>,
+    ) -> (StateKey<Script>, Counters, LocalityTracker, Vec<Event>, u64) {
+        (
+            m.state_key(),
+            m.counters().clone(),
+            m.locality().clone(),
+            m.trace().events().to_vec(),
+            m.next_nonce,
+        )
+    }
+
+    /// Drive a machine through every enabled choice depth-first, undoing on
+    /// the way back, asserting the machine is restored exactly at every
+    /// backtrack. Covers commits, fence drains, reads, writes, and returns
+    /// for whichever scripts/model are supplied.
+    fn assert_undo_round_trips(m: &mut Machine<Script>, depth: usize) {
+        if depth == 0 {
+            return;
+        }
+        for elem in m.choices() {
+            let before = full_snapshot(m);
+            let (out, token) = m.step_recorded(elem);
+            if matches!(out, StepOutcome::Stepped(_)) {
+                assert_undo_round_trips(m, depth - 1);
+            }
+            m.undo(token);
+            assert_eq!(
+                full_snapshot(m),
+                before,
+                "undo of {elem:?} must restore the machine"
+            );
+        }
+    }
+
+    #[test]
+    fn undo_restores_machine_exactly_across_models() {
+        let scripts = || {
+            vec![
+                Script::new(vec![
+                    Poised::Write(r(0), Value::Int(1)),
+                    Poised::Write(r(1), Value::Int(2)),
+                    Poised::Fence,
+                    Poised::Read(r(2)),
+                    Poised::Return(0),
+                ]),
+                Script::new(vec![
+                    Poised::Read(r(0)),
+                    Poised::Write(r(2), Value::Int(3)),
+                    Poised::Return(1),
+                ]),
+            ]
+        };
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let cfg = MachineConfig::new(model, MemoryLayout::unowned())
+                .with_tagged_writes()
+                .with_trace();
+            let mut m = Machine::new(cfg, scripts());
+            assert_undo_round_trips(&mut m, 6);
+        }
+    }
+
+    #[test]
+    fn undo_restores_cas_and_swap_steps() {
+        let scripts = vec![
+            Script::new(vec![
+                Poised::Cas {
+                    reg: r(0),
+                    expected: 0,
+                    new: Value::Int(5),
+                },
+                Poised::Swap {
+                    reg: r(1),
+                    new: Value::Int(6),
+                },
+                Poised::Return(0),
+            ]),
+            Script::new(vec![
+                Poised::Cas {
+                    reg: r(0),
+                    expected: 0,
+                    new: Value::Int(7),
+                },
+                Poised::Return(1),
+            ]),
+        ];
+        let cfg = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned()).with_trace();
+        let mut m = Machine::new(cfg, scripts);
+        assert_undo_round_trips(&mut m, 5);
+    }
+
+    #[test]
+    fn undo_of_noop_is_harmless() {
+        let w = Script::new(vec![Poised::Return(0)]);
+        let mut m = pso_machine(vec![w]);
+        m.step(SchedElem::op(p(0)));
+        let before = full_snapshot(&m);
+        let (out, token) = m.step_recorded(SchedElem::op(p(0)));
+        assert_eq!(out, StepOutcome::NoOp);
+        m.undo(token);
+        assert_eq!(full_snapshot(&m), before);
+    }
+
+    #[test]
+    fn choices_into_reuses_buffer_and_matches_choices() {
+        let w = Script::new(vec![
+            Poised::Write(r(0), Value::Int(1)),
+            Poised::Write(r(1), Value::Int(2)),
+            Poised::Fence,
+            Poised::Return(0),
+        ]);
+        let mut m = pso_machine(vec![w]);
+        let mut buf = Vec::new();
+        loop {
+            m.choices_into(&mut buf);
+            assert_eq!(buf, m.choices());
+            match buf.first().copied() {
+                Some(elem) => {
+                    m.step(elem);
+                }
+                None => break,
+            }
+        }
+        assert!(m.all_done());
     }
 
     #[test]

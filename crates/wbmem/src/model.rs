@@ -31,8 +31,12 @@ pub enum MemoryModel {
 
 impl MemoryModel {
     /// All supported models, strongest first.
-    pub const ALL: [MemoryModel; 4] =
-        [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso, MemoryModel::Rmo];
+    pub const ALL: [MemoryModel; 4] = [
+        MemoryModel::Sc,
+        MemoryModel::Tso,
+        MemoryModel::Pso,
+        MemoryModel::Rmo,
+    ];
 
     /// Whether writes may be reordered with later writes (the property the
     /// paper's lower bound requires).

@@ -92,8 +92,10 @@ pub enum PoisedKind {
 /// Implementations must be deterministic — `poised` must be a pure function
 /// of the state — because the lower-bound encoder replays and solo-runs
 /// processes and relies on identical behaviour each time. `Clone + Eq +
-/// Hash` make states snapshotable and model-checkable.
-pub trait Process: Clone + Eq + std::hash::Hash {
+/// Hash` make states snapshotable and model-checkable; `Send + Sync` (free
+/// for the plain-data states processes are) lets the model checker explore
+/// from multiple threads.
+pub trait Process: Clone + Eq + std::hash::Hash + Send + Sync {
     /// The operation this process is poised to execute.
     fn poised(&self) -> Poised;
 
@@ -122,7 +124,10 @@ mod tests {
     #[test]
     fn poised_kind_classification() {
         assert_eq!(Poised::Read(RegId(0)).kind(), PoisedKind::Read);
-        assert_eq!(Poised::Write(RegId(0), Value::Int(1)).kind(), PoisedKind::Write);
+        assert_eq!(
+            Poised::Write(RegId(0), Value::Int(1)).kind(),
+            PoisedKind::Write
+        );
         assert_eq!(Poised::Fence.kind(), PoisedKind::Fence);
         assert_eq!(Poised::Return(3).kind(), PoisedKind::Return);
         assert_eq!(Poised::Done.kind(), PoisedKind::Done);

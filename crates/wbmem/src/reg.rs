@@ -163,8 +163,9 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let layout: MemoryLayout =
-            [(RegId(0), ProcId(0)), (RegId(1), ProcId(1))].into_iter().collect();
+        let layout: MemoryLayout = [(RegId(0), ProcId(0)), (RegId(1), ProcId(1))]
+            .into_iter()
+            .collect();
         assert_eq!(layout.owner(RegId(1)), Some(ProcId(1)));
     }
 

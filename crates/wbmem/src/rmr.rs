@@ -33,7 +33,10 @@ impl LocalityTracker {
     /// A tracker for `n` processes with empty caches.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        LocalityTracker { caches: vec![HashSet::new(); n], last_committer: HashMap::new() }
+        LocalityTracker {
+            caches: vec![HashSet::new(); n],
+            last_committer: HashMap::new(),
+        }
     }
 
     /// Whether a read of `reg` by `p` returning `value` is local.
@@ -48,9 +51,18 @@ impl LocalityTracker {
         layout.is_local_to(reg, p) || self.caches[p.index()].contains(&(reg, value))
     }
 
-    /// Record that `p` observed (read or wrote) `value` at `reg`.
-    pub fn observe(&mut self, p: ProcId, reg: RegId, value: Value) {
-        self.caches[p.index()].insert((reg, value));
+    /// Record that `p` observed (read or wrote) `value` at `reg`. Returns
+    /// whether the cache entry is new (so an undo-log knows whether to
+    /// remove it again).
+    pub fn observe(&mut self, p: ProcId, reg: RegId, value: Value) -> bool {
+        self.caches[p.index()].insert((reg, value))
+    }
+
+    /// Remove a cache entry previously added by [`observe`](Self::observe).
+    /// Only correct for entries whose `observe` returned `true` (an undo
+    /// must not evict an entry that predated the step being reversed).
+    pub fn unobserve(&mut self, p: ProcId, reg: RegId, value: Value) {
+        self.caches[p.index()].remove(&(reg, value));
     }
 
     /// Whether a commit to `reg` by `p` is local, i.e. `reg` is in `p`'s
@@ -60,9 +72,23 @@ impl LocalityTracker {
         layout.is_local_to(reg, p) || self.last_committer.get(&reg) == Some(&p)
     }
 
-    /// Record that `p` committed to `reg`.
-    pub fn record_commit(&mut self, p: ProcId, reg: RegId) {
-        self.last_committer.insert(reg, p);
+    /// Record that `p` committed to `reg`. Returns the previous committer
+    /// (so an undo-log can restore ownership).
+    pub fn record_commit(&mut self, p: ProcId, reg: RegId) -> Option<ProcId> {
+        self.last_committer.insert(reg, p)
+    }
+
+    /// Restore `reg`'s commit ownership to `owner` (`None` clears it).
+    /// The inverse of [`record_commit`](Self::record_commit).
+    pub fn set_last_committer(&mut self, reg: RegId, owner: Option<ProcId>) {
+        match owner {
+            Some(p) => {
+                self.last_committer.insert(reg, p);
+            }
+            None => {
+                self.last_committer.remove(&reg);
+            }
+        }
     }
 
     /// The last committer to `reg`, if any commit has happened.
@@ -95,9 +121,15 @@ mod tests {
         let mut t = LocalityTracker::new(2);
         let l = MemoryLayout::unowned();
         let (r, v) = (RegId(5), Value::Int(7));
-        assert!(!t.read_is_local(&l, ProcId(1), r, v), "first read is remote");
+        assert!(
+            !t.read_is_local(&l, ProcId(1), r, v),
+            "first read is remote"
+        );
         t.observe(ProcId(1), r, v);
-        assert!(t.read_is_local(&l, ProcId(1), r, v), "re-reading same value is a cache hit");
+        assert!(
+            t.read_is_local(&l, ProcId(1), r, v),
+            "re-reading same value is a cache hit"
+        );
         assert!(
             !t.read_is_local(&l, ProcId(1), r, Value::Int(8)),
             "a different value at the same register misses"
@@ -109,12 +141,21 @@ mod tests {
         let mut t = LocalityTracker::new(3);
         let l = MemoryLayout::unowned();
         let r = RegId(2);
-        assert!(!t.commit_is_local(&l, ProcId(0), r), "very first commit is remote");
+        assert!(
+            !t.commit_is_local(&l, ProcId(0), r),
+            "very first commit is remote"
+        );
         t.record_commit(ProcId(0), r);
-        assert!(t.commit_is_local(&l, ProcId(0), r), "repeat commit by owner is local");
+        assert!(
+            t.commit_is_local(&l, ProcId(0), r),
+            "repeat commit by owner is local"
+        );
         assert!(!t.commit_is_local(&l, ProcId(1), r));
         t.record_commit(ProcId(1), r);
-        assert!(!t.commit_is_local(&l, ProcId(0), r), "ownership moved to p1");
+        assert!(
+            !t.commit_is_local(&l, ProcId(0), r),
+            "ownership moved to p1"
+        );
         assert_eq!(t.last_committer(r), Some(ProcId(1)));
     }
 
@@ -124,6 +165,9 @@ mod tests {
         let l = layout_r0_owned_by_p0();
         assert!(t.commit_is_local(&l, ProcId(0), RegId(0)));
         t.record_commit(ProcId(1), RegId(0));
-        assert!(t.commit_is_local(&l, ProcId(0), RegId(0)), "segment locality is unconditional");
+        assert!(
+            t.commit_is_local(&l, ProcId(0), RegId(0)),
+            "segment locality is unconditional"
+        );
     }
 }

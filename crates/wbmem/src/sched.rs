@@ -29,7 +29,10 @@ impl SchedElem {
     /// An element committing `p`'s buffered write to `reg`.
     #[must_use]
     pub fn commit(proc: ProcId, reg: RegId) -> Self {
-        SchedElem { proc, reg: Some(reg) }
+        SchedElem {
+            proc,
+            reg: Some(reg),
+        }
     }
 }
 
@@ -62,7 +65,9 @@ pub fn round_robin(n: usize, rounds: usize) -> Schedule {
 /// [`Machine::choices`](crate::Machine::choices); this helper only
 /// randomizes process interleaving.)
 pub fn random_ops<R: Rng>(rng: &mut R, n: usize, len: usize) -> Schedule {
-    (0..len).map(|_| SchedElem::op(ProcId::from(rng.gen_range(0..n)))).collect()
+    (0..len)
+        .map(|_| SchedElem::op(ProcId::from(rng.gen_range(0..n))))
+        .collect()
 }
 
 #[cfg(test)]
@@ -73,10 +78,19 @@ mod tests {
 
     #[test]
     fn constructors() {
-        assert_eq!(SchedElem::op(ProcId(1)), SchedElem { proc: ProcId(1), reg: None });
+        assert_eq!(
+            SchedElem::op(ProcId(1)),
+            SchedElem {
+                proc: ProcId(1),
+                reg: None
+            }
+        );
         assert_eq!(
             SchedElem::commit(ProcId(1), RegId(2)),
-            SchedElem { proc: ProcId(1), reg: Some(RegId(2)) }
+            SchedElem {
+                proc: ProcId(1),
+                reg: Some(RegId(2))
+            }
         );
     }
 

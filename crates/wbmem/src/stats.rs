@@ -36,7 +36,12 @@ pub fn register_histogram(trace: &Trace) -> BTreeMap<RegId, RegisterStats> {
     let mut hist: BTreeMap<RegId, RegisterStats> = BTreeMap::new();
     for event in trace.events() {
         let (reg, is_remote) = match &event.kind {
-            EventKind::Read { reg, from_memory, remote, .. } => {
+            EventKind::Read {
+                reg,
+                from_memory,
+                remote,
+                ..
+            } => {
                 let s = hist.entry(*reg).or_default();
                 s.reads += 1;
                 if *from_memory {
@@ -81,7 +86,11 @@ pub fn segment_access_matrix(trace: &Trace, layout: &MemoryLayout, n: usize) -> 
     let mut matrix = vec![vec![0u64; n]; n];
     for event in trace.events() {
         let reg = match &event.kind {
-            EventKind::Read { reg, from_memory: true, .. }
+            EventKind::Read {
+                reg,
+                from_memory: true,
+                ..
+            }
             | EventKind::Commit { reg, .. }
             | EventKind::Cas { reg, .. }
             | EventKind::Swap { reg, .. } => *reg,
@@ -103,9 +112,7 @@ pub fn segment_accessors(trace: &Trace, layout: &MemoryLayout, p: ProcId) -> Vec
     let mut seen: Vec<ProcId> = trace
         .events()
         .iter()
-        .filter(|e| {
-            e.proc != p && e.kind.accesses_segment_of(|r| layout.owner(r) == Some(p))
-        })
+        .filter(|e| e.proc != p && e.kind.accesses_segment_of(|r| layout.owner(r) == Some(p)))
         .map(|e| e.proc)
         .collect();
     seen.sort_unstable();
@@ -181,7 +188,11 @@ mod tests {
     fn commit(p: u32, r: u32, remote: bool) -> Event {
         Event {
             proc: ProcId(p),
-            kind: EventKind::Commit { reg: RegId(r), value: Value::Int(1), remote },
+            kind: EventKind::Commit {
+                reg: RegId(r),
+                value: Value::Int(1),
+                remote,
+            },
         }
     }
 
@@ -192,10 +203,16 @@ mod tests {
             read(1, 5, false, false),
             commit(1, 5, true),
             commit(1, 7, false),
-            Event { proc: ProcId(0), kind: EventKind::Fence },
             Event {
                 proc: ProcId(0),
-                kind: EventKind::Write { reg: RegId(7), value: Value::Int(3) },
+                kind: EventKind::Fence,
+            },
+            Event {
+                proc: ProcId(0),
+                kind: EventKind::Write {
+                    reg: RegId(7),
+                    value: Value::Int(3),
+                },
             },
         ]
         .into_iter()
@@ -222,7 +239,10 @@ mod tests {
         layout.assign(RegId(5), ProcId(1)); // reg 5 lives in p1's segment
         let m = segment_access_matrix(&sample_trace(), &layout, 2);
         assert_eq!(m[0][1], 2, "p0 memory-read reg 5 twice");
-        assert_eq!(m[1][1], 1, "p1's commit to its own segment still counts as access");
+        assert_eq!(
+            m[1][1], 1,
+            "p1's commit to its own segment still counts as access"
+        );
         assert_eq!(m[0][0], 0);
         assert!(render_matrix(&m).contains("R_p1"));
     }
@@ -232,9 +252,15 @@ mod tests {
         let mut layout = MemoryLayout::unowned();
         layout.assign(RegId(5), ProcId(1));
         // p1's buffer read of its own reg doesn't count; p0's memory reads do.
-        assert_eq!(segment_accessors(&sample_trace(), &layout, ProcId(1)), vec![ProcId(0)]);
+        assert_eq!(
+            segment_accessors(&sample_trace(), &layout, ProcId(1)),
+            vec![ProcId(0)]
+        );
         // p1 commits to reg 7, but nobody owns reg 7.
-        assert_eq!(segment_accessors(&sample_trace(), &layout, ProcId(0)), Vec::<ProcId>::new());
+        assert_eq!(
+            segment_accessors(&sample_trace(), &layout, ProcId(0)),
+            Vec::<ProcId>::new()
+        );
     }
 
     #[test]

@@ -16,8 +16,7 @@
 use std::fmt;
 
 /// A shared-register value.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum Value {
     /// The initial value ⊥ held by every register before any commit.
     #[default]
@@ -55,7 +54,6 @@ impl Value {
     }
 }
 
-
 impl From<u64> for Value {
     fn from(x: u64) -> Self {
         Value::Int(x)
@@ -85,8 +83,14 @@ mod tests {
 
     #[test]
     fn tagged_values_with_equal_payload_are_distinct() {
-        let a = Value::Tagged { payload: 1, nonce: 10 };
-        let b = Value::Tagged { payload: 1, nonce: 11 };
+        let a = Value::Tagged {
+            payload: 1,
+            nonce: 10,
+        };
+        let b = Value::Tagged {
+            payload: 1,
+            nonce: 11,
+        };
         assert_ne!(a, b);
         assert_eq!(a.payload(), b.payload());
     }
@@ -102,7 +106,14 @@ mod tests {
     fn display_forms() {
         assert_eq!(Value::Bot.to_string(), "⊥");
         assert_eq!(Value::Int(42).to_string(), "42");
-        assert_eq!(Value::Tagged { payload: 3, nonce: 9 }.to_string(), "3#9");
+        assert_eq!(
+            Value::Tagged {
+                payload: 3,
+                nonce: 9
+            }
+            .to_string(),
+            "3#9"
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use wbmem::{
-    Machine, MachineConfig, MemoryLayout, MemoryModel, Poised, ProcId, Process, RegId,
-    SchedElem, Value, WriteBuffer,
+    Machine, MachineConfig, MemoryLayout, MemoryModel, Poised, ProcId, Process, RegId, SchedElem,
+    Value, WriteBuffer,
 };
 
 // ---------- buffer-level properties ----------

@@ -30,7 +30,10 @@ fn main() {
     print!("{}", enc.stacks.render());
 
     let bits = lowerbound::serialize_stacks(&enc.stacks);
-    println!("\ncommands m = {}   value sum v = {}", enc.commands, enc.value_sum);
+    println!(
+        "\ncommands m = {}   value sum v = {}",
+        enc.commands, enc.value_sum
+    );
     println!("beta (fences) = {}   rho (RMRs) = {}", enc.beta, enc.rho);
     println!(
         "code length = {} bits   (beta*(log(rho/beta)+1) = {:.0}, log2(n!) = {:.0})",
@@ -46,7 +49,10 @@ fn main() {
     let recovered = recover_permutation(&out.machine);
     println!("\nrecovered permutation from return values: {recovered:?}");
     assert_eq!(recovered, pi, "the code uniquely determines pi");
-    println!("round trip OK: the stacks are a real {}-bit code for pi", bits.len());
+    println!(
+        "round trip OK: the stacks are a real {}-bit code for pi",
+        bits.len()
+    );
 }
 
 /// A tiny xorshift-based Fisher-Yates, so the example needs no rand dep.

@@ -21,7 +21,10 @@ fn drive<L: RawLock>(lock: L, threads: usize, iters: usize) {
                 scope.spawn(move || (0..iters).map(|_| counter.next(tid)).collect::<Vec<u64>>())
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     });
     let elapsed = start.elapsed();
 

@@ -10,7 +10,10 @@ use fence_trade::prelude::*;
 fn main() {
     let n = 16;
     println!("Count object over {n} processes, PSO write-buffer machine\n");
-    println!("{:<14} {:>8} {:>8} {:>22}", "lock", "fences", "RMRs", "f(log(r/f)+1)/log n");
+    println!(
+        "{:<14} {:>8} {:>8} {:>22}",
+        "lock", "fences", "RMRs", "f(log(r/f)+1)/log n"
+    );
 
     for kind in [
         LockKind::Bakery,

@@ -11,14 +11,21 @@ use fence_trade::prelude::*;
 use fence_trade::simlocks::peterson::{SITE_RELEASE, SITE_VICTIM};
 
 fn main() {
-    let cfg = CheckConfig { check_termination: false, ..CheckConfig::default() };
+    let cfg = CheckConfig {
+        check_termination: false,
+        ..CheckConfig::default()
+    };
 
     println!("== Peterson, fence only after the victim write (store-load fence) ==\n");
     let mask = FenceMask::only(&[SITE_VICTIM, SITE_RELEASE]);
     let inst = build_mutex(LockKind::Peterson, 2, mask);
     for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
         let verdict = check(&inst.machine(model), &cfg);
-        println!("{model}: {} ({} states)", verdict.label(), verdict.stats().states);
+        println!(
+            "{model}: {} ({} states)",
+            verdict.label(),
+            verdict.stats().states
+        );
         if let Verdict::MutexViolation(_, cex) = &verdict {
             println!("\n{cex}");
         }
@@ -28,10 +35,16 @@ fn main() {
     let masks = FenceMask::enumerate(3);
     let models = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso];
     let rows = elision_table(LockKind::Peterson, 2, &masks, &models, &cfg);
-    println!("{:<14} {:>6} {:>8} {:>8} {:>8}", "fences", "count", "SC", "TSO", "PSO");
+    println!(
+        "{:<14} {:>6} {:>8} {:>8} {:>8}",
+        "fences", "count", "SC", "TSO", "PSO"
+    );
     for row in &rows {
         let v: Vec<&str> = row.verdicts.iter().map(|&(_, label, _)| label).collect();
-        println!("{:<14} {:>6} {:>8} {:>8} {:>8}", row.mask_desc, row.enabled, v[0], v[1], v[2]);
+        println!(
+            "{:<14} {:>6} {:>8} {:>8} {:>8}",
+            row.mask_desc, row.enabled, v[0], v[1], v[2]
+        );
     }
     println!("\nTSO needs one acquire fence (after victim); PSO needs both write");
     println!("fences — write reordering is exactly what the extra fence buys off.");

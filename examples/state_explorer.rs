@@ -9,7 +9,10 @@
 use fence_trade::prelude::*;
 
 fn main() {
-    let cfg = CheckConfig { check_termination: false, ..CheckConfig::default() };
+    let cfg = CheckConfig {
+        check_termination: false,
+        ..CheckConfig::default()
+    };
 
     println!(
         "{:<22} {:>4} {:>10} {:>12} {:>12} {:>10}",

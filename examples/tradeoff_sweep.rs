@@ -9,7 +9,10 @@
 use fence_trade::prelude::*;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(256);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256);
     let log_n = (n as f64).log2().ceil() as usize;
 
     println!("GT_f sweep at n = {n} (uncontended passage, PSO machine)\n");

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, build, and the full test suite.
+#
+# Usage: scripts/ci.sh
+# Environment: FT_THREADS caps the worker count of the parallel sweeps the
+# tests and experiment binaries run (default: available cores).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI green."

@@ -20,7 +20,11 @@ fn full_round_trip(inst: &OrderingInstance, pi: &[usize]) -> lowerbound::Encodin
     assert_eq!(enc.recovered_permutation(), pi, "{}", inst.name);
 
     let violations = check_all(&enc);
-    assert!(violations.is_empty(), "{} pi={pi:?}: {violations:?}", inst.name);
+    assert!(
+        violations.is_empty(),
+        "{} pi={pi:?}: {violations:?}",
+        inst.name
+    );
 
     // bits -> stacks -> execution -> pi
     let bits = lowerbound::serialize_stacks(&enc.stacks);
@@ -113,7 +117,10 @@ fn code_length_tracks_the_analytic_bound() {
         // And the information-theoretic floor is respected on average; a
         // single code is allowed to be short, but ours carry per-command
         // overhead, so they clear log2(n!) comfortably.
-        assert!(bits >= log2_factorial(n), "n={n}: code shorter than log2(n!)");
+        assert!(
+            bits >= log2_factorial(n),
+            "n={n}: code shorter than log2(n!)"
+        );
     }
 }
 

@@ -67,7 +67,10 @@ fn counting_lock_ranks_are_a_permutation_under_contention() {
                 scope.spawn(move || (0..iters).map(|_| counter.next(tid)).collect::<Vec<u64>>())
             })
             .collect();
-        handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
     });
     ranks.sort_unstable();
     assert_eq!(ranks, (0..(threads * iters) as u64).collect::<Vec<u64>>());

@@ -4,7 +4,10 @@ use fence_trade::prelude::*;
 use fence_trade::simlocks::peterson::{SITE_FLAG, SITE_RELEASE, SITE_VICTIM};
 
 fn cfg() -> CheckConfig {
-    CheckConfig { check_termination: false, ..CheckConfig::default() }
+    CheckConfig {
+        check_termination: false,
+        ..CheckConfig::default()
+    }
 }
 
 #[test]
@@ -13,7 +16,11 @@ fn separation_witness_one_fence_tso_ok_pso_broken() {
     let inst = build_mutex(LockKind::Peterson, 2, mask);
     assert!(check(&inst.machine(MemoryModel::Tso), &cfg()).is_ok());
     let pso = check(&inst.machine(MemoryModel::Pso), &cfg());
-    assert!(matches!(pso, Verdict::MutexViolation(..)), "got {}", pso.label());
+    assert!(
+        matches!(pso, Verdict::MutexViolation(..)),
+        "got {}",
+        pso.label()
+    );
 }
 
 #[test]
@@ -66,7 +73,11 @@ fn ordering_object_checks_out_exhaustively_for_two_processes() {
 fn paper_listing_bakery_violates_even_sc_but_fixed_order_is_clean() {
     let broken = build_mutex(LockKind::BakeryPaperListing, 2, FenceMask::ALL);
     let v = check(&broken.machine(MemoryModel::Sc), &cfg());
-    assert!(matches!(v, Verdict::MutexViolation(..)), "got {}", v.label());
+    assert!(
+        matches!(v, Verdict::MutexViolation(..)),
+        "got {}",
+        v.label()
+    );
 
     let fixed = build_mutex(LockKind::Bakery, 2, FenceMask::ALL);
     let v = check(&fixed.machine(MemoryModel::Sc), &cfg());

@@ -13,8 +13,16 @@ fn gt_family_matches_equation_2_shapes() {
         assert_eq!(cost.fences, predicted_gt_fences(f), "f={f}");
         // O(f·n^(1/f)) RMRs: within a small constant of the prediction.
         let scale = predicted_gt_rmrs(n, f);
-        assert!(cost.rmrs >= scale * 0.5, "f={f}: rmrs={} vs scale {scale}", cost.rmrs);
-        assert!(cost.rmrs <= scale * 6.0 + 16.0, "f={f}: rmrs={} vs scale {scale}", cost.rmrs);
+        assert!(
+            cost.rmrs >= scale * 0.5,
+            "f={f}: rmrs={} vs scale {scale}",
+            cost.rmrs
+        );
+        assert!(
+            cost.rmrs <= scale * 6.0 + 16.0,
+            "f={f}: rmrs={} vs scale {scale}",
+            cost.rmrs
+        );
     }
 }
 
@@ -33,7 +41,10 @@ fn rmrs_fall_as_fences_rise_until_the_log_n_floor() {
     assert!(c1.fences < c2.fences && c2.fences < c4.fences && c4.fences < c8.fences);
     assert!(c2.rmrs < c1.rmrs / 4.0, "f=1→2 must be a steep RMR drop");
     assert!(c4.rmrs < c2.rmrs, "f=2→4 still falls");
-    assert!(c8.rmrs <= 3.0 * c4.rmrs, "past the floor, constants may add a little");
+    assert!(
+        c8.rmrs <= 3.0 * c4.rmrs,
+        "past the floor, constants may add a little"
+    );
 }
 
 #[test]
