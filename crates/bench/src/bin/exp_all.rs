@@ -20,6 +20,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e8_ablation",
     "exp_e9_cas",
     "exp_e10_steady_state",
+    "exp_e11_crash_recovery",
 ];
 
 fn main() {

@@ -57,9 +57,13 @@ pub mod prelude {
         decode, encode_permutation, proof_machine, recover_permutation, DecodeOptions,
         EncodeOptions,
     };
-    pub use modelcheck::{check, elision_table, elision_table_par, CheckConfig, Engine, Verdict};
+    pub use modelcheck::{
+        check, elision_table, elision_table_par, CheckConfig, CheckError, Coverage, Engine, Verdict,
+    };
     pub use simlocks::{
         build_mutex, build_ordering, FenceMask, LockKind, ObjectKind, OrderingInstance,
     };
-    pub use wbmem::{Machine, MachineConfig, MemoryLayout, MemoryModel, ProcId, RegId, Value};
+    pub use wbmem::{
+        CrashSemantics, Machine, MachineConfig, MemoryLayout, MemoryModel, ProcId, RegId, Value,
+    };
 }

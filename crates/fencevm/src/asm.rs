@@ -19,6 +19,7 @@ pub struct Asm {
     instrs: Vec<Instr>,
     local_names: Vec<String>,
     labels: Vec<Option<usize>>,
+    recovery: Option<usize>,
 }
 
 impl Asm {
@@ -30,7 +31,24 @@ impl Asm {
             instrs: Vec::new(),
             local_names: Vec::new(),
             labels: Vec::new(),
+            recovery: None,
         }
+    }
+
+    /// Declare the next emitted instruction as the program's crash-recovery
+    /// entry point: a crashed instance restarts there (with wiped locals)
+    /// instead of at the program start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recovery entry was already declared.
+    pub fn recovery_here(&mut self) {
+        assert!(
+            self.recovery.is_none(),
+            "program {}: recovery entry declared twice",
+            self.name
+        );
+        self.recovery = Some(self.instrs.len());
     }
 
     /// Allocate a fresh local variable with a debug name.
@@ -213,6 +231,7 @@ impl Asm {
             mut instrs,
             local_names,
             labels,
+            recovery,
         } = self;
         assert!(
             instrs.iter().any(|i| matches!(i, Instr::Return { .. })),
@@ -224,7 +243,7 @@ impl Asm {
                     .unwrap_or_else(|| panic!("program {name}: unbound label {target}"));
             }
         }
-        Program::from_parts(name, instrs, local_names)
+        Program::from_parts_with_recovery(name, instrs, local_names, recovery.unwrap_or(0))
     }
 }
 

@@ -14,10 +14,23 @@ pub struct Program {
     name: String,
     instrs: Vec<Instr>,
     local_names: Vec<String>,
+    /// Instruction index control restarts at after a crash (the program's
+    /// declared recovery section; `0` — the program start — by default).
+    recovery: usize,
 }
 
 impl Program {
+    #[cfg(test)]
     pub(crate) fn from_parts(name: String, instrs: Vec<Instr>, local_names: Vec<String>) -> Self {
+        Self::from_parts_with_recovery(name, instrs, local_names, 0)
+    }
+
+    pub(crate) fn from_parts_with_recovery(
+        name: String,
+        instrs: Vec<Instr>,
+        local_names: Vec<String>,
+        recovery: usize,
+    ) -> Self {
         for (i, ins) in instrs.iter().enumerate() {
             if let Instr::Jmp { target } | Instr::JmpIf { target, .. } = ins {
                 assert!(
@@ -26,11 +39,24 @@ impl Program {
                 );
             }
         }
+        assert!(
+            recovery < instrs.len(),
+            "program {name}: recovery entry {recovery} is out of range"
+        );
         Program {
             name,
             instrs,
             local_names,
+            recovery,
         }
+    }
+
+    /// The instruction index a crashed instance restarts at (see
+    /// [`Asm::recovery_here`](crate::Asm::recovery_here)); `0` unless the
+    /// program declared a recovery section.
+    #[must_use]
+    pub fn recovery(&self) -> usize {
+        self.recovery
     }
 
     /// The program's name (for diagnostics).
@@ -84,7 +110,12 @@ impl fmt::Display for Program {
             self.local_names.len()
         )?;
         for (i, ins) in self.instrs.iter().enumerate() {
-            writeln!(f, "  @{i:<4} {ins}")?;
+            let marker = if i == self.recovery && self.recovery != 0 {
+                " <recovery>"
+            } else {
+                ""
+            };
+            writeln!(f, "  @{i:<4} {ins}{marker}")?;
         }
         Ok(())
     }

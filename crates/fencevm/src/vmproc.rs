@@ -200,6 +200,20 @@ impl Process for VmProc {
     fn annotation(&self) -> u64 {
         self.annot
     }
+
+    fn recoverable(&self) -> bool {
+        true
+    }
+
+    fn crash_recover(&mut self) {
+        // A crash wipes all volatile state: locals, annotation, and the
+        // program counter, which restarts at the declared recovery section
+        // (the program start by default).
+        self.pc = self.prog.recovery();
+        self.locals.iter_mut().for_each(|l| *l = 0);
+        self.annot = 0;
+        self.settle();
+    }
 }
 
 impl PartialEq for VmProc {
@@ -404,6 +418,49 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn crash_recovery_restarts_at_the_recovery_entry() {
+        // Normal path writes R0 and returns 0; the recovery section writes
+        // R1 and returns 1. A crash after the (buffered, discarded) first
+        // write must land in the recovery section with wiped locals.
+        let mut a = Asm::new("recoverer");
+        let t = a.local("t");
+        a.mov(t, 5i64);
+        a.write(0i64, 1i64);
+        a.fence();
+        a.ret(0i64);
+        a.recovery_here();
+        a.write(1i64, 9i64);
+        a.fence();
+        a.ret(1i64);
+        let prog: Arc<Program> = a.assemble().into();
+        assert_eq!(prog.recovery(), 4);
+        let cfg = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned())
+            .with_crashes(wbmem::CrashSemantics::DiscardBuffer, 1);
+        let mut m = Machine::new(cfg, vec![VmProc::new(prog)]);
+        m.step(SchedElem::op(ProcId(0))); // write enters the buffer
+        m.step(SchedElem::crash(ProcId(0)));
+        m.run_solo(ProcId(0), 100);
+        assert_eq!(m.return_value(ProcId(0)), Some(1), "recovery path ran");
+        assert!(m.memory(RegId(0)).is_bot(), "buffered write was lost");
+        assert_eq!(m.memory(RegId(1)).payload(), 9);
+    }
+
+    #[test]
+    fn crash_recovery_defaults_to_the_program_start() {
+        let mut a = Asm::new("restart");
+        let t = a.local("t");
+        a.read(0i64, t);
+        a.ret(0i64);
+        let prog: Arc<Program> = a.assemble().into();
+        assert_eq!(prog.recovery(), 0);
+        let mut p = VmProc::new(prog.clone());
+        p.advance(Some(Value::Int(3)));
+        assert_eq!(p.local(t), 3);
+        p.crash_recover();
+        assert_eq!(p, VmProc::new(prog), "recovery resets to the initial state");
     }
 
     #[test]

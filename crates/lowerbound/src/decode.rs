@@ -27,10 +27,14 @@ use crate::command::{Command, Stacks};
 pub struct DecodeOptions {
     /// Maximum steps in the decoded execution.
     pub max_steps: usize,
-    /// Step bound for solo-termination checks (divergence is detected
-    /// exactly by configuration revisit; this bound only guards unbounded
-    /// progress).
+    /// Initial step bound for solo-termination checks (divergence is
+    /// detected exactly by configuration revisit; this bound only guards
+    /// unbounded progress).
     pub solo_bound: usize,
+    /// Ceiling for the solo-bound backoff: an inconclusive check retries
+    /// with a doubled bound until it exceeds this cap, and only then
+    /// reports [`DecodeError::SoloUnknown`] (carrying every bound tried).
+    pub solo_bound_cap: usize,
 }
 
 impl Default for DecodeOptions {
@@ -38,6 +42,7 @@ impl Default for DecodeOptions {
         DecodeOptions {
             max_steps: 2_000_000,
             solo_bound: 500_000,
+            solo_bound_cap: 8_000_000,
         }
     }
 }
@@ -86,10 +91,13 @@ impl DecodeOutcome {
 /// Decoding failure.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DecodeError {
-    /// A solo-termination check was inconclusive within the bound.
+    /// A solo-termination check stayed inconclusive through every retry of
+    /// the doubling backoff.
     SoloUnknown {
         /// The process whose classification failed.
         proc: ProcId,
+        /// Every step bound tried, in order (the last one hit the cap).
+        bounds: Vec<usize>,
     },
     /// The execution exceeded `max_steps`.
     MaxSteps {
@@ -104,8 +112,11 @@ pub enum DecodeError {
 impl std::fmt::Display for DecodeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DecodeError::SoloUnknown { proc } => {
-                write!(f, "solo-termination check for {proc} inconclusive")
+            DecodeError::SoloUnknown { proc, bounds } => {
+                write!(
+                    f,
+                    "solo-termination check for {proc} inconclusive after bounds {bounds:?}"
+                )
             }
             DecodeError::MaxSteps { steps } => write!(f, "decode exceeded {steps} steps"),
             DecodeError::Internal(msg) => write!(f, "decoder invariant violated: {msg}"),
@@ -146,10 +157,26 @@ fn is_non_commit_enabled(
     if m.is_done(p) || !matches!(st.top(p), Some(Command::Proceed)) || !op_permits_step(m, p) {
         return Ok(false);
     }
-    match m.solo_outcome(p, opts.solo_bound) {
-        SoloOutcome::Terminates { .. } => Ok(true),
-        SoloOutcome::Diverges { .. } => Ok(false),
-        SoloOutcome::Unknown => Err(DecodeError::SoloUnknown { proc: p }),
+    // Retry-with-backoff: an `Unknown` within the bound usually just means
+    // the bound was too small for this (terminating) solo run, so double it
+    // up to the cap before giving up.
+    let mut bound = opts.solo_bound.max(1);
+    let mut tried = Vec::new();
+    loop {
+        tried.push(bound);
+        match m.solo_outcome(p, bound) {
+            SoloOutcome::Terminates { .. } => return Ok(true),
+            SoloOutcome::Diverges { .. } => return Ok(false),
+            SoloOutcome::Unknown => {
+                if bound >= opts.solo_bound_cap {
+                    return Err(DecodeError::SoloUnknown {
+                        proc: p,
+                        bounds: tried,
+                    });
+                }
+                bound = (bound * 2).min(opts.solo_bound_cap);
+            }
+        }
     }
 }
 
@@ -637,6 +664,52 @@ mod tests {
             })
             .expect("writer commits");
         assert!(read_at < reader_ret && reader_ret < commit_at);
+    }
+
+    #[test]
+    fn solo_backoff_recovers_from_a_too_small_initial_bound() {
+        // A bound of 1 is far too small for a full Bakery passage, but the
+        // doubling backoff reaches a sufficient bound and decoding proceeds
+        // exactly as with the default options.
+        let inst = build_ordering(LockKind::Bakery, 2, ObjectKind::Counter);
+        let m = tagged_machine(&inst);
+        let mut st = Stacks::new(2);
+        for cmd in bakery2_full_script() {
+            st.push_bottom(ProcId(0), cmd);
+        }
+        let tight = DecodeOptions {
+            solo_bound: 1,
+            ..DecodeOptions::default()
+        };
+        let out = decode(&m, &st, &tight).unwrap();
+        let reference = decode(&m, &st, &DecodeOptions::default()).unwrap();
+        assert_eq!(out.steps.len(), reference.steps.len());
+        assert_eq!(out.machine.return_value(ProcId(0)), Some(0));
+    }
+
+    #[test]
+    fn solo_backoff_reports_the_bound_history_at_the_cap() {
+        let inst = build_ordering(LockKind::Bakery, 2, ObjectKind::Counter);
+        let m = tagged_machine(&inst);
+        let mut st = Stacks::new(2);
+        for cmd in bakery2_full_script() {
+            st.push_bottom(ProcId(0), cmd);
+        }
+        let hopeless = DecodeOptions {
+            solo_bound: 1,
+            solo_bound_cap: 4,
+            ..DecodeOptions::default()
+        };
+        let err = decode(&m, &st, &hopeless).unwrap_err();
+        match &err {
+            DecodeError::SoloUnknown { proc, bounds } => {
+                assert_eq!(*proc, ProcId(0));
+                assert_eq!(bounds, &vec![1, 2, 4]);
+            }
+            other => panic!("expected SoloUnknown, got {other:?}"),
+        }
+        let msg = err.to_string();
+        assert!(msg.contains("[1, 2, 4]"), "message: {msg}");
     }
 
     #[test]

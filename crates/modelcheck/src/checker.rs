@@ -21,11 +21,12 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
-use wbmem::{Machine, Process, SchedElem, StepOutcome, UndoToken};
+use wbmem::{CrashSemantics, Machine, MachineError, Process, SchedElem, StepOutcome, UndoToken};
 
 /// Which exploration engine [`check`] runs.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -61,6 +62,26 @@ pub struct CheckConfig {
     pub check_termination: bool,
     /// Exploration engine (default: [`Engine::Undo`]).
     pub engine: Engine,
+    /// Per-process crash budget: each process may crash up to this many
+    /// times along any explored schedule (`0` disables crash injection).
+    /// When non-zero the checker enables [`wbmem::SchedElem::crash`] steps
+    /// on the root machine, so all engines enumerate crash choices.
+    pub max_crashes: u32,
+    /// What a crash does to the crashed process's write buffer (only
+    /// meaningful when `max_crashes > 0`).
+    pub crash_semantics: CrashSemantics,
+    /// Wall-clock exploration budget. When it expires the checker stops
+    /// and returns [`Verdict::Inconclusive`] with coverage statistics
+    /// instead of a definitive verdict. Budget-limited runs stop at a
+    /// time-dependent point, so they are **not** bit-identical across
+    /// engines (all other configurations are). `None` = unlimited.
+    pub budget: Option<Duration>,
+    /// Extra per-state invariant over the processes' annotation vector
+    /// (index = process id). Checked at the root and at every first visit
+    /// of a state in every engine; returning `false` yields
+    /// [`Verdict::InvariantViolation`] with a counterexample. A plain `fn`
+    /// pointer keeps the configuration `Clone`/`Debug`.
+    pub annotation_invariant: Option<fn(&[u64]) -> bool>,
 }
 
 impl Default for CheckConfig {
@@ -71,6 +92,10 @@ impl Default for CheckConfig {
             check_permutation: false,
             check_termination: true,
             engine: Engine::default(),
+            max_crashes: 0,
+            crash_semantics: CrashSemantics::DiscardBuffer,
+            budget: None,
+            annotation_invariant: None,
         }
     }
 }
@@ -80,6 +105,30 @@ impl CheckConfig {
     #[must_use]
     pub fn with_engine(mut self, engine: Engine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// This configuration with crash injection enabled: up to
+    /// `max_crashes` crashes per process under `semantics`.
+    #[must_use]
+    pub fn with_crashes(mut self, semantics: CrashSemantics, max_crashes: u32) -> Self {
+        self.crash_semantics = semantics;
+        self.max_crashes = max_crashes;
+        self
+    }
+
+    /// This configuration with a wall-clock exploration budget.
+    #[must_use]
+    pub fn with_budget(mut self, budget: Duration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// This configuration with an annotation invariant (see
+    /// [`CheckConfig::annotation_invariant`]).
+    #[must_use]
+    pub fn with_invariant(mut self, invariant: fn(&[u64]) -> bool) -> Self {
+        self.annotation_invariant = Some(invariant);
         self
     }
 }
@@ -140,6 +189,51 @@ impl fmt::Display for Counterexample {
     }
 }
 
+/// Coverage accompanying an inconclusive (budget-limited) verdict: how far
+/// the aborted exploration got. `Stats` carries the states explored; this
+/// carries the size of the unexplored frontier.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Coverage {
+    /// Open DFS frames (states with unexplored outgoing transitions) at the
+    /// moment the budget expired, summed over workers for the parallel
+    /// engine.
+    pub frontier: usize,
+}
+
+/// A checker-level failure: the exploration could not be carried out, as
+/// opposed to a property verdict about the program under check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckError {
+    /// A parallel worker panicked and the deterministic sequential rerun
+    /// panicked too; carries the panic payload(s).
+    Panic(String),
+    /// The reachable state space exceeded the checker's dense-id capacity
+    /// (`u32`); raise the abstraction or lower `max_states`.
+    TooManyStates,
+    /// The machine rejected a schedule element (see [`wbmem::MachineError`]).
+    Machine(MachineError),
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::Panic(msg) => write!(f, "checker panicked: {msg}"),
+            CheckError::TooManyStates => {
+                write!(f, "state space exceeds the checker's u32 id capacity")
+            }
+            CheckError::Machine(e) => write!(f, "machine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+impl From<MachineError> for CheckError {
+    fn from(e: MachineError) -> Self {
+        CheckError::Machine(e)
+    }
+}
+
 /// The checker's verdict.
 #[derive(Clone, Debug)]
 pub enum Verdict {
@@ -152,8 +246,16 @@ pub enum Verdict {
     /// Some reachable state cannot reach completion (deadlock or
     /// inescapable livelock).
     NoTermination(Stats, Counterexample),
+    /// A state where [`CheckConfig::annotation_invariant`] returned false.
+    InvariantViolation(Stats, Counterexample),
     /// `max_states` was exceeded; the properties held on the explored part.
     StateLimit(Stats),
+    /// The wall-clock [`CheckConfig::budget`] expired before exploration
+    /// finished; the properties held on the part that was covered.
+    Inconclusive(Stats, Coverage),
+    /// The exploration itself failed (worker panic, id overflow, machine
+    /// error); no property verdict could be established.
+    Error(Stats, CheckError),
 }
 
 impl Verdict {
@@ -163,8 +265,8 @@ impl Verdict {
         matches!(self, Verdict::Ok(_))
     }
 
-    /// Whether a safety/liveness violation was found (state-limit is
-    /// neither).
+    /// Whether a safety/liveness violation was found (state-limit, budget
+    /// expiry, and checker errors are neither).
     #[must_use]
     pub fn is_violation(&self) -> bool {
         matches!(
@@ -172,6 +274,7 @@ impl Verdict {
             Verdict::MutexViolation(..)
                 | Verdict::PermutationViolation(..)
                 | Verdict::NoTermination(..)
+                | Verdict::InvariantViolation(..)
         )
     }
 
@@ -182,7 +285,10 @@ impl Verdict {
             Verdict::Ok(s) | Verdict::StateLimit(s) => *s,
             Verdict::MutexViolation(s, _)
             | Verdict::PermutationViolation(s, _)
-            | Verdict::NoTermination(s, _) => *s,
+            | Verdict::NoTermination(s, _)
+            | Verdict::InvariantViolation(s, _) => *s,
+            Verdict::Inconclusive(s, _) => *s,
+            Verdict::Error(s, _) => *s,
         }
     }
 
@@ -192,8 +298,30 @@ impl Verdict {
         match self {
             Verdict::MutexViolation(_, c)
             | Verdict::PermutationViolation(_, c)
-            | Verdict::NoTermination(_, c) => Some(c),
-            Verdict::Ok(_) | Verdict::StateLimit(_) => None,
+            | Verdict::NoTermination(_, c)
+            | Verdict::InvariantViolation(_, c) => Some(c),
+            Verdict::Ok(_)
+            | Verdict::StateLimit(_)
+            | Verdict::Inconclusive(..)
+            | Verdict::Error(..) => None,
+        }
+    }
+
+    /// Coverage of an aborted exploration, for inconclusive verdicts.
+    #[must_use]
+    pub fn coverage(&self) -> Option<Coverage> {
+        match self {
+            Verdict::Inconclusive(_, c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// The checker-level failure, for error verdicts.
+    #[must_use]
+    pub fn error(&self) -> Option<&CheckError> {
+        match self {
+            Verdict::Error(_, e) => Some(e),
+            _ => None,
         }
     }
 
@@ -205,7 +333,10 @@ impl Verdict {
             Verdict::MutexViolation(..) => "MUTEX-VIOLATION",
             Verdict::PermutationViolation(..) => "PERM-VIOLATION",
             Verdict::NoTermination(..) => "NO-TERMINATION",
+            Verdict::InvariantViolation(..) => "INVARIANT-VIOLATION",
             Verdict::StateLimit(_) => "state-limit",
+            Verdict::Inconclusive(..) => "inconclusive",
+            Verdict::Error(..) => "ERROR",
         }
     }
 
@@ -214,7 +345,10 @@ impl Verdict {
             Verdict::Ok(s) | Verdict::StateLimit(s) => s,
             Verdict::MutexViolation(s, _)
             | Verdict::PermutationViolation(s, _)
-            | Verdict::NoTermination(s, _) => s,
+            | Verdict::NoTermination(s, _)
+            | Verdict::InvariantViolation(s, _) => s,
+            Verdict::Inconclusive(s, _) => s,
+            Verdict::Error(s, _) => s,
         }
     }
 }
@@ -285,15 +419,17 @@ struct SearchIndex {
 
 impl SearchIndex {
     /// The id for `fp`, allocating one (and recording `parent`) on first
-    /// sight. Returns `(id, freshly allocated)`.
-    fn id_of(&mut self, fp: u128, parent: Option<(u32, SchedElem)>) -> (u32, bool) {
+    /// sight. Returns `(id, freshly allocated)`, or `None` once the dense
+    /// `u32` id space is exhausted (the caller surfaces
+    /// [`CheckError::TooManyStates`]).
+    fn id_of(&mut self, fp: u128, parent: Option<(u32, SchedElem)>) -> Option<(u32, bool)> {
         if let Some(&id) = self.ids.get(&fp) {
-            (id, false)
+            Some((id, false))
         } else {
-            let id = u32::try_from(self.ids.len()).expect("state ids fit in u32");
+            let id = u32::try_from(self.ids.len()).ok()?;
             self.ids.insert(fp, id);
             self.parents.push(parent);
-            (id, true)
+            Some((id, true))
         }
     }
 
@@ -337,22 +473,66 @@ fn find_stuck(n_states: usize, edges: &[(u32, u32)], terminal: &[u32]) -> Option
     (0..n_states).find(|&s| !can_finish[s]).map(|s| s as u32)
 }
 
+/// Whether the configured annotation invariant rejects the machine's
+/// current annotation vector.
+fn violates_invariant<P: Process>(config: &CheckConfig, m: &Machine<P>) -> bool {
+    config.annotation_invariant.is_some_and(|inv| {
+        let annots: Vec<u64> = (0..m.n())
+            .map(|i| m.annotation(wbmem::ProcId::from(i)))
+            .collect();
+        !inv(&annots)
+    })
+}
+
+/// Best-effort rendering of a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// How many loop iterations the sequential engines run between deadline
+/// polls (the parallel workers poll on their existing 256-step cadence).
+const DEADLINE_POLL_MASK: usize = 1024 - 1;
+
 /// Exhaustively explore every schedule of `initial` (process interleavings
 /// *and* commit orders) and check the configured properties.
 ///
+/// With `max_crashes > 0` the root machine is cloned with crash injection
+/// enabled, so every engine also enumerates [`wbmem::SchedElem::crash`]
+/// steps — schedules where processes crash (losing or draining their
+/// buffers per [`CheckConfig::crash_semantics`]) and restart at their
+/// recovery entry.
+///
 /// The state space must be finite (true for the one-shot lock/object
 /// programs in `simlocks`: tickets are bounded by `n` and every process
-/// returns once). All engines explore depth-first over a fingerprint
-/// visited set and return identical verdicts and statistics (see
-/// [`Engine`]); counterexamples are replayed from the initial machine to
-/// render them.
+/// returns once; crashes are bounded by the per-process budget). All
+/// engines explore depth-first over a fingerprint visited set and return
+/// identical verdicts and statistics (see [`Engine`]); counterexamples are
+/// replayed from the initial machine to render them. The only exception is
+/// a wall-clock [`CheckConfig::budget`], whose expiry point is inherently
+/// timing-dependent.
 #[must_use]
 pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict {
     let start = Instant::now();
+    let deadline = config.budget.map(|b| start + b);
+    let crash_root;
+    let root = if config.max_crashes > 0 {
+        let mut m = initial.clone();
+        m.set_crash_bound(config.crash_semantics, config.max_crashes);
+        crash_root = m;
+        &crash_root
+    } else {
+        initial
+    };
     let mut verdict = match config.engine {
-        Engine::CloneDfs => check_clone_dfs(initial, config),
-        Engine::Undo => check_undo(initial, config),
-        Engine::Parallel { threads } => check_parallel(initial, config, threads),
+        Engine::CloneDfs => check_clone_dfs(root, config, deadline),
+        Engine::Undo => check_undo(root, config, deadline),
+        Engine::Parallel { threads } => check_parallel(root, config, threads, deadline),
     };
     verdict.stats_mut().elapsed = start.elapsed();
     verdict
@@ -360,7 +540,11 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
 
 /// The original engine: clone the machine at every transition. O(machine)
 /// per edge; kept as the differential oracle for the undo engine.
-fn check_clone_dfs<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict {
+fn check_clone_dfs<P: Process>(
+    initial: &Machine<P>,
+    config: &CheckConfig,
+    deadline: Option<Instant>,
+) -> Verdict {
     let mut visited: HashSet<u128> = HashSet::new();
     let mut stats = Stats::default();
     let mut index = SearchIndex::default();
@@ -368,7 +552,9 @@ fn check_clone_dfs<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Ve
     let mut terminal: Vec<u32> = Vec::new();
 
     let root_fp = fingerprint(initial);
-    let (root_id, _) = index.id_of(root_fp, None);
+    let Some((root_id, _)) = index.id_of(root_fp, None) else {
+        return Verdict::Error(stats, CheckError::TooManyStates);
+    };
     visited.insert(root_fp);
     stats.states = 1;
 
@@ -380,13 +566,26 @@ fn check_clone_dfs<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Ve
     if config.check_mutex && in_cs_count(initial) > 1 {
         return Verdict::MutexViolation(stats, render(initial, &[]));
     }
+    if violates_invariant(config, initial) {
+        return Verdict::InvariantViolation(stats, render(initial, &[]));
+    }
     if initial.all_done() {
         terminal.push(root_id);
         stats.terminal_states = 1;
     }
     stack.push((initial.clone(), root_id, initial.choices()));
 
+    let mut iters = 0usize;
     while let Some((m, id, mut choices)) = stack.pop() {
+        iters += 1;
+        if iters & DEADLINE_POLL_MASK == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+            return Verdict::Inconclusive(
+                stats,
+                Coverage {
+                    frontier: stack.len() + 1,
+                },
+            );
+        }
         let Some(elem) = choices.pop() else {
             continue;
         };
@@ -399,7 +598,9 @@ fn check_clone_dfs<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Ve
         }
         stats.transitions += 1;
         let fp = fingerprint(&child);
-        let (child_id, fresh) = index.id_of(fp, Some((id, elem)));
+        let Some((child_id, fresh)) = index.id_of(fp, Some((id, elem))) else {
+            return Verdict::Error(stats, CheckError::TooManyStates);
+        };
         if config.check_termination {
             edges.push((id, child_id));
         }
@@ -413,6 +614,9 @@ fn check_clone_dfs<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Ve
 
         if config.check_mutex && in_cs_count(&child) > 1 {
             return Verdict::MutexViolation(stats, render(initial, &index.path_to(child_id)));
+        }
+        if violates_invariant(config, &child) {
+            return Verdict::InvariantViolation(stats, render(initial, &index.path_to(child_id)));
         }
         if child.all_done() {
             stats.terminal_states += 1;
@@ -461,7 +665,11 @@ struct Frame<P> {
 /// are identical to [`check_clone_dfs`]; the work per edge drops from
 /// O(machine clone) to O(step footprint), and the choice arena makes the
 /// hot loop allocation-free in steady state.
-fn check_undo<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict {
+fn check_undo<P: Process>(
+    initial: &Machine<P>,
+    config: &CheckConfig,
+    deadline: Option<Instant>,
+) -> Verdict {
     let mut visited: HashSet<u128> = HashSet::new();
     let mut stats = Stats::default();
     let mut index = SearchIndex::default();
@@ -469,12 +677,17 @@ fn check_undo<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict
     let mut terminal: Vec<u32> = Vec::new();
 
     let root_fp = fingerprint(initial);
-    let (root_id, _) = index.id_of(root_fp, None);
+    let Some((root_id, _)) = index.id_of(root_fp, None) else {
+        return Verdict::Error(stats, CheckError::TooManyStates);
+    };
     visited.insert(root_fp);
     stats.states = 1;
 
     if config.check_mutex && in_cs_count(initial) > 1 {
         return Verdict::MutexViolation(stats, render(initial, &[]));
+    }
+    if violates_invariant(config, initial) {
+        return Verdict::InvariantViolation(stats, render(initial, &[]));
     }
     if initial.all_done() {
         terminal.push(root_id);
@@ -496,13 +709,25 @@ fn check_undo<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict
         token: None,
     });
 
-    while let Some(top) = frames.last_mut() {
+    let mut iters = 0usize;
+    while !frames.is_empty() {
+        iters += 1;
+        if iters & DEADLINE_POLL_MASK == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+            return Verdict::Inconclusive(
+                stats,
+                Coverage {
+                    frontier: frames.len(),
+                },
+            );
+        }
+        let Some(top) = frames.last_mut() else { break };
         if top.next == top.start {
             // Frame exhausted: rewind to the parent state.
-            let frame = frames.pop().expect("frame present");
-            arena.truncate(frame.start);
-            if let Some(token) = frame.token {
-                m.undo(token);
+            if let Some(frame) = frames.pop() {
+                arena.truncate(frame.start);
+                if let Some(token) = frame.token {
+                    m.undo(token);
+                }
             }
             continue;
         }
@@ -517,7 +742,9 @@ fn check_undo<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict
         }
         stats.transitions += 1;
         let fp = fingerprint(&m);
-        let (child_id, fresh) = index.id_of(fp, Some((parent_id, elem)));
+        let Some((child_id, fresh)) = index.id_of(fp, Some((parent_id, elem))) else {
+            return Verdict::Error(stats, CheckError::TooManyStates);
+        };
         if config.check_termination {
             edges.push((parent_id, child_id));
         }
@@ -532,6 +759,9 @@ fn check_undo<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict
 
         if config.check_mutex && in_cs_count(&m) > 1 {
             return Verdict::MutexViolation(stats, render(initial, &index.path_to(child_id)));
+        }
+        if violates_invariant(config, &m) {
+            return Verdict::InvariantViolation(stats, render(initial, &index.path_to(child_id)));
         }
         if m.all_done() {
             stats.terminal_states += 1;
@@ -589,6 +819,9 @@ struct WorkerReport {
     /// Worker saw a property violation (details come from the sequential
     /// rerun).
     violated: bool,
+    /// Open DFS frames when the worker stopped on budget expiry (0 on a
+    /// completed sweep).
+    frontier: usize,
 }
 
 /// The parallel engine: split the root's outgoing transitions round-robin
@@ -604,6 +837,7 @@ fn check_parallel<P: Process>(
     initial: &Machine<P>,
     config: &CheckConfig,
     threads: usize,
+    deadline: Option<Instant>,
 ) -> Verdict {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
@@ -611,13 +845,27 @@ fn check_parallel<P: Process>(
         threads
     };
     if threads <= 1 {
-        return check_undo(initial, config);
+        return check_undo(initial, config, deadline);
     }
 
     // Root-state checks mirror the sequential engines; any violation is
-    // reproduced sequentially for an identical verdict.
+    // reproduced sequentially for an identical verdict. The invariant is a
+    // user-supplied function, so even the root evaluation is guarded.
     if config.check_mutex && in_cs_count(initial) > 1 {
-        return check_undo(initial, config);
+        return check_undo(initial, config, deadline);
+    }
+    match catch_unwind(AssertUnwindSafe(|| violates_invariant(config, initial))) {
+        Ok(false) => {}
+        Ok(true) => return check_undo(initial, config, deadline),
+        Err(payload) => {
+            return Verdict::Error(
+                Stats::default(),
+                CheckError::Panic(format!(
+                    "root invariant: {}",
+                    panic_message(payload.as_ref())
+                )),
+            )
+        }
     }
 
     let visited: Vec<Mutex<HashSet<u128>>> = (0..VISITED_SHARDS)
@@ -625,15 +873,20 @@ fn check_parallel<P: Process>(
         .collect();
     let state_count = AtomicUsize::new(1); // the root
     let cancel = AtomicBool::new(false);
+    let budget_hit = AtomicBool::new(false);
 
     let root_fp = fingerprint(initial);
     visited[shard_of(root_fp)]
         .lock()
-        .expect("unpoisoned")
+        .unwrap_or_else(PoisonError::into_inner)
         .insert(root_fp);
 
     let root_choices = initial.choices();
-    let reports: Vec<WorkerReport> = std::thread::scope(|scope| {
+    // Each worker runs under `catch_unwind`: a panicking property closure
+    // (or a bug) must not abort the whole checker. On panic the worker
+    // cancels its peers; the caller then falls back to a deterministic
+    // sequential rerun, itself guarded.
+    let results: Vec<Result<WorkerReport, String>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|w| {
                 let assigned: Vec<SchedElem> = root_choices
@@ -645,30 +898,54 @@ fn check_parallel<P: Process>(
                 let visited = &visited;
                 let state_count = &state_count;
                 let cancel = &cancel;
+                let budget_hit = &budget_hit;
                 scope.spawn(move || {
-                    parallel_worker(
-                        initial,
-                        config,
-                        root_fp,
-                        assigned,
-                        visited,
-                        state_count,
-                        cancel,
-                    )
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        parallel_worker(
+                            initial,
+                            config,
+                            root_fp,
+                            assigned,
+                            visited,
+                            state_count,
+                            cancel,
+                            budget_hit,
+                            deadline,
+                        )
+                    }));
+                    if out.is_err() {
+                        cancel.store(true, Ordering::SeqCst);
+                    }
+                    out
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
+            .map(|h| match h.join() {
+                Ok(Ok(report)) => Ok(report),
+                Ok(Err(payload)) => Err(panic_message(payload.as_ref())),
+                Err(payload) => Err(panic_message(payload.as_ref())),
+            })
             .collect()
     });
 
-    let limit_hit = state_count.load(Ordering::SeqCst) > config.max_states;
-    if limit_hit || reports.iter().any(|r| r.violated) || cancel.load(Ordering::SeqCst) {
-        // The sweep stopped early; reproduce the exact sequential verdict.
-        return check_undo(initial, config);
+    if let Some(msg) = results.iter().find_map(|r| r.as_ref().err().cloned()) {
+        // A worker panicked. Rerun sequentially (deterministic, guarded);
+        // if the panic is deterministic too, surface it as an error
+        // verdict instead of aborting the process.
+        return match catch_unwind(AssertUnwindSafe(|| check_undo(initial, config, deadline))) {
+            Ok(verdict) => verdict,
+            Err(payload) => Verdict::Error(
+                Stats::default(),
+                CheckError::Panic(format!(
+                    "worker: {msg}; sequential rerun: {}",
+                    panic_message(payload.as_ref())
+                )),
+            ),
+        };
     }
+    let reports: Vec<WorkerReport> = results.into_iter().filter_map(Result::ok).collect();
 
     let stats = Stats {
         states: state_count.load(Ordering::SeqCst),
@@ -678,37 +955,66 @@ fn check_parallel<P: Process>(
         elapsed: Duration::ZERO,
     };
 
+    let limit_hit = state_count.load(Ordering::SeqCst) > config.max_states;
+    if limit_hit || reports.iter().any(|r| r.violated) {
+        // The sweep stopped early; reproduce the exact sequential verdict
+        // (still honoring the remaining budget).
+        return check_undo(initial, config, deadline);
+    }
+    if budget_hit.load(Ordering::SeqCst) || cancel.load(Ordering::SeqCst) {
+        return Verdict::Inconclusive(
+            stats,
+            Coverage {
+                frontier: reports.iter().map(|r| r.frontier).sum(),
+            },
+        );
+    }
+
     if config.check_termination {
         // Merge the per-worker fingerprint graphs and run the same reverse
         // reachability as the sequential engines. Ids are arbitrary here —
         // only the existence of a stuck state matters; its identity (and
         // counterexample) comes from the sequential rerun.
         let mut ids: HashMap<u128, u32> = HashMap::new();
-        let mut id_of = |fp: u128| -> u32 {
-            let next = u32::try_from(ids.len()).expect("state ids fit in u32");
-            *ids.entry(fp).or_insert(next)
-        };
-        id_of(root_fp);
         let mut edges: Vec<(u32, u32)> = Vec::new();
         let mut terminal: Vec<u32> = Vec::new();
+        let Some(root) = merge_id(&mut ids, root_fp) else {
+            return Verdict::Error(stats, CheckError::TooManyStates);
+        };
         if initial.all_done() {
-            terminal.push(id_of(root_fp));
+            terminal.push(root);
         }
         for report in &reports {
             for &(a, b) in &report.edges {
-                let edge = (id_of(a), id_of(b));
-                edges.push(edge);
+                match (merge_id(&mut ids, a), merge_id(&mut ids, b)) {
+                    (Some(ia), Some(ib)) => edges.push((ia, ib)),
+                    _ => return Verdict::Error(stats, CheckError::TooManyStates),
+                }
             }
             for &t in &report.terminal_fps {
-                terminal.push(id_of(t));
+                let Some(it) = merge_id(&mut ids, t) else {
+                    return Verdict::Error(stats, CheckError::TooManyStates);
+                };
+                terminal.push(it);
             }
         }
         if find_stuck(ids.len(), &edges, &terminal).is_some() {
-            return check_undo(initial, config);
+            return check_undo(initial, config, deadline);
         }
     }
 
     Verdict::Ok(stats)
+}
+
+/// Dense id for `fp` in the parallel engine's merge graph; `None` once the
+/// `u32` id space is exhausted.
+fn merge_id(ids: &mut HashMap<u128, u32>, fp: u128) -> Option<u32> {
+    if let Some(&id) = ids.get(&fp) {
+        return Some(id);
+    }
+    let id = u32::try_from(ids.len()).ok()?;
+    ids.insert(fp, id);
+    Some(id)
 }
 
 /// One parallel worker: an undo-log DFS over the subtrees rooted at its
@@ -716,6 +1022,7 @@ fn check_parallel<P: Process>(
 /// states whose fingerprint it was first to insert into the shared visited
 /// set. Aborts promptly (returning a partial report, which the caller
 /// discards) once `cancel` is raised.
+#[allow(clippy::too_many_arguments)]
 fn parallel_worker<P: Process>(
     initial: &Machine<P>,
     config: &CheckConfig,
@@ -724,6 +1031,8 @@ fn parallel_worker<P: Process>(
     visited: &[Mutex<HashSet<u128>>],
     state_count: &AtomicUsize,
     cancel: &AtomicBool,
+    budget_hit: &AtomicBool,
+    deadline: Option<Instant>,
 ) -> WorkerReport {
     let mut report = WorkerReport::default();
     if assigned.is_empty() {
@@ -753,10 +1062,11 @@ fn parallel_worker<P: Process>(
     let mut steps_since_poll = 0usize;
     while let Some(top) = frames.last_mut() {
         if top.next == top.start {
-            let frame = frames.pop().expect("frame present");
-            arena.truncate(frame.start);
-            if let Some(token) = frame.token {
-                m.undo(token);
+            if let Some(frame) = frames.pop() {
+                arena.truncate(frame.start);
+                if let Some(token) = frame.token {
+                    m.undo(token);
+                }
             }
             continue;
         }
@@ -768,6 +1078,13 @@ fn parallel_worker<P: Process>(
         if steps_since_poll >= 256 {
             steps_since_poll = 0;
             if cancel.load(Ordering::Relaxed) {
+                report.frontier = frames.len();
+                return report;
+            }
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                budget_hit.store(true, Ordering::SeqCst);
+                cancel.store(true, Ordering::SeqCst);
+                report.frontier = frames.len();
                 return report;
             }
         }
@@ -782,7 +1099,10 @@ fn parallel_worker<P: Process>(
         if config.check_termination {
             report.edges.push((parent_fp, fp));
         }
-        let fresh = visited[shard_of(fp)].lock().expect("unpoisoned").insert(fp);
+        let fresh = visited[shard_of(fp)]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(fp);
         if !fresh {
             m.undo(token);
             continue;
@@ -794,6 +1114,11 @@ fn parallel_worker<P: Process>(
         }
 
         if config.check_mutex && in_cs_count(&m) > 1 {
+            report.violated = true;
+            cancel.store(true, Ordering::SeqCst);
+            return report;
+        }
+        if violates_invariant(config, &m) {
             report.violated = true;
             cancel.store(true, Ordering::SeqCst);
             return report;
@@ -1075,5 +1400,192 @@ mod tests {
         let config = cfg().with_engine(Engine::Parallel { threads: 0 });
         let v = check(&inst.machine(MemoryModel::Tso), &config);
         assert!(v.is_ok(), "{}", v.label());
+    }
+
+    // --- crash injection ---
+
+    fn crash_cfg(max_crashes: u32) -> CheckConfig {
+        CheckConfig {
+            check_termination: false,
+            max_states: 200_000,
+            ..CheckConfig::default()
+        }
+        .with_crashes(CrashSemantics::DiscardBuffer, max_crashes)
+    }
+
+    #[test]
+    fn crash_schedules_grow_the_state_space() {
+        let inst = build_mutex(LockKind::RecoverableTtas, 2, FenceMask::ALL);
+        let plain = check(&inst.machine(MemoryModel::Pso), &crash_cfg(0));
+        let crashy = check(&inst.machine(MemoryModel::Pso), &crash_cfg(1));
+        assert!(
+            crashy.stats().states > plain.stats().states,
+            "crash choices must add states: {} vs {}",
+            crashy.stats().states,
+            plain.stats().states
+        );
+    }
+
+    #[test]
+    fn recoverable_ttas_keeps_mutex_and_recovery_under_crashes() {
+        let inst = build_mutex(LockKind::RecoverableTtas, 2, FenceMask::ALL);
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            let mut config = crash_cfg(2);
+            config.check_termination = true;
+            let v = check(&inst.machine(model), &config);
+            assert!(
+                v.is_ok(),
+                "r-ttas under {model} with crashes: {}",
+                v.label()
+            );
+        }
+    }
+
+    #[test]
+    fn naive_ttas_deadlocks_under_crashes() {
+        // A crash can discard the buffered release write (or strand a held
+        // lock word), after which nobody finishes: NO-TERMINATION, with the
+        // crash step visible in the counterexample trace.
+        let inst = build_mutex(LockKind::Ttas, 2, FenceMask::ALL);
+        let mut config = crash_cfg(1);
+        config.check_termination = true;
+        let v = check(&inst.machine(MemoryModel::Pso), &config);
+        match v {
+            Verdict::NoTermination(_, cex) => {
+                assert!(cex.trace.contains("crash"), "trace:\n{}", cex.trace);
+            }
+            other => panic!("expected NO-TERMINATION, got {}", other.label()),
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_crash_workloads() {
+        for (kind, max_crashes) in [(LockKind::RecoverableTtas, 1), (LockKind::Ttas, 1)] {
+            let inst = build_mutex(kind, 2, FenceMask::ALL);
+            let verdicts: Vec<Verdict> = engines()
+                .iter()
+                .map(|&engine| {
+                    check(
+                        &inst.machine(MemoryModel::Pso),
+                        &crash_cfg(max_crashes).with_engine(engine),
+                    )
+                })
+                .collect();
+            assert_eq!(
+                verdicts[0].stats(),
+                verdicts[1].stats(),
+                "{kind}: clone vs undo"
+            );
+            assert_eq!(
+                verdicts[0].stats(),
+                verdicts[2].stats(),
+                "{kind}: clone vs parallel"
+            );
+            assert_eq!(verdicts[0].label(), verdicts[1].label());
+            assert_eq!(verdicts[0].label(), verdicts[2].label());
+        }
+    }
+
+    // --- budget ---
+
+    #[test]
+    fn zero_budget_returns_inconclusive_with_coverage() {
+        let inst = build_mutex(LockKind::Bakery, 3, FenceMask::ALL);
+        for engine in engines() {
+            let config = cfg().with_engine(engine).with_budget(Duration::ZERO);
+            let v = check(&inst.machine(MemoryModel::Pso), &config);
+            match v {
+                Verdict::Inconclusive(stats, coverage) => {
+                    assert!(stats.states >= 1);
+                    assert!(coverage.frontier >= 1, "{engine:?}: open frames expected");
+                }
+                other => panic!("{engine:?}: expected inconclusive, got {}", other.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn generous_budget_does_not_change_the_verdict() {
+        let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+        let config = cfg().with_budget(Duration::from_secs(3600));
+        let v = check(&inst.machine(MemoryModel::Pso), &config);
+        assert!(v.is_ok(), "{}", v.label());
+        assert_eq!(
+            v.stats(),
+            check(&inst.machine(MemoryModel::Pso), &cfg()).stats()
+        );
+    }
+
+    // --- invariants and panic isolation ---
+
+    #[test]
+    fn invariant_violations_are_reported_with_counterexamples() {
+        // "Nobody is ever in the critical section" is false for any working
+        // lock, so the checker must find a counterexample — identically on
+        // every engine.
+        fn nobody_in_cs(annots: &[u64]) -> bool {
+            annots.iter().all(|&a| a != simlocks::ANNOT_IN_CS)
+        }
+        let inst = build_mutex(LockKind::Ttas, 2, FenceMask::ALL);
+        let verdicts: Vec<Verdict> = engines()
+            .iter()
+            .map(|&engine| {
+                let config = cfg().with_engine(engine).with_invariant(nobody_in_cs);
+                check(&inst.machine(MemoryModel::Pso), &config)
+            })
+            .collect();
+        for v in &verdicts {
+            assert!(
+                matches!(v, Verdict::InvariantViolation(..)),
+                "{}",
+                v.label()
+            );
+        }
+        assert_eq!(verdicts[0].stats(), verdicts[1].stats());
+        assert_eq!(verdicts[0].stats(), verdicts[2].stats());
+        let (c0, c2) = (
+            verdicts[0].counterexample().expect("cex"),
+            verdicts[2].counterexample().expect("cex"),
+        );
+        assert_eq!(c0.schedule, c2.schedule, "parallel defers to sequential");
+    }
+
+    #[test]
+    fn panicking_invariant_yields_an_error_not_an_abort() {
+        // Passes at the (CS-free) root so the workers actually spawn; the
+        // first critical-section state then panics inside a worker.
+        fn exploding(annots: &[u64]) -> bool {
+            assert!(
+                annots.iter().all(|&a| a != simlocks::ANNOT_IN_CS),
+                "deliberate test panic"
+            );
+            true
+        }
+        let inst = build_mutex(LockKind::Ttas, 2, FenceMask::ALL);
+        let config = cfg()
+            .with_engine(Engine::Parallel { threads: 4 })
+            .with_invariant(exploding);
+        let v = check(&inst.machine(MemoryModel::Pso), &config);
+        match &v {
+            Verdict::Error(_, CheckError::Panic(msg)) => {
+                assert!(msg.contains("deliberate test panic"), "msg: {msg}");
+            }
+            other => panic!("expected Error(Panic), got {}", other.label()),
+        }
+        assert!(!v.is_ok());
+        assert!(!v.is_violation());
+        assert!(v.error().is_some());
+    }
+
+    #[test]
+    fn check_error_wraps_machine_errors() {
+        let e = wbmem::MachineError::NoSuchProc {
+            proc: wbmem::ProcId(9),
+            n: 2,
+        };
+        let wrapped: CheckError = e.clone().into();
+        assert_eq!(wrapped, CheckError::Machine(e));
+        assert!(wrapped.to_string().contains("machine error"));
+        assert!(CheckError::TooManyStates.to_string().contains("u32"));
     }
 }

@@ -40,6 +40,8 @@ pub mod checker;
 pub mod elision;
 pub mod outcomes;
 
-pub use checker::{check, CheckConfig, Counterexample, Engine, Stats, Verdict};
+pub use checker::{
+    check, CheckConfig, CheckError, Counterexample, Coverage, Engine, Stats, Verdict,
+};
 pub use elision::{elision_table, elision_table_par, minimal_fences, ElisionRow};
 pub use outcomes::{terminal_outcomes, Outcome};

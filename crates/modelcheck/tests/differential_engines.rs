@@ -9,8 +9,9 @@
 //! state (for mutex violations) without ever hitting a no-op element.
 
 use modelcheck::{check, CheckConfig, Engine, Verdict};
+use proptest::prelude::*;
 use simlocks::{build_mutex, FenceMask, LockKind, ANNOT_IN_CS};
-use wbmem::{MemoryModel, ProcId, StepOutcome};
+use wbmem::{CrashSemantics, MemoryModel, ProcId, StepOutcome};
 
 fn kinds_for(n: usize) -> Vec<LockKind> {
     let mut kinds = vec![
@@ -161,5 +162,102 @@ fn engines_agree_with_termination_checking() {
         assert_eq!(verdicts[0].label(), verdicts[2].label(), "{ctx}");
         assert_eq!(verdicts[0].stats(), verdicts[1].stats(), "{ctx}");
         assert_eq!(verdicts[0].stats(), verdicts[2].stats(), "{ctx}");
+    }
+}
+
+/// Crash schedules are explored bit-identically by all three engines: for
+/// every crash budget and both crash semantics, labels, stats, and (where a
+/// violation exists) the counterexample schedules coincide.
+#[test]
+fn engines_agree_on_crash_schedules() {
+    let base = CheckConfig {
+        check_termination: false,
+        max_states: 20_000,
+        ..CheckConfig::default()
+    };
+    let kinds = [
+        LockKind::Ttas,
+        LockKind::RecoverableTtas,
+        LockKind::Bakery,
+        LockKind::RecoverableBakery,
+        LockKind::Peterson,
+    ];
+    for max_crashes in [0u32, 1, 2] {
+        for sem in [CrashSemantics::DiscardBuffer, CrashSemantics::DrainBuffer] {
+            if max_crashes == 0 && sem == CrashSemantics::DrainBuffer {
+                continue; // semantics is irrelevant without crashes
+            }
+            for kind in kinds {
+                let inst = build_mutex(kind, 2, FenceMask::ALL);
+                for model in [MemoryModel::Tso, MemoryModel::Pso] {
+                    let cfg = base.clone().with_crashes(sem, max_crashes);
+                    let verdicts: Vec<Verdict> = engines()
+                        .iter()
+                        .map(|&engine| {
+                            check(&inst.machine(model), &cfg.clone().with_engine(engine))
+                        })
+                        .collect();
+                    let ctx = format!("{} {model} crashes={max_crashes} {sem:?}", inst.name);
+                    for v in &verdicts[1..] {
+                        assert_eq!(verdicts[0].label(), v.label(), "{ctx}: labels");
+                        assert_eq!(verdicts[0].stats(), v.stats(), "{ctx}: stats");
+                        assert_eq!(
+                            verdicts[0].counterexample().map(|c| &c.schedule),
+                            v.counterexample().map(|c| &c.schedule),
+                            "{ctx}: counterexample schedules"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A crash budget of zero must be a perfect no-op: for any seed config
+    /// and engine, `with_crashes(sem, 0)` yields bit-identical stats and the
+    /// same label as a config that never mentions crashes at all.
+    #[test]
+    fn crash_free_runs_are_bit_identical_to_the_seed(
+        kind_ix in 0usize..6,
+        model_ix in 0usize..4,
+        engine_ix in 0usize..3,
+        sem_drain in any::<bool>(),
+        termination in any::<bool>(),
+    ) {
+        let kinds = [
+            LockKind::Bakery,
+            LockKind::BakeryPaperListing,
+            LockKind::Ttas,
+            LockKind::Peterson,
+            LockKind::RecoverableTtas,
+            LockKind::Mcs,
+        ];
+        let models = [
+            MemoryModel::Sc,
+            MemoryModel::Tso,
+            MemoryModel::Pso,
+            MemoryModel::Rmo,
+        ];
+        let sem = if sem_drain {
+            CrashSemantics::DrainBuffer
+        } else {
+            CrashSemantics::DiscardBuffer
+        };
+        let base = CheckConfig {
+            check_termination: termination,
+            max_states: 5_000,
+            ..CheckConfig::default()
+        }
+        .with_engine(engines()[engine_ix]);
+
+        let inst = build_mutex(kinds[kind_ix], 2, FenceMask::ALL);
+        let m = inst.machine(models[model_ix]);
+        let plain = check(&m, &base);
+        let crash_free = check(&m, &base.clone().with_crashes(sem, 0));
+        prop_assert_eq!(plain.label(), crash_free.label());
+        prop_assert_eq!(plain.stats(), crash_free.stats());
     }
 }

@@ -189,6 +189,24 @@ impl Bakery {
         self.fences.emit(asm, SITE_RELEASE);
     }
 
+    /// Emit the crash-recovery section for `slot`: retract both shared
+    /// announcements (`C[slot]`, `T[slot]`) with explicit fences, so
+    /// rivals never keep waiting on a ticket whose owner crashed — the
+    /// building block of [`RecoverableBakery`]'s crash recovery.
+    ///
+    /// [`RecoverableBakery`]: crate::RecoverableBakery
+    pub fn emit_recovery_slot(&self, asm: &mut Asm, slot: usize) {
+        assert!(
+            slot < self.n,
+            "slot {slot} out of range for bakery[{}]",
+            self.n
+        );
+        asm.write(self.c_base + slot as i64, 0i64);
+        asm.fence();
+        asm.write(self.t_base + slot as i64, 0i64);
+        asm.fence();
+    }
+
     /// Number of slots.
     #[must_use]
     pub fn slots(&self) -> usize {

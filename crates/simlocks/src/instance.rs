@@ -179,6 +179,7 @@ pub fn build_mutex_programs(lock: &dyn LockAlgorithm, alloc: RegAlloc) -> Orderi
     let programs = (0..n)
         .map(|who| {
             let mut asm = Asm::new(format!("mutex/{}/p{who}", lock.name()));
+            let entry = asm.here();
             lock.emit_acquire(&mut asm, who);
             asm.annot(ANNOT_IN_CS);
             let t = asm.local("cs_t");
@@ -187,6 +188,13 @@ pub fn build_mutex_programs(lock: &dyn LockAlgorithm, alloc: RegAlloc) -> Orderi
             lock.emit_release(&mut asm, who);
             asm.fence();
             asm.ret(0i64);
+            if lock.has_recovery() {
+                // Crash-hardened locks restart here: repair the shared
+                // announcements, then recompete from the top.
+                asm.recovery_here();
+                lock.emit_recovery(&mut asm, who);
+                asm.jmp(entry);
+            }
             Arc::new(asm.assemble())
         })
         .collect();
@@ -285,6 +293,13 @@ pub enum LockKind {
     /// The Filter lock (n-process Peterson): Θ(n) fences *and* Θ(n) solo
     /// RMRs — a read/write lock strictly above the tradeoff curve.
     Filter,
+    /// Crash-hardened TTAS: recovery conditionally self-releases the lock
+    /// word before recompeting (see [`RecoverableTtas`](crate::RecoverableTtas)).
+    RecoverableTtas,
+    /// Crash-hardened Bakery: recovery retracts the doorway flag and
+    /// ticket with fences before recompeting (see
+    /// [`RecoverableBakery`](crate::RecoverableBakery)).
+    RecoverableBakery,
 }
 
 impl LockKind {
@@ -311,6 +326,15 @@ impl LockKind {
             LockKind::Ttas => Box::new(crate::tas::TtasLock::new(alloc, n, fences)),
             LockKind::Mcs => Box::new(crate::mcs::McsLock::new(alloc, n, fences)),
             LockKind::Filter => Box::new(crate::filter::FilterLock::new(alloc, n, fences)),
+            LockKind::RecoverableTtas => {
+                Box::new(crate::recover::RecoverableTtas::new(alloc, n, fences))
+            }
+            LockKind::RecoverableBakery => Box::new(crate::recover::RecoverableBakery::new(
+                alloc,
+                n,
+                |s| Some(ProcId::from(s)),
+                fences,
+            )),
         }
     }
 }
@@ -326,6 +350,8 @@ impl std::fmt::Display for LockKind {
             LockKind::Ttas => write!(f, "ttas"),
             LockKind::Mcs => write!(f, "mcs"),
             LockKind::Filter => write!(f, "filter"),
+            LockKind::RecoverableTtas => write!(f, "r-ttas"),
+            LockKind::RecoverableBakery => write!(f, "r-bakery"),
         }
     }
 }

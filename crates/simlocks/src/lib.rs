@@ -46,6 +46,7 @@ pub mod lock;
 pub mod mcs;
 pub mod objects;
 pub mod peterson;
+pub mod recover;
 pub mod tas;
 pub mod tournament;
 
@@ -62,5 +63,6 @@ pub use lock::LockAlgorithm;
 pub use mcs::McsLock;
 pub use objects::ObjectKind;
 pub use peterson::Peterson2;
+pub use recover::{RecoverableBakery, RecoverableTtas};
 pub use tas::TtasLock;
 pub use tournament::Tournament;

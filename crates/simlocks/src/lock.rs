@@ -30,4 +30,22 @@ pub trait LockAlgorithm {
     /// meaningful bit width of a [`FenceMask`](crate::FenceMask) for this
     /// lock. Tree locks reuse their node algorithm's sites at every node.
     fn fence_sites(&self) -> u32;
+
+    /// Whether this lock defines a crash-recovery section. Locks without
+    /// one restart at the program entry after a crash, carrying whatever
+    /// stale announcements their pre-crash writes left in shared memory —
+    /// the crash-exposed baseline.
+    fn has_recovery(&self) -> bool {
+        false
+    }
+
+    /// Emit the crash-recovery section for process `who`: code that
+    /// repairs the process's shared announcements (re-announcing or
+    /// retracting them) so the lock's invariants hold again before the
+    /// acquire path is re-entered. Only called when [`has_recovery`]
+    /// returns `true`; the instance builder appends a jump back to the
+    /// program entry afterwards.
+    ///
+    /// [`has_recovery`]: LockAlgorithm::has_recovery
+    fn emit_recovery(&self, _asm: &mut Asm, _who: usize) {}
 }

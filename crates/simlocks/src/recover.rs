@@ -1,0 +1,288 @@
+//! Crash-hardened (recoverable) lock variants.
+//!
+//! A crash (see [`wbmem::CrashSemantics`]) wipes a process's local state
+//! and restarts it at its program's recovery entry — but shared memory
+//! keeps whatever the process announced before crashing, minus any writes
+//! that were still sitting in its buffer. The naive locks are *crash
+//! exposed*: a crash inside the critical section (or one that discards a
+//! buffered release write) leaves the lock word or ticket registers
+//! claiming a passage that will never complete, wedging every rival.
+//!
+//! The wrappers here follow the recoverable-mutual-exclusion recipe: a
+//! dedicated recovery section first *repairs* the process's shared
+//! announcements — self-releasing a held lock word, retracting a stale
+//! ticket — and only then re-enters the ordinary acquire path. The repair
+//! code is idempotent and uses buffer-draining primitives (CAS, explicit
+//! fences), so it is crash-safe itself: crashing during recovery just runs
+//! it again.
+//!
+//! * [`RecoverableTtas`] — TTAS whose recovery CASes the lock word from
+//!   `1 + who` back to `0` (a no-op if the crasher did not hold it).
+//! * [`RecoverableBakery`] — Bakery whose recovery retracts `C[who]` and
+//!   `T[who]` with fences before recompeting.
+
+use fencevm::Asm;
+use wbmem::ProcId;
+
+use crate::alloc::RegAlloc;
+use crate::bakery::Bakery;
+use crate::fences::FenceMask;
+use crate::lock::LockAlgorithm;
+use crate::tas::TtasLock;
+
+/// A [`TtasLock`] with a crash-recovery section: on restart the process
+/// conditionally self-releases the lock word before re-entering acquire.
+#[derive(Clone, Debug)]
+pub struct RecoverableTtas {
+    inner: TtasLock,
+}
+
+impl RecoverableTtas {
+    /// Allocate a recoverable TTAS for `n` processes.
+    pub fn new(alloc: &mut RegAlloc, n: usize, fences: FenceMask) -> Self {
+        RecoverableTtas {
+            inner: TtasLock::new(alloc, n, fences),
+        }
+    }
+}
+
+impl LockAlgorithm for RecoverableTtas {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn name(&self) -> String {
+        format!("r-ttas[{}]", self.inner.n())
+    }
+
+    fn emit_acquire(&self, asm: &mut Asm, who: usize) {
+        self.inner.emit_acquire(asm, who);
+    }
+
+    fn emit_release(&self, asm: &mut Asm, who: usize) {
+        self.inner.emit_release(asm, who);
+    }
+
+    fn fence_sites(&self) -> u32 {
+        self.inner.fence_sites()
+    }
+
+    fn has_recovery(&self) -> bool {
+        true
+    }
+
+    fn emit_recovery(&self, asm: &mut Asm, who: usize) {
+        self.inner.emit_self_release(asm, who);
+    }
+}
+
+/// A [`Bakery`] with a crash-recovery section: on restart the process
+/// retracts its doorway flag and ticket (with fences) before recompeting.
+#[derive(Clone, Debug)]
+pub struct RecoverableBakery {
+    inner: Bakery,
+}
+
+impl RecoverableBakery {
+    /// Allocate a recoverable Bakery for `n` processes; slot `s`'s
+    /// registers live in process `s`'s memory segment.
+    pub fn new(
+        alloc: &mut RegAlloc,
+        n: usize,
+        slot_owner: impl FnMut(usize) -> Option<ProcId>,
+        fences: FenceMask,
+    ) -> Self {
+        RecoverableBakery {
+            inner: Bakery::new(alloc, n, slot_owner, fences),
+        }
+    }
+}
+
+impl LockAlgorithm for RecoverableBakery {
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn name(&self) -> String {
+        format!("r-bakery[{}]", self.inner.n())
+    }
+
+    fn emit_acquire(&self, asm: &mut Asm, who: usize) {
+        self.inner.emit_acquire(asm, who);
+    }
+
+    fn emit_release(&self, asm: &mut Asm, who: usize) {
+        self.inner.emit_release(asm, who);
+    }
+
+    fn fence_sites(&self) -> u32 {
+        self.inner.fence_sites()
+    }
+
+    fn has_recovery(&self) -> bool {
+        true
+    }
+
+    fn emit_recovery(&self, asm: &mut Asm, who: usize) {
+        self.inner.emit_recovery_slot(asm, who);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{build_mutex_programs, ANNOT_IN_CS};
+    use wbmem::{CrashSemantics, MachineConfig, MemoryModel, ProcId, SchedElem, SoloOutcome};
+
+    fn crash_machine(
+        lock: &dyn LockAlgorithm,
+        alloc: RegAlloc,
+        model: MemoryModel,
+        max_crashes: u32,
+    ) -> (crate::OrderingInstance, wbmem::Machine<fencevm::VmProc>) {
+        let inst = build_mutex_programs(lock, alloc);
+        let cfg = MachineConfig::new(model, inst.layout.clone())
+            .with_crashes(CrashSemantics::DiscardBuffer, max_crashes);
+        let m = inst.machine_from(cfg);
+        (inst, m)
+    }
+
+    /// Step `p` until it is inside its critical section.
+    fn drive_into_cs(m: &mut wbmem::Machine<fencevm::VmProc>, p: ProcId) {
+        for _ in 0..10_000 {
+            if m.annotation(p) == ANNOT_IN_CS {
+                return;
+            }
+            m.step(SchedElem::op(p));
+        }
+        panic!("process {p} never reached its critical section");
+    }
+
+    #[test]
+    fn naive_ttas_wedges_after_a_crash_in_the_critical_section() {
+        let mut alloc = RegAlloc::new();
+        let lock = TtasLock::new(&mut alloc, 2, FenceMask::ALL);
+        let (_inst, mut m) = crash_machine(&lock, alloc, MemoryModel::Pso, 1);
+        drive_into_cs(&mut m, ProcId(0));
+        m.step(SchedElem::crash(ProcId(0)));
+        assert_eq!(m.counters().proc(0).crashes, 1);
+        // The crashed holder restarts at the program entry and spins on its
+        // own stale lock word; its rival spins too. Nobody ever finishes.
+        assert!(matches!(
+            m.solo_outcome(ProcId(0), 100_000),
+            SoloOutcome::Diverges { .. }
+        ));
+        assert!(matches!(
+            m.solo_outcome(ProcId(1), 100_000),
+            SoloOutcome::Diverges { .. }
+        ));
+    }
+
+    #[test]
+    fn naive_ttas_loses_a_buffered_release_write() {
+        // Drive p0 through its whole passage up to (and including) the
+        // release write, which parks in the buffer under PSO. The crash
+        // discards it, so the lock word stays held forever.
+        let mut alloc = RegAlloc::new();
+        let lock = TtasLock::new(&mut alloc, 2, FenceMask::ALL);
+        let (_inst, mut m) = crash_machine(&lock, alloc, MemoryModel::Pso, 1);
+        drive_into_cs(&mut m, ProcId(0));
+        for _ in 0..10_000 {
+            if m.annotation(ProcId(0)) != ANNOT_IN_CS {
+                break;
+            }
+            m.step(SchedElem::op(ProcId(0)));
+        }
+        // p0 is now poised at the release write: perform it (buffered).
+        m.step(SchedElem::op(ProcId(0)));
+        m.step(SchedElem::crash(ProcId(0)));
+        // p1 can never acquire: the release write died in the buffer.
+        assert!(matches!(
+            m.solo_outcome(ProcId(1), 100_000),
+            SoloOutcome::Diverges { .. }
+        ));
+    }
+
+    #[test]
+    fn recoverable_ttas_survives_a_crash_in_the_critical_section() {
+        let mut alloc = RegAlloc::new();
+        let lock = RecoverableTtas::new(&mut alloc, 2, FenceMask::ALL);
+        let (_inst, mut m) = crash_machine(&lock, alloc, MemoryModel::Pso, 1);
+        drive_into_cs(&mut m, ProcId(0));
+        m.step(SchedElem::crash(ProcId(0)));
+        // Recovery self-releases, re-acquires, and completes; the rival
+        // then completes too.
+        assert!(matches!(
+            m.run_solo(ProcId(0), 100_000),
+            SoloOutcome::Terminates { .. }
+        ));
+        assert!(matches!(
+            m.run_solo(ProcId(1), 100_000),
+            SoloOutcome::Terminates { .. }
+        ));
+    }
+
+    #[test]
+    fn recoverable_bakery_retracts_a_stale_ticket() {
+        let mut alloc = RegAlloc::new();
+        let lock = RecoverableBakery::new(&mut alloc, 2, |s| Some(ProcId::from(s)), FenceMask::ALL);
+        let (_inst, mut m) = crash_machine(&lock, alloc, MemoryModel::Pso, 1);
+        drive_into_cs(&mut m, ProcId(0));
+        m.step(SchedElem::crash(ProcId(0)));
+        assert!(matches!(
+            m.run_solo(ProcId(0), 100_000),
+            SoloOutcome::Terminates { .. }
+        ));
+        assert!(matches!(
+            m.run_solo(ProcId(1), 100_000),
+            SoloOutcome::Terminates { .. }
+        ));
+    }
+
+    #[test]
+    fn recoverable_locks_behave_normally_without_crashes() {
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let mut alloc = RegAlloc::new();
+            let lock = RecoverableTtas::new(&mut alloc, 3, FenceMask::ALL);
+            let inst = build_mutex_programs(&lock, alloc);
+            let rets = inst.run_sequential(model, 100_000);
+            assert_eq!(rets, vec![0, 0, 0], "under {model}");
+        }
+        let mut alloc = RegAlloc::new();
+        let lock = RecoverableBakery::new(&mut alloc, 3, |s| Some(ProcId::from(s)), FenceMask::ALL);
+        let inst = build_mutex_programs(&lock, alloc);
+        assert_eq!(inst.run_sequential(MemoryModel::Pso, 100_000), vec![0; 3]);
+    }
+
+    #[test]
+    fn recovery_is_idempotent_under_repeated_crashes() {
+        // Crash twice in a row (once mid-recovery): the repair code must
+        // tolerate re-execution.
+        let mut alloc = RegAlloc::new();
+        let lock = RecoverableTtas::new(&mut alloc, 2, FenceMask::ALL);
+        let (_inst, mut m) = crash_machine(&lock, alloc, MemoryModel::Pso, 2);
+        drive_into_cs(&mut m, ProcId(0));
+        m.step(SchedElem::crash(ProcId(0)));
+        m.step(SchedElem::crash(ProcId(0)));
+        assert_eq!(m.counters().proc(0).crashes, 2);
+        assert!(matches!(
+            m.run_solo(ProcId(0), 100_000),
+            SoloOutcome::Terminates { .. }
+        ));
+        assert!(matches!(
+            m.run_solo(ProcId(1), 100_000),
+            SoloOutcome::Terminates { .. }
+        ));
+    }
+
+    #[test]
+    fn names_mark_the_recoverable_variants() {
+        let mut alloc = RegAlloc::new();
+        let t = RecoverableTtas::new(&mut alloc, 2, FenceMask::ALL);
+        assert_eq!(t.name(), "r-ttas[2]");
+        assert!(t.has_recovery());
+        let b = RecoverableBakery::new(&mut alloc, 2, |_| None, FenceMask::ALL);
+        assert_eq!(b.name(), "r-bakery[2]");
+        assert!(b.has_recovery());
+    }
+}

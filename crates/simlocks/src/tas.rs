@@ -49,6 +49,17 @@ impl TtasLock {
             fences,
         }
     }
+
+    /// Emit a conditional self-release: CAS the lock word from `1 + who`
+    /// back to `0`. A no-op (failed CAS) when the process did not hold the
+    /// lock; the building block of [`RecoverableTtas`]'s crash recovery.
+    ///
+    /// [`RecoverableTtas`]: crate::RecoverableTtas
+    pub fn emit_self_release(&self, asm: &mut Asm, who: usize) {
+        assert!(who < self.n, "process {who} out of range");
+        let t = asm.local("ttas_rec");
+        asm.cas(self.lock_reg, 1 + who as i64, 0i64, t);
+    }
 }
 
 impl LockAlgorithm for TtasLock {

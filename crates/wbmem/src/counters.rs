@@ -34,6 +34,8 @@ pub struct ProcCounters {
     pub swap_ops: u64,
     /// Swap steps that were remote.
     pub remote_swaps: u64,
+    /// Crash steps injected into this process (fault injection).
+    pub crashes: u64,
 }
 
 impl Add for ProcCounters {
@@ -52,6 +54,7 @@ impl Add for ProcCounters {
             remote_cas: self.remote_cas + o.remote_cas,
             swap_ops: self.swap_ops + o.swap_ops,
             remote_swaps: self.remote_swaps + o.remote_swaps,
+            crashes: self.crashes + o.crashes,
         }
     }
 }
@@ -66,7 +69,7 @@ impl fmt::Display for ProcCounters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "fences={} rmrs={} (reads={} remote={} buffered={}; writes={}; commits={} remote={}; cas={} remote={})",
+            "fences={} rmrs={} (reads={} remote={} buffered={}; writes={}; commits={} remote={}; cas={} remote={}; crashes={})",
             self.fences,
             self.rmrs,
             self.reads,
@@ -76,7 +79,8 @@ impl fmt::Display for ProcCounters {
             self.commits,
             self.remote_commits,
             self.cas_ops,
-            self.remote_cas
+            self.remote_cas,
+            self.crashes
         )
     }
 }

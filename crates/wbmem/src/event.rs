@@ -83,6 +83,13 @@ pub enum EventKind {
         /// The return value.
         value: u64,
     },
+    /// A crash step (fault injection): the process's volatile state is lost
+    /// and control restarts at its recovery section.
+    Crash {
+        /// Buffered writes discarded by the crash (`0` when the crash
+        /// semantics drain the buffer, or it was already empty).
+        lost: usize,
+    },
 }
 
 impl EventKind {
@@ -174,6 +181,9 @@ impl fmt::Display for Event {
                 if *remote { " [RMR]" } else { "" }
             ),
             EventKind::Return { value } => write!(f, "{} return {}", self.proc, value),
+            EventKind::Crash { lost } => {
+                write!(f, "{} crash ({} buffered writes lost)", self.proc, lost)
+            }
         }
     }
 }

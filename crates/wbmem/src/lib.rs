@@ -84,7 +84,10 @@ pub mod value;
 pub use buffer::{BufferUndo, WriteBuffer};
 pub use counters::{Counters, ProcCounters};
 pub use event::{Event, EventKind, Trace};
-pub use machine::{Machine, MachineConfig, SoloOutcome, StateKey, StepOutcome, UndoToken};
+pub use machine::{
+    CrashSemantics, Machine, MachineConfig, MachineError, SoloOutcome, StateKey, StepOutcome,
+    UndoToken,
+};
 pub use model::MemoryModel;
 pub use process::{Poised, PoisedKind, Process};
 pub use reg::{MemoryLayout, ProcId, RegId};

@@ -12,6 +12,58 @@ use crate::rmr::LocalityTracker;
 use crate::sched::SchedElem;
 use crate::value::Value;
 
+/// What a crash step does to the crashed process's write buffer.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum CrashSemantics {
+    /// The buffer is volatile and lost with the process: pending writes
+    /// never reach shared memory (the store-buffer model of recoverable
+    /// mutual exclusion — a crash can swallow a write the program already
+    /// performed).
+    #[default]
+    DiscardBuffer,
+    /// The buffer is flushed on the way down: every pending write commits,
+    /// in fence-drain order, before the process state is reset (hardware
+    /// whose cache subsystem drains the store buffer when a core fails).
+    DrainBuffer,
+}
+
+impl std::fmt::Display for CrashSemantics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrashSemantics::DiscardBuffer => write!(f, "discard"),
+            CrashSemantics::DrainBuffer => write!(f, "drain"),
+        }
+    }
+}
+
+/// A typed machine-level failure, returned by the `try_` stepping APIs
+/// instead of panicking on malformed input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MachineError {
+    /// A schedule element named a process id outside `0..n`.
+    NoSuchProc {
+        /// The out-of-range process id.
+        proc: ProcId,
+        /// The machine's process count.
+        n: usize,
+    },
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MachineError::NoSuchProc { proc, n } => {
+                write!(
+                    f,
+                    "schedule element names {proc}, but the machine has {n} processes"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
 /// Static machine parameters.
 #[derive(Clone, Debug)]
 pub struct MachineConfig {
@@ -26,10 +78,16 @@ pub struct MachineConfig {
     pub tag_writes: bool,
     /// Record an execution [`Trace`]. Off by default; turn on for analysis.
     pub record_trace: bool,
+    /// What a crash step does to the crashed process's write buffer.
+    pub crash_semantics: CrashSemantics,
+    /// Crash-fault budget per process. `0` (the default) disables crash
+    /// injection entirely: crash elements are no-ops and
+    /// [`choices`](Machine::choices) never offers them.
+    pub max_crashes: u32,
 }
 
 impl MachineConfig {
-    /// A configuration with tagging and tracing disabled.
+    /// A configuration with tagging, tracing, and crash injection disabled.
     #[must_use]
     pub fn new(model: MemoryModel, layout: MemoryLayout) -> Self {
         MachineConfig {
@@ -37,6 +95,8 @@ impl MachineConfig {
             layout,
             tag_writes: false,
             record_trace: false,
+            crash_semantics: CrashSemantics::DiscardBuffer,
+            max_crashes: 0,
         }
     }
 
@@ -53,6 +113,15 @@ impl MachineConfig {
         self.record_trace = true;
         self
     }
+
+    /// Enable crash injection: up to `max_crashes` crash steps per process,
+    /// with the given buffer semantics.
+    #[must_use]
+    pub fn with_crashes(mut self, semantics: CrashSemantics, max_crashes: u32) -> Self {
+        self.crash_semantics = semantics;
+        self.max_crashes = max_crashes;
+        self
+    }
 }
 
 /// One process's slot in a configuration.
@@ -61,6 +130,12 @@ struct ProcSlot<P> {
     prog: P,
     buffer: WriteBuffer,
     returned: Option<u64>,
+    /// Crash steps already spent on this process (bounded by
+    /// `MachineConfig::max_crashes`). Part of the behavioural state: a
+    /// process with crash budget left can still be crashed, one without
+    /// cannot, so two configurations differing only here have different
+    /// futures.
+    crashes: u32,
 }
 
 /// The result of applying one schedule element.
@@ -121,7 +196,7 @@ impl SoloOutcome {
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct StateKey<P: Process> {
     mem: Vec<(RegId, Value)>,
-    procs: Vec<(P, WriteBuffer, Option<u64>)>,
+    procs: Vec<(P, WriteBuffer, Option<u64>, u32)>,
 }
 
 /// Everything needed to reverse one [`Machine::step_recorded`] call.
@@ -149,8 +224,44 @@ pub struct UndoToken<P> {
     /// Cache entries the step newly inserted (a step observes ≤ 2 values).
     cache: [Option<(RegId, Value)>; 2],
     counters: ProcCounters,
+    /// Crash budget spent by the process before the step.
+    crashes: u32,
+    /// The crash footprint, if the step was a crash. A crash exceeds every
+    /// per-step bound of the fields above (a drain commits the whole buffer
+    /// — many memory cells, many ownership moves), so its pre-image rides in
+    /// a dedicated boxed record; crash-free steps pay one unused `None`.
+    crash: Option<Box<CrashUndo>>,
     next_nonce: u64,
     trace_len: usize,
+}
+
+/// The full pre-image of a crash step: the buffer as it was before the
+/// crash, plus (for draining semantics) every memory cell the drain
+/// overwrote and every commit-ownership entry it moved, in commit order.
+#[derive(Clone, Debug)]
+struct CrashUndo {
+    buffer: WriteBuffer,
+    mem: Vec<(RegId, Option<Value>)>,
+    committers: Vec<(RegId, Option<ProcId>)>,
+}
+
+/// Collects the pre-images of the commits a draining crash performs. The
+/// ordinary [`UndoToken`] sink asserts one-mutation-per-step bounds that a
+/// drain legitimately exceeds, so crash commits are funneled through this
+/// sink instead and the result is attached to the token as a [`CrashUndo`].
+#[derive(Default)]
+struct CrashRecorder {
+    mem: Vec<(RegId, Option<Value>)>,
+    committers: Vec<(RegId, Option<ProcId>)>,
+}
+
+impl<P> UndoSink<P> for CrashRecorder {
+    fn mem_overwritten(&mut self, reg: RegId, old: Option<Value>) {
+        self.mem.push((reg, old));
+    }
+    fn committer_moved(&mut self, reg: RegId, old: Option<ProcId>) {
+        self.committers.push((reg, old));
+    }
 }
 
 /// Receives the pre-images of a step's mutations as they happen. The unit
@@ -162,6 +273,10 @@ trait UndoSink<P> {
     fn committer_moved(&mut self, _reg: RegId, _old: Option<ProcId>) {}
     fn cache_inserted(&mut self, _reg: RegId, _value: Value) {}
     fn buffer_mutated(&mut self, _undo: BufferUndo) {}
+    // Boxed because the recording sink stores it whole in the `UndoToken`;
+    // the no-op default just drops it.
+    #[allow(clippy::boxed_local)]
+    fn crashed(&mut self, _undo: Box<CrashUndo>) {}
 }
 
 impl<P> UndoSink<P> for () {}
@@ -195,6 +310,10 @@ impl<P: Process> UndoSink<P> for UndoToken<P> {
             "a step mutates the buffer at most once"
         );
         self.buffer = undo;
+    }
+    fn crashed(&mut self, undo: Box<CrashUndo>) {
+        debug_assert!(self.crash.is_none(), "a step crashes at most once");
+        self.crash = Some(undo);
     }
 }
 
@@ -230,6 +349,7 @@ impl<P: Process> Machine<P> {
                     prog,
                     buffer: WriteBuffer::new(model),
                     returned: None,
+                    crashes: 0,
                 })
                 .collect(),
             locality: LocalityTracker::new(n),
@@ -256,6 +376,20 @@ impl<P: Process> Machine<P> {
     /// commit ownership.
     pub fn init_reg(&mut self, reg: RegId, value: Value) {
         self.mem.insert(reg, value);
+    }
+
+    /// Set the crash-fault budget and semantics after construction (the
+    /// model checker applies `CheckConfig` crash settings this way, without
+    /// rebuilding the machine).
+    pub fn set_crash_bound(&mut self, semantics: CrashSemantics, max_crashes: u32) {
+        self.config.crash_semantics = semantics;
+        self.config.max_crashes = max_crashes;
+    }
+
+    /// Crash steps already spent on process `p`.
+    #[must_use]
+    pub fn crashes(&self, p: ProcId) -> u32 {
+        self.procs[p.index()].crashes
     }
 
     /// The current value of `reg` in shared memory (⊥ if never committed).
@@ -359,6 +493,7 @@ impl<P: Process> Machine<P> {
             slot.prog.hash(h);
             slot.buffer.hash(h);
             slot.returned.hash(h);
+            slot.crashes.hash(h);
         }
     }
 
@@ -370,7 +505,7 @@ impl<P: Process> Machine<P> {
             procs: self
                 .procs
                 .iter()
-                .map(|s| (s.prog.clone(), s.buffer.clone(), s.returned))
+                .map(|s| (s.prog.clone(), s.buffer.clone(), s.returned, s.crashes))
                 .collect(),
         }
     }
@@ -403,6 +538,8 @@ impl<P: Process> Machine<P> {
             committer: None,
             cache: [None, None],
             counters: *self.counters.proc(i),
+            crashes: self.procs[i].crashes,
+            crash: None,
             next_nonce: self.next_nonce,
             trace_len: self.trace.len(),
         };
@@ -437,6 +574,26 @@ impl<P: Process> Machine<P> {
         for (reg, value) in token.cache.into_iter().flatten() {
             self.locality.unobserve(token.proc, reg, value);
         }
+        if let Some(crash) = token.crash {
+            // Reverse a crash: restore the pre-crash buffer wholesale, then
+            // roll back the drain's commits newest-first (LIFO — a TSO drain
+            // can commit the same register twice).
+            self.procs[i].buffer = crash.buffer;
+            for (reg, old) in crash.mem.into_iter().rev() {
+                match old {
+                    Some(v) => {
+                        self.mem.insert(reg, v);
+                    }
+                    None => {
+                        self.mem.remove(&reg);
+                    }
+                }
+            }
+            for (reg, old) in crash.committers.into_iter().rev() {
+                self.locality.set_last_committer(reg, old);
+            }
+        }
+        self.procs[i].crashes = token.crashes;
         *self.counters.proc_mut(i) = token.counters;
         self.next_nonce = token.next_nonce;
         self.trace.truncate(token.trace_len);
@@ -446,6 +603,9 @@ impl<P: Process> Machine<P> {
         let p = elem.proc;
         if self.is_done(p) {
             return StepOutcome::NoOp;
+        }
+        if elem.crash {
+            return self.do_crash(p, u);
         }
         if let Some(reg) = elem.reg {
             if self.procs[p.index()].buffer.can_commit(reg) {
@@ -673,9 +833,64 @@ impl<P: Process> Machine<P> {
         )
     }
 
+    /// Crash process `p`: apply the configured buffer semantics, wipe the
+    /// program back to its recovery entry, spend one unit of crash budget.
+    /// A no-op if crash injection is off, `p`'s budget is exhausted, or
+    /// `p`'s program is not recoverable.
+    fn do_crash<U: UndoSink<P>>(&mut self, p: ProcId, u: &mut U) -> StepOutcome {
+        let i = p.index();
+        if self.config.max_crashes == 0
+            || self.procs[i].crashes >= self.config.max_crashes
+            || !self.procs[i].prog.recoverable()
+        {
+            return StepOutcome::NoOp;
+        }
+        let pre_buffer = self.procs[i].buffer.clone();
+        let mut rec = CrashRecorder::default();
+        let lost = match self.config.crash_semantics {
+            CrashSemantics::DiscardBuffer => {
+                let lost = pre_buffer.len();
+                self.procs[i].buffer = WriteBuffer::new(self.config.model);
+                lost
+            }
+            CrashSemantics::DrainBuffer => {
+                // Flush in fence-drain order: FIFO under TSO, smallest
+                // register first under PSO. Each commit is charged and
+                // traced like any other.
+                while let Some(reg) = self.procs[i].buffer.fence_commit_target() {
+                    match self.procs[i].buffer.take(reg) {
+                        Some(value) => {
+                            self.commit_to_memory(p, reg, value, &mut rec);
+                        }
+                        None => {
+                            debug_assert!(false, "fence commit target is committable");
+                            break;
+                        }
+                    }
+                }
+                0
+            }
+        };
+        u.save_prog(&self.procs[i].prog);
+        u.crashed(Box::new(CrashUndo {
+            buffer: pre_buffer,
+            mem: rec.mem,
+            committers: rec.committers,
+        }));
+        self.procs[i].prog.crash_recover();
+        self.procs[i].crashes += 1;
+        self.counters.proc_mut(i).crashes += 1;
+        self.emit(p, EventKind::Crash { lost })
+    }
+
     fn do_commit<U: UndoSink<P>>(&mut self, p: ProcId, reg: RegId, u: &mut U) -> StepOutcome {
         let (value, undo) = self.procs[p.index()].buffer.take_recorded(reg);
-        let value = value.expect("do_commit requires a committable buffered write");
+        let Some(value) = value else {
+            // Callers establish committability first; reaching this arm is a
+            // machine bug, not a schedulable outcome.
+            debug_assert!(false, "do_commit requires a committable buffered write");
+            return StepOutcome::NoOp;
+        };
         u.buffer_mutated(undo);
         self.commit_to_memory(p, reg, value, u)
     }
@@ -714,6 +929,23 @@ impl<P: Process> Machine<P> {
         StepOutcome::Stepped(event)
     }
 
+    /// Like [`step`](Self::step), but validates the element first and
+    /// returns a typed error instead of panicking when the element names a
+    /// process the machine does not have.
+    ///
+    /// # Errors
+    ///
+    /// [`MachineError::NoSuchProc`] if `elem.proc` is outside `0..n`.
+    pub fn try_step(&mut self, elem: SchedElem) -> Result<StepOutcome, MachineError> {
+        if elem.proc.index() >= self.procs.len() {
+            return Err(MachineError::NoSuchProc {
+                proc: elem.proc,
+                n: self.procs.len(),
+            });
+        }
+        Ok(self.step(elem))
+    }
+
     /// Apply a whole schedule; returns the number of elements that produced
     /// a step.
     pub fn run_schedule(&mut self, schedule: &[SchedElem]) -> usize {
@@ -721,6 +953,22 @@ impl<P: Process> Machine<P> {
             .iter()
             .filter(|&&e| matches!(self.step(e), StepOutcome::Stepped(_)))
             .count()
+    }
+
+    /// Apply a whole schedule through [`try_step`](Self::try_step); returns
+    /// the number of effective steps, or the first validation error.
+    ///
+    /// # Errors
+    ///
+    /// The first [`MachineError`] any element produces.
+    pub fn try_run_schedule(&mut self, schedule: &[SchedElem]) -> Result<usize, MachineError> {
+        let mut steps = 0;
+        for &e in schedule {
+            if matches!(self.try_step(e)?, StepOutcome::Stepped(_)) {
+                steps += 1;
+            }
+        }
+        Ok(steps)
     }
 
     /// Run `(p, ⊥)` elements until `p` finishes or `max_steps` effective
@@ -780,7 +1028,10 @@ impl<P: Process> Machine<P> {
                 }
                 Poised::Fence => {
                     if let Some(reg) = buffer.fence_commit_target() {
-                        let v = buffer.take(reg).expect("fence target is committable");
+                        let Some(v) = buffer.take(reg) else {
+                            debug_assert!(false, "fence target is committable");
+                            return SoloOutcome::Unknown;
+                        };
                         overlay.insert(reg, v);
                     } else {
                         prog.advance(None);
@@ -788,7 +1039,10 @@ impl<P: Process> Machine<P> {
                 }
                 Poised::Cas { reg, expected, new } => {
                     if let Some(target) = buffer.fence_commit_target() {
-                        let v = buffer.take(target).expect("fence target is committable");
+                        let Some(v) = buffer.take(target) else {
+                            debug_assert!(false, "fence target is committable");
+                            return SoloOutcome::Unknown;
+                        };
                         overlay.insert(target, v);
                     } else {
                         let observed = overlay
@@ -803,7 +1057,10 @@ impl<P: Process> Machine<P> {
                 }
                 Poised::Swap { reg, new } => {
                     if let Some(target) = buffer.fence_commit_target() {
-                        let v = buffer.take(target).expect("fence target is committable");
+                        let Some(v) = buffer.take(target) else {
+                            debug_assert!(false, "fence target is committable");
+                            return SoloOutcome::Unknown;
+                        };
                         overlay.insert(target, v);
                     } else {
                         let observed = overlay
@@ -839,7 +1096,9 @@ impl<P: Process> Machine<P> {
     /// Every schedule element that would produce a step from the current
     /// configuration, with duplicates removed: all committable buffered
     /// writes of every unfinished process, plus `(p, ⊥)` where that is not
-    /// just a synonym for the smallest-register fence commit.
+    /// just a synonym for the smallest-register fence commit, plus a crash
+    /// of every process with crash budget left (when crash injection is
+    /// enabled).
     #[must_use]
     pub fn choices(&self) -> Vec<SchedElem> {
         let mut out = Vec::new();
@@ -864,6 +1123,15 @@ impl<P: Process> Machine<P> {
             ) && !slot.buffer.is_empty();
             if !fence_blocked {
                 out.push(SchedElem::op(p));
+            }
+            // A crash is schedulable even when `p` is fence-blocked —
+            // crash-at-a-fence (writes still buffered) is exactly the
+            // hazard recoverable algorithms must survive.
+            if self.config.max_crashes > 0
+                && slot.crashes < self.config.max_crashes
+                && slot.prog.recoverable()
+            {
+                out.push(SchedElem::crash(p));
             }
         }
     }
@@ -900,6 +1168,13 @@ mod tests {
                 self.last_read = read_value;
             }
             self.pc += 1;
+        }
+        fn recoverable(&self) -> bool {
+            true
+        }
+        fn crash_recover(&mut self) {
+            self.pc = 0;
+            self.last_read = None;
         }
     }
 
@@ -1605,6 +1880,229 @@ mod tests {
             }
         }
         assert!(m.all_done());
+    }
+
+    fn crash_machine(
+        model: MemoryModel,
+        semantics: CrashSemantics,
+        max_crashes: u32,
+        procs: Vec<Script>,
+    ) -> Machine<Script> {
+        let cfg = MachineConfig::new(model, MemoryLayout::unowned())
+            .with_trace()
+            .with_crashes(semantics, max_crashes);
+        Machine::new(cfg, procs)
+    }
+
+    #[test]
+    fn crash_discards_buffered_writes_and_restarts() {
+        let w = Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
+        let mut m = crash_machine(MemoryModel::Pso, CrashSemantics::DiscardBuffer, 1, vec![w]);
+        m.step(SchedElem::op(p(0)));
+        assert!(m.buffer(p(0)).contains(r(0)));
+        let out = m.step(SchedElem::crash(p(0)));
+        assert!(matches!(
+            out.event().map(|e| &e.kind),
+            Some(EventKind::Crash { lost: 1 })
+        ));
+        assert!(m.buffer_is_empty(p(0)), "the buffered write is lost");
+        assert_eq!(m.memory(r(0)), Value::Bot, "it never reached memory");
+        assert_eq!(m.crashes(p(0)), 1);
+        assert_eq!(m.counters().proc(0).crashes, 1);
+        // The program restarted: it is poised at the write again.
+        assert!(matches!(m.poised(p(0)), Poised::Write(_, _)));
+    }
+
+    #[test]
+    fn crash_with_drain_semantics_flushes_the_buffer() {
+        let w = Script::new(vec![
+            Poised::Write(r(5), Value::Int(1)),
+            Poised::Write(r(2), Value::Int(2)),
+            Poised::Return(0),
+        ]);
+        let mut m = crash_machine(MemoryModel::Pso, CrashSemantics::DrainBuffer, 1, vec![w]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(0)));
+        let out = m.step(SchedElem::crash(p(0)));
+        assert!(matches!(
+            out.event().map(|e| &e.kind),
+            Some(EventKind::Crash { lost: 0 })
+        ));
+        assert!(m.buffer_is_empty(p(0)));
+        assert_eq!(m.memory(r(5)), Value::Int(1));
+        assert_eq!(m.memory(r(2)), Value::Int(2));
+        assert_eq!(
+            m.counters().proc(0).commits,
+            2,
+            "drained commits are charged"
+        );
+        // Trace: write, write, commit (smallest reg first), commit, crash.
+        let kinds: Vec<&EventKind> = m.trace().events().iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[2], EventKind::Commit { reg, .. } if *reg == r(2)));
+        assert!(matches!(kinds[3], EventKind::Commit { reg, .. } if *reg == r(5)));
+        assert!(matches!(kinds[4], EventKind::Crash { .. }));
+    }
+
+    #[test]
+    fn crash_respects_the_budget_and_recoverability() {
+        // No budget: the crash element is a no-op.
+        let w = || Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
+        let mut m = pso_machine(vec![w()]);
+        assert_eq!(m.step(SchedElem::crash(p(0))), StepOutcome::NoOp);
+
+        // Budget of 1: the second crash is a no-op.
+        let mut m = crash_machine(
+            MemoryModel::Pso,
+            CrashSemantics::DiscardBuffer,
+            1,
+            vec![w()],
+        );
+        assert!(matches!(
+            m.step(SchedElem::crash(p(0))),
+            StepOutcome::Stepped(_)
+        ));
+        assert_eq!(m.step(SchedElem::crash(p(0))), StepOutcome::NoOp);
+
+        // Non-recoverable process: never crashes.
+        #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+        struct Rigid;
+        impl Process for Rigid {
+            fn poised(&self) -> Poised {
+                Poised::Return(0)
+            }
+            fn advance(&mut self, _v: Option<Value>) {}
+        }
+        let cfg = MachineConfig::new(MemoryModel::Pso, MemoryLayout::unowned())
+            .with_crashes(CrashSemantics::DiscardBuffer, 2);
+        let mut m = Machine::new(cfg, vec![Rigid]);
+        assert_eq!(m.step(SchedElem::crash(p(0))), StepOutcome::NoOp);
+        assert!(m.choices().iter().all(|e| !e.crash));
+    }
+
+    #[test]
+    fn choices_offer_crashes_only_under_a_budget() {
+        let w = || Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
+        let m = pso_machine(vec![w()]);
+        assert!(m.choices().iter().all(|e| !e.crash));
+
+        let mut m = crash_machine(
+            MemoryModel::Pso,
+            CrashSemantics::DiscardBuffer,
+            1,
+            vec![w()],
+        );
+        assert_eq!(m.choices().iter().filter(|e| e.crash).count(), 1);
+        // A fence-blocked process can still crash.
+        let fenced = Script::new(vec![
+            Poised::Write(r(0), Value::Int(1)),
+            Poised::Fence,
+            Poised::Return(0),
+        ]);
+        let mut mf = crash_machine(
+            MemoryModel::Pso,
+            CrashSemantics::DiscardBuffer,
+            1,
+            vec![fenced],
+        );
+        mf.step(SchedElem::op(p(0)));
+        let cs = mf.choices();
+        assert!(cs.iter().any(|e| e.crash));
+        assert!(cs.iter().any(|e| e.reg.is_some()));
+        // Once the budget is spent, the crash choice disappears.
+        m.step(SchedElem::crash(p(0)));
+        assert!(m.choices().iter().all(|e| !e.crash));
+    }
+
+    #[test]
+    fn crash_state_is_behaviourally_relevant() {
+        let w = || Script::new(vec![Poised::Write(r(0), Value::Int(1)), Poised::Return(0)]);
+        let mut a = crash_machine(
+            MemoryModel::Pso,
+            CrashSemantics::DiscardBuffer,
+            1,
+            vec![w()],
+        );
+        let b = crash_machine(
+            MemoryModel::Pso,
+            CrashSemantics::DiscardBuffer,
+            1,
+            vec![w()],
+        );
+        a.step(SchedElem::crash(p(0)));
+        // Post-crash, `a` is back at its initial program state but has spent
+        // its budget — the state keys must differ.
+        assert_ne!(a.state_key(), b.state_key());
+        use std::hash::Hasher as _;
+        let fp = |m: &Machine<Script>| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            m.hash_state(&mut h);
+            h.finish()
+        };
+        assert_ne!(fp(&a), fp(&b));
+    }
+
+    #[test]
+    fn undo_restores_crash_steps_exactly() {
+        let scripts = || {
+            vec![
+                Script::new(vec![
+                    Poised::Write(r(0), Value::Int(1)),
+                    Poised::Write(r(1), Value::Int(2)),
+                    Poised::Fence,
+                    Poised::Return(0),
+                ]),
+                Script::new(vec![
+                    Poised::Read(r(0)),
+                    Poised::Write(r(0), Value::Int(3)),
+                    Poised::Return(1),
+                ]),
+            ]
+        };
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            for semantics in [CrashSemantics::DiscardBuffer, CrashSemantics::DrainBuffer] {
+                let cfg = MachineConfig::new(model, MemoryLayout::unowned())
+                    .with_tagged_writes()
+                    .with_trace()
+                    .with_crashes(semantics, 1);
+                let mut m = Machine::new(cfg, scripts());
+                assert_undo_round_trips(&mut m, 5);
+            }
+        }
+    }
+
+    #[test]
+    fn undo_restores_tso_same_register_drain() {
+        // A TSO drain can commit the same register twice; the LIFO rollback
+        // must restore the intermediate value correctly.
+        let w = Script::new(vec![
+            Poised::Write(r(0), Value::Int(1)),
+            Poised::Write(r(0), Value::Int(2)),
+            Poised::Return(0),
+        ]);
+        let cfg = MachineConfig::new(MemoryModel::Tso, MemoryLayout::unowned())
+            .with_trace()
+            .with_crashes(CrashSemantics::DrainBuffer, 1);
+        let mut m = Machine::new(cfg, vec![w]);
+        m.step(SchedElem::op(p(0)));
+        m.step(SchedElem::op(p(0)));
+        let before = full_snapshot(&m);
+        let (out, token) = m.step_recorded(SchedElem::crash(p(0)));
+        assert!(matches!(out, StepOutcome::Stepped(_)));
+        assert_eq!(m.memory(r(0)), Value::Int(2), "both entries drained");
+        m.undo(token);
+        assert_eq!(full_snapshot(&m), before);
+    }
+
+    #[test]
+    fn try_step_rejects_unknown_processes() {
+        let w = Script::new(vec![Poised::Return(0)]);
+        let mut m = pso_machine(vec![w]);
+        assert_eq!(
+            m.try_step(SchedElem::op(p(7))),
+            Err(MachineError::NoSuchProc { proc: p(7), n: 1 })
+        );
+        assert!(m.try_step(SchedElem::op(p(0))).is_ok());
+        assert_eq!(m.try_run_schedule(&[SchedElem::op(p(0))]), Ok(0));
     }
 
     #[test]

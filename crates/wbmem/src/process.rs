@@ -115,6 +115,21 @@ pub trait Process: Clone + Eq + std::hash::Hash + Send + Sync {
     fn annotation(&self) -> u64 {
         0
     }
+
+    /// Whether this process supports crash-recovery. The machine performs
+    /// crash steps only on recoverable processes — a crash element targeting
+    /// a non-recoverable process is a no-op, and the choice enumerator never
+    /// offers one. Defaults to `false`.
+    fn recoverable(&self) -> bool {
+        false
+    }
+
+    /// Reset the process to its recovery entry point after a crash: local
+    /// state is wiped and control restarts at the program's declared
+    /// recovery section (the program start, absent a declaration). Only
+    /// called when [`recoverable`](Process::recoverable) is `true`. The
+    /// default does nothing.
+    fn crash_recover(&mut self) {}
 }
 
 #[cfg(test)]

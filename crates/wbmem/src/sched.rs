@@ -17,13 +17,22 @@ pub struct SchedElem {
     /// `Some(R)`: commit `p`'s buffered write to `R` if one is committable;
     /// `None` (the paper's ⊥): let `p` execute its poised operation.
     pub reg: Option<RegId>,
+    /// `true`: crash `p` instead (a fault-injection step — see
+    /// [`Machine::step`](crate::Machine::step)). A crash element is a no-op
+    /// unless the machine has a crash budget left for `p` and `p`'s program
+    /// is recoverable.
+    pub crash: bool,
 }
 
 impl SchedElem {
     /// An element selecting `p`'s poised operation (`(p, ⊥)`).
     #[must_use]
     pub fn op(proc: ProcId) -> Self {
-        SchedElem { proc, reg: None }
+        SchedElem {
+            proc,
+            reg: None,
+            crash: false,
+        }
     }
 
     /// An element committing `p`'s buffered write to `reg`.
@@ -32,6 +41,17 @@ impl SchedElem {
         SchedElem {
             proc,
             reg: Some(reg),
+            crash: false,
+        }
+    }
+
+    /// An element crashing `p` (fault injection).
+    #[must_use]
+    pub fn crash(proc: ProcId) -> Self {
+        SchedElem {
+            proc,
+            reg: None,
+            crash: true,
         }
     }
 }
@@ -82,14 +102,24 @@ mod tests {
             SchedElem::op(ProcId(1)),
             SchedElem {
                 proc: ProcId(1),
-                reg: None
+                reg: None,
+                crash: false
             }
         );
         assert_eq!(
             SchedElem::commit(ProcId(1), RegId(2)),
             SchedElem {
                 proc: ProcId(1),
-                reg: Some(RegId(2))
+                reg: Some(RegId(2)),
+                crash: false
+            }
+        );
+        assert_eq!(
+            SchedElem::crash(ProcId(1)),
+            SchedElem {
+                proc: ProcId(1),
+                reg: None,
+                crash: true
             }
         );
     }

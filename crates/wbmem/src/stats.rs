@@ -65,7 +65,7 @@ pub fn register_histogram(trace: &Trace) -> BTreeMap<RegId, RegisterStats> {
                 hist.entry(*reg).or_default().swap_ops += 1;
                 (*reg, *remote)
             }
-            EventKind::Fence | EventKind::Return { .. } => continue,
+            EventKind::Fence | EventKind::Return { .. } | EventKind::Crash { .. } => continue,
         };
         if is_remote {
             hist.entry(reg).or_default().rmrs += 1;

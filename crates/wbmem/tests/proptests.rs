@@ -152,7 +152,7 @@ proptest! {
         let mut m = Machine::new(config, scripts.clone());
         for (p, r) in choices {
             if p < scripts.len() {
-                m.step(SchedElem { proc: ProcId::from(p), reg: r.map(RegId) });
+                m.step(SchedElem { proc: ProcId::from(p), reg: r.map(RegId), crash: false });
             }
         }
         for r in 0..6u32 {

@@ -20,4 +20,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q (FT_THREADS=2, exercises the parallel sweeps/engine)"
+FT_THREADS=2 cargo test -q
+
+echo "==> E11 crash-recovery experiment (n = 2)"
+FT_E11_FAST=1 cargo run --release -p ft-bench --bin exp_e11_crash_recovery
+
 echo "CI green."

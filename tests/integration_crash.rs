@@ -1,0 +1,112 @@
+//! Crash-fault injection end to end: the acceptance criteria of the
+//! crash/recovery milestone, exercised through the public `fence-trade`
+//! API.
+
+use std::time::Duration;
+
+use fence_trade::prelude::*;
+use fence_trade::simlocks::ANNOT_IN_CS;
+use fence_trade::wbmem::{SchedElem, SoloOutcome};
+
+fn crash_cfg(max_crashes: u32) -> CheckConfig {
+    CheckConfig {
+        check_termination: true,
+        ..CheckConfig::default()
+    }
+    .with_crashes(CrashSemantics::DiscardBuffer, max_crashes)
+}
+
+#[test]
+fn crash_hardened_locks_pass_mutex_and_recovery_under_pso() {
+    for kind in [LockKind::RecoverableTtas, LockKind::RecoverableBakery] {
+        let inst = build_mutex(kind, 2, FenceMask::ALL);
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            let v = check(&inst.machine(model), &crash_cfg(2));
+            assert!(v.is_ok(), "{} {model}: {}", inst.name, v.label());
+        }
+    }
+}
+
+#[test]
+fn naive_ttas_yields_a_replayable_crash_counterexample() {
+    let inst = build_mutex(LockKind::Ttas, 2, FenceMask::ALL);
+    let v = check(&inst.machine(MemoryModel::Pso), &crash_cfg(1));
+    let Verdict::NoTermination(_, cex) = v else {
+        panic!("expected NO-TERMINATION, got {}", v.label());
+    };
+    assert!(cex.trace.contains("crash"), "trace:\n{}", cex.trace);
+
+    // The schedule replays on a fresh machine (with the same crash bound)
+    // without hitting a no-op element.
+    let mcfg = MachineConfig::new(MemoryModel::Pso, inst.layout.clone())
+        .with_crashes(CrashSemantics::DiscardBuffer, 1);
+    let mut m = inst.machine_from(mcfg);
+    for (i, &elem) in cex.schedule.iter().enumerate() {
+        assert!(
+            !matches!(m.step(elem), fence_trade::wbmem::StepOutcome::NoOp),
+            "counterexample step {i} ({elem:?}) was a no-op"
+        );
+    }
+}
+
+#[test]
+fn a_crash_drops_a_buffered_release_write() {
+    // Drive p0 through its passage up to (and including) the buffered
+    // release write, then crash it: the write dies in the buffer and the
+    // rival spins forever on the stale lock word.
+    let inst = build_mutex(LockKind::Ttas, 2, FenceMask::ALL);
+    let mcfg = MachineConfig::new(MemoryModel::Pso, inst.layout.clone())
+        .with_crashes(CrashSemantics::DiscardBuffer, 1);
+    let mut m = inst.machine_from(mcfg);
+    let p0 = ProcId(0);
+    while m.annotation(p0) != ANNOT_IN_CS {
+        m.step(SchedElem::op(p0));
+    }
+    while m.annotation(p0) == ANNOT_IN_CS {
+        m.step(SchedElem::op(p0));
+    }
+    m.step(SchedElem::op(p0)); // the release write parks in the buffer
+    m.step(SchedElem::crash(p0));
+    assert_eq!(m.counters().proc(0).crashes, 1);
+    assert!(matches!(
+        m.solo_outcome(ProcId(1), 100_000),
+        SoloOutcome::Diverges { .. }
+    ));
+}
+
+#[test]
+fn all_engines_agree_on_a_crash_workload() {
+    let inst = build_mutex(LockKind::RecoverableTtas, 2, FenceMask::ALL);
+    let verdicts: Vec<Verdict> = [
+        Engine::CloneDfs,
+        Engine::Undo,
+        Engine::Parallel { threads: 4 },
+    ]
+    .into_iter()
+    .map(|engine| {
+        check(
+            &inst.machine(MemoryModel::Pso),
+            &crash_cfg(2).with_engine(engine),
+        )
+    })
+    .collect();
+    for v in &verdicts[1..] {
+        assert_eq!(verdicts[0].label(), v.label());
+        assert_eq!(verdicts[0].stats(), v.stats());
+    }
+}
+
+#[test]
+fn budgeted_runs_return_inconclusive_with_coverage() {
+    let inst = build_mutex(LockKind::Bakery, 3, FenceMask::ALL);
+    let cfg = CheckConfig {
+        check_termination: false,
+        ..CheckConfig::default()
+    }
+    .with_budget(Duration::ZERO);
+    let v = check(&inst.machine(MemoryModel::Pso), &cfg);
+    assert_eq!(v.label(), "inconclusive");
+    let coverage = v.coverage().expect("inconclusive carries coverage");
+    assert!(v.stats().states >= 1);
+    assert!(coverage.frontier >= 1);
+}
