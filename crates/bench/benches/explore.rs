@@ -1,6 +1,8 @@
 //! Criterion bench: state-exploration throughput of the model checker's
-//! three engines (clone-based DFS vs undo-log DFS vs parallel sweep, 1 vs N
-//! worker threads) on seed lock configurations.
+//! engines (clone-based DFS vs undo-log DFS vs parallel sweep vs DPOR
+//! reduction) on seed lock configurations. The dpor rows explore fewer
+//! states by design, so compare them on wall-clock per full verdict, not
+//! states/sec.
 //!
 //! Besides the usual stdout report, a machine-readable summary — states,
 //! mean wall-clock per full exploration, and states/sec per engine, plus
@@ -51,6 +53,12 @@ fn engines() -> Vec<(&'static str, Engine)> {
         ("undo", Engine::Undo),
         ("parallel_2", Engine::Parallel { threads: 2 }),
         ("parallel_4", Engine::Parallel { threads: 4 }),
+        (
+            "dpor",
+            Engine::Dpor {
+                reorder_bound: None,
+            },
+        ),
     ]
 }
 
@@ -77,8 +85,10 @@ fn main() {
         let mut clone_mean_ns = 0f64;
         for (engine_label, engine) in engines() {
             let cfg = cfg_base.clone().with_engine(engine);
-            // One untimed run for the state count (identical across
-            // engines — asserted by the differential tests).
+            // One untimed run for the state count (identical across the
+            // exhaustive engines — asserted by the differential tests —
+            // and legitimately smaller for dpor: that gap is the
+            // reduction factor).
             let stats: Stats = check(&w.inst.machine(w.model), &cfg).stats();
 
             {

@@ -21,6 +21,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e9_cas",
     "exp_e10_steady_state",
     "exp_e11_crash_recovery",
+    "exp_e12_reduction",
 ];
 
 fn main() {

@@ -129,7 +129,8 @@ fn main() {
         t2.finish();
     }
 
-    // ---- The checker's counterexample for the naive lock. ----
+    // ---- The checker's counterexample for the naive lock, saved as a
+    // replayable artifact. ----
     if let Verdict::NoTermination(_, cex) = crash_check(
         LockKind::Ttas,
         2,
@@ -141,6 +142,20 @@ fn main() {
             "NO-TERMINATION counterexample for naive ttas (PSO, ≤1 crash, \
              discard semantics):\n{cex}"
         );
+        let inst = build_mutex(LockKind::Ttas, 2, FenceMask::ALL);
+        let traced = inst.machine_from(
+            MachineConfig::new(MemoryModel::Pso, inst.layout.clone())
+                .with_crashes(CrashSemantics::DiscardBuffer, 1)
+                .with_trace(),
+        );
+        let path = ft_bench::save_counterexample(
+            "e11_cex_ttas_crash",
+            "E11: naive ttas (2 procs, PSO, ≤1 crash discarding buffers) \
+             reaches a state that cannot terminate",
+            traced,
+            &cex.schedule,
+        );
+        println!("saved replayable counterexample to {}\n", path.display());
     }
 
     // ---- Scripted replay: a crash drops a buffered release write. ----

@@ -64,11 +64,24 @@ fn main() {
     );
     t.finish();
 
-    // Print the PSO counterexample for the separating placement.
+    // Print the PSO counterexample for the separating placement and save
+    // it under `results/` as a replayable artifact.
     let witness = FenceMask::only(&[SITE_VICTIM, SITE_RELEASE]);
     let inst = build_mutex(LockKind::Peterson, 2, witness);
     if let Verdict::MutexViolation(_, cex) = check(&inst.machine(MemoryModel::Pso), &cfg) {
         println!("PSO counterexample for {}:\n{cex}", witness.describe(3));
+        let traced = inst
+            .machine_from(MachineConfig::new(MemoryModel::Pso, inst.layout.clone()).with_trace());
+        let path = ft_bench::save_counterexample(
+            "e5_cex_peterson_pso",
+            &format!(
+                "E5: Peterson (2 procs, fences {}) violates mutual exclusion under PSO",
+                witness.describe(3)
+            ),
+            traced,
+            &cex.schedule,
+        );
+        println!("saved replayable counterexample to {}\n", path.display());
     }
 
     // The paper's printed Bakery listing, under SC.

@@ -54,7 +54,7 @@ fn main() {
 
     // --- Peterson: all 8 placements over its 3 sites. ---
     let start = std::time::Instant::now();
-    let rows = elision_table_par(
+    let rows = elision_table(
         LockKind::Peterson,
         2,
         &FenceMask::enumerate(3),
@@ -74,7 +74,7 @@ fn main() {
 
     // --- Bakery (2 processes): all 16 placements over its 4 sites. ---
     let start = std::time::Instant::now();
-    let rows = elision_table_par(
+    let rows = elision_table(
         LockKind::Bakery,
         2,
         &FenceMask::enumerate(4),

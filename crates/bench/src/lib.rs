@@ -94,6 +94,114 @@ impl Table {
     }
 }
 
+/// Write a model-checker counterexample to `results/<name>.txt` as a
+/// replayable artifact: a header, the schedule one element per line
+/// (`op p0` / `commit p0 r3` / `crash p1` — exactly the three
+/// [`wbmem::SchedElem`] shapes, in replay order), and the event trace the
+/// schedule produces, one event per line via [`wbmem::Trace::to_lines`].
+///
+/// `m` must be configured the way the checker ran (same model, same crash
+/// bound) *plus* trace recording
+/// ([`MachineConfig::with_trace`](wbmem::MachineConfig::with_trace));
+/// the schedule is replayed on it here. Returns the artifact path.
+pub fn save_counterexample<P: wbmem::Process>(
+    name: &str,
+    header: &str,
+    mut m: wbmem::Machine<P>,
+    schedule: &[wbmem::SchedElem],
+) -> PathBuf {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {header}");
+    let _ = writeln!(
+        out,
+        "# Replay: feed each `schedule:` line to Machine::step in order \
+         (machine configured as above)."
+    );
+    for &e in schedule {
+        let _ = write!(out, "schedule: ");
+        let _ = match (e.crash, e.reg) {
+            (true, _) => writeln!(out, "crash p{}", e.proc.0),
+            (false, Some(r)) => writeln!(out, "commit p{} r{}", e.proc.0, r.0),
+            (false, None) => writeln!(out, "op p{}", e.proc.0),
+        };
+        let stepped = !matches!(m.step(e), wbmem::StepOutcome::NoOp);
+        debug_assert!(stepped, "counterexample schedules never no-op");
+    }
+    let _ = writeln!(out, "trace:");
+    for line in m.trace().to_lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+    let path = results_dir().join(format!("{name}.txt"));
+    if let Err(e) = fs::write(&path, &out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    path
+}
+
+/// Append pre-rendered JSON row objects to the `"results"` array of
+/// `BENCH_explore.json` at the workspace root (created with an empty array
+/// if the bench has not been run yet). Each element of `rows` must be a
+/// complete JSON object literal without trailing comma. Idempotent: an
+/// existing row with the same `"workload"` value as an incoming row is
+/// dropped first, so re-running an experiment refreshes its rows instead
+/// of duplicating them.
+pub fn append_bench_explore_rows(rows: &[String]) {
+    if rows.is_empty() {
+        return;
+    }
+    let path = workspace_root().join("BENCH_explore.json");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|_| "{\n  \"bench\": \"explore\",\n  \"results\": [\n  ]\n}\n".to_string());
+    let workload_of = |row: &str| {
+        row.split("\"workload\": \"")
+            .nth(1)
+            .and_then(|rest| rest.split('"').next())
+            .map(str::to_string)
+    };
+    let incoming: Vec<String> = rows.iter().filter_map(|r| workload_of(r)).collect();
+    let text: String = text
+        .lines()
+        .filter(|line| {
+            let stale = line.trim_start().starts_with('{')
+                && workload_of(line).is_some_and(|w| incoming.contains(&w));
+            !stale
+        })
+        .map(|line| {
+            // A kept row that preceded a dropped tail row may leave a
+            // trailing comma before `]`; normalize it below via rfind.
+            format!("{line}\n")
+        })
+        .collect();
+    let Some(end) = text.rfind("  ]") else {
+        eprintln!(
+            "warning: {} has no results array; rows not appended",
+            path.display()
+        );
+        return;
+    };
+    let mut body = text[..end].trim_end().to_string();
+    if body.ends_with(',') {
+        body.pop();
+    }
+    let rendered: String = rows
+        .iter()
+        .map(|r| format!("    {r}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    if body.ends_with('[') {
+        body.push('\n');
+    } else {
+        body.push_str(",\n");
+    }
+    body.push_str(&rendered);
+    body.push('\n');
+    body.push_str(&text[end..]);
+    if let Err(e) = fs::write(&path, &body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
 /// The repository `results/` directory (created on demand).
 #[must_use]
 pub fn results_dir() -> PathBuf {

@@ -58,7 +58,7 @@ pub mod prelude {
         EncodeOptions,
     };
     pub use modelcheck::{
-        check, elision_table, elision_table_par, CheckConfig, CheckError, Coverage, Engine, Verdict,
+        check, elision_table, CheckConfig, CheckError, Coverage, Engine, Verdict,
     };
     pub use simlocks::{
         build_mutex, build_ordering, FenceMask, LockKind, ObjectKind, OrderingInstance,

@@ -42,6 +42,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod analysis;
 pub mod asm;
 pub mod instr;
 pub mod program;

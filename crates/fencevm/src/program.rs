@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use crate::analysis::{analyze, union_summaries, PcSummary};
 use crate::instr::Instr;
 
 /// An immutable, assembled program: a straight vector of instructions with
@@ -17,6 +18,12 @@ pub struct Program {
     /// Instruction index control restarts at after a crash (the program's
     /// declared recovery section; `0` — the program start — by default).
     recovery: usize,
+    /// Per-pc static access summaries (see [`crate::analysis`]), computed
+    /// once at assembly.
+    analysis: Vec<PcSummary>,
+    /// The same summaries with the recovery section's accesses folded in,
+    /// for processes that may still crash.
+    analysis_rec: Vec<PcSummary>,
 }
 
 impl Program {
@@ -43,11 +50,26 @@ impl Program {
             recovery < instrs.len(),
             "program {name}: recovery entry {recovery} is out of range"
         );
+        let analysis = analyze(&instrs);
+        let analysis_rec = union_summaries(&analysis, &analysis[recovery]);
         Program {
             name,
             instrs,
             local_names,
             recovery,
+            analysis,
+            analysis_rec,
+        }
+    }
+
+    /// The static access summary for program point `pc`; with
+    /// `include_recovery`, the recovery section's accesses are included
+    /// (sound for a process that may still crash).
+    pub(crate) fn summary(&self, pc: usize, include_recovery: bool) -> &PcSummary {
+        if include_recovery {
+            &self.analysis_rec[pc]
+        } else {
+            &self.analysis[pc]
         }
     }
 

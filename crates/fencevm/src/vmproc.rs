@@ -3,7 +3,7 @@
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use wbmem::{Poised, Process, RegId, Value};
+use wbmem::{AccessSet, FutureAccess, Poised, Process, RegId, Value};
 
 use crate::instr::{Instr, Loc, Src};
 use crate::program::Program;
@@ -199,6 +199,26 @@ impl Process for VmProc {
 
     fn annotation(&self) -> u64 {
         self.annot
+    }
+
+    fn future_access(&self, include_recovery: bool) -> FutureAccess<'_> {
+        let s = self.prog.summary(self.pc, include_recovery);
+        FutureAccess {
+            reads: if s.reads_all {
+                AccessSet::All
+            } else {
+                AccessSet::Set(&s.reads)
+            },
+            writes: if s.writes_all {
+                AccessSet::All
+            } else {
+                AccessSet::Set(&s.writes)
+            },
+        }
+    }
+
+    fn op_may_annotate(&self) -> bool {
+        self.prog.summary(self.pc, false).annot_next
     }
 
     fn recoverable(&self) -> bool {
@@ -461,6 +481,34 @@ mod tests {
         assert_eq!(p.local(t), 3);
         p.crash_recover();
         assert_eq!(p, VmProc::new(prog), "recovery resets to the initial state");
+    }
+
+    #[test]
+    fn future_access_tracks_pc_and_recovery() {
+        let mut a = Asm::new("fa");
+        let t = a.local("t");
+        a.read(0i64, t);
+        a.annot(1);
+        a.write(1i64, t);
+        a.fence();
+        a.ret(0i64);
+        a.recovery_here();
+        a.write(2i64, 7i64);
+        a.fence();
+        a.ret(1i64);
+        let mut p = VmProc::new(a.assemble().into());
+        let fa = p.future_access(false);
+        assert!(fa.reads.may_contain(RegId(0)) && fa.writes.may_contain(RegId(1)));
+        assert!(!fa.writes.may_contain(RegId(2)), "recovery excluded");
+        assert!(
+            p.future_access(true).writes.may_contain(RegId(2)),
+            "recovery included on demand"
+        );
+        assert!(p.op_may_annotate(), "advancing past the read runs annot(1)");
+        p.advance(Some(Value::Int(0)));
+        let fa = p.future_access(false);
+        assert!(!fa.reads.may_contain(RegId(0)), "the read is behind us");
+        assert!(!p.op_may_annotate());
     }
 
     #[test]

@@ -44,6 +44,20 @@ pub enum Engine {
         /// Worker count (`0` = available parallelism).
         threads: usize,
     },
+    /// Dynamic partial-order reduction: sleep sets plus (when the
+    /// termination check is off) ample process sets over the machine's
+    /// dependence footprints. Verdicts match the exhaustive engines;
+    /// statistics legitimately differ — that difference *is* the
+    /// reduction. See the `por` crate and `DESIGN.md` for the soundness
+    /// argument.
+    Dpor {
+        /// `Some(k)`: additionally restrict the search to schedules with
+        /// at most `k` steps where a program overtakes its own pending
+        /// buffered writes (`0` ≡ SC-equivalent schedules). An `Ok`
+        /// verdict then only covers the bounded schedule set; violations
+        /// are always real. `None`: full (sound and complete) search.
+        reorder_bound: Option<u32>,
+    },
 }
 
 /// What to verify during exploration.
@@ -198,6 +212,11 @@ pub struct Coverage {
     /// moment the budget expired, summed over workers for the parallel
     /// engine.
     pub frontier: usize,
+    /// Transitions the DPOR engine skipped as provably redundant (sleep-set
+    /// and ample pruning); always `0` for the exhaustive engines. The hit
+    /// rate `sleep_hits / (transitions + sleep_hits)` measures how much of
+    /// the raw schedule space the reduction discharged.
+    pub sleep_hits: usize,
 }
 
 /// A checker-level failure: the exploration could not be carried out, as
@@ -361,7 +380,7 @@ impl Verdict {
 /// silently pruned state, so we buy the margin. The state is hashed in a
 /// single streaming pass ([`Machine::hash_state`]); no snapshot is
 /// allocated.
-fn fingerprint<P: Process>(m: &Machine<P>) -> u128 {
+pub(crate) fn fingerprint<P: Process>(m: &Machine<P>) -> u128 {
     let mut h1 = DefaultHasher::new();
     0xA5A5_A5A5u32.hash(&mut h1);
     m.hash_state(&mut h1);
@@ -374,20 +393,20 @@ fn fingerprint<P: Process>(m: &Machine<P>) -> u128 {
     (u128::from(first) << 64) | u128::from(h2.finish())
 }
 
-fn in_cs_count<P: Process>(m: &Machine<P>) -> usize {
+pub(crate) fn in_cs_count<P: Process>(m: &Machine<P>) -> usize {
     (0..m.n())
         .filter(|&i| m.annotation(wbmem::ProcId::from(i)) == simlocks::ANNOT_IN_CS)
         .count()
 }
 
-fn returns_are_permutation<P: Process>(m: &Machine<P>) -> bool {
+pub(crate) fn returns_are_permutation<P: Process>(m: &Machine<P>) -> bool {
     let mut rets: Vec<u64> = m.return_values().into_iter().flatten().collect();
     rets.sort_unstable();
     rets == (0..m.n() as u64).collect::<Vec<u64>>()
 }
 
 /// Replay `sched` on a fresh clone of `initial` and render the execution.
-fn render<P: Process>(initial: &Machine<P>, sched: &[SchedElem]) -> Counterexample {
+pub(crate) fn render<P: Process>(initial: &Machine<P>, sched: &[SchedElem]) -> Counterexample {
     let mut m = initial.clone();
     let mut out = String::new();
     use std::fmt::Write as _;
@@ -412,7 +431,7 @@ fn render<P: Process>(initial: &Machine<P>, sched: &[SchedElem]) -> Counterexamp
 
 /// Dense state ids plus first-visit parents, for counterexample replay.
 #[derive(Default)]
-struct SearchIndex {
+pub(crate) struct SearchIndex {
     ids: HashMap<u128, u32>,
     parents: Vec<Option<(u32, SchedElem)>>,
 }
@@ -422,7 +441,11 @@ impl SearchIndex {
     /// sight. Returns `(id, freshly allocated)`, or `None` once the dense
     /// `u32` id space is exhausted (the caller surfaces
     /// [`CheckError::TooManyStates`]).
-    fn id_of(&mut self, fp: u128, parent: Option<(u32, SchedElem)>) -> Option<(u32, bool)> {
+    pub(crate) fn id_of(
+        &mut self,
+        fp: u128,
+        parent: Option<(u32, SchedElem)>,
+    ) -> Option<(u32, bool)> {
         if let Some(&id) = self.ids.get(&fp) {
             Some((id, false))
         } else {
@@ -433,12 +456,12 @@ impl SearchIndex {
         }
     }
 
-    fn len(&self) -> usize {
+    pub(crate) fn len(&self) -> usize {
         self.ids.len()
     }
 
     /// The schedule from the root to state `id` along first-visit parents.
-    fn path_to(&self, id: u32) -> Vec<SchedElem> {
+    pub(crate) fn path_to(&self, id: u32) -> Vec<SchedElem> {
         let mut sched = Vec::new();
         let mut cur = id;
         while let Some((p, e)) = self.parents[cur as usize] {
@@ -452,7 +475,7 @@ impl SearchIndex {
 
 /// Reverse reachability from terminal states: the smallest-id state that
 /// cannot reach completion, if any.
-fn find_stuck(n_states: usize, edges: &[(u32, u32)], terminal: &[u32]) -> Option<u32> {
+pub(crate) fn find_stuck(n_states: usize, edges: &[(u32, u32)], terminal: &[u32]) -> Option<u32> {
     let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n_states];
     for &(a, b) in edges {
         rev[b as usize].push(a);
@@ -475,7 +498,7 @@ fn find_stuck(n_states: usize, edges: &[(u32, u32)], terminal: &[u32]) -> Option
 
 /// Whether the configured annotation invariant rejects the machine's
 /// current annotation vector.
-fn violates_invariant<P: Process>(config: &CheckConfig, m: &Machine<P>) -> bool {
+pub(crate) fn violates_invariant<P: Process>(config: &CheckConfig, m: &Machine<P>) -> bool {
     config.annotation_invariant.is_some_and(|inv| {
         let annots: Vec<u64> = (0..m.n())
             .map(|i| m.annotation(wbmem::ProcId::from(i)))
@@ -497,7 +520,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 
 /// How many loop iterations the sequential engines run between deadline
 /// polls (the parallel workers poll on their existing 256-step cadence).
-const DEADLINE_POLL_MASK: usize = 1024 - 1;
+pub(crate) const DEADLINE_POLL_MASK: usize = 1024 - 1;
 
 /// Exhaustively explore every schedule of `initial` (process interleavings
 /// *and* commit orders) and check the configured properties.
@@ -533,6 +556,9 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
         Engine::CloneDfs => check_clone_dfs(root, config, deadline),
         Engine::Undo => check_undo(root, config, deadline),
         Engine::Parallel { threads } => check_parallel(root, config, threads, deadline),
+        Engine::Dpor { reorder_bound } => {
+            crate::dpor::check_dpor(root, config, reorder_bound, deadline)
+        }
     };
     verdict.stats_mut().elapsed = start.elapsed();
     verdict
@@ -583,6 +609,7 @@ fn check_clone_dfs<P: Process>(
                 stats,
                 Coverage {
                     frontier: stack.len() + 1,
+                    sleep_hits: 0,
                 },
             );
         }
@@ -717,6 +744,7 @@ fn check_undo<P: Process>(
                 stats,
                 Coverage {
                     frontier: frames.len(),
+                    sleep_hits: 0,
                 },
             );
         }
@@ -966,6 +994,7 @@ fn check_parallel<P: Process>(
             stats,
             Coverage {
                 frontier: reports.iter().map(|r| r.frontier).sum(),
+                sleep_hits: 0,
             },
         );
     }

@@ -1,0 +1,434 @@
+//! The partial-order-reduction engine ([`Engine::Dpor`]).
+//!
+//! A depth-first search over the same state space as [`Engine::Undo`],
+//! pruned by the `por` crate's machinery:
+//!
+//! * **Sleep sets** skip transitions whose effect was already explored on
+//!   an independent sibling branch. Sleep sets prune *edges only* — every
+//!   reachable state is still visited — so they are safe under every
+//!   checked property, including termination.
+//! * **Ample sets** skip whole subtrees by scheduling a single process
+//!   whose pending choices are invisible and independent of every other
+//!   process's future. Ample pruning drops states, which is exactly the
+//!   point — but the explored edge graph then under-approximates
+//!   reachability, so ample selection is **disabled when
+//!   `check_termination` is on** (the termination verdict needs the full
+//!   graph). The cycle proviso (no ample step may close a DFS cycle
+//!   without a full expansion) is enforced here, on the stack.
+//! * **Reorder bound** (optional): prune schedules that overtake pending
+//!   buffered writes more than `k` times. A bounded `Ok` is a bounded
+//!   claim; violations found under a bound are always real executions.
+//!
+//! With the termination check on, the search additionally *probes* every
+//! slept choice one step deep (step → fingerprint → undo) so the edge
+//! graph handed to the reverse-reachability pass is the full graph over
+//! the visited states; probes are bookkeeping, not exploration, and are
+//! not counted as transitions.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use por::{expand, step_weight, SleepSet, VisitTable};
+use wbmem::{Footprint, Machine, Process, SchedElem, StepOutcome, UndoToken};
+
+use crate::checker::{
+    find_stuck, fingerprint, in_cs_count, render, returns_are_permutation, violates_invariant,
+    CheckConfig, CheckError, Coverage, SearchIndex, Stats, Verdict, DEADLINE_POLL_MASK,
+};
+
+/// One frame of the reduced DFS. Unlike the undo engine's arena frames,
+/// each frame owns its choice vector: the cycle proviso can grow it after
+/// the fact (ample-excluded choices are appended when a reduced step
+/// closes a cycle).
+struct DFrame<P> {
+    id: u32,
+    fp: u128,
+    /// Sleep set this state was entered with.
+    sleep: SleepSet,
+    /// Choices still to explore; consumed front to back via `next`.
+    choices: Vec<SchedElem>,
+    next: usize,
+    /// Siblings already explored from this state, with their footprints —
+    /// the candidates to put to sleep in later children.
+    taken: Vec<(SchedElem, Footprint)>,
+    /// Ample-pruned choices, re-added to `choices` if the proviso fires.
+    excluded: Vec<SchedElem>,
+    /// Remaining reorder budget on entry to this state.
+    remaining: u32,
+    /// How to rewind the machine to the parent (None at the root).
+    token: Option<UndoToken<P>>,
+}
+
+/// Step every slept choice once to record its edge in the termination
+/// graph, undoing immediately. The machine must currently be at the state
+/// `parent_id` denotes.
+fn probe_slept_edges<P: Process>(
+    m: &mut Machine<P>,
+    parent_id: u32,
+    choices: &[SchedElem],
+    sleep: &SleepSet,
+    index: &mut SearchIndex,
+    edges: &mut Vec<(u32, u32)>,
+) -> Result<(), CheckError> {
+    for &e in choices.iter().filter(|&&e| sleep.contains(e)) {
+        let (out, token) = m.step_recorded(e);
+        if !matches!(out, StepOutcome::NoOp) {
+            let fp = fingerprint(m);
+            let Some((child_id, _)) = index.id_of(fp, Some((parent_id, e))) else {
+                m.undo(token);
+                return Err(CheckError::TooManyStates);
+            };
+            edges.push((parent_id, child_id));
+        }
+        m.undo(token);
+    }
+    Ok(())
+}
+
+/// The DPOR search; see the module docs. Entered via
+/// [`crate::check`] with [`Engine::Dpor`](crate::Engine::Dpor).
+pub(crate) fn check_dpor<P: Process>(
+    initial: &Machine<P>,
+    config: &CheckConfig,
+    reorder_bound: Option<u32>,
+    deadline: Option<Instant>,
+) -> Verdict {
+    let model = initial.config().model;
+    // Ample pruning drops states; the termination check needs all of them.
+    let use_ample = !config.check_termination;
+    let budget0 = reorder_bound.unwrap_or(u32::MAX);
+
+    let mut visited = VisitTable::new();
+    let mut stats = Stats::default();
+    let mut sleep_hits = 0usize;
+    let mut index = SearchIndex::default();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut terminal: Vec<u32> = Vec::new();
+    // Fingerprints currently on the DFS stack (a multiset: re-exploration
+    // under a smaller sleep set can nest a state inside itself).
+    let mut on_stack: HashMap<u128, u32> = HashMap::new();
+
+    let root_fp = fingerprint(initial);
+    let Some((root_id, _)) = index.id_of(root_fp, None) else {
+        return Verdict::Error(stats, CheckError::TooManyStates);
+    };
+    let root_sleep = SleepSet::new();
+    visited.try_claim(root_fp, &root_sleep, budget0);
+    stats.states = 1;
+
+    if config.check_mutex && in_cs_count(initial) > 1 {
+        return Verdict::MutexViolation(stats, render(initial, &[]));
+    }
+    if violates_invariant(config, initial) {
+        return Verdict::InvariantViolation(stats, render(initial, &[]));
+    }
+    if initial.all_done() {
+        terminal.push(root_id);
+        stats.terminal_states = 1;
+    }
+
+    let mut m = initial.clone();
+    let mut frames: Vec<DFrame<P>> = Vec::new();
+    let mut scratch: Vec<SchedElem> = Vec::new();
+
+    if !initial.all_done() {
+        m.choices_into(&mut scratch);
+        let x = expand(&m, &scratch, &root_sleep, use_ample);
+        sleep_hits += x.slept;
+        on_stack.insert(root_fp, 1);
+        frames.push(DFrame {
+            id: root_id,
+            fp: root_fp,
+            sleep: root_sleep,
+            choices: x.explore,
+            next: 0,
+            taken: Vec::new(),
+            excluded: x.excluded,
+            remaining: budget0,
+            token: None,
+        });
+    }
+
+    let mut iters = 0usize;
+    while let Some(top) = frames.last_mut() {
+        iters += 1;
+        if iters & DEADLINE_POLL_MASK == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+            return Verdict::Inconclusive(
+                stats,
+                Coverage {
+                    frontier: frames.len(),
+                    sleep_hits,
+                },
+            );
+        }
+        if top.next == top.choices.len() {
+            let frame = frames.pop().expect("non-empty stack");
+            match on_stack.get_mut(&frame.fp) {
+                Some(1) => {
+                    on_stack.remove(&frame.fp);
+                }
+                Some(c) => *c -= 1,
+                None => unreachable!("frame fingerprint missing from the stack set"),
+            }
+            if let Some(token) = frame.token {
+                m.undo(token);
+            }
+            continue;
+        }
+        let elem = top.choices[top.next];
+        top.next += 1;
+        let parent_id = top.id;
+        let parent_remaining = top.remaining;
+
+        let weight = step_weight(&m, elem);
+        if weight > parent_remaining {
+            continue; // beyond the reorder bound: neither taken nor slept
+        }
+
+        let (out, token) = m.step_recorded(elem);
+        if matches!(out, StepOutcome::NoOp) {
+            m.undo(token);
+            continue;
+        }
+        let efp = token.footprint();
+        stats.transitions += 1;
+        let fp = fingerprint(&m);
+        let Some((child_id, _)) = index.id_of(fp, Some((parent_id, elem))) else {
+            return Verdict::Error(stats, CheckError::TooManyStates);
+        };
+        if config.check_termination {
+            edges.push((parent_id, child_id));
+        }
+
+        // Cycle proviso (C3): a reduced step that lands on a state still
+        // on the stack could postpone the pruned processes forever around
+        // the cycle; fall back to full expansion of this frame.
+        if on_stack.contains_key(&fp) && !top.excluded.is_empty() {
+            let reinstated: Vec<SchedElem> = top.excluded.drain(..).collect();
+            for e in reinstated {
+                if top.sleep.contains(e) {
+                    sleep_hits += 1;
+                } else {
+                    top.choices.push(e);
+                }
+            }
+        }
+
+        // Sleep set for the child: surviving inherited entries, plus every
+        // already-explored sibling that is independent of this step.
+        let mut child_sleep = top.sleep.inherit(efp, model);
+        for &(se, sf) in &top.taken {
+            if sf.independent(efp, model) {
+                child_sleep.insert(se, sf);
+            }
+        }
+        top.taken.push((elem, efp));
+
+        let child_remaining = parent_remaining - weight;
+        let fresh = !visited.seen(fp);
+        if !visited.try_claim(fp, &child_sleep, child_remaining) {
+            sleep_hits += 1;
+            m.undo(token);
+            continue;
+        }
+
+        if fresh {
+            stats.states += 1;
+            if stats.states > config.max_states {
+                return Verdict::StateLimit(stats);
+            }
+            if config.check_mutex && in_cs_count(&m) > 1 {
+                return Verdict::MutexViolation(stats, render(initial, &index.path_to(child_id)));
+            }
+            if violates_invariant(config, &m) {
+                return Verdict::InvariantViolation(
+                    stats,
+                    render(initial, &index.path_to(child_id)),
+                );
+            }
+            if m.all_done() {
+                stats.terminal_states += 1;
+                terminal.push(child_id);
+                if config.check_permutation && !returns_are_permutation(&m) {
+                    return Verdict::PermutationViolation(
+                        stats,
+                        render(initial, &index.path_to(child_id)),
+                    );
+                }
+                m.undo(token);
+                continue;
+            }
+        } else if m.all_done() {
+            // Re-entered terminal state (smaller sleep set): nothing to do.
+            m.undo(token);
+            continue;
+        }
+
+        m.choices_into(&mut scratch);
+        debug_assert!(!scratch.is_empty(), "non-terminal state has no choices");
+        let x = expand(&m, &scratch, &child_sleep, use_ample);
+        sleep_hits += x.slept;
+        if config.check_termination && x.slept > 0 {
+            if let Err(e) = probe_slept_edges(
+                &mut m,
+                child_id,
+                &scratch,
+                &child_sleep,
+                &mut index,
+                &mut edges,
+            ) {
+                return Verdict::Error(stats, e);
+            }
+        }
+        *on_stack.entry(fp).or_insert(0) += 1;
+        frames.push(DFrame {
+            id: child_id,
+            fp,
+            sleep: child_sleep,
+            choices: x.explore,
+            next: 0,
+            taken: Vec::new(),
+            excluded: x.excluded,
+            remaining: child_remaining,
+            token: Some(token),
+        });
+    }
+
+    if config.check_termination {
+        if let Some(stuck) = find_stuck(index.len(), &edges, &terminal) {
+            return Verdict::NoTermination(stats, render(initial, &index.path_to(stuck)));
+        }
+    }
+
+    Verdict::Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, Engine};
+    use simlocks::{build_mutex, FenceMask, LockKind};
+    use wbmem::MemoryModel;
+
+    fn dpor() -> Engine {
+        Engine::Dpor {
+            reorder_bound: None,
+        }
+    }
+
+    fn cfg() -> CheckConfig {
+        CheckConfig::default().with_engine(dpor())
+    }
+
+    #[test]
+    fn fully_fenced_peterson_is_correct_under_all_models() {
+        let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+        for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+            let v = check(&inst.machine(model), &cfg());
+            assert!(v.is_ok(), "{model}: {}", v.label());
+        }
+    }
+
+    #[test]
+    fn broken_peterson_is_still_caught_and_replays() {
+        let mask = FenceMask::only(&[simlocks::peterson::SITE_VICTIM]);
+        let inst = build_mutex(LockKind::Peterson, 2, mask);
+        let v = check(&inst.machine(MemoryModel::Pso), &cfg());
+        let Verdict::MutexViolation(_, cex) = v else {
+            panic!("expected violation, got {}", v.label());
+        };
+        // The schedule must reproduce the violation on an unreduced machine.
+        let mut m = inst.machine(MemoryModel::Pso);
+        for &e in &cex.schedule {
+            assert!(
+                !matches!(m.step(e), StepOutcome::NoOp),
+                "counterexample contains a no-op step"
+            );
+        }
+        assert_eq!(in_cs_count(&m), 2, "replay reaches the double-CS state");
+    }
+
+    #[test]
+    fn reduction_shrinks_the_explored_space() {
+        let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+        let base = CheckConfig {
+            check_termination: false, // enable ample pruning
+            ..CheckConfig::default()
+        };
+        let full = check(&inst.machine(MemoryModel::Pso), &base);
+        let reduced = check(
+            &inst.machine(MemoryModel::Pso),
+            &base.clone().with_engine(dpor()),
+        );
+        assert!(full.is_ok() && reduced.is_ok());
+        assert!(
+            reduced.stats().states < full.stats().states,
+            "dpor {} vs undo {}",
+            reduced.stats().states,
+            full.stats().states
+        );
+        assert!(reduced.stats().transitions < full.stats().transitions);
+    }
+
+    #[test]
+    fn termination_violations_agree_with_undo() {
+        // Naive TTAS deadlocks under crashes; the DPOR engine (sleep sets
+        // plus edge probing, no ample) must find the same verdict.
+        let inst = build_mutex(LockKind::Ttas, 2, FenceMask::ALL);
+        let mut config = cfg();
+        config.max_states = 500_000;
+        config.check_termination = true;
+        let config = config.with_crashes(wbmem::CrashSemantics::DiscardBuffer, 1);
+        let v = check(&inst.machine(MemoryModel::Pso), &config);
+        assert!(
+            matches!(v, Verdict::NoTermination(..)),
+            "expected NO-TERMINATION, got {}",
+            v.label()
+        );
+    }
+
+    #[test]
+    fn reorder_bound_zero_matches_sc_verdicts() {
+        // Fenceless Peterson violates mutex under PSO via write overtaking,
+        // but is correct under SC. Bound 0 restricts PSO exploration to
+        // SC-equivalent schedules, so the violation disappears.
+        let mask = FenceMask::only(&[simlocks::peterson::SITE_RELEASE]);
+        let inst = build_mutex(LockKind::Peterson, 2, mask);
+        let full = check(&inst.machine(MemoryModel::Pso), &cfg());
+        assert!(matches!(full, Verdict::MutexViolation(..)));
+
+        let bounded = CheckConfig::default().with_engine(Engine::Dpor {
+            reorder_bound: Some(0),
+        });
+        let v = check(&inst.machine(MemoryModel::Pso), &bounded);
+        assert!(v.is_ok(), "bound 0 ≡ SC: {}", v.label());
+
+        // One overtake is already enough for this bug.
+        let bounded1 = CheckConfig::default().with_engine(Engine::Dpor {
+            reorder_bound: Some(1),
+        });
+        let v = check(&inst.machine(MemoryModel::Pso), &bounded1);
+        assert!(
+            matches!(v, Verdict::MutexViolation(..)),
+            "bound 1 finds it: {}",
+            v.label()
+        );
+    }
+
+    #[test]
+    fn budget_expiry_reports_sleep_hits() {
+        let inst = build_mutex(LockKind::Bakery, 3, FenceMask::ALL);
+        let config = cfg().with_budget(std::time::Duration::ZERO);
+        let v = check(&inst.machine(MemoryModel::Pso), &config);
+        match v {
+            Verdict::Inconclusive(stats, coverage) => {
+                assert!(stats.states >= 1);
+                assert!(coverage.frontier >= 1);
+                // sleep_hits is a counter, not a guarantee — just make sure
+                // the field is plumbed (type-level check, really).
+                let _ = coverage.sleep_hits;
+            }
+            other => panic!("expected inconclusive, got {}", other.label()),
+        }
+    }
+}

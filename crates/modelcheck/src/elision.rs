@@ -77,24 +77,15 @@ fn elision_row(
 }
 
 /// Model-check every mask in `masks` for `kind` with `n` processes under
-/// each of `models`.
+/// each of `models`, on up to `threads` scoped worker threads (each mask is
+/// an independent model-checking job; `1` = fully sequential).
+///
+/// Each check runs whatever engine `config` selects — in particular
+/// [`Engine::Dpor`](crate::Engine::Dpor) reduces the whole sweep — and row
+/// order matches `masks` regardless of thread count, so for a fixed config
+/// the output is identical at any parallelism level.
 #[must_use]
 pub fn elision_table(
-    kind: LockKind,
-    n: usize,
-    masks: &[FenceMask],
-    models: &[MemoryModel],
-    config: &CheckConfig,
-) -> Vec<ElisionRow> {
-    elision_table_par(kind, n, masks, models, config, 1)
-}
-
-/// [`elision_table`] with the candidate masks checked on up to `threads`
-/// scoped worker threads (each mask is an independent model-checking job).
-/// Row order matches `masks` regardless of thread count, and each check is
-/// itself sequential, so the output is identical to the sequential table.
-#[must_use]
-pub fn elision_table_par(
     kind: LockKind,
     n: usize,
     masks: &[FenceMask],
@@ -157,6 +148,7 @@ mod tests {
                 check_termination: false,
                 ..CheckConfig::default()
             },
+            1,
         );
         assert_eq!(rows.len(), 8);
 

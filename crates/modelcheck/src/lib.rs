@@ -37,11 +37,12 @@
 #![warn(missing_docs)]
 
 pub mod checker;
+mod dpor;
 pub mod elision;
 pub mod outcomes;
 
 pub use checker::{
     check, CheckConfig, CheckError, Counterexample, Coverage, Engine, Stats, Verdict,
 };
-pub use elision::{elision_table, elision_table_par, minimal_fences, ElisionRow};
+pub use elision::{elision_table, minimal_fences, ElisionRow};
 pub use outcomes::{terminal_outcomes, Outcome};

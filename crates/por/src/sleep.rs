@@ -1,0 +1,213 @@
+//! Sleep sets.
+//!
+//! A sleep set holds schedule choices that are provably redundant at a
+//! state: each slept choice was already explored from an ancestor, and
+//! every step on the path since then is independent of it, so any
+//! execution starting with the slept choice commutes — step by step — into
+//! one that was (or will be) explored on the sibling branch. Exploring it
+//! again could only re-derive known states.
+//!
+//! Entries carry the [`Footprint`] the choice had when it went to sleep.
+//! Footprints of pending choices are state-dependent (a CAS flips between
+//! read-like and write-like with the cell's contents), but the *only*
+//! steps that can change a choice's footprint are steps whose own
+//! footprint conflicts with it — and those wake (remove) the entry via
+//! [`SleepSet::inherit`]. A surviving entry therefore still denotes the
+//! same transition it did when it was put to sleep.
+
+use wbmem::{Footprint, MemoryModel, SchedElem};
+
+/// An ordered set of `(choice, footprint)` pairs; see the module docs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SleepSet {
+    /// Sorted by [`key`] so membership and subset tests are cheap; the
+    /// sets stay tiny (bounded by a state's out-degree).
+    entries: Vec<(SchedElem, Footprint)>,
+}
+
+/// Total order on schedule elements (process, then crash flag, then
+/// commit register with `⊥` last).
+fn key(e: SchedElem) -> (u32, u8, u32, u32) {
+    let (has_reg, reg) = match e.reg {
+        Some(r) => (0, r.0),
+        None => (1, 0),
+    };
+    (e.proc.0, u8::from(e.crash), has_reg, reg)
+}
+
+impl SleepSet {
+    /// The empty sleep set (used at the root).
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether `elem` is asleep.
+    #[must_use]
+    pub fn contains(&self, elem: SchedElem) -> bool {
+        self.entries
+            .binary_search_by_key(&key(elem), |&(e, _)| key(e))
+            .is_ok()
+    }
+
+    /// Put `elem` (with the footprint it has right now) to sleep.
+    /// Re-inserting an element replaces its stored footprint.
+    pub fn insert(&mut self, elem: SchedElem, fp: Footprint) {
+        match self
+            .entries
+            .binary_search_by_key(&key(elem), |&(e, _)| key(e))
+        {
+            Ok(i) => self.entries[i].1 = fp,
+            Err(i) => self.entries.insert(i, (elem, fp)),
+        }
+    }
+
+    /// The sleep set a child state inherits after taking a step with
+    /// footprint `step`: every entry independent of the step survives,
+    /// every dependent entry wakes.
+    #[must_use]
+    pub fn inherit(&self, step: Footprint, model: MemoryModel) -> SleepSet {
+        SleepSet {
+            entries: self
+                .entries
+                .iter()
+                .filter(|&&(_, fp)| fp.independent(step, model))
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// Whether every entry of `self` (element *and* footprint) appears in
+    /// `other`. A visit recorded with sleep set `Z` covers a later arrival
+    /// with sleep set `Z' ⊇ Z`: the earlier visit explored a superset of
+    /// the choices the later one would.
+    #[must_use]
+    pub fn is_subset_of(&self, other: &SleepSet) -> bool {
+        // Both sides are sorted by the same key; walk them in lockstep.
+        let mut it = other.entries.iter();
+        'outer: for mine in &self.entries {
+            for theirs in it.by_ref() {
+                if key(theirs.0) == key(mine.0) {
+                    if theirs.1 != mine.1 {
+                        return false;
+                    }
+                    continue 'outer;
+                }
+                if key(theirs.0) > key(mine.0) {
+                    return false;
+                }
+            }
+            return false;
+        }
+        true
+    }
+
+    /// Number of slept choices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is asleep.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(choice, footprint-at-sleep-time)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SchedElem, Footprint)> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbmem::{FootprintKind, ProcId, RegId};
+
+    fn fp(p: u32, kind: FootprintKind) -> Footprint {
+        Footprint {
+            proc: ProcId(p),
+            kind,
+        }
+    }
+
+    #[test]
+    fn insert_contains_and_order() {
+        let mut z = SleepSet::new();
+        assert!(z.is_empty());
+        z.insert(SchedElem::op(ProcId(1)), fp(1, FootprintKind::Local));
+        z.insert(
+            SchedElem::commit(ProcId(0), RegId(3)),
+            fp(0, FootprintKind::Commit(RegId(3))),
+        );
+        z.insert(SchedElem::crash(ProcId(0)), fp(0, FootprintKind::Local));
+        assert_eq!(z.len(), 3);
+        assert!(z.contains(SchedElem::op(ProcId(1))));
+        assert!(z.contains(SchedElem::commit(ProcId(0), RegId(3))));
+        assert!(!z.contains(SchedElem::commit(ProcId(0), RegId(4))));
+        assert!(!z.contains(SchedElem::op(ProcId(0))));
+        let keys: Vec<_> = z.iter().map(|(e, _)| key(e)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "entries stay sorted");
+    }
+
+    #[test]
+    fn inherit_wakes_conflicting_entries() {
+        let mut z = SleepSet::new();
+        z.insert(
+            SchedElem::commit(ProcId(0), RegId(1)),
+            fp(0, FootprintKind::Commit(RegId(1))),
+        );
+        z.insert(
+            SchedElem::op(ProcId(1)),
+            fp(1, FootprintKind::Read(RegId(2))),
+        );
+        // A commit to reg 2 by proc 2 conflicts with the slept read of reg
+        // 2 but not with the slept commit of reg 1.
+        let step = fp(2, FootprintKind::Commit(RegId(2)));
+        let child = z.inherit(step, wbmem::MemoryModel::Pso);
+        assert!(child.contains(SchedElem::commit(ProcId(0), RegId(1))));
+        assert!(!child.contains(SchedElem::op(ProcId(1))), "read woke up");
+    }
+
+    #[test]
+    fn subset_requires_matching_footprints() {
+        let mut small = SleepSet::new();
+        small.insert(
+            SchedElem::op(ProcId(0)),
+            fp(0, FootprintKind::Read(RegId(5))),
+        );
+        let mut big = small.clone();
+        big.insert(SchedElem::op(ProcId(1)), fp(1, FootprintKind::Local));
+        assert!(small.is_subset_of(&big));
+        assert!(!big.is_subset_of(&small));
+        assert!(SleepSet::new().is_subset_of(&small));
+
+        // Same element, different footprint: not a subset.
+        let mut other = SleepSet::new();
+        other.insert(
+            SchedElem::op(ProcId(0)),
+            fp(0, FootprintKind::Write(RegId(5))),
+        );
+        assert!(!small.is_subset_of(&other));
+        assert!(!other.is_subset_of(&small));
+    }
+
+    #[test]
+    fn reinsert_replaces_the_footprint() {
+        let mut z = SleepSet::new();
+        z.insert(
+            SchedElem::op(ProcId(0)),
+            fp(0, FootprintKind::Read(RegId(1))),
+        );
+        z.insert(
+            SchedElem::op(ProcId(0)),
+            fp(0, FootprintKind::Write(RegId(1))),
+        );
+        assert_eq!(z.len(), 1);
+        let (_, stored) = z.iter().next().unwrap();
+        assert_eq!(stored.kind, FootprintKind::Write(RegId(1)));
+    }
+}

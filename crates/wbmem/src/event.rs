@@ -241,6 +241,14 @@ impl Trace {
         }
         out
     }
+
+    /// The trace as plain text lines, one event per line, without line
+    /// numbers — the serialization counterexample artifacts are written
+    /// with (each line round-trips through the event `Display` form).
+    #[must_use]
+    pub fn to_lines(&self) -> Vec<String> {
+        self.events.iter().map(|e| e.to_string()).collect()
+    }
 }
 
 impl FromIterator<Event> for Trace {

@@ -72,6 +72,7 @@
 pub mod buffer;
 pub mod counters;
 pub mod event;
+pub mod footprint;
 pub mod machine;
 pub mod model;
 pub mod process;
@@ -84,12 +85,13 @@ pub mod value;
 pub use buffer::{BufferUndo, WriteBuffer};
 pub use counters::{Counters, ProcCounters};
 pub use event::{Event, EventKind, Trace};
+pub use footprint::{Footprint, FootprintKind};
 pub use machine::{
     CrashSemantics, Machine, MachineConfig, MachineError, SoloOutcome, StateKey, StepOutcome,
     UndoToken,
 };
 pub use model::MemoryModel;
-pub use process::{Poised, PoisedKind, Process};
-pub use reg::{MemoryLayout, ProcId, RegId};
+pub use process::{AccessSet, FutureAccess, Poised, PoisedKind, Process};
+pub use reg::{MemoryLayout, ProcId, RegId, RegSet};
 pub use sched::{SchedElem, Schedule};
 pub use value::Value;

@@ -5,6 +5,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use crate::buffer::{BufferUndo, WriteBuffer};
 use crate::counters::{Counters, ProcCounters};
 use crate::event::{Event, EventKind, Trace};
+use crate::footprint::{Footprint, FootprintKind};
 use crate::model::MemoryModel;
 use crate::process::{Poised, Process};
 use crate::reg::{MemoryLayout, ProcId, RegId};
@@ -213,6 +214,9 @@ pub struct StateKey<P: Process> {
 #[derive(Clone, Debug)]
 pub struct UndoToken<P> {
     proc: ProcId,
+    /// The dependence footprint of the recorded step (predicted from the
+    /// pre-step configuration; see [`Machine::choice_footprint`]).
+    footprint: Footprint,
     /// The program state before the step, if the step advanced it.
     prog: Option<P>,
     returned: Option<u64>,
@@ -233,6 +237,18 @@ pub struct UndoToken<P> {
     crash: Option<Box<CrashUndo>>,
     next_nonce: u64,
     trace_len: usize,
+}
+
+impl<P> UndoToken<P> {
+    /// The dependence footprint of the step this token records: which
+    /// process moved and which shared cell the step read, wrote, or
+    /// committed. Computed from the pre-step configuration, so it describes
+    /// the step actually taken (e.g. a read reports `Local` when it was
+    /// served from the process's own buffer).
+    #[must_use]
+    pub fn footprint(&self) -> Footprint {
+        self.footprint
+    }
 }
 
 /// The full pre-image of a crash step: the buffer as it was before the
@@ -446,6 +462,13 @@ impl<P: Process> Machine<P> {
         &self.procs[p.index()].buffer
     }
 
+    /// Process `p`'s program state (for static-analysis hooks such as
+    /// [`Process::future_access`]).
+    #[must_use]
+    pub fn process(&self, p: ProcId) -> &P {
+        &self.procs[p.index()].prog
+    }
+
     /// Whether `p`'s write buffer is empty.
     #[must_use]
     pub fn buffer_is_empty(&self, p: ProcId) -> bool {
@@ -531,6 +554,7 @@ impl<P: Process> Machine<P> {
         let i = elem.proc.index();
         let mut token = UndoToken {
             proc: elem.proc,
+            footprint: self.choice_footprint(elem),
             prog: None,
             returned: self.procs[i].returned,
             buffer: BufferUndo::None,
@@ -1091,6 +1115,67 @@ impl<P: Process> Machine<P> {
             }
         }
         SoloOutcome::Unknown
+    }
+
+    /// The dependence footprint of schedule element `elem` in the current
+    /// configuration, *without* taking the step: which shared cell the step
+    /// would read, write, or commit, classified for the independence
+    /// relation ([`Footprint::independent`]).
+    ///
+    /// The prediction mirrors [`step`](Self::step)'s three-case rule
+    /// exactly, and [`step_recorded`](Self::step_recorded) stamps it on the
+    /// token it returns; a disabled element (no-op) reports `Local`.
+    #[must_use]
+    pub fn choice_footprint(&self, elem: SchedElem) -> Footprint {
+        let p = elem.proc;
+        let slot = &self.procs[p.index()];
+        let kind = if slot.returned.is_some() {
+            FootprintKind::Local // no-op
+        } else if elem.crash {
+            if self.config.max_crashes == 0
+                || slot.crashes >= self.config.max_crashes
+                || !slot.prog.recoverable()
+            {
+                FootprintKind::Local // no-op
+            } else {
+                FootprintKind::Crash {
+                    drains: self.config.crash_semantics == CrashSemantics::DrainBuffer
+                        && !slot.buffer.is_empty(),
+                }
+            }
+        } else if let Some(reg) = elem.reg.filter(|&r| slot.buffer.can_commit(r)) {
+            FootprintKind::Commit(reg)
+        } else {
+            match slot.prog.poised() {
+                Poised::Fence => match slot.buffer.fence_commit_target() {
+                    Some(target) => FootprintKind::Commit(target),
+                    None => FootprintKind::Local,
+                },
+                Poised::Cas { reg, expected, .. } => match slot.buffer.fence_commit_target() {
+                    Some(target) => FootprintKind::Commit(target),
+                    None if self.memory(reg).payload() == expected => FootprintKind::Write(reg),
+                    None => FootprintKind::Read(reg),
+                },
+                Poised::Swap { reg, .. } => match slot.buffer.fence_commit_target() {
+                    Some(target) => FootprintKind::Commit(target),
+                    None => FootprintKind::Write(reg),
+                },
+                Poised::Read(reg) => match slot.buffer.read(reg) {
+                    Some(_) => FootprintKind::Local,
+                    None => FootprintKind::Read(reg),
+                },
+                Poised::Write(reg, _) => {
+                    if self.config.model.buffers_writes() {
+                        FootprintKind::Local
+                    } else {
+                        FootprintKind::Write(reg)
+                    }
+                }
+                Poised::Return(_) => FootprintKind::Return,
+                Poised::Done => FootprintKind::Local,
+            }
+        };
+        Footprint { proc: p, kind }
     }
 
     /// Every schedule element that would produce a step from the current
@@ -2116,5 +2201,105 @@ mod tests {
         let out = m.run_solo(p(0), 100);
         assert!(matches!(out, SoloOutcome::Terminates { ret: 3, .. }));
         assert_eq!(m.memory(r(0)), Value::Int(1), "fence forced the commit");
+    }
+
+    /// Check, over an exhaustive bounded exploration, that
+    /// `choice_footprint`'s prediction agrees with the step the machine
+    /// actually takes (classified from the emitted event), and that
+    /// `step_recorded` stamps that same footprint on its token.
+    fn assert_footprints_predict_steps(m: &mut Machine<Script>, depth: usize) {
+        if depth == 0 {
+            return;
+        }
+        for elem in m.choices() {
+            let predicted = m.choice_footprint(elem);
+            assert_eq!(predicted.proc, elem.proc);
+            let was_sc_write = !elem.crash
+                && elem.reg.is_none()
+                && !m.config().model.buffers_writes()
+                && matches!(m.poised(elem.proc), Poised::Write(..));
+            let drains_expected = elem.crash
+                && m.config().crash_semantics == CrashSemantics::DrainBuffer
+                && !m.buffer_is_empty(elem.proc);
+            let (out, token) = m.step_recorded(elem);
+            assert_eq!(token.footprint(), predicted, "token reports the footprint");
+            let event = out.event().expect("choices() offers only real steps");
+            let actual = match event.kind {
+                EventKind::Read {
+                    reg, from_memory, ..
+                } => {
+                    if from_memory {
+                        FootprintKind::Read(reg)
+                    } else {
+                        FootprintKind::Local
+                    }
+                }
+                EventKind::Write { .. } | EventKind::Fence => FootprintKind::Local,
+                EventKind::Cas { reg, stored, .. } => {
+                    if stored.is_some() {
+                        FootprintKind::Write(reg)
+                    } else {
+                        FootprintKind::Read(reg)
+                    }
+                }
+                EventKind::Swap { reg, .. } => FootprintKind::Write(reg),
+                // An SC-mode write commits immediately; the primary event is
+                // the commit, but the footprint classifies it as a program
+                // write (both advance the program and write the cell).
+                EventKind::Commit { reg, .. } if was_sc_write => FootprintKind::Write(reg),
+                EventKind::Commit { reg, .. } => FootprintKind::Commit(reg),
+                EventKind::Return { .. } => FootprintKind::Return,
+                EventKind::Crash { .. } => FootprintKind::Crash {
+                    drains: drains_expected,
+                },
+            };
+            assert_eq!(
+                predicted.kind, actual,
+                "{elem:?}: predicted {predicted:?}, stepped to {event:?}"
+            );
+            assert_footprints_predict_steps(m, depth - 1);
+            m.undo(token);
+        }
+    }
+
+    #[test]
+    fn footprint_prediction_matches_actual_steps() {
+        let scripts = || {
+            vec![
+                Script::new(vec![
+                    Poised::Write(r(0), Value::Int(1)),
+                    Poised::Write(r(1), Value::Int(2)),
+                    Poised::Fence,
+                    Poised::Read(r(2)),
+                    Poised::Return(0),
+                ]),
+                Script::new(vec![
+                    Poised::Cas {
+                        reg: r(0),
+                        expected: 0,
+                        new: Value::Int(5),
+                    },
+                    Poised::Swap {
+                        reg: r(2),
+                        new: Value::Int(6),
+                    },
+                    Poised::Read(r(1)),
+                    Poised::Return(1),
+                ]),
+            ]
+        };
+        for model in MemoryModel::ALL {
+            for (sem, crashes) in [
+                (CrashSemantics::DiscardBuffer, 0),
+                (CrashSemantics::DiscardBuffer, 1),
+                (CrashSemantics::DrainBuffer, 1),
+            ] {
+                let cfg = MachineConfig::new(model, MemoryLayout::unowned())
+                    .with_trace()
+                    .with_crashes(sem, crashes);
+                let mut m = Machine::new(cfg, scripts());
+                assert_footprints_predict_steps(&mut m, 5);
+            }
+        }
     }
 }

@@ -1,7 +1,52 @@
 //! The interface between programs and the machine.
 
-use crate::reg::RegId;
+use crate::reg::{RegId, RegSet};
 use crate::value::Value;
+
+/// An over-approximated set of registers, for static access summaries:
+/// either a concrete [`RegSet`] or "anything" (the sound default when a
+/// program computes addresses dynamically).
+#[derive(Clone, Copy, Debug)]
+pub enum AccessSet<'a> {
+    /// Any register may be accessed.
+    All,
+    /// At most these registers may be accessed.
+    Set(&'a RegSet),
+}
+
+impl AccessSet<'_> {
+    /// Whether `reg` may be in the set.
+    #[must_use]
+    pub fn may_contain(self, reg: RegId) -> bool {
+        match self {
+            AccessSet::All => true,
+            AccessSet::Set(s) => s.contains(reg),
+        }
+    }
+}
+
+/// A static over-approximation of a process's possible *future* shared
+/// memory accesses, from its current control point to the end of every
+/// path. See [`Process::future_access`].
+#[derive(Clone, Copy, Debug)]
+pub struct FutureAccess<'a> {
+    /// Registers the process may still read (including via CAS/swap).
+    pub reads: AccessSet<'a>,
+    /// Registers the process may still write (including via CAS/swap and
+    /// buffered writes it has not yet issued).
+    pub writes: AccessSet<'a>,
+}
+
+impl FutureAccess<'_> {
+    /// The conservative "may touch anything" summary.
+    #[must_use]
+    pub fn all() -> Self {
+        FutureAccess {
+            reads: AccessSet::All,
+            writes: AccessSet::All,
+        }
+    }
+}
 
 /// The operation a process is poised to execute, as observed by the machine
 /// before the corresponding step is taken.
@@ -130,6 +175,31 @@ pub trait Process: Clone + Eq + std::hash::Hash + Send + Sync {
     /// called when [`recoverable`](Process::recoverable) is `true`. The
     /// default does nothing.
     fn crash_recover(&mut self) {}
+
+    /// A static over-approximation of every shared register this process
+    /// may still read or write, from its current state onward (its own
+    /// poised operation included). With `include_recovery`, the summary
+    /// must also cover everything reachable from the program's crash
+    /// recovery entry — callers pass `true` whenever the process can still
+    /// crash.
+    ///
+    /// Partial-order reduction uses this to prove that another process's
+    /// pending step can never interfere with this one; the default —
+    /// "may touch anything" — is always sound and merely disables that
+    /// reduction.
+    fn future_access(&self, include_recovery: bool) -> FutureAccess<'_> {
+        let _ = include_recovery;
+        FutureAccess::all()
+    }
+
+    /// Whether performing the poised operation may change the process's
+    /// [`annotation`](Process::annotation). Property checks observe
+    /// annotations, so partial-order reduction must treat
+    /// annotation-changing steps as visible; the conservative default is
+    /// `true`.
+    fn op_may_annotate(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,87 @@ impl From<usize> for RegId {
     }
 }
 
+/// A set of register identifiers, stored as a bitset.
+///
+/// Used for static access summaries (see
+/// [`Process::future_access`](crate::Process::future_access)): the sets are
+/// dense over the small id ranges programs actually name, so membership and
+/// union are a word operation each.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct RegSet {
+    words: Vec<u64>,
+}
+
+impl RegSet {
+    /// The empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `reg`; returns whether it was newly inserted.
+    pub fn insert(&mut self, reg: RegId) -> bool {
+        let (w, b) = (reg.index() / 64, reg.index() % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Whether `reg` is a member.
+    #[must_use]
+    pub fn contains(&self, reg: RegId) -> bool {
+        let (w, b) = (reg.index() / 64, reg.index() % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    /// Add every member of `other`; returns whether the set grew.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        if other.words.len() > self.words.len() {
+            self.words.resize(other.words.len(), 0);
+        }
+        let mut grew = false;
+        for (dst, src) in self.words.iter_mut().zip(&other.words) {
+            grew |= *dst | *src != *dst;
+            *dst |= *src;
+        }
+        grew
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Number of members.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterate over the members in increasing id order.
+    pub fn iter(&self) -> impl Iterator<Item = RegId> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            (0..64)
+                .filter(move |b| word & (1 << b) != 0)
+                .map(move |b| RegId::from(w * 64 + b))
+        })
+    }
+}
+
+impl FromIterator<RegId> for RegSet {
+    fn from_iter<I: IntoIterator<Item = RegId>>(iter: I) -> Self {
+        let mut s = RegSet::new();
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
 /// The DSM partition: which process's local memory segment each register
 /// lives in.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -167,6 +248,24 @@ mod tests {
             .into_iter()
             .collect();
         assert_eq!(layout.owner(RegId(1)), Some(ProcId(1)));
+    }
+
+    #[test]
+    fn regset_membership_union_iter() {
+        let mut a = RegSet::new();
+        assert!(a.is_empty());
+        assert!(a.insert(RegId(3)));
+        assert!(!a.insert(RegId(3)), "re-insert reports no growth");
+        assert!(a.insert(RegId(70)), "spans multiple words");
+        assert!(a.contains(RegId(3)) && a.contains(RegId(70)));
+        assert!(!a.contains(RegId(4)) && !a.contains(RegId(200)));
+        assert_eq!(a.len(), 2);
+
+        let b: RegSet = [RegId(4), RegId(70)].into_iter().collect();
+        assert!(a.union_with(&b), "union adds R4");
+        assert!(!a.union_with(&b), "second union is a fixpoint");
+        let members: Vec<RegId> = a.iter().collect();
+        assert_eq!(members, vec![RegId(3), RegId(4), RegId(70)]);
     }
 
     #[test]

@@ -34,7 +34,7 @@ fn main() {
     println!("== Full elision table (which fences does each model need?) ==\n");
     let masks = FenceMask::enumerate(3);
     let models = [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso];
-    let rows = elision_table(LockKind::Peterson, 2, &masks, &models, &cfg);
+    let rows = elision_table(LockKind::Peterson, 2, &masks, &models, &cfg, 1);
     println!(
         "{:<14} {:>6} {:>8} {:>8} {:>8}",
         "fences", "count", "SC", "TSO", "PSO"

@@ -23,7 +23,13 @@ cargo test -q
 echo "==> cargo test -q (FT_THREADS=2, exercises the parallel sweeps/engine)"
 FT_THREADS=2 cargo test -q
 
+echo "==> DPOR differential suite (FT_THREADS=2)"
+FT_THREADS=2 cargo test -q -p modelcheck --test differential_dpor
+
 echo "==> E11 crash-recovery experiment (n = 2)"
 FT_E11_FAST=1 cargo run --release -p ft-bench --bin exp_e11_crash_recovery
+
+echo "==> E12 reduction experiment (fast mode: n = 2 factors only)"
+FT_E12_FAST=1 cargo run --release -p ft-bench --bin exp_e12_reduction
 
 echo "CI green."

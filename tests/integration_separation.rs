@@ -41,7 +41,7 @@ fn fully_fenced_locks_pass_under_pso() {
 fn minimal_acquire_fences_differ_between_tso_and_pso() {
     let masks = FenceMask::enumerate(3);
     let models = [MemoryModel::Tso, MemoryModel::Pso];
-    let rows = elision_table(LockKind::Peterson, 2, &masks, &models, &cfg());
+    let rows = elision_table(LockKind::Peterson, 2, &masks, &models, &cfg(), 1);
     let min_acquire = |model: MemoryModel| {
         rows.iter()
             .filter(|r| r.ok_under(model))
