@@ -65,6 +65,7 @@ fn engines() -> Vec<(&'static str, Engine)> {
 struct Row {
     workload: &'static str,
     engine: &'static str,
+    threads: usize,
     states: usize,
     mean_ns: f64,
     states_per_sec: f64,
@@ -109,6 +110,10 @@ fn main() {
             rows.push(Row {
                 workload: w.label,
                 engine: engine_label,
+                threads: match engine {
+                    Engine::Parallel { threads } => threads,
+                    _ => 1,
+                },
                 states: stats.states,
                 mean_ns,
                 states_per_sec: stats.states as f64 / (mean_ns / 1e9),
@@ -128,23 +133,30 @@ fn main() {
 }
 
 fn render_json(rows: &[Row]) -> String {
-    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // Detected once and cached (`ft_bench::available_cores`): the old
+    // per-call `available_parallelism()` read could land during startup
+    // affinity churn and record `1` on multi-core hosts. `ft_threads` is
+    // the *effective* worker count (env override or detected cores) —
+    // always a number, never null.
+    let cores = ft_bench::available_cores();
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"bench\": \"explore\",");
     let _ = writeln!(s, "  \"available_cores\": {cores},");
-    let _ = writeln!(
-        s,
-        "  \"ft_threads\": {},",
-        std::env::var("FT_THREADS").map_or("null".into(), |v| format!("\"{v}\""))
-    );
+    let _ = writeln!(s, "  \"ft_threads\": {},", ft_bench::parallelism());
     s.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"states\": {}, \
+            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \"states\": {}, \
              \"mean_ns_per_exploration\": {:.0}, \"states_per_sec\": {:.0}, \
              \"speedup_vs_clone\": {:.3}}}",
-            r.workload, r.engine, r.states, r.mean_ns, r.states_per_sec, r.speedup_vs_clone
+            r.workload,
+            r.engine,
+            r.threads,
+            r.states,
+            r.mean_ns,
+            r.states_per_sec,
+            r.speedup_vs_clone
         );
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

@@ -32,12 +32,24 @@ fn crash_check(
     sem: CrashSemantics,
     crashes: u32,
 ) -> Verdict {
+    crash_check_observed(kind, n, model, sem, crashes, &ftobs::Recorder::disabled())
+}
+
+fn crash_check_observed(
+    kind: LockKind,
+    n: usize,
+    model: MemoryModel,
+    sem: CrashSemantics,
+    crashes: u32,
+    rec: &ftobs::Recorder,
+) -> Verdict {
     let cfg = CheckConfig {
         check_termination: true,
         max_states: 5_000_000,
         ..CheckConfig::default()
     }
-    .with_crashes(sem, crashes);
+    .with_crashes(sem, crashes)
+    .with_recorder(rec.clone());
     let inst = build_mutex(kind, n, FenceMask::ALL);
     check(&inst.machine(model), &cfg)
 }
@@ -130,13 +142,18 @@ fn main() {
     }
 
     // ---- The checker's counterexample for the naive lock, saved as a
-    // replayable artifact. ----
-    if let Verdict::NoTermination(_, cex) = crash_check(
+    // replayable artifact (with the metrics snapshot at failure time). ----
+    let cex_rec = ftobs::Recorder::builder()
+        .meta("workload", "e11_cex_ttas_crash")
+        .quiet(true)
+        .build();
+    if let Verdict::NoTermination(_, cex) = crash_check_observed(
         LockKind::Ttas,
         2,
         MemoryModel::Pso,
         CrashSemantics::DiscardBuffer,
         1,
+        &cex_rec,
     ) {
         println!(
             "NO-TERMINATION counterexample for naive ttas (PSO, ≤1 crash, \
@@ -154,6 +171,7 @@ fn main() {
              reaches a state that cannot terminate",
             traced,
             &cex.schedule,
+            &cex_rec,
         );
         println!("saved replayable counterexample to {}\n", path.display());
     }

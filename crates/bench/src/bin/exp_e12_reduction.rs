@@ -20,8 +20,11 @@
 //! Set `FT_E12_FAST=1` to run only the n = 2 section — the CI gate does
 //! this.
 
+use std::sync::Arc;
+
 use fence_trade::prelude::*;
 use ft_bench::{f as fmt, Table};
+use ftobs::{JsonlSink, Recorder};
 
 fn dpor() -> Engine {
     Engine::Dpor {
@@ -36,6 +39,21 @@ fn timed(inst: &OrderingInstance, model: MemoryModel, cfg: &CheckConfig) -> (Ver
     (v, start.elapsed().as_secs_f64())
 }
 
+/// Attach a per-cell recorder to `cfg`: events stream to the shared
+/// `results/obs/e12_reduction.jsonl` sink, tagged with the workload and
+/// the engine label so `obs_report` can group them. Quiet — cells run
+/// under `par_map`, and interleaved stderr heartbeats would be noise; the
+/// JSONL stream keeps everything.
+fn with_obs(cfg: CheckConfig, sink: &Arc<JsonlSink>, workload: &str) -> CheckConfig {
+    let rec = Recorder::builder()
+        .meta("workload", workload)
+        .meta("engine", cfg.engine.label())
+        .sink(sink.clone())
+        .quiet(true)
+        .build();
+    cfg.with_recorder(rec)
+}
+
 fn factor(full: usize, reduced: usize) -> String {
     if reduced == 0 {
         "-".into()
@@ -47,6 +65,19 @@ fn factor(full: usize, reduced: usize) -> String {
 fn main() {
     let fast = std::env::var("FT_E12_FAST").is_ok_and(|v| v == "1");
     let mut json_rows: Vec<String> = Vec::new();
+
+    // One JSONL stream for the whole experiment; one progress recorder
+    // replacing the ad-hoc println!/eprintln! lines so fast and full runs
+    // share a reporting path (`obs_report` renders the result).
+    let sink = Arc::new(
+        JsonlSink::create(ft_bench::obs_dir().join("e12_reduction.jsonl"))
+            .expect("create results/obs/e12_reduction.jsonl"),
+    );
+    let progress = Recorder::builder()
+        .meta("experiment", "e12")
+        .sink(sink.clone())
+        .heartbeat_ms(0)
+        .build();
 
     // ---- Section 1: reduction factors at n = 2. ----
     let base = CheckConfig {
@@ -75,8 +106,13 @@ fn main() {
     }
     let rows = ft_bench::par_map(&cells, |&(name, kind, model)| {
         let inst = build_mutex(kind, 2, FenceMask::ALL);
-        let (full, _) = timed(&inst, model, &base);
-        let (red, red_secs) = timed(&inst, model, &base.clone().with_engine(dpor()));
+        let wl = format!("e12_{}2_{}", name, model.to_string().to_lowercase());
+        let (full, _) = timed(&inst, model, &with_obs(base.clone(), &sink, &wl));
+        let (red, red_secs) = timed(
+            &inst,
+            model,
+            &with_obs(base.clone().with_engine(dpor()), &sink, &wl),
+        );
         (name, model, full, red, red_secs)
     });
     for (name, model, full, red, red_secs) in &rows {
@@ -114,13 +150,16 @@ fn main() {
     );
     t.finish();
 
-    // ---- A DPOR counterexample, saved as a replayable artifact. ----
+    // ---- A DPOR counterexample, saved as a replayable artifact (the
+    // artifact carries the recorder's metrics snapshot at failure time). ----
     let witness = FenceMask::only(&[simlocks::peterson::SITE_VICTIM]);
     let inst = build_mutex(LockKind::Peterson, 2, witness);
-    if let Verdict::MutexViolation(_, cex) = check(
-        &inst.machine(MemoryModel::Pso),
-        &base.clone().with_engine(dpor()),
-    ) {
+    let cex_cfg = with_obs(
+        base.clone().with_engine(dpor()),
+        &sink,
+        "e12_cex_peterson_pso",
+    );
+    if let Verdict::MutexViolation(_, cex) = check(&inst.machine(MemoryModel::Pso), &cex_cfg) {
         let traced = inst
             .machine_from(MachineConfig::new(MemoryModel::Pso, inst.layout.clone()).with_trace());
         let path = ft_bench::save_counterexample(
@@ -129,13 +168,19 @@ fn main() {
              victim fence only, PSO) — replays on the unreduced machine",
             traced,
             &cex.schedule,
+            &cex_cfg.recorder,
         );
-        println!("saved DPOR counterexample to {}\n", path.display());
+        progress.info(&format!("saved DPOR counterexample to {}", path.display()));
     }
 
     if fast {
         ft_bench::append_bench_explore_rows(&json_rows);
-        println!("FT_E12_FAST=1: skipping the n = 3 / n = 4 sections.");
+        progress.info(&format!(
+            "appended {} dpor rows to BENCH_explore.json; FT_E12_FAST=1: \
+             skipping the n = 3 / n = 4 sections",
+            json_rows.len()
+        ));
+        progress.flush();
         return;
     }
 
@@ -164,11 +209,12 @@ fn main() {
     );
     let rows = ft_bench::par_map(locks3, |&(name, kind)| {
         let inst = build_mutex(kind, 3, FenceMask::ALL);
-        let (full, _) = timed(&inst, MemoryModel::Pso, &cap);
+        let wl = format!("e12_{name}3_pso");
+        let (full, _) = timed(&inst, MemoryModel::Pso, &with_obs(cap.clone(), &sink, &wl));
         let (red, red_secs) = timed(
             &inst,
             MemoryModel::Pso,
-            &uncapped.clone().with_engine(dpor()),
+            &with_obs(uncapped.clone().with_engine(dpor()), &sink, &wl),
         );
         (name, full, red, red_secs)
     });
@@ -225,11 +271,12 @@ fn main() {
     ];
     let rows = ft_bench::par_map(locks4, |&(name, kind)| {
         let inst = build_mutex(kind, 4, FenceMask::ALL);
-        let (full, _) = timed(&inst, MemoryModel::Pso, &cap);
+        let wl = format!("e12_{name}4_pso");
+        let (full, _) = timed(&inst, MemoryModel::Pso, &with_obs(cap.clone(), &sink, &wl));
         let (red, secs) = timed(
             &inst,
             MemoryModel::Pso,
-            &uncapped.clone().with_engine(dpor()),
+            &with_obs(uncapped.clone().with_engine(dpor()), &sink, &wl),
         );
         (name, full, red, secs)
     });
@@ -267,8 +314,9 @@ fn main() {
     t4.finish();
 
     ft_bench::append_bench_explore_rows(&json_rows);
-    println!(
+    progress.info(&format!(
         "appended {} dpor rows to BENCH_explore.json",
         json_rows.len()
-    );
+    ));
+    progress.flush();
 }

@@ -1,0 +1,211 @@
+//! **obs_overhead** — the recorder overhead guard (EXPERIMENTS.md E13).
+//!
+//! Measures full explorations of `bakery3_pso` (undo engine, ~66k states,
+//! a few hundred milliseconds per exploration) in two modes and enforces
+//! the observability budget. The workload is deliberately *large*: on
+//! sub-millisecond checks (e.g. `peterson2` at 383 states) the per-check
+//! fixed cost of rendering the final `snapshot` event dominates and the
+//! ratio measures JSON encoding, not the per-step recording cost the
+//! budget is about.
+//!
+//! 1. **Enabled vs disabled** (always on): with a live quiet recorder the
+//!    run must stay within `FT_OVERHEAD_MAX` (default 1.05 — the ≤5%
+//!    target) of the `Recorder::disabled()` wall-clock.
+//! 2. **Disabled vs baseline** (same-machine regression guard): the
+//!    disabled-recorder throughput is compared against
+//!    `results/obs/overhead_baseline.txt`. A first run writes the baseline
+//!    and passes; later runs fail if throughput drops by more than
+//!    `FT_OVERHEAD_TOL` (default 1.10). This gate exists to catch *gross*
+//!    disabled-path regressions — a heartbeat left on, instrumentation
+//!    that stopped honoring `Recorder::disabled()` — which cost tens of
+//!    percent; the tolerance sits above the ±8% ambient throughput noise
+//!    a shared container exhibits, because a tighter bound fires on load
+//!    spikes rather than code. `FT_OVERHEAD_REBASE=1` rewrites the
+//!    baseline (required after changing machines — the file records
+//!    wall-clock, which is not portable).
+//!
+//! One measurement attempt is `FT_OVERHEAD_TRIALS` rounds (default 8),
+//! each timing `FT_OVERHEAD_ITERS` explorations (default 3) per mode
+//! back-to-back in alternating order. Two noise defenses, both needed on
+//! a shared container:
+//!
+//! * The overhead gate uses the **median of per-round ratios**: a round's
+//!   two timings are adjacent in time and share whatever the machine was
+//!   doing, so their ratio cancels slow load drift — whereas comparing
+//!   each mode's best-of-rounds lets one lucky quiet window for the
+//!   disabled mode inflate the ratio for the whole run. The order
+//!   alternates because with a fixed order any drift *within* the ~1.5 s
+//!   round systematically penalises whichever mode runs second.
+//! * A failing attempt is retried (up to `FT_OVERHEAD_ATTEMPTS` attempts
+//!   total, default 2) and each gate fails only if **every** attempt
+//!   exceeds its budget — the two gates may clear in different attempts.
+//!   A genuine regression fails every attempt; a multi-second ambient
+//!   load spike — which shows up as both gates failing at once — does
+//!   not survive an independent re-measurement.
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use fence_trade::prelude::*;
+use ftobs::Recorder;
+
+fn env_or(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn trial(inst: &OrderingInstance, cfg: &CheckConfig, iters: usize) -> (Duration, usize) {
+    let start = Instant::now();
+    let mut states = 0usize;
+    for _ in 0..iters {
+        let v = check(&inst.machine(MemoryModel::Pso), cfg);
+        assert!(v.is_ok(), "bakery3_pso must verify: {}", v.label());
+        states = std::hint::black_box(v.stats().states);
+    }
+    (start.elapsed(), states)
+}
+
+struct Attempt {
+    /// Median of per-round enabled/disabled wall-clock ratios.
+    ratio: f64,
+    /// Best-round disabled throughput in states/sec.
+    dis_rate: f64,
+    /// Best-round enabled throughput in states/sec.
+    en_rate: f64,
+    states: usize,
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn measure(
+    inst: &OrderingInstance,
+    disabled_cfg: &CheckConfig,
+    enabled_cfg: &CheckConfig,
+    trials: usize,
+    iters: usize,
+) -> Attempt {
+    let (_, states) = trial(inst, disabled_cfg, 1); // warm-up
+    let mut best_disabled = Duration::MAX;
+    let mut best_enabled = Duration::MAX;
+    let mut ratios = Vec::with_capacity(trials);
+    for round in 0..trials.max(1) {
+        let (d, e) = if round % 2 == 0 {
+            let d = trial(inst, disabled_cfg, iters).0;
+            let e = trial(inst, enabled_cfg, iters).0;
+            (d, e)
+        } else {
+            let e = trial(inst, enabled_cfg, iters).0;
+            let d = trial(inst, disabled_cfg, iters).0;
+            (d, e)
+        };
+        best_disabled = best_disabled.min(d);
+        best_enabled = best_enabled.min(e);
+        ratios.push(e.as_secs_f64() / d.as_secs_f64().max(1e-12));
+    }
+    ratios.sort_by(f64::total_cmp);
+    let per_sec = |d: Duration| states as f64 * iters as f64 / d.as_secs_f64().max(1e-12);
+    Attempt {
+        ratio: ratios[ratios.len() / 2],
+        dis_rate: per_sec(best_disabled),
+        en_rate: per_sec(best_enabled),
+        states,
+    }
+}
+
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+fn main() -> ExitCode {
+    let iters = env_or("FT_OVERHEAD_ITERS", 3.0) as usize;
+    let trials = env_or("FT_OVERHEAD_TRIALS", 8.0) as usize;
+    let attempts = (env_or("FT_OVERHEAD_ATTEMPTS", 2.0) as usize).max(1);
+    let max_enabled = env_or("FT_OVERHEAD_MAX", 1.05);
+    let tol_disabled = env_or("FT_OVERHEAD_TOL", 1.10);
+
+    let inst = build_mutex(LockKind::Bakery, 3, FenceMask::ALL);
+    let base = CheckConfig {
+        check_termination: false,
+        max_states: 500_000,
+        ..CheckConfig::default()
+    }
+    .with_engine(Engine::Undo);
+    let disabled_cfg = base.clone(); // default recorder is Recorder::disabled()
+    let enabled_cfg = base.with_recorder(
+        Recorder::builder()
+            .quiet(true)
+            .heartbeat_ms(0) // measure the recording cost, not stderr I/O
+            .build(),
+    );
+
+    let baseline_path = ft_bench::obs_dir().join("overhead_baseline.txt");
+    let rebase = std::env::var("FT_OVERHEAD_REBASE").is_ok_and(|v| v == "1");
+    let baseline: Option<f64> = (!rebase)
+        .then(|| std::fs::read_to_string(&baseline_path).ok())
+        .flatten()
+        .and_then(|s| s.split_whitespace().next().and_then(|t| t.parse().ok()));
+
+    // Each gate passes as soon as any attempt clears it — the two gates
+    // need not clear in the same attempt, since each attempt samples an
+    // independent window of ambient machine load.
+    let mut best_ratio = f64::INFINITY;
+    let mut best_dis_rate: f64 = 0.0;
+    for attempt in 1..=attempts {
+        let a = measure(&inst, &disabled_cfg, &enabled_cfg, trials, iters);
+        println!(
+            "bakery3_pso ({} states, undo engine, {trials} rounds x {iters} explorations):\n  \
+             disabled recorder: {:>10.0} states/s (best round)\n  \
+             enabled  recorder: {:>10.0} states/s (best round)\n  \
+             overhead:          x{:.3} wall-clock (median of per-round ratios)",
+            a.states, a.dis_rate, a.en_rate, a.ratio
+        );
+        if let Some(b) = baseline {
+            println!(
+                "  baseline:          {b:>10.0} states/s  (x{:.3} vs this run)",
+                b / a.dis_rate.max(1e-12)
+            );
+        }
+        best_ratio = best_ratio.min(a.ratio);
+        best_dis_rate = best_dis_rate.max(a.dis_rate);
+        let overhead_ok = best_ratio <= max_enabled;
+        let baseline_ok = baseline.map_or(true, |b| b / best_dis_rate.max(1e-12) <= tol_disabled);
+        if overhead_ok && baseline_ok {
+            if baseline.is_none() {
+                let line = format!(
+                    "{best_dis_rate:.0} states/s, bakery3_pso undo, best of {trials} rounds x {iters} explorations\n",
+                );
+                if let Err(e) = std::fs::write(&baseline_path, line) {
+                    eprintln!("warning: could not write {}: {e}", baseline_path.display());
+                } else {
+                    println!("  wrote baseline {}", baseline_path.display());
+                }
+            }
+            println!("overhead guard: OK");
+            return ExitCode::SUCCESS;
+        }
+        if attempt < attempts {
+            println!(
+                "  attempt {attempt}/{attempts} over budget \
+                 (overhead {}, baseline {}); re-measuring",
+                if overhead_ok { "ok" } else { "OVER" },
+                if baseline_ok { "ok" } else { "OVER" },
+            );
+        }
+    }
+
+    if best_ratio > max_enabled {
+        eprintln!(
+            "FAIL: enabled-recorder overhead x{best_ratio:.3} exceeds the x{max_enabled} \
+             budget in all {attempts} attempts"
+        );
+    }
+    if let Some(b) = baseline {
+        let slowdown = b / best_dis_rate.max(1e-12);
+        if slowdown > tol_disabled {
+            eprintln!(
+                "FAIL: disabled-recorder path regressed x{slowdown:.3} vs {} in all \
+                 {attempts} attempts (budget x{tol_disabled}; FT_OVERHEAD_REBASE=1 to \
+                 reset after machine changes)",
+                baseline_path.display()
+            );
+        }
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,71 @@
+//! **obs_report** — render JSONL observability streams into a Markdown
+//! report: per-engine comparison table (states, transitions, fences, RMRs,
+//! crashes, sleep/dedup hits), histogram sketches, hottest-pc top-k, and a
+//! heartbeat summary.
+//!
+//! Usage:
+//!
+//! ```text
+//! obs_report [stream.jsonl ...]
+//! ```
+//!
+//! With no arguments, every `*.jsonl` under `results/obs/` is read (the
+//! streams `exp_e12_reduction` and the examples produce). The report goes
+//! to stdout and to `results/obs/report.md`. Exits non-zero when no event
+//! line parses — the CI smoke run relies on that to catch an empty or
+//! corrupt stream.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let paths: Vec<PathBuf> = if args.is_empty() {
+        let dir = ft_bench::obs_dir();
+        let mut found: Vec<PathBuf> = std::fs::read_dir(&dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .map(|e| e.path())
+                    .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        found.sort();
+        found
+    } else {
+        args.iter().map(PathBuf::from).collect()
+    };
+    if paths.is_empty() {
+        eprintln!("obs_report: no JSONL streams found under results/obs/ (run exp_e12_reduction first, or pass paths)");
+        return ExitCode::FAILURE;
+    }
+
+    let mut lines: Vec<String> = Vec::new();
+    let mut sources: Vec<String> = Vec::new();
+    for p in &paths {
+        match std::fs::read_to_string(p) {
+            Ok(text) => {
+                lines.extend(text.lines().map(str::to_string));
+                sources.push(p.display().to_string());
+            }
+            Err(e) => eprintln!("obs_report: skipping {}: {e}", p.display()),
+        }
+    }
+
+    let title = format!("fence-trade observability report ({})", sources.join(", "));
+    let report = ftobs::report::render_report(&title, &lines);
+    print!("{report}");
+
+    if !lines.iter().any(|l| ftobs::report::parse_line(l).is_some()) {
+        eprintln!("obs_report: no well-formed event lines in the given streams");
+        return ExitCode::FAILURE;
+    }
+
+    let out = ft_bench::obs_dir().join("report.md");
+    if let Err(e) = std::fs::write(&out, &report) {
+        eprintln!("obs_report: could not write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out.display());
+    ExitCode::SUCCESS
+}

@@ -7,7 +7,7 @@
 use std::fs;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
@@ -97,18 +97,26 @@ impl Table {
 /// Write a model-checker counterexample to `results/<name>.txt` as a
 /// replayable artifact: a header, the schedule one element per line
 /// (`op p0` / `commit p0 r3` / `crash p1` — exactly the three
-/// [`wbmem::SchedElem`] shapes, in replay order), and the event trace the
-/// schedule produces, one event per line via [`wbmem::Trace::to_lines`].
+/// [`wbmem::SchedElem`] shapes, in replay order), the event trace the
+/// schedule produces (one event per line via [`wbmem::Trace::to_lines`]),
+/// and — when `recorder` is enabled — a `metrics:` line carrying the
+/// [`ftobs::MetricsSnapshot`] at failure time as one flat JSON object.
+/// The save is also routed through the recorder's event log as a
+/// `counterexample` event, so JSONL streams record that (and where) an
+/// artifact was written.
 ///
 /// `m` must be configured the way the checker ran (same model, same crash
 /// bound) *plus* trace recording
 /// ([`MachineConfig::with_trace`](wbmem::MachineConfig::with_trace));
 /// the schedule is replayed on it here. Returns the artifact path.
+/// [`parse_counterexample_schedule`] recovers the schedule from the
+/// artifact text for replay tests.
 pub fn save_counterexample<P: wbmem::Process>(
     name: &str,
     header: &str,
     mut m: wbmem::Machine<P>,
     schedule: &[wbmem::SchedElem],
+    recorder: &ftobs::Recorder,
 ) -> PathBuf {
     use std::fmt::Write as _;
     let mut out = String::new();
@@ -132,11 +140,63 @@ pub fn save_counterexample<P: wbmem::Process>(
     for line in m.trace().to_lines() {
         let _ = writeln!(out, "  {line}");
     }
+    if recorder.is_enabled() {
+        let snap = recorder.snapshot();
+        let fields = snap.to_json_fields();
+        let refs: Vec<(&str, &ftobs::J)> = fields.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        let _ = writeln!(
+            out,
+            "metrics: {}",
+            ftobs::encode_line(refs, std::iter::empty())
+        );
+    }
     let path = results_dir().join(format!("{name}.txt"));
     if let Err(e) = fs::write(&path, &out) {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
+    recorder.event(
+        "counterexample",
+        &[
+            ("artifact", ftobs::J::s(path.display().to_string())),
+            ("schedule_len", ftobs::J::U(schedule.len() as u64)),
+        ],
+    );
     path
+}
+
+/// Recover the schedule from a [`save_counterexample`] artifact: every
+/// `schedule:` line, parsed back into the [`wbmem::SchedElem`] it rendered.
+/// Malformed lines are skipped (the artifact format is line-oriented, so a
+/// hand-edited file degrades gracefully).
+#[must_use]
+pub fn parse_counterexample_schedule(text: &str) -> Vec<wbmem::SchedElem> {
+    text.lines()
+        .filter_map(|l| l.trim().strip_prefix("schedule: "))
+        .filter_map(|rest| {
+            let mut it = rest.split_whitespace();
+            let kind = it.next()?;
+            let p: u32 = it.next()?.strip_prefix('p')?.parse().ok()?;
+            let proc = wbmem::ProcId(p);
+            match kind {
+                "op" => Some(wbmem::SchedElem::op(proc)),
+                "crash" => Some(wbmem::SchedElem::crash(proc)),
+                "commit" => {
+                    let r: u32 = it.next()?.strip_prefix('r')?.parse().ok()?;
+                    Some(wbmem::SchedElem::commit(proc, wbmem::RegId(r)))
+                }
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// The `results/obs/` directory for JSONL event streams and rendered
+/// observability reports (created on demand).
+#[must_use]
+pub fn obs_dir() -> PathBuf {
+    let dir = results_dir().join("obs");
+    let _ = fs::create_dir_all(&dir);
+    dir
 }
 
 /// Append pre-rendered JSON row objects to the `"results"` array of
@@ -238,19 +298,30 @@ pub fn f(x: f64, digits: usize) -> String {
     format!("{x:.digits$}")
 }
 
+/// The number of cores available to this process, detected once and
+/// cached. `std::thread::available_parallelism` consults the cgroup /
+/// affinity mask on every call and can transiently report `1` early in
+/// process startup on some hosts; caching the first successful reading
+/// keeps every bench row and JSON header consistent within a run.
+#[must_use]
+pub fn available_cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
+}
+
 /// The worker count for embarrassingly-parallel sweeps: `FT_THREADS` if set
-/// to a positive integer, otherwise the number of available cores.
+/// to a positive integer, otherwise [`available_cores`]. This is the
+/// *effective* thread count — the value bench rows must record.
 #[must_use]
 pub fn parallelism() -> usize {
-    let auto = || std::thread::available_parallelism().map_or(1, |p| p.get());
     match std::env::var("FT_THREADS") {
         Ok(s) => s
             .trim()
             .parse::<usize>()
             .ok()
             .filter(|&n| n > 0)
-            .unwrap_or_else(auto),
-        Err(_) => auto(),
+            .unwrap_or_else(available_cores),
+        Err(_) => available_cores(),
     }
 }
 
@@ -322,5 +393,36 @@ mod tests {
     fn row_arity_checked() {
         let mut t = Table::new("t", "T", &["a"]);
         t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn cores_detected_once_and_positive() {
+        let a = available_cores();
+        assert!(a >= 1);
+        assert_eq!(a, available_cores(), "cached reading is stable");
+        assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn schedule_lines_roundtrip() {
+        use wbmem::{ProcId, RegId, SchedElem};
+        let sched = vec![
+            SchedElem::op(ProcId(0)),
+            SchedElem::commit(ProcId(1), RegId(3)),
+            SchedElem::crash(ProcId(1)),
+            SchedElem::op(ProcId(2)),
+        ];
+        let mut text = String::from("# header\n");
+        for e in &sched {
+            text.push_str("schedule: ");
+            text.push_str(&match (e.crash, e.reg) {
+                (true, _) => format!("crash p{}\n", e.proc.0),
+                (false, Some(r)) => format!("commit p{} r{}\n", e.proc.0, r.0),
+                (false, None) => format!("op p{}\n", e.proc.0),
+            });
+        }
+        text.push_str("trace:\n  read p0 r1\nmetrics: {\"states\":4}\n");
+        assert_eq!(parse_counterexample_schedule(&text), sched);
+        assert!(parse_counterexample_schedule("no schedule here").is_empty());
     }
 }

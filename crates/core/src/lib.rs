@@ -38,6 +38,7 @@
 pub mod analysis;
 
 pub use fencevm;
+pub use ftobs;
 pub use hwlocks;
 pub use lowerbound;
 pub use modelcheck;
@@ -58,7 +59,8 @@ pub mod prelude {
         EncodeOptions,
     };
     pub use modelcheck::{
-        check, elision_table, CheckConfig, CheckError, Coverage, Engine, Verdict,
+        check, elision_table, CheckConfig, CheckError, Coverage, Engine, MetricsSnapshot, Recorder,
+        Verdict,
     };
     pub use simlocks::{
         build_mutex, build_ordering, FenceMask, LockKind, ObjectKind, OrderingInstance,

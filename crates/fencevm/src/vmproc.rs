@@ -201,6 +201,10 @@ impl Process for VmProc {
         self.annot
     }
 
+    fn obs_pc(&self) -> Option<u32> {
+        u32::try_from(self.pc).ok()
+    }
+
     fn future_access(&self, include_recovery: bool) -> FutureAccess<'_> {
         let s = self.prog.summary(self.pc, include_recovery);
         FutureAccess {

@@ -26,6 +26,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
+use ftobs::{Gauge, Metric, MetricsSnapshot, Progress, Recorder};
 use wbmem::{CrashSemantics, Machine, MachineError, Process, SchedElem, StepOutcome, UndoToken};
 
 /// Which exploration engine [`check`] runs.
@@ -56,8 +57,30 @@ pub enum Engine {
         /// buffered writes (`0` ≡ SC-equivalent schedules). An `Ok`
         /// verdict then only covers the bounded schedule set; violations
         /// are always real. `None`: full (sound and complete) search.
+        ///
+        /// `Some(u32::MAX)` is a *diagnostic* mode: the bound is
+        /// unreachable, and the engine additionally switches every
+        /// reduction off (empty sleep sets, no ample selection, plain
+        /// visited-set dedup) and consumes choices in the exhaustive
+        /// engines' order. The run then executes the exact edge multiset
+        /// of [`Engine::Undo`], so its [`MetricsSnapshot`] is
+        /// bit-identical to the exhaustive engines' — the baseline the
+        /// reduction's savings are measured against.
         reorder_bound: Option<u32>,
     },
+}
+
+impl Engine {
+    /// Short machine-readable label (`ftobs` metadata, bench rows).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Engine::CloneDfs => "clone_dfs",
+            Engine::Undo => "undo",
+            Engine::Parallel { .. } => "parallel",
+            Engine::Dpor { .. } => "dpor",
+        }
+    }
 }
 
 /// What to verify during exploration.
@@ -96,6 +119,12 @@ pub struct CheckConfig {
     /// [`Verdict::InvariantViolation`] with a counterexample. A plain `fn`
     /// pointer keeps the configuration `Clone`/`Debug`.
     pub annotation_invariant: Option<fn(&[u64]) -> bool>,
+    /// Observability sink. The engines attach it to their working machine
+    /// clones (never to the caller's `initial`, so counterexample replays
+    /// stay unrecorded), count exploration events into it, and [`check`]
+    /// stamps its final [`MetricsSnapshot`] into the verdict's [`Stats`].
+    /// The default, [`Recorder::disabled`], is a no-op.
+    pub recorder: Recorder,
 }
 
 impl Default for CheckConfig {
@@ -110,6 +139,7 @@ impl Default for CheckConfig {
             crash_semantics: CrashSemantics::DiscardBuffer,
             budget: None,
             annotation_invariant: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -145,13 +175,25 @@ impl CheckConfig {
         self.annotation_invariant = Some(invariant);
         self
     }
+
+    /// This configuration with an observability recorder (see
+    /// [`CheckConfig::recorder`]).
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
 }
 
 /// Exploration statistics.
 ///
 /// `elapsed` is informational and **ignored by equality**: two runs that
 /// explore the same space compare equal regardless of wall-clock speed, so
-/// differential tests can assert `Stats` equality across engines.
+/// differential tests can assert `Stats` equality across engines. The
+/// embedded `metrics` snapshot participates through its own equality,
+/// which likewise covers only the deterministic counters (see
+/// [`MetricsSnapshot`]); with the default disabled recorder it is all-zero
+/// on every engine.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Stats {
     /// Distinct states visited.
@@ -162,6 +204,9 @@ pub struct Stats {
     pub terminal_states: usize,
     /// Wall-clock time of the exploration.
     pub elapsed: Duration,
+    /// Final metrics snapshot of [`CheckConfig::recorder`] (all-zero when
+    /// the recorder is disabled).
+    pub metrics: MetricsSnapshot,
 }
 
 impl PartialEq for Stats {
@@ -169,6 +214,7 @@ impl PartialEq for Stats {
         self.states == o.states
             && self.transitions == o.transitions
             && self.terminal_states == o.terminal_states
+            && self.metrics == o.metrics
     }
 }
 
@@ -522,6 +568,39 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// polls (the parallel workers poll on their existing 256-step cadence).
 pub(crate) const DEADLINE_POLL_MASK: usize = 1024 - 1;
 
+/// The sequential engines' shared poll point: update the frontier and
+/// dedup-occupancy gauges, offer the recorder a (rate-limited) heartbeat,
+/// and report whether the wall-clock deadline has passed. With a disabled
+/// recorder this is exactly the old deadline check — no clock read unless
+/// a deadline exists.
+pub(crate) fn poll_observe(
+    obs: &Recorder,
+    stats: &Stats,
+    frontier: usize,
+    dedup_occupancy: usize,
+    budget: Option<Duration>,
+    deadline: Option<Instant>,
+) -> bool {
+    if !obs.is_enabled() {
+        return deadline.is_some_and(|d| Instant::now() >= d);
+    }
+    let now = Instant::now();
+    obs.gauge_max(Gauge::MaxFrontier, frontier as u64);
+    obs.gauge_set(Gauge::DedupOccupancy, dedup_occupancy as u64);
+    let spent = match (budget, deadline) {
+        (Some(b), Some(d)) => Some(b.saturating_sub(d.saturating_duration_since(now))),
+        _ => None,
+    };
+    obs.maybe_heartbeat(&Progress {
+        states: stats.states as u64,
+        transitions: stats.transitions as u64,
+        frontier: frontier as u64,
+        budget,
+        spent,
+    });
+    deadline.is_some_and(|d| now >= d)
+}
+
 /// Exhaustively explore every schedule of `initial` (process interleavings
 /// *and* commit orders) and check the configured properties.
 ///
@@ -561,6 +640,18 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
         }
     };
     verdict.stats_mut().elapsed = start.elapsed();
+    if config.recorder.is_enabled() {
+        verdict.stats_mut().metrics = config.recorder.snapshot();
+        config.recorder.emit_snapshot(&[
+            ("engine", ftobs::J::s(config.engine.label())),
+            ("verdict", ftobs::J::s(verdict.label())),
+            (
+                "elapsed_ms",
+                ftobs::J::U(start.elapsed().as_millis() as u64),
+            ),
+        ]);
+        config.recorder.flush();
+    }
     verdict
 }
 
@@ -571,6 +662,10 @@ fn check_clone_dfs<P: Process>(
     config: &CheckConfig,
     deadline: Option<Instant>,
 ) -> Verdict {
+    let obs = &config.recorder;
+    // Batches the per-edge counters; flushed into the recorder on every
+    // exit path by its Drop impl.
+    let mut tally = obs.tally();
     let mut visited: HashSet<u128> = HashSet::new();
     let mut stats = Stats::default();
     let mut index = SearchIndex::default();
@@ -583,6 +678,7 @@ fn check_clone_dfs<P: Process>(
     };
     visited.insert(root_fp);
     stats.states = 1;
+    tally.on_state(0);
 
     // Depth-first exploration; the stack holds (machine, its id, remaining
     // choices).
@@ -598,13 +694,27 @@ fn check_clone_dfs<P: Process>(
     if initial.all_done() {
         terminal.push(root_id);
         stats.terminal_states = 1;
+        tally.terminal_state();
     }
-    stack.push((initial.clone(), root_id, initial.choices()));
+    // The working clone carries the recorder; `initial` itself stays
+    // unrecorded so counterexample replays do not pollute the metrics.
+    let mut root_m = initial.clone();
+    root_m.set_recorder(obs.clone());
+    stack.push((root_m, root_id, initial.choices()));
 
     let mut iters = 0usize;
     while let Some((m, id, mut choices)) = stack.pop() {
         iters += 1;
-        if iters & DEADLINE_POLL_MASK == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+        if iters & DEADLINE_POLL_MASK == 0
+            && poll_observe(
+                obs,
+                &stats,
+                stack.len() + 1,
+                visited.len(),
+                config.budget,
+                deadline,
+            )
+        {
             return Verdict::Inconclusive(
                 stats,
                 Coverage {
@@ -621,9 +731,11 @@ fn check_clone_dfs<P: Process>(
         stack.push((m, id, choices));
 
         if matches!(child.step(elem), StepOutcome::NoOp) {
+            tally.noop_step();
             continue;
         }
         stats.transitions += 1;
+        tally.on_transition();
         let fp = fingerprint(&child);
         let Some((child_id, fresh)) = index.id_of(fp, Some((id, elem))) else {
             return Verdict::Error(stats, CheckError::TooManyStates);
@@ -632,9 +744,11 @@ fn check_clone_dfs<P: Process>(
             edges.push((id, child_id));
         }
         if !fresh || !visited.insert(fp) {
+            tally.dedup_hit();
             continue;
         }
         stats.states += 1;
+        tally.on_state(stack.len() as u64);
         if stats.states > config.max_states {
             return Verdict::StateLimit(stats);
         }
@@ -648,6 +762,7 @@ fn check_clone_dfs<P: Process>(
         if child.all_done() {
             stats.terminal_states += 1;
             terminal.push(child_id);
+            tally.terminal_state();
             if config.check_permutation && !returns_are_permutation(&child) {
                 return Verdict::PermutationViolation(
                     stats,
@@ -665,6 +780,7 @@ fn check_clone_dfs<P: Process>(
         stack.push((child, child_id, child_choices));
     }
 
+    obs.gauge_set(Gauge::DedupOccupancy, visited.len() as u64);
     if config.check_termination {
         if let Some(stuck) = find_stuck(index.len(), &edges, &terminal) {
             return Verdict::NoTermination(stats, render(initial, &index.path_to(stuck)));
@@ -697,6 +813,10 @@ fn check_undo<P: Process>(
     config: &CheckConfig,
     deadline: Option<Instant>,
 ) -> Verdict {
+    let obs = &config.recorder;
+    // Batches the per-edge counters; flushed into the recorder on every
+    // exit path by its Drop impl.
+    let mut tally = obs.tally();
     let mut visited: HashSet<u128> = HashSet::new();
     let mut stats = Stats::default();
     let mut index = SearchIndex::default();
@@ -709,6 +829,7 @@ fn check_undo<P: Process>(
     };
     visited.insert(root_fp);
     stats.states = 1;
+    tally.on_state(0);
 
     if config.check_mutex && in_cs_count(initial) > 1 {
         return Verdict::MutexViolation(stats, render(initial, &[]));
@@ -719,10 +840,14 @@ fn check_undo<P: Process>(
     if initial.all_done() {
         terminal.push(root_id);
         stats.terminal_states = 1;
+        tally.terminal_state();
     }
 
     // The one clone of the run (plus one per rendered counterexample).
+    // It carries the recorder; `initial` stays unrecorded so replays do
+    // not pollute the metrics.
     let mut m = initial.clone();
+    m.set_recorder(obs.clone());
     let mut arena: Vec<SchedElem> = Vec::new();
     let mut scratch: Vec<SchedElem> = Vec::new();
     let mut frames: Vec<Frame<P>> = Vec::new();
@@ -739,7 +864,16 @@ fn check_undo<P: Process>(
     let mut iters = 0usize;
     while !frames.is_empty() {
         iters += 1;
-        if iters & DEADLINE_POLL_MASK == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+        if iters & DEADLINE_POLL_MASK == 0
+            && poll_observe(
+                obs,
+                &stats,
+                frames.len(),
+                visited.len(),
+                config.budget,
+                deadline,
+            )
+        {
             return Verdict::Inconclusive(
                 stats,
                 Coverage {
@@ -765,10 +899,12 @@ fn check_undo<P: Process>(
 
         let (out, token) = m.step_recorded(elem);
         if matches!(out, StepOutcome::NoOp) {
+            tally.noop_step();
             m.undo(token);
             continue;
         }
         stats.transitions += 1;
+        tally.on_transition();
         let fp = fingerprint(&m);
         let Some((child_id, fresh)) = index.id_of(fp, Some((parent_id, elem))) else {
             return Verdict::Error(stats, CheckError::TooManyStates);
@@ -777,10 +913,12 @@ fn check_undo<P: Process>(
             edges.push((parent_id, child_id));
         }
         if !fresh || !visited.insert(fp) {
+            tally.dedup_hit();
             m.undo(token);
             continue;
         }
         stats.states += 1;
+        tally.on_state(frames.len() as u64);
         if stats.states > config.max_states {
             return Verdict::StateLimit(stats);
         }
@@ -794,6 +932,7 @@ fn check_undo<P: Process>(
         if m.all_done() {
             stats.terminal_states += 1;
             terminal.push(child_id);
+            tally.terminal_state();
             if config.check_permutation && !returns_are_permutation(&m) {
                 return Verdict::PermutationViolation(
                     stats,
@@ -816,6 +955,7 @@ fn check_undo<P: Process>(
         });
     }
 
+    obs.gauge_set(Gauge::DedupOccupancy, visited.len() as u64);
     if config.check_termination {
         if let Some(stuck) = find_stuck(index.len(), &edges, &terminal) {
             return Verdict::NoTermination(stats, render(initial, &index.path_to(stuck)));
@@ -908,6 +1048,10 @@ fn check_parallel<P: Process>(
         .lock()
         .unwrap_or_else(PoisonError::into_inner)
         .insert(root_fp);
+    config.recorder.on_state(0);
+    if initial.all_done() {
+        config.recorder.incr(Metric::TerminalStates);
+    }
 
     let root_choices = initial.choices();
     // Each worker runs under `catch_unwind`: a panicking property closure
@@ -961,7 +1105,9 @@ fn check_parallel<P: Process>(
     if let Some(msg) = results.iter().find_map(|r| r.as_ref().err().cloned()) {
         // A worker panicked. Rerun sequentially (deterministic, guarded);
         // if the panic is deterministic too, surface it as an error
-        // verdict instead of aborting the process.
+        // verdict instead of aborting the process. The partial sweep's
+        // metrics are dropped first so the rerun's counts stand alone.
+        config.recorder.reset_counts();
         return match catch_unwind(AssertUnwindSafe(|| check_undo(initial, config, deadline))) {
             Ok(verdict) => verdict,
             Err(payload) => Verdict::Error(
@@ -980,13 +1126,16 @@ fn check_parallel<P: Process>(
         transitions: reports.iter().map(|r| r.transitions).sum(),
         terminal_states: reports.iter().map(|r| r.terminal_fps.len()).sum::<usize>()
             + usize::from(initial.all_done()),
-        elapsed: Duration::ZERO,
+        ..Stats::default()
     };
 
     let limit_hit = state_count.load(Ordering::SeqCst) > config.max_states;
     if limit_hit || reports.iter().any(|r| r.violated) {
         // The sweep stopped early; reproduce the exact sequential verdict
-        // (still honoring the remaining budget).
+        // (still honoring the remaining budget). Drop the partial sweep's
+        // metrics so the rerun's counts stand alone — bit-identical to a
+        // direct sequential run.
+        config.recorder.reset_counts();
         return check_undo(initial, config, deadline);
     }
     if budget_hit.load(Ordering::SeqCst) || cancel.load(Ordering::SeqCst) {
@@ -1028,10 +1177,15 @@ fn check_parallel<P: Process>(
             }
         }
         if find_stuck(ids.len(), &edges, &terminal).is_some() {
+            config.recorder.reset_counts();
             return check_undo(initial, config, deadline);
         }
     }
 
+    config.recorder.gauge_set(
+        Gauge::DedupOccupancy,
+        state_count.load(Ordering::SeqCst) as u64,
+    );
     Verdict::Ok(stats)
 }
 
@@ -1067,6 +1221,11 @@ fn parallel_worker<P: Process>(
     if assigned.is_empty() {
         return report;
     }
+    let obs = &config.recorder;
+    // Worker-local batch of the per-edge counters; flushed into the shared
+    // recorder when the worker returns (Drop), so a completed sweep's
+    // totals still merge to the sequential run's.
+    let mut tally = obs.tally();
 
     /// A frame of the worker's DFS; like [`Frame`] but keyed by
     /// fingerprint (the global id space is only assembled at merge time).
@@ -1077,7 +1236,10 @@ fn parallel_worker<P: Process>(
         token: Option<UndoToken<P>>,
     }
 
+    // All workers share the recorder; its counters are sharded, so the
+    // merged totals equal a sequential run's over a completed sweep.
     let mut m = initial.clone();
+    m.set_recorder(obs.clone());
     let mut arena: Vec<SchedElem> = assigned;
     let mut scratch: Vec<SchedElem> = Vec::new();
     let mut frames: Vec<WFrame<P>> = Vec::new();
@@ -1110,6 +1272,21 @@ fn parallel_worker<P: Process>(
                 report.frontier = frames.len();
                 return report;
             }
+            if obs.is_enabled() {
+                obs.gauge_max(Gauge::MaxFrontier, frames.len() as u64);
+                let now = Instant::now();
+                let spent = match (config.budget, deadline) {
+                    (Some(b), Some(d)) => Some(b.saturating_sub(d.saturating_duration_since(now))),
+                    _ => None,
+                };
+                obs.maybe_heartbeat(&Progress {
+                    states: state_count.load(Ordering::Relaxed) as u64,
+                    transitions: report.transitions as u64,
+                    frontier: frames.len() as u64,
+                    budget: config.budget,
+                    spent,
+                });
+            }
             if deadline.is_some_and(|d| Instant::now() >= d) {
                 budget_hit.store(true, Ordering::SeqCst);
                 cancel.store(true, Ordering::SeqCst);
@@ -1120,10 +1297,12 @@ fn parallel_worker<P: Process>(
 
         let (out, token) = m.step_recorded(elem);
         if matches!(out, StepOutcome::NoOp) {
+            tally.noop_step();
             m.undo(token);
             continue;
         }
         report.transitions += 1;
+        tally.on_transition();
         let fp = fingerprint(&m);
         if config.check_termination {
             report.edges.push((parent_fp, fp));
@@ -1133,9 +1312,11 @@ fn parallel_worker<P: Process>(
             .unwrap_or_else(PoisonError::into_inner)
             .insert(fp);
         if !fresh {
+            tally.dedup_hit();
             m.undo(token);
             continue;
         }
+        tally.on_state(frames.len() as u64);
         let states = state_count.fetch_add(1, Ordering::SeqCst) + 1;
         if states > config.max_states {
             cancel.store(true, Ordering::SeqCst);
@@ -1154,6 +1335,7 @@ fn parallel_worker<P: Process>(
         }
         if m.all_done() {
             report.terminal_fps.push(fp);
+            tally.terminal_state();
             if config.check_permutation && !returns_are_permutation(&m) {
                 report.violated = true;
                 cancel.store(true, Ordering::SeqCst);

@@ -28,12 +28,14 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
+use ftobs::{Gauge, Metric, Recorder};
 use por::{expand, step_weight, SleepSet, VisitTable};
 use wbmem::{Footprint, Machine, Process, SchedElem, StepOutcome, UndoToken};
 
 use crate::checker::{
-    find_stuck, fingerprint, in_cs_count, render, returns_are_permutation, violates_invariant,
-    CheckConfig, CheckError, Coverage, SearchIndex, Stats, Verdict, DEADLINE_POLL_MASK,
+    find_stuck, fingerprint, in_cs_count, poll_observe, render, returns_are_permutation,
+    violates_invariant, CheckConfig, CheckError, Coverage, SearchIndex, Stats, Verdict,
+    DEADLINE_POLL_MASK,
 };
 
 /// One frame of the reduced DFS. Unlike the undo engine's arena frames,
@@ -69,8 +71,10 @@ fn probe_slept_edges<P: Process>(
     sleep: &SleepSet,
     index: &mut SearchIndex,
     edges: &mut Vec<(u32, u32)>,
+    obs: &Recorder,
 ) -> Result<(), CheckError> {
     for &e in choices.iter().filter(|&&e| sleep.contains(e)) {
+        obs.incr(Metric::SleptProbes);
         let (out, token) = m.step_recorded(e);
         if !matches!(out, StepOutcome::NoOp) {
             let fp = fingerprint(m);
@@ -94,11 +98,22 @@ pub(crate) fn check_dpor<P: Process>(
     deadline: Option<Instant>,
 ) -> Verdict {
     let model = initial.config().model;
+    let obs = &config.recorder;
+    // `Some(u32::MAX)` is the diagnostic disabled-reduction mode (see
+    // [`crate::Engine::Dpor`]): the bound is unreachable, sleep sets stay
+    // empty, ample selection is off, and choices are consumed in the
+    // exhaustive engines' order, so the run's metrics are bit-identical
+    // to [`crate::Engine::Undo`]'s.
+    let disable_reduction = reorder_bound == Some(u32::MAX);
     // Ample pruning drops states; the termination check needs all of them.
-    let use_ample = !config.check_termination;
+    let use_ample = !config.check_termination && !disable_reduction;
     let budget0 = reorder_bound.unwrap_or(u32::MAX);
 
     let mut visited = VisitTable::new();
+    // Batches the per-edge counters; flushed into the recorder on every
+    // exit path by its Drop impl. Sleep/ample/probe counters stay live:
+    // they are DPOR-specific and comparatively rare.
+    let mut tally = obs.tally();
     let mut stats = Stats::default();
     let mut sleep_hits = 0usize;
     let mut index = SearchIndex::default();
@@ -115,6 +130,7 @@ pub(crate) fn check_dpor<P: Process>(
     let root_sleep = SleepSet::new();
     visited.try_claim(root_fp, &root_sleep, budget0);
     stats.states = 1;
+    tally.on_state(0);
 
     if config.check_mutex && in_cs_count(initial) > 1 {
         return Verdict::MutexViolation(stats, render(initial, &[]));
@@ -125,15 +141,24 @@ pub(crate) fn check_dpor<P: Process>(
     if initial.all_done() {
         terminal.push(root_id);
         stats.terminal_states = 1;
+        tally.terminal_state();
     }
 
+    // The working clone carries the recorder; `initial` stays unrecorded
+    // so counterexample replays do not pollute the metrics.
     let mut m = initial.clone();
+    m.set_recorder(obs.clone());
     let mut frames: Vec<DFrame<P>> = Vec::new();
     let mut scratch: Vec<SchedElem> = Vec::new();
 
     if !initial.all_done() {
         m.choices_into(&mut scratch);
-        let x = expand(&m, &scratch, &root_sleep, use_ample);
+        let mut x = expand(&m, &scratch, &root_sleep, use_ample, obs);
+        if disable_reduction {
+            // Consume back-to-front like the undo engine (it pops from the
+            // arena end; we advance `next` forward).
+            x.explore.reverse();
+        }
         sleep_hits += x.slept;
         on_stack.insert(root_fp, 1);
         frames.push(DFrame {
@@ -150,9 +175,18 @@ pub(crate) fn check_dpor<P: Process>(
     }
 
     let mut iters = 0usize;
-    while let Some(top) = frames.last_mut() {
+    while !frames.is_empty() {
         iters += 1;
-        if iters & DEADLINE_POLL_MASK == 0 && deadline.is_some_and(|d| Instant::now() >= d) {
+        if iters & DEADLINE_POLL_MASK == 0
+            && poll_observe(
+                obs,
+                &stats,
+                frames.len(),
+                visited.len(),
+                config.budget,
+                deadline,
+            )
+        {
             return Verdict::Inconclusive(
                 stats,
                 Coverage {
@@ -161,6 +195,7 @@ pub(crate) fn check_dpor<P: Process>(
                 },
             );
         }
+        let Some(top) = frames.last_mut() else { break };
         if top.next == top.choices.len() {
             let frame = frames.pop().expect("non-empty stack");
             match on_stack.get_mut(&frame.fp) {
@@ -180,18 +215,27 @@ pub(crate) fn check_dpor<P: Process>(
         let parent_id = top.id;
         let parent_remaining = top.remaining;
 
-        let weight = step_weight(&m, elem);
+        // In diagnostic mode the bound is unreachable by construction;
+        // skipping the weighing keeps the visit table's budget constant,
+        // degenerating it into a plain visited set.
+        let weight = if disable_reduction {
+            0
+        } else {
+            step_weight(&m, elem)
+        };
         if weight > parent_remaining {
             continue; // beyond the reorder bound: neither taken nor slept
         }
 
         let (out, token) = m.step_recorded(elem);
         if matches!(out, StepOutcome::NoOp) {
+            tally.noop_step();
             m.undo(token);
             continue;
         }
         let efp = token.footprint();
         stats.transitions += 1;
+        tally.on_transition();
         let fp = fingerprint(&m);
         let Some((child_id, _)) = index.id_of(fp, Some((parent_id, elem))) else {
             return Verdict::Error(stats, CheckError::TooManyStates);
@@ -208,6 +252,7 @@ pub(crate) fn check_dpor<P: Process>(
             for e in reinstated {
                 if top.sleep.contains(e) {
                     sleep_hits += 1;
+                    obs.incr(Metric::SleepHits);
                 } else {
                     top.choices.push(e);
                 }
@@ -215,25 +260,41 @@ pub(crate) fn check_dpor<P: Process>(
         }
 
         // Sleep set for the child: surviving inherited entries, plus every
-        // already-explored sibling that is independent of this step.
-        let mut child_sleep = top.sleep.inherit(efp, model);
-        for &(se, sf) in &top.taken {
-            if sf.independent(efp, model) {
-                child_sleep.insert(se, sf);
+        // already-explored sibling that is independent of this step. In
+        // diagnostic mode sleep sets stay empty and the sibling
+        // bookkeeping is skipped entirely.
+        let mut child_sleep = if disable_reduction {
+            SleepSet::new()
+        } else {
+            top.sleep.inherit(efp, model)
+        };
+        if !disable_reduction {
+            for &(se, sf) in &top.taken {
+                if sf.independent(efp, model) {
+                    child_sleep.insert(se, sf);
+                }
             }
+            top.taken.push((elem, efp));
         }
-        top.taken.push((elem, efp));
 
         let child_remaining = parent_remaining - weight;
         let fresh = !visited.seen(fp);
         if !visited.try_claim(fp, &child_sleep, child_remaining) {
-            sleep_hits += 1;
+            if disable_reduction {
+                // With empty sleeps and a constant budget every revisit is
+                // dominated: this is plain dedup, as in the undo engine.
+                tally.dedup_hit();
+            } else {
+                sleep_hits += 1;
+                obs.incr(Metric::SleepHits);
+            }
             m.undo(token);
             continue;
         }
 
         if fresh {
             stats.states += 1;
+            tally.on_state(frames.len() as u64);
             if stats.states > config.max_states {
                 return Verdict::StateLimit(stats);
             }
@@ -249,6 +310,7 @@ pub(crate) fn check_dpor<P: Process>(
             if m.all_done() {
                 stats.terminal_states += 1;
                 terminal.push(child_id);
+                tally.terminal_state();
                 if config.check_permutation && !returns_are_permutation(&m) {
                     return Verdict::PermutationViolation(
                         stats,
@@ -266,7 +328,10 @@ pub(crate) fn check_dpor<P: Process>(
 
         m.choices_into(&mut scratch);
         debug_assert!(!scratch.is_empty(), "non-terminal state has no choices");
-        let x = expand(&m, &scratch, &child_sleep, use_ample);
+        let mut x = expand(&m, &scratch, &child_sleep, use_ample, obs);
+        if disable_reduction {
+            x.explore.reverse();
+        }
         sleep_hits += x.slept;
         if config.check_termination && x.slept > 0 {
             if let Err(e) = probe_slept_edges(
@@ -276,6 +341,7 @@ pub(crate) fn check_dpor<P: Process>(
                 &child_sleep,
                 &mut index,
                 &mut edges,
+                obs,
             ) {
                 return Verdict::Error(stats, e);
             }
@@ -294,6 +360,7 @@ pub(crate) fn check_dpor<P: Process>(
         });
     }
 
+    obs.gauge_set(Gauge::DedupOccupancy, visited.len() as u64);
     if config.check_termination {
         if let Some(stuck) = find_stuck(index.len(), &edges, &terminal) {
             return Verdict::NoTermination(stats, render(initial, &index.path_to(stuck)));

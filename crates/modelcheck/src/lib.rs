@@ -45,4 +45,5 @@ pub use checker::{
     check, CheckConfig, CheckError, Counterexample, Coverage, Engine, Stats, Verdict,
 };
 pub use elision::{elision_table, minimal_fences, ElisionRow};
+pub use ftobs::{MetricsSnapshot, Recorder};
 pub use outcomes::{terminal_outcomes, Outcome};

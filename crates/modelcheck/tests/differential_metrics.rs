@@ -1,0 +1,194 @@
+//! Differential observability: every exhaustive engine executes the same
+//! edge multiset, so the deterministic part of its [`MetricsSnapshot`]
+//! (states, transitions, per-step-class counts, per-process fence/RMR/crash
+//! counts, dedup hits, buffer-depth histogram) must be **bit-identical**
+//! across [`Engine::CloneDfs`], [`Engine::Undo`], [`Engine::Parallel`],
+//! and [`Engine::Dpor`] in its `Some(u32::MAX)` disabled-reduction
+//! diagnostic mode — on every cell of the n=2 lock × model matrix,
+//! violating cells included.
+
+use modelcheck::{check, CheckConfig, Engine, MetricsSnapshot, Recorder, Verdict};
+use simlocks::{build_mutex, FenceMask, LockKind};
+use wbmem::MemoryModel;
+
+fn quiet_recorder() -> Recorder {
+    Recorder::builder().quiet(true).build()
+}
+
+fn engines() -> [Engine; 4] {
+    [
+        Engine::CloneDfs,
+        Engine::Undo,
+        Engine::Parallel { threads: 2 },
+        Engine::Dpor {
+            reorder_bound: Some(u32::MAX),
+        },
+    ]
+}
+
+/// The matrix cells: (lock, fences, models). Small enough to stay fast,
+/// varied enough to cover ok, mutex-violating, and crashy searches.
+fn matrix() -> Vec<(LockKind, FenceMask, &'static str)> {
+    vec![
+        (LockKind::Peterson, FenceMask::ALL, "peterson_all"),
+        (
+            LockKind::Peterson,
+            FenceMask::only(&[simlocks::peterson::SITE_VICTIM]),
+            "peterson_victim_only",
+        ),
+        (LockKind::Ttas, FenceMask::ALL, "ttas_all"),
+        (LockKind::Filter, FenceMask::ALL, "filter_all"),
+    ]
+}
+
+fn run(engine: Engine, kind: LockKind, mask: FenceMask, model: MemoryModel) -> (Verdict, Recorder) {
+    let inst = build_mutex(kind, 2, mask);
+    let rec = quiet_recorder();
+    let config = CheckConfig::default()
+        .with_engine(engine)
+        .with_recorder(rec.clone());
+    (check(&inst.machine(model), &config), rec)
+}
+
+#[test]
+fn all_engines_emit_bit_identical_metrics_on_the_n2_matrix() {
+    for (kind, mask, name) in matrix() {
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            let mut baseline: Option<(Verdict, MetricsSnapshot)> = None;
+            // RMRs are excluded from snapshot equality (cache-history
+            // dependent; see MetricsSnapshot::deterministic_key) but must
+            // still agree exactly across the engines that share one DFS
+            // order: clone_dfs, undo, and diagnostic-mode dpor.
+            let mut seq_rmrs: Option<u64> = None;
+            for engine in engines() {
+                let (v, rec) = run(engine, kind, mask, model);
+                let snap = rec.snapshot();
+                if !matches!(engine, Engine::Parallel { .. }) {
+                    let rmrs = snap.get(ftobs::Metric::Rmrs);
+                    match seq_rmrs {
+                        None => seq_rmrs = Some(rmrs),
+                        Some(r0) => assert_eq!(
+                            r0,
+                            rmrs,
+                            "{name}/{model}/{}: sequential RMR drift",
+                            engine.label()
+                        ),
+                    }
+                }
+                assert!(
+                    !snap.is_empty(),
+                    "{name}/{model}/{}: recorder saw nothing",
+                    engine.label()
+                );
+                assert_eq!(
+                    snap.states(),
+                    v.stats().states as u64,
+                    "{name}/{model}/{}: metric states vs stats",
+                    engine.label()
+                );
+                assert_eq!(
+                    snap.transitions(),
+                    v.stats().transitions as u64,
+                    "{name}/{model}/{}: metric transitions vs stats",
+                    engine.label()
+                );
+                // The final snapshot is also stamped into the verdict.
+                assert_eq!(
+                    v.stats().metrics,
+                    snap,
+                    "{name}/{model}/{}: stamped snapshot differs",
+                    engine.label()
+                );
+                match &baseline {
+                    None => baseline = Some((v, snap)),
+                    Some((v0, snap0)) => {
+                        assert_eq!(
+                            v0.label(),
+                            v.label(),
+                            "{name}/{model}/{}: verdict drift",
+                            engine.label()
+                        );
+                        assert_eq!(
+                            *snap0,
+                            snap,
+                            "{name}/{model}/{}: metrics drift vs clone_dfs\n  \
+                             clone_dfs: {:?}\n  this:      {:?}",
+                            engine.label(),
+                            snap0.deterministic_key(),
+                            snap.deterministic_key()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_workload_metrics_agree_and_count_crashes() {
+    let engines = engines();
+    let mut baseline: Option<MetricsSnapshot> = None;
+    for engine in engines {
+        let inst = build_mutex(LockKind::RecoverableTtas, 2, FenceMask::ALL);
+        let rec = quiet_recorder();
+        let config = CheckConfig {
+            check_termination: false,
+            max_states: 200_000,
+            ..CheckConfig::default()
+        }
+        .with_crashes(wbmem::CrashSemantics::DiscardBuffer, 1)
+        .with_engine(engine)
+        .with_recorder(rec.clone());
+        let v = check(&inst.machine(MemoryModel::Pso), &config);
+        assert!(v.is_ok(), "{}: {}", engine.label(), v.label());
+        let snap = rec.snapshot();
+        let crashes: u64 = snap.per_proc.iter().map(|p| p.crashes).sum();
+        assert!(crashes > 0, "{}: no crash steps recorded", engine.label());
+        match &baseline {
+            None => baseline = Some(snap),
+            Some(snap0) => assert_eq!(*snap0, snap, "{}: crash metrics drift", engine.label()),
+        }
+    }
+}
+
+#[test]
+fn reduced_dpor_reports_fewer_transitions_than_its_diagnostic_mode() {
+    let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+    let base = CheckConfig {
+        check_termination: false, // enable ample pruning
+        ..CheckConfig::default()
+    };
+    let rec_full = quiet_recorder();
+    let full = check(
+        &inst.machine(MemoryModel::Pso),
+        &base
+            .clone()
+            .with_engine(Engine::Dpor {
+                reorder_bound: Some(u32::MAX),
+            })
+            .with_recorder(rec_full.clone()),
+    );
+    let rec_red = quiet_recorder();
+    let reduced = check(
+        &inst.machine(MemoryModel::Pso),
+        &base
+            .with_engine(Engine::Dpor {
+                reorder_bound: None,
+            })
+            .with_recorder(rec_red.clone()),
+    );
+    assert!(full.is_ok() && reduced.is_ok());
+    let (f, r) = (rec_full.snapshot(), rec_red.snapshot());
+    assert!(
+        r.transitions() < f.transitions(),
+        "reduction must shrink the edge count: {} vs {}",
+        r.transitions(),
+        f.transitions()
+    );
+    use ftobs::Metric;
+    assert_eq!(f.get(Metric::SleepHits), 0, "diagnostic mode never sleeps");
+    assert!(
+        r.get(Metric::SleepHits) + r.get(Metric::AmpleApplied) > 0,
+        "the reduced run must report reduction work"
+    );
+}

@@ -1,0 +1,251 @@
+//! Flat JSONL event encoding, the bounded in-memory event ring, and the
+//! file sink.
+//!
+//! Events are single-line JSON objects with only scalar values (string /
+//! integer / float / bool / null) — no nesting — so they can be parsed
+//! back by the dependency-free scanner in [`crate::report`] and grepped
+//! with line tools. Every event carries `t_ms` (milliseconds since the
+//! recorder was created) and `kind`, followed by the recorder's static
+//! meta fields (e.g. `engine`, `workload`) and the event's own fields.
+
+use std::collections::VecDeque;
+use std::fs::{self, File, OpenOptions};
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// A scalar JSON value for one event field.
+#[derive(Clone, Debug, PartialEq)]
+pub enum J {
+    /// String (escaped on encode).
+    S(String),
+    /// Unsigned integer.
+    U(u64),
+    /// Signed integer.
+    I(i64),
+    /// Float, rendered with up to 3 decimals.
+    F(f64),
+    /// Boolean.
+    B(bool),
+    /// Null.
+    N,
+}
+
+impl J {
+    /// Borrowed-str convenience constructor.
+    #[must_use]
+    pub fn s(v: impl Into<String>) -> J {
+        J::S(v.into())
+    }
+
+    fn encode_into(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            J::S(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            J::U(v) => {
+                let _ = write!(out, "{v}");
+            }
+            J::I(v) => {
+                let _ = write!(out, "{v}");
+            }
+            J::F(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v:.3}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            J::B(v) => out.push_str(if *v { "true" } else { "false" }),
+            J::N => out.push_str("null"),
+        }
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Render one flat JSON object line (no trailing newline). `head` fields
+/// come first (in order), then `fields`.
+#[must_use]
+pub fn encode_line<'a>(
+    head: impl IntoIterator<Item = (&'a str, &'a J)>,
+    fields: impl IntoIterator<Item = (&'a str, &'a J)>,
+) -> String {
+    let mut out = String::with_capacity(128);
+    out.push('{');
+    let mut first = true;
+    for (k, v) in head.into_iter().chain(fields) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        escape_into(k, &mut out);
+        out.push_str("\":");
+        v.encode_into(&mut out);
+    }
+    out.push('}');
+    out
+}
+
+/// Bounded FIFO of rendered event lines: the newest `cap` events are kept
+/// so a failure artifact can embed the recent event history.
+#[derive(Debug)]
+pub struct EventRing {
+    lines: Mutex<VecDeque<String>>,
+    cap: usize,
+}
+
+impl EventRing {
+    /// An empty ring holding at most `cap` lines (`cap == 0` disables it).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        EventRing {
+            lines: Mutex::new(VecDeque::with_capacity(cap.min(256))),
+            cap,
+        }
+    }
+
+    /// Append a line, evicting the oldest when full.
+    pub fn push(&self, line: &str) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut q = self.lines.lock().expect("unpoisoned");
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(line.to_string());
+    }
+
+    /// Snapshot of the retained lines, oldest first.
+    #[must_use]
+    pub fn drain_snapshot(&self) -> Vec<String> {
+        self.lines
+            .lock()
+            .expect("unpoisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Discard all retained lines.
+    pub fn clear(&self) {
+        self.lines.lock().expect("unpoisoned").clear();
+    }
+}
+
+/// Append-only JSONL file sink (buffered, mutex-guarded — event rates are
+/// rate-limited upstream so contention is negligible).
+#[derive(Debug)]
+pub struct JsonlSink {
+    path: PathBuf,
+    file: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Open `path` for appending, creating parent directories on demand.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(JsonlSink {
+            path,
+            file: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Open `path` truncated (fresh stream), creating parents on demand.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            path,
+            file: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// The sink's file path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Write one line (newline appended). Errors are swallowed — losing
+    /// telemetry must never fail the run being observed.
+    pub fn write_line(&self, line: &str) {
+        let mut f = self.file.lock().expect("unpoisoned");
+        let _ = f.write_all(line.as_bytes());
+        let _ = f.write_all(b"\n");
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) {
+        let _ = self.file.lock().expect("unpoisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_escapes_and_orders() {
+        let kind = J::s("info");
+        let msg = J::s("a\"b\\c\nd");
+        let n = J::U(3);
+        let line = encode_line([("kind", &kind)], [("msg", &msg), ("n", &n)]);
+        assert_eq!(line, r#"{"kind":"info","msg":"a\"b\\c\nd","n":3}"#);
+    }
+
+    #[test]
+    fn floats_render_fixed_and_nonfinite_as_null() {
+        let mut s = String::new();
+        J::F(1.0 / 3.0).encode_into(&mut s);
+        assert_eq!(s, "0.333");
+        s.clear();
+        J::F(f64::NAN).encode_into(&mut s);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn ring_is_bounded_fifo() {
+        let ring = EventRing::new(2);
+        ring.push("a");
+        ring.push("b");
+        ring.push("c");
+        assert_eq!(
+            ring.drain_snapshot(),
+            vec!["b".to_string(), "c".to_string()]
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! `ftobs`: a zero-dependency metrics + tracing layer for the fence-trade
+//! exploration engines.
+//!
+//! Everything a checking run can tell you flows through one [`Recorder`]:
+//!
+//! - **Counters** (states, transitions, per-class machine steps — fences
+//!   β(E), RMRs ρ(E), crashes — sleep-set hits, ample fallbacks, …),
+//!   lock-sharded so the parallel engine's workers never contend;
+//! - **Histograms** (write-buffer depth, DFS depth) with log-scale
+//!   buckets and bit-exact mergeable snapshots;
+//! - **Gauges** (frontier high-water mark, dedup-table occupancy);
+//! - **Spans**: RAII wall-clock timers per [`Phase`];
+//! - **Events**: flat single-line JSON records fanned out to a bounded
+//!   in-memory ring and an optional shared JSONL file sink, including a
+//!   rate-limited `heartbeat` (states/sec, frontier, budget ETA) and a
+//!   final `snapshot` rollup;
+//! - **Hot-pc table**: per-process program-counter hit counts with
+//!   human-readable labels registered from `fencevm` programs.
+//!
+//! The zero-cost contract: [`Recorder::disabled`] carries no allocation
+//! and every method on it is a single branch, so instrumented code paths
+//! (`wbmem::Machine::emit`, the four `modelcheck` engines, `por::expand`)
+//! pay nothing measurable when observability is off — the `obs_overhead`
+//! guard in CI holds the enabled path to ≤5% and the disabled path to
+//! noise. [`MetricsSnapshot`] is `Copy` and its equality covers only the
+//! deterministic counter subset, so `modelcheck::Stats` embeds one and
+//! the engine differential suites can assert bit-identical metrics across
+//! CloneDfs/Undo/Parallel/Dpor.
+//!
+//! Offline report rendering for the JSONL streams lives in [`report`]
+//! (driven by the `obs_report` binary in `crates/bench`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod events;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+
+pub use events::{encode_line, EventRing, JsonlSink, J};
+pub use metrics::{
+    bucket_floor, bucket_index, hist_field, Gauge, HistSnapshot, Metric, MetricsSnapshot, Phase,
+    ProcSteps, GAUGES, HIST_BUCKETS, MAX_PROCS, METRICS, PHASES,
+};
+pub use recorder::{
+    global, install_global, Progress, Recorder, RecorderBuilder, Span, StepClass, Tally,
+    DEFAULT_HEARTBEAT_MS, MAX_PCS, SHARDS,
+};

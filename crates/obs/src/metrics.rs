@@ -1,0 +1,542 @@
+//! Metric taxonomy and the mergeable, `Copy` [`MetricsSnapshot`].
+//!
+//! Every quantity the recorder tracks is either a **counter** (monotone,
+//! summed on merge), a **gauge** (last/max value, maxed on merge), a
+//! **histogram** (log-bucketed counts, summed bucket-wise on merge), or a
+//! **span** (accumulated wall-clock nanoseconds per phase, summed on
+//! merge). The snapshot packs all of them into fixed-size arrays so it
+//! stays `Copy` and can be embedded in `modelcheck::Stats` without
+//! breaking that type's `Copy` bound.
+//!
+//! Equality is deliberately *partial*: only the deterministic subset of
+//! counters — the quantities that depend solely on the multiset of
+//! executed `(state, choice)` steps, not on traversal strategy, wall
+//! clock, or thread interleaving — participate in `PartialEq`/`Eq` and
+//! `Hash`. This mirrors `modelcheck::Stats`, whose equality ignores
+//! `elapsed`, and is what lets the differential suites assert bit-identical
+//! snapshots across the CloneDfs/Undo/Parallel/Dpor engines.
+
+/// Maximum number of processes tracked per-process (the paper's matrices
+/// top out at n=4; power-of-2 tournament instances reach 8).
+pub const MAX_PROCS: usize = 8;
+
+/// Number of log-scale histogram buckets. Bucket `i` counts samples whose
+/// value `v` satisfies `bucket_index(v) == i`; see [`bucket_index`].
+pub const HIST_BUCKETS: usize = 32;
+
+/// Monotone event counters. Order matters: every metric with index below
+/// [`Metric::DETERMINISTIC_END`] is engine-independent (a pure function of
+/// the executed step multiset) and participates in snapshot equality;
+/// everything at or after it is traversal- or timing-dependent and is
+/// excluded, again mirroring how `Stats` equality ignores `elapsed`. One
+/// exception inside the deterministic range: [`Metric::Rmrs`] is zeroed in
+/// the equality projection, because an access's remote-ness consults the
+/// locality tracker's caches, which live outside the machine's hashed
+/// state — see [`MetricsSnapshot::deterministic_key`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Metric {
+    /// Distinct states inserted into the visited set.
+    States,
+    /// Executed (non-no-op) transitions.
+    Transitions,
+    /// States with no enabled successor (termination-relevant).
+    TerminalStates,
+    /// Transitions whose successor was already visited.
+    DedupHits,
+    /// Scheduler choices that produced `StepOutcome::NoOp`.
+    NoopSteps,
+    /// Machine-level step classes (one per executed event).
+    Reads,
+    /// Reads served from the process's own write buffer.
+    BufferReads,
+    /// Buffered (or SC-immediate) writes.
+    Writes,
+    /// Buffer-to-memory commits (including crash drains under
+    /// `DrainBuffer` semantics).
+    Commits,
+    /// Fence instructions retired — the paper's β(E).
+    Fences,
+    /// Remote memory references — the paper's ρ(E).
+    Rmrs,
+    /// Compare-and-swap operations.
+    CasOps,
+    /// Swap (fetch-and-store) operations.
+    SwapOps,
+    /// Crash-fault injections.
+    Crashes,
+    /// Process returns (passage completions).
+    Returns,
+    /// Sleep-set suppressions in the DPOR engine (zero for exhaustive
+    /// engines and for disabled-reduction diagnostic runs).
+    SleepHits,
+    /// States expanded with a proper ample subset.
+    AmpleApplied,
+    /// States where ample selection fell back to the full enabled set.
+    AmpleFallbacks,
+    /// Slept-edge termination probes (DPOR with `check_termination`).
+    SleptProbes,
+    /// Undo-log pops (engine-specific; CloneDfs performs none).
+    UndoSteps,
+    /// Lowerbound solo-check retries with a doubled schedule bound.
+    SoloRetries,
+    /// Heartbeat events emitted.
+    Heartbeats,
+}
+
+/// All counters, in `repr(usize)` order.
+pub const METRICS: [Metric; Metric::COUNT] = [
+    Metric::States,
+    Metric::Transitions,
+    Metric::TerminalStates,
+    Metric::DedupHits,
+    Metric::NoopSteps,
+    Metric::Reads,
+    Metric::BufferReads,
+    Metric::Writes,
+    Metric::Commits,
+    Metric::Fences,
+    Metric::Rmrs,
+    Metric::CasOps,
+    Metric::SwapOps,
+    Metric::Crashes,
+    Metric::Returns,
+    Metric::SleepHits,
+    Metric::AmpleApplied,
+    Metric::AmpleFallbacks,
+    Metric::SleptProbes,
+    Metric::UndoSteps,
+    Metric::SoloRetries,
+    Metric::Heartbeats,
+];
+
+impl Metric {
+    /// Total number of counters.
+    pub const COUNT: usize = Metric::Heartbeats as usize + 1;
+
+    /// Counters with index `< DETERMINISTIC_END` compare in snapshot
+    /// equality; the rest are traversal- or timing-dependent.
+    pub const DETERMINISTIC_END: usize = Metric::SleptProbes as usize;
+
+    /// Snake-case name used as the JSONL field key.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::States => "states",
+            Metric::Transitions => "transitions",
+            Metric::TerminalStates => "terminal_states",
+            Metric::DedupHits => "dedup_hits",
+            Metric::NoopSteps => "noop_steps",
+            Metric::Reads => "reads",
+            Metric::BufferReads => "buffer_reads",
+            Metric::Writes => "writes",
+            Metric::Commits => "commits",
+            Metric::Fences => "fences",
+            Metric::Rmrs => "rmrs",
+            Metric::CasOps => "cas_ops",
+            Metric::SwapOps => "swap_ops",
+            Metric::Crashes => "crashes",
+            Metric::Returns => "returns",
+            Metric::SleepHits => "sleep_hits",
+            Metric::AmpleApplied => "ample_applied",
+            Metric::AmpleFallbacks => "ample_fallbacks",
+            Metric::SleptProbes => "slept_probes",
+            Metric::UndoSteps => "undo_steps",
+            Metric::SoloRetries => "solo_retries",
+            Metric::Heartbeats => "heartbeats",
+        }
+    }
+}
+
+/// Gauges: merged by `max`, not by sum.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Gauge {
+    /// High-water mark of the exploration frontier (stack/arena frames).
+    MaxFrontier,
+    /// Entries resident in the dedup (visited) table at snapshot time.
+    DedupOccupancy,
+    /// Deepest DFS frame observed.
+    MaxDepth,
+    /// Deepest write buffer observed across all processes.
+    MaxBufferDepth,
+}
+
+impl Gauge {
+    /// Total number of gauges.
+    pub const COUNT: usize = Gauge::MaxBufferDepth as usize + 1;
+
+    /// Snake-case name used as the JSONL field key.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Gauge::MaxFrontier => "max_frontier",
+            Gauge::DedupOccupancy => "dedup_occupancy",
+            Gauge::MaxDepth => "max_depth",
+            Gauge::MaxBufferDepth => "max_buffer_depth",
+        }
+    }
+}
+
+/// All gauges, in `repr(usize)` order.
+pub const GAUGES: [Gauge; Gauge::COUNT] = [
+    Gauge::MaxFrontier,
+    Gauge::DedupOccupancy,
+    Gauge::MaxDepth,
+    Gauge::MaxBufferDepth,
+];
+
+/// Timed phases for RAII [`Span`](crate::Span)s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Phase {
+    /// Main state-space sweep.
+    Explore,
+    /// Terminal-state / stuck-state analysis.
+    Termination,
+    /// Counterexample replay and rendering.
+    Replay,
+    /// Lowerbound solo-check decoding.
+    Solo,
+}
+
+impl Phase {
+    /// Total number of phases.
+    pub const COUNT: usize = Phase::Solo as usize + 1;
+
+    /// Snake-case name used as the JSONL field key.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            Phase::Explore => "explore",
+            Phase::Termination => "termination",
+            Phase::Replay => "replay",
+            Phase::Solo => "solo",
+        }
+    }
+}
+
+/// All phases, in `repr(usize)` order.
+pub const PHASES: [Phase; Phase::COUNT] = [
+    Phase::Explore,
+    Phase::Termination,
+    Phase::Replay,
+    Phase::Solo,
+];
+
+/// Log-scale bucket index for a histogram sample: bucket 0 holds value 0,
+/// bucket `i ≥ 1` holds values whose bit length is `i` (i.e. `v` in
+/// `[2^(i-1), 2^i)`), clamped to the last bucket.
+#[must_use]
+pub const fn bucket_index(v: u64) -> usize {
+    let bits = (u64::BITS - v.leading_zeros()) as usize;
+    if bits >= HIST_BUCKETS {
+        HIST_BUCKETS - 1
+    } else {
+        bits
+    }
+}
+
+/// Inclusive lower bound of a bucket's value range (for report rendering).
+#[must_use]
+pub const fn bucket_floor(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+/// A merged, immutable histogram: per-bucket counts on a log scale.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct HistSnapshot {
+    /// Sample count per log bucket; see [`bucket_index`].
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Total number of samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Bucket-wise sum.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Index of the highest non-empty bucket, if any sample was recorded.
+    #[must_use]
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&c| c > 0)
+    }
+}
+
+/// Per-process deterministic step counts: the paper's per-process fence
+/// count β_p(E), RMR count ρ_p(E), and injected crash count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ProcSteps {
+    /// Fence instructions retired by this process.
+    pub fences: u64,
+    /// Remote memory references charged to this process.
+    pub rmrs: u64,
+    /// Crash faults injected into this process.
+    pub crashes: u64,
+}
+
+impl ProcSteps {
+    fn merge(&mut self, other: &ProcSteps) {
+        self.fences += other.fences;
+        self.rmrs += other.rmrs;
+        self.crashes += other.crashes;
+    }
+
+    fn is_zero(&self) -> bool {
+        self.fences == 0 && self.rmrs == 0 && self.crashes == 0
+    }
+}
+
+/// A point-in-time, mergeable rollup of everything a recorder has seen.
+///
+/// `Copy` by construction (fixed-size arrays only) so it can live inside
+/// `modelcheck::Stats`. Merging two snapshots sums counters, per-process
+/// steps, histograms and span times, and maxes gauges — and is associative
+/// and commutative (gauges use `max`, everything else `+`), which the obs
+/// proptest suite checks bit-exactly.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// Counter values indexed by `Metric as usize`.
+    pub counters: [u64; Metric::COUNT],
+    /// Per-process fence/RMR/crash counts (processes ≥ [`MAX_PROCS`] fold
+    /// into the last slot).
+    pub per_proc: [ProcSteps; MAX_PROCS],
+    /// Write-buffer depth observed at each buffered write.
+    pub buffer_depth: HistSnapshot,
+    /// DFS frame depth observed at each state insertion.
+    pub frame_depth: HistSnapshot,
+    /// Gauge values indexed by `Gauge as usize`.
+    pub gauges: [u64; Gauge::COUNT],
+    /// Accumulated nanoseconds per phase, indexed by `Phase as usize`.
+    pub span_ns: [u64; Phase::COUNT],
+    /// Completed spans per phase, indexed by `Phase as usize`.
+    pub span_count: [u64; Phase::COUNT],
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter.
+    #[must_use]
+    pub fn get(&self, m: Metric) -> u64 {
+        self.counters[m as usize]
+    }
+
+    /// Value of one gauge.
+    #[must_use]
+    pub fn gauge(&self, g: Gauge) -> u64 {
+        self.gauges[g as usize]
+    }
+
+    /// Distinct states visited.
+    #[must_use]
+    pub fn states(&self) -> u64 {
+        self.get(Metric::States)
+    }
+
+    /// Executed transitions.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.get(Metric::Transitions)
+    }
+
+    /// True when nothing has been recorded (e.g. the recorder was
+    /// disabled); lets callers skip rendering empty snapshots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0)
+            && self.gauges.iter().all(|&g| g == 0)
+            && self.span_count.iter().all(|&c| c == 0)
+    }
+
+    /// Fold `other` into `self`: counters/histograms/spans sum, gauges max.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (a, b) in self.counters.iter_mut().zip(other.counters.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.per_proc.iter_mut().zip(other.per_proc.iter()) {
+            a.merge(b);
+        }
+        self.buffer_depth.merge(&other.buffer_depth);
+        self.frame_depth.merge(&other.frame_depth);
+        for (a, b) in self.gauges.iter_mut().zip(other.gauges.iter()) {
+            *a = (*a).max(*b);
+        }
+        for (a, b) in self.span_ns.iter_mut().zip(other.span_ns.iter()) {
+            *a += b;
+        }
+        for (a, b) in self.span_count.iter_mut().zip(other.span_count.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Merged copy (functional form of [`merge`](Self::merge)).
+    #[must_use]
+    pub fn merged(mut self, other: &MetricsSnapshot) -> MetricsSnapshot {
+        self.merge(other);
+        self
+    }
+
+    /// The deterministic projection compared by `PartialEq`: counters below
+    /// [`Metric::DETERMINISTIC_END`], per-process steps, and the
+    /// write-buffer depth histogram. Exposed so tests can state exactly
+    /// what "bit-identical across engines" means.
+    ///
+    /// RMR counts (total and per-process) are zeroed in the projection:
+    /// whether an access is *remote* consults the locality tracker's
+    /// caches, which are deliberately outside the machine's hashed state,
+    /// so an edge's classification depends on the traversal history that
+    /// reached it. The sequential engines share one DFS order and agree
+    /// exactly; the parallel sweep's workers do not, by a handful of
+    /// accesses. RMRs are therefore reported faithfully but excluded from
+    /// the cross-engine determinism contract.
+    #[must_use]
+    pub fn deterministic_key(
+        &self,
+    ) -> (
+        [u64; Metric::DETERMINISTIC_END],
+        [ProcSteps; MAX_PROCS],
+        HistSnapshot,
+    ) {
+        let mut det = [0u64; Metric::DETERMINISTIC_END];
+        det.copy_from_slice(&self.counters[..Metric::DETERMINISTIC_END]);
+        det[Metric::Rmrs as usize] = 0;
+        let mut per_proc = self.per_proc;
+        for p in &mut per_proc {
+            p.rmrs = 0;
+        }
+        (det, per_proc, self.buffer_depth)
+    }
+
+    /// Render the snapshot as flat JSONL fields (zero-valued per-process
+    /// slots and empty histograms are omitted to keep lines compact).
+    #[must_use]
+    pub fn to_json_fields(&self) -> Vec<(String, crate::events::J)> {
+        use crate::events::J;
+        let mut out = Vec::new();
+        for m in METRICS {
+            out.push((m.name().to_string(), J::U(self.get(m))));
+        }
+        for g in GAUGES {
+            out.push((g.name().to_string(), J::U(self.gauge(g))));
+        }
+        for (p, steps) in self.per_proc.iter().enumerate() {
+            if !steps.is_zero() {
+                out.push((format!("p{p}_fences"), J::U(steps.fences)));
+                out.push((format!("p{p}_rmrs"), J::U(steps.rmrs)));
+                if steps.crashes > 0 {
+                    out.push((format!("p{p}_crashes"), J::U(steps.crashes)));
+                }
+            }
+        }
+        if self.buffer_depth.total() > 0 {
+            out.push((
+                "buffer_depth_hist".to_string(),
+                J::S(hist_field(&self.buffer_depth)),
+            ));
+        }
+        if self.frame_depth.total() > 0 {
+            out.push((
+                "frame_depth_hist".to_string(),
+                J::S(hist_field(&self.frame_depth)),
+            ));
+        }
+        for ph in PHASES {
+            let n = self.span_count[ph as usize];
+            if n > 0 {
+                out.push((
+                    format!("span_{}_ns", ph.name()),
+                    J::U(self.span_ns[ph as usize]),
+                ));
+                out.push((format!("span_{}_count", ph.name()), J::U(n)));
+            }
+        }
+        out
+    }
+}
+
+/// Compact `count@bucket` encoding for a histogram JSONL field, e.g.
+/// `"3@0,17@2,1@5"`. Parsed back by [`crate::report::parse_hist`].
+#[must_use]
+pub fn hist_field(h: &HistSnapshot) -> String {
+    let mut parts = Vec::new();
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c > 0 {
+            parts.push(format!("{c}@{i}"));
+        }
+    }
+    parts.join(",")
+}
+
+impl PartialEq for MetricsSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.deterministic_key() == other.deterministic_key()
+    }
+}
+
+impl Eq for MetricsSnapshot {}
+
+impl std::hash::Hash for MetricsSnapshot {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.deterministic_key().hash(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log_scale() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        for i in 1..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_index(bucket_floor(i)), i);
+        }
+    }
+
+    #[test]
+    fn equality_ignores_traversal_dependent_fields() {
+        let mut a = MetricsSnapshot::default();
+        let mut b = MetricsSnapshot::default();
+        a.counters[Metric::States as usize] = 7;
+        b.counters[Metric::States as usize] = 7;
+        b.counters[Metric::UndoSteps as usize] = 99;
+        b.gauges[Gauge::MaxFrontier as usize] = 42;
+        b.span_ns[Phase::Explore as usize] = 1_000_000;
+        b.frame_depth.buckets[3] = 5;
+        assert_eq!(a, b, "undo/gauge/span/frame-depth differences ignored");
+        b.counters[Metric::Fences as usize] = 1;
+        assert_ne!(a, b, "deterministic counters compare");
+    }
+
+    #[test]
+    fn merge_sums_and_maxes() {
+        let mut a = MetricsSnapshot::default();
+        a.counters[Metric::States as usize] = 3;
+        a.gauges[Gauge::MaxFrontier as usize] = 10;
+        a.per_proc[1].fences = 2;
+        let mut b = MetricsSnapshot::default();
+        b.counters[Metric::States as usize] = 4;
+        b.gauges[Gauge::MaxFrontier as usize] = 6;
+        b.per_proc[1].fences = 5;
+        let m = a.merged(&b);
+        assert_eq!(m.states(), 7);
+        assert_eq!(m.gauge(Gauge::MaxFrontier), 10);
+        assert_eq!(m.per_proc[1].fences, 7);
+    }
+}

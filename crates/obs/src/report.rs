@@ -1,0 +1,344 @@
+//! Offline rendering of JSONL event streams: a dependency-free flat-JSON
+//! scanner plus Markdown/ASCII report builders (per-engine comparison
+//! table, histogram sketches, hot-pc top-k, heartbeat summary). Consumed
+//! by the `obs_report` binary in `crates/bench` and by tests.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::{bucket_floor, HistSnapshot, HIST_BUCKETS};
+
+/// Parse one flat JSON object line (scalar values only — the shape every
+/// recorder event has) into key → raw-value pairs. String values are
+/// unescaped; numbers/bools/null keep their literal text. Returns `None`
+/// on malformed input (report tooling skips such lines).
+#[must_use]
+pub fn parse_line(line: &str) -> Option<BTreeMap<String, String>> {
+    let mut out = BTreeMap::new();
+    let bytes = line.trim().as_bytes();
+    let mut i = 0usize;
+    let skip_ws = |bytes: &[u8], mut i: usize| {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        i
+    };
+    i = skip_ws(bytes, i);
+    if i >= bytes.len() || bytes[i] != b'{' {
+        return None;
+    }
+    i += 1;
+    loop {
+        i = skip_ws(bytes, i);
+        if i < bytes.len() && bytes[i] == b'}' {
+            return Some(out);
+        }
+        let (key, next) = parse_string(bytes, i)?;
+        i = skip_ws(bytes, next);
+        if i >= bytes.len() || bytes[i] != b':' {
+            return None;
+        }
+        i = skip_ws(bytes, i + 1);
+        let (value, next) = if i < bytes.len() && bytes[i] == b'"' {
+            parse_string(bytes, i)?
+        } else {
+            let start = i;
+            while i < bytes.len() && bytes[i] != b',' && bytes[i] != b'}' {
+                i += 1;
+            }
+            (
+                String::from_utf8_lossy(&bytes[start..i]).trim().to_string(),
+                i,
+            )
+        };
+        out.insert(key, value);
+        i = skip_ws(bytes, next);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => return Some(out),
+            _ => return None,
+        }
+    }
+}
+
+/// Parse a JSON string starting at `bytes[i] == b'"'`; returns the
+/// unescaped contents and the index just past the closing quote.
+fn parse_string(bytes: &[u8], i: usize) -> Option<(String, usize)> {
+    if bytes.get(i) != Some(&b'"') {
+        return None;
+    }
+    let mut s = String::new();
+    let mut i = i + 1;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => return Some((s, i + 1)),
+            b'\\' => {
+                i += 1;
+                match bytes.get(i)? {
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    b'n' => s.push('\n'),
+                    b'r' => s.push('\r'),
+                    b't' => s.push('\t'),
+                    b'u' => {
+                        let hex = std::str::from_utf8(bytes.get(i + 1..i + 5)?).ok()?;
+                        let code = u32::from_str_radix(hex, 16).ok()?;
+                        s.push(char::from_u32(code)?);
+                        i += 4;
+                    }
+                    _ => return None,
+                }
+                i += 1;
+            }
+            c => {
+                // Multi-byte UTF-8 sequences pass through byte-wise.
+                let start = i;
+                let len = utf8_len(c);
+                let chunk = bytes.get(start..start + len)?;
+                s.push_str(std::str::from_utf8(chunk).ok()?);
+                i += len;
+            }
+        }
+    }
+    None
+}
+
+const fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Parse the compact `count@bucket` histogram field written by
+/// [`crate::metrics::hist_field`].
+#[must_use]
+pub fn parse_hist(field: &str) -> HistSnapshot {
+    let mut h = HistSnapshot::default();
+    for part in field.split(',') {
+        if let Some((count, bucket)) = part.split_once('@') {
+            if let (Ok(c), Ok(b)) = (count.trim().parse::<u64>(), bucket.trim().parse::<usize>()) {
+                if b < HIST_BUCKETS {
+                    h.buckets[b] += c;
+                }
+            }
+        }
+    }
+    h
+}
+
+/// Render a histogram as an ASCII bar sketch, one line per non-empty
+/// bucket prefix, bars scaled to the largest bucket.
+#[must_use]
+pub fn sketch(h: &HistSnapshot) -> String {
+    use std::fmt::Write as _;
+    let Some(max_bucket) = h.max_bucket() else {
+        return "  (no samples)\n".to_string();
+    };
+    let peak = h.buckets.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &c) in h.buckets.iter().enumerate().take(max_bucket + 1) {
+        let label = if i == 0 {
+            "0".to_string()
+        } else if bucket_floor(i) == (bucket_floor(i + 1).saturating_sub(1)) {
+            format!("{}", bucket_floor(i))
+        } else {
+            format!("{}-{}", bucket_floor(i), 2 * bucket_floor(i) - 1)
+        };
+        #[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+        let width = ((c as f64 / peak as f64) * 24.0).round() as usize;
+        let _ = writeln!(out, "  {label:>9} |{:<24}| {c}", "#".repeat(width));
+    }
+    out
+}
+
+/// One parsed event line grouped under its `(workload, engine)` identity.
+#[derive(Clone, Debug)]
+pub struct EventRow {
+    /// `workload` meta field (empty if absent).
+    pub workload: String,
+    /// `engine` meta field (empty if absent).
+    pub engine: String,
+    /// All fields of the line.
+    pub fields: BTreeMap<String, String>,
+}
+
+/// Parse every well-formed line, tagging each with its workload/engine.
+#[must_use]
+pub fn parse_events(lines: &[String]) -> Vec<EventRow> {
+    lines
+        .iter()
+        .filter_map(|l| parse_line(l))
+        .map(|fields| EventRow {
+            workload: fields.get("workload").cloned().unwrap_or_default(),
+            engine: fields.get("engine").cloned().unwrap_or_default(),
+            fields,
+        })
+        .collect()
+}
+
+fn get_u64(f: &BTreeMap<String, String>, key: &str) -> u64 {
+    f.get(key).and_then(|v| v.parse().ok()).unwrap_or(0)
+}
+
+/// Render the full Markdown report for a set of JSONL lines (possibly
+/// concatenated from several streams): per-engine comparison table,
+/// histogram sketches, hot-pc top-k, and a heartbeat summary.
+#[must_use]
+pub fn render_report(title: &str, lines: &[String]) -> String {
+    use std::fmt::Write as _;
+    let events = parse_events(lines);
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}\n");
+    let _ = writeln!(
+        out,
+        "{} events parsed ({} skipped as malformed).\n",
+        events.len(),
+        lines.iter().filter(|l| !l.trim().is_empty()).count() - events.len()
+    );
+
+    // --- Per-engine comparison table (last snapshot per workload/engine).
+    let mut snaps: BTreeMap<(String, String), BTreeMap<String, String>> = BTreeMap::new();
+    for e in &events {
+        if e.fields.get("kind").map(String::as_str) == Some("snapshot") {
+            snaps.insert((e.workload.clone(), e.engine.clone()), e.fields.clone());
+        }
+    }
+    let _ = writeln!(out, "## Per-engine comparison\n");
+    if snaps.is_empty() {
+        let _ = writeln!(out, "(no snapshot events)\n");
+    } else {
+        let cols = [
+            "states",
+            "transitions",
+            "fences",
+            "rmrs",
+            "crashes",
+            "sleep_hits",
+            "dedup_hits",
+            "max_frontier",
+        ];
+        let _ = writeln!(out, "| workload | engine | {} |", cols.join(" | "));
+        let _ = writeln!(out, "|---|---|{}|", cols.map(|_| "---:").join("|"));
+        for ((workload, engine), f) in &snaps {
+            let cells: Vec<String> = cols.iter().map(|c| get_u64(f, c).to_string()).collect();
+            let _ = writeln!(out, "| {workload} | {engine} | {} |", cells.join(" | "));
+        }
+        let _ = writeln!(out);
+    }
+
+    // --- Histogram sketches.
+    for (hist_key, name) in [
+        ("buffer_depth_hist", "write-buffer depth at buffered writes"),
+        ("frame_depth_hist", "DFS depth at state insertion"),
+    ] {
+        let mut merged = HistSnapshot::default();
+        for f in snaps.values() {
+            if let Some(field) = f.get(hist_key) {
+                merged.merge(&parse_hist(field));
+            }
+        }
+        if merged.total() > 0 {
+            let _ = writeln!(out, "## Histogram: {name}\n");
+            let _ = writeln!(out, "```");
+            out.push_str(&sketch(&merged));
+            let _ = writeln!(out, "```\n");
+        }
+    }
+
+    // --- Hot pcs.
+    let hot: Vec<((String, String), String)> = snaps
+        .iter()
+        .filter_map(|(k, f)| f.get("hot_pcs").map(|h| (k.clone(), h.clone())))
+        .filter(|(_, h)| !h.is_empty())
+        .collect();
+    if !hot.is_empty() {
+        let _ = writeln!(out, "## Hottest pcs (hits ≈ time-in-state)\n");
+        for ((workload, engine), field) in &hot {
+            let pretty: Vec<String> = field
+                .split(';')
+                .take(8)
+                .map(|entry| entry.replace('=', " × "))
+                .collect();
+            let _ = writeln!(out, "- `{workload}/{engine}`: {}", pretty.join(", "));
+        }
+        let _ = writeln!(out);
+    }
+
+    // --- Heartbeat summary.
+    let mut beats: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
+    for e in &events {
+        if e.fields.get("kind").map(String::as_str) == Some("heartbeat") {
+            let rate: f64 = e
+                .fields
+                .get("states_per_sec")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0.0);
+            let entry = beats
+                .entry((e.workload.clone(), e.engine.clone()))
+                .or_insert((0, 0.0));
+            entry.0 += 1;
+            entry.1 = entry.1.max(rate);
+        }
+    }
+    if !beats.is_empty() {
+        let _ = writeln!(out, "## Heartbeats\n");
+        let _ = writeln!(out, "| workload | engine | beats | peak states/sec |");
+        let _ = writeln!(out, "|---|---|---:|---:|");
+        for ((workload, engine), (n, peak)) in &beats {
+            let _ = writeln!(out, "| {workload} | {engine} | {n} | {peak:.0} |");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_recorder_lines() {
+        let line = r#"{"t_ms":12,"kind":"snapshot","engine":"undo","states":345,"rate":1.500,"ok":true,"none":null,"msg":"a\"b"}"#;
+        let f = parse_line(line).expect("parses");
+        assert_eq!(f["kind"], "snapshot");
+        assert_eq!(f["engine"], "undo");
+        assert_eq!(f["states"], "345");
+        assert_eq!(f["rate"], "1.500");
+        assert_eq!(f["ok"], "true");
+        assert_eq!(f["none"], "null");
+        assert_eq!(f["msg"], "a\"b");
+        assert!(parse_line("not json").is_none());
+        assert!(parse_line("{\"unterminated\":").is_none());
+    }
+
+    #[test]
+    fn hist_field_roundtrip() {
+        let mut h = HistSnapshot::default();
+        h.buckets[0] = 3;
+        h.buckets[2] = 17;
+        h.buckets[5] = 1;
+        let field = crate::metrics::hist_field(&h);
+        assert_eq!(field, "3@0,17@2,1@5");
+        assert_eq!(parse_hist(&field), h);
+        let s = sketch(&h);
+        assert!(s.contains("17"), "sketch shows counts: {s}");
+    }
+
+    #[test]
+    fn report_renders_engine_table() {
+        let lines = vec![
+            r#"{"t_ms":1,"kind":"snapshot","workload":"peterson2_pso","engine":"undo","states":10,"transitions":20,"fences":4,"rmrs":8,"crashes":0,"sleep_hits":0,"dedup_hits":5,"max_frontier":3}"#.to_string(),
+            r#"{"t_ms":2,"kind":"snapshot","workload":"peterson2_pso","engine":"dpor","states":7,"transitions":12,"fences":4,"rmrs":6,"crashes":0,"sleep_hits":3,"dedup_hits":2,"max_frontier":3,"hot_pcs":"p0@7:wait=9;p1@2=5"}"#.to_string(),
+            r#"{"t_ms":3,"kind":"heartbeat","workload":"peterson2_pso","engine":"undo","states":5,"states_per_sec":123.000}"#.to_string(),
+            "garbage".to_string(),
+        ];
+        let r = render_report("Test", &lines);
+        assert!(r.contains("| peterson2_pso | undo | 10 | 20 |"));
+        assert!(r.contains("| peterson2_pso | dpor | 7 | 12 |"));
+        assert!(r.contains("Hottest pcs"));
+        assert!(r.contains("p0@7:wait × 9"));
+        assert!(r.contains("| peterson2_pso | undo | 1 | 123 |"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Property-based tests for the metrics algebra: snapshot merging must be
+//! associative and commutative with [`MetricsSnapshot::default`] as the
+//! identity (counters, per-process steps, histograms, and span times add;
+//! gauges max), and folding a recorder's per-shard snapshots must equal
+//! its single merged snapshot bit-for-bit. These are the laws that make
+//! the sharded, multi-threaded recorder's totals trustworthy.
+
+use ftobs::{
+    Gauge, Metric, MetricsSnapshot, Phase, ProcSteps, Recorder, StepClass, HIST_BUCKETS, MAX_PROCS,
+};
+use proptest::prelude::*;
+
+/// Flat slot count of one snapshot (counters + per-proc triples + two
+/// histograms + gauges + span ns/counts).
+const SLOTS: usize =
+    Metric::COUNT + MAX_PROCS * 3 + 2 * HIST_BUCKETS + Gauge::COUNT + 2 * Phase::COUNT;
+
+fn snapshot_from_slots(slots: &[u64]) -> MetricsSnapshot {
+    assert_eq!(slots.len(), SLOTS);
+    let mut it = slots.iter().copied();
+    let mut s = MetricsSnapshot::default();
+    for c in &mut s.counters {
+        *c = it.next().unwrap();
+    }
+    for p in &mut s.per_proc {
+        *p = ProcSteps {
+            fences: it.next().unwrap(),
+            rmrs: it.next().unwrap(),
+            crashes: it.next().unwrap(),
+        };
+    }
+    for b in &mut s.buffer_depth.buckets {
+        *b = it.next().unwrap();
+    }
+    for b in &mut s.frame_depth.buckets {
+        *b = it.next().unwrap();
+    }
+    for g in &mut s.gauges {
+        *g = it.next().unwrap();
+    }
+    for n in &mut s.span_ns {
+        *n = it.next().unwrap();
+    }
+    for n in &mut s.span_count {
+        *n = it.next().unwrap();
+    }
+    s
+}
+
+fn arb_snapshot() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..10_000, SLOTS..SLOTS + 1)
+}
+
+/// Every observable slot of the snapshot, flattened, so equality here is
+/// *bit* equality, not the deterministic-projection `PartialEq`.
+fn all_slots(s: &MetricsSnapshot) -> Vec<u64> {
+    let mut out = Vec::with_capacity(SLOTS);
+    out.extend_from_slice(&s.counters);
+    for p in &s.per_proc {
+        out.extend_from_slice(&[p.fences, p.rmrs, p.crashes]);
+    }
+    out.extend_from_slice(&s.buffer_depth.buckets);
+    out.extend_from_slice(&s.frame_depth.buckets);
+    out.extend_from_slice(&s.gauges);
+    out.extend_from_slice(&s.span_ns);
+    out.extend_from_slice(&s.span_count);
+    out
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(a in arb_snapshot(), b in arb_snapshot()) {
+        let (a, b) = (snapshot_from_slots(&a), snapshot_from_slots(&b));
+        prop_assert_eq!(all_slots(&a.merged(&b)), all_slots(&b.merged(&a)));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let (a, b, c) = (
+            snapshot_from_slots(&a),
+            snapshot_from_slots(&b),
+            snapshot_from_slots(&c),
+        );
+        let left = a.merged(&b).merged(&c);
+        let right = a.merged(&b.merged(&c));
+        prop_assert_eq!(all_slots(&left), all_slots(&right));
+    }
+
+    #[test]
+    fn default_is_the_merge_identity(a in arb_snapshot()) {
+        let a = snapshot_from_slots(&a);
+        let id = MetricsSnapshot::default();
+        prop_assert_eq!(all_slots(&a.merged(&id)), all_slots(&a));
+        prop_assert_eq!(all_slots(&id.merged(&a)), all_slots(&a));
+    }
+
+    /// Replaying the same step sequence through N concurrent threads and
+    /// through one thread yields identical counter totals, and folding the
+    /// recorder's per-shard snapshots reproduces `snapshot()` exactly.
+    #[test]
+    fn shard_fold_equals_snapshot(ops in prop::collection::vec((0usize..4, 0u64..6, 0u32..16), 1..200)) {
+        let classify = |tag: u64, depth: u64| match tag {
+            0 => StepClass::Read { buffered: depth % 2 == 0, remote: depth % 3 == 0 },
+            1 => StepClass::Write { buffer_depth: depth },
+            2 => StepClass::Commit { remote: depth % 2 == 1 },
+            3 => StepClass::Fence,
+            4 => StepClass::Cas { remote: depth % 2 == 0 },
+            _ => StepClass::Crash,
+        };
+
+        let record_all = |rec: &Recorder, chunk: &[(usize, u64, u32)]| {
+            for &(p, tag, pc) in chunk {
+                rec.record_step(p, classify(tag, u64::from(pc)), Some(pc));
+                rec.on_transition();
+                rec.on_state(u64::from(pc));
+            }
+        };
+
+        // Single-threaded reference.
+        let seq = Recorder::builder().quiet(true).build();
+        record_all(&seq, &ops);
+
+        // The same ops split across threads (each thread lands on its own
+        // shard via the round-robin thread-local).
+        let par = Recorder::builder().quiet(true).build();
+        std::thread::scope(|scope| {
+            for chunk in ops.chunks(ops.len().div_ceil(3)) {
+                let par = par.clone();
+                scope.spawn(move || record_all(&par, chunk));
+            }
+        });
+
+        let (s, p) = (seq.snapshot(), par.snapshot());
+        prop_assert_eq!(s.counters, p.counters);
+        prop_assert_eq!(s.per_proc, p.per_proc);
+        prop_assert_eq!(s.buffer_depth.buckets, p.buffer_depth.buckets);
+        prop_assert_eq!(s.frame_depth.buckets, p.frame_depth.buckets);
+        prop_assert_eq!(s.gauges, p.gauges);
+
+        // Folding the parallel recorder's shards reproduces its own
+        // merged snapshot (gauges live recorder-global, outside shards).
+        let mut fold = MetricsSnapshot::default();
+        for shard in par.shard_snapshots() {
+            fold.merge(&shard);
+        }
+        prop_assert_eq!(fold.counters, p.counters);
+        prop_assert_eq!(fold.per_proc, p.per_proc);
+        prop_assert_eq!(fold.buffer_depth.buckets, p.buffer_depth.buckets);
+        prop_assert_eq!(fold.frame_depth.buckets, p.frame_depth.buckets);
+    }
+
+    /// The equality projection ignores exactly the traversal-dependent
+    /// slots: two snapshots that differ only in RMRs, post-deterministic
+    /// counters, frame depths, gauges, and spans still compare equal.
+    #[test]
+    fn equality_ignores_nondeterministic_slots(a in arb_snapshot(), noise in 1u64..999) {
+        let a = snapshot_from_slots(&a);
+        let mut b = a;
+        b.counters[Metric::Rmrs as usize] += noise;
+        for i in Metric::DETERMINISTIC_END..Metric::COUNT {
+            b.counters[i] += noise;
+        }
+        for p in &mut b.per_proc {
+            p.rmrs += noise;
+        }
+        for bucket in &mut b.frame_depth.buckets {
+            *bucket += noise;
+        }
+        for g in &mut b.gauges {
+            *g += noise;
+        }
+        for n in &mut b.span_ns {
+            *n += noise;
+        }
+        prop_assert_eq!(a, b);
+
+        // ...but not in the deterministic ones.
+        let mut c = a;
+        c.counters[Metric::States as usize] += noise;
+        prop_assert!(a != c);
+        let mut d = a;
+        d.per_proc[0].fences += noise;
+        prop_assert!(a != d);
+        let mut e = a;
+        e.buffer_depth.buckets[0] += noise;
+        prop_assert!(a != e);
+    }
+}

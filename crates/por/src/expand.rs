@@ -24,12 +24,20 @@ pub struct Expansion {
 /// ample process if `use_ample` (and one qualifies), then drop choices the
 /// `sleep` set already covers. Ample-pruned choices are *not* slept — they
 /// land in [`Expansion::excluded`] for the cycle-proviso fallback.
+///
+/// Every reduction decision is reported through `obs`: sleep-filtered
+/// choices as [`ftobs::Metric::SleepHits`], and — when ample selection was
+/// requested — whether it applied ([`ftobs::Metric::AmpleApplied`]) or
+/// fell back to the full enabled set
+/// ([`ftobs::Metric::AmpleFallbacks`]). Pass
+/// [`ftobs::Recorder::disabled`] to opt out.
 #[must_use]
 pub fn expand<P: Process>(
     m: &Machine<P>,
     choices: &[SchedElem],
     sleep: &SleepSet,
     use_ample: bool,
+    obs: &ftobs::Recorder,
 ) -> Expansion {
     let ample = if use_ample {
         ample::select(m, choices)
@@ -48,6 +56,16 @@ pub fn expand<P: Process>(
         } else {
             out.explore.push(e);
         }
+    }
+    if use_ample {
+        obs.incr(if ample.is_some() {
+            ftobs::Metric::AmpleApplied
+        } else {
+            ftobs::Metric::AmpleFallbacks
+        });
+    }
+    if out.slept > 0 {
+        obs.add(ftobs::Metric::SleepHits, out.slept as u64);
     }
     out
 }
@@ -75,7 +93,13 @@ mod tests {
     fn ample_expansion_excludes_other_processes() {
         let m = machine(vec![writer("w0", 0), writer("w1", 1)]);
         let choices = m.choices();
-        let x = expand(&m, &choices, &SleepSet::new(), true);
+        let x = expand(
+            &m,
+            &choices,
+            &SleepSet::new(),
+            true,
+            &ftobs::Recorder::disabled(),
+        );
         assert_eq!(x.ample, Some(ProcId(0)));
         assert!(x.explore.iter().all(|e| e.proc == ProcId(0)));
         assert!(x.excluded.iter().all(|e| e.proc == ProcId(1)));
@@ -89,7 +113,7 @@ mod tests {
         let choices = m.choices();
         let mut sleep = SleepSet::new();
         sleep.insert(choices[0], m.choice_footprint(choices[0]));
-        let x = expand(&m, &choices, &sleep, false);
+        let x = expand(&m, &choices, &sleep, false, &ftobs::Recorder::disabled());
         assert_eq!(x.ample, None);
         assert!(x.excluded.is_empty());
         assert_eq!(x.slept, 1);
@@ -108,7 +132,7 @@ mod tests {
             .unwrap();
         let mut sleep = SleepSet::new();
         sleep.insert(ample_elem, m.choice_footprint(ample_elem));
-        let x = expand(&m, &choices, &sleep, true);
+        let x = expand(&m, &choices, &sleep, true, &ftobs::Recorder::disabled());
         assert_eq!(x.ample, Some(ProcId(0)));
         assert_eq!(x.slept, 1);
         assert!(!x.explore.contains(&ample_elem));

@@ -347,6 +347,11 @@ pub struct Machine<P: Process> {
     counters: Counters,
     trace: Trace,
     next_nonce: u64,
+    // Observability hook: shared (Arc-backed) recorder, disabled by
+    // default. Excluded from `hash_state`/`state_key` (those enumerate
+    // fields explicitly) and from replay semantics; clones share it, so
+    // every clone of an instrumented machine reports to the same sink.
+    obs: ftobs::Recorder,
 }
 
 impl<P: Process> Machine<P> {
@@ -372,7 +377,22 @@ impl<P: Process> Machine<P> {
             counters: Counters::new(n),
             trace: Trace::new(),
             next_nonce: 0,
+            obs: ftobs::Recorder::disabled(),
         }
+    }
+
+    /// Attach a metrics recorder: every subsequent executed step (and
+    /// undo) is classified and counted through it. Clones of the machine
+    /// share the recorder. Pass [`ftobs::Recorder::disabled`] to detach.
+    pub fn set_recorder(&mut self, obs: ftobs::Recorder) {
+        self.obs = obs;
+    }
+
+    /// The attached metrics recorder (disabled unless
+    /// [`set_recorder`](Self::set_recorder) was called).
+    #[must_use]
+    pub fn recorder(&self) -> &ftobs::Recorder {
+        &self.obs
     }
 
     /// Number of processes.
@@ -575,6 +595,7 @@ impl<P: Process> Machine<P> {
     /// the machine that produced them, newest first (LIFO) — the depth-first
     /// search discipline.
     pub fn undo(&mut self, token: UndoToken<P>) {
+        self.obs.on_undo();
         let i = token.proc.index();
         let slot = &mut self.procs[i];
         if let Some(prog) = token.prog {
@@ -740,6 +761,11 @@ impl<P: Process> Machine<P> {
                     kind: EventKind::Write { reg, value },
                 });
             }
+            // The Write half bypasses `emit` here (only the Commit goes
+            // through it), so count it directly; the pc is attributed by
+            // the Commit's `emit`.
+            self.obs
+                .record_step(p.index(), ftobs::StepClass::Write { buffer_depth: 0 }, None);
             self.commit_to_memory(p, reg, value, u)
         }
     }
@@ -949,6 +975,33 @@ impl<P: Process> Machine<P> {
         let event = Event { proc: p, kind };
         if self.config.record_trace {
             self.trace.push(event.clone());
+        }
+        // `emit` is the single funnel for every executed event (crash
+        // drain-commits and SC immediate commits included), so one
+        // classification here covers all step paths. The disabled-recorder
+        // fast path is this one branch.
+        if self.obs.is_enabled() {
+            let class = match event.kind {
+                EventKind::Read {
+                    from_memory,
+                    remote,
+                    ..
+                } => ftobs::StepClass::Read {
+                    buffered: !from_memory,
+                    remote,
+                },
+                EventKind::Write { .. } => ftobs::StepClass::Write {
+                    buffer_depth: self.procs[p.index()].buffer.len() as u64,
+                },
+                EventKind::Fence => ftobs::StepClass::Fence,
+                EventKind::Cas { remote, .. } => ftobs::StepClass::Cas { remote },
+                EventKind::Commit { remote, .. } => ftobs::StepClass::Commit { remote },
+                EventKind::Swap { remote, .. } => ftobs::StepClass::Swap { remote },
+                EventKind::Return { .. } => ftobs::StepClass::Return,
+                EventKind::Crash { .. } => ftobs::StepClass::Crash,
+            };
+            let pc = self.procs[p.index()].prog.obs_pc();
+            self.obs.record_step(p.index(), class, pc);
         }
         StepOutcome::Stepped(event)
     }

@@ -192,6 +192,16 @@ pub trait Process: Clone + Eq + std::hash::Hash + Send + Sync {
         FutureAccess::all()
     }
 
+    /// The process's current program counter for observability (the
+    /// hot-pc table in `ftobs`), if the process has a meaningful one.
+    /// The default — `None` — opts out; interpreted processes (the
+    /// `fencevm` VM) report their pc so per-label hit counts can be
+    /// attributed. Purely diagnostic: never affects semantics, hashing,
+    /// or equality.
+    fn obs_pc(&self) -> Option<u32> {
+        None
+    }
+
     /// Whether performing the poised operation may change the process's
     /// [`annotation`](Process::annotation). Property checks observe
     /// annotations, so partial-order reduction must treat

@@ -32,4 +32,13 @@ FT_E11_FAST=1 cargo run --release -p ft-bench --bin exp_e11_crash_recovery
 echo "==> E12 reduction experiment (fast mode: n = 2 factors only)"
 FT_E12_FAST=1 cargo run --release -p ft-bench --bin exp_e12_reduction
 
+echo "==> obs proptest suite (metrics merge algebra, shard folding)"
+cargo test -q -p ftobs --test proptests
+
+echo "==> obs_report smoke run (renders the JSONL the E12 run just wrote)"
+cargo run --release -p ft-bench --bin obs_report > /dev/null
+
+echo "==> observability overhead guard (enabled ≤5%, disabled ≤10% vs baseline, bakery3_pso)"
+cargo run --release -p ft-bench --bin obs_overhead
+
 echo "CI green."
