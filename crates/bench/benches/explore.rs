@@ -1,13 +1,18 @@
 //! Criterion bench: state-exploration throughput of the model checker's
 //! engines (clone-based DFS vs undo-log DFS vs parallel sweep vs DPOR
-//! reduction) on seed lock configurations. The dpor rows explore fewer
-//! states by design, so compare them on wall-clock per full verdict, not
-//! states/sec.
+//! reduction vs work-stealing parallel DPOR) on seed lock configurations.
+//! The dpor/pardpor rows explore fewer states by design, so compare them
+//! on wall-clock per full verdict, not states/sec.
 //!
 //! Besides the usual stdout report, a machine-readable summary — states,
 //! mean wall-clock per full exploration, and states/sec per engine, plus
 //! the speedup of each engine over the clone-DFS baseline — is written to
-//! `BENCH_explore.json` at the repository root.
+//! `BENCH_explore.json` at the repository root. Every row records its
+//! `effective_threads` (requested workers clamped to the detected cores);
+//! on a single-core host the multi-threaded engine rows are **not timed**
+//! (a 1-core "parallel" measurement is pure coordination overhead and
+//! would be quoted as if it meant something) — they are emitted with
+//! `"skipped_single_core": true` and zeroed timing fields instead.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -59,17 +64,43 @@ fn engines() -> Vec<(&'static str, Engine)> {
                 reorder_bound: None,
             },
         ),
+        (
+            "pardpor_2",
+            Engine::ParallelDpor {
+                threads: 2,
+                reorder_bound: None,
+            },
+        ),
+        (
+            "pardpor_4",
+            Engine::ParallelDpor {
+                threads: 4,
+                reorder_bound: None,
+            },
+        ),
     ]
+}
+
+/// Worker count an engine actually runs with (requested, clamped by the
+/// host — the multi-threaded engines spawn what they are told, but on a
+/// smaller host those workers time-share cores).
+fn engine_threads(engine: Engine) -> usize {
+    match engine {
+        Engine::Parallel { threads } | Engine::ParallelDpor { threads, .. } => threads,
+        _ => 1,
+    }
 }
 
 struct Row {
     workload: &'static str,
     engine: &'static str,
     threads: usize,
+    effective_threads: usize,
     states: usize,
     mean_ns: f64,
     states_per_sec: f64,
     speedup_vs_clone: f64,
+    skipped_single_core: bool,
 }
 
 fn main() {
@@ -78,6 +109,7 @@ fn main() {
         max_states: 500_000,
         ..CheckConfig::default()
     };
+    let cores = ft_bench::available_cores();
 
     let mut c = Criterion::default();
     let mut rows: Vec<Row> = Vec::new();
@@ -85,14 +117,21 @@ fn main() {
     for w in &workloads() {
         let mut clone_mean_ns = 0f64;
         for (engine_label, engine) in engines() {
+            let threads = engine_threads(engine);
+            let effective_threads = threads.min(cores);
             let cfg = cfg_base.clone().with_engine(engine);
             // One untimed run for the state count (identical across the
             // exhaustive engines — asserted by the differential tests —
-            // and legitimately smaller for dpor: that gap is the
+            // and legitimately smaller for dpor/pardpor: that gap is the
             // reduction factor).
             let stats: Stats = check(&w.inst.machine(w.model), &cfg).stats();
 
-            {
+            // A multi-threaded engine on a single core measures only
+            // contention; emit a marked, untimed row instead.
+            let skipped_single_core = threads > 1 && cores == 1;
+            let mean_ns = if skipped_single_core {
+                0.0
+            } else {
                 let mut group = c.benchmark_group(format!("explore/{}", w.label));
                 group
                     .sample_size(10)
@@ -101,27 +140,29 @@ fn main() {
                     b.iter(|| check(&w.inst.machine(w.model), &cfg).stats().states)
                 });
                 group.finish();
-            }
-
-            let mean_ns = c.results().last().expect("recorded").mean_ns();
+                c.results().last().expect("recorded").mean_ns()
+            };
             if engine_label == "clone_dfs" {
                 clone_mean_ns = mean_ns;
             }
             rows.push(Row {
                 workload: w.label,
                 engine: engine_label,
-                threads: match engine {
-                    Engine::Parallel { threads } => threads,
-                    _ => 1,
-                },
+                threads,
+                effective_threads,
                 states: stats.states,
                 mean_ns,
-                states_per_sec: stats.states as f64 / (mean_ns / 1e9),
+                states_per_sec: if mean_ns > 0.0 {
+                    stats.states as f64 / (mean_ns / 1e9)
+                } else {
+                    0.0
+                },
                 speedup_vs_clone: if mean_ns > 0.0 {
                     clone_mean_ns / mean_ns
                 } else {
                     0.0
                 },
+                skipped_single_core,
             });
         }
     }
@@ -136,8 +177,8 @@ fn render_json(rows: &[Row]) -> String {
     // Detected once and cached (`ft_bench::available_cores`): the old
     // per-call `available_parallelism()` read could land during startup
     // affinity churn and record `1` on multi-core hosts. `ft_threads` is
-    // the *effective* worker count (env override or detected cores) —
-    // always a number, never null.
+    // the *effective* worker count (env override clamped to detected
+    // cores) — always a number, never null.
     let cores = ft_bench::available_cores();
     let mut s = String::from("{\n");
     let _ = writeln!(s, "  \"bench\": \"explore\",");
@@ -147,16 +188,19 @@ fn render_json(rows: &[Row]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             s,
-            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \"states\": {}, \
+            "    {{\"workload\": \"{}\", \"engine\": \"{}\", \"threads\": {}, \
+             \"effective_threads\": {}, \"states\": {}, \
              \"mean_ns_per_exploration\": {:.0}, \"states_per_sec\": {:.0}, \
-             \"speedup_vs_clone\": {:.3}}}",
+             \"speedup_vs_clone\": {:.3}, \"skipped_single_core\": {}}}",
             r.workload,
             r.engine,
             r.threads,
+            r.effective_threads,
             r.states,
             r.mean_ns,
             r.states_per_sec,
-            r.speedup_vs_clone
+            r.speedup_vs_clone,
+            r.skipped_single_core
         );
         s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }

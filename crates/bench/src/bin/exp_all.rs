@@ -22,6 +22,7 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e10_steady_state",
     "exp_e11_crash_recovery",
     "exp_e12_reduction",
+    "exp_e14_scaling",
 ];
 
 fn main() {

@@ -32,6 +32,20 @@ fn dpor() -> Engine {
     }
 }
 
+/// Worker count for the work-stealing DPOR rows: at least 2 (a 1-thread
+/// run *is* `Engine::Dpor`), honoring `FT_THREADS`/core clamping above
+/// that.
+fn pardpor_threads() -> usize {
+    ft_bench::parallelism().max(2)
+}
+
+fn pardpor() -> Engine {
+    Engine::ParallelDpor {
+        threads: pardpor_threads(),
+        reorder_bound: None,
+    }
+}
+
 /// (verdict, wall-clock seconds) of one check.
 fn timed(inst: &OrderingInstance, model: MemoryModel, cfg: &CheckConfig) -> (Verdict, f64) {
     let start = std::time::Instant::now();
@@ -201,11 +215,22 @@ fn main() {
         ("filter", LockKind::Filter),
         ("gt_f2", LockKind::Gt { f: 2 }),
     ];
+    let cores = ft_bench::available_cores();
     let mut t3 = Table::new(
         "e12b_reduction_n3",
         "E12b: three processes under PSO (mutex check, full fences, \
          exhaustive engine capped at 2M states)",
-        &["lock", "undo", "states", "dpor", "states", "factor"],
+        &[
+            "lock",
+            "undo",
+            "states",
+            "dpor",
+            "states",
+            "factor",
+            "dpor_s",
+            "pardpor_s",
+            "speedup",
+        ],
     );
     let rows = ft_bench::par_map(locks3, |&(name, kind)| {
         let inst = build_mutex(kind, 3, FenceMask::ALL);
@@ -216,10 +241,19 @@ fn main() {
             MemoryModel::Pso,
             &with_obs(uncapped.clone().with_engine(dpor()), &sink, &wl),
         );
-        (name, full, red, red_secs)
+        let (par, par_secs) = timed(
+            &inst,
+            MemoryModel::Pso,
+            &with_obs(uncapped.clone().with_engine(pardpor()), &sink, &wl),
+        );
+        (name, full, red, red_secs, par, par_secs)
     });
-    for (name, full, red, red_secs) in &rows {
+    for (name, full, red, red_secs, par, par_secs) in &rows {
+        assert_eq!(red.label(), par.label(), "{name}: dpor/pardpor agree");
         let (fs, rs) = (full.stats(), red.stats());
+        // On a single-core host the pardpor wall-clock measures
+        // time-slicing, not scaling — the cells stay but are marked.
+        let single_core = cores == 1;
         t3.row(&[
             (*name).to_string(),
             full.label().to_string(),
@@ -231,6 +265,17 @@ fn main() {
             } else {
                 factor(fs.states, rs.states)
             },
+            fmt(*red_secs, 2),
+            if single_core {
+                "skipped".into()
+            } else {
+                fmt(*par_secs, 2)
+            },
+            if single_core {
+                "-".into()
+            } else {
+                format!("{}x", fmt(red_secs / par_secs.max(1e-9), 2))
+            },
         ]);
         json_rows.push(format!(
             "{{\"workload\": \"e12_{name}3_pso\", \"engine\": \"dpor\", \"states\": {}, \
@@ -240,12 +285,26 @@ fn main() {
             full.label(),
             red_secs * 1e3,
         ));
+        json_rows.push(format!(
+            "{{\"workload\": \"e12_{name}3_pso_pardpor\", \"engine\": \"pardpor\", \
+             \"threads\": {}, \"effective_threads\": {}, \"states\": {}, \
+             \"dpor_wall_ms\": {:.1}, \"wall_ms\": {:.1}, \"skipped_single_core\": {}}}",
+            pardpor_threads(),
+            pardpor_threads().min(cores),
+            par.stats().states,
+            red_secs * 1e3,
+            par_secs * 1e3,
+            single_core,
+        ));
     }
     t3.note(
         "A `state-limit` row is the infeasibility the subsystem removes: \
          the exhaustive engine gave up at its 2M-state budget while the \
          reduced engine finished the full proof with the states shown \
-         (the factor is then a lower bound).",
+         (the factor is then a lower bound). The pardpor columns time the \
+         work-stealing parallel DPOR engine on the same sweep (skipped on \
+         single-core hosts, where parallel wall-clock measures \
+         time-slicing).",
     );
     t3.finish();
 

@@ -1,0 +1,157 @@
+//! **pardpor_guard** — the work-stealing parallel DPOR performance gates
+//! (EXPERIMENTS.md E14).
+//!
+//! Two gates over `filter3_pso` (the largest seed workload the DPOR
+//! engines reduce well), using the same noise defenses as `obs_overhead`
+//! (paired alternating rounds, median of per-round ratios, independent
+//! retry attempts):
+//!
+//! 1. **Scaling** (multi-core hosts only): a full `Engine::ParallelDpor`
+//!    exploration on `FT_PARDPOR_THREADS` workers (default 4, clamped to
+//!    the detected cores) must be at least `FT_PARDPOR_SPEEDUP` (default
+//!    1.5) times faster than sequential `Engine::Dpor`. On a single-core
+//!    host this gate is **skipped** — parallel wall-clock there measures
+//!    time-slicing, not the engine — and reported as such.
+//! 2. **Sequential regression** (always): `Engine::ParallelDpor` with
+//!    `threads: 1` — the dispatch path this PR added in front of the
+//!    sequential engine — must stay within `FT_PARDPOR_REGRESSION`
+//!    (default 1.05, the ≤5% budget) of a direct `Engine::Dpor` run.
+//!    This pins the cost of the new engine's plumbing (threshold probe,
+//!    dispatch) at effectively zero for everyone not opting in.
+
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use fence_trade::prelude::*;
+
+fn env_or(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn trial(inst: &OrderingInstance, cfg: &CheckConfig, iters: usize) -> (Duration, usize) {
+    let start = Instant::now();
+    let mut states = 0usize;
+    for _ in 0..iters {
+        let v = check(&inst.machine(MemoryModel::Pso), cfg);
+        assert!(v.is_ok(), "filter3_pso must verify: {}", v.label());
+        states = std::hint::black_box(v.stats().states);
+    }
+    (start.elapsed(), states)
+}
+
+/// Median of per-round `numerator/denominator` wall-clock ratios over
+/// paired alternating rounds (see `obs_overhead` for why pairing beats
+/// best-of-rounds on a shared container).
+fn paired_ratio(
+    inst: &OrderingInstance,
+    numerator_cfg: &CheckConfig,
+    denominator_cfg: &CheckConfig,
+    trials: usize,
+    iters: usize,
+) -> f64 {
+    let _ = trial(inst, denominator_cfg, 1); // warm-up
+    let mut ratios = Vec::with_capacity(trials);
+    for round in 0..trials.max(1) {
+        let (num, den) = if round % 2 == 0 {
+            let n = trial(inst, numerator_cfg, iters).0;
+            let d = trial(inst, denominator_cfg, iters).0;
+            (n, d)
+        } else {
+            let d = trial(inst, denominator_cfg, iters).0;
+            let n = trial(inst, numerator_cfg, iters).0;
+            (n, d)
+        };
+        ratios.push(num.as_secs_f64() / den.as_secs_f64().max(1e-12));
+    }
+    ratios.sort_by(f64::total_cmp);
+    ratios[ratios.len() / 2]
+}
+
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+fn main() -> ExitCode {
+    let iters = (env_or("FT_PARDPOR_ITERS", 1.0) as usize).max(1);
+    let trials = (env_or("FT_PARDPOR_TRIALS", 5.0) as usize).max(1);
+    let attempts = (env_or("FT_PARDPOR_ATTEMPTS", 2.0) as usize).max(1);
+    let min_speedup = env_or("FT_PARDPOR_SPEEDUP", 1.5);
+    let max_regression = env_or("FT_PARDPOR_REGRESSION", 1.05);
+    let threads = (env_or("FT_PARDPOR_THREADS", 4.0) as usize).max(2);
+    let cores = ft_bench::available_cores();
+
+    let inst = build_mutex(LockKind::Filter, 3, FenceMask::ALL);
+    let base = CheckConfig {
+        check_termination: false,
+        max_states: 500_000,
+        ..CheckConfig::default()
+    };
+    let seq_cfg = base.clone().with_engine(Engine::Dpor {
+        reorder_bound: None,
+    });
+    let par_cfg = base.clone().with_engine(Engine::ParallelDpor {
+        threads: threads.min(cores.max(2)),
+        reorder_bound: None,
+    });
+    let one_cfg = base.with_engine(Engine::ParallelDpor {
+        threads: 1,
+        reorder_bound: None,
+    });
+
+    let run_speedup_gate = cores >= 2;
+    let mut best_speedup: f64 = 0.0;
+    let mut best_regression = f64::INFINITY;
+    for attempt in 1..=attempts {
+        if run_speedup_gate {
+            // seq/par: >1 means the parallel engine is faster.
+            let speedup = 1.0 / paired_ratio(&inst, &par_cfg, &seq_cfg, trials, iters).max(1e-12);
+            best_speedup = best_speedup.max(speedup);
+            println!(
+                "filter3_pso, {} cores: pardpor x{} vs dpor speedup x{speedup:.2} \
+                 (median of {trials} paired rounds, floor x{min_speedup})",
+                cores,
+                threads.min(cores.max(2))
+            );
+        }
+        let regression = paired_ratio(&inst, &one_cfg, &seq_cfg, trials, iters);
+        best_regression = best_regression.min(regression);
+        println!(
+            "filter3_pso: pardpor(threads=1) vs dpor wall-clock x{regression:.3} \
+             (budget x{max_regression})"
+        );
+        let speedup_ok = !run_speedup_gate || best_speedup >= min_speedup;
+        let regression_ok = best_regression <= max_regression;
+        if speedup_ok && regression_ok {
+            if !run_speedup_gate {
+                println!(
+                    "scaling gate: SKIPPED (single core — parallel wall-clock would \
+                     measure time-slicing, not the engine)"
+                );
+            }
+            println!("pardpor guard: OK");
+            return ExitCode::SUCCESS;
+        }
+        if attempt < attempts {
+            println!(
+                "  attempt {attempt}/{attempts} over budget (speedup {}, regression {}); \
+                 re-measuring",
+                if speedup_ok { "ok" } else { "UNDER" },
+                if regression_ok { "ok" } else { "OVER" },
+            );
+        }
+    }
+
+    if run_speedup_gate && best_speedup < min_speedup {
+        eprintln!(
+            "FAIL: pardpor speedup x{best_speedup:.2} below the x{min_speedup} floor in \
+             all {attempts} attempts"
+        );
+    }
+    if best_regression > max_regression {
+        eprintln!(
+            "FAIL: pardpor(threads=1) dispatch overhead x{best_regression:.3} exceeds the \
+             x{max_regression} budget in all {attempts} attempts"
+        );
+    }
+    ExitCode::FAILURE
+}

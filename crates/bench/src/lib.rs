@@ -310,11 +310,15 @@ pub fn available_cores() -> usize {
 }
 
 /// The worker count for embarrassingly-parallel sweeps: `FT_THREADS` if set
-/// to a positive integer, otherwise [`available_cores`]. This is the
-/// *effective* thread count — the value bench rows must record.
+/// to a positive integer, otherwise [`available_cores`] — and never more
+/// than [`available_cores`] either way. Oversubscribing a timing sweep
+/// only adds scheduler noise to the measurements, so a too-large
+/// `FT_THREADS` is clamped rather than honored. This is the *effective*
+/// thread count — the value bench rows must record (`effective_threads`
+/// in `BENCH_explore.json`).
 #[must_use]
 pub fn parallelism() -> usize {
-    match std::env::var("FT_THREADS") {
+    let requested = match std::env::var("FT_THREADS") {
         Ok(s) => s
             .trim()
             .parse::<usize>()
@@ -322,7 +326,8 @@ pub fn parallelism() -> usize {
             .filter(|&n| n > 0)
             .unwrap_or_else(available_cores),
         Err(_) => available_cores(),
-    }
+    };
+    requested.min(available_cores())
 }
 
 /// Map `f` over `items` on up to [`parallelism`] scoped threads, preserving
@@ -401,6 +406,13 @@ mod tests {
         assert!(a >= 1);
         assert_eq!(a, available_cores(), "cached reading is stable");
         assert!(parallelism() >= 1);
+    }
+
+    #[test]
+    fn parallelism_never_exceeds_available_cores() {
+        // Whatever FT_THREADS says (this process may inherit one), the
+        // effective worker count is clamped to the detected cores.
+        assert!(parallelism() <= available_cores());
     }
 
     #[test]

@@ -10,12 +10,17 @@
 //!   backtracking costs O(step footprint) instead of O(machine). A single
 //!   clone is taken at the root (and one more per counterexample replay).
 //! * [`Engine::Parallel`] — N workers sweep disjoint top-level subtrees
-//!   with a sharded global visited set. A completed sweep expands every
-//!   reachable state exactly once, so its statistics equal the sequential
-//!   ones; any violation, state limit, or stuck state cancels the sweep and
-//!   reruns the sequential undo engine, whose verdict (including the
-//!   counterexample) is returned verbatim. Either way the result is
-//!   bit-identical to the sequential engines.
+//!   gated on a shared lock-free fingerprint table ([`por::FpTable`]). A
+//!   completed sweep expands every reachable state exactly once, so its
+//!   statistics equal the sequential ones; any violation, state limit, or
+//!   stuck state cancels the sweep and reruns the sequential undo engine,
+//!   whose verdict (including the counterexample) is returned verbatim.
+//!   Either way the result is bit-identical to the sequential engines.
+//!
+//! Two further engines trade completeness of that statistics contract for
+//! speed: [`Engine::Dpor`] (partial-order reduction, in [`crate::dpor`])
+//! and [`Engine::ParallelDpor`] (work-stealing parallel DPOR, in
+//! [`crate::pardpor`]); both keep verdicts bit-identical.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
@@ -23,7 +28,6 @@ use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use ftobs::{Gauge, Metric, MetricsSnapshot, Progress, Recorder};
@@ -68,6 +72,26 @@ pub enum Engine {
         /// reduction's savings are measured against.
         reorder_bound: Option<u32>,
     },
+    /// Work-stealing parallel DPOR: N workers each run the
+    /// [`Engine::Dpor`] reduced DFS (identical pruning rules), trading
+    /// unexplored fork points through a bounded work-stealing queue and
+    /// deduplicating states in a shared lock-free fingerprint table
+    /// ([`por::FpTable`]). Verdicts are bit-identical to
+    /// [`Engine::Dpor`] with the same `reorder_bound` (violations,
+    /// limits, stuck states, and worker panics defer to a sequential
+    /// rerun, exactly like [`Engine::Parallel`]); in the diagnostic
+    /// disabled-reduction mode the metrics are bit-identical too. Small
+    /// runs short-circuit to the sequential engine (see
+    /// `FT_PARDPOR_SEQ`). See `DESIGN.md` §7 for the fork-point protocol
+    /// and the soundness argument.
+    ParallelDpor {
+        /// Worker count (`0` = available parallelism). With one worker
+        /// this is exactly [`Engine::Dpor`].
+        threads: usize,
+        /// Same meaning as [`Engine::Dpor::reorder_bound`], including
+        /// the `Some(u32::MAX)` diagnostic mode.
+        reorder_bound: Option<u32>,
+    },
 }
 
 impl Engine {
@@ -79,6 +103,7 @@ impl Engine {
             Engine::Undo => "undo",
             Engine::Parallel { .. } => "parallel",
             Engine::Dpor { .. } => "dpor",
+            Engine::ParallelDpor { .. } => "pardpor",
         }
     }
 }
@@ -554,7 +579,7 @@ pub(crate) fn violates_invariant<P: Process>(config: &CheckConfig, m: &Machine<P
 }
 
 /// Best-effort rendering of a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -638,6 +663,10 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
         Engine::Dpor { reorder_bound } => {
             crate::dpor::check_dpor(root, config, reorder_bound, deadline)
         }
+        Engine::ParallelDpor {
+            threads,
+            reorder_bound,
+        } => crate::pardpor::check_pardpor(root, config, threads, reorder_bound, deadline),
     };
     verdict.stats_mut().elapsed = start.elapsed();
     if config.recorder.is_enabled() {
@@ -965,16 +994,6 @@ fn check_undo<P: Process>(
     Verdict::Ok(stats)
 }
 
-/// Number of shards in the parallel engine's visited set. Must be a power
-/// of two; 64 keeps lock contention low for any realistic worker count.
-const VISITED_SHARDS: usize = 64;
-
-fn shard_of(fp: u128) -> usize {
-    // The top bits feed the shard index; the full fingerprint is stored, so
-    // this only routes, it does not weaken collision resistance.
-    (fp >> 64) as usize & (VISITED_SHARDS - 1)
-}
-
 /// What one parallel worker reports back.
 #[derive(Default)]
 struct WorkerReport {
@@ -994,8 +1013,8 @@ struct WorkerReport {
 
 /// The parallel engine: split the root's outgoing transitions round-robin
 /// across `threads` workers, each running an undo-log DFS gated on a shared
-/// sharded visited set, so every reachable state is expanded by exactly one
-/// worker. A completed sweep therefore reproduces the sequential `Stats`
+/// lock-free fingerprint table ([`por::FpTable`]), so every reachable state
+/// is expanded by exactly one worker. A completed sweep therefore reproduces the sequential `Stats`
 /// exactly (states = visited-set inserts, transitions = out-edges of
 /// expanded states, terminals counted at first insert). Any violation,
 /// state-limit overrun, or stuck state cancels the sweep and defers to the
@@ -1036,18 +1055,13 @@ fn check_parallel<P: Process>(
         }
     }
 
-    let visited: Vec<Mutex<HashSet<u128>>> = (0..VISITED_SHARDS)
-        .map(|_| Mutex::new(HashSet::new()))
-        .collect();
+    let visited = por::FpTable::new();
     let state_count = AtomicUsize::new(1); // the root
     let cancel = AtomicBool::new(false);
     let budget_hit = AtomicBool::new(false);
 
     let root_fp = fingerprint(initial);
-    visited[shard_of(root_fp)]
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner)
-        .insert(root_fp);
+    visited.insert(root_fp);
     config.recorder.on_state(0);
     if initial.all_done() {
         config.recorder.incr(Metric::TerminalStates);
@@ -1182,16 +1196,20 @@ fn check_parallel<P: Process>(
         }
     }
 
-    config.recorder.gauge_set(
-        Gauge::DedupOccupancy,
-        state_count.load(Ordering::SeqCst) as u64,
-    );
+    if config.recorder.is_enabled() {
+        config
+            .recorder
+            .add(Metric::FpContention, visited.contention());
+    }
+    config
+        .recorder
+        .gauge_set(Gauge::DedupOccupancy, visited.len() as u64);
     Verdict::Ok(stats)
 }
 
-/// Dense id for `fp` in the parallel engine's merge graph; `None` once the
-/// `u32` id space is exhausted.
-fn merge_id(ids: &mut HashMap<u128, u32>, fp: u128) -> Option<u32> {
+/// Dense id for `fp` in the parallel engines' merge graphs; `None` once
+/// the `u32` id space is exhausted.
+pub(crate) fn merge_id(ids: &mut HashMap<u128, u32>, fp: u128) -> Option<u32> {
     if let Some(&id) = ids.get(&fp) {
         return Some(id);
     }
@@ -1211,7 +1229,7 @@ fn parallel_worker<P: Process>(
     config: &CheckConfig,
     root_fp: u128,
     assigned: Vec<SchedElem>,
-    visited: &[Mutex<HashSet<u128>>],
+    visited: &por::FpTable,
     state_count: &AtomicUsize,
     cancel: &AtomicBool,
     budget_hit: &AtomicBool,
@@ -1307,10 +1325,7 @@ fn parallel_worker<P: Process>(
         if config.check_termination {
             report.edges.push((parent_fp, fp));
         }
-        let fresh = visited[shard_of(fp)]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .insert(fp);
+        let fresh = visited.insert(fp);
         if !fresh {
             tally.dedup_hit();
             m.undo(token);

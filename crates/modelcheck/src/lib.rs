@@ -40,6 +40,7 @@ pub mod checker;
 mod dpor;
 pub mod elision;
 pub mod outcomes;
+mod pardpor;
 
 pub use checker::{
     check, CheckConfig, CheckError, Counterexample, Coverage, Engine, Stats, Verdict,

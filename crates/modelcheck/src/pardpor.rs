@@ -1,0 +1,695 @@
+//! The work-stealing parallel DPOR engine ([`Engine::ParallelDpor`]).
+//!
+//! Multiplies the repo's two performance levers: the `por` reduction
+//! (sleep sets + ample sets + reorder bound, exactly as in
+//! [`crate::dpor`]) and multi-core sweep (as in `Engine::Parallel`).
+//! Every worker runs the sequential reduced DFS verbatim; the only
+//! additions are *where states are deduplicated* and *how idle workers
+//! get work*:
+//!
+//! * **Dedup** rides on [`por::FpTable`], a lock-free sharded
+//!   fingerprint table (CAS insert, write-once slots), so the one
+//!   structure every worker touches on every transition takes no locks.
+//!   The global table decides *first visits* — state counting and
+//!   property checks happen exactly once across all workers. The
+//!   sleep-set/budget *dominance* pruning ([`por::VisitTable`] is not
+//!   thread-safe, and its antichains are order-dependent anyway) stays
+//!   worker-local: a worker may therefore re-explore a state another
+//!   worker covered. That is strictly *less* pruning than the
+//!   sequential engine — sound by the same argument that makes
+//!   dominance pruning optional. Under sleep sets alone (termination
+//!   mode, diagnostic mode) both engines visit exactly the reachable
+//!   states, so `Stats.states` matches the sequential count. Under
+//!   *ample* pruning the dropped-state set is traversal-dependent for
+//!   any DPOR (the cycle proviso consults the path that reached the
+//!   state), so a re-exploration with a smaller sleep set can reach a
+//!   handful of states the sequential order happened to drop — counts
+//!   may differ by a sliver; verdicts never do.
+//! * **Work distribution** is fork-point stealing: at its poll cadence a
+//!   busy worker donates the unexplored remainder of its bottom-most
+//!   frame — replay path, sleep set, taken siblings, ample-excluded
+//!   choices, remaining reorder budget ([`por::ForkPoint`]) — into a
+//!   bounded queue ([`por::ForkQueue`]); an idle worker re-materializes
+//!   the state by replaying the path on a fresh machine clone
+//!   ([`wbmem::Machine::replay_path`], unrecorded so metrics stay
+//!   clean) and continues the frame as the owner would have. The path's
+//!   intermediate fingerprints pre-seed the thief's on-stack set, so
+//!   the cycle proviso fires for the thief exactly where it would have
+//!   for the owner. See DESIGN.md §7 for the full soundness argument.
+//!
+//! **Verdict discipline** mirrors `Engine::Parallel`, with the
+//! sequential fallback being [`crate::dpor::check_dpor`] so results stay
+//! bit-identical to [`Engine::Dpor`](crate::Engine::Dpor): any
+//! violation, state-limit overrun, stuck state, or worker panic cancels
+//! the sweep (metrics reset) and reruns sequentially; budget expiry
+//! returns [`Verdict::Inconclusive`] with merged coverage. In the
+//! diagnostic disabled-reduction mode (`reorder_bound ==
+//! Some(u32::MAX)`) the global table is the *only* pruning rule, a
+//! completed sweep expands every reachable state exactly once, and the
+//! run's [`ftobs::MetricsSnapshot`] is bit-identical to the sequential
+//! engines' — the property the differential suite pins down. In reduced
+//! mode `Stats.transitions` may exceed the sequential count by the
+//! cross-worker re-explorations, and under ample pruning `Stats.states`
+//! may drift by the proviso's path dependence (above); verdicts do not
+//! differ.
+//!
+//! Tiny runs skip all of this: below a state threshold (default 4096;
+//! override with `FT_PARDPOR_SEQ`, `0` disables the gate) the check
+//! runs [`check_dpor`] outright — first capped at the threshold, and
+//! only if that overflows does the parallel machinery spin up.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use ftobs::{Gauge, Metric, Progress};
+use por::{expand, step_weight, ForkPoint, ForkQueue, FpTable, SleepSet, VisitTable};
+use wbmem::{Machine, Process, SchedElem, StepOutcome, UndoToken};
+
+use crate::checker::{
+    find_stuck, fingerprint, in_cs_count, merge_id, panic_message, returns_are_permutation,
+    violates_invariant, CheckConfig, CheckError, Coverage, Stats, Verdict,
+};
+use crate::dpor::check_dpor;
+
+/// States below which coordination is not worth paying for (the
+/// sequential engine explores them first; only an overflow starts the
+/// workers). `FT_PARDPOR_SEQ` overrides; `0` disables the gate — the
+/// differential tests use that to force the parallel path onto spaces
+/// of every size.
+fn seq_threshold() -> usize {
+    std::env::var("FT_PARDPOR_SEQ")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4096)
+}
+
+/// What one work-stealing worker reports back; the superset of the
+/// plain parallel engine's report plus the DPOR- and stealing-specific
+/// tallies.
+#[derive(Default)]
+struct PReport {
+    transitions: usize,
+    /// Fingerprints of the all-done states this worker first visited.
+    terminal_fps: Vec<u128>,
+    /// `(parent fp, child fp)` edges, taken and slept-probed (collected
+    /// only when the termination check is on).
+    edges: Vec<(u128, u128)>,
+    /// Worker saw a property violation (details come from the
+    /// sequential rerun).
+    violated: bool,
+    /// Open DFS frames when the worker stopped early.
+    frontier: usize,
+    sleep_hits: usize,
+    /// Fork points this worker donated.
+    published: u64,
+    /// Fork points this worker took and re-materialized.
+    stolen: u64,
+}
+
+/// One frame of a worker's reduced DFS — the sequential engine's frame
+/// plus `depth` (how many schedule elements reach it from the root), so
+/// a donation can snapshot the frame's replay path in O(depth).
+struct PFrame<P> {
+    fp: u128,
+    depth: usize,
+    sleep: SleepSet,
+    choices: Vec<SchedElem>,
+    next: usize,
+    taken: Vec<(SchedElem, wbmem::Footprint)>,
+    excluded: Vec<SchedElem>,
+    remaining: u32,
+    token: Option<UndoToken<P>>,
+}
+
+enum TaskEnd {
+    Completed,
+    Aborted,
+}
+
+/// The coordinator; see the module docs. Entered via [`crate::check`]
+/// with [`Engine::ParallelDpor`](crate::Engine::ParallelDpor).
+pub(crate) fn check_pardpor<P: Process>(
+    initial: &Machine<P>,
+    config: &CheckConfig,
+    threads: usize,
+    reorder_bound: Option<u32>,
+    deadline: Option<Instant>,
+) -> Verdict {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    if threads <= 1 {
+        return check_dpor(initial, config, reorder_bound, deadline);
+    }
+
+    // Sequential gate: small spaces never pay for coordination. A capped
+    // sequential run either finishes (its verdict is what the uncapped
+    // sequential engine would return, since the cap was never hit) or
+    // overflows, in which case its partial metrics are dropped and the
+    // parallel sweep starts from scratch.
+    let threshold = seq_threshold();
+    if threshold > 0 {
+        if config.max_states <= threshold {
+            return check_dpor(initial, config, reorder_bound, deadline);
+        }
+        let mut capped = config.clone();
+        capped.max_states = threshold;
+        let v = check_dpor(initial, &capped, reorder_bound, deadline);
+        if !matches!(v, Verdict::StateLimit(_)) {
+            return v;
+        }
+        config.recorder.reset_counts();
+    }
+
+    // Root-state checks mirror the sequential engine; any violation is
+    // reproduced sequentially for an identical verdict. The invariant is
+    // a user-supplied function, so even the root evaluation is guarded.
+    if config.check_mutex && in_cs_count(initial) > 1 {
+        return check_dpor(initial, config, reorder_bound, deadline);
+    }
+    match catch_unwind(AssertUnwindSafe(|| violates_invariant(config, initial))) {
+        Ok(false) => {}
+        Ok(true) => return check_dpor(initial, config, reorder_bound, deadline),
+        Err(payload) => {
+            return Verdict::Error(
+                Stats::default(),
+                CheckError::Panic(format!(
+                    "root invariant: {}",
+                    panic_message(payload.as_ref())
+                )),
+            )
+        }
+    }
+
+    let disable_reduction = reorder_bound == Some(u32::MAX);
+    let use_ample = !config.check_termination && !disable_reduction;
+    let budget0 = reorder_bound.unwrap_or(u32::MAX);
+    let obs = &config.recorder;
+
+    let table = FpTable::new();
+    let root_fp = fingerprint(initial);
+    table.insert(root_fp);
+    let state_count = AtomicUsize::new(1); // the root
+    let cancel = AtomicBool::new(false);
+    let budget_hit = AtomicBool::new(false);
+    obs.on_state(0);
+    if initial.all_done() {
+        obs.incr(Metric::TerminalStates);
+    }
+
+    // Seed: the root's expansion as the first fork point. Root sleep is
+    // empty, so nothing is slept (no probes) and `x.slept == 0`.
+    let queue = ForkQueue::new(threads * 2);
+    if !initial.all_done() {
+        let root_choices = initial.choices();
+        let mut x = expand(initial, &root_choices, &SleepSet::new(), use_ample, obs);
+        if disable_reduction {
+            x.explore.reverse();
+        }
+        let seeded = queue.publish(ForkPoint {
+            path: Vec::new(),
+            sleep: SleepSet::new(),
+            taken: Vec::new(),
+            choices: x.explore,
+            excluded: x.excluded,
+            remaining: budget0,
+        });
+        debug_assert!(seeded.is_ok(), "fresh queue rejected the root fork point");
+    }
+
+    // Workers run under `catch_unwind`: a panicking property closure (or
+    // a bug, including a fingerprint-table overflow) must not abort the
+    // checker. On panic the worker cancels its peers and closes the
+    // queue so blocked takers wake; the caller then falls back to a
+    // deterministic sequential rerun, itself guarded.
+    let results: Vec<Result<PReport, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let table = &table;
+                let queue = &queue;
+                let state_count = &state_count;
+                let cancel = &cancel;
+                let budget_hit = &budget_hit;
+                scope.spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        Worker {
+                            initial,
+                            config,
+                            table,
+                            queue,
+                            state_count,
+                            cancel,
+                            budget_hit,
+                            deadline,
+                            low_water: threads,
+                            disable_reduction,
+                            use_ample,
+                            report: PReport::default(),
+                            visited: VisitTable::new(),
+                        }
+                        .run()
+                    }));
+                    if out.is_err() {
+                        cancel.store(true, Ordering::SeqCst);
+                        queue.close();
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(Ok(report)) => Ok(report),
+                Ok(Err(payload)) => Err(panic_message(payload.as_ref())),
+                Err(payload) => Err(panic_message(payload.as_ref())),
+            })
+            .collect()
+    });
+
+    if let Some(msg) = results.iter().find_map(|r| r.as_ref().err().cloned()) {
+        // A worker panicked. Rerun the sequential DPOR engine
+        // (deterministic, guarded); if the panic is deterministic too,
+        // surface it as an error verdict instead of aborting the
+        // process. The partial sweep's metrics are dropped first.
+        config.recorder.reset_counts();
+        return match catch_unwind(AssertUnwindSafe(|| {
+            check_dpor(initial, config, reorder_bound, deadline)
+        })) {
+            Ok(verdict) => verdict,
+            Err(payload) => Verdict::Error(
+                Stats::default(),
+                CheckError::Panic(format!(
+                    "pardpor worker: {msg}; sequential rerun: {}",
+                    panic_message(payload.as_ref())
+                )),
+            ),
+        };
+    }
+    let reports: Vec<PReport> = results.into_iter().filter_map(Result::ok).collect();
+
+    // Stealing/contention observability. These counters sit past the
+    // deterministic range, so the diagnostic-mode snapshot equality with
+    // the sequential engines is unaffected; the rerun paths below reset
+    // counts anyway, so their runs stand alone.
+    if obs.is_enabled() {
+        obs.add(
+            Metric::ForkPublished,
+            reports.iter().map(|r| r.published).sum(),
+        );
+        obs.add(Metric::ForkStolen, reports.iter().map(|r| r.stolen).sum());
+        obs.add(Metric::FpContention, table.contention());
+    }
+
+    let stats = Stats {
+        states: state_count.load(Ordering::SeqCst),
+        transitions: reports.iter().map(|r| r.transitions).sum(),
+        terminal_states: reports.iter().map(|r| r.terminal_fps.len()).sum::<usize>()
+            + usize::from(initial.all_done()),
+        ..Stats::default()
+    };
+
+    let limit_hit = state_count.load(Ordering::SeqCst) > config.max_states;
+    if limit_hit || reports.iter().any(|r| r.violated) {
+        // The sweep stopped early; reproduce the exact sequential
+        // verdict (counterexample included, still honoring the remaining
+        // budget), with the partial sweep's metrics dropped — the result
+        // is bit-identical to a direct `Engine::Dpor` run.
+        config.recorder.reset_counts();
+        return check_dpor(initial, config, reorder_bound, deadline);
+    }
+    if budget_hit.load(Ordering::SeqCst) || cancel.load(Ordering::SeqCst) {
+        return Verdict::Inconclusive(
+            stats,
+            Coverage {
+                frontier: reports.iter().map(|r| r.frontier).sum(),
+                sleep_hits: reports.iter().map(|r| r.sleep_hits).sum(),
+            },
+        );
+    }
+
+    if config.check_termination {
+        // Merge the per-worker fingerprint graphs (taken + slept-probed
+        // edges — with ample off under the termination check and sleep
+        // sets pruning edges only, the merged graph covers the full
+        // reachable graph, like the sequential engine's) and run the
+        // same reverse-reachability pass. Ids are arbitrary; the stuck
+        // state's identity and counterexample come from the rerun.
+        let mut ids: HashMap<u128, u32> = HashMap::new();
+        let mut edges: Vec<(u32, u32)> = Vec::new();
+        let mut terminal: Vec<u32> = Vec::new();
+        let Some(root) = merge_id(&mut ids, root_fp) else {
+            return Verdict::Error(stats, CheckError::TooManyStates);
+        };
+        if initial.all_done() {
+            terminal.push(root);
+        }
+        for report in &reports {
+            for &(a, b) in &report.edges {
+                match (merge_id(&mut ids, a), merge_id(&mut ids, b)) {
+                    (Some(ia), Some(ib)) => edges.push((ia, ib)),
+                    _ => return Verdict::Error(stats, CheckError::TooManyStates),
+                }
+            }
+            for &t in &report.terminal_fps {
+                let Some(it) = merge_id(&mut ids, t) else {
+                    return Verdict::Error(stats, CheckError::TooManyStates);
+                };
+                terminal.push(it);
+            }
+        }
+        if find_stuck(ids.len(), &edges, &terminal).is_some() {
+            config.recorder.reset_counts();
+            return check_dpor(initial, config, reorder_bound, deadline);
+        }
+    }
+
+    obs.gauge_set(Gauge::DedupOccupancy, table.len() as u64);
+    Verdict::Ok(stats)
+}
+
+/// One work-stealing worker: takes fork points off the queue,
+/// re-materializes them, and runs the sequential reduced DFS over the
+/// continuation, donating its own fork points when peers go hungry.
+struct Worker<'a, P: Process> {
+    initial: &'a Machine<P>,
+    config: &'a CheckConfig,
+    table: &'a FpTable,
+    queue: &'a ForkQueue,
+    state_count: &'a AtomicUsize,
+    cancel: &'a AtomicBool,
+    budget_hit: &'a AtomicBool,
+    deadline: Option<Instant>,
+    /// Donate when fewer than this many fork points are pending.
+    low_water: usize,
+    disable_reduction: bool,
+    use_ample: bool,
+    report: PReport,
+    /// Worker-local dominance pruning (see the module docs: local-only
+    /// is sound, it just prunes less than the sequential single table).
+    visited: VisitTable,
+}
+
+impl<P: Process> Worker<'_, P> {
+    fn run(mut self) -> PReport {
+        while let Some(task) = self.queue.take() {
+            let end = self.run_task(task);
+            self.queue.done();
+            if matches!(end, TaskEnd::Aborted) {
+                break;
+            }
+        }
+        self.report
+    }
+
+    /// Abort helper: raise `cancel`, wake blocked peers, record the open
+    /// frontier.
+    fn abort(&mut self, open_frames: usize) -> TaskEnd {
+        self.cancel.store(true, Ordering::SeqCst);
+        self.queue.close();
+        self.report.frontier += open_frames;
+        TaskEnd::Aborted
+    }
+
+    #[allow(clippy::too_many_lines)] // the sequential DFS body, kept in one piece on purpose
+    fn run_task(&mut self, task: ForkPoint) -> TaskEnd {
+        let obs = &self.config.recorder;
+        let model = self.initial.config().model;
+        self.report.stolen += 1;
+        let mut scratch: Vec<SchedElem> = Vec::new();
+
+        // Re-materialize the fork point on a fresh machine. The replay
+        // is unrecorded (the recorder attaches afterwards) so it cannot
+        // pollute the step metrics shared with the sequential engines.
+        // The intermediate fingerprints pre-seed the on-stack multiset:
+        // they are exactly the ancestors the owner had on its stack, so
+        // the cycle proviso keeps firing at the same places. A replay
+        // failure is a logic error; the panic lands in the coordinator's
+        // catch_unwind and degrades to the sequential rerun.
+        let mut m = self.initial.clone();
+        let mut on_stack: HashMap<u128, u32> = HashMap::new();
+        let mut path: Vec<SchedElem> = Vec::with_capacity(task.path.len() + 32);
+        for &e in &task.path {
+            *on_stack.entry(fingerprint(&m)).or_insert(0) += 1;
+            assert!(
+                m.replay_path(std::slice::from_ref(&e), &mut scratch),
+                "pardpor: fork-point path failed to replay"
+            );
+            path.push(e);
+        }
+        let task_fp = fingerprint(&m);
+        m.set_recorder(obs.clone());
+        let mut tally = obs.tally();
+
+        let mut frames: Vec<PFrame<P>> = Vec::new();
+        *on_stack.entry(task_fp).or_insert(0) += 1;
+        frames.push(PFrame {
+            fp: task_fp,
+            depth: path.len(),
+            sleep: task.sleep,
+            choices: task.choices,
+            next: 0,
+            taken: task.taken,
+            excluded: task.excluded,
+            remaining: task.remaining,
+            token: None,
+        });
+
+        let mut steps_since_poll = 0usize;
+        loop {
+            steps_since_poll += 1;
+            if steps_since_poll >= 256 {
+                steps_since_poll = 0;
+                if self.cancel.load(Ordering::Relaxed) {
+                    self.report.frontier += frames.len();
+                    return TaskEnd::Aborted;
+                }
+                if obs.is_enabled() {
+                    obs.gauge_max(Gauge::MaxFrontier, (frames.len() + self.queue.len()) as u64);
+                    let now = Instant::now();
+                    let spent = match (self.config.budget, self.deadline) {
+                        (Some(b), Some(d)) => {
+                            Some(b.saturating_sub(d.saturating_duration_since(now)))
+                        }
+                        _ => None,
+                    };
+                    obs.maybe_heartbeat(&Progress {
+                        states: self.state_count.load(Ordering::Relaxed) as u64,
+                        transitions: self.report.transitions as u64,
+                        frontier: frames.len() as u64,
+                        budget: self.config.budget,
+                        spent,
+                    });
+                }
+                if self.deadline.is_some_and(|d| Instant::now() >= d) {
+                    self.budget_hit.store(true, Ordering::SeqCst);
+                    return self.abort(frames.len());
+                }
+                if frames.len() > 1 && self.queue.wants_work(self.low_water) {
+                    self.donate(&mut frames, &path);
+                }
+            }
+
+            let Some(top) = frames.last_mut() else { break };
+            if top.next == top.choices.len() {
+                let frame = frames.pop().expect("non-empty stack");
+                match on_stack.get_mut(&frame.fp) {
+                    Some(1) => {
+                        on_stack.remove(&frame.fp);
+                    }
+                    Some(c) => *c -= 1,
+                    None => unreachable!("frame fingerprint missing from the stack set"),
+                }
+                if let Some(token) = frame.token {
+                    m.undo(token);
+                    path.pop();
+                }
+                continue;
+            }
+            let elem = top.choices[top.next];
+            top.next += 1;
+            let parent_fp = top.fp;
+            let parent_depth = top.depth;
+            let parent_remaining = top.remaining;
+
+            let weight = if self.disable_reduction {
+                0
+            } else {
+                step_weight(&m, elem)
+            };
+            if weight > parent_remaining {
+                continue; // beyond the reorder bound: neither taken nor slept
+            }
+
+            let (out, token) = m.step_recorded(elem);
+            if matches!(out, StepOutcome::NoOp) {
+                tally.noop_step();
+                m.undo(token);
+                continue;
+            }
+            let efp = token.footprint();
+            self.report.transitions += 1;
+            tally.on_transition();
+            let fp = fingerprint(&m);
+            if self.config.check_termination {
+                self.report.edges.push((parent_fp, fp));
+            }
+
+            // Cycle proviso (C3), exactly as in the sequential engine:
+            // the thief's on-stack set contains the replayed ancestors,
+            // so a cycle closing through the stolen subtree still forces
+            // the full expansion.
+            if on_stack.contains_key(&fp) && !top.excluded.is_empty() {
+                let reinstated: Vec<SchedElem> = top.excluded.drain(..).collect();
+                for e in reinstated {
+                    if top.sleep.contains(e) {
+                        self.report.sleep_hits += 1;
+                        obs.incr(Metric::SleepHits);
+                    } else {
+                        top.choices.push(e);
+                    }
+                }
+            }
+
+            let mut child_sleep = if self.disable_reduction {
+                SleepSet::new()
+            } else {
+                top.sleep.inherit(efp, model)
+            };
+            if !self.disable_reduction {
+                for &(se, sf) in &top.taken {
+                    if sf.independent(efp, model) {
+                        child_sleep.insert(se, sf);
+                    }
+                }
+                top.taken.push((elem, efp));
+            }
+
+            let child_remaining = parent_remaining - weight;
+            // Global first-visit gate: state counting and property
+            // checks happen exactly once across all workers. In
+            // diagnostic mode this is also the (only) pruning rule; in
+            // reduced mode pruning is the worker-local dominance table.
+            let fresh = self.table.insert(fp);
+            let claimed = if self.disable_reduction {
+                fresh
+            } else {
+                self.visited.try_claim(fp, &child_sleep, child_remaining)
+            };
+            if !claimed {
+                if self.disable_reduction {
+                    tally.dedup_hit();
+                } else {
+                    self.report.sleep_hits += 1;
+                    obs.incr(Metric::SleepHits);
+                }
+                m.undo(token);
+                continue;
+            }
+
+            if fresh {
+                tally.on_state(frames.len() as u64);
+                let states = self.state_count.fetch_add(1, Ordering::SeqCst) + 1;
+                if states > self.config.max_states {
+                    return self.abort(frames.len());
+                }
+                if self.config.check_mutex && in_cs_count(&m) > 1 {
+                    self.report.violated = true;
+                    return self.abort(frames.len());
+                }
+                if violates_invariant(self.config, &m) {
+                    self.report.violated = true;
+                    return self.abort(frames.len());
+                }
+                if m.all_done() {
+                    self.report.terminal_fps.push(fp);
+                    tally.terminal_state();
+                    if self.config.check_permutation && !returns_are_permutation(&m) {
+                        self.report.violated = true;
+                        return self.abort(frames.len());
+                    }
+                    m.undo(token);
+                    continue;
+                }
+            } else if m.all_done() {
+                // Re-entered terminal state (smaller sleep set or another
+                // worker's first visit): nothing to expand.
+                m.undo(token);
+                continue;
+            }
+
+            m.choices_into(&mut scratch);
+            debug_assert!(!scratch.is_empty(), "non-terminal state has no choices");
+            let mut x = expand(&m, &scratch, &child_sleep, self.use_ample, obs);
+            if self.disable_reduction {
+                x.explore.reverse();
+            }
+            self.report.sleep_hits += x.slept;
+            if self.config.check_termination && x.slept > 0 {
+                // Slept-edge probes, fingerprint-keyed (no global id
+                // space until merge time).
+                for &e in &scratch {
+                    if !child_sleep.contains(e) {
+                        continue;
+                    }
+                    obs.incr(Metric::SleptProbes);
+                    let (pout, ptoken) = m.step_recorded(e);
+                    if !matches!(pout, StepOutcome::NoOp) {
+                        self.report.edges.push((fp, fingerprint(&m)));
+                    }
+                    m.undo(ptoken);
+                }
+            }
+            *on_stack.entry(fp).or_insert(0) += 1;
+            path.push(elem);
+            frames.push(PFrame {
+                fp,
+                depth: parent_depth + 1,
+                sleep: child_sleep,
+                choices: x.explore,
+                next: 0,
+                taken: Vec::new(),
+                excluded: x.excluded,
+                remaining: child_remaining,
+                token: Some(token),
+            });
+        }
+        TaskEnd::Completed
+    }
+
+    /// Donate the bottom-most frame with unexplored choices (the largest
+    /// subtrees sit lowest) — unless it is the current top, which the
+    /// owner keeps so it never strands itself. The donated remainder is
+    /// an exact continuation relocation: same choices (in order), same
+    /// sleep set, same taken list, the excluded choices move with it
+    /// (the thief's on-stack set contains every ancestor the proviso
+    /// could need them for), same remaining budget. On publish the
+    /// owner's cursor jumps to the end — exactly one side owns the
+    /// remainder at any time. A full queue puts everything back.
+    fn donate(&mut self, frames: &mut [PFrame<P>], path: &[SchedElem]) {
+        let top = frames.len() - 1;
+        let Some(k) = (0..top).find(|&k| frames[k].next < frames[k].choices.len()) else {
+            return;
+        };
+        let f = &mut frames[k];
+        let fork = ForkPoint {
+            path: path[..f.depth].to_vec(),
+            sleep: f.sleep.clone(),
+            taken: f.taken.clone(),
+            choices: f.choices[f.next..].to_vec(),
+            excluded: std::mem::take(&mut f.excluded),
+            remaining: f.remaining,
+        };
+        match self.queue.publish(fork) {
+            Ok(()) => {
+                f.next = f.choices.len();
+                self.report.published += 1;
+            }
+            Err(fork) => f.excluded = fork.excluded,
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Differential test for the work-stealing parallel DPOR engine against
+//! the sequential DPOR engine.
+//!
+//! `Engine::ParallelDpor` promises *bit-identical verdicts* to
+//! `Engine::Dpor` with the same reorder bound, on every configuration: it
+//! runs the same reduction per worker, shares only a fingerprint table
+//! (which can never prune more than the sequential visit table), and
+//! defers every early stop (violation, state limit, stuck state, panic)
+//! to a sequential rerun. In the `Some(u32::MAX)` diagnostic mode it
+//! additionally promises a *bit-identical* [`MetricsSnapshot`]: with
+//! reduction off, the global table is the only pruning rule, so a
+//! completed sweep executes the exact edge multiset of the sequential
+//! engines.
+//!
+//! The engine normally short-circuits small runs to the sequential engine
+//! (`FT_PARDPOR_SEQ` threshold); these tests pin the threshold to `0` so
+//! the fork-queue/fingerprint-table machinery is actually exercised on
+//! every configuration, however small.
+
+use std::sync::Once;
+
+use modelcheck::{check, CheckConfig, Engine, Verdict};
+use proptest::prelude::*;
+use simlocks::{build_mutex, FenceMask, LockKind, ANNOT_IN_CS};
+use wbmem::{
+    CrashSemantics, Machine, MachineConfig, MemoryLayout, MemoryModel, ProcId, StepOutcome,
+};
+
+static FORCE_PARALLEL: Once = Once::new();
+
+/// Disable the sequential-prefix gate so even tiny state spaces go
+/// through the work-stealing path (the thing under test).
+fn force_parallel() {
+    FORCE_PARALLEL.call_once(|| std::env::set_var("FT_PARDPOR_SEQ", "0"));
+}
+
+/// Worker count: `FT_THREADS` if set (the CI entry point runs this suite
+/// with `FT_THREADS=2`), otherwise 4 — enough that stealing actually
+/// happens even on a single-core host (blocked takers still race for
+/// published fork points).
+fn threads() -> usize {
+    std::env::var("FT_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4)
+}
+
+fn dpor() -> Engine {
+    Engine::Dpor {
+        reorder_bound: None,
+    }
+}
+
+fn pardpor() -> Engine {
+    Engine::ParallelDpor {
+        threads: threads(),
+        reorder_bound: None,
+    }
+}
+
+const MODELS: [MemoryModel; 4] = [
+    MemoryModel::Sc,
+    MemoryModel::Tso,
+    MemoryModel::Pso,
+    MemoryModel::Rmo,
+];
+
+/// Replay a mutex counterexample on a fresh *unreduced* machine: every
+/// element must take a real step and the final state must witness the
+/// violation.
+fn assert_mutex_cex_replays(
+    inst: &simlocks::OrderingInstance,
+    model: MemoryModel,
+    config: &CheckConfig,
+    cex: &modelcheck::Counterexample,
+) {
+    let mut m = inst.machine(model);
+    if config.max_crashes > 0 {
+        m.set_crash_bound(config.crash_semantics, config.max_crashes);
+    }
+    for (i, &elem) in cex.schedule.iter().enumerate() {
+        let out = m.step(elem);
+        assert!(
+            !matches!(out, StepOutcome::NoOp),
+            "{}/{model}: counterexample step {i} ({elem:?}) was a no-op",
+            inst.name
+        );
+    }
+    let in_cs = (0..2)
+        .filter(|&i| m.annotation(ProcId::from(i)) == ANNOT_IN_CS)
+        .count();
+    assert!(
+        in_cs >= 2,
+        "{}/{model}: replayed counterexample ends with {in_cs} processes in CS",
+        inst.name
+    );
+}
+
+/// Run one configuration under both engines and compare labels; returns
+/// whether the configuration was violating.
+fn compare(inst: &simlocks::OrderingInstance, model: MemoryModel, config: &CheckConfig) -> bool {
+    let seq = check(&inst.machine(model), &config.clone().with_engine(dpor()));
+    let par = check(&inst.machine(model), &config.clone().with_engine(pardpor()));
+    let ctx = format!(
+        "{} {model} crashes={} term={}",
+        inst.name, config.max_crashes, config.check_termination
+    );
+    assert!(
+        !matches!(seq, Verdict::StateLimit(_)) && !matches!(par, Verdict::StateLimit(_)),
+        "{ctx}: raise max_states — a capped run cannot be compared"
+    );
+    assert_eq!(seq.label(), par.label(), "{ctx}: verdict labels");
+    // Sleep sets preserve *every* reachable state, so completed
+    // sleep-sets-only sweeps (termination mode) agree on the
+    // visited-state set — the global first-visit gate counts each state
+    // once. Ample pruning drops states, and which states is
+    // traversal-dependent (the cycle proviso consults the reaching
+    // path), so ample-mode sweeps pin verdicts only; violating runs
+    // stop at engine-specific points and are likewise not comparable.
+    if config.check_termination && (seq.is_ok() || matches!(seq, Verdict::NoTermination(..))) {
+        assert_eq!(
+            seq.stats().states,
+            par.stats().states,
+            "{ctx}: completed sweeps must count the same states"
+        );
+        assert_eq!(
+            seq.stats().terminal_states,
+            par.stats().terminal_states,
+            "{ctx}: terminal-state counts"
+        );
+    }
+    if let Verdict::MutexViolation(_, cex) = &par {
+        assert_mutex_cex_replays(inst, model, config, cex);
+    }
+    par.is_violation()
+}
+
+/// The full n = 2 safety matrix: every fence mask of every lock under
+/// every model, with and without a crash budget.
+#[test]
+fn pardpor_agrees_on_the_full_n2_safety_matrix() {
+    force_parallel();
+    let base = CheckConfig {
+        check_termination: false,
+        max_states: 1_000_000,
+        ..CheckConfig::default()
+    };
+    let mut configs = 0usize;
+    let mut violations = 0usize;
+    for kind in [LockKind::Peterson, LockKind::Ttas, LockKind::Bakery] {
+        let probe = build_mutex(kind, 2, FenceMask::ALL);
+        for mask in FenceMask::enumerate(probe.fence_sites) {
+            let inst = build_mutex(kind, 2, mask);
+            for model in MODELS {
+                for max_crashes in [0u32, 1] {
+                    let config = base
+                        .clone()
+                        .with_crashes(CrashSemantics::DiscardBuffer, max_crashes);
+                    violations += usize::from(compare(&inst, model, &config));
+                    configs += 1;
+                }
+            }
+        }
+    }
+    assert!(configs >= 200, "matrix actually swept ({configs} configs)");
+    assert!(
+        violations >= 20,
+        "matrix includes violating configs ({violations})"
+    );
+}
+
+/// With termination checking on, both engines switch to sleep-sets-only
+/// plus edge probing; the merged fingerprint graph must support the same
+/// NO-TERMINATION verdicts, including the crash-induced ones.
+#[test]
+fn pardpor_agrees_with_termination_checking() {
+    force_parallel();
+    let base = CheckConfig {
+        max_states: 1_000_000,
+        ..CheckConfig::default()
+    };
+    let mut violations = 0usize;
+    for (kind, mask, model, max_crashes) in [
+        (LockKind::Peterson, FenceMask::ALL, MemoryModel::Tso, 0u32),
+        (LockKind::Peterson, FenceMask::ALL, MemoryModel::Pso, 0),
+        (
+            LockKind::Peterson,
+            FenceMask::only(&[simlocks::peterson::SITE_VICTIM]),
+            MemoryModel::Pso,
+            0,
+        ),
+        (LockKind::Ttas, FenceMask::ALL, MemoryModel::Pso, 1),
+        (
+            LockKind::RecoverableTtas,
+            FenceMask::ALL,
+            MemoryModel::Pso,
+            1,
+        ),
+        (LockKind::Bakery, FenceMask::ALL, MemoryModel::Pso, 0),
+        (LockKind::Bakery, FenceMask::NONE, MemoryModel::Tso, 0),
+    ] {
+        let inst = build_mutex(kind, 2, mask);
+        let config = base
+            .clone()
+            .with_crashes(CrashSemantics::DiscardBuffer, max_crashes);
+        violations += usize::from(compare(&inst, model, &config));
+    }
+    assert!(violations >= 2, "set includes violating configs");
+}
+
+/// Reorder bounds travel with the donated fork points (the remaining
+/// budget is part of the continuation); bounded verdicts must coincide,
+/// including the bound-0 ≡ SC collapse.
+#[test]
+fn pardpor_agrees_under_reorder_bounds() {
+    force_parallel();
+    let mask = FenceMask::only(&[simlocks::peterson::SITE_RELEASE]);
+    let inst = build_mutex(LockKind::Peterson, 2, mask);
+    for bound in [Some(0u32), Some(1), Some(2), None] {
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            let seq = check(
+                &inst.machine(model),
+                &CheckConfig::default().with_engine(Engine::Dpor {
+                    reorder_bound: bound,
+                }),
+            );
+            let par = check(
+                &inst.machine(model),
+                &CheckConfig::default().with_engine(Engine::ParallelDpor {
+                    threads: threads(),
+                    reorder_bound: bound,
+                }),
+            );
+            assert_eq!(
+                seq.label(),
+                par.label(),
+                "bound {bound:?} under {model}: verdict labels"
+            );
+        }
+    }
+}
+
+/// Diagnostic disabled-reduction mode: the sweep executes the exact edge
+/// multiset of the exhaustive engines, so the deterministic part of the
+/// metrics snapshot — and the `Stats` stamped into the verdict — must be
+/// **bit-identical** to sequential diagnostic DPOR, on ok and violating
+/// cells alike.
+#[test]
+fn diagnostic_mode_metrics_are_bit_identical() {
+    force_parallel();
+    let quiet = || modelcheck::Recorder::builder().quiet(true).build();
+    for (kind, mask, name) in [
+        (LockKind::Peterson, FenceMask::ALL, "peterson_all"),
+        (
+            LockKind::Peterson,
+            FenceMask::only(&[simlocks::peterson::SITE_VICTIM]),
+            "peterson_victim_only",
+        ),
+        (LockKind::Ttas, FenceMask::ALL, "ttas_all"),
+        (LockKind::Filter, FenceMask::ALL, "filter_all"),
+    ] {
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            let inst = build_mutex(kind, 2, mask);
+            let rec_seq = quiet();
+            let seq = check(
+                &inst.machine(model),
+                &CheckConfig::default()
+                    .with_engine(Engine::Dpor {
+                        reorder_bound: Some(u32::MAX),
+                    })
+                    .with_recorder(rec_seq.clone()),
+            );
+            let rec_par = quiet();
+            let par = check(
+                &inst.machine(model),
+                &CheckConfig::default()
+                    .with_engine(Engine::ParallelDpor {
+                        threads: 2,
+                        reorder_bound: Some(u32::MAX),
+                    })
+                    .with_recorder(rec_par.clone()),
+            );
+            assert_eq!(seq.label(), par.label(), "{name}/{model}: verdict labels");
+            assert_eq!(
+                seq.stats().states,
+                par.stats().states,
+                "{name}/{model}: states"
+            );
+            assert_eq!(
+                seq.stats().transitions,
+                par.stats().transitions,
+                "{name}/{model}: transitions"
+            );
+            let (s, p) = (rec_seq.snapshot(), rec_par.snapshot());
+            assert_eq!(
+                s,
+                p,
+                "{name}/{model}: diagnostic metrics drift\n  dpor:    {:?}\n  pardpor: {:?}",
+                s.deterministic_key(),
+                p.deterministic_key()
+            );
+            // The final snapshot is also stamped into the verdict.
+            assert_eq!(par.stats().metrics, p, "{name}/{model}: stamped snapshot");
+        }
+    }
+}
+
+/// The sequential-prefix gate (left at its default here) must be
+/// transparent: small spaces complete inside the capped prefix and the
+/// verdict is the sequential engine's, bit for bit.
+#[test]
+fn sequential_gate_is_transparent_on_small_spaces() {
+    let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+    for model in [MemoryModel::Tso, MemoryModel::Pso] {
+        let seq = check(
+            &inst.machine(model),
+            &CheckConfig::default().with_engine(dpor()),
+        );
+        let par = check(
+            &inst.machine(model),
+            &CheckConfig::default().with_engine(pardpor()),
+        );
+        assert_eq!(seq.label(), par.label(), "{model}: verdict labels");
+        assert_eq!(seq.stats().states, par.stats().states, "{model}: states");
+        assert_eq!(
+            seq.stats().transitions,
+            par.stats().transitions,
+            "{model}: transitions"
+        );
+    }
+}
+
+// --- random programs ---
+
+/// One step of a random straight-line program.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Write { reg: i64, val: i64 },
+    Read { reg: i64 },
+    Cas { reg: i64, expect: i64, new: i64 },
+    Swap { reg: i64, val: i64 },
+    Fence,
+    Annot { in_cs: bool },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..3i64, 0..3i64).prop_map(|(reg, val)| Op::Write { reg, val }),
+        (0..3i64).prop_map(|reg| Op::Read { reg }),
+        (0..3i64, 0..2i64, 0..3i64).prop_map(|(reg, expect, new)| Op::Cas { reg, expect, new }),
+        (0..3i64, 0..3i64).prop_map(|(reg, val)| Op::Swap { reg, val }),
+        Just(Op::Fence),
+        any::<bool>().prop_map(|in_cs| Op::Annot { in_cs }),
+    ]
+}
+
+fn assemble(name: &str, ops: &[Op]) -> fencevm::VmProc {
+    let mut a = fencevm::Asm::new(name);
+    let scratch = a.local("scratch");
+    for &op in ops {
+        match op {
+            Op::Write { reg, val } => a.write(reg, val),
+            Op::Read { reg } => a.read(reg, scratch),
+            Op::Cas { reg, expect, new } => a.cas(reg, expect, new, scratch),
+            Op::Swap { reg, val } => a.swap(reg, val, scratch),
+            Op::Fence => a.fence(),
+            Op::Annot { in_cs } => a.annot(if in_cs { ANNOT_IN_CS } else { 7 }),
+        }
+    }
+    a.ret(0i64);
+    fencevm::VmProc::new(a.assemble().into())
+}
+
+fn random_machine(progs: &[Vec<Op>], model: MemoryModel) -> Machine<fencevm::VmProc> {
+    let procs = progs
+        .iter()
+        .enumerate()
+        .map(|(i, ops)| assemble(&format!("p{i}"), ops))
+        .collect();
+    Machine::new(MachineConfig::new(model, MemoryLayout::unowned()), procs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On arbitrary small two-process programs — random register traffic,
+    /// RMW ops, fences, and annotations (so mutex violations actually
+    /// occur) — the parallel engine returns the same verdict label as the
+    /// sequential DPOR engine, under every model, with and without a
+    /// crash budget, with the work-stealing path forced on.
+    #[test]
+    fn pardpor_matches_dpor_on_random_programs(
+        prog0 in prop::collection::vec(op_strategy(), 0..6),
+        prog1 in prop::collection::vec(op_strategy(), 0..6),
+        model_ix in 0usize..4,
+        max_crashes in 0u32..2,
+        termination in any::<bool>(),
+    ) {
+        force_parallel();
+        let model = MODELS[model_ix];
+        let config = CheckConfig {
+            check_termination: termination,
+            max_states: 1_000_000,
+            ..CheckConfig::default()
+        }
+        .with_crashes(CrashSemantics::DiscardBuffer, max_crashes);
+
+        let progs = [prog0, prog1];
+        let seq = check(
+            &random_machine(&progs, model),
+            &config.clone().with_engine(dpor()),
+        );
+        let par = check(
+            &random_machine(&progs, model),
+            &config.clone().with_engine(pardpor()),
+        );
+        prop_assert_eq!(
+            seq.label(),
+            par.label(),
+            "{:?} {} crashes={} term={}",
+            progs,
+            model,
+            max_crashes,
+            termination
+        );
+        // Sleep-sets-only sweeps (termination mode) visit exactly the
+        // reachable states in both engines; ample-mode state sets are
+        // traversal-dependent (see `compare` in this file).
+        if termination && (seq.is_ok() || matches!(seq, Verdict::NoTermination(..))) {
+            prop_assert_eq!(seq.stats().states, par.stats().states);
+        }
+    }
+}

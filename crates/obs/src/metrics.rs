@@ -82,6 +82,14 @@ pub enum Metric {
     SoloRetries,
     /// Heartbeat events emitted.
     Heartbeats,
+    /// Fork points published into the work-stealing queue (parallel DPOR;
+    /// scheduling-dependent, like every counter past `DETERMINISTIC_END`).
+    ForkPublished,
+    /// Fork points stolen and re-materialized by an idle worker.
+    ForkStolen,
+    /// Fingerprint-table contention events (failed claim CASes plus
+    /// occupied slots stepped over while probing).
+    FpContention,
 }
 
 /// All counters, in `repr(usize)` order.
@@ -108,11 +116,14 @@ pub const METRICS: [Metric; Metric::COUNT] = [
     Metric::UndoSteps,
     Metric::SoloRetries,
     Metric::Heartbeats,
+    Metric::ForkPublished,
+    Metric::ForkStolen,
+    Metric::FpContention,
 ];
 
 impl Metric {
     /// Total number of counters.
-    pub const COUNT: usize = Metric::Heartbeats as usize + 1;
+    pub const COUNT: usize = Metric::FpContention as usize + 1;
 
     /// Counters with index `< DETERMINISTIC_END` compare in snapshot
     /// equality; the rest are traversal- or timing-dependent.
@@ -144,6 +155,9 @@ impl Metric {
             Metric::UndoSteps => "undo_steps",
             Metric::SoloRetries => "solo_retries",
             Metric::Heartbeats => "heartbeats",
+            Metric::ForkPublished => "fork_published",
+            Metric::ForkStolen => "fork_stolen",
+            Metric::FpContention => "fp_contention",
         }
     }
 }

@@ -182,6 +182,25 @@ fn get_u64(f: &BTreeMap<String, String>, key: &str) -> u64 {
     f.get(key).and_then(|v| v.parse().ok()).unwrap_or(0)
 }
 
+/// Snapshot keys that are identity/formatting or already aggregated
+/// elsewhere — everything else that parses as an unsigned integer
+/// becomes a comparison-table column, so a newly added metric or gauge
+/// (e.g. the work-stealing `fork_published`/`fork_stolen`/
+/// `fp_contention` counters) is never silently dropped from reports.
+fn non_counter_key(key: &str) -> bool {
+    matches!(key, "t_ms" | "kind" | "workload" | "engine" | "hot_pcs")
+        || key.ends_with("_hist")
+        || key.starts_with("span_")
+        || is_per_proc(key)
+}
+
+/// `p0_fences` / `p12_rmrs` / `p3_crashes` — per-process breakdowns of
+/// totals the table already shows.
+fn is_per_proc(key: &str) -> bool {
+    key.strip_prefix('p')
+        .is_some_and(|r| r.starts_with(|c: char| c.is_ascii_digit()) && r.contains('_'))
+}
+
 /// Render the full Markdown report for a set of JSONL lines (possibly
 /// concatenated from several streams): per-engine comparison table,
 /// histogram sketches, hot-pc top-k, and a heartbeat summary.
@@ -209,7 +228,7 @@ pub fn render_report(title: &str, lines: &[String]) -> String {
     if snaps.is_empty() {
         let _ = writeln!(out, "(no snapshot events)\n");
     } else {
-        let cols = [
+        let base_cols = [
             "states",
             "transitions",
             "fences",
@@ -219,8 +238,33 @@ pub fn render_report(title: &str, lines: &[String]) -> String {
             "dedup_hits",
             "max_frontier",
         ];
+        // Any other integer-valued snapshot key becomes a trailing
+        // column (sorted for a stable layout) — unknown counter names
+        // render instead of vanishing.
+        let mut extra: Vec<String> = Vec::new();
+        for f in snaps.values() {
+            for (k, v) in f {
+                if !base_cols.contains(&k.as_str())
+                    && !non_counter_key(k)
+                    && !extra.iter().any(|e| e == k)
+                    && v.parse::<u64>().is_ok()
+                {
+                    extra.push(k.clone());
+                }
+            }
+        }
+        extra.sort();
+        let cols: Vec<&str> = base_cols
+            .iter()
+            .copied()
+            .chain(extra.iter().map(String::as_str))
+            .collect();
         let _ = writeln!(out, "| workload | engine | {} |", cols.join(" | "));
-        let _ = writeln!(out, "|---|---|{}|", cols.map(|_| "---:").join("|"));
+        let _ = writeln!(
+            out,
+            "|---|---|{}|",
+            cols.iter().map(|_| "---:").collect::<Vec<_>>().join("|")
+        );
         for ((workload, engine), f) in &snaps {
             let cells: Vec<String> = cols.iter().map(|c| get_u64(f, c).to_string()).collect();
             let _ = writeln!(out, "| {workload} | {engine} | {} |", cells.join(" | "));
@@ -340,5 +384,28 @@ mod tests {
         assert!(r.contains("Hottest pcs"));
         assert!(r.contains("p0@7:wait × 9"));
         assert!(r.contains("| peterson2_pso | undo | 1 | 123 |"));
+    }
+
+    #[test]
+    fn report_renders_unknown_counters_as_extra_columns() {
+        let lines = vec![
+            r#"{"t_ms":1,"kind":"snapshot","workload":"filter3_pso","engine":"dpor","states":50,"transitions":90,"fences":4,"rmrs":8,"crashes":0,"sleep_hits":9,"dedup_hits":5,"max_frontier":3}"#.to_string(),
+            r#"{"t_ms":2,"kind":"snapshot","workload":"filter3_pso","engine":"pardpor","states":50,"transitions":95,"fences":4,"rmrs":8,"crashes":0,"sleep_hits":9,"dedup_hits":5,"max_frontier":3,"fork_published":6,"fork_stolen":7,"fp_contention":2,"p0_fences":1,"span_explore_ns":900,"buffer_depth_hist":"3@0"}"#.to_string(),
+        ];
+        let r = render_report("Test", &lines);
+        // The steal/contention counters appear as (sorted) trailing
+        // columns rather than being silently dropped…
+        assert!(
+            r.contains("| fork_published | fork_stolen | fp_contention |"),
+            "new counters become columns: {r}"
+        );
+        assert!(
+            r.contains("| filter3_pso | pardpor | 50 | 95 | 4 | 8 | 0 | 9 | 5 | 3 | 6 | 7 | 2 |")
+        );
+        // …rows without them render zeros…
+        assert!(r.contains("| filter3_pso | dpor | 50 | 90 | 4 | 8 | 0 | 9 | 5 | 3 | 0 | 0 | 0 |"));
+        // …and structural / per-proc / span keys stay out of the table.
+        assert!(!r.contains("| p0_fences"), "per-proc keys excluded: {r}");
+        assert!(!r.contains("span_explore_ns |"), "span keys excluded: {r}");
     }
 }

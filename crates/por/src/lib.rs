@@ -23,6 +23,10 @@
 //! * [`step_weight`] — an optional reorder bound that restricts the
 //!   search to schedules with at most `k` steps where a program overtakes
 //!   its own pending stores (bound 0 ≡ SC-equivalent schedules).
+//! * [`FpTable`] / [`ForkPoint`] / [`ForkQueue`] — shared state for the
+//!   *parallel* explorers: a lock-free sharded fingerprint table (the
+//!   per-transition dedup hot path) and the serialized DFS continuations
+//!   work-stealing workers trade through a bounded queue.
 //!
 //! Independence is decided by [`wbmem::Footprint`]s, reported by the
 //! machine for every schedule choice; soundness of the relation per memory
@@ -37,11 +41,15 @@
 pub mod ample;
 pub mod bound;
 pub mod expand;
+pub mod fork;
+pub mod fptable;
 pub mod sleep;
 pub mod visited;
 
 pub use ample::select as select_ample;
 pub use bound::step_weight;
 pub use expand::{expand, Expansion};
+pub use fork::{ForkPoint, ForkQueue};
+pub use fptable::FpTable;
 pub use sleep::SleepSet;
 pub use visited::VisitTable;

@@ -1,0 +1,115 @@
+//! Loom-free stress test for the lock-free fingerprint table: N threads
+//! hammer overlapping key sets and the table must end up with *exactly*
+//! the distinct keys — no lost inserts (a key nobody won), no double
+//! wins (two threads both told "fresh"), occupancy equal to the distinct
+//! key count. This is the CI gate for the CAS-insert protocol
+//! (`scripts/ci.sh` runs it explicitly).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use por::FpTable;
+
+/// Deterministic pseudo-random permutation of `i` (splitmix64 finalizer)
+/// so keys spread over shards and probe windows like real fingerprints.
+fn mix(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn key(i: u64) -> u128 {
+    (u128::from(mix(i)) << 64) | u128::from(mix(i ^ 0xdead_beef))
+}
+
+/// Every thread inserts the same M keys (maximum contention: every
+/// insert races all peers for the same slots). Exactly one `true` per
+/// key must be handed out, and occupancy must equal M.
+#[test]
+fn all_threads_race_for_identical_keys() {
+    let threads = 8;
+    let inserts = 20_000u64;
+    let table = FpTable::new();
+    let wins = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let table = &table;
+            let wins = &wins;
+            scope.spawn(move || {
+                // Different traversal orders per thread widen the race
+                // window (threads collide on different keys at a time).
+                for i in 0..inserts {
+                    let i = if t % 2 == 0 { i } else { inserts - 1 - i };
+                    if table.insert(key(i)) {
+                        wins.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(
+        wins.load(Ordering::Relaxed),
+        inserts as usize,
+        "exactly one insert per key may report fresh"
+    );
+    assert_eq!(
+        table.len(),
+        inserts as usize,
+        "final occupancy == distinct keys"
+    );
+    // Post-race membership: nothing was lost.
+    for i in 0..inserts {
+        assert!(!table.insert(key(i)), "key {i} lost by the racing inserts");
+    }
+    assert_eq!(table.len(), inserts as usize);
+}
+
+/// Disjoint key ranges with a shared overlap band: checks the mixed
+/// regime (mostly uncontended inserts, some contended) and that the
+/// global fresh-count equals the distinct-key count.
+#[test]
+fn overlapping_ranges_count_exactly_once() {
+    let threads = 6u64;
+    let per_thread = 15_000u64;
+    let overlap = 5_000u64; // keys 0..overlap are inserted by everyone
+    let table = FpTable::new();
+    let wins = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let table = &table;
+            let wins = &wins;
+            scope.spawn(move || {
+                let mut fresh = 0usize;
+                for i in 0..per_thread {
+                    // First `overlap` iterations hit the shared band,
+                    // the rest are thread-private.
+                    let k = if i < overlap {
+                        key(i)
+                    } else {
+                        key(1_000_000 + t * per_thread + i)
+                    };
+                    fresh += usize::from(table.insert(k));
+                }
+                wins.fetch_add(fresh, Ordering::Relaxed);
+            });
+        }
+    });
+    let distinct = (overlap + threads * (per_thread - overlap)) as usize;
+    assert_eq!(wins.load(Ordering::Relaxed), distinct);
+    assert_eq!(table.len(), distinct);
+}
+
+/// Contention counters only ever grow and stay consistent under load
+/// (smoke check for the observability wiring).
+#[test]
+fn contention_counter_is_monotone() {
+    let table = FpTable::new();
+    for i in 0..1000 {
+        table.insert(key(i));
+    }
+    let c1 = table.contention();
+    for i in 0..1000 {
+        table.insert(key(i)); // re-probes occupied slots
+    }
+    assert!(table.contention() >= c1);
+}

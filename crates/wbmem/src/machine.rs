@@ -1273,6 +1273,30 @@ impl<P: Process> Machine<P> {
             }
         }
     }
+
+    /// Re-materialize a previously explored state by replaying `path`
+    /// from the current configuration: every element must be one of the
+    /// state's [`choices`](Self::choices) and must produce an effective
+    /// step. This is the work-stealing explorers' fork-point replay —
+    /// O(path) instead of cloning another worker's machine, validated
+    /// against [`choices_into`](Self::choices_into) at each step so a
+    /// stale or corrupted path is detected instead of silently steered
+    /// into a different state. `scratch` is the caller's reusable choice
+    /// buffer.
+    ///
+    /// Returns `true` iff the whole path applied. On `false` the machine
+    /// is left mid-path; callers must discard it (the explorers treat
+    /// this as a logic error and panic into their sequential fallback).
+    #[must_use]
+    pub fn replay_path(&mut self, path: &[SchedElem], scratch: &mut Vec<SchedElem>) -> bool {
+        for &e in path {
+            self.choices_into(scratch);
+            if !scratch.contains(&e) || matches!(self.step(e), StepOutcome::NoOp) {
+                return false;
+            }
+        }
+        true
+    }
 }
 
 #[cfg(test)]
@@ -2018,6 +2042,39 @@ mod tests {
             }
         }
         assert!(m.all_done());
+    }
+
+    #[test]
+    fn replay_path_rematerializes_and_validates() {
+        let w = Script::new(vec![
+            Poised::Write(r(0), Value::Int(1)),
+            Poised::Write(r(1), Value::Int(2)),
+            Poised::Fence,
+            Poised::Return(0),
+        ]);
+        let base = pso_machine(vec![w]);
+        // Drive one copy forward, recording the schedule taken.
+        let mut walked = base.clone();
+        let mut path = Vec::new();
+        let mut buf = Vec::new();
+        loop {
+            walked.choices_into(&mut buf);
+            match buf.last().copied() {
+                Some(e) => {
+                    walked.step(e);
+                    path.push(e);
+                }
+                None => break,
+            }
+        }
+        assert!(!path.is_empty());
+        // Replaying the schedule from a fresh copy reaches the same state.
+        let mut replayed = base.clone();
+        assert!(replayed.replay_path(&path, &mut buf));
+        assert_eq!(replayed.state_key(), walked.state_key());
+        // An element that is not a current choice is rejected.
+        let mut fresh = base.clone();
+        assert!(!fresh.replay_path(&[SchedElem::commit(ProcId::from(0usize), r(5))], &mut buf));
     }
 
     fn crash_machine(

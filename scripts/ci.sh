@@ -26,6 +26,12 @@ FT_THREADS=2 cargo test -q
 echo "==> DPOR differential suite (FT_THREADS=2)"
 FT_THREADS=2 cargo test -q -p modelcheck --test differential_dpor
 
+echo "==> work-stealing parallel DPOR differential suite (FT_THREADS=2)"
+FT_THREADS=2 cargo test -q -p modelcheck --test differential_pardpor
+
+echo "==> fingerprint-table stress suite (CAS insert races, segment spill, dedup exactness)"
+cargo test -q -p por --test fptable_stress
+
 echo "==> E11 crash-recovery experiment (n = 2)"
 FT_E11_FAST=1 cargo run --release -p ft-bench --bin exp_e11_crash_recovery
 
@@ -40,5 +46,8 @@ cargo run --release -p ft-bench --bin obs_report > /dev/null
 
 echo "==> observability overhead guard (enabled ≤5%, disabled ≤10% vs baseline, bakery3_pso)"
 cargo run --release -p ft-bench --bin obs_overhead
+
+echo "==> parallel DPOR guard (≥1.5x scaling on multi-core, ≤5% threads=1 regression, filter3_pso)"
+cargo run --release -p ft-bench --bin pardpor_guard
 
 echo "CI green."
