@@ -1,0 +1,166 @@
+//! **checkpoint_guard** — the durable checkpoint/resume CI gates.
+//!
+//! Two gates over `filter3_pso` under sequential DPOR (an n = 3
+//! workload, the regime long runs actually interrupt in):
+//!
+//! 1. **Kill-and-resume smoke** (always): run with a tiny deterministic
+//!    budget (`stop_after` transition cut — the same code path a
+//!    wall-clock expiry or SIGINT flag takes), assert a checkpoint is
+//!    produced, resume it, and assert the final verdict matches a fresh
+//!    unbudgeted run.
+//! 2. **Resume overhead** (always): interrupted-then-resumed wall clock
+//!    must stay within `FT_CKPT_OVERHEAD` (default 1.10, the ≤10%
+//!    budget) of the uninterrupted wall clock — median of paired
+//!    alternating rounds, independent retry attempts, the same noise
+//!    defenses as `pardpor_guard`. The gate runs in the diagnostic
+//!    (disabled-reduction) bound, where the checkpoint partitions the
+//!    edge multiset exactly and the measured gap is purely durability
+//!    cost: snapshot write + fsync + read + frontier replay. Reduced
+//!    mode additionally re-explores what the discarded worker-local
+//!    dominance table would have pruned — a deliberate soundness
+//!    tradeoff measured (but not gated) by E15.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use fence_trade::prelude::*;
+
+fn env_or(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+fn ckpt_path() -> PathBuf {
+    std::env::temp_dir().join(format!("ft_checkpoint_guard_{}.ckpt", std::process::id()))
+}
+
+/// One uninterrupted run.
+fn fresh_run(inst: &OrderingInstance, cfg: &CheckConfig) -> (Duration, Verdict) {
+    let start = Instant::now();
+    let v = check(&inst.machine(MemoryModel::Pso), cfg);
+    (start.elapsed(), v)
+}
+
+/// One interrupted-at-`cut`-then-resumed run (checkpoint write + read
+/// included in the measured time — that is the overhead under test).
+fn split_run(
+    inst: &OrderingInstance,
+    cfg: &CheckConfig,
+    cut: u64,
+    path: &std::path::Path,
+) -> (Duration, Verdict) {
+    let start = Instant::now();
+    let stopped = check(
+        &inst.machine(MemoryModel::Pso),
+        &cfg.clone()
+            .with_checkpoint(CheckpointPolicy::at(path).stop_after(cut)),
+    );
+    let Some(cp) = stopped.coverage().and_then(|c| c.checkpoint) else {
+        ft_bench::fail(
+            "checkpoint_guard",
+            format!(
+                "interrupted run produced no checkpoint (verdict `{}`)",
+                stopped.label()
+            ),
+        );
+    };
+    let v = resume(&inst.machine(MemoryModel::Pso), cfg, &cp);
+    (start.elapsed(), v)
+}
+
+#[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+fn main() -> ExitCode {
+    let trials = (env_or("FT_CKPT_TRIALS", 5.0) as usize).max(1);
+    let attempts = (env_or("FT_CKPT_ATTEMPTS", 3.0) as usize).max(1);
+    let max_overhead = env_or("FT_CKPT_OVERHEAD", 1.10);
+
+    let inst = build_mutex(LockKind::Filter, 3, FenceMask::ALL);
+    let cfg = CheckConfig {
+        check_termination: false,
+        max_states: 500_000,
+        ..CheckConfig::default()
+    }
+    .with_engine(Engine::Dpor {
+        reorder_bound: None,
+    });
+    let path = ckpt_path();
+
+    // --- Gate 1: kill-and-resume smoke.
+    let (_, fresh) = fresh_run(&inst, &cfg);
+    if !fresh.is_ok() {
+        ft_bench::fail(
+            "checkpoint_guard",
+            format!("filter3_pso must verify, got `{}`", fresh.label()),
+        );
+    }
+    let cut = (fresh.stats().transitions as u64 / 2).max(1);
+    let (_, resumed) = split_run(&inst, &cfg, cut, &path);
+    if resumed.label() != fresh.label() {
+        ft_bench::fail(
+            "checkpoint_guard",
+            format!(
+                "resumed verdict `{}` diverges from fresh `{}`",
+                resumed.label(),
+                fresh.label()
+            ),
+        );
+    }
+    println!(
+        "filter3_pso/dpor: interrupt at {cut} transitions + resume == fresh \
+         verdict `{}` — smoke OK",
+        fresh.label()
+    );
+
+    // --- Gate 2: resume overhead ≤ the budget, in the exact-partition
+    // diagnostic bound (see module docs).
+    let cfg = CheckConfig {
+        max_states: 5_000_000,
+        ..cfg
+    }
+    .with_engine(Engine::Dpor {
+        reorder_bound: Some(u32::MAX),
+    });
+    let (_, fresh) = fresh_run(&inst, &cfg);
+    let cut = (fresh.stats().transitions as u64 / 2).max(1);
+    let mut best = f64::INFINITY;
+    for attempt in 1..=attempts {
+        let mut ratios = Vec::with_capacity(trials);
+        for round in 0..trials {
+            let (split, whole) = if round % 2 == 0 {
+                let s = split_run(&inst, &cfg, cut, &path).0;
+                let w = fresh_run(&inst, &cfg).0;
+                (s, w)
+            } else {
+                let w = fresh_run(&inst, &cfg).0;
+                let s = split_run(&inst, &cfg, cut, &path).0;
+                (s, w)
+            };
+            ratios.push(split.as_secs_f64() / whole.as_secs_f64().max(1e-12));
+        }
+        ratios.sort_by(f64::total_cmp);
+        let median = ratios[ratios.len() / 2];
+        best = best.min(median);
+        println!(
+            "filter3_pso/dpor: interrupted+resumed vs uninterrupted wall-clock \
+             x{median:.3} (median of {trials} paired rounds, budget x{max_overhead})"
+        );
+        if best <= max_overhead {
+            println!("checkpoint guard: OK");
+            let _ = std::fs::remove_file(&path);
+            return ExitCode::SUCCESS;
+        }
+        if attempt < attempts {
+            println!("  attempt {attempt}/{attempts} over budget; re-measuring");
+        }
+    }
+
+    let _ = std::fs::remove_file(&path);
+    eprintln!(
+        "FAIL: resume overhead x{best:.3} exceeds the x{max_overhead} budget in all \
+         {attempts} attempts"
+    );
+    ExitCode::FAILURE
+}

@@ -23,11 +23,15 @@ const EXPERIMENTS: &[&str] = &[
     "exp_e11_crash_recovery",
     "exp_e12_reduction",
     "exp_e14_scaling",
+    "exp_e15_resume",
 ];
 
 fn main() {
-    let this = std::env::current_exe().expect("current exe");
-    let bin_dir = this.parent().expect("bin dir").to_path_buf();
+    let this = std::env::current_exe()
+        .unwrap_or_else(|e| ft_bench::fail("exp_all: locating current executable", e));
+    let Some(bin_dir) = this.parent().map(std::path::Path::to_path_buf) else {
+        ft_bench::fail("exp_all", "executable path has no parent directory");
+    };
 
     let mut manifest = String::from("experiment            seconds  status\n");
     let mut failed = 0;
@@ -53,5 +57,7 @@ fn main() {
         eprintln!("warning: could not write {}: {e}", path.display());
     }
     println!("\n{manifest}");
-    assert_eq!(failed, 0, "{failed} experiment(s) failed");
+    if failed != 0 {
+        ft_bench::fail("exp_all", format!("{failed} experiment(s) failed"));
+    }
 }

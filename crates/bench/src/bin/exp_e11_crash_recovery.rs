@@ -213,7 +213,12 @@ fn main() {
     }
     .with_budget(Duration::ZERO);
     let v = check(&inst.machine(MemoryModel::Pso), &cfg);
-    let cov = v.coverage().expect("zero budget is inconclusive");
+    let Some(cov) = v.coverage() else {
+        ft_bench::fail(
+            "exp_e11",
+            format!("zero-budget run unexpectedly finished: {}", v.label()),
+        );
+    };
     println!(
         "Zero-budget bakery[3]/PSO run: verdict `{}` after {} states \
          explored, {} states still on the frontier.",

@@ -84,8 +84,9 @@ fn main() {
     // replacing the ad-hoc println!/eprintln! lines so fast and full runs
     // share a reporting path (`obs_report` renders the result).
     let sink = Arc::new(
-        JsonlSink::create(ft_bench::obs_dir().join("e12_reduction.jsonl"))
-            .expect("create results/obs/e12_reduction.jsonl"),
+        JsonlSink::create(ft_bench::obs_dir().join("e12_reduction.jsonl")).unwrap_or_else(|e| {
+            ft_bench::fail("exp_e12: creating results/obs/e12_reduction.jsonl", e)
+        }),
     );
     let progress = Recorder::builder()
         .meta("experiment", "e12")

@@ -22,9 +22,10 @@ fn run_family(t: &mut Table, kind: LockKind, cases: &[(usize, usize)]) {
                 .unwrap_or_else(|e| panic!("{kind} n={n} pi={pi:?}: {e}"));
             assert_eq!(enc.recovered_permutation(), *pi, "injectivity");
             let bits = lowerbound::serialize_stacks(&enc.stacks);
-            let back = lowerbound::deserialize_stacks(&bits, n).expect("codec");
-            let out =
-                decode(&proof_machine(&inst), &back, &DecodeOptions::default()).expect("decode");
+            let back = lowerbound::deserialize_stacks(&bits, n)
+                .unwrap_or_else(|e| ft_bench::fail("exp_e4: deserializing stack bits", e));
+            let out = decode(&proof_machine(&inst), &back, &DecodeOptions::default())
+                .unwrap_or_else(|e| ft_bench::fail("exp_e4: decoding round-tripped stacks", e));
             assert_eq!(recover_permutation(&out.machine), *pi, "bit round trip");
             (
                 enc.commands as f64,

@@ -87,7 +87,8 @@ fn main() {
     // somewhere in the sampled encodings (so the table above is not
     // trivially zero by construction).
     let inst = build_ordering(LockKind::Bakery, 6, ObjectKind::Counter);
-    let enc = encode_permutation(&inst, &[5, 3, 1, 0, 2, 4], &EncodeOptions::default()).unwrap();
+    let enc = encode_permutation(&inst, &[5, 3, 1, 0, 2, 4], &EncodeOptions::default())
+        .unwrap_or_else(|e| ft_bench::fail("exp_e6: encoding the probe permutation", e));
     let has_wlf = (0..6).any(|i| {
         enc.stacks
             .commands_of(wbmem::ProcId::from(i))

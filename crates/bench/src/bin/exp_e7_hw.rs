@@ -82,14 +82,16 @@ impl RawLock for StdMutex {
         usize::MAX
     }
     fn acquire(&self, _tid: usize) {
-        let mut held = self.held.lock().unwrap();
+        // A benchmark-thread panic poisons the mutex; the boolean it
+        // guards is still coherent, so keep going rather than cascading.
+        let mut held = self.held.lock().unwrap_or_else(|p| p.into_inner());
         while *held {
-            held = self.cv.wait(held).unwrap();
+            held = self.cv.wait(held).unwrap_or_else(|p| p.into_inner());
         }
         *held = true;
     }
     fn release(&self, _tid: usize) {
-        *self.held.lock().unwrap() = false;
+        *self.held.lock().unwrap_or_else(|p| p.into_inner()) = false;
         self.cv.notify_one();
     }
     fn fences(&self) -> u64 {

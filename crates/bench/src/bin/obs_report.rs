@@ -10,10 +10,12 @@
 //! ```
 //!
 //! With no arguments, every `*.jsonl` under `results/obs/` is read (the
-//! streams `exp_e12_reduction` and the examples produce). The report goes
+//! streams `exp_e12_reduction` and the examples produce), plus any
+//! `*.jsonl.partial` stream a crashed run left behind. The report goes
 //! to stdout and to `results/obs/report.md`. Exits non-zero when no event
 //! line parses — the CI smoke run relies on that to catch an empty or
-//! corrupt stream.
+//! corrupt stream. A *trailing* truncated line (the signature of a
+//! process killed mid-write) is skipped and counted, not an error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,7 +28,10 @@ fn main() -> ExitCode {
             .map(|rd| {
                 rd.filter_map(Result::ok)
                     .map(|e| e.path())
-                    .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+                    .filter(|p| {
+                        p.extension().is_some_and(|x| x == "jsonl")
+                            || p.to_string_lossy().ends_with(".jsonl.partial")
+                    })
                     .collect()
             })
             .unwrap_or_default();
@@ -42,10 +47,28 @@ fn main() -> ExitCode {
 
     let mut lines: Vec<String> = Vec::new();
     let mut sources: Vec<String> = Vec::new();
+    let mut truncated = 0usize;
+    let mut partials = 0usize;
     for p in &paths {
         match std::fs::read_to_string(p) {
             Ok(text) => {
-                lines.extend(text.lines().map(str::to_string));
+                let (complete, torn) = ftobs::report::stream_lines(&text);
+                if let Some(tail) = torn {
+                    truncated += 1;
+                    eprintln!(
+                        "obs_report: {}: skipped a truncated trailing line ({} bytes)",
+                        p.display(),
+                        tail.len()
+                    );
+                }
+                if p.to_string_lossy().ends_with(".partial") {
+                    partials += 1;
+                    eprintln!(
+                        "obs_report: {}: crashed-run artifact (stream never renamed on close)",
+                        p.display()
+                    );
+                }
+                lines.extend(complete);
                 sources.push(p.display().to_string());
             }
             Err(e) => eprintln!("obs_report: skipping {}: {e}", p.display()),
@@ -53,7 +76,13 @@ fn main() -> ExitCode {
     }
 
     let title = format!("fence-trade observability report ({})", sources.join(", "));
-    let report = ftobs::report::render_report(&title, &lines);
+    let mut report = ftobs::report::render_report(&title, &lines);
+    if truncated > 0 || partials > 0 {
+        report.push_str(&format!(
+            "_{truncated} truncated trailing line(s) skipped; {partials} crashed-run \
+             `.partial` stream(s) scanned._\n"
+        ));
+    }
     print!("{report}");
 
     if !lines.iter().any(|l| ftobs::report::parse_line(l).is_some()) {

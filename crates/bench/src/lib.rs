@@ -262,6 +262,15 @@ pub fn append_bench_explore_rows(rows: &[String]) {
     }
 }
 
+/// Print a one-line diagnostic and exit nonzero. The `exp_*` binaries
+/// route I/O and parse failures here so a `ci.sh` failure is
+/// attributable to a specific binary and cause, instead of surfacing as
+/// a panic backtrace with exit code 101.
+pub fn fail(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("error: {context}: {err}");
+    std::process::exit(1);
+}
+
 /// The repository `results/` directory (created on demand).
 #[must_use]
 pub fn results_dir() -> PathBuf {

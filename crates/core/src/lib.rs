@@ -59,8 +59,8 @@ pub mod prelude {
         EncodeOptions,
     };
     pub use modelcheck::{
-        check, elision_table, CheckConfig, CheckError, Coverage, Engine, MetricsSnapshot, Recorder,
-        Verdict,
+        check, elision_table, resume, CheckConfig, CheckError, CheckpointPolicy, Coverage, Engine,
+        MetricsSnapshot, Recorder, Verdict,
     };
     pub use simlocks::{
         build_mutex, build_ordering, FenceMask, LockKind, ObjectKind, OrderingInstance,

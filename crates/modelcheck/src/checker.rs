@@ -27,10 +27,13 @@ use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use ftobs::{Gauge, Metric, MetricsSnapshot, Progress, Recorder};
+use por::{BaseCounts, ForkPoint, RunMeta, SleepSet, Snapshot};
 use wbmem::{CrashSemantics, Machine, MachineError, Process, SchedElem, StepOutcome, UndoToken};
 
 /// Which exploration engine [`check`] runs.
@@ -150,6 +153,16 @@ pub struct CheckConfig {
     /// stamps its final [`MetricsSnapshot`] into the verdict's [`Stats`].
     /// The default, [`Recorder::disabled`], is a no-op.
     pub recorder: Recorder,
+    /// Durable checkpointing (see [`CheckpointPolicy`]). When set, the
+    /// [`Engine::Undo`], [`Engine::Dpor`], and [`Engine::ParallelDpor`]
+    /// engines write a versioned, checksummed snapshot of the unexplored
+    /// frontier on budget expiry, interrupt, or occupancy pressure —
+    /// and periodically if so configured — so the run can be continued
+    /// with [`crate::resume`]. [`Engine::CloneDfs`] and
+    /// [`Engine::Parallel`] ignore the policy (they keep live machine
+    /// clones per frame, which have no serialized form). `None` (the
+    /// default) disables checkpointing entirely.
+    pub checkpoint: Option<CheckpointPolicy>,
 }
 
 impl Default for CheckConfig {
@@ -165,6 +178,7 @@ impl Default for CheckConfig {
             budget: None,
             annotation_invariant: None,
             recorder: Recorder::disabled(),
+            checkpoint: None,
         }
     }
 }
@@ -207,6 +221,144 @@ impl CheckConfig {
     pub fn with_recorder(mut self, recorder: Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// This configuration with a checkpoint policy (see
+    /// [`CheckConfig::checkpoint`]).
+    #[must_use]
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = Some(policy);
+        self
+    }
+}
+
+/// When and where an exploration writes durable checkpoints.
+///
+/// A checkpoint is a [`por::Snapshot`]: the serialized unexplored frontier
+/// (fork points), the visited fingerprints, the run metadata, and the
+/// metrics accumulated so far, written atomically (temp file + fsync +
+/// rename) so a crash mid-write never leaves a torn-but-readable file.
+/// [`crate::resume`] continues the exploration from it and reaches the
+/// same verdict an uninterrupted run would have.
+///
+/// The builder methods compose: a policy usually starts from
+/// [`CheckpointPolicy::at`] and adds triggers. With no trigger configured
+/// the policy still checkpoints on wall-clock budget expiry — that is the
+/// baseline behavior `path` alone buys.
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointPolicy {
+    /// Where the snapshot lands. The write goes through a hidden
+    /// temp-file sibling in the same directory, so the directory must be
+    /// writable; the final path either holds a complete, checksummed
+    /// snapshot or whatever was there before.
+    pub path: PathBuf,
+    /// Also write a checkpoint every this-many transitions (`None` =
+    /// only at stop points). The run continues after a periodic write.
+    pub every_transitions: Option<u64>,
+    /// Also write a checkpoint on this wall-clock cadence (`None` = only
+    /// at stop points). Polled at the engines' deadline-poll granularity.
+    pub every: Option<Duration>,
+    /// Stop (checkpoint + [`Verdict::Inconclusive`]) once this many
+    /// transitions have been executed. Unlike the wall-clock budget this
+    /// cut point is deterministic, which is what the differential
+    /// resume tests are built on.
+    pub stop_after_transitions: Option<u64>,
+    /// Cooperative interrupt: when the flag becomes `true` (e.g. from a
+    /// SIGINT handler installed by the caller) the engines stop at the
+    /// next transition boundary, checkpoint, and return
+    /// [`Verdict::Inconclusive`].
+    pub interrupt: Option<Arc<AtomicBool>>,
+    /// Memory-pressure valve: once the dedup structure holds this many
+    /// fingerprints, stop and checkpoint instead of growing toward OOM.
+    pub max_occupancy: Option<usize>,
+}
+
+impl CheckpointPolicy {
+    /// A policy that checkpoints to `path` on budget expiry only.
+    #[must_use]
+    pub fn at(path: impl Into<PathBuf>) -> Self {
+        CheckpointPolicy {
+            path: path.into(),
+            ..CheckpointPolicy::default()
+        }
+    }
+
+    /// Also checkpoint every `n` transitions (run continues).
+    #[must_use]
+    pub fn every_transitions(mut self, n: u64) -> Self {
+        self.every_transitions = Some(n);
+        self
+    }
+
+    /// Also checkpoint on a wall-clock cadence (run continues).
+    #[must_use]
+    pub fn every(mut self, period: Duration) -> Self {
+        self.every = Some(period);
+        self
+    }
+
+    /// Stop and checkpoint after `n` transitions (deterministic cut).
+    #[must_use]
+    pub fn stop_after(mut self, n: u64) -> Self {
+        self.stop_after_transitions = Some(n);
+        self
+    }
+
+    /// Stop and checkpoint when `flag` becomes true.
+    #[must_use]
+    pub fn on_interrupt(mut self, flag: Arc<AtomicBool>) -> Self {
+        self.interrupt = Some(flag);
+        self
+    }
+
+    /// Stop and checkpoint once the dedup structure holds `n`
+    /// fingerprints.
+    #[must_use]
+    pub fn max_occupancy(mut self, n: usize) -> Self {
+        self.max_occupancy = Some(n);
+        self
+    }
+
+    /// Whether a stop trigger has fired at `transitions` executed
+    /// transitions. Checked at every transition boundary so the
+    /// deterministic `stop_after_transitions` cut is exact.
+    pub(crate) fn stop_requested(&self, transitions: u64) -> bool {
+        self.stop_after_transitions
+            .is_some_and(|n| transitions >= n)
+            || self
+                .interrupt
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+    }
+}
+
+/// Tracks when a periodic checkpoint is due (transition-count cadence,
+/// wall-clock cadence, or both). Firing rearms both cadences.
+pub(crate) struct PeriodicCheckpoint {
+    last_transitions: u64,
+    next_at: Option<Instant>,
+}
+
+impl PeriodicCheckpoint {
+    pub(crate) fn new(policy: &CheckpointPolicy) -> Self {
+        PeriodicCheckpoint {
+            last_transitions: 0,
+            next_at: policy.every.map(|d| Instant::now() + d),
+        }
+    }
+
+    pub(crate) fn due(&mut self, policy: &CheckpointPolicy, transitions: u64) -> bool {
+        let by_count = policy
+            .every_transitions
+            .is_some_and(|n| transitions.saturating_sub(self.last_transitions) >= n);
+        let by_time = self.next_at.is_some_and(|at| Instant::now() >= at);
+        if by_count || by_time {
+            self.last_transitions = transitions;
+            self.next_at = policy.every.map(|d| Instant::now() + d);
+            true
+        } else {
+            false
+        }
     }
 }
 
@@ -277,7 +429,7 @@ impl fmt::Display for Counterexample {
 /// Coverage accompanying an inconclusive (budget-limited) verdict: how far
 /// the aborted exploration got. `Stats` carries the states explored; this
 /// carries the size of the unexplored frontier.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Coverage {
     /// Open DFS frames (states with unexplored outgoing transitions) at the
     /// moment the budget expired, summed over workers for the parallel
@@ -288,6 +440,10 @@ pub struct Coverage {
     /// rate `sleep_hits / (transitions + sleep_hits)` measures how much of
     /// the raw schedule space the reduction discharged.
     pub sleep_hits: usize,
+    /// Where the interrupted exploration's durable snapshot landed, when a
+    /// [`CheckConfig::checkpoint`] policy was set and the write succeeded
+    /// (`None` otherwise). Pass it to [`crate::resume`] to continue.
+    pub checkpoint: Option<PathBuf>,
 }
 
 /// A checker-level failure: the exploration could not be carried out, as
@@ -302,6 +458,11 @@ pub enum CheckError {
     TooManyStates,
     /// The machine rejected a schedule element (see [`wbmem::MachineError`]).
     Machine(MachineError),
+    /// A checkpoint could not be read, validated, or matched to the
+    /// resuming configuration (torn file, checksum mismatch, wrong
+    /// format version, different config/program). The run is never
+    /// silently restarted from scratch — the mismatch is surfaced here.
+    Checkpoint(String),
 }
 
 impl fmt::Display for CheckError {
@@ -312,6 +473,7 @@ impl fmt::Display for CheckError {
                 write!(f, "state space exceeds the checker's u32 id capacity")
             }
             CheckError::Machine(e) => write!(f, "machine error: {e}"),
+            CheckError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }
@@ -321,6 +483,12 @@ impl std::error::Error for CheckError {}
 impl From<MachineError> for CheckError {
     fn from(e: MachineError) -> Self {
         CheckError::Machine(e)
+    }
+}
+
+impl From<por::SnapshotError> for CheckError {
+    fn from(e: por::SnapshotError) -> Self {
+        CheckError::Checkpoint(e.to_string())
     }
 }
 
@@ -401,7 +569,7 @@ impl Verdict {
     #[must_use]
     pub fn coverage(&self) -> Option<Coverage> {
         match self {
-            Verdict::Inconclusive(_, c) => Some(*c),
+            Verdict::Inconclusive(_, c) => Some(c.clone()),
             _ => None,
         }
     }
@@ -430,7 +598,7 @@ impl Verdict {
         }
     }
 
-    fn stats_mut(&mut self) -> &mut Stats {
+    pub(crate) fn stats_mut(&mut self) -> &mut Stats {
         match self {
             Verdict::Ok(s) | Verdict::StateLimit(s) => s,
             Verdict::MutexViolation(s, _)
@@ -505,6 +673,9 @@ pub(crate) fn render<P: Process>(initial: &Machine<P>, sched: &[SchedElem]) -> C
 pub(crate) struct SearchIndex {
     ids: HashMap<u128, u32>,
     parents: Vec<Option<(u32, SchedElem)>>,
+    /// Fingerprint per dense id (inverse of `ids`), so checkpointing can
+    /// re-key the id-based edge/terminal lists by stable fingerprints.
+    fps: Vec<u128>,
 }
 
 impl SearchIndex {
@@ -523,12 +694,18 @@ impl SearchIndex {
             let id = u32::try_from(self.ids.len()).ok()?;
             self.ids.insert(fp, id);
             self.parents.push(parent);
+            self.fps.push(fp);
             Some((id, true))
         }
     }
 
     pub(crate) fn len(&self) -> usize {
         self.ids.len()
+    }
+
+    /// The fingerprint a dense id was allocated for.
+    pub(crate) fn fp_of(&self, id: u32) -> u128 {
+        self.fps[id as usize]
     }
 
     /// The schedule from the root to state `id` along first-visit parents.
@@ -626,6 +803,103 @@ pub(crate) fn poll_observe(
     deadline.is_some_and(|d| now >= d)
 }
 
+/// Hash of the verdict-relevant configuration, stamped into every
+/// checkpoint and validated on resume: a snapshot taken under one
+/// property/bound/crash configuration must not seed a run under another
+/// (the merged verdict would be meaningless). Deliberately excludes the
+/// budget, recorder, checkpoint policy, and worker count — those change
+/// *how far and how observably* the space is explored, not *which* space
+/// with *which* properties.
+pub(crate) fn config_hash(config: &CheckConfig) -> u64 {
+    let mut h = DefaultHasher::new();
+    config.max_states.hash(&mut h);
+    config.check_mutex.hash(&mut h);
+    config.check_permutation.hash(&mut h);
+    config.check_termination.hash(&mut h);
+    config.max_crashes.hash(&mut h);
+    matches!(config.crash_semantics, CrashSemantics::DrainBuffer).hash(&mut h);
+    config.engine.label().hash(&mut h);
+    match config.engine {
+        Engine::Dpor { reorder_bound } | Engine::ParallelDpor { reorder_bound, .. } => {
+            reorder_bound
+        }
+        _ => None,
+    }
+    .hash(&mut h);
+    config.annotation_invariant.is_some().hash(&mut h);
+    h.finish()
+}
+
+/// `config` with its checkpoint policy stripped, for the parallel
+/// engines' deterministic sequential reruns: a rerun reproduces a
+/// violation/limit/stuck verdict bit-identically, and must not be cut
+/// short by a `stop_after_transitions`/interrupt trigger re-firing on
+/// its restarted transition count.
+pub(crate) fn without_checkpoint(config: &CheckConfig) -> CheckConfig {
+    CheckConfig {
+        checkpoint: None,
+        ..config.clone()
+    }
+}
+
+/// Write `snap` to the policy's path, retrying transient I/O failures
+/// with exponential backoff (3 attempts: immediately, +10ms, +50ms).
+/// Returns the path on success; on final failure emits a
+/// `checkpoint_failed` event and returns `None` — the run's verdict
+/// still stands, only the resume artifact is lost.
+pub(crate) fn write_checkpoint(
+    obs: &Recorder,
+    policy: &CheckpointPolicy,
+    snap: &Snapshot,
+) -> Option<PathBuf> {
+    let mut delay = Duration::from_millis(10);
+    for attempt in 1..=3u32 {
+        match snap.write_atomic(&policy.path) {
+            Ok(bytes) => {
+                if obs.is_enabled() {
+                    obs.incr(Metric::CheckpointWritten);
+                    obs.add(Metric::CheckpointBytes, bytes);
+                    obs.event(
+                        "checkpoint",
+                        &[
+                            ("path", ftobs::J::s(policy.path.display().to_string())),
+                            ("bytes", ftobs::J::U(bytes)),
+                            ("forks", ftobs::J::U(snap.forks.len() as u64)),
+                            ("states", ftobs::J::U(snap.base.states)),
+                        ],
+                    );
+                }
+                return Some(policy.path.clone());
+            }
+            Err(e) if attempt < 3 => {
+                if obs.is_enabled() {
+                    obs.event(
+                        "checkpoint_retry",
+                        &[
+                            ("attempt", ftobs::J::U(u64::from(attempt))),
+                            ("error", ftobs::J::s(e.to_string())),
+                        ],
+                    );
+                }
+                std::thread::sleep(delay);
+                delay *= 5;
+            }
+            Err(e) => {
+                if obs.is_enabled() {
+                    obs.event(
+                        "checkpoint_failed",
+                        &[
+                            ("path", ftobs::J::s(policy.path.display().to_string())),
+                            ("error", ftobs::J::s(e.to_string())),
+                        ],
+                    );
+                }
+            }
+        }
+    }
+    None
+}
+
 /// Exhaustively explore every schedule of `initial` (process interleavings
 /// *and* commit orders) and check the configured properties.
 ///
@@ -666,7 +940,7 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
         Engine::ParallelDpor {
             threads,
             reorder_bound,
-        } => crate::pardpor::check_pardpor(root, config, threads, reorder_bound, deadline),
+        } => crate::pardpor::check_pardpor(root, config, threads, reorder_bound, deadline, None),
     };
     verdict.stats_mut().elapsed = start.elapsed();
     if config.recorder.is_enabled() {
@@ -749,6 +1023,7 @@ fn check_clone_dfs<P: Process>(
                 Coverage {
                     frontier: stack.len() + 1,
                     sleep_hits: 0,
+                    checkpoint: None,
                 },
             );
         }
@@ -831,6 +1106,67 @@ struct Frame<P> {
     token: Option<UndoToken<P>>,
 }
 
+/// Serialize the undo engine's live DFS into a durable [`Snapshot`]: one
+/// [`ForkPoint`] per frame with unconsumed choices (frame `i`'s state is
+/// reached by replaying `path[..i]`), the visited set, and the id-keyed
+/// termination graph re-keyed by fingerprint. Fork points carry empty
+/// sleep/taken sets and an unlimited reorder budget — the exhaustive
+/// engine never prunes, and the resumed continuation must not either.
+#[allow(clippy::too_many_arguments)]
+fn undo_snapshot<P: Process>(
+    config: &CheckConfig,
+    root_fp: u128,
+    stats: &Stats,
+    metrics: MetricsSnapshot,
+    frames: &[Frame<P>],
+    arena: &[SchedElem],
+    path: &[SchedElem],
+    visited: &HashSet<u128>,
+    index: &SearchIndex,
+    edges: &[(u32, u32)],
+    terminal: &[u32],
+) -> Snapshot {
+    let forks = frames
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.next > f.start)
+        .map(|(i, f)| ForkPoint {
+            path: path[..i].to_vec(),
+            sleep: SleepSet::default(),
+            taken: Vec::new(),
+            // The undo engine consumes `arena[start..next]` back to
+            // front; a resumed continuation consumes front to back, so
+            // the slice is reversed to preserve exploration order.
+            choices: arena[f.start..f.next].iter().rev().copied().collect(),
+            excluded: Vec::new(),
+            remaining: u32::MAX,
+        })
+        .collect();
+    let mut vis: Vec<u128> = visited.iter().copied().collect();
+    vis.sort_unstable();
+    Snapshot {
+        meta: RunMeta {
+            engine: config.engine.label().to_string(),
+            config_hash: config_hash(config),
+            program_hash: root_fp,
+        },
+        base: BaseCounts {
+            states: stats.states as u64,
+            transitions: stats.transitions as u64,
+            terminal_states: stats.terminal_states as u64,
+            sleep_hits: 0,
+        },
+        metrics,
+        forks,
+        visited: vis,
+        edges: edges
+            .iter()
+            .map(|&(a, b)| (index.fp_of(a), index.fp_of(b)))
+            .collect(),
+        terminals: terminal.iter().map(|&t| index.fp_of(t)).collect(),
+    }
+}
+
 /// The default engine: a single machine stepped forward with
 /// [`Machine::step_recorded`] and rewound with [`Machine::undo`] on
 /// backtrack. Traversal order, statistics, verdicts, and counterexamples
@@ -880,6 +1216,12 @@ fn check_undo<P: Process>(
     let mut arena: Vec<SchedElem> = Vec::new();
     let mut scratch: Vec<SchedElem> = Vec::new();
     let mut frames: Vec<Frame<P>> = Vec::new();
+    let policy = config.checkpoint.as_ref();
+    let mut periodic = policy.map(PeriodicCheckpoint::new);
+    // The schedule from the root to the current top frame's state
+    // (`path[..i]` reaches frame `i`); maintained to serialize fork
+    // points, and cheap enough to keep unconditionally.
+    let mut path: Vec<SchedElem> = Vec::new();
 
     m.choices_into(&mut scratch);
     arena.extend_from_slice(&scratch);
@@ -893,23 +1235,93 @@ fn check_undo<P: Process>(
     let mut iters = 0usize;
     while !frames.is_empty() {
         iters += 1;
-        if iters & DEADLINE_POLL_MASK == 0
-            && poll_observe(
+        if let Some(pol) = policy {
+            // Checked every iteration (not at poll granularity) so the
+            // deterministic stop_after cut is exact.
+            if pol.stop_requested(stats.transitions as u64) {
+                tally.flush();
+                let snap = undo_snapshot(
+                    config,
+                    root_fp,
+                    &stats,
+                    obs.snapshot(),
+                    &frames,
+                    &arena,
+                    &path,
+                    &visited,
+                    &index,
+                    &edges,
+                    &terminal,
+                );
+                let frontier = frames.len();
+                return Verdict::Inconclusive(
+                    stats,
+                    Coverage {
+                        frontier,
+                        sleep_hits: 0,
+                        checkpoint: write_checkpoint(obs, pol, &snap),
+                    },
+                );
+            }
+        }
+        if iters & DEADLINE_POLL_MASK == 0 {
+            let over_occupancy = policy
+                .and_then(|p| p.max_occupancy)
+                .is_some_and(|cap| visited.len() >= cap);
+            if poll_observe(
                 obs,
                 &stats,
                 frames.len(),
                 visited.len(),
                 config.budget,
                 deadline,
-            )
-        {
-            return Verdict::Inconclusive(
-                stats,
-                Coverage {
-                    frontier: frames.len(),
-                    sleep_hits: 0,
-                },
-            );
+            ) || over_occupancy
+            {
+                let checkpoint = policy.and_then(|pol| {
+                    tally.flush();
+                    let snap = undo_snapshot(
+                        config,
+                        root_fp,
+                        &stats,
+                        obs.snapshot(),
+                        &frames,
+                        &arena,
+                        &path,
+                        &visited,
+                        &index,
+                        &edges,
+                        &terminal,
+                    );
+                    write_checkpoint(obs, pol, &snap)
+                });
+                return Verdict::Inconclusive(
+                    stats,
+                    Coverage {
+                        frontier: frames.len(),
+                        sleep_hits: 0,
+                        checkpoint,
+                    },
+                );
+            }
+            if let (Some(pol), Some(per)) = (policy, periodic.as_mut()) {
+                if per.due(pol, stats.transitions as u64) {
+                    tally.flush();
+                    let snap = undo_snapshot(
+                        config,
+                        root_fp,
+                        &stats,
+                        obs.snapshot(),
+                        &frames,
+                        &arena,
+                        &path,
+                        &visited,
+                        &index,
+                        &edges,
+                        &terminal,
+                    );
+                    let _ = write_checkpoint(obs, pol, &snap);
+                }
+            }
         }
         let Some(top) = frames.last_mut() else { break };
         if top.next == top.start {
@@ -918,6 +1330,7 @@ fn check_undo<P: Process>(
                 arena.truncate(frame.start);
                 if let Some(token) = frame.token {
                     m.undo(token);
+                    path.pop();
                 }
             }
             continue;
@@ -982,6 +1395,7 @@ fn check_undo<P: Process>(
             next: arena.len(),
             token: Some(token),
         });
+        path.push(elem);
     }
 
     obs.gauge_set(Gauge::DedupOccupancy, visited.len() as u64);
@@ -1120,9 +1534,12 @@ fn check_parallel<P: Process>(
         // A worker panicked. Rerun sequentially (deterministic, guarded);
         // if the panic is deterministic too, surface it as an error
         // verdict instead of aborting the process. The partial sweep's
-        // metrics are dropped first so the rerun's counts stand alone.
+        // metrics are dropped first so the rerun's counts stand alone,
+        // and the checkpoint policy is stripped so a stop trigger cannot
+        // cut the rerun short of the verdict it exists to reproduce.
         config.recorder.reset_counts();
-        return match catch_unwind(AssertUnwindSafe(|| check_undo(initial, config, deadline))) {
+        let rerun = without_checkpoint(config);
+        return match catch_unwind(AssertUnwindSafe(|| check_undo(initial, &rerun, deadline))) {
             Ok(verdict) => verdict,
             Err(payload) => Verdict::Error(
                 Stats::default(),
@@ -1148,9 +1565,10 @@ fn check_parallel<P: Process>(
         // The sweep stopped early; reproduce the exact sequential verdict
         // (still honoring the remaining budget). Drop the partial sweep's
         // metrics so the rerun's counts stand alone — bit-identical to a
-        // direct sequential run.
+        // direct sequential run — and strip the checkpoint policy so a
+        // stop trigger cannot cut the rerun short.
         config.recorder.reset_counts();
-        return check_undo(initial, config, deadline);
+        return check_undo(initial, &without_checkpoint(config), deadline);
     }
     if budget_hit.load(Ordering::SeqCst) || cancel.load(Ordering::SeqCst) {
         return Verdict::Inconclusive(
@@ -1158,6 +1576,7 @@ fn check_parallel<P: Process>(
             Coverage {
                 frontier: reports.iter().map(|r| r.frontier).sum(),
                 sleep_hits: 0,
+                checkpoint: None,
             },
         );
     }
@@ -1192,7 +1611,7 @@ fn check_parallel<P: Process>(
         }
         if find_stuck(ids.len(), &edges, &terminal).is_some() {
             config.recorder.reset_counts();
-            return check_undo(initial, config, deadline);
+            return check_undo(initial, &without_checkpoint(config), deadline);
         }
     }
 

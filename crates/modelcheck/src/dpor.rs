@@ -28,14 +28,14 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use ftobs::{Gauge, Metric, Recorder};
-use por::{expand, step_weight, SleepSet, VisitTable};
+use ftobs::{Gauge, Metric, MetricsSnapshot, Recorder};
+use por::{expand, step_weight, BaseCounts, ForkPoint, RunMeta, SleepSet, Snapshot, VisitTable};
 use wbmem::{Footprint, Machine, Process, SchedElem, StepOutcome, UndoToken};
 
 use crate::checker::{
-    find_stuck, fingerprint, in_cs_count, poll_observe, render, returns_are_permutation,
-    violates_invariant, CheckConfig, CheckError, Coverage, SearchIndex, Stats, Verdict,
-    DEADLINE_POLL_MASK,
+    config_hash, find_stuck, fingerprint, in_cs_count, poll_observe, render,
+    returns_are_permutation, violates_invariant, write_checkpoint, CheckConfig, CheckError,
+    Coverage, PeriodicCheckpoint, SearchIndex, Stats, Verdict, DEADLINE_POLL_MASK,
 };
 
 /// One frame of the reduced DFS. Unlike the undo engine's arena frames,
@@ -87,6 +87,62 @@ fn probe_slept_edges<P: Process>(
         m.undo(token);
     }
     Ok(())
+}
+
+/// Serialize the reduced DFS into a durable [`Snapshot`]: one
+/// [`ForkPoint`] per frame with unconsumed choices, carrying the exact
+/// reduction state (sleep set, taken siblings, ample-excluded choices,
+/// remaining reorder budget) so a resumed continuation prunes no more
+/// and no less than this run would have. Frame `i`'s state is reached by
+/// replaying `path[..i]`.
+#[allow(clippy::too_many_arguments)]
+fn dpor_snapshot<P: Process>(
+    config: &CheckConfig,
+    root_fp: u128,
+    stats: &Stats,
+    sleep_hits: usize,
+    metrics: MetricsSnapshot,
+    frames: &[DFrame<P>],
+    path: &[SchedElem],
+    visited: &VisitTable,
+    index: &SearchIndex,
+    edges: &[(u32, u32)],
+    terminal: &[u32],
+) -> Snapshot {
+    let forks = frames
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.next < f.choices.len())
+        .map(|(i, f)| ForkPoint {
+            path: path[..i].to_vec(),
+            sleep: f.sleep.clone(),
+            taken: f.taken.clone(),
+            choices: f.choices[f.next..].to_vec(),
+            excluded: f.excluded.clone(),
+            remaining: f.remaining,
+        })
+        .collect();
+    Snapshot {
+        meta: RunMeta {
+            engine: config.engine.label().to_string(),
+            config_hash: config_hash(config),
+            program_hash: root_fp,
+        },
+        base: BaseCounts {
+            states: stats.states as u64,
+            transitions: stats.transitions as u64,
+            terminal_states: stats.terminal_states as u64,
+            sleep_hits: sleep_hits as u64,
+        },
+        metrics,
+        forks,
+        visited: visited.fingerprints(),
+        edges: edges
+            .iter()
+            .map(|&(a, b)| (index.fp_of(a), index.fp_of(b)))
+            .collect(),
+        terminals: terminal.iter().map(|&t| index.fp_of(t)).collect(),
+    }
 }
 
 /// The DPOR search; see the module docs. Entered via
@@ -150,6 +206,14 @@ pub(crate) fn check_dpor<P: Process>(
     m.set_recorder(obs.clone());
     let mut frames: Vec<DFrame<P>> = Vec::new();
     let mut scratch: Vec<SchedElem> = Vec::new();
+    let policy = config.checkpoint.as_ref();
+    let mut periodic = policy.map(PeriodicCheckpoint::new);
+    // The schedule from the root to the current top frame's state
+    // (`path[..i]` reaches frame `i`). This is the *stack* path, not the
+    // first-visit parent chain in `index` — the two can differ when a
+    // state is re-entered under a smaller sleep set, and fork points
+    // must replay the stack path to restore the exact reduction state.
+    let mut path: Vec<SchedElem> = Vec::new();
 
     if !initial.all_done() {
         m.choices_into(&mut scratch);
@@ -177,23 +241,93 @@ pub(crate) fn check_dpor<P: Process>(
     let mut iters = 0usize;
     while !frames.is_empty() {
         iters += 1;
-        if iters & DEADLINE_POLL_MASK == 0
-            && poll_observe(
+        if let Some(pol) = policy {
+            // Checked every iteration (not at poll granularity) so the
+            // deterministic stop_after cut is exact.
+            if pol.stop_requested(stats.transitions as u64) {
+                tally.flush();
+                let snap = dpor_snapshot(
+                    config,
+                    root_fp,
+                    &stats,
+                    sleep_hits,
+                    obs.snapshot(),
+                    &frames,
+                    &path,
+                    &visited,
+                    &index,
+                    &edges,
+                    &terminal,
+                );
+                let frontier = frames.len();
+                return Verdict::Inconclusive(
+                    stats,
+                    Coverage {
+                        frontier,
+                        sleep_hits,
+                        checkpoint: write_checkpoint(obs, pol, &snap),
+                    },
+                );
+            }
+        }
+        if iters & DEADLINE_POLL_MASK == 0 {
+            let over_occupancy = policy
+                .and_then(|p| p.max_occupancy)
+                .is_some_and(|cap| visited.len() >= cap);
+            if poll_observe(
                 obs,
                 &stats,
                 frames.len(),
                 visited.len(),
                 config.budget,
                 deadline,
-            )
-        {
-            return Verdict::Inconclusive(
-                stats,
-                Coverage {
-                    frontier: frames.len(),
-                    sleep_hits,
-                },
-            );
+            ) || over_occupancy
+            {
+                let checkpoint = policy.and_then(|pol| {
+                    tally.flush();
+                    let snap = dpor_snapshot(
+                        config,
+                        root_fp,
+                        &stats,
+                        sleep_hits,
+                        obs.snapshot(),
+                        &frames,
+                        &path,
+                        &visited,
+                        &index,
+                        &edges,
+                        &terminal,
+                    );
+                    write_checkpoint(obs, pol, &snap)
+                });
+                return Verdict::Inconclusive(
+                    stats,
+                    Coverage {
+                        frontier: frames.len(),
+                        sleep_hits,
+                        checkpoint,
+                    },
+                );
+            }
+            if let (Some(pol), Some(per)) = (policy, periodic.as_mut()) {
+                if per.due(pol, stats.transitions as u64) {
+                    tally.flush();
+                    let snap = dpor_snapshot(
+                        config,
+                        root_fp,
+                        &stats,
+                        sleep_hits,
+                        obs.snapshot(),
+                        &frames,
+                        &path,
+                        &visited,
+                        &index,
+                        &edges,
+                        &terminal,
+                    );
+                    let _ = write_checkpoint(obs, pol, &snap);
+                }
+            }
         }
         let Some(top) = frames.last_mut() else { break };
         if top.next == top.choices.len() {
@@ -207,6 +341,7 @@ pub(crate) fn check_dpor<P: Process>(
             }
             if let Some(token) = frame.token {
                 m.undo(token);
+                path.pop();
             }
             continue;
         }
@@ -358,6 +493,7 @@ pub(crate) fn check_dpor<P: Process>(
             remaining: child_remaining,
             token: Some(token),
         });
+        path.push(elem);
     }
 
     obs.gauge_set(Gauge::DedupOccupancy, visited.len() as u64);

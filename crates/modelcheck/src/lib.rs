@@ -41,10 +41,14 @@ mod dpor;
 pub mod elision;
 pub mod outcomes;
 mod pardpor;
+mod resume;
 
 pub use checker::{
-    check, CheckConfig, CheckError, Counterexample, Coverage, Engine, Stats, Verdict,
+    check, CheckConfig, CheckError, CheckpointPolicy, Counterexample, Coverage, Engine, Stats,
+    Verdict,
 };
 pub use elision::{elision_table, minimal_fences, ElisionRow};
 pub use ftobs::{MetricsSnapshot, Recorder};
 pub use outcomes::{terminal_outcomes, Outcome};
+pub use por::{Snapshot, SnapshotError};
+pub use resume::resume;

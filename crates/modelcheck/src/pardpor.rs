@@ -60,16 +60,20 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
-use ftobs::{Gauge, Metric, Progress};
-use por::{expand, step_weight, ForkPoint, ForkQueue, FpTable, SleepSet, VisitTable};
+use ftobs::{Gauge, Metric, MetricsSnapshot, Progress};
+use por::{
+    expand, step_weight, BaseCounts, ForkPoint, ForkQueue, FpTable, RunMeta, SleepSet, Snapshot,
+    VisitTable,
+};
 use wbmem::{Machine, Process, SchedElem, StepOutcome, UndoToken};
 
 use crate::checker::{
-    find_stuck, fingerprint, in_cs_count, merge_id, panic_message, returns_are_permutation,
-    violates_invariant, CheckConfig, CheckError, Coverage, Stats, Verdict,
+    config_hash, find_stuck, fingerprint, in_cs_count, merge_id, panic_message,
+    returns_are_permutation, violates_invariant, without_checkpoint, write_checkpoint, CheckConfig,
+    CheckError, CheckpointPolicy, Coverage, Stats, Verdict,
 };
 use crate::dpor::check_dpor;
 
@@ -106,6 +110,35 @@ struct PReport {
     published: u64,
     /// Fork points this worker took and re-materialized.
     stolen: u64,
+    /// Open frames serialized on a graceful stop (checkpoint policy
+    /// only); merged with the queue's pending tasks into the snapshot.
+    forks: Vec<ForkPoint>,
+}
+
+/// The exploration state a resumed run starts from, decoded from a
+/// [`Snapshot`] by [`crate::resume`]: the fingerprints pre-seed the
+/// global first-visit table (so already-counted states are not
+/// re-counted or re-checked), the fork points seed the work queue, and
+/// the base counts/metrics/graph fold into the final statistics so the
+/// combined run reports what an uninterrupted one would have.
+pub(crate) struct ResumeSeed {
+    pub(crate) visited: Vec<u128>,
+    pub(crate) forks: Vec<ForkPoint>,
+    pub(crate) base: BaseCounts,
+    pub(crate) metrics: MetricsSnapshot,
+    pub(crate) edges: Vec<(u128, u128)>,
+    pub(crate) terminals: Vec<u128>,
+}
+
+/// Watchdog cadence: a busy worker whose heartbeat does not advance for
+/// two consecutive intervals is declared stalled. `FT_WATCHDOG_MS`
+/// overrides the default 5000ms interval (the supervised tests use a
+/// few tens of milliseconds).
+fn watchdog_interval() -> Option<Duration> {
+    std::env::var("FT_WATCHDOG_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
 }
 
 /// One frame of a worker's reduced DFS — the sequential engine's frame
@@ -129,20 +162,27 @@ enum TaskEnd {
 }
 
 /// The coordinator; see the module docs. Entered via [`crate::check`]
-/// with [`Engine::ParallelDpor`](crate::Engine::ParallelDpor).
+/// with [`Engine::ParallelDpor`](crate::Engine::ParallelDpor), or via
+/// [`crate::resume`] with a [`ResumeSeed`] decoded from a checkpoint —
+/// the seeded path is also how the *sequential* engines resume: one
+/// worker consuming their serialized frontier runs the same DFS they
+/// would have (with the diagnostic mode reproducing `Engine::Undo`'s
+/// exact edge multiset).
 pub(crate) fn check_pardpor<P: Process>(
     initial: &Machine<P>,
     config: &CheckConfig,
     threads: usize,
     reorder_bound: Option<u32>,
     deadline: Option<Instant>,
+    resume: Option<ResumeSeed>,
 ) -> Verdict {
     let threads = if threads == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
         threads
     };
-    if threads <= 1 {
+    let seeded = resume.is_some();
+    if threads <= 1 && !seeded {
         return check_dpor(initial, config, reorder_bound, deadline);
     }
 
@@ -150,9 +190,10 @@ pub(crate) fn check_pardpor<P: Process>(
     // sequential run either finishes (its verdict is what the uncapped
     // sequential engine would return, since the cap was never hit) or
     // overflows, in which case its partial metrics are dropped and the
-    // parallel sweep starts from scratch.
+    // parallel sweep starts from scratch. A resumed run skips the gate:
+    // its work-list is the snapshot's frontier, not the root.
     let threshold = seq_threshold();
-    if threshold > 0 {
+    if threshold > 0 && !seeded {
         if config.max_states <= threshold {
             return check_dpor(initial, config, reorder_bound, deadline);
         }
@@ -168,20 +209,24 @@ pub(crate) fn check_pardpor<P: Process>(
     // Root-state checks mirror the sequential engine; any violation is
     // reproduced sequentially for an identical verdict. The invariant is
     // a user-supplied function, so even the root evaluation is guarded.
-    if config.check_mutex && in_cs_count(initial) > 1 {
-        return check_dpor(initial, config, reorder_bound, deadline);
-    }
-    match catch_unwind(AssertUnwindSafe(|| violates_invariant(config, initial))) {
-        Ok(false) => {}
-        Ok(true) => return check_dpor(initial, config, reorder_bound, deadline),
-        Err(payload) => {
-            return Verdict::Error(
-                Stats::default(),
-                CheckError::Panic(format!(
-                    "root invariant: {}",
-                    panic_message(payload.as_ref())
-                )),
-            )
+    // A resumed run skips them: the interrupted run already checked the
+    // root (a root violation returns before any checkpoint is written).
+    if !seeded {
+        if config.check_mutex && in_cs_count(initial) > 1 {
+            return check_dpor(initial, config, reorder_bound, deadline);
+        }
+        match catch_unwind(AssertUnwindSafe(|| violates_invariant(config, initial))) {
+            Ok(false) => {}
+            Ok(true) => return check_dpor(initial, config, reorder_bound, deadline),
+            Err(payload) => {
+                return Verdict::Error(
+                    Stats::default(),
+                    CheckError::Panic(format!(
+                        "root invariant: {}",
+                        panic_message(payload.as_ref())
+                    )),
+                )
+            }
         }
     }
 
@@ -189,37 +234,90 @@ pub(crate) fn check_pardpor<P: Process>(
     let use_ample = !config.check_termination && !disable_reduction;
     let budget0 = reorder_bound.unwrap_or(u32::MAX);
     let obs = &config.recorder;
+    let policy = config.checkpoint.as_ref();
 
     let table = FpTable::new();
     let root_fp = fingerprint(initial);
+    // Unpack the seed: pre-seed the global first-visit table (resumed
+    // workers neither re-count nor re-check states the interrupted run
+    // covered) and keep the base counts/metrics/graph for the merge.
+    let (base, seed_metrics, seed_edges, seed_terminals, seed_forks) = match resume {
+        Some(seed) => {
+            for &fp in &seed.visited {
+                table.insert(fp);
+            }
+            (
+                seed.base,
+                Some(seed.metrics),
+                seed.edges,
+                seed.terminals,
+                Some(seed.forks),
+            )
+        }
+        None => (BaseCounts::default(), None, Vec::new(), Vec::new(), None),
+    };
     table.insert(root_fp);
-    let state_count = AtomicUsize::new(1); // the root
+    let state_count = AtomicUsize::new(if seeded { base.states as usize } else { 1 });
+    // Transitions executed by *this* process — `stop_after_transitions`
+    // is a per-run cut, so a resumed run makes progress before its own
+    // cut can fire again.
+    let transitions_now = AtomicUsize::new(0);
     let cancel = AtomicBool::new(false);
     let budget_hit = AtomicBool::new(false);
-    obs.on_state(0);
-    if initial.all_done() {
-        obs.incr(Metric::TerminalStates);
+    let tripped = AtomicBool::new(false);
+    if !seeded {
+        obs.on_state(0);
+        if initial.all_done() {
+            obs.incr(Metric::TerminalStates);
+        }
     }
 
-    // Seed: the root's expansion as the first fork point. Root sleep is
-    // empty, so nothing is slept (no probes) and `x.slept == 0`.
-    let queue = ForkQueue::new(threads * 2);
-    if !initial.all_done() {
-        let root_choices = initial.choices();
-        let mut x = expand(initial, &root_choices, &SleepSet::new(), use_ample, obs);
-        if disable_reduction {
-            x.explore.reverse();
+    // Seed the queue: on a fresh run the root's expansion as the first
+    // fork point (root sleep is empty, so nothing is slept and
+    // `x.slept == 0`); on a resumed run the snapshot's frontier.
+    let forks = match seed_forks {
+        Some(forks) => forks,
+        None => {
+            let mut v = Vec::new();
+            if !initial.all_done() {
+                let root_choices = initial.choices();
+                let mut x = expand(initial, &root_choices, &SleepSet::new(), use_ample, obs);
+                if disable_reduction {
+                    x.explore.reverse();
+                }
+                v.push(ForkPoint {
+                    path: Vec::new(),
+                    sleep: SleepSet::new(),
+                    taken: Vec::new(),
+                    choices: x.explore,
+                    excluded: x.excluded,
+                    remaining: budget0,
+                });
+            }
+            v
         }
-        let seeded = queue.publish(ForkPoint {
-            path: Vec::new(),
-            sleep: SleepSet::new(),
-            taken: Vec::new(),
-            choices: x.explore,
-            excluded: x.excluded,
-            remaining: budget0,
-        });
-        debug_assert!(seeded.is_ok(), "fresh queue rejected the root fork point");
+    };
+    if seeded {
+        obs.add(Metric::ResumeReplayed, forks.len() as u64);
     }
+    let queue = ForkQueue::new((threads * 2).max(forks.len()));
+    for fork in forks {
+        let accepted = queue.publish(fork);
+        debug_assert!(accepted.is_ok(), "fresh queue rejected a seed fork point");
+    }
+
+    // Per-worker liveness for the watchdog: a heartbeat counter bumped at
+    // every poll and task boundary, and a busy flag raised while a task
+    // is being executed (an idle worker blocked on the queue is not
+    // stalled — the queue wakes it on close).
+    let heartbeats: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let busy: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
+    let workers_done = AtomicBool::new(false);
+    // The watchdog runs whenever a checkpoint policy is set (supervised
+    // mode) or `FT_WATCHDOG_MS` is exported explicitly.
+    let watchdog = watchdog_interval()
+        .or_else(|| policy.map(|_| Duration::from_millis(5000)))
+        .filter(|d| !d.is_zero());
 
     // Workers run under `catch_unwind`: a panicking property closure (or
     // a bug, including a fingerprint-table overflow) must not abort the
@@ -227,13 +325,66 @@ pub(crate) fn check_pardpor<P: Process>(
     // queue so blocked takers wake; the caller then falls back to a
     // deterministic sequential rerun, itself guarded.
     let results: Vec<Result<PReport, String>> = std::thread::scope(|scope| {
+        if let Some(interval) = watchdog {
+            // Supervisor: declare a busy worker stalled after two
+            // consecutive intervals without a heartbeat, then cancel the
+            // sweep (the coordinator checkpoints what was saved and
+            // falls back to the sequential engine). Scoped threads
+            // cannot be abandoned, so a worker wedged in a non-polling
+            // loop still delays the join — the watchdog covers the
+            // slow-but-responsive case and turns it into a deterministic
+            // sequential run instead of an indefinitely degraded sweep.
+            let heartbeats = &heartbeats;
+            let busy = &busy;
+            let workers_done = &workers_done;
+            let tripped = &tripped;
+            let cancel = &cancel;
+            let queue = &queue;
+            scope.spawn(move || {
+                let mut last: Vec<u64> = heartbeats
+                    .iter()
+                    .map(|h| h.load(Ordering::Relaxed))
+                    .collect();
+                let mut stale = vec![0u32; last.len()];
+                let tick = interval.min(Duration::from_millis(25));
+                let mut next = Instant::now() + interval;
+                while !workers_done.load(Ordering::Relaxed) {
+                    std::thread::sleep(tick);
+                    if workers_done.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    if Instant::now() < next {
+                        continue;
+                    }
+                    next = Instant::now() + interval;
+                    for (w, h) in heartbeats.iter().enumerate() {
+                        let beat = h.load(Ordering::Relaxed);
+                        if busy[w].load(Ordering::Relaxed) && beat == last[w] {
+                            stale[w] += 1;
+                            if stale[w] >= 2 {
+                                tripped.store(true, Ordering::SeqCst);
+                                cancel.store(true, Ordering::SeqCst);
+                                queue.close();
+                                return;
+                            }
+                        } else {
+                            stale[w] = 0;
+                        }
+                        last[w] = beat;
+                    }
+                }
+            });
+        }
         let handles: Vec<_> = (0..threads)
-            .map(|_| {
+            .map(|w| {
                 let table = &table;
                 let queue = &queue;
                 let state_count = &state_count;
+                let transitions_now = &transitions_now;
                 let cancel = &cancel;
                 let budget_hit = &budget_hit;
+                let heartbeat = &heartbeats[w];
+                let busy = &busy[w];
                 scope.spawn(move || {
                     let out = catch_unwind(AssertUnwindSafe(|| {
                         Worker {
@@ -242,12 +393,17 @@ pub(crate) fn check_pardpor<P: Process>(
                             table,
                             queue,
                             state_count,
+                            transitions_now,
                             cancel,
                             budget_hit,
                             deadline,
+                            policy,
+                            heartbeat,
+                            busy,
                             low_water: threads,
                             disable_reduction,
                             use_ample,
+                            synced_transitions: 0,
                             report: PReport::default(),
                             visited: VisitTable::new(),
                         }
@@ -261,24 +417,29 @@ pub(crate) fn check_pardpor<P: Process>(
                 })
             })
             .collect();
-        handles
+        let results = handles
             .into_iter()
             .map(|h| match h.join() {
                 Ok(Ok(report)) => Ok(report),
                 Ok(Err(payload)) => Err(panic_message(payload.as_ref())),
                 Err(payload) => Err(panic_message(payload.as_ref())),
             })
-            .collect()
+            .collect();
+        workers_done.store(true, Ordering::SeqCst);
+        results
     });
 
     if let Some(msg) = results.iter().find_map(|r| r.as_ref().err().cloned()) {
         // A worker panicked. Rerun the sequential DPOR engine
         // (deterministic, guarded); if the panic is deterministic too,
         // surface it as an error verdict instead of aborting the
-        // process. The partial sweep's metrics are dropped first.
+        // process. The partial sweep's metrics are dropped first, and
+        // the checkpoint policy is stripped so a stop trigger cannot cut
+        // the rerun short of the verdict it exists to reproduce.
         config.recorder.reset_counts();
+        let rerun = without_checkpoint(config);
         return match catch_unwind(AssertUnwindSafe(|| {
-            check_dpor(initial, config, reorder_bound, deadline)
+            check_dpor(initial, &rerun, reorder_bound, deadline)
         })) {
             Ok(verdict) => verdict,
             Err(payload) => Verdict::Error(
@@ -290,7 +451,7 @@ pub(crate) fn check_pardpor<P: Process>(
             ),
         };
     }
-    let reports: Vec<PReport> = results.into_iter().filter_map(Result::ok).collect();
+    let mut reports: Vec<PReport> = results.into_iter().filter_map(Result::ok).collect();
 
     // Stealing/contention observability. These counters sit past the
     // deterministic range, so the diagnostic-mode snapshot equality with
@@ -305,29 +466,111 @@ pub(crate) fn check_pardpor<P: Process>(
         obs.add(Metric::FpContention, table.contention());
     }
 
+    let sleep_total =
+        reports.iter().map(|r| r.sleep_hits).sum::<usize>() + base.sleep_hits as usize;
     let stats = Stats {
         states: state_count.load(Ordering::SeqCst),
-        transitions: reports.iter().map(|r| r.transitions).sum(),
+        transitions: reports.iter().map(|r| r.transitions).sum::<usize>()
+            + base.transitions as usize,
         terminal_states: reports.iter().map(|r| r.terminal_fps.len()).sum::<usize>()
-            + usize::from(initial.all_done()),
+            + usize::from(!seeded && initial.all_done())
+            + base.terminal_states as usize,
         ..Stats::default()
     };
+
+    // Serialize the merged frontier — the queue's undrained tasks plus
+    // every worker's stashed open frames — into one snapshot. The base
+    // counts/metrics fold the resumed prior in, so a twice-interrupted
+    // run still sums to the uninterrupted totals.
+    let write_stop_checkpoint = |reports: &mut [PReport]| -> Option<std::path::PathBuf> {
+        let pol = policy?;
+        let mut forks: Vec<ForkPoint> = queue.drain();
+        for r in reports.iter_mut() {
+            forks.append(&mut r.forks);
+        }
+        let mut edges = seed_edges.clone();
+        let mut terminals = seed_terminals.clone();
+        if !seeded && initial.all_done() {
+            terminals.push(root_fp);
+        }
+        for r in reports.iter() {
+            edges.extend(r.edges.iter().copied());
+            terminals.extend(r.terminal_fps.iter().copied());
+        }
+        let own = obs.snapshot();
+        let metrics = match &seed_metrics {
+            Some(prior) => prior.merged(&own),
+            None => own,
+        };
+        let snap = Snapshot {
+            meta: RunMeta {
+                engine: config.engine.label().to_string(),
+                config_hash: config_hash(config),
+                program_hash: root_fp,
+            },
+            base: BaseCounts {
+                states: stats.states as u64,
+                transitions: stats.transitions as u64,
+                terminal_states: stats.terminal_states as u64,
+                sleep_hits: sleep_total as u64,
+            },
+            metrics,
+            forks,
+            visited: table.export(),
+            edges,
+            terminals,
+        };
+        write_checkpoint(obs, pol, &snap)
+    };
+
+    if tripped.load(Ordering::SeqCst) {
+        // The watchdog declared a worker stalled: save what the sweep
+        // covered (best effort), then degrade to the deterministic
+        // sequential engine — same discipline as the panic path, so the
+        // final verdict is still bit-identical to `Engine::Dpor`. The
+        // trip counter is bumped *after* the reset so it survives into
+        // the rerun's final snapshot.
+        let _ = write_stop_checkpoint(&mut reports);
+        obs.event(
+            "watchdog_trip",
+            &[(
+                "frontier",
+                ftobs::J::U(reports.iter().map(|r| r.frontier).sum::<usize>() as u64),
+            )],
+        );
+        config.recorder.reset_counts();
+        obs.incr(Metric::WatchdogTrips);
+        return check_dpor(
+            initial,
+            &without_checkpoint(config),
+            reorder_bound,
+            deadline,
+        );
+    }
 
     let limit_hit = state_count.load(Ordering::SeqCst) > config.max_states;
     if limit_hit || reports.iter().any(|r| r.violated) {
         // The sweep stopped early; reproduce the exact sequential
         // verdict (counterexample included, still honoring the remaining
-        // budget), with the partial sweep's metrics dropped — the result
-        // is bit-identical to a direct `Engine::Dpor` run.
+        // budget), with the partial sweep's metrics dropped and the
+        // checkpoint policy stripped — the result is bit-identical to a
+        // direct `Engine::Dpor` run.
         config.recorder.reset_counts();
-        return check_dpor(initial, config, reorder_bound, deadline);
+        return check_dpor(
+            initial,
+            &without_checkpoint(config),
+            reorder_bound,
+            deadline,
+        );
     }
     if budget_hit.load(Ordering::SeqCst) || cancel.load(Ordering::SeqCst) {
+        let checkpoint = write_stop_checkpoint(&mut reports);
         return Verdict::Inconclusive(
             stats,
             Coverage {
                 frontier: reports.iter().map(|r| r.frontier).sum(),
-                sleep_hits: reports.iter().map(|r| r.sleep_hits).sum(),
+                sleep_hits: sleep_total,
+                checkpoint,
             },
         );
     }
@@ -336,17 +579,30 @@ pub(crate) fn check_pardpor<P: Process>(
         // Merge the per-worker fingerprint graphs (taken + slept-probed
         // edges — with ample off under the termination check and sleep
         // sets pruning edges only, the merged graph covers the full
-        // reachable graph, like the sequential engine's) and run the
-        // same reverse-reachability pass. Ids are arbitrary; the stuck
-        // state's identity and counterexample come from the rerun.
+        // reachable graph, like the sequential engine's) plus, on a
+        // resumed run, the interrupted run's serialized graph, and run
+        // the same reverse-reachability pass. Ids are arbitrary; the
+        // stuck state's identity and counterexample come from the rerun.
         let mut ids: HashMap<u128, u32> = HashMap::new();
         let mut edges: Vec<(u32, u32)> = Vec::new();
         let mut terminal: Vec<u32> = Vec::new();
         let Some(root) = merge_id(&mut ids, root_fp) else {
             return Verdict::Error(stats, CheckError::TooManyStates);
         };
-        if initial.all_done() {
+        if !seeded && initial.all_done() {
             terminal.push(root);
+        }
+        for &(a, b) in &seed_edges {
+            match (merge_id(&mut ids, a), merge_id(&mut ids, b)) {
+                (Some(ia), Some(ib)) => edges.push((ia, ib)),
+                _ => return Verdict::Error(stats, CheckError::TooManyStates),
+            }
+        }
+        for &t in &seed_terminals {
+            let Some(it) = merge_id(&mut ids, t) else {
+                return Verdict::Error(stats, CheckError::TooManyStates);
+            };
+            terminal.push(it);
         }
         for report in &reports {
             for &(a, b) in &report.edges {
@@ -364,7 +620,12 @@ pub(crate) fn check_pardpor<P: Process>(
         }
         if find_stuck(ids.len(), &edges, &terminal).is_some() {
             config.recorder.reset_counts();
-            return check_dpor(initial, config, reorder_bound, deadline);
+            return check_dpor(
+                initial,
+                &without_checkpoint(config),
+                reorder_bound,
+                deadline,
+            );
         }
     }
 
@@ -381,13 +642,27 @@ struct Worker<'a, P: Process> {
     table: &'a FpTable,
     queue: &'a ForkQueue,
     state_count: &'a AtomicUsize,
+    /// Shared per-run transition total, fed from the per-worker counts
+    /// at poll cadence — the `stop_after_transitions` trigger watches it.
+    transitions_now: &'a AtomicUsize,
     cancel: &'a AtomicBool,
     budget_hit: &'a AtomicBool,
     deadline: Option<Instant>,
+    /// Checkpoint policy: when set, graceful stops serialize the open
+    /// frames into the report for the coordinator's snapshot.
+    policy: Option<&'a CheckpointPolicy>,
+    /// Liveness beacon for the watchdog, bumped at every poll and task
+    /// boundary.
+    heartbeat: &'a AtomicU64,
+    /// Raised while a task is being executed (idle queue waits are not
+    /// stalls).
+    busy: &'a AtomicBool,
     /// Donate when fewer than this many fork points are pending.
     low_water: usize,
     disable_reduction: bool,
     use_ample: bool,
+    /// Transitions already pushed into `transitions_now`.
+    synced_transitions: usize,
     report: PReport,
     /// Worker-local dominance pruning (see the module docs: local-only
     /// is sound, it just prunes less than the sequential single table).
@@ -397,13 +672,28 @@ struct Worker<'a, P: Process> {
 impl<P: Process> Worker<'_, P> {
     fn run(mut self) -> PReport {
         while let Some(task) = self.queue.take() {
+            self.busy.store(true, Ordering::Relaxed);
+            self.heartbeat.fetch_add(1, Ordering::Relaxed);
             let end = self.run_task(task);
+            self.busy.store(false, Ordering::Relaxed);
+            self.heartbeat.fetch_add(1, Ordering::Relaxed);
             self.queue.done();
             if matches!(end, TaskEnd::Aborted) {
                 break;
             }
         }
+        self.sync_transitions();
         self.report
+    }
+
+    /// Fold the transitions executed since the last sync into the shared
+    /// per-run total (what `stop_after_transitions` watches).
+    fn sync_transitions(&mut self) {
+        let delta = self.report.transitions - self.synced_transitions;
+        if delta > 0 {
+            self.transitions_now.fetch_add(delta, Ordering::Relaxed);
+            self.synced_transitions = self.report.transitions;
+        }
     }
 
     /// Abort helper: raise `cancel`, wake blocked peers, record the open
@@ -413,6 +703,28 @@ impl<P: Process> Worker<'_, P> {
         self.queue.close();
         self.report.frontier += open_frames;
         TaskEnd::Aborted
+    }
+
+    /// Serialize every open frame with unexplored choices into the
+    /// report, for the coordinator's stop snapshot. Only called on
+    /// graceful stops with a checkpoint policy set — violation and
+    /// state-limit aborts discard the sweep entirely.
+    fn stash_frames(&mut self, frames: &[PFrame<P>], path: &[SchedElem]) {
+        if self.policy.is_none() {
+            return;
+        }
+        for f in frames {
+            if f.next < f.choices.len() {
+                self.report.forks.push(ForkPoint {
+                    path: path[..f.depth].to_vec(),
+                    sleep: f.sleep.clone(),
+                    taken: f.taken.clone(),
+                    choices: f.choices[f.next..].to_vec(),
+                    excluded: f.excluded.clone(),
+                    remaining: f.remaining,
+                });
+            }
+        }
     }
 
     #[allow(clippy::too_many_lines)] // the sequential DFS body, kept in one piece on purpose
@@ -464,9 +776,24 @@ impl<P: Process> Worker<'_, P> {
             steps_since_poll += 1;
             if steps_since_poll >= 256 {
                 steps_since_poll = 0;
+                self.heartbeat.fetch_add(1, Ordering::Relaxed);
+                self.sync_transitions();
                 if self.cancel.load(Ordering::Relaxed) {
+                    // A peer stopped the sweep; if it stopped gracefully
+                    // the coordinator still snapshots this frontier.
+                    self.stash_frames(&frames, &path);
                     self.report.frontier += frames.len();
                     return TaskEnd::Aborted;
+                }
+                if let Some(pol) = self.policy {
+                    let stop = pol
+                        .stop_requested(self.transitions_now.load(Ordering::Relaxed) as u64)
+                        || pol.max_occupancy.is_some_and(|cap| self.table.len() >= cap);
+                    if stop {
+                        self.budget_hit.store(true, Ordering::SeqCst);
+                        self.stash_frames(&frames, &path);
+                        return self.abort(frames.len());
+                    }
                 }
                 if obs.is_enabled() {
                     obs.gauge_max(Gauge::MaxFrontier, (frames.len() + self.queue.len()) as u64);
@@ -487,6 +814,7 @@ impl<P: Process> Worker<'_, P> {
                 }
                 if self.deadline.is_some_and(|d| Instant::now() >= d) {
                     self.budget_hit.store(true, Ordering::SeqCst);
+                    self.stash_frames(&frames, &path);
                     return self.abort(frames.len());
                 }
                 if frames.len() > 1 && self.queue.wants_work(self.low_water) {

@@ -1,0 +1,169 @@
+//! Resuming an interrupted exploration from a durable checkpoint.
+//!
+//! [`resume`] is the read side of [`CheckConfig::checkpoint`]: it loads a
+//! [`por::Snapshot`] written by an interrupted run, validates that it
+//! belongs to *this* program and configuration, and continues the
+//! exploration from the serialized frontier until a definitive verdict
+//! (or the next interrupt).
+//!
+//! ## One continuation engine
+//!
+//! All three checkpointing engines resume through the seeded
+//! work-stealing coordinator ([`crate::pardpor`]):
+//!
+//! * `Engine::Undo` snapshots serialize plain frames (empty sleep sets,
+//!   unlimited budget) and resume as one worker in the diagnostic
+//!   disabled-reduction mode — which executes exactly the undo engine's
+//!   edge multiset, so interrupted + resumed metrics sum bit-identically
+//!   to an uninterrupted run's.
+//! * `Engine::Dpor` snapshots carry the full reduction state per fork
+//!   point (sleep set, taken siblings, ample exclusions, remaining
+//!   reorder budget) and resume as one worker with the original bound.
+//! * `Engine::ParallelDpor` resumes with its original worker count; the
+//!   merged frontier from all workers seeds the queue.
+//!
+//! ## Soundness
+//!
+//! The snapshot's visited fingerprints pre-seed the global first-visit
+//! table, so states counted and property-checked before the interrupt
+//! are not re-counted or re-checked, and every state not yet expanded is
+//! reachable from some serialized fork point (frames are serialized with
+//! their unconsumed choices; nothing else was pending). The resumed
+//! run's dominance pruning starts from an empty table, which can only
+//! *reduce* pruning — never skip work the interrupted run still owed.
+//! Violations, state limits, and stuck states discovered after a resume
+//! defer to the usual deterministic sequential rerun, so those verdicts
+//! are bit-identical to an uninterrupted run's.
+
+use std::path::Path;
+use std::time::Instant;
+
+use por::Snapshot;
+use wbmem::{Machine, Process};
+
+use crate::checker::{config_hash, fingerprint, CheckConfig, CheckError, Engine, Stats, Verdict};
+use crate::pardpor::{check_pardpor, ResumeSeed};
+
+/// Continue an exploration from the checkpoint at `path`.
+///
+/// `initial` and `config` must be the machine and configuration of the
+/// interrupted run (engine included); the snapshot's run metadata is
+/// validated against both, and any mismatch — as well as a torn,
+/// truncated, or corrupt checkpoint file — returns
+/// [`Verdict::Error`] with [`CheckError::Checkpoint`] rather than
+/// silently starting over.
+///
+/// On success the returned verdict describes the *combined* exploration:
+/// state/transition counts include the interrupted run's, and (when the
+/// recorder is enabled) the metrics snapshot is the merge of both runs.
+/// If the resumed run is interrupted again (its `config` may carry a
+/// fresh [`crate::CheckpointPolicy`]), the new checkpoint folds the
+/// prior totals in, so chains of interrupts keep summing correctly.
+/// Note that `stop_after_transitions` counts each run's own transitions
+/// and a still-raised `interrupt` flag stops the resumed run
+/// immediately — clear it before resuming.
+#[must_use]
+pub fn resume<P: Process>(initial: &Machine<P>, config: &CheckConfig, path: &Path) -> Verdict {
+    let start = Instant::now();
+    let snap = match Snapshot::read(path) {
+        Ok(snap) => snap,
+        Err(e) => return Verdict::Error(Stats::default(), CheckError::from(e)),
+    };
+
+    let crash_root;
+    let root = if config.max_crashes > 0 {
+        let mut m = initial.clone();
+        m.set_crash_bound(config.crash_semantics, config.max_crashes);
+        crash_root = m;
+        &crash_root
+    } else {
+        initial
+    };
+
+    if snap.meta.engine != config.engine.label() {
+        return Verdict::Error(
+            Stats::default(),
+            CheckError::Checkpoint(format!(
+                "engine mismatch: checkpoint was written by `{}`, resuming as `{}`",
+                snap.meta.engine,
+                config.engine.label()
+            )),
+        );
+    }
+    if snap.meta.config_hash != config_hash(config) {
+        return Verdict::Error(
+            Stats::default(),
+            CheckError::Checkpoint(
+                "configuration mismatch: checkpoint was written under different \
+                 properties/bounds/crash settings"
+                    .to_string(),
+            ),
+        );
+    }
+    if snap.meta.program_hash != fingerprint(root) {
+        return Verdict::Error(
+            Stats::default(),
+            CheckError::Checkpoint(
+                "program mismatch: checkpoint was written for a different initial state"
+                    .to_string(),
+            ),
+        );
+    }
+
+    // Map the interrupted engine onto the continuation coordinator: one
+    // worker in diagnostic mode replays the undo engine exactly, one
+    // worker with the original bound replays the DPOR engine, and the
+    // parallel engine resumes as itself.
+    let (threads, reorder_bound) = match config.engine {
+        Engine::Undo => (1, Some(u32::MAX)),
+        Engine::Dpor { reorder_bound } => (1, reorder_bound),
+        Engine::ParallelDpor {
+            threads,
+            reorder_bound,
+        } => (threads, reorder_bound),
+        Engine::CloneDfs | Engine::Parallel { .. } => {
+            return Verdict::Error(
+                Stats::default(),
+                CheckError::Checkpoint(format!(
+                    "engine `{}` does not support checkpoint/resume",
+                    config.engine.label()
+                )),
+            )
+        }
+    };
+
+    let deadline = config.budget.map(|b| start + b);
+    let prior_metrics = snap.metrics;
+    let seed = ResumeSeed {
+        visited: snap.visited,
+        forks: snap.forks,
+        base: snap.base,
+        metrics: snap.metrics,
+        edges: snap.edges,
+        terminals: snap.terminals,
+    };
+    let mut verdict = check_pardpor(root, config, threads, reorder_bound, deadline, Some(seed));
+    verdict.stats_mut().elapsed = start.elapsed();
+    if config.recorder.is_enabled() {
+        // Ok/Inconclusive verdicts describe the combined run, so their
+        // metrics merge the interrupted run's snapshot with this one's.
+        // Every other verdict came from a standalone deterministic
+        // rerun (counters reset first) and stands alone.
+        let own = config.recorder.snapshot();
+        verdict.stats_mut().metrics = match &verdict {
+            Verdict::Ok(_) | Verdict::Inconclusive(..) => prior_metrics.merged(&own),
+            _ => own,
+        };
+        config.recorder.emit_snapshot(&[
+            ("engine", ftobs::J::s(config.engine.label())),
+            ("resumed", ftobs::J::B(true)),
+            ("verdict", ftobs::J::s(verdict.label())),
+            (
+                "elapsed_ms",
+                ftobs::J::U(start.elapsed().as_millis() as u64),
+            ),
+        ]);
+        config.recorder.flush();
+    }
+    verdict
+}

@@ -1,0 +1,581 @@
+//! Differential tests for durable checkpoint/resume.
+//!
+//! The contract under test: interrupting a run (transition cut, raised
+//! interrupt flag, or periodic snapshot) and resuming from the resulting
+//! checkpoint must reach the **same verdict** as the uninterrupted run —
+//! on every lock × model × fence-mask × crash configuration, for all
+//! three checkpointing engines. In the exhaustive modes (`Engine::Undo`,
+//! diagnostic-bound DPOR) the combined run must additionally count the
+//! exact same states/transitions and — because the global first-visit
+//! table partitions the executed edge multiset between the interrupted
+//! and resumed halves — merge to a **bit-identical** deterministic
+//! metrics snapshot.
+//!
+//! Torn, corrupt, or mismatched checkpoints must surface as the typed
+//! [`CheckError::Checkpoint`] — never a panic, and never a silent fresh
+//! start.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Once};
+
+use modelcheck::{check, resume, CheckConfig, CheckError, CheckpointPolicy, Engine, Verdict};
+use proptest::prelude::*;
+use simlocks::{build_mutex, FenceMask, LockKind};
+use wbmem::{CrashSemantics, MemoryModel};
+
+static FORCE_PARALLEL: Once = Once::new();
+
+/// Disable the sequential-prefix gate so `Engine::ParallelDpor` cells
+/// exercise the work-stealing path even on tiny state spaces.
+fn force_parallel() {
+    FORCE_PARALLEL.call_once(|| std::env::set_var("FT_PARDPOR_SEQ", "0"));
+}
+
+static NEXT_CKPT: AtomicUsize = AtomicUsize::new(0);
+
+/// A unique checkpoint path under a per-process temp directory (tests in
+/// this binary run concurrently).
+fn ckpt_path(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ft_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "{tag}_{}.ckpt",
+        NEXT_CKPT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+const MODELS: [MemoryModel; 4] = [
+    MemoryModel::Sc,
+    MemoryModel::Tso,
+    MemoryModel::Pso,
+    MemoryModel::Rmo,
+];
+
+/// Does this engine execute the full edge multiset (no ample pruning),
+/// making combined state/transition counts exactly comparable?
+fn is_exhaustive(engine: &Engine) -> bool {
+    match engine {
+        Engine::Undo => true,
+        Engine::Dpor { reorder_bound } | Engine::ParallelDpor { reorder_bound, .. } => {
+            *reorder_bound == Some(u32::MAX)
+        }
+        _ => false,
+    }
+}
+
+/// Run `config` uninterrupted, then again with a transition cut at
+/// roughly half the total, resume from the checkpoint, and require the
+/// combined verdict to match. Returns whether the cell was violating.
+fn compare_resumed(
+    inst: &simlocks::OrderingInstance,
+    model: MemoryModel,
+    config: &CheckConfig,
+    tag: &str,
+) -> bool {
+    let fresh = check(&inst.machine(model), config);
+    assert!(
+        fresh.coverage().is_none(),
+        "{tag}: uninterrupted reference run must complete"
+    );
+    let cut = (fresh.stats().transitions as u64 / 2).max(1);
+    let path = ckpt_path(tag);
+    let stopped = check(
+        &inst.machine(model),
+        &config
+            .clone()
+            .with_checkpoint(CheckpointPolicy::at(&path).stop_after(cut)),
+    );
+    let ctx = format!("{tag} {} {model}", inst.name);
+    match stopped {
+        Verdict::Inconclusive(_, cov) => {
+            let cp = cov
+                .checkpoint
+                .unwrap_or_else(|| panic!("{ctx}: stop must write a checkpoint"));
+            let resumed = resume(&inst.machine(model), config, &cp);
+            assert_eq!(
+                fresh.label(),
+                resumed.label(),
+                "{ctx}: resumed verdict diverges from uninterrupted run"
+            );
+            if is_exhaustive(&config.engine) && fresh.is_ok() {
+                assert_eq!(
+                    fresh.stats().states,
+                    resumed.stats().states,
+                    "{ctx}: combined state count"
+                );
+                assert_eq!(
+                    fresh.stats().transitions,
+                    resumed.stats().transitions,
+                    "{ctx}: combined transition count"
+                );
+                assert_eq!(
+                    fresh.stats().terminal_states,
+                    resumed.stats().terminal_states,
+                    "{ctx}: combined terminal count"
+                );
+            }
+            let _ = std::fs::remove_file(&cp);
+        }
+        other => {
+            // The cut landed after the last expansion (only frame pops
+            // remained), or a parallel worker raced to the verdict
+            // first; either way the verdict must already agree.
+            assert_eq!(
+                fresh.label(),
+                other.label(),
+                "{ctx}: run that beat its cut must agree"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+    fresh.is_violation()
+}
+
+/// One engine's sweep of the full n = 2 safety matrix: every fence mask
+/// of every lock under every model, with and without a crash budget.
+fn matrix_for(engine: Engine, tag: &str) {
+    let base = CheckConfig {
+        check_termination: false,
+        max_states: 1_000_000,
+        ..CheckConfig::default()
+    }
+    .with_engine(engine);
+    let mut configs = 0usize;
+    let mut violations = 0usize;
+    for kind in [LockKind::Peterson, LockKind::Ttas, LockKind::Bakery] {
+        let probe = build_mutex(kind, 2, FenceMask::ALL);
+        for mask in FenceMask::enumerate(probe.fence_sites) {
+            let inst = build_mutex(kind, 2, mask);
+            for model in MODELS {
+                for max_crashes in [0u32, 1] {
+                    let config = base
+                        .clone()
+                        .with_crashes(CrashSemantics::DiscardBuffer, max_crashes);
+                    violations += usize::from(compare_resumed(&inst, model, &config, tag));
+                    configs += 1;
+                }
+            }
+        }
+    }
+    assert!(configs >= 200, "{tag}: matrix actually swept ({configs})");
+    assert!(
+        violations >= 20,
+        "{tag}: matrix includes violating configs ({violations})"
+    );
+}
+
+#[test]
+fn undo_resumes_across_the_full_n2_matrix() {
+    matrix_for(Engine::Undo, "undo");
+}
+
+#[test]
+fn dpor_resumes_across_the_full_n2_matrix() {
+    matrix_for(
+        Engine::Dpor {
+            reorder_bound: None,
+        },
+        "dpor",
+    );
+}
+
+#[test]
+fn pardpor_resumes_across_the_full_n2_matrix() {
+    force_parallel();
+    matrix_for(
+        Engine::ParallelDpor {
+            threads: 2,
+            reorder_bound: None,
+        },
+        "pardpor",
+    );
+}
+
+/// Termination checking serializes the fingerprint graph (edges and
+/// terminals) into the snapshot; the merged graph must support the same
+/// NO-TERMINATION verdicts after a resume.
+#[test]
+fn resume_preserves_termination_verdicts() {
+    force_parallel();
+    let engines = [
+        Engine::Undo,
+        Engine::Dpor {
+            reorder_bound: None,
+        },
+        Engine::ParallelDpor {
+            threads: 2,
+            reorder_bound: None,
+        },
+    ];
+    for (kind, mask, model, max_crashes) in [
+        (LockKind::Peterson, FenceMask::ALL, MemoryModel::Tso, 0u32),
+        (
+            LockKind::Peterson,
+            FenceMask::only(&[simlocks::peterson::SITE_VICTIM]),
+            MemoryModel::Pso,
+            0,
+        ),
+        (LockKind::Ttas, FenceMask::ALL, MemoryModel::Pso, 1),
+        (LockKind::Bakery, FenceMask::NONE, MemoryModel::Tso, 0),
+    ] {
+        let inst = build_mutex(kind, 2, mask);
+        for engine in engines {
+            let config = CheckConfig {
+                max_states: 1_000_000,
+                ..CheckConfig::default()
+            }
+            .with_engine(engine)
+            .with_crashes(CrashSemantics::DiscardBuffer, max_crashes);
+            compare_resumed(&inst, model, &config, "term");
+        }
+    }
+}
+
+/// Exhaustive modes promise more than verdict equality: the interrupted
+/// and resumed halves partition the executed edge multiset, so merging
+/// their metrics snapshots reproduces the uninterrupted run's snapshot
+/// bit for bit (deterministic projection).
+#[test]
+fn diagnostic_merged_metrics_are_bit_identical() {
+    force_parallel();
+    let quiet = || modelcheck::Recorder::builder().quiet(true).build();
+    let engines = [
+        Engine::Undo,
+        Engine::Dpor {
+            reorder_bound: Some(u32::MAX),
+        },
+        Engine::ParallelDpor {
+            threads: 2,
+            reorder_bound: Some(u32::MAX),
+        },
+    ];
+    for (kind, mask, model) in [
+        (LockKind::Peterson, FenceMask::ALL, MemoryModel::Tso),
+        (
+            LockKind::Peterson,
+            FenceMask::only(&[simlocks::peterson::SITE_VICTIM]),
+            MemoryModel::Pso,
+        ),
+        (LockKind::Ttas, FenceMask::ALL, MemoryModel::Pso),
+    ] {
+        let inst = build_mutex(kind, 2, mask);
+        for engine in engines {
+            let tag = format!("metrics_{}", engine.label());
+            let config = CheckConfig::default().with_engine(engine);
+            let fresh = check(&inst.machine(model), &config.clone().with_recorder(quiet()));
+            let cut = (fresh.stats().transitions as u64 / 2).max(1);
+            let path = ckpt_path(&tag);
+            let stopped = check(
+                &inst.machine(model),
+                &config
+                    .clone()
+                    .with_recorder(quiet())
+                    .with_checkpoint(CheckpointPolicy::at(&path).stop_after(cut)),
+            );
+            let Verdict::Inconclusive(_, cov) = &stopped else {
+                // Violating cells stop at the violation either way.
+                assert_eq!(fresh.label(), stopped.label(), "{tag}: verdicts");
+                continue;
+            };
+            let cp = cov.checkpoint.clone().expect("checkpoint written");
+            let resumed = resume(
+                &inst.machine(model),
+                &config.clone().with_recorder(quiet()),
+                &cp,
+            );
+            assert_eq!(fresh.label(), resumed.label(), "{tag}: verdicts");
+            if fresh.is_ok() {
+                assert_eq!(
+                    fresh.stats().metrics,
+                    resumed.stats().metrics,
+                    "{tag} {model}: merged snapshot must be bit-identical\n  fresh:  {:?}\n  merged: {:?}",
+                    fresh.stats().metrics.deterministic_key(),
+                    resumed.stats().metrics.deterministic_key()
+                );
+            }
+            let _ = std::fs::remove_file(&cp);
+        }
+    }
+}
+
+/// A raised interrupt flag checkpoints almost immediately; clearing it
+/// and resuming completes the run with the uninterrupted verdict.
+#[test]
+fn interrupt_flag_checkpoints_and_resumes() {
+    let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+    let config = CheckConfig::default().with_engine(Engine::Undo);
+    let fresh = check(&inst.machine(MemoryModel::Pso), &config);
+    let flag = Arc::new(AtomicBool::new(true));
+    let path = ckpt_path("interrupt");
+    let stopped = check(
+        &inst.machine(MemoryModel::Pso),
+        &config
+            .clone()
+            .with_checkpoint(CheckpointPolicy::at(&path).on_interrupt(flag.clone())),
+    );
+    let cp = stopped
+        .coverage()
+        .expect("raised flag stops the run")
+        .checkpoint
+        .expect("and writes a checkpoint");
+    flag.store(false, Ordering::Relaxed);
+    let resumed = resume(&inst.machine(MemoryModel::Pso), &config, &cp);
+    assert_eq!(fresh.label(), resumed.label());
+    assert_eq!(fresh.stats().states, resumed.stats().states);
+    let _ = std::fs::remove_file(&cp);
+}
+
+/// Repeatedly interrupting every few hundred transitions and resuming
+/// each time must still converge to the uninterrupted verdict, with the
+/// chained checkpoints folding prior totals in correctly.
+#[test]
+fn chained_interrupts_converge() {
+    let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+    let config = CheckConfig::default().with_engine(Engine::Undo);
+    let fresh = check(&inst.machine(MemoryModel::Pso), &config);
+    let path = ckpt_path("chain");
+    let policy = CheckpointPolicy::at(&path).stop_after(300);
+    let mut verdict = check(
+        &inst.machine(MemoryModel::Pso),
+        &config.clone().with_checkpoint(policy.clone()),
+    );
+    let mut hops = 0usize;
+    while let Verdict::Inconclusive(_, cov) = &verdict {
+        let cp = cov.checkpoint.clone().expect("checkpoint written");
+        verdict = resume(
+            &inst.machine(MemoryModel::Pso),
+            &config.clone().with_checkpoint(policy.clone()),
+            &cp,
+        );
+        hops += 1;
+        assert!(hops < 500, "resume chain must converge");
+    }
+    assert!(hops >= 2, "the cut actually fired repeatedly ({hops} hops)");
+    assert_eq!(fresh.label(), verdict.label());
+    assert_eq!(fresh.stats().states, verdict.stats().states);
+    assert_eq!(fresh.stats().transitions, verdict.stats().transitions);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A periodic checkpoint left behind by a run that *completed* is a
+/// valid (if conservative) resume point: resuming re-explores only what
+/// followed the snapshot and lands on the same verdict and counts.
+#[test]
+fn periodic_checkpoint_from_completed_run_resumes_cleanly() {
+    let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+    let path = ckpt_path("periodic");
+    let config = CheckConfig::default().with_engine(Engine::Undo);
+    let fresh = check(
+        &inst.machine(MemoryModel::Tso),
+        &config
+            .clone()
+            .with_checkpoint(CheckpointPolicy::at(&path).every_transitions(400)),
+    );
+    assert!(fresh.is_ok(), "reference cell is correct under TSO");
+    assert!(path.exists(), "periodic snapshot persisted");
+    let resumed = resume(&inst.machine(MemoryModel::Tso), &config, &path);
+    assert_eq!(fresh.label(), resumed.label());
+    assert_eq!(fresh.stats().states, resumed.stats().states);
+    assert_eq!(fresh.stats().transitions, resumed.stats().transitions);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A cut the run never reaches must not write a checkpoint — the verdict
+/// completes normally.
+#[test]
+fn unreached_cut_writes_no_checkpoint() {
+    let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+    let path = ckpt_path("unreached");
+    let verdict = check(
+        &inst.machine(MemoryModel::Tso),
+        &CheckConfig::default()
+            .with_engine(Engine::Undo)
+            .with_checkpoint(CheckpointPolicy::at(&path).stop_after(u64::MAX / 2)),
+    );
+    assert!(verdict.is_ok());
+    assert!(!path.exists(), "no stop, no snapshot");
+}
+
+// --- corrupt / mismatched checkpoints ---
+
+/// Produce a real checkpoint to corrupt, together with the config that
+/// wrote it.
+fn checkpoint_fixture(tag: &str) -> (simlocks::OrderingInstance, CheckConfig, PathBuf) {
+    let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+    let config = CheckConfig::default().with_engine(Engine::Undo);
+    let path = ckpt_path(tag);
+    let stopped = check(
+        &inst.machine(MemoryModel::Pso),
+        &config
+            .clone()
+            .with_checkpoint(CheckpointPolicy::at(&path).stop_after(100)),
+    );
+    let cp = stopped
+        .coverage()
+        .expect("cut fires well before the ~1e3-transition sweep ends")
+        .checkpoint
+        .expect("checkpoint written");
+    (inst, config, cp)
+}
+
+/// Every corruption and mismatch must come back as the typed
+/// `CheckError::Checkpoint` — no panic, no silent fresh start.
+fn assert_rejected(v: Verdict, what: &str) {
+    match v {
+        Verdict::Error(_, CheckError::Checkpoint(msg)) => {
+            assert!(!msg.is_empty(), "{what}: diagnostic message present");
+        }
+        other => panic!(
+            "{what}: expected a typed checkpoint error, got {}",
+            other.label()
+        ),
+    }
+}
+
+#[test]
+fn torn_and_corrupt_checkpoints_are_rejected() {
+    let (inst, config, cp) = checkpoint_fixture("corrupt");
+    let bytes = std::fs::read(&cp).expect("checkpoint readable");
+    assert!(bytes.len() > 64, "snapshot has real content");
+    let m = &inst.machine(MemoryModel::Pso);
+
+    // Truncated mid-stream (torn write simulacrum).
+    let torn = ckpt_path("torn");
+    std::fs::write(&torn, &bytes[..bytes.len() - 7]).unwrap();
+    assert_rejected(resume(m, &config, &torn), "truncated");
+
+    // One flipped payload byte must fail the checksum.
+    let mut flipped = bytes.clone();
+    let mid = flipped.len() / 2;
+    flipped[mid] ^= 0x40;
+    let flip = ckpt_path("flip");
+    std::fs::write(&flip, &flipped).unwrap();
+    assert_rejected(resume(m, &config, &flip), "flipped byte");
+
+    // Wrong magic.
+    let mut bad_magic = bytes.clone();
+    bad_magic[0] ^= 0xFF;
+    let magic = ckpt_path("magic");
+    std::fs::write(&magic, &bad_magic).unwrap();
+    assert_rejected(resume(m, &config, &magic), "bad magic");
+
+    // Unknown format version (byte right after the 6-byte magic).
+    let mut bad_ver = bytes.clone();
+    bad_ver[6] = 0xEE;
+    let ver = ckpt_path("version");
+    std::fs::write(&ver, &bad_ver).unwrap();
+    assert_rejected(resume(m, &config, &ver), "bad version");
+
+    // Empty and missing files.
+    let empty = ckpt_path("empty");
+    std::fs::write(&empty, b"").unwrap();
+    assert_rejected(resume(m, &config, &empty), "empty");
+    assert_rejected(resume(m, &config, &ckpt_path("missing")), "missing file");
+
+    let _ = std::fs::remove_file(&cp);
+}
+
+#[test]
+fn mismatched_runs_are_rejected() {
+    let (inst, config, cp) = checkpoint_fixture("mismatch");
+    let m = &inst.machine(MemoryModel::Pso);
+
+    // Same engine, different properties/bounds → config hash mismatch.
+    assert_rejected(
+        resume(
+            m,
+            &config
+                .clone()
+                .with_crashes(CrashSemantics::DiscardBuffer, 1),
+            &cp,
+        ),
+        "config mismatch",
+    );
+
+    // Different engine.
+    assert_rejected(
+        resume(
+            m,
+            &config.clone().with_engine(Engine::Dpor {
+                reorder_bound: None,
+            }),
+            &cp,
+        ),
+        "engine mismatch",
+    );
+
+    // Same config, different program: the fence mask changes the
+    // program text and hence the initial-state fingerprint.
+    let other = build_mutex(LockKind::Peterson, 2, FenceMask::NONE);
+    assert_rejected(
+        resume(&other.machine(MemoryModel::Pso), &config, &cp),
+        "program mismatch",
+    );
+
+    // Same program under a different model is a different state space.
+    assert_rejected(
+        resume(&inst.machine(MemoryModel::Tso), &config, &cp),
+        "model mismatch",
+    );
+
+    let _ = std::fs::remove_file(&cp);
+}
+
+// --- random cut points ---
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interrupting at an arbitrary transition count and resuming agrees
+    /// with the uninterrupted run — ok and violating cells alike, for
+    /// the undo and DPOR engines.
+    #[test]
+    fn resume_agrees_at_random_cut_points(
+        cut in 1u64..2_000,
+        model_ix in 0usize..4,
+        engine_ix in 0usize..2,
+        violating in any::<bool>(),
+    ) {
+        let engine = if engine_ix == 0 {
+            Engine::Undo
+        } else {
+            Engine::Dpor { reorder_bound: None }
+        };
+        let mask = if violating {
+            FenceMask::only(&[simlocks::peterson::SITE_VICTIM])
+        } else {
+            FenceMask::ALL
+        };
+        let inst = build_mutex(LockKind::Peterson, 2, mask);
+        let model = MODELS[model_ix];
+        let config = CheckConfig::default().with_engine(engine);
+        let fresh = check(&inst.machine(model), &config);
+        let path = ckpt_path("prop");
+        let stopped = check(
+            &inst.machine(model),
+            &config
+                .clone()
+                .with_checkpoint(CheckpointPolicy::at(&path).stop_after(cut)),
+        );
+        match stopped {
+            Verdict::Inconclusive(_, cov) => {
+                let cp = cov.checkpoint.expect("checkpoint written");
+                let resumed = resume(&inst.machine(model), &config, &cp);
+                prop_assert_eq!(fresh.label(), resumed.label());
+                if is_exhaustive(&config.engine) && fresh.is_ok() {
+                    prop_assert_eq!(fresh.stats().states, resumed.stats().states);
+                    prop_assert_eq!(
+                        fresh.stats().transitions,
+                        resumed.stats().transitions
+                    );
+                }
+                let _ = std::fs::remove_file(&cp);
+            }
+            other => {
+                prop_assert_eq!(fresh.label(), other.label());
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+    }
+}

@@ -153,16 +153,29 @@ impl EventRing {
     }
 }
 
-/// Append-only JSONL file sink (buffered, mutex-guarded — event rates are
-/// rate-limited upstream so contention is negligible).
+/// JSONL file sink, written crash-safely.
+///
+/// Lines are flushed to the OS as they are written (line-buffered), so a
+/// crashed process loses at most the line being written — and only that
+/// line can be torn, which the report scanner skips and counts rather
+/// than erroring on. A [`create`](Self::create)d sink additionally
+/// streams into a `<path>.partial` sibling and atomically renames it to
+/// the final name on close (drop), so the final path either holds a
+/// complete stream or nothing; a leftover `.partial` file is the
+/// recognizable signature of a crashed run.
 #[derive(Debug)]
 pub struct JsonlSink {
     path: PathBuf,
+    /// Temp path the stream is being written to; renamed to `path` on
+    /// drop. `None` for append-mode sinks, which write in place.
+    partial: Option<PathBuf>,
     file: Mutex<BufWriter<File>>,
 }
 
 impl JsonlSink {
     /// Open `path` for appending, creating parent directories on demand.
+    /// Appending writes in place (there is existing content an atomic
+    /// rename would orphan); each line is still flushed as written.
     pub fn append(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
         let path = path.as_ref().to_path_buf();
         if let Some(dir) = path.parent() {
@@ -171,35 +184,51 @@ impl JsonlSink {
         let file = OpenOptions::new().create(true).append(true).open(&path)?;
         Ok(JsonlSink {
             path,
+            partial: None,
             file: Mutex::new(BufWriter::new(file)),
         })
     }
 
-    /// Open `path` truncated (fresh stream), creating parents on demand.
+    /// Open a fresh stream that will land at `path` when the sink is
+    /// dropped, creating parents on demand. Until then the bytes live in
+    /// `<path>.partial`; a stale final file from a previous run is
+    /// removed up front so readers never mix runs.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlSink> {
         let path = path.as_ref().to_path_buf();
         if let Some(dir) = path.parent() {
             fs::create_dir_all(dir)?;
         }
-        let file = File::create(&path)?;
+        let mut partial = path.clone().into_os_string();
+        partial.push(".partial");
+        let partial = PathBuf::from(partial);
+        let file = File::create(&partial)?;
+        match fs::remove_file(&path) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
         Ok(JsonlSink {
             path,
+            partial: Some(partial),
             file: Mutex::new(BufWriter::new(file)),
         })
     }
 
-    /// The sink's file path.
+    /// The sink's final file path (where the stream is readable once the
+    /// sink has been dropped; append-mode sinks write here directly).
     #[must_use]
     pub fn path(&self) -> &Path {
         &self.path
     }
 
-    /// Write one line (newline appended). Errors are swallowed — losing
-    /// telemetry must never fail the run being observed.
+    /// Write one line (newline appended) and flush it. Errors are
+    /// swallowed — losing telemetry must never fail the run being
+    /// observed.
     pub fn write_line(&self, line: &str) {
         let mut f = self.file.lock().expect("unpoisoned");
         let _ = f.write_all(line.as_bytes());
         let _ = f.write_all(b"\n");
+        let _ = f.flush();
     }
 
     /// Flush buffered lines to disk.
@@ -210,7 +239,17 @@ impl JsonlSink {
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        self.flush();
+        {
+            let mut f = self.file.lock().expect("unpoisoned");
+            let _ = f.flush();
+            let _ = f.get_ref().sync_all();
+        }
+        if let Some(partial) = &self.partial {
+            // Publish the completed stream under its final name. Errors
+            // are swallowed like every other sink error; the .partial
+            // file then survives as the crashed-run artifact it is.
+            let _ = fs::rename(partial, &self.path);
+        }
     }
 }
 
@@ -235,6 +274,43 @@ mod tests {
         s.clear();
         J::F(f64::NAN).encode_into(&mut s);
         assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn created_sink_publishes_on_drop() {
+        let dir = std::env::temp_dir().join(format!("ftobs_sink_test_{}", std::process::id()));
+        let path = dir.join("events.jsonl");
+        let sink = JsonlSink::create(&path).expect("create");
+        sink.write_line(r#"{"kind":"a"}"#);
+        // While the sink is live, the stream is in the .partial sibling
+        // (already flushed line by line) and the final path is absent.
+        assert!(!path.exists(), "final path appears only on close");
+        let partial = dir.join("events.jsonl.partial");
+        assert_eq!(
+            std::fs::read_to_string(&partial).expect("partial readable"),
+            "{\"kind\":\"a\"}\n",
+            "lines are flushed as written"
+        );
+        drop(sink);
+        assert!(!partial.exists(), "partial renamed away on close");
+        assert_eq!(
+            std::fs::read_to_string(&path).expect("final readable"),
+            "{\"kind\":\"a\"}\n"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_removes_stale_final_file() {
+        let dir = std::env::temp_dir().join(format!("ftobs_stale_test_{}", std::process::id()));
+        let path = dir.join("events.jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(&path, "old run\n").unwrap();
+        let sink = JsonlSink::create(&path).expect("create");
+        assert!(!path.exists(), "stale stream removed up front");
+        drop(sink);
+        assert_eq!(std::fs::read_to_string(&path).expect("final"), "");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -90,6 +90,14 @@ pub enum Metric {
     /// Fingerprint-table contention events (failed claim CASes plus
     /// occupied slots stepped over while probing).
     FpContention,
+    /// Checkpoints successfully written to disk.
+    CheckpointWritten,
+    /// Bytes written across all checkpoints.
+    CheckpointBytes,
+    /// Fork points replayed while resuming from a checkpoint.
+    ResumeReplayed,
+    /// Watchdog trips: stalled workers cancelled by the supervisor.
+    WatchdogTrips,
 }
 
 /// All counters, in `repr(usize)` order.
@@ -119,11 +127,15 @@ pub const METRICS: [Metric; Metric::COUNT] = [
     Metric::ForkPublished,
     Metric::ForkStolen,
     Metric::FpContention,
+    Metric::CheckpointWritten,
+    Metric::CheckpointBytes,
+    Metric::ResumeReplayed,
+    Metric::WatchdogTrips,
 ];
 
 impl Metric {
     /// Total number of counters.
-    pub const COUNT: usize = Metric::FpContention as usize + 1;
+    pub const COUNT: usize = Metric::WatchdogTrips as usize + 1;
 
     /// Counters with index `< DETERMINISTIC_END` compare in snapshot
     /// equality; the rest are traversal- or timing-dependent.
@@ -158,6 +170,10 @@ impl Metric {
             Metric::ForkPublished => "fork_published",
             Metric::ForkStolen => "fork_stolen",
             Metric::FpContention => "fp_contention",
+            Metric::CheckpointWritten => "checkpoint_written",
+            Metric::CheckpointBytes => "checkpoint_bytes",
+            Metric::ResumeReplayed => "resume_replayed",
+            Metric::WatchdogTrips => "watchdog_trips",
         }
     }
 }

@@ -153,6 +153,25 @@ pub fn sketch(h: &HistSnapshot) -> String {
     out
 }
 
+/// Split a raw JSONL stream into complete lines plus a trailing
+/// truncated line, if any. A process killed mid-write (the sink flushes
+/// line by line) can tear at most the final line: no terminating
+/// newline *and* unparseable. Such a tail is returned separately so
+/// callers skip and count it instead of erroring; a parseable final
+/// line merely missing its newline is kept.
+#[must_use]
+pub fn stream_lines(text: &str) -> (Vec<String>, Option<String>) {
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    if !text.is_empty() && !text.ends_with('\n') {
+        if let Some(last) = lines.last() {
+            if parse_line(last).is_none() {
+                return (lines[..lines.len() - 1].to_vec(), lines.pop());
+            }
+        }
+    }
+    (lines, None)
+}
+
 /// One parsed event line grouped under its `(workload, engine)` identity.
 #[derive(Clone, Debug)]
 pub struct EventRow {
@@ -189,10 +208,20 @@ fn get_u64(f: &BTreeMap<String, String>, key: &str) -> u64 {
 /// `fp_contention` counters) is never silently dropped from reports.
 fn non_counter_key(key: &str) -> bool {
     matches!(key, "t_ms" | "kind" | "workload" | "engine" | "hot_pcs")
+        || RESILIENCE_COLS.contains(&key)
         || key.ends_with("_hist")
         || key.starts_with("span_")
         || is_per_proc(key)
 }
+
+/// Checkpoint/resume counters get their own table (below) rather than
+/// trailing columns in the per-engine comparison.
+const RESILIENCE_COLS: [&str; 4] = [
+    "checkpoint_written",
+    "checkpoint_bytes",
+    "resume_replayed",
+    "watchdog_trips",
+];
 
 /// `p0_fences` / `p12_rmrs` / `p3_crashes` — per-process breakdowns of
 /// totals the table already shows.
@@ -310,6 +339,55 @@ pub fn render_report(title: &str, lines: &[String]) -> String {
         let _ = writeln!(out);
     }
 
+    // --- Resilience: checkpoint/resume and supervisor activity.
+    let res_rows: Vec<(&(String, String), [u64; 4])> = snaps
+        .iter()
+        .map(|(k, f)| {
+            let mut vals = [0u64; 4];
+            for (i, col) in RESILIENCE_COLS.iter().enumerate() {
+                vals[i] = get_u64(f, col);
+            }
+            (k, vals)
+        })
+        .filter(|(_, vals)| vals.iter().any(|&v| v > 0))
+        .collect();
+    let mut res_events: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &events {
+        if let Some(kind) = e.fields.get("kind") {
+            if matches!(
+                kind.as_str(),
+                "checkpoint" | "checkpoint_retry" | "checkpoint_failed" | "watchdog_trip"
+            ) {
+                *res_events.entry(kind.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    if !res_rows.is_empty() || !res_events.is_empty() {
+        let _ = writeln!(out, "## Resilience\n");
+        if !res_rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "| workload | engine | checkpoints written | checkpoint bytes | forks replayed on resume | watchdog trips |"
+            );
+            let _ = writeln!(out, "|---|---|---:|---:|---:|---:|");
+            for ((workload, engine), vals) in &res_rows {
+                let _ = writeln!(
+                    out,
+                    "| {workload} | {engine} | {} | {} | {} | {} |",
+                    vals[0], vals[1], vals[2], vals[3]
+                );
+            }
+            let _ = writeln!(out);
+        }
+        if !res_events.is_empty() {
+            let pretty: Vec<String> = res_events
+                .iter()
+                .map(|(k, n)| format!("`{k}` × {n}"))
+                .collect();
+            let _ = writeln!(out, "Resilience events: {}.\n", pretty.join(", "));
+        }
+    }
+
     // --- Heartbeat summary.
     let mut beats: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
     for e in &events {
@@ -384,6 +462,47 @@ mod tests {
         assert!(r.contains("Hottest pcs"));
         assert!(r.contains("p0@7:wait × 9"));
         assert!(r.contains("| peterson2_pso | undo | 1 | 123 |"));
+    }
+
+    #[test]
+    fn stream_lines_separates_a_torn_tail() {
+        // A torn final line (no newline, unparseable) is split off…
+        let (lines, torn) = stream_lines("{\"kind\":\"a\"}\n{\"kind\":\"b\",\"x\"");
+        assert_eq!(lines, vec!["{\"kind\":\"a\"}".to_string()]);
+        assert_eq!(torn.as_deref(), Some("{\"kind\":\"b\",\"x\""));
+        // …a parseable final line merely missing its newline is kept…
+        let (lines, torn) = stream_lines("{\"kind\":\"a\"}\n{\"kind\":\"b\"}");
+        assert_eq!(lines.len(), 2);
+        assert!(torn.is_none());
+        // …and clean or empty streams pass through.
+        let (lines, torn) = stream_lines("{\"kind\":\"a\"}\n");
+        assert_eq!(lines.len(), 1);
+        assert!(torn.is_none());
+        assert_eq!(stream_lines(""), (vec![], None));
+    }
+
+    #[test]
+    fn report_renders_resilience_table() {
+        let lines = vec![
+            r#"{"t_ms":1,"kind":"snapshot","workload":"gt3_pso","engine":"pardpor","states":9,"checkpoint_written":2,"checkpoint_bytes":4096,"resume_replayed":5,"watchdog_trips":1}"#.to_string(),
+            r#"{"t_ms":2,"kind":"checkpoint","workload":"gt3_pso","engine":"pardpor","bytes":2048}"#.to_string(),
+            r#"{"t_ms":3,"kind":"watchdog_trip","workload":"gt3_pso","engine":"pardpor","worker":1}"#.to_string(),
+            r#"{"t_ms":4,"kind":"snapshot","workload":"quiet","engine":"undo","states":3}"#.to_string(),
+        ];
+        let r = render_report("Test", &lines);
+        assert!(r.contains("## Resilience"), "section present: {r}");
+        assert!(
+            r.contains("| gt3_pso | pardpor | 2 | 4096 | 5 | 1 |"),
+            "counters tabulated: {r}"
+        );
+        assert!(
+            r.contains("`checkpoint` × 1") && r.contains("`watchdog_trip` × 1"),
+            "events counted: {r}"
+        );
+        // Rows with all-zero resilience counters stay out of the table,
+        // and the counters do not leak into the comparison extras.
+        assert!(!r.contains("| quiet | undo | 0 | 0 | 0 | 0 |"));
+        assert!(!r.contains("checkpoint_written |"), "no extra column: {r}");
     }
 
     #[test]

@@ -171,15 +171,29 @@ impl ForkQueue {
         }
     }
 
-    /// Close the queue: pending tasks are discarded and every current
-    /// and future [`take`](Self::take) returns `None`. Used on
-    /// cancellation (violation found, state limit, deadline, panic).
+    /// Close the queue: every current and future [`take`](Self::take)
+    /// returns `None` and publishes are rejected. Used on cancellation
+    /// (violation found, state limit, deadline, panic). Pending tasks are
+    /// *kept* — they are unexplored frontier, and a checkpoint wants them;
+    /// [`drain`](Self::drain) collects them.
     pub fn close(&self) {
         let mut s = self.lock();
         s.closed = true;
-        s.tasks.clear();
         drop(s);
         self.available.notify_all();
+    }
+
+    /// Close the queue and return every pending fork point. The pending
+    /// tasks are exactly the donated-but-never-stolen frontier, which a
+    /// checkpoint must persist alongside the workers' own open frames.
+    #[must_use]
+    pub fn drain(&self) -> Vec<ForkPoint> {
+        let mut s = self.lock();
+        s.closed = true;
+        let pending = s.tasks.drain(..).collect();
+        drop(s);
+        self.available.notify_all();
+        pending
     }
 }
 
@@ -223,12 +237,29 @@ mod tests {
     }
 
     #[test]
-    fn close_drops_pending_and_unblocks() {
+    fn close_keeps_pending_and_unblocks() {
         let q = ForkQueue::new(4);
         q.publish(fork(0)).unwrap();
         q.close();
-        assert!(q.take().is_none());
+        assert!(q.take().is_none(), "closed queue yields no tasks");
         assert!(q.publish(fork(1)).is_err(), "closed queue rejects");
+        let pending = q.drain();
+        assert_eq!(pending.len(), 1, "close preserves the frontier");
+        assert_eq!(pending[0].remaining, 0);
+    }
+
+    #[test]
+    fn drain_closes_and_returns_pending() {
+        let q = ForkQueue::new(4);
+        q.publish(fork(3)).unwrap();
+        q.publish(fork(4)).unwrap();
+        let pending = q.drain();
+        assert_eq!(
+            pending.iter().map(|f| f.remaining).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert!(q.take().is_none(), "drain closes the queue");
+        assert!(q.drain().is_empty(), "second drain finds nothing");
     }
 
     #[test]

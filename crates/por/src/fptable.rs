@@ -225,6 +225,41 @@ impl FpTable {
         self.len() == 0
     }
 
+    /// Every fingerprint in the table, sorted. Shard and slot order (a
+    /// race artifact) never leak: two tables holding the same set export
+    /// identical vectors, and re-inserting the export into a fresh table
+    /// reproduces the occupancy exactly — which is how a checkpoint
+    /// pre-seeds a resumed run's table.
+    ///
+    /// Call after worker threads have quiesced: a claim racing with the
+    /// walk may or may not be included (the walk spins out any claimed
+    /// slot's `w1` publish, so it never reads a *torn* entry).
+    ///
+    /// The zero-word remapping is lossy in one `2^-64`-class corner: a
+    /// fingerprint half equal to the tag constant exports as the zero
+    /// half it is stored as — the same collision order every engine here
+    /// already accepts.
+    #[must_use]
+    pub fn export(&self) -> Vec<u128> {
+        let decode = |w: u64| if w == ZERO_TAG { 0 } else { w };
+        let mut out = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            for seg_cell in &shard.segments {
+                let Some(seg) = seg_cell.get() else { continue };
+                for slot in seg.iter() {
+                    let w0 = slot.w0.load(Ordering::Acquire);
+                    if w0 == 0 {
+                        continue;
+                    }
+                    let w1 = published_w1(slot);
+                    out.push((u128::from(decode(w0)) << 64) | u128::from(decode(w1)));
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// Aggregate contention events: failed claim CASes plus occupied
     /// slots stepped over while probing. Exported by the engines as the
     /// `fp_contention` counter.
@@ -282,6 +317,32 @@ mod tests {
             assert!(!t.insert((0x2a << 64) | i));
         }
         assert_eq!(t.len(), n as usize);
+    }
+
+    #[test]
+    fn export_is_sorted_and_occupancy_preserving() {
+        let t = FpTable::new();
+        // Mix of shard routes, zero halves, and a segment spill.
+        let mut keys: Vec<u128> = (0..(SEG0_SLOTS as u128 + 50)).map(|i| i << 1 | 1).collect();
+        keys.extend([0u128, 1, 1 << 64, u128::MAX, 0x7f << 64]);
+        for &k in &keys {
+            t.insert(k);
+        }
+        let exported = t.export();
+        let mut expect = keys.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        assert_eq!(exported, expect, "export is the sorted key set");
+        // Import into a fresh table: same occupancy, same dedup behavior.
+        let t2 = FpTable::new();
+        for &k in &exported {
+            assert!(t2.insert(k), "import inserts fresh");
+        }
+        assert_eq!(t2.len(), t.len());
+        for &k in &keys {
+            assert!(!t2.insert(k), "imported table dedups original keys");
+        }
+        assert_eq!(t2.export(), exported, "export∘import is idempotent");
     }
 
     #[test]

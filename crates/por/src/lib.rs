@@ -27,6 +27,10 @@
 //!   *parallel* explorers: a lock-free sharded fingerprint table (the
 //!   per-transition dedup hot path) and the serialized DFS continuations
 //!   work-stealing workers trade through a bounded queue.
+//! * [`Snapshot`] — a versioned, checksummed, atomically written on-disk
+//!   image of an interrupted exploration (fork-point frontier + visited
+//!   fingerprints + run metadata), the substrate of the checker's
+//!   checkpoint/resume support.
 //!
 //! Independence is decided by [`wbmem::Footprint`]s, reported by the
 //! machine for every schedule choice; soundness of the relation per memory
@@ -44,6 +48,7 @@ pub mod expand;
 pub mod fork;
 pub mod fptable;
 pub mod sleep;
+pub mod snapshot;
 pub mod visited;
 
 pub use ample::select as select_ample;
@@ -52,4 +57,5 @@ pub use expand::{expand, Expansion};
 pub use fork::{ForkPoint, ForkQueue};
 pub use fptable::FpTable;
 pub use sleep::SleepSet;
+pub use snapshot::{BaseCounts, RunMeta, Snapshot, SnapshotError};
 pub use visited::VisitTable;

@@ -83,6 +83,18 @@ impl VisitTable {
     pub fn total_entries(&self) -> usize {
         self.map.values().map(Vec::len).sum()
     }
+
+    /// Every fingerprint explored at least once, sorted. A checkpoint
+    /// persists only the fingerprints, not the dominance entries: a
+    /// resumed run seeds a plain first-visit set from them (sound — it
+    /// merely prunes less than the full dominance table would), so the
+    /// insertion-order-dependent antichains never need to round-trip.
+    #[must_use]
+    pub fn fingerprints(&self) -> Vec<u128> {
+        let mut fps: Vec<u128> = self.map.keys().copied().collect();
+        fps.sort_unstable();
+        fps
+    }
 }
 
 #[cfg(test)]

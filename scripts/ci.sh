@@ -29,6 +29,12 @@ FT_THREADS=2 cargo test -q -p modelcheck --test differential_dpor
 echo "==> work-stealing parallel DPOR differential suite (FT_THREADS=2)"
 FT_THREADS=2 cargo test -q -p modelcheck --test differential_pardpor
 
+echo "==> checkpoint/resume differential suite (interrupt + resume == uninterrupted, FT_THREADS=2)"
+FT_THREADS=2 cargo test -q -p modelcheck --test differential_resume
+
+echo "==> watchdog supervisor test (stalled worker -> cancel + sequential fallback)"
+cargo test -q -p modelcheck --test watchdog
+
 echo "==> fingerprint-table stress suite (CAS insert races, segment spill, dedup exactness)"
 cargo test -q -p por --test fptable_stress
 
@@ -49,5 +55,11 @@ cargo run --release -p ft-bench --bin obs_overhead
 
 echo "==> parallel DPOR guard (≥1.5x scaling on multi-core, ≤5% threads=1 regression, filter3_pso)"
 cargo run --release -p ft-bench --bin pardpor_guard
+
+echo "==> E15 resume-overhead experiment (fast mode)"
+FT_E15_FAST=1 cargo run --release -p ft-bench --bin exp_e15_resume
+
+echo "==> kill-and-resume smoke + checkpoint guard (n=3 DPOR cut -> checkpoint -> resume == fresh; overhead ≤10%)"
+cargo run --release -p ft-bench --bin checkpoint_guard
 
 echo "CI green."
