@@ -99,6 +99,9 @@ impl Table {
 /// (`op p0` / `commit p0 r3` / `crash p1` — exactly the three
 /// [`wbmem::SchedElem`] shapes, in replay order), the event trace the
 /// schedule produces (one event per line via [`wbmem::Trace::to_lines`]),
+/// the schedule's **reorder edges** (`reorder-edge:` lines via
+/// [`wbmem::reorder_edges`] — the write-buffer program-order inversions
+/// that enabled the violation, the same edges fence synthesis refines on),
 /// and — when `recorder` is enabled — a `metrics:` line carrying the
 /// [`ftobs::MetricsSnapshot`] at failure time as one flat JSON object.
 /// The save is also routed through the recorder's event log as a
@@ -126,6 +129,9 @@ pub fn save_counterexample<P: wbmem::Process>(
         "# Replay: feed each `schedule:` line to Machine::step in order \
          (machine configured as above)."
     );
+    // Extract reorder edges before `m` is consumed by the replay below
+    // (reorder_edges replays its own clone).
+    let edges = wbmem::reorder_edges(&m, schedule);
     for &e in schedule {
         let _ = write!(out, "schedule: ");
         let _ = match (e.crash, e.reg) {
@@ -139,6 +145,9 @@ pub fn save_counterexample<P: wbmem::Process>(
     let _ = writeln!(out, "trace:");
     for line in m.trace().to_lines() {
         let _ = writeln!(out, "  {line}");
+    }
+    for edge in &edges {
+        let _ = writeln!(out, "reorder-edge: {edge}");
     }
     if recorder.is_enabled() {
         let snap = recorder.snapshot();

@@ -54,6 +54,14 @@ fn saved_artifact_replays_to_the_same_verdict() {
         "artifact snapshot matches the recorder at failure time"
     );
 
+    // The artifact annotates the write-buffer inversions that enabled the
+    // violation — a PSO mutex break with only the victim fence needs at
+    // least one reordered write.
+    assert!(
+        text.lines().any(|l| l.starts_with("reorder-edge: ")),
+        "artifact carries reorder-edge annotations"
+    );
+
     // Replaying the parsed schedule on a fresh machine reproduces the
     // verdict: both processes end up annotated in-CS simultaneously.
     let mut m = inst.machine(MemoryModel::Pso);

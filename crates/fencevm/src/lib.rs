@@ -46,9 +46,11 @@ mod analysis;
 pub mod asm;
 pub mod instr;
 pub mod program;
+pub mod rewrite;
 pub mod vmproc;
 
 pub use asm::{Asm, Label};
 pub use instr::{BinOp, CondOp, Instr, Loc, Src};
 pub use program::Program;
+pub use rewrite::{fence_pcs, insert_fences_after, strip_fences, write_pcs, Rewritten};
 pub use vmproc::VmProc;

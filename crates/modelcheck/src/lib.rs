@@ -38,6 +38,7 @@
 
 pub mod checker;
 mod dpor;
+pub mod driver;
 pub mod elision;
 pub mod outcomes;
 mod pardpor;
@@ -47,6 +48,7 @@ pub use checker::{
     check, CheckConfig, CheckError, CheckpointPolicy, Counterexample, Coverage, Engine, Stats,
     Verdict,
 };
+pub use driver::{all_ok, check_under_models, ModelVerdict};
 pub use elision::{elision_table, minimal_fences, ElisionRow};
 pub use ftobs::{MetricsSnapshot, Recorder};
 pub use outcomes::{terminal_outcomes, Outcome};

@@ -98,6 +98,14 @@ pub enum Metric {
     ResumeReplayed,
     /// Watchdog trips: stalled workers cancelled by the supervisor.
     WatchdogTrips,
+    /// Fence-synthesis CEGAR refinement iterations completed.
+    SynthIterations,
+    /// Fences inserted by synthesized placements (cumulative across
+    /// refinement iterations).
+    FencesInserted,
+    /// Candidate fence sites accumulated into counterexample cores
+    /// (cumulative core sizes).
+    CoreSize,
 }
 
 /// All counters, in `repr(usize)` order.
@@ -131,11 +139,14 @@ pub const METRICS: [Metric; Metric::COUNT] = [
     Metric::CheckpointBytes,
     Metric::ResumeReplayed,
     Metric::WatchdogTrips,
+    Metric::SynthIterations,
+    Metric::FencesInserted,
+    Metric::CoreSize,
 ];
 
 impl Metric {
     /// Total number of counters.
-    pub const COUNT: usize = Metric::WatchdogTrips as usize + 1;
+    pub const COUNT: usize = Metric::CoreSize as usize + 1;
 
     /// Counters with index `< DETERMINISTIC_END` compare in snapshot
     /// equality; the rest are traversal- or timing-dependent.
@@ -174,6 +185,9 @@ impl Metric {
             Metric::CheckpointBytes => "checkpoint_bytes",
             Metric::ResumeReplayed => "resume_replayed",
             Metric::WatchdogTrips => "watchdog_trips",
+            Metric::SynthIterations => "synth_iterations",
+            Metric::FencesInserted => "fences_inserted",
+            Metric::CoreSize => "core_size",
         }
     }
 }

@@ -209,6 +209,7 @@ fn get_u64(f: &BTreeMap<String, String>, key: &str) -> u64 {
 fn non_counter_key(key: &str) -> bool {
     matches!(key, "t_ms" | "kind" | "workload" | "engine" | "hot_pcs")
         || RESILIENCE_COLS.contains(&key)
+        || SYNTH_COLS.contains(&key)
         || key.ends_with("_hist")
         || key.starts_with("span_")
         || is_per_proc(key)
@@ -222,6 +223,9 @@ const RESILIENCE_COLS: [&str; 4] = [
     "resume_replayed",
     "watchdog_trips",
 ];
+
+/// Fence-synthesis counters likewise get their own table.
+const SYNTH_COLS: [&str; 3] = ["synth_iterations", "fences_inserted", "core_size"];
 
 /// `p0_fences` / `p12_rmrs` / `p3_crashes` — per-process breakdowns of
 /// totals the table already shows.
@@ -386,6 +390,35 @@ pub fn render_report(title: &str, lines: &[String]) -> String {
                 .collect();
             let _ = writeln!(out, "Resilience events: {}.\n", pretty.join(", "));
         }
+    }
+
+    // --- Synthesis: CEGAR fence-insertion activity.
+    let synth_rows: Vec<(&(String, String), [u64; 3])> = snaps
+        .iter()
+        .map(|(k, f)| {
+            let mut vals = [0u64; 3];
+            for (i, col) in SYNTH_COLS.iter().enumerate() {
+                vals[i] = get_u64(f, col);
+            }
+            (k, vals)
+        })
+        .filter(|(_, vals)| vals.iter().any(|&v| v > 0))
+        .collect();
+    if !synth_rows.is_empty() {
+        let _ = writeln!(out, "## Synthesis\n");
+        let _ = writeln!(
+            out,
+            "| workload | engine | CEGAR iterations | fences inserted | core sites accumulated |"
+        );
+        let _ = writeln!(out, "|---|---|---:|---:|---:|");
+        for ((workload, engine), vals) in &synth_rows {
+            let _ = writeln!(
+                out,
+                "| {workload} | {engine} | {} | {} | {} |",
+                vals[0], vals[1], vals[2]
+            );
+        }
+        let _ = writeln!(out);
     }
 
     // --- Heartbeat summary.

@@ -1,0 +1,126 @@
+//! Counterexample-core diagnostics: conflict statistics over a replayed
+//! schedule.
+//!
+//! Fence synthesis (`crates/synth`) refines candidate fence placements
+//! from counterexamples. The *sites* come from `wbmem::reorder_edges`;
+//! what this module adds is a **ranking signal** built from the very
+//! independence relation the DPOR sleep/ample machinery prunes with
+//! ([`wbmem::Footprint::independent`]): replay the counterexample, take
+//! every step's footprint, and count — per shared register — how many
+//! cross-process *dependent* pairs the schedule contains. Registers with
+//! high conflict counts are where the interleaving actually communicated;
+//! fencing writes to them is more likely to break the violation than
+//! fencing an uncontended cell, so the synthesis hitting-set solver uses
+//! these counts to weight otherwise-equal candidate sites.
+//!
+//! The counts are diagnostics only: soundness of a synthesized placement
+//! rests on the re-check, never on this ranking.
+
+use std::collections::BTreeMap;
+
+use wbmem::{Machine, Process, RegId, SchedElem};
+
+/// Per-register cross-process conflict counts for one schedule (see the
+/// module docs). Registers never involved in a dependent pair are absent.
+#[must_use]
+pub fn conflict_counts<P: Process>(
+    machine: &Machine<P>,
+    schedule: &[SchedElem],
+) -> BTreeMap<RegId, u64> {
+    let mut m = machine.clone();
+    let model = m.config().model;
+    let mut footprints = Vec::with_capacity(schedule.len());
+    for &elem in schedule {
+        footprints.push(m.choice_footprint(elem));
+        if m.try_step(elem).is_err() {
+            break;
+        }
+    }
+    let mut counts: BTreeMap<RegId, u64> = BTreeMap::new();
+    for (i, a) in footprints.iter().enumerate() {
+        for b in footprints.iter().skip(i + 1) {
+            if a.proc == b.proc || a.independent(*b, model) {
+                continue;
+            }
+            for fp in [a, b] {
+                if let Some(reg) = fp.writes().or_else(|| fp.reads()) {
+                    *counts.entry(reg).or_default() += 1;
+                }
+            }
+        }
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wbmem::{MachineConfig, MemoryLayout, MemoryModel, Poised, ProcId, Value};
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Script {
+        ops: Vec<Poised>,
+        at: usize,
+    }
+
+    impl Process for Script {
+        fn poised(&self) -> Poised {
+            self.ops.get(self.at).copied().unwrap_or(Poised::Done)
+        }
+        fn advance(&mut self, _read: Option<Value>) {
+            self.at += 1;
+        }
+    }
+
+    #[test]
+    fn dependent_pairs_are_counted_per_register() {
+        // p0 writes r0 (SC: immediate Write footprint), p1 reads r0 —
+        // one dependent pair on r0; p1's read of r9 conflicts with nothing.
+        let scripts = vec![
+            Script {
+                ops: vec![Poised::Write(RegId(0), Value::Int(1)), Poised::Return(0)],
+                at: 0,
+            },
+            Script {
+                ops: vec![
+                    Poised::Read(RegId(0)),
+                    Poised::Read(RegId(9)),
+                    Poised::Return(0),
+                ],
+                at: 0,
+            },
+        ];
+        let m = Machine::new(
+            MachineConfig::new(MemoryModel::Sc, MemoryLayout::unowned()),
+            scripts,
+        );
+        let sched = [
+            SchedElem::op(ProcId(0)),
+            SchedElem::op(ProcId(1)),
+            SchedElem::op(ProcId(1)),
+        ];
+        let counts = conflict_counts(&m, &sched);
+        assert_eq!(counts.get(&RegId(0)).copied(), Some(2));
+        assert_eq!(counts.get(&RegId(9)), None);
+    }
+
+    #[test]
+    fn independent_schedule_has_no_conflicts() {
+        let scripts = vec![
+            Script {
+                ops: vec![Poised::Write(RegId(0), Value::Int(1)), Poised::Return(0)],
+                at: 0,
+            },
+            Script {
+                ops: vec![Poised::Write(RegId(1), Value::Int(1)), Poised::Return(0)],
+                at: 0,
+            },
+        ];
+        let m = Machine::new(
+            MachineConfig::new(MemoryModel::Sc, MemoryLayout::unowned()),
+            scripts,
+        );
+        let sched = [SchedElem::op(ProcId(0)), SchedElem::op(ProcId(1))];
+        assert!(conflict_counts(&m, &sched).is_empty());
+    }
+}

@@ -20,6 +20,11 @@
 //!   analysis + buffered writes + recovery code), only that process is
 //!   scheduled. This is where the order-of-magnitude state reductions come
 //!   from.
+//! * [`conflict_counts`] — counterexample-core diagnostics: replay a
+//!   schedule, classify every step pair with the same independence
+//!   relation the reductions prune with, and tabulate per-register
+//!   conflict counts. Fence synthesis (`crates/synth`) uses these to
+//!   weight candidate fence sites.
 //! * [`step_weight`] — an optional reorder bound that restricts the
 //!   search to schedules with at most `k` steps where a program overtakes
 //!   its own pending stores (bound 0 ≡ SC-equivalent schedules).
@@ -44,6 +49,7 @@
 
 pub mod ample;
 pub mod bound;
+pub mod cores;
 pub mod expand;
 pub mod fork;
 pub mod fptable;
@@ -53,6 +59,7 @@ pub mod visited;
 
 pub use ample::select as select_ample;
 pub use bound::step_weight;
+pub use cores::conflict_counts;
 pub use expand::{expand, Expansion};
 pub use fork::{ForkPoint, ForkQueue};
 pub use fptable::FpTable;

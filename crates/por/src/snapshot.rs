@@ -47,8 +47,8 @@ pub const MAGIC: [u8; 6] = *b"FTCKPT";
 
 /// Current format version. Readers reject any other version (the format
 /// embeds the metric taxonomy's array sizes, so it changes whenever the
-/// taxonomy does).
-pub const VERSION: u32 = 1;
+/// taxonomy does — v2 added the fence-synthesis counters).
+pub const VERSION: u32 = 2;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,0 +1,457 @@
+//! The counterexample-guided fence-synthesis loop.
+//!
+//! Given an algorithm instance, [`synthesize`] discovers a fence placement
+//! that makes it correct under the configured memory models:
+//!
+//! 1. **Strip** every fence from the input programs
+//!    ([`fencevm::strip_fences`]) to obtain the baseline — the same
+//!    algorithm with no ordering enforced beyond what CAS/swap imply.
+//! 2. **Check** the current candidate (baseline + placement) under each
+//!    model with the configured engine
+//!    ([`modelcheck::check_under_models`]); budgets, crash bounds and
+//!    checkpoint policies all pass straight through `CheckConfig`.
+//! 3. On a violation, **replay** the counterexample on the unreduced
+//!    machine and extract its reorder edges ([`wbmem::reorder_edges`]) —
+//!    the program-order inversions that enabled the bad interleaving.
+//!    Each edge's candidate pcs are translated back to baseline indices
+//!    through the insertion pc-map and unioned into a **core**: fencing
+//!    any member site kills this counterexample.
+//! 4. Choose the next placement as a minimum-weight **hitting set** over
+//!    all accumulated cores ([`crate::hitting_set`]), weighting sites by
+//!    fence cost plus an RMR surcharge for stores to remote registers, and
+//!    breaking ties toward registers with high cross-process conflict
+//!    counts ([`por::conflict_counts`]). Repeat from 2.
+//! 5. Once safe, optionally **minimize**: drop any fence whose removal
+//!    keeps every model clean. The result is 1-minimal — removing any
+//!    single synthesized fence reintroduces a violation — which the
+//!    differential test suite exploits as a minimality witness.
+//!
+//! ### Invariants
+//!
+//! * Every core is *sound*: each member site, if fenced, provably breaks
+//!   the counterexample it came from (the fence drains the overtaken write
+//!   before the overtaking access runs). Missing candidates only cost
+//!   optimality, never correctness.
+//! * A new core is never already hit by the placement it was found under —
+//!   a fenced store cannot appear as a pending overtaken write, because
+//!   the fence right after it drains the buffer before the process
+//!   advances. Each iteration therefore makes progress.
+//! * Acceptance rests **only** on the final full re-check; cores, weights
+//!   and rankings are heuristics that steer the search.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use fencevm::{insert_fences_after, strip_fences, Instr, Rewritten, Src};
+use ftobs::{Metric, Recorder};
+use modelcheck::{all_ok, check_under_models, CheckConfig, Engine, ModelVerdict};
+use simlocks::OrderingInstance;
+use wbmem::{reorder_edges, CrashSemantics, MemoryModel, ProcId, RegId};
+
+use crate::hitting::{hitting_set, Core, Site};
+
+/// Configuration for [`synthesize`].
+#[derive(Clone, Debug)]
+pub struct SynthConfig {
+    /// Memory models the placement must be correct under, checked in
+    /// order — put the weakest (most violation-prone) first so refinement
+    /// counterexamples surface fastest.
+    pub models: Vec<MemoryModel>,
+    /// Engine for the inner checks (`Dpor` by default; `ParallelDpor` for
+    /// big instances).
+    pub engine: Engine,
+    /// State cap per inner check.
+    pub max_states: usize,
+    /// Whether inner checks also require termination. On by default:
+    /// a placement that omits the trailing drain fence lets a process
+    /// return with its exit write still buffered — the write is orphaned
+    /// (committing is only schedulable before `ret`), the lock word never
+    /// clears, and every other process spins forever. Termination
+    /// counterexamples carry the same reorder edges as mutex ones (a
+    /// `Return` with pending writes is an overtaking edge), so the CEGAR
+    /// loop repairs both properties with one mechanism.
+    pub check_termination: bool,
+    /// Crash-fault bound for the inner checks (0 = no crashes).
+    pub max_crashes: u32,
+    /// Crash semantics when `max_crashes > 0`.
+    pub crash_semantics: CrashSemantics,
+    /// Refinement iteration cap.
+    pub max_iters: usize,
+    /// Cost of enabling any fence site (the Pareto explorer sweeps this
+    /// against `rmr_weight`).
+    pub fence_weight: u64,
+    /// Surcharge for fencing a store whose target register is remote to
+    /// the storing process (the forced commit is an RMR).
+    pub rmr_weight: u64,
+    /// Run the 1-minimality pass after the first safe placement.
+    pub minimize: bool,
+    /// Use exact branch-and-bound when the site universe is at most this
+    /// large.
+    pub exact_limit: usize,
+    /// Recorder for `synth_iterations` / `fences_inserted` / `core_size`
+    /// metrics.
+    pub recorder: Recorder,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            models: vec![MemoryModel::Pso, MemoryModel::Tso],
+            engine: Engine::Dpor {
+                reorder_bound: None,
+            },
+            max_states: 2_000_000,
+            check_termination: true,
+            max_crashes: 0,
+            crash_semantics: CrashSemantics::DiscardBuffer,
+            max_iters: 64,
+            fence_weight: 4,
+            rmr_weight: 1,
+            minimize: true,
+            exact_limit: 16,
+            recorder: Recorder::disabled(),
+        }
+    }
+}
+
+impl SynthConfig {
+    // The recorder is deliberately NOT threaded into the inner checks:
+    // the checker emits its own per-engine snapshot events, which would
+    // shadow the synthesis-level rollup in `obs_report` with partially
+    // updated duplicates. Inner-check volume is reported as
+    // `Synthesis::total_states` instead.
+    fn check_config(&self) -> CheckConfig {
+        let mut cfg = CheckConfig::default().with_engine(self.engine);
+        cfg.max_states = self.max_states;
+        cfg.check_termination = self.check_termination;
+        if self.max_crashes > 0 {
+            cfg = cfg.with_crashes(self.crash_semantics, self.max_crashes);
+        }
+        cfg
+    }
+}
+
+/// A successful synthesis: the placement and the artifacts that justify it.
+#[derive(Clone, Debug)]
+pub struct Synthesis {
+    /// The synthesized instance (baseline programs + placement fences).
+    pub instance: OrderingInstance,
+    /// The fence-free baseline the placement is relative to.
+    pub baseline: OrderingInstance,
+    /// Per-process baseline pcs that received a fence, sorted.
+    pub placement: Vec<Vec<usize>>,
+    /// Refinement iterations used (number of full multi-model checks).
+    pub iterations: usize,
+    /// Accumulated counterexample cores, in discovery order.
+    pub cores: Vec<Core>,
+    /// Total states explored across every inner check.
+    pub total_states: usize,
+}
+
+impl Synthesis {
+    /// Number of fences the placement inserts.
+    #[must_use]
+    pub fn fences_inserted(&self) -> usize {
+        self.placement.iter().map(Vec::len).sum()
+    }
+
+    /// The placement as flat [`Site`]s.
+    #[must_use]
+    pub fn sites(&self) -> Vec<Site> {
+        self.placement
+            .iter()
+            .enumerate()
+            .flat_map(|(proc, pcs)| pcs.iter().map(move |&pc| Site { proc, pc }))
+            .collect()
+    }
+}
+
+/// Why synthesis stopped without a placement.
+#[derive(Clone, Debug)]
+pub enum SynthOutcome {
+    /// A correct placement was found.
+    Synthesized(Box<Synthesis>),
+    /// A counterexample yielded no reorder edges: the violation survives
+    /// even in program order, so no fence placement can repair it (the
+    /// algorithm is broken under SC, or the property is simply false).
+    Unfixable {
+        /// Model the unfixable violation was found under.
+        model: MemoryModel,
+        /// Verdict label of that violation.
+        verdict: &'static str,
+    },
+    /// The iteration cap was reached, or an inner check came back
+    /// inconclusive (state cap / budget) so no counterexample was
+    /// available to refine with.
+    Exhausted {
+        /// Iterations completed.
+        iterations: usize,
+        /// Label of the last non-ok verdict seen.
+        last_verdict: &'static str,
+    },
+}
+
+impl SynthOutcome {
+    /// The synthesis, if one was found.
+    #[must_use]
+    pub fn synthesis(&self) -> Option<&Synthesis> {
+        match self {
+            SynthOutcome::Synthesized(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Strip `inst`'s fences and return the baseline instance.
+#[must_use]
+pub fn strip_instance(inst: &OrderingInstance) -> OrderingInstance {
+    let mut baseline = inst.clone();
+    baseline.programs = inst
+        .programs
+        .iter()
+        .map(|p| Arc::new(strip_fences(p).program))
+        .collect();
+    baseline
+}
+
+/// Build the candidate instance for `placement` (per-process baseline pcs)
+/// and return it with the per-process pc maps.
+fn build_candidate(
+    baseline: &OrderingInstance,
+    placement: &[Vec<usize>],
+) -> (OrderingInstance, Vec<Rewritten>) {
+    let rewrites: Vec<Rewritten> = baseline
+        .programs
+        .iter()
+        .zip(placement)
+        .map(|(p, after)| insert_fences_after(p, after))
+        .collect();
+    let mut inst = baseline.clone();
+    inst.programs = rewrites
+        .iter()
+        .map(|r| Arc::new(r.program.clone()))
+        .collect();
+    (inst, rewrites)
+}
+
+/// The register a `Write` at `pc` stores to, if statically known.
+fn write_target(inst: &OrderingInstance, proc: usize, pc: usize) -> Option<RegId> {
+    match inst.programs[proc].instrs().get(pc) {
+        Some(Instr::Write {
+            addr: Src::Imm(r), ..
+        }) => u32::try_from(*r).ok().map(RegId),
+        _ => None,
+    }
+}
+
+/// Site weight: fence cost plus an RMR surcharge for remote stores.
+fn site_weight(cfg: &SynthConfig, baseline: &OrderingInstance, site: Site) -> u64 {
+    let remote = write_target(baseline, site.proc, site.pc)
+        .and_then(|reg| baseline.layout.owner(reg))
+        .is_some_and(|owner| owner != ProcId(site.proc as u32));
+    cfg.fence_weight + if remote { cfg.rmr_weight } else { 0 }
+}
+
+/// Synthesize a fence placement for `inst` under `cfg` (see module docs).
+#[must_use]
+pub fn synthesize(inst: &OrderingInstance, cfg: &SynthConfig) -> SynthOutcome {
+    let baseline = strip_instance(inst);
+    let n = baseline.n;
+    let check_cfg = cfg.check_config();
+    let mut cores: Vec<Core> = Vec::new();
+    let mut weights: BTreeMap<Site, u64> = BTreeMap::new();
+    let mut tiebreak: BTreeMap<Site, u64> = BTreeMap::new();
+    let mut placement: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut total_states = 0usize;
+    let mut last_verdict = "ok";
+
+    for iteration in 1..=cfg.max_iters {
+        let (candidate, rewrites) = build_candidate(&baseline, &placement);
+        let verdicts = check_under_models(&candidate, &cfg.models, &check_cfg, true);
+        cfg.recorder.incr(Metric::SynthIterations);
+        total_states += states_of(&verdicts);
+        if all_ok(&verdicts) {
+            if cfg.minimize {
+                minimize(
+                    &baseline,
+                    &mut placement,
+                    cfg,
+                    &check_cfg,
+                    &mut total_states,
+                );
+            }
+            let (instance, _) = build_candidate(&baseline, &placement);
+            let synthesis = Synthesis {
+                instance,
+                baseline,
+                iterations: iteration,
+                cores,
+                total_states,
+                placement,
+            };
+            cfg.recorder
+                .add(Metric::FencesInserted, synthesis.fences_inserted() as u64);
+            return SynthOutcome::Synthesized(Box::new(synthesis));
+        }
+        // Refine from the first non-ok verdict.
+        let bad = verdicts
+            .iter()
+            .find(|v| !v.verdict.is_ok())
+            .expect("not all ok");
+        last_verdict = bad.verdict.label();
+        let Some(cex) = bad.verdict.counterexample() else {
+            // Inconclusive (state cap / budget): nothing to refine with.
+            return SynthOutcome::Exhausted {
+                iterations: iteration,
+                last_verdict,
+            };
+        };
+        let mut machine = candidate.machine(bad.model);
+        if cfg.max_crashes > 0 {
+            machine.set_crash_bound(cfg.crash_semantics, cfg.max_crashes);
+        }
+        let edges = reorder_edges(&machine, &cex.schedule);
+        let mut core: Core = BTreeSet::new();
+        for edge in &edges {
+            let proc = edge.proc.0 as usize;
+            let map = &rewrites[proc].new_to_old;
+            for &cand in &edge.candidates {
+                let Some(Some(pc)) = map.get(cand as usize).copied() else {
+                    continue;
+                };
+                core.insert(Site { proc, pc });
+            }
+        }
+        if core.is_empty() {
+            // The violation needs no write-buffer reordering: unfixable
+            // by fences.
+            return SynthOutcome::Unfixable {
+                model: bad.model,
+                verdict: last_verdict,
+            };
+        }
+        cfg.recorder.add(Metric::CoreSize, core.len() as u64);
+        // Weight new sites and fold the counterexample's conflict counts
+        // into the tie-break ranking.
+        for &site in &core {
+            weights
+                .entry(site)
+                .or_insert_with(|| site_weight(cfg, &baseline, site));
+        }
+        let conflicts = por::conflict_counts(&machine, &cex.schedule);
+        for site in weights.keys().copied().collect::<Vec<_>>() {
+            if let Some(reg) = write_target(&baseline, site.proc, site.pc) {
+                if let Some(&c) = conflicts.get(&reg) {
+                    let e = tiebreak.entry(site).or_insert(0);
+                    *e = (*e).max(c);
+                }
+            }
+        }
+        cores.push(core);
+        let chosen = hitting_set(&cores, &weights, &tiebreak, cfg.exact_limit);
+        placement = vec![Vec::new(); n];
+        for site in chosen {
+            placement[site.proc].push(site.pc);
+        }
+    }
+    SynthOutcome::Exhausted {
+        iterations: cfg.max_iters,
+        last_verdict,
+    }
+}
+
+/// Drop every fence whose removal keeps all models clean. Afterwards the
+/// placement is 1-minimal: removing any remaining fence reintroduces a
+/// violation.
+fn minimize(
+    baseline: &OrderingInstance,
+    placement: &mut [Vec<usize>],
+    cfg: &SynthConfig,
+    check_cfg: &CheckConfig,
+    total_states: &mut usize,
+) {
+    // Try expensive sites first so the survivors are the cheap ones.
+    let mut sites: Vec<Site> = placement
+        .iter()
+        .enumerate()
+        .flat_map(|(proc, pcs)| pcs.iter().map(move |&pc| Site { proc, pc }))
+        .collect();
+    sites.sort_unstable_by_key(|&s| (std::cmp::Reverse(site_weight(cfg, baseline, s)), s));
+    for site in sites {
+        let mut trial: Vec<Vec<usize>> = placement.to_vec();
+        trial[site.proc].retain(|&pc| pc != site.pc);
+        let (candidate, _) = build_candidate(baseline, &trial);
+        let verdicts = check_under_models(&candidate, &cfg.models, check_cfg, true);
+        *total_states += states_of(&verdicts);
+        if all_ok(&verdicts) {
+            placement[site.proc].retain(|&pc| pc != site.pc);
+        }
+    }
+}
+
+fn states_of(verdicts: &[ModelVerdict]) -> usize {
+    verdicts.iter().map(|v| v.verdict.stats().states).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simlocks::{build_mutex, FenceMask, LockKind};
+
+    fn quick_cfg() -> SynthConfig {
+        SynthConfig {
+            models: vec![MemoryModel::Pso, MemoryModel::Tso],
+            ..SynthConfig::default()
+        }
+    }
+
+    #[test]
+    fn synthesizes_peterson_n2() {
+        let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+        let out = synthesize(&inst, &quick_cfg());
+        let s = out.synthesis().expect("peterson should synthesize");
+        assert!(
+            s.fences_inserted() >= 1,
+            "peterson needs a store-load fence"
+        );
+        // The synthesized instance is clean under every requested model.
+        let vs = check_under_models(
+            &s.instance,
+            &[MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso],
+            &quick_cfg().check_config(),
+            false,
+        );
+        assert!(all_ok(&vs));
+    }
+
+    #[test]
+    fn sc_only_needs_no_fences() {
+        let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+        let cfg = SynthConfig {
+            models: vec![MemoryModel::Sc],
+            ..SynthConfig::default()
+        };
+        let out = synthesize(&inst, &cfg);
+        let s = out.synthesis().expect("sc always synthesizes");
+        assert_eq!(s.fences_inserted(), 0, "SC needs no fences");
+        assert_eq!(s.iterations, 1);
+    }
+
+    #[test]
+    fn placement_is_one_minimal() {
+        let inst = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+        let cfg = quick_cfg();
+        let out = synthesize(&inst, &cfg);
+        let s = out.synthesis().expect("synthesized");
+        for site in s.sites() {
+            let mut stripped = s.placement.clone();
+            stripped[site.proc].retain(|&pc| pc != site.pc);
+            let (candidate, _) = build_candidate(&s.baseline, &stripped);
+            let vs = check_under_models(&candidate, &cfg.models, &cfg.check_config(), true);
+            assert!(
+                !all_ok(&vs),
+                "removing fence {site} should reintroduce a violation"
+            );
+        }
+    }
+}

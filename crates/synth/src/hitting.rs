@@ -1,0 +1,287 @@
+//! Weighted hitting set over counterexample cores.
+//!
+//! Each refinement iteration of the CEGAR loop contributes one **core**: a
+//! set of candidate fence sites such that fencing *any one of them* kills
+//! that iteration's counterexample. A placement is feasible iff it hits
+//! every accumulated core, so choosing the next placement is a weighted
+//! hitting-set problem — NP-hard in general, tiny in practice (lock
+//! programs have a handful of stores).
+//!
+//! The solver runs greedy set-cover (best coverage-per-weight, with a
+//! deterministic conflict-count tie-break) and, when the site universe is
+//! small enough, an exact branch-and-bound seeded with the greedy bound.
+//! Greedy alone would be sound — the re-check validates every placement —
+//! but exactness is what makes the Pareto explorer's curves meaningful:
+//! the reported placement really is minimum-weight for its cores.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A candidate fence site: "insert a fence immediately after `pc` in
+/// process `proc`'s program" (pc in the synthesis baseline's index space).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Site {
+    /// Process index.
+    pub proc: usize,
+    /// Baseline pc of the store the fence follows.
+    pub pc: usize,
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}@{}", self.proc, self.pc)
+    }
+}
+
+/// A counterexample core: fencing any member site breaks the schedule the
+/// core was extracted from.
+pub type Core = BTreeSet<Site>;
+
+/// Solve the weighted hitting set for `cores`.
+///
+/// `weight` gives each site's cost (missing sites default to 1; weights
+/// are clamped to ≥ 1 so ratios stay finite). `tiebreak` orders
+/// equally-scored greedy picks (higher first — the CEGAR loop passes
+/// per-register conflict counts). If the site universe has at most
+/// `exact_limit` sites, the greedy solution is refined by exact
+/// branch-and-bound.
+///
+/// Returns the chosen sites, sorted. Empty input → empty placement.
+#[must_use]
+pub fn hitting_set(
+    cores: &[Core],
+    weight: &BTreeMap<Site, u64>,
+    tiebreak: &BTreeMap<Site, u64>,
+    exact_limit: usize,
+) -> Vec<Site> {
+    let cores: Vec<&Core> = cores.iter().filter(|c| !c.is_empty()).collect();
+    if cores.is_empty() {
+        return Vec::new();
+    }
+    let universe: BTreeSet<Site> = cores.iter().flat_map(|c| c.iter().copied()).collect();
+    let w = |s: Site| weight.get(&s).copied().unwrap_or(1).max(1);
+    let greedy = greedy_cover(&cores, &universe, &w, tiebreak);
+    if universe.len() <= exact_limit {
+        if let Some(exact) = branch_and_bound(&cores, &universe, &w, &greedy) {
+            return exact;
+        }
+    }
+    greedy
+}
+
+/// Total weight of a placement under `w`.
+fn total<F: Fn(Site) -> u64>(sites: &[Site], w: &F) -> u64 {
+    sites.iter().map(|&s| w(s)).sum()
+}
+
+fn greedy_cover<F: Fn(Site) -> u64>(
+    cores: &[&Core],
+    universe: &BTreeSet<Site>,
+    w: &F,
+    tiebreak: &BTreeMap<Site, u64>,
+) -> Vec<Site> {
+    let mut chosen: Vec<Site> = Vec::new();
+    let mut uncovered: Vec<&Core> = cores.to_vec();
+    while !uncovered.is_empty() {
+        // Pick the site with the best covered-per-weight ratio; ties go to
+        // the higher conflict count, then the smaller site (determinism).
+        let best = universe
+            .iter()
+            .filter(|s| !chosen.contains(s))
+            .map(|&s| {
+                let covered = uncovered.iter().filter(|c| c.contains(&s)).count() as u64;
+                (
+                    covered * 1_000_000 / w(s),
+                    tiebreak.get(&s).copied().unwrap_or(0),
+                    std::cmp::Reverse(s),
+                    s,
+                )
+            })
+            .max()
+            .map(|(_, _, _, s)| s)
+            .expect("non-empty universe with uncovered cores");
+        debug_assert!(uncovered.iter().any(|c| c.contains(&best)));
+        chosen.push(best);
+        uncovered.retain(|c| !c.contains(&best));
+    }
+    chosen.sort_unstable();
+    chosen
+}
+
+/// Exact minimum-weight hitting set by branching on the sites of the first
+/// uncovered core, with the incumbent (greedy) weight as the bound. The
+/// node budget caps pathological inputs; `None` means the budget ran out
+/// and the caller should keep the greedy answer.
+fn branch_and_bound<F: Fn(Site) -> u64>(
+    cores: &[&Core],
+    universe: &BTreeSet<Site>,
+    w: &F,
+    incumbent: &[Site],
+) -> Option<Vec<Site>> {
+    let _ = universe;
+    let mut best: Vec<Site> = incumbent.to_vec();
+    let mut best_w = total(incumbent, w);
+    let mut budget = 200_000usize;
+    let mut partial: Vec<Site> = Vec::new();
+    fn recurse<F: Fn(Site) -> u64>(
+        cores: &[&Core],
+        w: &F,
+        partial: &mut Vec<Site>,
+        partial_w: u64,
+        best: &mut Vec<Site>,
+        best_w: &mut u64,
+        budget: &mut usize,
+    ) -> bool {
+        if *budget == 0 {
+            return false;
+        }
+        *budget -= 1;
+        let Some(open) = cores
+            .iter()
+            .find(|c| !c.iter().any(|s| partial.contains(s)))
+        else {
+            // Everything hit — new incumbent (strictly better by the prune).
+            *best = partial.clone();
+            best.sort_unstable();
+            *best_w = partial_w;
+            return true;
+        };
+        for &s in open.iter() {
+            let nw = partial_w + w(s);
+            if nw >= *best_w {
+                continue;
+            }
+            partial.push(s);
+            let ok = recurse(cores, w, partial, nw, best, best_w, budget);
+            partial.pop();
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+    let complete = recurse(
+        cores,
+        w,
+        &mut partial,
+        0,
+        &mut best,
+        &mut best_w,
+        &mut budget,
+    );
+    complete.then_some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(proc: usize, pc: usize) -> Site {
+        Site { proc, pc }
+    }
+
+    fn core(sites: &[Site]) -> Core {
+        sites.iter().copied().collect()
+    }
+
+    #[test]
+    fn empty_cores_need_no_sites() {
+        assert!(hitting_set(&[], &BTreeMap::new(), &BTreeMap::new(), 16).is_empty());
+    }
+
+    #[test]
+    fn single_core_picks_cheapest_site() {
+        let cores = [core(&[s(0, 1), s(0, 5)])];
+        let weight = BTreeMap::from([(s(0, 1), 10), (s(0, 5), 1)]);
+        assert_eq!(
+            hitting_set(&cores, &weight, &BTreeMap::new(), 16),
+            vec![s(0, 5)]
+        );
+    }
+
+    #[test]
+    fn shared_site_covers_multiple_cores() {
+        let cores = [
+            core(&[s(0, 1), s(0, 2)]),
+            core(&[s(0, 2), s(0, 3)]),
+            core(&[s(0, 2), s(1, 7)]),
+        ];
+        assert_eq!(
+            hitting_set(&cores, &BTreeMap::new(), &BTreeMap::new(), 16),
+            vec![s(0, 2)]
+        );
+    }
+
+    #[test]
+    fn exact_matches_brute_force_minimum() {
+        // Several fixed instances; the solver's weight must equal the
+        // brute-force minimum over all subsets.
+        let u: Vec<Site> = (0..6).map(|i| s(i % 2, i)).collect();
+        let instances: Vec<(Vec<Core>, BTreeMap<Site, u64>)> = vec![
+            (
+                vec![
+                    core(&[u[0], u[1]]),
+                    core(&[u[1], u[2]]),
+                    core(&[u[2], u[3]]),
+                    core(&[u[3], u[4]]),
+                    core(&[u[4], u[5]]),
+                ],
+                BTreeMap::from([(u[1], 3), (u[3], 1), (u[4], 2)]),
+            ),
+            (
+                vec![
+                    core(&[u[0], u[2], u[4]]),
+                    core(&[u[1], u[3], u[5]]),
+                    core(&[u[0], u[5]]),
+                    core(&[u[2], u[3]]),
+                ],
+                BTreeMap::from([(u[0], 5), (u[2], 2), (u[5], 2)]),
+            ),
+        ];
+        for (cores, weight) in &instances {
+            let got = hitting_set(cores, weight, &BTreeMap::new(), 16);
+            let w = |x: Site| weight.get(&x).copied().unwrap_or(1).max(1);
+            let got_w: u64 = got.iter().map(|&x| w(x)).sum();
+            // Brute force over all subsets of the universe.
+            let univ: Vec<Site> = cores
+                .iter()
+                .flatten()
+                .copied()
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect();
+            let mut best = u64::MAX;
+            for bits in 0u32..(1 << univ.len()) {
+                let pick: Vec<Site> = univ
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| bits >> i & 1 == 1)
+                    .map(|(_, &x)| x)
+                    .collect();
+                if cores.iter().all(|c| pick.iter().any(|x| c.contains(x))) {
+                    best = best.min(pick.iter().map(|&x| w(x)).sum());
+                }
+            }
+            assert_eq!(got_w, best, "suboptimal placement {got:?}");
+        }
+    }
+
+    #[test]
+    fn every_core_is_hit() {
+        let cores = [
+            core(&[s(0, 1), s(1, 4)]),
+            core(&[s(1, 2)]),
+            core(&[s(0, 3), s(1, 4), s(1, 2)]),
+        ];
+        let got = hitting_set(&cores, &BTreeMap::new(), &BTreeMap::new(), 0);
+        for c in &cores {
+            assert!(got.iter().any(|g| c.contains(g)), "core {c:?} unhit");
+        }
+    }
+
+    #[test]
+    fn tiebreak_prefers_higher_conflict_count() {
+        let cores = [core(&[s(0, 1), s(0, 2)])];
+        let tb = BTreeMap::from([(s(0, 1), 5), (s(0, 2), 50)]);
+        assert_eq!(hitting_set(&cores, &BTreeMap::new(), &tb, 0), vec![s(0, 2)]);
+    }
+}

@@ -77,6 +77,7 @@ pub mod machine;
 pub mod model;
 pub mod process;
 pub mod reg;
+pub mod reorder;
 pub mod rmr;
 pub mod sched;
 pub mod stats;
@@ -93,5 +94,6 @@ pub use machine::{
 pub use model::MemoryModel;
 pub use process::{AccessSet, FutureAccess, Poised, PoisedKind, Process};
 pub use reg::{MemoryLayout, ProcId, RegId, RegSet};
+pub use reorder::{reorder_edges, ReorderEdge, ReorderKind};
 pub use sched::{SchedElem, Schedule};
 pub use value::Value;

@@ -1,0 +1,382 @@
+//! Reorder-edge extraction from replayed counterexamples.
+//!
+//! A violation found under TSO/PSO but not under SC is enabled by specific
+//! *inversions* of program order: a process acted on shared memory while an
+//! older write of its own was still sitting in its write buffer, or the
+//! system committed a younger buffered write before an older one (PSO
+//! only). Each such inversion is a **reorder edge**; a fence placed at the
+//! right program point would have forced the buffer to drain first and
+//! killed the edge.
+//!
+//! [`reorder_edges`] replays a schedule (typically a model-checker
+//! counterexample) on a clone of the machine and shadow-tracks each
+//! process's buffered writes as `(register, issue pc)` pairs, recording an
+//! edge whenever the replay performs an inversion. Each edge carries its
+//! *candidate set*: the pcs of buffered writes such that inserting a fence
+//! immediately after that pc provably breaks this edge (the fence would
+//! drain the overtaken write before the overtaking access executes). The
+//! fence-synthesis engine (`crates/synth`) unions candidate sets into
+//! counterexample cores and solves a hitting-set problem over them.
+//!
+//! Edge pcs come from [`Process::obs_pc`]; for processes that do not
+//! report a pc (the default), edges are still detected but their pcs are
+//! `u32::MAX` and useless as insertion sites.
+
+use crate::buffer::WriteBuffer;
+use crate::machine::Machine;
+use crate::process::{Poised, Process};
+use crate::reg::{ProcId, RegId};
+use crate::sched::SchedElem;
+
+/// The two inversion shapes a write buffer can produce.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReorderKind {
+    /// The process performed a globally visible operation (memory read,
+    /// return) while an older write of its own was still buffered — the
+    /// classic store→load reordering (TSO and PSO).
+    OpOvertakesWrite,
+    /// The system committed a younger buffered write before an older one —
+    /// store→store reordering (PSO only; TSO's FIFO buffer cannot do this).
+    CommitInversion,
+}
+
+/// One program-order inversion observed during replay.
+#[derive(Clone, Debug)]
+pub struct ReorderEdge {
+    /// The process whose buffered write was overtaken.
+    pub proc: ProcId,
+    /// pc of the oldest overtaken buffered write.
+    pub write_pc: u32,
+    /// Register of that write.
+    pub write_reg: RegId,
+    /// pc of the access that acted first despite being later in program
+    /// order (for [`ReorderKind::CommitInversion`], the issue pc of the
+    /// younger write whose commit jumped the queue).
+    pub overtake_pc: u32,
+    /// Which inversion shape this is.
+    pub kind: ReorderKind,
+    /// Index into the replayed schedule at which the inversion surfaced.
+    pub step: usize,
+    /// pcs such that a fence inserted immediately after that pc breaks
+    /// this edge (always non-empty; includes `write_pc`).
+    pub candidates: Vec<u32>,
+}
+
+impl std::fmt::Display for ReorderEdge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            ReorderKind::OpOvertakesWrite => "op-overtakes-write",
+            ReorderKind::CommitInversion => "commit-inversion",
+        };
+        write!(
+            f,
+            "p{} write@{} {} overtaken-by@{} kind={} step={} candidates={:?}",
+            self.proc.0,
+            self.write_pc,
+            self.write_reg,
+            self.overtake_pc,
+            kind,
+            self.step,
+            self.candidates
+        )
+    }
+}
+
+/// A buffered write being shadow-tracked: register, issue pc, issue order.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    reg: RegId,
+    pc: u32,
+}
+
+/// Replay `schedule` on a clone of `machine` and extract every reorder
+/// edge. Replay stops early (returning the edges found so far) if the
+/// schedule is not executable on the machine — callers replaying checker
+/// counterexamples on the machine they were found on will never hit that.
+#[must_use]
+pub fn reorder_edges<P: Process>(machine: &Machine<P>, schedule: &[SchedElem]) -> Vec<ReorderEdge> {
+    let mut m = machine.clone();
+    let mut shadow: Vec<Vec<Pending>> = vec![Vec::new(); m.n()];
+    let mut edges = Vec::new();
+    for (step, &elem) in schedule.iter().enumerate() {
+        let p = elem.proc;
+        if elem.crash {
+            // Both crash semantics leave the buffer empty (discarded or
+            // drained); either way nothing is pending afterwards.
+            if m.try_step(elem).is_err() {
+                break;
+            }
+            shadow[p.0 as usize].clear();
+            continue;
+        }
+        if let Some(reg) = elem.reg {
+            // System commit step.
+            if m.try_step(elem).is_err() {
+                break;
+            }
+            commit(&mut shadow[p.0 as usize], p, reg, step, &mut edges);
+            continue;
+        }
+        // Process op step: classify from the poised operation before it runs.
+        let poised = m.poised(p);
+        let pc = m.process(p).obs_pc().unwrap_or(u32::MAX);
+        let buffered = !matches!(m.buffer(p), WriteBuffer::Sc);
+        let pso = matches!(m.buffer(p), WriteBuffer::Pso(_));
+        match poised {
+            Poised::Write(reg, _) if buffered => {
+                if m.try_step(elem).is_err() {
+                    break;
+                }
+                let pend = &mut shadow[p.0 as usize];
+                if pso {
+                    // PSO coalesces: the buffer holds one slot per register.
+                    pend.retain(|e| e.reg != reg);
+                }
+                pend.push(Pending { reg, pc });
+            }
+            Poised::Read(reg) => {
+                let from_buffer = m.buffer(p).regs().contains(&reg);
+                if m.try_step(elem).is_err() {
+                    break;
+                }
+                if !from_buffer {
+                    overtake(&shadow[p.0 as usize], p, pc, step, &mut edges);
+                }
+            }
+            Poised::Return(_) => {
+                if m.try_step(elem).is_err() {
+                    break;
+                }
+                overtake(&shadow[p.0 as usize], p, pc, step, &mut edges);
+            }
+            Poised::Fence | Poised::Cas { .. } | Poised::Swap { .. } => {
+                // With a non-empty buffer these steps commit one buffered
+                // write (the machine's drain rule) instead of executing;
+                // detect which register left the buffer and treat it as a
+                // commit, so PSO's smallest-register drain order can still
+                // surface inversions.
+                let before: Vec<RegId> = m.buffer(p).regs();
+                if m.try_step(elem).is_err() {
+                    break;
+                }
+                let after: Vec<RegId> = m.buffer(p).regs();
+                for reg in before.iter().filter(|r| !after.contains(r)) {
+                    commit(&mut shadow[p.0 as usize], p, *reg, step, &mut edges);
+                }
+            }
+            _ => {
+                if m.try_step(elem).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Record the commit of `reg` by process `p`: if the committed write was
+/// not the oldest pending one, that is a store→store inversion.
+fn commit(
+    pend: &mut Vec<Pending>,
+    p: ProcId,
+    reg: RegId,
+    step: usize,
+    edges: &mut Vec<ReorderEdge>,
+) {
+    let Some(idx) = pend.iter().position(|e| e.reg == reg) else {
+        return;
+    };
+    if idx > 0 {
+        let oldest = pend[0];
+        let younger = pend[idx];
+        // A fence after any write issued before the younger one (the
+        // overtaken writes themselves) forces them committed before the
+        // younger write is even issued.
+        let candidates = pend[..idx].iter().map(|e| e.pc).collect();
+        edges.push(ReorderEdge {
+            proc: p,
+            write_pc: oldest.pc,
+            write_reg: oldest.reg,
+            overtake_pc: younger.pc,
+            kind: ReorderKind::CommitInversion,
+            step,
+            candidates,
+        });
+    }
+    pend.remove(idx);
+}
+
+/// Record a globally visible op by `p` at `pc` while writes are pending.
+fn overtake(pend: &[Pending], p: ProcId, pc: u32, step: usize, edges: &mut Vec<ReorderEdge>) {
+    let Some(oldest) = pend.first() else {
+        return;
+    };
+    // A fence after any currently pending write's pc drains the whole
+    // buffer — including the oldest — before control reaches this op.
+    let candidates = pend.iter().map(|e| e.pc).collect();
+    edges.push(ReorderEdge {
+        proc: p,
+        write_pc: oldest.pc,
+        write_reg: oldest.reg,
+        overtake_pc: pc,
+        kind: ReorderKind::OpOvertakesWrite,
+        step,
+        candidates,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use crate::model::MemoryModel;
+    use crate::reg::MemoryLayout;
+    use crate::value::Value;
+
+    /// A scripted process: a fixed list of poised operations, advanced in
+    /// order, reporting its index as the pc.
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct Script {
+        ops: Vec<Poised>,
+        at: usize,
+    }
+
+    impl Script {
+        fn new(ops: Vec<Poised>) -> Self {
+            Script { ops, at: 0 }
+        }
+    }
+
+    impl Process for Script {
+        fn poised(&self) -> Poised {
+            self.ops.get(self.at).copied().unwrap_or(Poised::Done)
+        }
+        fn advance(&mut self, _read: Option<Value>) {
+            self.at += 1;
+        }
+        fn obs_pc(&self) -> Option<u32> {
+            Some(self.at as u32)
+        }
+    }
+
+    fn machine(model: MemoryModel, scripts: Vec<Script>) -> Machine<Script> {
+        Machine::new(MachineConfig::new(model, MemoryLayout::unowned()), scripts)
+    }
+
+    #[test]
+    fn read_overtaking_pending_write_is_an_edge() {
+        // write r0; read r1  — the read acts while the write is buffered.
+        let m = machine(
+            MemoryModel::Tso,
+            vec![Script::new(vec![
+                Poised::Write(RegId(0), Value::Int(1)),
+                Poised::Read(RegId(1)),
+                Poised::Return(0),
+            ])],
+        );
+        let p = ProcId(0);
+        let sched = [SchedElem::op(p), SchedElem::op(p)];
+        let edges = reorder_edges(&m, &sched);
+        assert_eq!(edges.len(), 1);
+        let e = &edges[0];
+        assert_eq!(e.kind, ReorderKind::OpOvertakesWrite);
+        assert_eq!(e.write_pc, 0);
+        assert_eq!(e.write_reg, RegId(0));
+        assert_eq!(e.overtake_pc, 1);
+        assert_eq!(e.candidates, vec![0]);
+    }
+
+    #[test]
+    fn buffered_read_of_own_write_is_not_an_edge() {
+        // write r0; read r0 — served from the buffer, program order intact.
+        let m = machine(
+            MemoryModel::Tso,
+            vec![Script::new(vec![
+                Poised::Write(RegId(0), Value::Int(1)),
+                Poised::Read(RegId(0)),
+                Poised::Return(0),
+            ])],
+        );
+        let p = ProcId(0);
+        let sched = [SchedElem::op(p), SchedElem::op(p)];
+        assert!(reorder_edges(&m, &sched).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_commit_is_an_edge_under_pso() {
+        // write r0; write r1; commit r1 first — PSO store→store inversion.
+        let m = machine(
+            MemoryModel::Pso,
+            vec![Script::new(vec![
+                Poised::Write(RegId(0), Value::Int(1)),
+                Poised::Write(RegId(1), Value::Int(2)),
+                Poised::Return(0),
+            ])],
+        );
+        let p = ProcId(0);
+        let sched = [
+            SchedElem::op(p),
+            SchedElem::op(p),
+            SchedElem::commit(p, RegId(1)),
+        ];
+        let edges = reorder_edges(&m, &sched);
+        assert_eq!(edges.len(), 1);
+        let e = &edges[0];
+        assert_eq!(e.kind, ReorderKind::CommitInversion);
+        assert_eq!(e.write_pc, 0);
+        assert_eq!(e.overtake_pc, 1);
+        assert_eq!(e.candidates, vec![0]);
+    }
+
+    #[test]
+    fn in_order_commits_are_silent() {
+        let m = machine(
+            MemoryModel::Pso,
+            vec![Script::new(vec![
+                Poised::Write(RegId(0), Value::Int(1)),
+                Poised::Write(RegId(1), Value::Int(2)),
+                Poised::Return(0),
+            ])],
+        );
+        let p = ProcId(0);
+        let sched = [
+            SchedElem::op(p),
+            SchedElem::op(p),
+            SchedElem::commit(p, RegId(0)),
+            SchedElem::commit(p, RegId(1)),
+        ];
+        assert!(reorder_edges(&m, &sched).is_empty());
+    }
+
+    #[test]
+    fn sc_machine_yields_no_edges() {
+        let m = machine(
+            MemoryModel::Sc,
+            vec![Script::new(vec![
+                Poised::Write(RegId(0), Value::Int(1)),
+                Poised::Read(RegId(1)),
+                Poised::Return(0),
+            ])],
+        );
+        let p = ProcId(0);
+        let sched = [SchedElem::op(p), SchedElem::op(p), SchedElem::op(p)];
+        assert!(reorder_edges(&m, &sched).is_empty());
+    }
+
+    #[test]
+    fn return_with_pending_write_is_an_edge() {
+        let m = machine(
+            MemoryModel::Tso,
+            vec![Script::new(vec![
+                Poised::Write(RegId(0), Value::Int(1)),
+                Poised::Return(0),
+            ])],
+        );
+        let p = ProcId(0);
+        let sched = [SchedElem::op(p), SchedElem::op(p)];
+        let edges = reorder_edges(&m, &sched);
+        assert_eq!(edges.len(), 1);
+        assert_eq!(edges[0].kind, ReorderKind::OpOvertakesWrite);
+        assert_eq!(edges[0].overtake_pc, 1);
+    }
+}

@@ -44,6 +44,12 @@ FT_E11_FAST=1 cargo run --release -p ft-bench --bin exp_e11_crash_recovery
 echo "==> E12 reduction experiment (fast mode: n = 2 factors only)"
 FT_E12_FAST=1 cargo run --release -p ft-bench --bin exp_e12_reduction
 
+echo "==> fence-synthesis differential suite (engine x model x crash matrix + minimality proptest, FT_THREADS=2)"
+FT_THREADS=2 cargo test -q -p ftsynth --test differential_synth
+
+echo "==> E16 synthesis experiment (fast mode: n = 2 CEGAR + Pareto sweep)"
+FT_E16_FAST=1 cargo run --release -p ft-bench --bin exp_e16_synthesis
+
 echo "==> obs proptest suite (metrics merge algebra, shard folding)"
 cargo test -q -p ftobs --test proptests
 
