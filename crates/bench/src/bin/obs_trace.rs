@@ -1,0 +1,236 @@
+//! **obs_trace** — the causal-trace consumer: turn `kind:"span"` JSONL
+//! streams into Chrome trace-event JSON that Perfetto (or
+//! `chrome://tracing`) loads directly, validate the span forest, and
+//! attribute wall-clock to phases.
+//!
+//! Usage:
+//!
+//! ```text
+//! obs_trace [--follow] [stream.jsonl ...]
+//! ```
+//!
+//! With no paths, every `*.jsonl` (and crashed-run `*.jsonl.partial`)
+//! under `results/obs/` is scanned — the same discovery rule as
+//! `obs_report`, so the two tools always see the same streams. The
+//! default mode:
+//!
+//! 1. parses spans out of every stream (torn trailing lines are
+//!    tolerated, exactly like the metrics report),
+//! 2. **validates** the forest — unique nonzero ids, parent edges
+//!    pointing strictly at earlier spans, no orphan steal edges — and
+//!    exits non-zero on the first violation (CI runs this as a guard),
+//! 3. writes `results/obs/trace.json` in Chrome trace-event format, and
+//! 4. prints the per-phase wall-time table and appends it to
+//!    `results/obs/report.md` under a `## Trace phases` heading, so the
+//!    Markdown report carries the attribution next to the metric tables.
+//!
+//! `--follow` instead tails one live stream (the newest by default) and
+//! prints a human line per heartbeat / watchdog trip / final snapshot —
+//! including the estimator's projected total and ETA once the engine has
+//! sampled enough of the tree. The tail survives the sink's crash-safe
+//! `.partial` → final rename. `FT_FOLLOW_IDLE_MS` bounds how long the
+//! tail waits without new data before exiting (default: forever).
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+use ftobs::report::{parse_line, stream_lines};
+use ftobs::{chrome_trace, follow_line, parse_spans, phase_table, validate_spans, SpanRow};
+
+/// Every readable stream under `results/obs/`, including crashed-run
+/// `.partial` artifacts (their spans are still attributable).
+fn discover() -> Vec<PathBuf> {
+    let mut found: Vec<PathBuf> = std::fs::read_dir(ft_bench::obs_dir())
+        .map(|rd| {
+            rd.filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension().is_some_and(|x| x == "jsonl")
+                        || p.to_string_lossy().ends_with(".jsonl.partial")
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    found.sort();
+    found
+}
+
+/// The stream a bare `--follow` should watch: the most recently modified
+/// discovered stream, preferring a live `.partial` over finished files.
+fn newest(paths: &[PathBuf]) -> Option<PathBuf> {
+    paths
+        .iter()
+        .max_by_key(|p| {
+            let live = u8::from(p.to_string_lossy().ends_with(".partial"));
+            let mtime = std::fs::metadata(p)
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::UNIX_EPOCH);
+            (live, mtime)
+        })
+        .cloned()
+}
+
+/// Tail `path`, rendering each complete event line through
+/// [`follow_line`]. Tracks a byte offset rather than keeping the file
+/// open so the crash-safe rename (`x.jsonl.partial` → `x.jsonl`) does
+/// not strand the tail: when the watched file disappears, its renamed
+/// sibling is picked up at the same offset.
+fn follow(path: &Path, idle_limit: Option<Duration>) -> ExitCode {
+    let mut watched = path.to_path_buf();
+    let mut offset = 0usize;
+    let mut carry = String::new();
+    let mut last_new = Instant::now();
+    println!("following {} (ctrl-c to stop)", watched.display());
+    loop {
+        if !watched.exists() {
+            let s = watched.to_string_lossy();
+            let renamed = s
+                .strip_suffix(".partial")
+                .map(PathBuf::from)
+                .filter(|p| p.exists());
+            if let Some(p) = renamed {
+                watched = p;
+            }
+        }
+        let text = std::fs::read_to_string(&watched).unwrap_or_default();
+        if text.len() < offset {
+            // Recreated from scratch (new run over the same path).
+            offset = 0;
+            carry.clear();
+        }
+        if text.len() > offset {
+            last_new = Instant::now();
+            let mut chunk = std::mem::take(&mut carry);
+            chunk.push_str(&text[offset..]);
+            offset = text.len();
+            let complete = match chunk.rfind('\n') {
+                Some(nl) => {
+                    carry = chunk[nl + 1..].to_string();
+                    chunk[..=nl].to_string()
+                }
+                None => {
+                    carry = chunk;
+                    String::new()
+                }
+            };
+            for line in complete.lines() {
+                if let Some(out) = parse_line(line).as_ref().and_then(follow_line) {
+                    println!("{out}");
+                }
+            }
+            let _ = std::io::stdout().flush();
+        } else if idle_limit.is_some_and(|lim| last_new.elapsed() > lim) {
+            println!(
+                "no new events for {} ms; exiting",
+                last_new.elapsed().as_millis()
+            );
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(Duration::from_millis(200));
+    }
+}
+
+fn main() -> ExitCode {
+    let mut follow_mode = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--follow" {
+            follow_mode = true;
+        } else {
+            paths.push(PathBuf::from(a));
+        }
+    }
+    if paths.is_empty() {
+        paths = discover();
+    }
+    if paths.is_empty() {
+        eprintln!(
+            "obs_trace: no JSONL streams under results/obs/ (run a traced experiment \
+             first — e.g. FT_OBS_TRACE=1 exp_e17_estimator — or pass paths)"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if follow_mode {
+        let idle = std::env::var("FT_FOLLOW_IDLE_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .map(Duration::from_millis);
+        let Some(target) = (if paths.len() == 1 {
+            Some(paths.remove(0))
+        } else {
+            newest(&paths)
+        }) else {
+            eprintln!("obs_trace: nothing to follow");
+            return ExitCode::FAILURE;
+        };
+        return follow(&target, idle);
+    }
+
+    let mut rows: Vec<SpanRow> = Vec::new();
+    let mut torn = 0usize;
+    for p in &paths {
+        match std::fs::read_to_string(p) {
+            Ok(text) => {
+                if stream_lines(&text).1.is_some() {
+                    torn += 1;
+                }
+                rows.extend(parse_spans(&text));
+            }
+            Err(e) => eprintln!("obs_trace: skipping {}: {e}", p.display()),
+        }
+    }
+    if rows.is_empty() {
+        eprintln!(
+            "obs_trace: no span events in {} stream(s) — were the runs traced \
+             (Recorder::builder().trace(true) or FT_OBS_TRACE=1)?",
+            paths.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    // Streams are independent forests; span ids are process-global and
+    // monotonic, so the union still satisfies the forest invariants.
+    rows.sort_by_key(|r| (r.ts_us, r.id));
+    if let Err(e) = validate_spans(&rows) {
+        eprintln!("obs_trace: INVALID span forest: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let tasks = rows.iter().filter(|r| r.name == "task").count();
+    let steals = rows.iter().filter(|r| r.name == "publish").count();
+    let json = chrome_trace(&rows);
+    let out = ft_bench::obs_dir().join("trace.json");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("obs_trace: could not write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+
+    let table = phase_table(&rows);
+    println!("## Trace phases\n\n{table}");
+    println!(
+        "{} spans ({tasks} tasks, {steals} publish edges) from {} stream(s), {torn} torn tail(s) skipped",
+        rows.len(),
+        paths.len()
+    );
+    println!(
+        "wrote {} (load in Perfetto / chrome://tracing)",
+        out.display()
+    );
+
+    let report = ft_bench::obs_dir().join("report.md");
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&report)
+    {
+        Ok(mut f) => {
+            let _ = writeln!(f, "\n## Trace phases\n\n{table}");
+            eprintln!("appended phase table to {}", report.display());
+        }
+        Err(e) => eprintln!("obs_trace: could not append to {}: {e}", report.display()),
+    }
+    ExitCode::SUCCESS
+}

@@ -32,7 +32,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use ftobs::{Gauge, Metric, MetricsSnapshot, Progress, Recorder};
+use ftobs::{Estimate, Gauge, Metric, MetricsSnapshot, Progress, Recorder, TreeEstimator};
 use por::{BaseCounts, ForkPoint, RunMeta, SleepSet, Snapshot};
 use wbmem::{CrashSemantics, Machine, MachineError, Process, SchedElem, StepOutcome, UndoToken};
 
@@ -429,7 +429,7 @@ impl fmt::Display for Counterexample {
 /// Coverage accompanying an inconclusive (budget-limited) verdict: how far
 /// the aborted exploration got. `Stats` carries the states explored; this
 /// carries the size of the unexplored frontier.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default)]
 pub struct Coverage {
     /// Open DFS frames (states with unexplored outgoing transitions) at the
     /// moment the budget expired, summed over workers for the parallel
@@ -444,6 +444,36 @@ pub struct Coverage {
     /// [`CheckConfig::checkpoint`] policy was set and the write succeeded
     /// (`None` otherwise). Pass it to [`crate::resume`] to continue.
     pub checkpoint: Option<PathBuf>,
+    /// Knuth path-sampling estimate of the *total* distinct states a
+    /// completed run would visit (see `ftobs::estimate`), when the engine
+    /// maintained one. An estimate, not a bound — DESIGN §6a discusses
+    /// its bias.
+    pub est_total_states: Option<u64>,
+    /// Estimated states left unexplored (`est_total_states - states`).
+    pub est_remaining: Option<u64>,
+}
+
+// Manual: equality deliberately skips the `est_*` fields — they depend
+// on traversal order and timing (what fraction of the tree each engine
+// had seen at the cut), so the differential suites compare coverage on
+// its deterministic projection only, exactly like `MetricsSnapshot`.
+impl PartialEq for Coverage {
+    fn eq(&self, other: &Self) -> bool {
+        self.frontier == other.frontier
+            && self.sleep_hits == other.sleep_hits
+            && self.checkpoint == other.checkpoint
+    }
+}
+
+impl Eq for Coverage {}
+
+impl Coverage {
+    /// Attach a progress estimate (both fields or neither).
+    pub(crate) fn with_estimate(mut self, est: Option<Estimate>) -> Coverage {
+        self.est_total_states = est.map(|e| e.total_states);
+        self.est_remaining = est.map(|e| e.remaining);
+        self
+    }
 }
 
 /// A checker-level failure: the exploration could not be carried out, as
@@ -782,6 +812,7 @@ pub(crate) fn poll_observe(
     dedup_occupancy: usize,
     budget: Option<Duration>,
     deadline: Option<Instant>,
+    estimate: Option<Estimate>,
 ) -> bool {
     if !obs.is_enabled() {
         return deadline.is_some_and(|d| Instant::now() >= d);
@@ -799,6 +830,7 @@ pub(crate) fn poll_observe(
         frontier: frontier as u64,
         budget,
         spent,
+        estimate,
     });
     deadline.is_some_and(|d| now >= d)
 }
@@ -830,6 +862,21 @@ pub(crate) fn config_hash(config: &CheckConfig) -> u64 {
     h.finish()
 }
 
+/// Fold a 128-bit state fingerprint to 64 bits (for run ids).
+pub(crate) fn fold_fp(fp: u128) -> u64 {
+    #[allow(clippy::cast_possible_truncation)]
+    let folded = (fp as u64) ^ ((fp >> 64) as u64);
+    folded
+}
+
+/// Compact per-run identifier stamped on trace spans: the configuration
+/// hash folded with the (crash-bound) root fingerprint. Recomputable
+/// from a checkpoint's `RunMeta`, which is how a resumed run's trace
+/// links back to its interrupted predecessor (`prev_run`).
+pub(crate) fn run_id(config: &CheckConfig, root_fp: u128) -> u64 {
+    config_hash(config) ^ fold_fp(root_fp)
+}
+
 /// `config` with its checkpoint policy stripped, for the parallel
 /// engines' deterministic sequential reruns: a rerun reproduces a
 /// violation/limit/stuck verdict bit-identically, and must not be cut
@@ -848,6 +895,33 @@ pub(crate) fn without_checkpoint(config: &CheckConfig) -> CheckConfig {
 /// `checkpoint_failed` event and returns `None` — the run's verdict
 /// still stands, only the resume artifact is lost.
 pub(crate) fn write_checkpoint(
+    obs: &Recorder,
+    policy: &CheckpointPolicy,
+    snap: &Snapshot,
+) -> Option<PathBuf> {
+    let mut tctx = obs.trace_ctx();
+    let span = tctx.begin();
+    let out = write_checkpoint_attempts(obs, policy, snap);
+    if tctx.enabled() {
+        tctx.end(
+            span,
+            "checkpoint",
+            obs.trace_root(),
+            &[
+                (
+                    "run",
+                    ftobs::J::U(snap.meta.config_hash ^ fold_fp(snap.meta.program_hash)),
+                ),
+                ("ok", ftobs::J::B(out.is_some())),
+                ("forks", ftobs::J::U(snap.forks.len() as u64)),
+                ("states", ftobs::J::U(snap.base.states)),
+            ],
+        );
+    }
+    out
+}
+
+fn write_checkpoint_attempts(
     obs: &Recorder,
     policy: &CheckpointPolicy,
     snap: &Snapshot,
@@ -930,6 +1004,19 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
     } else {
         initial
     };
+    // Causal trace: one `engine` span per dispatch, parented under
+    // whatever enclosing span set the recorder's root (a model sweep, a
+    // resume, nothing). Engine-internal spans nest under it via that
+    // same root while the dispatch runs.
+    let mut tctx = config.recorder.trace_ctx();
+    let espan = tctx.begin();
+    let span_parent = config.recorder.trace_root();
+    let run = if tctx.enabled() {
+        config.recorder.set_trace_root(espan.id);
+        run_id(config, fingerprint(root))
+    } else {
+        0
+    };
     let mut verdict = match config.engine {
         Engine::CloneDfs => check_clone_dfs(root, config, deadline),
         Engine::Undo => check_undo(root, config, deadline),
@@ -943,6 +1030,21 @@ pub fn check<P: Process>(initial: &Machine<P>, config: &CheckConfig) -> Verdict 
         } => crate::pardpor::check_pardpor(root, config, threads, reorder_bound, deadline, None),
     };
     verdict.stats_mut().elapsed = start.elapsed();
+    if tctx.enabled() {
+        config.recorder.set_trace_root(span_parent);
+        tctx.end(
+            espan,
+            "engine",
+            span_parent,
+            &[
+                ("run", ftobs::J::U(run)),
+                ("engine", ftobs::J::s(config.engine.label())),
+                ("verdict", ftobs::J::s(verdict.label())),
+                ("states", ftobs::J::U(verdict.stats().states as u64)),
+            ],
+        );
+        tctx.flush();
+    }
     if config.recorder.is_enabled() {
         verdict.stats_mut().metrics = config.recorder.snapshot();
         config.recorder.emit_snapshot(&[
@@ -969,6 +1071,8 @@ fn check_clone_dfs<P: Process>(
     // Batches the per-edge counters; flushed into the recorder on every
     // exit path by its Drop impl.
     let mut tally = obs.tally();
+    let mut est = TreeEstimator::new();
+    est.begin_task();
     let mut visited: HashSet<u128> = HashSet::new();
     let mut stats = Stats::default();
     let mut index = SearchIndex::default();
@@ -1003,31 +1107,36 @@ fn check_clone_dfs<P: Process>(
     // unrecorded so counterexample replays do not pollute the metrics.
     let mut root_m = initial.clone();
     root_m.set_recorder(obs.clone());
-    stack.push((root_m, root_id, initial.choices()));
+    let root_choices = initial.choices();
+    est.push(root_choices.len());
+    stack.push((root_m, root_id, root_choices));
 
     let mut iters = 0usize;
     while let Some((m, id, mut choices)) = stack.pop() {
         iters += 1;
-        if iters & DEADLINE_POLL_MASK == 0
-            && poll_observe(
+        if iters & DEADLINE_POLL_MASK == 0 {
+            let estimate = est.estimate(stats.states as u64);
+            if poll_observe(
                 obs,
                 &stats,
                 stack.len() + 1,
                 visited.len(),
                 config.budget,
                 deadline,
-            )
-        {
-            return Verdict::Inconclusive(
-                stats,
-                Coverage {
-                    frontier: stack.len() + 1,
-                    sleep_hits: 0,
-                    checkpoint: None,
-                },
-            );
+                estimate,
+            ) {
+                return Verdict::Inconclusive(
+                    stats,
+                    Coverage {
+                        frontier: stack.len() + 1,
+                        ..Coverage::default()
+                    }
+                    .with_estimate(estimate),
+                );
+            }
         }
         let Some(elem) = choices.pop() else {
+            est.pop();
             continue;
         };
         // Put the remainder back before descending.
@@ -1036,6 +1145,7 @@ fn check_clone_dfs<P: Process>(
 
         if matches!(child.step(elem), StepOutcome::NoOp) {
             tally.noop_step();
+            est.leaf();
             continue;
         }
         stats.transitions += 1;
@@ -1049,6 +1159,7 @@ fn check_clone_dfs<P: Process>(
         }
         if !fresh || !visited.insert(fp) {
             tally.dedup_hit();
+            est.leaf();
             continue;
         }
         stats.states += 1;
@@ -1067,6 +1178,7 @@ fn check_clone_dfs<P: Process>(
             stats.terminal_states += 1;
             terminal.push(child_id);
             tally.terminal_state();
+            est.leaf();
             if config.check_permutation && !returns_are_permutation(&child) {
                 return Verdict::PermutationViolation(
                     stats,
@@ -1081,6 +1193,7 @@ fn check_clone_dfs<P: Process>(
             !child_choices.is_empty(),
             "non-terminal state has no choices"
         );
+        est.push(child_choices.len());
         stack.push((child, child_id, child_choices));
     }
 
@@ -1140,6 +1253,7 @@ fn undo_snapshot<P: Process>(
             choices: arena[f.start..f.next].iter().rev().copied().collect(),
             excluded: Vec::new(),
             remaining: u32::MAX,
+            span: config.recorder.trace_root().0,
         })
         .collect();
     let mut vis: Vec<u128> = visited.iter().copied().collect();
@@ -1182,6 +1296,8 @@ fn check_undo<P: Process>(
     // Batches the per-edge counters; flushed into the recorder on every
     // exit path by its Drop impl.
     let mut tally = obs.tally();
+    let mut est = TreeEstimator::new();
+    est.begin_task();
     let mut visited: HashSet<u128> = HashSet::new();
     let mut stats = Stats::default();
     let mut index = SearchIndex::default();
@@ -1225,6 +1341,7 @@ fn check_undo<P: Process>(
 
     m.choices_into(&mut scratch);
     arena.extend_from_slice(&scratch);
+    est.push(scratch.len());
     frames.push(Frame {
         id: root_id,
         start: 0,
@@ -1258,9 +1375,10 @@ fn check_undo<P: Process>(
                     stats,
                     Coverage {
                         frontier,
-                        sleep_hits: 0,
                         checkpoint: write_checkpoint(obs, pol, &snap),
-                    },
+                        ..Coverage::default()
+                    }
+                    .with_estimate(est.estimate(stats.states as u64)),
                 );
             }
         }
@@ -1268,6 +1386,7 @@ fn check_undo<P: Process>(
             let over_occupancy = policy
                 .and_then(|p| p.max_occupancy)
                 .is_some_and(|cap| visited.len() >= cap);
+            let estimate = est.estimate(stats.states as u64);
             if poll_observe(
                 obs,
                 &stats,
@@ -1275,6 +1394,7 @@ fn check_undo<P: Process>(
                 visited.len(),
                 config.budget,
                 deadline,
+                estimate,
             ) || over_occupancy
             {
                 let checkpoint = policy.and_then(|pol| {
@@ -1298,9 +1418,10 @@ fn check_undo<P: Process>(
                     stats,
                     Coverage {
                         frontier: frames.len(),
-                        sleep_hits: 0,
                         checkpoint,
-                    },
+                        ..Coverage::default()
+                    }
+                    .with_estimate(estimate),
                 );
             }
             if let (Some(pol), Some(per)) = (policy, periodic.as_mut()) {
@@ -1327,6 +1448,7 @@ fn check_undo<P: Process>(
         if top.next == top.start {
             // Frame exhausted: rewind to the parent state.
             if let Some(frame) = frames.pop() {
+                est.pop();
                 arena.truncate(frame.start);
                 if let Some(token) = frame.token {
                     m.undo(token);
@@ -1342,6 +1464,7 @@ fn check_undo<P: Process>(
         let (out, token) = m.step_recorded(elem);
         if matches!(out, StepOutcome::NoOp) {
             tally.noop_step();
+            est.leaf();
             m.undo(token);
             continue;
         }
@@ -1356,6 +1479,7 @@ fn check_undo<P: Process>(
         }
         if !fresh || !visited.insert(fp) {
             tally.dedup_hit();
+            est.leaf();
             m.undo(token);
             continue;
         }
@@ -1375,6 +1499,7 @@ fn check_undo<P: Process>(
             stats.terminal_states += 1;
             terminal.push(child_id);
             tally.terminal_state();
+            est.leaf();
             if config.check_permutation && !returns_are_permutation(&m) {
                 return Verdict::PermutationViolation(
                     stats,
@@ -1389,6 +1514,7 @@ fn check_undo<P: Process>(
         m.choices_into(&mut scratch);
         debug_assert!(!scratch.is_empty(), "non-terminal state has no choices");
         arena.extend_from_slice(&scratch);
+        est.push(scratch.len());
         frames.push(Frame {
             id: child_id,
             start,
@@ -1575,8 +1701,7 @@ fn check_parallel<P: Process>(
             stats,
             Coverage {
                 frontier: reports.iter().map(|r| r.frontier).sum(),
-                sleep_hits: 0,
-                checkpoint: None,
+                ..Coverage::default()
             },
         );
     }
@@ -1722,6 +1847,7 @@ fn parallel_worker<P: Process>(
                     frontier: frames.len() as u64,
                     budget: config.budget,
                     spent,
+                    estimate: None,
                 });
             }
             if deadline.is_some_and(|d| Instant::now() >= d) {

@@ -28,7 +28,7 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use ftobs::{Gauge, Metric, MetricsSnapshot, Recorder};
+use ftobs::{Gauge, Metric, MetricsSnapshot, Recorder, TreeEstimator};
 use por::{expand, step_weight, BaseCounts, ForkPoint, RunMeta, SleepSet, Snapshot, VisitTable};
 use wbmem::{Footprint, Machine, Process, SchedElem, StepOutcome, UndoToken};
 
@@ -120,6 +120,7 @@ fn dpor_snapshot<P: Process>(
             choices: f.choices[f.next..].to_vec(),
             excluded: f.excluded.clone(),
             remaining: f.remaining,
+            span: config.recorder.trace_root().0,
         })
         .collect();
     Snapshot {
@@ -170,6 +171,8 @@ pub(crate) fn check_dpor<P: Process>(
     // exit path by its Drop impl. Sleep/ample/probe counters stay live:
     // they are DPOR-specific and comparatively rare.
     let mut tally = obs.tally();
+    let mut est = TreeEstimator::new();
+    est.begin_task();
     let mut stats = Stats::default();
     let mut sleep_hits = 0usize;
     let mut index = SearchIndex::default();
@@ -225,6 +228,7 @@ pub(crate) fn check_dpor<P: Process>(
         }
         sleep_hits += x.slept;
         on_stack.insert(root_fp, 1);
+        est.push(x.explore.len());
         frames.push(DFrame {
             id: root_id,
             fp: root_fp,
@@ -266,7 +270,9 @@ pub(crate) fn check_dpor<P: Process>(
                         frontier,
                         sleep_hits,
                         checkpoint: write_checkpoint(obs, pol, &snap),
-                    },
+                        ..Coverage::default()
+                    }
+                    .with_estimate(est.estimate(stats.states as u64)),
                 );
             }
         }
@@ -274,6 +280,7 @@ pub(crate) fn check_dpor<P: Process>(
             let over_occupancy = policy
                 .and_then(|p| p.max_occupancy)
                 .is_some_and(|cap| visited.len() >= cap);
+            let estimate = est.estimate(stats.states as u64);
             if poll_observe(
                 obs,
                 &stats,
@@ -281,6 +288,7 @@ pub(crate) fn check_dpor<P: Process>(
                 visited.len(),
                 config.budget,
                 deadline,
+                estimate,
             ) || over_occupancy
             {
                 let checkpoint = policy.and_then(|pol| {
@@ -306,7 +314,9 @@ pub(crate) fn check_dpor<P: Process>(
                         frontier: frames.len(),
                         sleep_hits,
                         checkpoint,
-                    },
+                        ..Coverage::default()
+                    }
+                    .with_estimate(estimate),
                 );
             }
             if let (Some(pol), Some(per)) = (policy, periodic.as_mut()) {
@@ -332,6 +342,7 @@ pub(crate) fn check_dpor<P: Process>(
         let Some(top) = frames.last_mut() else { break };
         if top.next == top.choices.len() {
             let frame = frames.pop().expect("non-empty stack");
+            est.pop();
             match on_stack.get_mut(&frame.fp) {
                 Some(1) => {
                     on_stack.remove(&frame.fp);
@@ -359,12 +370,14 @@ pub(crate) fn check_dpor<P: Process>(
             step_weight(&m, elem)
         };
         if weight > parent_remaining {
+            est.leaf();
             continue; // beyond the reorder bound: neither taken nor slept
         }
 
         let (out, token) = m.step_recorded(elem);
         if matches!(out, StepOutcome::NoOp) {
             tally.noop_step();
+            est.leaf();
             m.undo(token);
             continue;
         }
@@ -415,6 +428,7 @@ pub(crate) fn check_dpor<P: Process>(
         let child_remaining = parent_remaining - weight;
         let fresh = !visited.seen(fp);
         if !visited.try_claim(fp, &child_sleep, child_remaining) {
+            est.leaf();
             if disable_reduction {
                 // With empty sleeps and a constant budget every revisit is
                 // dominated: this is plain dedup, as in the undo engine.
@@ -446,6 +460,7 @@ pub(crate) fn check_dpor<P: Process>(
                 stats.terminal_states += 1;
                 terminal.push(child_id);
                 tally.terminal_state();
+                est.leaf();
                 if config.check_permutation && !returns_are_permutation(&m) {
                     return Verdict::PermutationViolation(
                         stats,
@@ -457,6 +472,7 @@ pub(crate) fn check_dpor<P: Process>(
             }
         } else if m.all_done() {
             // Re-entered terminal state (smaller sleep set): nothing to do.
+            est.leaf();
             m.undo(token);
             continue;
         }
@@ -482,6 +498,7 @@ pub(crate) fn check_dpor<P: Process>(
             }
         }
         *on_stack.entry(fp).or_insert(0) += 1;
+        est.push(x.explore.len());
         frames.push(DFrame {
             id: child_id,
             fp,

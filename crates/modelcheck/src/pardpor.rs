@@ -63,7 +63,9 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use ftobs::{Gauge, Metric, MetricsSnapshot, Progress};
+use ftobs::{
+    EstStats, Gauge, Metric, MetricsSnapshot, Progress, SpanId, TraceCtx, TreeEstimator, J,
+};
 use por::{
     expand, step_weight, BaseCounts, ForkPoint, ForkQueue, FpTable, RunMeta, SleepSet, Snapshot,
     VisitTable,
@@ -113,6 +115,9 @@ struct PReport {
     /// Open frames serialized on a graceful stop (checkpoint policy
     /// only); merged with the queue's pending tasks into the snapshot.
     forks: Vec<ForkPoint>,
+    /// This worker's tree-size samples, merged by the coordinator into
+    /// the sweep-wide progress estimate.
+    est: EstStats,
 }
 
 /// The exploration state a resumed run starts from, decoded from a
@@ -183,7 +188,7 @@ pub(crate) fn check_pardpor<P: Process>(
     };
     let seeded = resume.is_some();
     if threads <= 1 && !seeded {
-        return check_dpor(initial, config, reorder_bound, deadline);
+        return traced_seq("seq_gate", initial, config, reorder_bound, deadline);
     }
 
     // Sequential gate: small spaces never pay for coordination. A capped
@@ -195,11 +200,11 @@ pub(crate) fn check_pardpor<P: Process>(
     let threshold = seq_threshold();
     if threshold > 0 && !seeded {
         if config.max_states <= threshold {
-            return check_dpor(initial, config, reorder_bound, deadline);
+            return traced_seq("seq_gate", initial, config, reorder_bound, deadline);
         }
         let mut capped = config.clone();
         capped.max_states = threshold;
-        let v = check_dpor(initial, &capped, reorder_bound, deadline);
+        let v = traced_seq("seq_gate", initial, &capped, reorder_bound, deadline);
         if !matches!(v, Verdict::StateLimit(_)) {
             return v;
         }
@@ -213,11 +218,11 @@ pub(crate) fn check_pardpor<P: Process>(
     // root (a root violation returns before any checkpoint is written).
     if !seeded {
         if config.check_mutex && in_cs_count(initial) > 1 {
-            return check_dpor(initial, config, reorder_bound, deadline);
+            return traced_seq("seq_rerun", initial, config, reorder_bound, deadline);
         }
         match catch_unwind(AssertUnwindSafe(|| violates_invariant(config, initial))) {
             Ok(false) => {}
-            Ok(true) => return check_dpor(initial, config, reorder_bound, deadline),
+            Ok(true) => return traced_seq("seq_rerun", initial, config, reorder_bound, deadline),
             Err(payload) => {
                 return Verdict::Error(
                     Stats::default(),
@@ -292,6 +297,8 @@ pub(crate) fn check_pardpor<P: Process>(
                     choices: x.explore,
                     excluded: x.excluded,
                     remaining: budget0,
+                    // Root work descends from the engine (or resume) span.
+                    span: obs.trace_root().0,
                 });
             }
             v
@@ -400,12 +407,16 @@ pub(crate) fn check_pardpor<P: Process>(
                             policy,
                             heartbeat,
                             busy,
+                            index: w,
                             low_water: threads,
                             disable_reduction,
                             use_ample,
                             synced_transitions: 0,
                             report: PReport::default(),
                             visited: VisitTable::new(),
+                            est: TreeEstimator::new(),
+                            tctx: config.recorder.trace_ctx(),
+                            cur_span: SpanId::NONE,
                         }
                         .run()
                     }));
@@ -439,7 +450,7 @@ pub(crate) fn check_pardpor<P: Process>(
         config.recorder.reset_counts();
         let rerun = without_checkpoint(config);
         return match catch_unwind(AssertUnwindSafe(|| {
-            check_dpor(initial, &rerun, reorder_bound, deadline)
+            traced_seq("seq_rerun", initial, &rerun, reorder_bound, deadline)
         })) {
             Ok(verdict) => verdict,
             Err(payload) => Verdict::Error(
@@ -531,16 +542,20 @@ pub(crate) fn check_pardpor<P: Process>(
         // trip counter is bumped *after* the reset so it survives into
         // the rerun's final snapshot.
         let _ = write_stop_checkpoint(&mut reports);
-        obs.event(
-            "watchdog_trip",
-            &[(
-                "frontier",
-                ftobs::J::U(reports.iter().map(|r| r.frontier).sum::<usize>() as u64),
-            )],
-        );
+        let stalled_frontier = reports.iter().map(|r| r.frontier).sum::<usize>() as u64;
+        obs.event("watchdog_trip", &[("frontier", J::U(stalled_frontier))]);
+        {
+            let mut tctx = obs.trace_ctx();
+            let _ = tctx.instant(
+                "watchdog",
+                SpanId(obs.trace_root().0),
+                &[("frontier", J::U(stalled_frontier))],
+            );
+        }
         config.recorder.reset_counts();
         obs.incr(Metric::WatchdogTrips);
-        return check_dpor(
+        return traced_seq(
+            "seq_rerun",
             initial,
             &without_checkpoint(config),
             reorder_bound,
@@ -556,7 +571,8 @@ pub(crate) fn check_pardpor<P: Process>(
         // checkpoint policy stripped — the result is bit-identical to a
         // direct `Engine::Dpor` run.
         config.recorder.reset_counts();
-        return check_dpor(
+        return traced_seq(
+            "seq_rerun",
             initial,
             &without_checkpoint(config),
             reorder_bound,
@@ -565,13 +581,18 @@ pub(crate) fn check_pardpor<P: Process>(
     }
     if budget_hit.load(Ordering::SeqCst) || cancel.load(Ordering::SeqCst) {
         let checkpoint = write_stop_checkpoint(&mut reports);
+        let est_merged = reports
+            .iter()
+            .fold(EstStats::default(), |acc, r| acc.merged(&r.est));
         return Verdict::Inconclusive(
             stats,
             Coverage {
                 frontier: reports.iter().map(|r| r.frontier).sum(),
                 sleep_hits: sleep_total,
                 checkpoint,
-            },
+                ..Coverage::default()
+            }
+            .with_estimate(est_merged.estimate(stats.states as u64)),
         );
     }
 
@@ -620,7 +641,8 @@ pub(crate) fn check_pardpor<P: Process>(
         }
         if find_stuck(ids.len(), &edges, &terminal).is_some() {
             config.recorder.reset_counts();
-            return check_dpor(
+            return traced_seq(
+                "seq_rerun",
                 initial,
                 &without_checkpoint(config),
                 reorder_bound,
@@ -631,6 +653,28 @@ pub(crate) fn check_pardpor<P: Process>(
 
     obs.gauge_set(Gauge::DedupOccupancy, table.len() as u64);
     Verdict::Ok(stats)
+}
+
+/// Run the sequential DPOR engine wrapped in a causal span (`seq_gate`
+/// for the small-space gate, `seq_rerun` for verdict-reproduction
+/// fallbacks), parented on the surrounding engine span.
+fn traced_seq<P: Process>(
+    name: &str,
+    initial: &Machine<P>,
+    config: &CheckConfig,
+    reorder_bound: Option<u32>,
+    deadline: Option<Instant>,
+) -> Verdict {
+    let mut tctx = config.recorder.trace_ctx();
+    let span = tctx.begin();
+    let v = check_dpor(initial, config, reorder_bound, deadline);
+    tctx.end(
+        span,
+        name,
+        SpanId(config.recorder.trace_root().0),
+        &[("verdict", J::s(v.label()))],
+    );
+    v
 }
 
 /// One work-stealing worker: takes fork points off the queue,
@@ -657,6 +701,8 @@ struct Worker<'a, P: Process> {
     /// Raised while a task is being executed (idle queue waits are not
     /// stalls).
     busy: &'a AtomicBool,
+    /// This worker's index (the `worker` field on its task spans).
+    index: usize,
     /// Donate when fewer than this many fork points are pending.
     low_water: usize,
     disable_reduction: bool,
@@ -667,6 +713,12 @@ struct Worker<'a, P: Process> {
     /// Worker-local dominance pruning (see the module docs: local-only
     /// is sound, it just prunes less than the sequential single table).
     visited: VisitTable,
+    /// Worker-local tree-size sampler (stats shipped in the report).
+    est: TreeEstimator,
+    /// Per-worker span writer (bounded buffer; flushed at task ends).
+    tctx: TraceCtx,
+    /// The task span currently open, parent for publish instants.
+    cur_span: SpanId,
 }
 
 impl<P: Process> Worker<'_, P> {
@@ -674,7 +726,24 @@ impl<P: Process> Worker<'_, P> {
         while let Some(task) = self.queue.take() {
             self.busy.store(true, Ordering::Relaxed);
             self.heartbeat.fetch_add(1, Ordering::Relaxed);
+            // The steal edge: this task's span descends from the donor's
+            // `publish` instant (or the engine/resume root for seeds).
+            let steal_parent = SpanId(task.span);
+            let depth = task.path.len();
+            let tspan = self.tctx.begin();
+            self.cur_span = tspan.id;
             let end = self.run_task(task);
+            self.cur_span = SpanId::NONE;
+            self.tctx.end(
+                tspan,
+                "task",
+                steal_parent,
+                &[
+                    ("worker", J::U(self.index as u64)),
+                    ("depth", J::U(depth as u64)),
+                    ("aborted", J::B(matches!(end, TaskEnd::Aborted))),
+                ],
+            );
             self.busy.store(false, Ordering::Relaxed);
             self.heartbeat.fetch_add(1, Ordering::Relaxed);
             self.queue.done();
@@ -683,6 +752,8 @@ impl<P: Process> Worker<'_, P> {
             }
         }
         self.sync_transitions();
+        self.report.est = self.est.stats();
+        self.tctx.flush();
         self.report
     }
 
@@ -722,6 +793,7 @@ impl<P: Process> Worker<'_, P> {
                     choices: f.choices[f.next..].to_vec(),
                     excluded: f.excluded.clone(),
                     remaining: f.remaining,
+                    span: self.cur_span.0,
                 });
             }
         }
@@ -732,6 +804,7 @@ impl<P: Process> Worker<'_, P> {
         let obs = &self.config.recorder;
         let model = self.initial.config().model;
         self.report.stolen += 1;
+        self.est.begin_task();
         let mut scratch: Vec<SchedElem> = Vec::new();
 
         // Re-materialize the fork point on a fresh machine. The replay
@@ -759,6 +832,7 @@ impl<P: Process> Worker<'_, P> {
 
         let mut frames: Vec<PFrame<P>> = Vec::new();
         *on_stack.entry(task_fp).or_insert(0) += 1;
+        self.est.push(task.choices.len());
         frames.push(PFrame {
             fp: task_fp,
             depth: path.len(),
@@ -810,6 +884,11 @@ impl<P: Process> Worker<'_, P> {
                         frontier: frames.len() as u64,
                         budget: self.config.budget,
                         spent,
+                        // Worker-local samples extrapolated over the
+                        // global state count: coarse, but live.
+                        estimate: self
+                            .est
+                            .estimate(self.state_count.load(Ordering::Relaxed) as u64),
                     });
                 }
                 if self.deadline.is_some_and(|d| Instant::now() >= d) {
@@ -825,6 +904,7 @@ impl<P: Process> Worker<'_, P> {
             let Some(top) = frames.last_mut() else { break };
             if top.next == top.choices.len() {
                 let frame = frames.pop().expect("non-empty stack");
+                self.est.pop();
                 match on_stack.get_mut(&frame.fp) {
                     Some(1) => {
                         on_stack.remove(&frame.fp);
@@ -850,12 +930,14 @@ impl<P: Process> Worker<'_, P> {
                 step_weight(&m, elem)
             };
             if weight > parent_remaining {
+                self.est.leaf();
                 continue; // beyond the reorder bound: neither taken nor slept
             }
 
             let (out, token) = m.step_recorded(elem);
             if matches!(out, StepOutcome::NoOp) {
                 tally.noop_step();
+                self.est.leaf();
                 m.undo(token);
                 continue;
             }
@@ -909,6 +991,7 @@ impl<P: Process> Worker<'_, P> {
                 self.visited.try_claim(fp, &child_sleep, child_remaining)
             };
             if !claimed {
+                self.est.leaf();
                 if self.disable_reduction {
                     tally.dedup_hit();
                 } else {
@@ -936,6 +1019,7 @@ impl<P: Process> Worker<'_, P> {
                 if m.all_done() {
                     self.report.terminal_fps.push(fp);
                     tally.terminal_state();
+                    self.est.leaf();
                     if self.config.check_permutation && !returns_are_permutation(&m) {
                         self.report.violated = true;
                         return self.abort(frames.len());
@@ -946,6 +1030,7 @@ impl<P: Process> Worker<'_, P> {
             } else if m.all_done() {
                 // Re-entered terminal state (smaller sleep set or another
                 // worker's first visit): nothing to expand.
+                self.est.leaf();
                 m.undo(token);
                 continue;
             }
@@ -973,6 +1058,7 @@ impl<P: Process> Worker<'_, P> {
                 }
             }
             *on_stack.entry(fp).or_insert(0) += 1;
+            self.est.push(x.explore.len());
             path.push(elem);
             frames.push(PFrame {
                 fp,
@@ -1004,6 +1090,16 @@ impl<P: Process> Worker<'_, P> {
             return;
         };
         let f = &mut frames[k];
+        // The publish instant is the causal anchor the thief's task span
+        // points back at. Emitted before the publish so its id precedes
+        // any span the thief allocates; a rejected publish leaves a
+        // childless instant behind, which the validator tolerates.
+        let shed = (f.choices.len() - f.next) as u64;
+        let span = self.tctx.instant(
+            "publish",
+            self.cur_span,
+            &[("worker", J::U(self.index as u64)), ("choices", J::U(shed))],
+        );
         let fork = ForkPoint {
             path: path[..f.depth].to_vec(),
             sleep: f.sleep.clone(),
@@ -1011,6 +1107,7 @@ impl<P: Process> Worker<'_, P> {
             choices: f.choices[f.next..].to_vec(),
             excluded: std::mem::take(&mut f.excluded),
             remaining: f.remaining,
+            span: span.0,
         };
         match self.queue.publish(fork) {
             Ok(()) => {

@@ -41,8 +41,11 @@ use std::time::Instant;
 use por::Snapshot;
 use wbmem::{Machine, Process};
 
-use crate::checker::{config_hash, fingerprint, CheckConfig, CheckError, Engine, Stats, Verdict};
+use crate::checker::{
+    config_hash, fingerprint, fold_fp, run_id, CheckConfig, CheckError, Engine, Stats, Verdict,
+};
 use crate::pardpor::{check_pardpor, ResumeSeed};
+use ftobs::J;
 
 /// Continue an exploration from the checkpoint at `path`.
 ///
@@ -134,7 +137,7 @@ pub fn resume<P: Process>(initial: &Machine<P>, config: &CheckConfig, path: &Pat
 
     let deadline = config.budget.map(|b| start + b);
     let prior_metrics = snap.metrics;
-    let seed = ResumeSeed {
+    let mut seed = ResumeSeed {
         visited: snap.visited,
         forks: snap.forks,
         base: snap.base,
@@ -142,8 +145,42 @@ pub fn resume<P: Process>(initial: &Machine<P>, config: &CheckConfig, path: &Pat
         edges: snap.edges,
         terminals: snap.terminals,
     };
+    // The resume span links this continuation to the interrupted run:
+    // `prev_run` is the run id the checkpoint's meta reconstructs, which
+    // matches the `run` field on the interrupted run's `engine` span.
+    let mut tctx = config.recorder.trace_ctx();
+    let rspan = tctx.begin();
+    let span_parent = config.recorder.trace_root();
+    let seeded_forks = seed.forks.len() as u64;
+    if tctx.enabled() {
+        let _ = config.recorder.set_trace_root(rspan.id);
+        // Snapshot span ids belong to the writing process; rebase the
+        // seeded forks onto the resume span so every steal edge in this
+        // process's trace resolves locally.
+        for f in &mut seed.forks {
+            f.span = rspan.id.0;
+        }
+    }
     let mut verdict = check_pardpor(root, config, threads, reorder_bound, deadline, Some(seed));
     verdict.stats_mut().elapsed = start.elapsed();
+    if tctx.enabled() {
+        let _ = config.recorder.set_trace_root(span_parent);
+        tctx.end(
+            rspan,
+            "resume",
+            span_parent,
+            &[
+                (
+                    "prev_run",
+                    J::U(snap.meta.config_hash ^ fold_fp(snap.meta.program_hash)),
+                ),
+                ("run", J::U(run_id(config, fingerprint(root)))),
+                ("forks", J::U(seeded_forks)),
+                ("verdict", J::s(verdict.label())),
+            ],
+        );
+        tctx.flush();
+    }
     if config.recorder.is_enabled() {
         // Ok/Inconclusive verdicts describe the combined run, so their
         // metrics merge the interrupted run's snapshot with this one's.

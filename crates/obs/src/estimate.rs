@@ -1,0 +1,302 @@
+//! Incremental search-tree size estimation (Knuth path sampling).
+//!
+//! The engines explore a DFS tree over machine states (dedup hits,
+//! terminals, and no-op children are its leaves). Knuth's classic
+//! estimator observes that for a *single* root-to-leaf walk that picks a
+//! uniformly random child at every node, the quantity
+//!
+//! ```text
+//! cost = 1 + b₀ + b₀b₁ + … + b₀b₁⋯b_d
+//! ```
+//!
+//! (where `bᵢ` is the branching factor at depth `i`) is an unbiased
+//! estimate of the total tree node count. A depth-first search visits
+//! *every* leaf, each with descent probability `w = 1/(b₀⋯b_d)` under
+//! the random-walk measure, so the importance-weighted average
+//! `Σ w·cost / Σ w` over the leaves seen so far converges to the exact
+//! node count when the search completes — and is a usable estimate at
+//! any prefix of it. [`TreeEstimator`] maintains `cost`, the weights,
+//! and the visited-node count incrementally in O(1) per push/pop/leaf,
+//! so the engines can keep one alive on the hot path for the price of a
+//! few float operations per *frame* (not per transition).
+//!
+//! Converting tree nodes to *states*: the engines report distinct states
+//! (post-dedup), not tree nodes. The estimator extrapolates by ratio —
+//! `est_total_states = states · N̂ / nodes_visited` — assuming the
+//! states-per-node ratio seen so far holds for the unexplored remainder.
+//!
+//! ## Bias caveats (see DESIGN.md §6a)
+//!
+//! * Leaves are weighted, not sampled: a DFS prefix covers the leftmost
+//!   part of the tree, so early estimates lean on whatever that region
+//!   looks like. Deep, skinny left subtrees under-estimate; bushy ones
+//!   over-estimate. The estimate sharpens monotonically toward exact as
+//!   coverage grows.
+//! * Branching factors count *scheduled* choices; the few that turn out
+//!   to be no-ops still inflate `cost` slightly.
+//! * The work-stealing engine treats every stolen task as a fresh tree
+//!   root and multiplies the per-task estimate by the task count, which
+//!   double-counts nothing but the task roots — yet the per-task
+//!   subtree sizes vary wildly, so its estimates are coarser than the
+//!   sequential engines'.
+
+/// A point-in-time progress estimate derived from a [`TreeEstimator`]
+/// (or a merge of several workers' [`EstStats`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Estimate {
+    /// Estimated total distinct states the completed run would visit.
+    pub total_states: u64,
+    /// Estimated states still unvisited (`total - visited`, saturating).
+    pub remaining: u64,
+}
+
+/// Mergeable accumulator state of a [`TreeEstimator`] — what the
+/// work-stealing workers ship back so the coordinator can estimate over
+/// the whole sweep.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EstStats {
+    /// Sum of leaf weights `1/(b₀⋯b_d)`.
+    pub wsum: f64,
+    /// Sum of weighted Knuth costs `w · cost`.
+    pub wcost: f64,
+    /// Tree nodes visited (frames pushed + leaves).
+    pub nodes: u64,
+    /// Task roots seen (`1` for a sequential engine; stolen-task count
+    /// for a work-stealing worker).
+    pub tasks: u64,
+}
+
+impl EstStats {
+    /// Combine two accumulators (associative and commutative).
+    #[must_use]
+    pub fn merged(&self, other: &EstStats) -> EstStats {
+        EstStats {
+            wsum: self.wsum + other.wsum,
+            wcost: self.wcost + other.wcost,
+            nodes: self.nodes + other.nodes,
+            tasks: self.tasks + other.tasks,
+        }
+    }
+
+    /// The progress estimate given `states` distinct states visited so
+    /// far, or `None` before the first completed leaf (no sample yet).
+    #[must_use]
+    pub fn estimate(&self, states: u64) -> Option<Estimate> {
+        if self.wsum <= 0.0 || self.nodes == 0 || states == 0 {
+            return None;
+        }
+        // Estimated tree nodes: per-task weighted mean × task count.
+        #[allow(clippy::cast_precision_loss)]
+        let n_hat = (self.wcost / self.wsum) * self.tasks.max(1) as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let frac = (self.nodes as f64 / n_hat).min(1.0);
+        if frac.is_nan() || frac <= 0.0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let total_f = states as f64 / frac;
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let total = if total_f >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            (total_f.round() as u64).max(states)
+        };
+        Some(Estimate {
+            total_states: total,
+            remaining: total - states,
+        })
+    }
+}
+
+/// Incremental Knuth-style tree-size estimator; see the module docs.
+///
+/// The owning engine calls [`begin_task`](Self::begin_task) at each DFS
+/// (re)start, [`push`](Self::push) with the child count when it pushes a
+/// frame, [`pop`](Self::pop) when it pops one, and [`leaf`](Self::leaf)
+/// for every explored child that does not become a frame (no-op, dedup
+/// hit, sleep/bound prune, terminal state).
+#[derive(Clone, Debug, Default)]
+pub struct TreeEstimator {
+    /// Product of branching factors along the current stack.
+    prod: f64,
+    /// Knuth cost of a leaf hanging off the current stack top.
+    cost: f64,
+    /// Saved `(prod, cost)` per frame, for O(1) pop.
+    saved: Vec<(f64, f64)>,
+    stats: EstStats,
+}
+
+impl TreeEstimator {
+    /// A fresh estimator with no task started.
+    #[must_use]
+    pub fn new() -> TreeEstimator {
+        TreeEstimator::default()
+    }
+
+    /// Start a (new) DFS task rooted at the current machine state: resets
+    /// the path-local accumulators, keeps the sample statistics. The task
+    /// root itself is counted by the [`push`](Self::push) of its frame.
+    pub fn begin_task(&mut self) {
+        self.prod = 1.0;
+        self.cost = 1.0;
+        self.saved.clear();
+        self.stats.tasks += 1;
+    }
+
+    /// A frame with `branching` children was pushed.
+    pub fn push(&mut self, branching: usize) {
+        self.saved.push((self.prod, self.cost));
+        #[allow(clippy::cast_precision_loss)]
+        let b = branching.max(1) as f64;
+        self.prod *= b;
+        self.cost += self.prod;
+        self.stats.nodes += 1;
+    }
+
+    /// The top frame was popped (backtrack).
+    pub fn pop(&mut self) {
+        if let Some((prod, cost)) = self.saved.pop() {
+            self.prod = prod;
+            self.cost = cost;
+        }
+    }
+
+    /// An explored child that did not become a frame: record one Knuth
+    /// sample for the root-to-leaf path ending at it.
+    pub fn leaf(&mut self) {
+        self.stats.nodes += 1;
+        if self.prod.is_finite() && self.prod >= 1.0 {
+            let w = 1.0 / self.prod;
+            self.stats.wsum += w;
+            self.stats.wcost += w * self.cost;
+        }
+    }
+
+    /// The mergeable accumulator state (for cross-worker merges).
+    #[must_use]
+    pub fn stats(&self) -> EstStats {
+        self.stats
+    }
+
+    /// The progress estimate given `states` distinct states visited so
+    /// far; see [`EstStats::estimate`].
+    #[must_use]
+    pub fn estimate(&self, states: u64) -> Option<Estimate> {
+        self.stats.estimate(states)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Walk a complete `b`-ary tree with leaves at depth `d`, calling the
+    /// estimator exactly as an engine would (interior node = frame push,
+    /// depth-`d` node = leaf); returns the true node count.
+    fn walk_uniform(est: &mut TreeEstimator, b: usize, depth: usize) -> u64 {
+        fn visit(est: &mut TreeEstimator, b: usize, remaining: usize) -> u64 {
+            if remaining == 0 {
+                est.leaf();
+                return 1;
+            }
+            est.push(b);
+            let mut nodes = 1;
+            for _ in 0..b {
+                nodes += visit(est, b, remaining - 1);
+            }
+            est.pop();
+            nodes
+        }
+        est.begin_task();
+        visit(est, b, depth)
+    }
+
+    #[test]
+    fn exact_on_completed_uniform_tree() {
+        let mut est = TreeEstimator::new();
+        // Depth-3 ternary tree: 1 + 3 + 9 + 27 = 40 nodes.
+        let truth = walk_uniform(&mut est, 3, 3);
+        assert_eq!(truth, 40);
+        let s = est.stats();
+        assert_eq!(s.nodes, truth);
+        // Completed DFS: weights sum to 1 and the weighted cost is exact.
+        assert!((s.wsum - 1.0).abs() < 1e-9, "wsum {}", s.wsum);
+        assert!(
+            (s.wcost / s.wsum - truth as f64).abs() < 1e-6,
+            "estimate {} vs {truth}",
+            s.wcost / s.wsum
+        );
+        // State extrapolation degenerates to the exact count at 100%.
+        let e = est.estimate(truth).expect("has samples");
+        assert_eq!(e.total_states, truth);
+        assert_eq!(e.remaining, 0);
+    }
+
+    #[test]
+    fn partial_walk_estimates_within_factor_two_on_uniform_tree() {
+        // Explore only the first child of the root (a third of the tree),
+        // as a DFS prefix would.
+        let mut est = TreeEstimator::new();
+        est.begin_task();
+        est.push(3); // root has 3 children
+        est.push(3); // first child, 3 grandchildren
+        for _ in 0..3 {
+            est.leaf();
+        }
+        est.pop();
+        let truth = 13u64; // 1 + 3 + 9
+        let e = est.estimate(5).expect("has samples"); // 5 of 13 nodes seen
+        let ratio = e.total_states as f64 / truth as f64;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "estimate {} vs truth {truth}",
+            e.total_states
+        );
+    }
+
+    #[test]
+    fn no_samples_means_no_estimate() {
+        let mut est = TreeEstimator::new();
+        assert!(est.estimate(10).is_none());
+        est.begin_task();
+        est.push(4);
+        assert!(est.estimate(10).is_none(), "no leaf yet");
+    }
+
+    #[test]
+    fn merge_is_associative_and_counts_tasks() {
+        let mut a = TreeEstimator::new();
+        a.begin_task();
+        a.push(2);
+        a.leaf();
+        a.leaf();
+        a.pop();
+        let mut b = TreeEstimator::new();
+        b.begin_task();
+        b.push(4);
+        for _ in 0..4 {
+            b.leaf();
+        }
+        b.pop();
+        let m = a.stats().merged(&b.stats());
+        assert_eq!(m.tasks, 2);
+        assert_eq!(m.nodes, a.stats().nodes + b.stats().nodes);
+        let ab = a.stats().merged(&b.stats());
+        let ba = b.stats().merged(&a.stats());
+        assert!((ab.wcost - ba.wcost).abs() < 1e-12);
+        assert!(m.estimate(6).is_some());
+    }
+
+    #[test]
+    fn estimate_never_below_visited() {
+        let mut est = TreeEstimator::new();
+        est.begin_task();
+        est.push(2);
+        est.leaf();
+        est.leaf();
+        est.pop();
+        // Claim more visited states than the tree estimate supports.
+        let e = est.estimate(1_000_000).expect("has samples");
+        assert!(e.total_states >= 1_000_000);
+    }
+}

@@ -33,11 +33,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod estimate;
 pub mod events;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod trace;
 
+pub use estimate::{EstStats, Estimate, TreeEstimator};
 pub use events::{encode_line, EventRing, JsonlSink, J};
 pub use metrics::{
     bucket_floor, bucket_index, hist_field, Gauge, HistSnapshot, Metric, MetricsSnapshot, Phase,
@@ -46,4 +49,8 @@ pub use metrics::{
 pub use recorder::{
     global, install_global, Progress, Recorder, RecorderBuilder, Span, StepClass, Tally,
     DEFAULT_HEARTBEAT_MS, MAX_PCS, SHARDS,
+};
+pub use trace::{
+    chrome_trace, follow_line, parse_spans, phase_table, validate_spans, OpenSpan, SpanId, SpanRow,
+    TraceCtx, DEFAULT_TRACE_BUF,
 };

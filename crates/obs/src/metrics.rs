@@ -106,6 +106,10 @@ pub enum Metric {
     /// Candidate fence sites accumulated into counterexample cores
     /// (cumulative core sizes).
     CoreSize,
+    /// Causal trace spans written to the JSONL sink.
+    TraceSpans,
+    /// Causal trace spans dropped (tracing on but no sink attached).
+    TraceDropped,
 }
 
 /// All counters, in `repr(usize)` order.
@@ -142,11 +146,13 @@ pub const METRICS: [Metric; Metric::COUNT] = [
     Metric::SynthIterations,
     Metric::FencesInserted,
     Metric::CoreSize,
+    Metric::TraceSpans,
+    Metric::TraceDropped,
 ];
 
 impl Metric {
     /// Total number of counters.
-    pub const COUNT: usize = Metric::CoreSize as usize + 1;
+    pub const COUNT: usize = Metric::TraceDropped as usize + 1;
 
     /// Counters with index `< DETERMINISTIC_END` compare in snapshot
     /// equality; the rest are traversal- or timing-dependent.
@@ -188,6 +194,8 @@ impl Metric {
             Metric::SynthIterations => "synth_iterations",
             Metric::FencesInserted => "fences_inserted",
             Metric::CoreSize => "core_size",
+            Metric::TraceSpans => "trace_spans",
+            Metric::TraceDropped => "trace_dropped",
         }
     }
 }
@@ -350,7 +358,7 @@ impl ProcSteps {
 /// steps, histograms and span times, and maxes gauges — and is associative
 /// and commutative (gauges use `max`, everything else `+`), which the obs
 /// proptest suite checks bit-exactly.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct MetricsSnapshot {
     /// Counter values indexed by `Metric as usize`.
     pub counters: [u64; Metric::COUNT],
@@ -367,6 +375,21 @@ pub struct MetricsSnapshot {
     pub span_ns: [u64; Phase::COUNT],
     /// Completed spans per phase, indexed by `Phase as usize`.
     pub span_count: [u64; Phase::COUNT],
+}
+
+impl Default for MetricsSnapshot {
+    // Manual: `[u64; N]` stops deriving `Default` past 32 elements.
+    fn default() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: [0; Metric::COUNT],
+            per_proc: [ProcSteps::default(); MAX_PROCS],
+            buffer_depth: HistSnapshot::default(),
+            frame_depth: HistSnapshot::default(),
+            gauges: [0; Gauge::COUNT],
+            span_ns: [0; Phase::COUNT],
+            span_count: [0; Phase::COUNT],
+        }
+    }
 }
 
 impl MetricsSnapshot {

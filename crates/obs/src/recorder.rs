@@ -17,8 +17,10 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
+use crate::estimate::Estimate;
 use crate::events::{encode_line, EventRing, JsonlSink, J};
 use crate::metrics::{bucket_index, Gauge, Metric, MetricsSnapshot, HIST_BUCKETS, MAX_PROCS};
+use crate::trace::{SpanId, TraceCtx, DEFAULT_TRACE_BUF};
 use crate::Phase;
 
 /// Number of counter shards. Eight covers the parallel engine's default
@@ -36,6 +38,12 @@ pub const DEFAULT_HEARTBEAT_MS: u64 = 1000;
 pub const DEFAULT_RING_CAP: usize = 64;
 
 static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+// Trace span ids are process-global, not per-recorder: several checks in
+// one process (a sweep, a resume chain) append to one JSONL file, and the
+// forest invariant (`parent < id`, ids unique) must hold across all of
+// them. `0` is reserved for [`SpanId::NONE`].
+static NEXT_SPAN: AtomicU64 = AtomicU64::new(1);
 
 thread_local! {
     // Const-initialized (no lazy-init guard on the TLS access path);
@@ -112,7 +120,7 @@ pub enum StepClass {
 }
 
 /// One lock-free shard of counters and histograms.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 struct Shard {
     counters: [AtomicU64; Metric::COUNT],
     per_proc: [[AtomicU64; 3]; MAX_PROCS], // fences, rmrs, crashes
@@ -123,6 +131,21 @@ struct Shard {
     // Pad shards apart so adjacent shards' hot counters do not share a
     // cache line under the parallel engine.
     _pad: [u64; 8],
+}
+
+impl Default for Shard {
+    // Manual: `[AtomicU64; N]` stops deriving `Default` past 32 elements.
+    fn default() -> Shard {
+        Shard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            per_proc: std::array::from_fn(|_| std::array::from_fn(|_| AtomicU64::new(0))),
+            buffer_depth: std::array::from_fn(|_| AtomicU64::new(0)),
+            frame_depth: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_count: std::array::from_fn(|_| AtomicU64::new(0)),
+            _pad: [0; 8],
+        }
+    }
 }
 
 impl Shard {
@@ -192,6 +215,8 @@ struct Inner {
     quiet: bool,
     ring: EventRing,
     sink: Option<Arc<JsonlSink>>,
+    trace: bool,
+    trace_root: AtomicU64,
 }
 
 /// Configures and builds an enabled [`Recorder`].
@@ -202,6 +227,7 @@ pub struct RecorderBuilder {
     heartbeat_ms: Option<u64>,
     quiet: Option<bool>,
     ring_cap: Option<usize>,
+    trace: Option<bool>,
 }
 
 impl RecorderBuilder {
@@ -243,6 +269,14 @@ impl RecorderBuilder {
         self
     }
 
+    /// Record causal trace spans (see [`crate::trace`]). Defaults to the
+    /// `FT_OBS_TRACE` environment variable; off otherwise.
+    #[must_use]
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = Some(on);
+        self
+    }
+
     /// Build the enabled recorder.
     #[must_use]
     pub fn build(self) -> Recorder {
@@ -254,6 +288,9 @@ impl RecorderBuilder {
         });
         let quiet = self.quiet.unwrap_or_else(|| {
             std::env::var("FT_OBS_QUIET").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
+        });
+        let trace = self.trace.unwrap_or_else(|| {
+            std::env::var("FT_OBS_TRACE").is_ok_and(|v| v == "1" || v.eq_ignore_ascii_case("true"))
         });
         Recorder {
             inner: Some(Arc::new(Inner {
@@ -270,6 +307,8 @@ impl RecorderBuilder {
                 quiet,
                 ring: EventRing::new(self.ring_cap.unwrap_or(DEFAULT_RING_CAP)),
                 sink: self.sink,
+                trace,
+                trace_root: AtomicU64::new(0),
             })),
         }
     }
@@ -289,6 +328,8 @@ pub struct Progress {
     pub budget: Option<Duration>,
     /// Time already consumed against that budget.
     pub spent: Option<Duration>,
+    /// Tree-size progress estimate, when the engine maintains one.
+    pub estimate: Option<Estimate>,
 }
 
 /// A metrics/tracing recorder handle. Cheap to clone (an `Arc` — or
@@ -677,11 +718,25 @@ impl Recorder {
             p.states as f64 * 1000.0 / now_ms as f64
         };
         let mut fields = vec![
+            ("elapsed_ms", J::U(now_ms)),
             ("states", J::U(p.states)),
             ("transitions", J::U(p.transitions)),
             ("frontier", J::U(p.frontier)),
             ("states_per_sec", J::F(per_sec)),
         ];
+        let mut est_note = String::new();
+        if let Some(est) = p.estimate {
+            fields.push(("est_total_states", J::U(est.total_states)));
+            fields.push(("est_remaining", J::U(est.remaining)));
+            est_note = format!(" est {}≈{}", p.states, est.total_states);
+            if per_sec > 0.0 {
+                #[allow(clippy::cast_precision_loss)]
+                let eta = est.remaining as f64 * 1000.0 / per_sec;
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                fields.push(("eta_ms", J::U(eta.min(u64::MAX as f64) as u64)));
+                est_note.push_str(&format!(" eta {:.1}s", eta / 1000.0));
+            }
+        }
         let mut budget_note = String::new();
         if let (Some(budget), Some(spent)) = (p.budget, p.spent) {
             let total_ms = budget.as_millis().max(1);
@@ -700,13 +755,95 @@ impl Recorder {
         self.event("heartbeat", &fields);
         if !inner.quiet {
             eprintln!(
-                "[ftobs] {:.1}s states={} ({per_sec:.0}/s) transitions={} frontier={}{budget_note}",
+                "[ftobs] {:.1}s states={} ({per_sec:.0}/s) transitions={} \
+                 frontier={}{est_note}{budget_note}",
                 now_ms as f64 / 1000.0,
                 p.states,
                 p.transitions,
                 p.frontier,
             );
         }
+    }
+
+    /// Whether causal trace spans are being recorded (requires an
+    /// enabled recorder built with `.trace(true)` or `FT_OBS_TRACE=1`).
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.trace)
+    }
+
+    /// Allocate a fresh process-unique span id (strictly monotonic, so a
+    /// parent id is always smaller than any child allocated after it).
+    #[must_use]
+    pub fn alloc_span_id(&self) -> SpanId {
+        SpanId(NEXT_SPAN.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Monotonic microseconds since this recorder was built (the `ts_us`
+    /// clock of its trace spans).
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        #[allow(clippy::cast_possible_truncation)]
+        let us = self
+            .inner
+            .as_ref()
+            .map_or(0, |i| i.start.elapsed().as_micros() as u64);
+        us
+    }
+
+    /// The current root span new engine-level spans should parent under
+    /// ([`SpanId::NONE`] outside any enclosing span).
+    #[must_use]
+    pub fn trace_root(&self) -> SpanId {
+        self.inner.as_ref().map_or(SpanId::NONE, |i| {
+            SpanId(i.trace_root.load(Ordering::Relaxed))
+        })
+    }
+
+    /// Set the root span for subsequently opened engine-level spans and
+    /// return the previous root, so callers can restore it on exit.
+    pub fn set_trace_root(&self, id: SpanId) -> SpanId {
+        self.inner.as_ref().map_or(SpanId::NONE, |i| {
+            SpanId(i.trace_root.swap(id.0, Ordering::Relaxed))
+        })
+    }
+
+    /// Open a per-worker trace writer with the default buffer bound.
+    #[must_use]
+    pub fn trace_ctx(&self) -> TraceCtx {
+        TraceCtx::new(self.clone(), DEFAULT_TRACE_BUF)
+    }
+
+    /// Render a span line (meta + timestamps included), or `None` when
+    /// tracing is off.
+    pub(crate) fn render_trace(&self, fields: &[(&str, J)]) -> Option<String> {
+        let inner = self.inner.as_ref()?;
+        if !inner.trace {
+            return None;
+        }
+        Some(self.render_event(inner, "span", fields))
+    }
+
+    /// Drain a [`TraceCtx`] buffer into the sink, counting written spans
+    /// (or drops, when no sink is attached).
+    pub(crate) fn trace_flush(&self, lines: &mut Vec<String>) {
+        if lines.is_empty() {
+            return;
+        }
+        let Some(inner) = &self.inner else {
+            lines.clear();
+            return;
+        };
+        let n = lines.len() as u64;
+        if let Some(sink) = &inner.sink {
+            for line in lines.iter() {
+                sink.write_line(line);
+            }
+            self.add(Metric::TraceSpans, n);
+        } else {
+            self.add(Metric::TraceDropped, n);
+        }
+        lines.clear();
     }
 
     /// The newest ring-buffered event lines, oldest first.

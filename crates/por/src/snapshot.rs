@@ -47,8 +47,9 @@ pub const MAGIC: [u8; 6] = *b"FTCKPT";
 
 /// Current format version. Readers reject any other version (the format
 /// embeds the metric taxonomy's array sizes, so it changes whenever the
-/// taxonomy does — v2 added the fence-synthesis counters).
-pub const VERSION: u32 = 2;
+/// taxonomy does — v2 added the fence-synthesis counters; v3 added the
+/// trace counters and the fork points' causal span ids).
+pub const VERSION: u32 = 3;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -404,6 +405,7 @@ impl Snapshot {
             e.elems(&f.choices);
             e.elems(&f.excluded);
             e.u32(f.remaining);
+            e.u64(f.span);
         }
         e.u64(self.visited.len() as u64);
         for &fp in &self.visited {
@@ -486,6 +488,7 @@ impl Snapshot {
             let choices = d.elems()?;
             let excluded = d.elems()?;
             let remaining = d.u32()?;
+            let span = d.u64()?;
             forks.push(ForkPoint {
                 path,
                 sleep,
@@ -493,6 +496,7 @@ impl Snapshot {
                 choices,
                 excluded,
                 remaining,
+                span,
             });
         }
         let nv = d.u64()? as usize;
@@ -634,6 +638,7 @@ mod tests {
                 choices: vec![SchedElem::op(ProcId(1)), SchedElem::op(ProcId(0))],
                 excluded: vec![SchedElem::commit(ProcId(1), RegId(0))],
                 remaining: 5,
+                span: 77,
             }],
             visited: vec![0, 1, u128::MAX, 0x42 << 64],
             edges: vec![(0, 1), (1, u128::MAX)],
@@ -658,6 +663,7 @@ mod tests {
         assert_eq!(a.choices, b.choices);
         assert_eq!(a.excluded, b.excluded);
         assert_eq!(a.remaining, b.remaining);
+        assert_eq!(a.span, b.span);
         // Full (not just deterministic-projection) metric equality.
         assert_eq!(got.metrics.counters, s.metrics.counters);
         assert_eq!(got.metrics.gauges, s.metrics.gauges);

@@ -43,7 +43,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use fencevm::{insert_fences_after, strip_fences, Instr, Rewritten, Src};
-use ftobs::{Metric, Recorder};
+use ftobs::{Metric, Recorder, J};
 use modelcheck::{all_ok, check_under_models, CheckConfig, Engine, ModelVerdict};
 use simlocks::OrderingInstance;
 use wbmem::{reorder_edges, CrashSemantics, MemoryModel, ProcId, RegId};
@@ -255,6 +255,38 @@ fn site_weight(cfg: &SynthConfig, baseline: &OrderingInstance, site: Site) -> u6
 /// Synthesize a fence placement for `inst` under `cfg` (see module docs).
 #[must_use]
 pub fn synthesize(inst: &OrderingInstance, cfg: &SynthConfig) -> SynthOutcome {
+    // The `synth` span brackets the whole CEGAR run; every `cegar_iter`
+    // span (and the model checks under it) nests inside via the
+    // trace-root handoff.
+    let mut tctx = cfg.recorder.trace_ctx();
+    let span = tctx.begin();
+    let span_parent = cfg.recorder.trace_root();
+    if tctx.enabled() {
+        let _ = cfg.recorder.set_trace_root(span.id);
+    }
+    let out = synthesize_inner(inst, cfg);
+    if tctx.enabled() {
+        let _ = cfg.recorder.set_trace_root(span_parent);
+        let (outcome, iters) = match &out {
+            SynthOutcome::Synthesized(syn) => ("synthesized", syn.iterations),
+            SynthOutcome::Unfixable { .. } => ("unfixable", 0),
+            SynthOutcome::Exhausted { iterations, .. } => ("exhausted", *iterations),
+        };
+        tctx.end(
+            span,
+            "synth",
+            span_parent,
+            &[
+                ("outcome", J::s(outcome)),
+                ("iterations", J::U(iters as u64)),
+            ],
+        );
+        tctx.flush();
+    }
+    out
+}
+
+fn synthesize_inner(inst: &OrderingInstance, cfg: &SynthConfig) -> SynthOutcome {
     let baseline = strip_instance(inst);
     let n = baseline.n;
     let check_cfg = cfg.check_config();
@@ -265,9 +297,34 @@ pub fn synthesize(inst: &OrderingInstance, cfg: &SynthConfig) -> SynthOutcome {
     let mut total_states = 0usize;
     let mut last_verdict = "ok";
 
+    let mut tctx = cfg.recorder.trace_ctx();
     for iteration in 1..=cfg.max_iters {
+        // The span covers the candidate build plus the multi-model check
+        // (where the iteration's wall time goes); refinement bookkeeping
+        // after it is negligible and would tangle the early returns.
+        let ispan = tctx.begin();
+        let iter_parent = cfg.recorder.trace_root();
+        if tctx.enabled() {
+            let _ = cfg.recorder.set_trace_root(ispan.id);
+        }
         let (candidate, rewrites) = build_candidate(&baseline, &placement);
         let verdicts = check_under_models(&candidate, &cfg.models, &check_cfg, true);
+        if tctx.enabled() {
+            let _ = cfg.recorder.set_trace_root(iter_parent);
+            tctx.end(
+                ispan,
+                "cegar_iter",
+                iter_parent,
+                &[
+                    ("iteration", J::U(iteration as u64)),
+                    ("ok", J::B(all_ok(&verdicts))),
+                    (
+                        "fences",
+                        J::U(placement.iter().map(Vec::len).sum::<usize>() as u64),
+                    ),
+                ],
+            );
+        }
         cfg.recorder.incr(Metric::SynthIterations);
         total_states += states_of(&verdicts);
         if all_ok(&verdicts) {

@@ -53,10 +53,22 @@ FT_E16_FAST=1 cargo run --release -p ft-bench --bin exp_e16_synthesis
 echo "==> obs proptest suite (metrics merge algebra, shard folding)"
 cargo test -q -p ftobs --test proptests
 
+echo "==> trace-stream durability tests (live .partial parse, torn-tail tolerance)"
+cargo test -q -p ftobs --test trace_stream
+
+echo "==> differential tracing suite (traced == untraced verdicts/metrics + span-forest proptest, FT_THREADS=2)"
+FT_THREADS=2 cargo test -q -p modelcheck --test differential_trace
+
+echo "==> E17 estimator + trace experiment (fast mode: 2 cells, 2 cuts, traced pardpor/resume)"
+FT_E17_FAST=1 cargo run --release -p ft-bench --bin exp_e17_estimator
+
+echo "==> obs_trace smoke run (forest validation + Chrome trace export of the E17 stream)"
+cargo run --release -p ft-bench --bin obs_trace results/obs/e17_trace.jsonl > /dev/null
+
 echo "==> obs_report smoke run (renders the JSONL the E12 run just wrote)"
 cargo run --release -p ft-bench --bin obs_report > /dev/null
 
-echo "==> observability overhead guard (enabled ≤5%, disabled ≤10% vs baseline, bakery3_pso)"
+echo "==> observability overhead guard (enabled and traced ≤5%, disabled ≤10% vs baseline, bakery3_pso)"
 cargo run --release -p ft-bench --bin obs_overhead
 
 echo "==> parallel DPOR guard (≥1.5x scaling on multi-core, ≤5% threads=1 regression, filter3_pso)"
