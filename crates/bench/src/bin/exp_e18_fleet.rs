@@ -1,0 +1,158 @@
+//! **E18 — fault-tolerant fleet** (EXPERIMENTS.md): what does surviving
+//! worker death cost, and does the fleet stay exact while doing it?
+//!
+//! For a small lock × model set, run each cell three ways — a fresh
+//! single-process `ParallelDpor` baseline, a fault-free worker fleet,
+//! and a fleet under mixed `FT_CHAOS` fault injection (startup deaths,
+//! heartbeat stalls, torn commits) — and tabulate wall-clock plus the
+//! supervision counters (leases issued/reassigned, workers lost,
+//! poisoned leases). Every cell runs in diagnostic mode, so the fleet
+//! verdicts' stats must be **bit-identical** to the baseline; a mismatch
+//! fails the experiment, not just the table.
+//!
+//! Every run records into `results/obs/e18_fleet.jsonl`, so `obs_report`
+//! renders the `leases_issued` / `leases_reassigned` / `workers_lost` /
+//! `poisoned_leases` counters in its Fleet table from real data.
+//!
+//! Set `FT_E18_FAST=1` to trim the matrix (the CI smoke path). Requires
+//! the `ft_worker` binary next to this one (`cargo build --release`
+//! builds both); `FT_WORKER_BIN` overrides the location.
+//!
+//! ```text
+//! cargo run --release -p ft-bench --bin exp_e18_fleet
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use fence_trade::prelude::*;
+use ftfleet::{run_fleet, FleetConfig, FleetReport, JobSpec, ProgramSpec};
+use ftobs::JsonlSink;
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ft_e18_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        ft_bench::fail(&format!("exp_e18: creating {}", dir.display()), e);
+    }
+    dir
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    let fast = std::env::var("FT_E18_FAST").is_ok_and(|v| v == "1");
+    let Some(worker) = ftfleet::locate_worker() else {
+        ft_bench::fail(
+            "exp_e18",
+            "ft_worker binary not found next to this executable — run \
+             `cargo build --release` first, or set FT_WORKER_BIN",
+        );
+    };
+    let sink = Arc::new(
+        JsonlSink::create(ft_bench::obs_dir().join("e18_fleet.jsonl"))
+            .unwrap_or_else(|e| ft_bench::fail("exp_e18: creating results/obs/e18_fleet.jsonl", e)),
+    );
+
+    // Mixed chaos on every injection point, 40% per (point, lease,
+    // attempt): enough faults to exercise reassignment and poisoning
+    // without starving the run of successful attempts.
+    let chaos = "startup,heartbeat,commit:40:18";
+    let mut cells: Vec<(&str, LockKind, MemoryModel)> = vec![
+        ("peterson2_tso", LockKind::Peterson, MemoryModel::Tso),
+        ("ttas2_pso", LockKind::Ttas, MemoryModel::Pso),
+    ];
+    if !fast {
+        cells.push(("peterson2_rmo", LockKind::Peterson, MemoryModel::Rmo));
+        cells.push(("bakery2_tso", LockKind::Bakery, MemoryModel::Tso));
+    }
+
+    let mut t = ft_bench::Table::new(
+        "e18_fleet",
+        "E18 — fault-tolerant fleet: exactness and supervision cost under chaos",
+        &[
+            "workload",
+            "mode",
+            "ms",
+            "verdict",
+            "leases",
+            "reassigned",
+            "lost",
+            "poisoned",
+        ],
+    );
+
+    for (workload, lock, model) in cells {
+        let mut job = JobSpec::new(ProgramSpec::new(lock, 2, FenceMask::ALL, model));
+        job.heartbeat_ms = 25;
+        let machine = job.program.machine();
+
+        let start = Instant::now();
+        let baseline = check(&machine, &job.config(ftobs::Recorder::enabled()));
+        let base_ms = start.elapsed().as_secs_f64() * 1e3;
+        t.row(&[
+            workload.to_string(),
+            "single".to_string(),
+            ft_bench::f(base_ms, 1),
+            baseline.label().to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
+
+        for (mode, chaos_spec) in [("fleet", None), ("fleet+chaos", Some(chaos))] {
+            let dir = scratch(&format!("{workload}_{mode}"));
+            let mut fleet = FleetConfig::new(worker.clone(), dir.clone());
+            fleet.workers = ft_bench::parallelism().clamp(2, 4);
+            fleet.leases = 4;
+            fleet.prime_transitions = 200;
+            fleet.chaos = chaos_spec.map(str::to_string);
+            let rec = ftobs::Recorder::builder()
+                .meta("workload", workload)
+                .meta("engine", mode)
+                .sink(sink.clone())
+                .heartbeat_ms(0)
+                .quiet(true)
+                .build();
+            let start = Instant::now();
+            let FleetReport { verdict, stats } = run_fleet(&job, &fleet, rec.clone());
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            if verdict.label() != baseline.label() || verdict.stats() != baseline.stats() {
+                ft_bench::fail(
+                    "exp_e18",
+                    format!(
+                        "{workload}/{mode}: fleet `{}` diverges from single-process `{}` \
+                         (diagnostic stats must be bit-identical)",
+                        verdict.label(),
+                        baseline.label()
+                    ),
+                );
+            }
+            rec.emit_snapshot(&[("verdict", ftobs::J::s(verdict.label()))]);
+            t.row(&[
+                workload.to_string(),
+                mode.to_string(),
+                ft_bench::f(ms, 1),
+                verdict.label().to_string(),
+                stats.leases_issued.to_string(),
+                stats.leases_reassigned.to_string(),
+                stats.workers_lost.to_string(),
+                stats.poisoned_leases.to_string(),
+            ]);
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    t.note(format!(
+        "Every cell runs in diagnostic mode (reduction off), so both fleet modes' \
+         verdict stats are asserted bit-identical to the single-process baseline — \
+         the table only exists if the exactness property held. `fleet+chaos` injects \
+         `FT_CHAOS={chaos}`: per-(point, lease, attempt) deterministic faults at \
+         worker startup (exit before work), heartbeat (silent stall, supervisor must \
+         kill), and commit (torn half-written result file, supervisor must reject). \
+         `reassigned` counts lease retries (faults and stale-seed rejections), `lost` \
+         counts dead/stalled/torn worker attempts, `poisoned` counts leases that \
+         exhausted their fault budget and fell through to the in-process endgame."
+    ));
+    t.finish();
+}

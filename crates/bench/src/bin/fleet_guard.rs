@@ -1,0 +1,157 @@
+//! **fleet_guard** — the multi-process fleet resilience gate
+//! (EXPERIMENTS.md E18, `scripts/ci.sh`).
+//!
+//! A kill-some-workers chaos smoke over `peterson2_tso` in diagnostic
+//! mode, pinning the fleet's exactness contract:
+//!
+//! 1. a **fault-free fleet** run must match a fresh single-process
+//!    `ParallelDpor` baseline — same verdict, bit-identical stats
+//!    (states, transitions, terminals, deterministic metrics) — and must
+//!    lose no workers;
+//! 2. a **chaos fleet** run (deterministic `FT_CHAOS` startup faults,
+//!    seeded so the first lease's first attempt is guaranteed to die)
+//!    must lose at least one worker, *reassign* the orphaned lease, and
+//!    still produce the same verdict and bit-identical stats as the
+//!    fault-free fleet run.
+//!
+//! On a single-core host the guard is **skipped** with a message (like
+//! `pardpor_guard`'s scaling gate): one core cannot host a supervisor
+//! and concurrent workers without the schedule degenerating into
+//! time-slicing, and the in-tree chaos differential suite already covers
+//! the logic. Requires the `ft_worker` binary next to this one
+//! (`cargo build --release`); `FT_WORKER_BIN` overrides.
+
+use std::process::ExitCode;
+
+use fence_trade::prelude::*;
+use ftfleet::{run_fleet, ChaosPoint, ChaosSpec, FleetConfig, FleetReport, JobSpec, ProgramSpec};
+
+/// A 50% startup-chaos spec whose seed is chosen (deterministically) so
+/// lease 0's attempt 0 is a guaranteed hit — the "kill one worker" the
+/// smoke needs — while later attempts still draw independently.
+fn chaos_killing_first_attempt() -> String {
+    for seed in 0..1000u64 {
+        let spec = format!("startup:50:{seed}");
+        let parsed = ChaosSpec::parse(&spec).expect("literal chaos spec parses");
+        if parsed.hit(ChaosPoint::Startup, 0, 0) && !parsed.hit(ChaosPoint::Startup, 0, 1) {
+            return spec;
+        }
+    }
+    unreachable!("a 50% hash leaves no (hit, miss) seed in 1000 draws")
+}
+
+fn fleet_config(worker: std::path::PathBuf, name: &str) -> FleetConfig {
+    let dir = std::env::temp_dir().join(format!("ft_fleet_guard_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        ft_bench::fail(&format!("fleet_guard: creating {}", dir.display()), e);
+    }
+    let mut cfg = FleetConfig::new(worker, dir);
+    cfg.workers = ft_bench::parallelism().clamp(2, 4);
+    cfg.leases = 4;
+    cfg.prime_transitions = 200;
+    cfg
+}
+
+fn main() -> ExitCode {
+    let cores = ft_bench::available_cores();
+    if cores < 2 {
+        println!(
+            "fleet guard: SKIPPED (single core — a supervisor plus concurrent \
+             workers would measure time-slicing; the chaos differential suite \
+             covers the logic in-process)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let Some(worker) = ftfleet::locate_worker() else {
+        eprintln!(
+            "FAIL: ft_worker binary not found next to this executable — run \
+             `cargo build --release` first, or set FT_WORKER_BIN"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let mut job = JobSpec::new(ProgramSpec::new(
+        LockKind::Peterson,
+        2,
+        FenceMask::ALL,
+        MemoryModel::Tso,
+    ));
+    job.heartbeat_ms = 25;
+    let baseline = check(
+        &job.program.machine(),
+        &job.config(ftobs::Recorder::enabled()),
+    );
+
+    let clean_cfg = fleet_config(worker.clone(), "clean");
+    let clean: FleetReport = run_fleet(&job, &clean_cfg, ftobs::Recorder::enabled());
+
+    let chaos = chaos_killing_first_attempt();
+    let mut chaos_cfg = fleet_config(worker, "chaos");
+    chaos_cfg.chaos = Some(chaos.clone());
+    let chaotic: FleetReport = run_fleet(&job, &chaos_cfg, ftobs::Recorder::enabled());
+
+    println!(
+        "peterson2_tso, {} cores, {} workers: single `{}`; fleet `{}` \
+         ({} leases, {} lost); chaos[{chaos}] `{}` ({} leases, {} lost, {} reassigned)",
+        cores,
+        clean_cfg.workers,
+        baseline.label(),
+        clean.verdict.label(),
+        clean.stats.leases_issued,
+        clean.stats.workers_lost,
+        chaotic.verdict.label(),
+        chaotic.stats.leases_issued,
+        chaotic.stats.workers_lost,
+        chaotic.stats.leases_reassigned,
+    );
+
+    let mut ok = true;
+    if clean.verdict.label() != baseline.label() || clean.verdict.stats() != baseline.stats() {
+        eprintln!(
+            "FAIL: fault-free fleet `{}` diverges from single-process `{}` \
+             (diagnostic stats must be bit-identical)",
+            clean.verdict.label(),
+            baseline.label()
+        );
+        ok = false;
+    }
+    if clean.stats.workers_lost != 0 || clean.stats.poisoned_leases != 0 {
+        eprintln!(
+            "FAIL: fault-free fleet lost {} worker(s) and poisoned {} lease(s) \
+             with no chaos injected",
+            clean.stats.workers_lost, clean.stats.poisoned_leases
+        );
+        ok = false;
+    }
+    if chaotic.verdict.label() != clean.verdict.label()
+        || chaotic.verdict.stats() != clean.verdict.stats()
+    {
+        eprintln!(
+            "FAIL: chaos fleet `{}` diverges from fault-free fleet `{}` \
+             (killed workers must cost retries, never exactness)",
+            chaotic.verdict.label(),
+            clean.verdict.label()
+        );
+        ok = false;
+    }
+    if chaotic.stats.workers_lost == 0 || chaotic.stats.leases_reassigned == 0 {
+        eprintln!(
+            "FAIL: chaos run killed {} worker(s) and reassigned {} lease(s) — the \
+             seeded injection guarantees at least one of each, so the fault path \
+             never ran",
+            chaotic.stats.workers_lost, chaotic.stats.leases_reassigned
+        );
+        ok = false;
+    }
+
+    for cfg in [&clean_cfg, &chaos_cfg] {
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+    if ok {
+        println!("fleet guard: OK");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -242,11 +242,15 @@ fn main() -> ExitCode {
                 let line = format!(
                     "{best_dis_rate:.0} states/s, bakery3_pso undo, best of {trials} rounds x {iters} explorations\n",
                 );
+                // A baseline that cannot be written means the regression
+                // gate silently never arms — fail loudly instead.
                 if let Err(e) = std::fs::write(&baseline_path, line) {
-                    eprintln!("warning: could not write {}: {e}", baseline_path.display());
-                } else {
-                    println!("  wrote baseline {}", baseline_path.display());
+                    ft_bench::fail(
+                        &format!("obs_overhead: writing {}", baseline_path.display()),
+                        e,
+                    );
                 }
+                println!("  wrote baseline {}", baseline_path.display());
             }
             println!("overhead guard: OK");
             return ExitCode::SUCCESS;

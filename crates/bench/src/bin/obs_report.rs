@@ -14,8 +14,10 @@
 //! `*.jsonl.partial` stream a crashed run left behind. The report goes
 //! to stdout and to `results/obs/report.md`. Exits non-zero when no event
 //! line parses — the CI smoke run relies on that to catch an empty or
-//! corrupt stream. A *trailing* truncated line (the signature of a
-//! process killed mid-write) is skipped and counted, not an error.
+//! corrupt stream. Malformed lines *inside* a stream (interleaved
+//! writers, disk corruption) and a *trailing* truncated line (the
+//! signature of a process killed mid-write) are skipped and counted —
+//! warnings, never errors: one bad line must not cost the report.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,17 +26,16 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let paths: Vec<PathBuf> = if args.is_empty() {
         let dir = ft_bench::obs_dir();
-        let mut found: Vec<PathBuf> = std::fs::read_dir(&dir)
-            .map(|rd| {
-                rd.filter_map(Result::ok)
-                    .map(|e| e.path())
-                    .filter(|p| {
-                        p.extension().is_some_and(|x| x == "jsonl")
-                            || p.to_string_lossy().ends_with(".jsonl.partial")
-                    })
-                    .collect()
+        let rd = std::fs::read_dir(&dir)
+            .unwrap_or_else(|e| ft_bench::fail(&format!("reading {}", dir.display()), e));
+        let mut found: Vec<PathBuf> = rd
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|x| x == "jsonl")
+                    || p.to_string_lossy().ends_with(".jsonl.partial")
             })
-            .unwrap_or_default();
+            .collect();
         found.sort();
         found
     } else {
@@ -49,16 +50,25 @@ fn main() -> ExitCode {
     let mut sources: Vec<String> = Vec::new();
     let mut truncated = 0usize;
     let mut partials = 0usize;
+    let mut lines_skipped = 0usize;
     for p in &paths {
         match std::fs::read_to_string(p) {
             Ok(text) => {
-                let (complete, torn) = ftobs::report::stream_lines(&text);
-                if let Some(tail) = torn {
+                let scan = ftobs::report::scan_stream(&text);
+                if let Some(tail) = scan.torn_tail {
                     truncated += 1;
                     eprintln!(
                         "obs_report: {}: skipped a truncated trailing line ({} bytes)",
                         p.display(),
                         tail.len()
+                    );
+                }
+                if scan.lines_skipped > 0 {
+                    lines_skipped += scan.lines_skipped;
+                    eprintln!(
+                        "obs_report: warning: {}: skipped {} malformed mid-file line(s)",
+                        p.display(),
+                        scan.lines_skipped
                     );
                 }
                 if p.to_string_lossy().ends_with(".partial") {
@@ -68,7 +78,7 @@ fn main() -> ExitCode {
                         p.display()
                     );
                 }
-                lines.extend(complete);
+                lines.extend(scan.lines);
                 sources.push(p.display().to_string());
             }
             Err(e) => eprintln!("obs_report: skipping {}: {e}", p.display()),
@@ -77,10 +87,10 @@ fn main() -> ExitCode {
 
     let title = format!("fence-trade observability report ({})", sources.join(", "));
     let mut report = ftobs::report::render_report(&title, &lines);
-    if truncated > 0 || partials > 0 {
+    if truncated > 0 || partials > 0 || lines_skipped > 0 {
         report.push_str(&format!(
-            "_{truncated} truncated trailing line(s) skipped; {partials} crashed-run \
-             `.partial` stream(s) scanned._\n"
+            "_{lines_skipped} malformed line(s) and {truncated} truncated trailing line(s) \
+             skipped; {partials} crashed-run `.partial` stream(s) scanned._\n"
         ));
     }
     print!("{report}");

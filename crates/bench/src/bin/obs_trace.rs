@@ -36,23 +36,23 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use ftobs::report::{parse_line, stream_lines};
+use ftobs::report::{parse_line, scan_stream};
 use ftobs::{chrome_trace, follow_line, parse_spans, phase_table, validate_spans, SpanRow};
 
 /// Every readable stream under `results/obs/`, including crashed-run
 /// `.partial` artifacts (their spans are still attributable).
 fn discover() -> Vec<PathBuf> {
-    let mut found: Vec<PathBuf> = std::fs::read_dir(ft_bench::obs_dir())
-        .map(|rd| {
-            rd.filter_map(Result::ok)
-                .map(|e| e.path())
-                .filter(|p| {
-                    p.extension().is_some_and(|x| x == "jsonl")
-                        || p.to_string_lossy().ends_with(".jsonl.partial")
-                })
-                .collect()
+    let dir = ft_bench::obs_dir();
+    let rd = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| ft_bench::fail(&format!("reading {}", dir.display()), e));
+    let mut found: Vec<PathBuf> = rd
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "jsonl")
+                || p.to_string_lossy().ends_with(".jsonl.partial")
         })
-        .unwrap_or_default();
+        .collect();
     found.sort();
     found
 }
@@ -172,11 +172,21 @@ fn main() -> ExitCode {
 
     let mut rows: Vec<SpanRow> = Vec::new();
     let mut torn = 0usize;
+    let mut lines_skipped = 0usize;
     for p in &paths {
         match std::fs::read_to_string(p) {
             Ok(text) => {
-                if stream_lines(&text).1.is_some() {
+                let scan = scan_stream(&text);
+                if scan.torn_tail.is_some() {
                     torn += 1;
+                }
+                if scan.lines_skipped > 0 {
+                    lines_skipped += scan.lines_skipped;
+                    eprintln!(
+                        "obs_trace: warning: {}: skipped {} malformed mid-file line(s)",
+                        p.display(),
+                        scan.lines_skipped
+                    );
                 }
                 rows.extend(parse_spans(&text));
             }
@@ -211,7 +221,8 @@ fn main() -> ExitCode {
     let table = phase_table(&rows);
     println!("## Trace phases\n\n{table}");
     println!(
-        "{} spans ({tasks} tasks, {steals} publish edges) from {} stream(s), {torn} torn tail(s) skipped",
+        "{} spans ({tasks} tasks, {steals} publish edges) from {} stream(s), \
+         {torn} torn tail(s) and {lines_skipped} malformed line(s) skipped",
         rows.len(),
         paths.len()
     );
@@ -221,16 +232,17 @@ fn main() -> ExitCode {
     );
 
     let report = ft_bench::obs_dir().join("report.md");
-    match std::fs::OpenOptions::new()
+    let appended = std::fs::OpenOptions::new()
         .create(true)
         .append(true)
         .open(&report)
-    {
-        Ok(mut f) => {
-            let _ = writeln!(f, "\n## Trace phases\n\n{table}");
-            eprintln!("appended phase table to {}", report.display());
+        .and_then(|mut f| writeln!(f, "\n## Trace phases\n\n{table}"));
+    match appended {
+        Ok(()) => eprintln!("appended phase table to {}", report.display()),
+        Err(e) => {
+            eprintln!("obs_trace: could not append to {}: {e}", report.display());
+            return ExitCode::FAILURE;
         }
-        Err(e) => eprintln!("obs_trace: could not append to {}: {e}", report.display()),
     }
     ExitCode::SUCCESS
 }

@@ -24,6 +24,9 @@ pub struct Program {
     /// The same summaries with the recovery section's accesses folded in,
     /// for processes that may still crash.
     analysis_rec: Vec<PcSummary>,
+    /// Content digest over (name, instrs, locals, recovery), computed once
+    /// at assembly; see [`Program::digest`].
+    digest: u64,
 }
 
 impl Program {
@@ -52,6 +55,15 @@ impl Program {
         );
         let analysis = analyze(&instrs);
         let analysis_rec = union_summaries(&analysis, &analysis[recovery]);
+        let digest = {
+            use std::hash::{Hash as _, Hasher as _};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            name.hash(&mut h);
+            instrs.hash(&mut h);
+            local_names.hash(&mut h);
+            recovery.hash(&mut h);
+            h.finish()
+        };
         Program {
             name,
             instrs,
@@ -59,7 +71,20 @@ impl Program {
             recovery,
             analysis,
             analysis_rec,
+            digest,
         }
+    }
+
+    /// A process-independent fingerprint of the program text (name,
+    /// instructions, locals, recovery entry), fixed at assembly.
+    ///
+    /// [`VmProc`](crate::VmProc)'s `Hash` mixes this in — not the `Arc`
+    /// address, which differs across OS processes under ASLR — so state
+    /// fingerprints agree between a fleet supervisor and the workers it
+    /// hands snapshots to.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     /// The static access summary for program point `pc`; with

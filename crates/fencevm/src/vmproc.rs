@@ -253,7 +253,12 @@ impl Eq for VmProc {}
 
 impl Hash for VmProc {
     fn hash<H: Hasher>(&self, state: &mut H) {
-        Arc::as_ptr(&self.prog).hash(state);
+        // The program's content digest, not the Arc address: addresses
+        // differ across OS processes (ASLR), and lease-based exploration
+        // compares state fingerprints computed in different processes.
+        // Equality stays instance-based (`Arc::ptr_eq`); equal instances
+        // share a digest, so the Hash/Eq contract holds.
+        self.prog.digest().hash(state);
         self.pc.hash(state);
         self.locals.hash(state);
         self.annot.hash(state);

@@ -1,0 +1,119 @@
+//! `ft_worker` — one lease, one process.
+//!
+//! Usage (spawned by the fleet supervisor, not by hand):
+//!
+//! ```text
+//! ft_worker <job> <lease> <result> <heartbeat> <lease_id> <attempt>
+//! ```
+//!
+//! Reads the job spec and the lease snapshot, runs the seeded sweep via
+//! [`modelcheck::run_lease`], and commits the delta result atomically.
+//! Exit codes: 0 = result committed; 2 = error (bad arguments, bad job,
+//! bad lease, metadata mismatch, panic inside the sweep); 3 = injected
+//! startup fault; 4 = injected torn-commit fault. The supervisor treats
+//! any exit without a valid result file as a fault — these codes exist
+//! for the chaos harness's logs, not for control flow.
+//!
+//! The heartbeat file is rewritten with an incrementing counter several
+//! times per `heartbeat_ms`; the supervisor kills a worker whose
+//! counter stops changing. Under injected heartbeat chaos the worker
+//! emits two beats and then goes silent *while continuing to work* —
+//! the stall-detection path, not the crash path.
+
+use std::process::exit;
+
+use ftfleet::{encode_result, write_atomic_bytes, ChaosPoint, ChaosSpec};
+use modelcheck::run_lease;
+use por::Snapshot;
+
+fn fail(context: &str, err: impl std::fmt::Display) -> ! {
+    eprintln!("ft_worker: {context}: {err}");
+    exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 6 {
+        fail(
+            "usage",
+            "ft_worker <job> <lease> <result> <hb> <lease_id> <attempt>",
+        );
+    }
+    let (job_path, lease_path, result_path, hb_path) = (&args[0], &args[1], &args[2], &args[3]);
+    let lease_id: u64 = match args[4].parse() {
+        Ok(v) => v,
+        Err(e) => fail("lease id", e),
+    };
+    let attempt: u32 = match args[5].parse() {
+        Ok(v) => v,
+        Err(e) => fail("attempt", e),
+    };
+    let chaos = match ChaosSpec::from_env() {
+        Ok(c) => c,
+        Err(e) => fail("FT_CHAOS", e),
+    };
+
+    if chaos
+        .as_ref()
+        .is_some_and(|c| c.hit(ChaosPoint::Startup, lease_id, attempt))
+    {
+        // Injected startup fault: die before doing any work.
+        exit(3);
+    }
+
+    let job_text = match std::fs::read_to_string(job_path) {
+        Ok(t) => t,
+        Err(e) => fail("read job", e),
+    };
+    let job = match ftfleet::JobSpec::parse(&job_text) {
+        Ok(j) => j,
+        Err(e) => fail("parse job", e),
+    };
+
+    // Heartbeat pulse, several beats per supervisor period. Under
+    // injected heartbeat chaos: two beats, then silence (the process
+    // keeps exploring — the supervisor must stall-kill it).
+    let beat_silent = chaos
+        .as_ref()
+        .is_some_and(|c| c.hit(ChaosPoint::Heartbeat, lease_id, attempt));
+    let hb = hb_path.clone();
+    let period = std::time::Duration::from_millis((job.heartbeat_ms / 3).max(1));
+    std::thread::spawn(move || {
+        let mut counter: u64 = 0;
+        loop {
+            counter += 1;
+            let _ = std::fs::write(&hb, counter.to_string());
+            if beat_silent && counter >= 2 {
+                return;
+            }
+            std::thread::sleep(period);
+        }
+    });
+
+    let lease = match Snapshot::read(std::path::Path::new(lease_path)) {
+        Ok(s) => s,
+        Err(e) => fail("read lease", e),
+    };
+
+    let machine = job.program.machine();
+    let config = job.config(ftobs::Recorder::enabled());
+    let outcome = match run_lease(&machine, &config, lease) {
+        Ok(o) => o,
+        Err(e) => fail("run lease", e),
+    };
+
+    let bytes = encode_result(lease_id, attempt, outcome.status, &outcome.result);
+    if chaos
+        .as_ref()
+        .is_some_and(|c| c.hit(ChaosPoint::Commit, lease_id, attempt))
+    {
+        // Injected torn commit: half the bytes, written straight at the
+        // final path with no rename, then death — the worst `kill -9`
+        // can do. The wire checksum must make the supervisor reject it.
+        let _ = std::fs::write(result_path, &bytes[..bytes.len() / 2]);
+        exit(4);
+    }
+    if let Err(e) = write_atomic_bytes(std::path::Path::new(result_path), &bytes) {
+        fail("commit result", e);
+    }
+}

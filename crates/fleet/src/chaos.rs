@@ -1,0 +1,211 @@
+//! Deterministic fault injection for the fleet (`FT_CHAOS`).
+//!
+//! A fleet that only meets worker crashes in production has untested
+//! recovery paths; this module makes the failures reproducible. The
+//! `FT_CHAOS` environment variable names injection **points** plus an
+//! injection percentage and a seed:
+//!
+//! ```text
+//! FT_CHAOS=<point>[,<point>...][:<percent>[:<seed>]]
+//! FT_CHAOS=startup                 # every worker dies before working
+//! FT_CHAOS=commit:40:7             # 40% of commits torn, seed 7
+//! FT_CHAOS=startup,heartbeat,commit:30
+//! ```
+//!
+//! Whether a given `(point, lease, attempt)` injects is a pure hash of
+//! the seed and those coordinates — no clocks, no RNG state — so a
+//! chaotic run is exactly reproducible, and retries of the same lease
+//! make independent draws (attempt is part of the hash). The three
+//! points cover the failure taxonomy's distinct branches:
+//!
+//! * [`ChaosPoint::Startup`] — the worker exits before doing any work
+//!   (spawn failures, missing binaries, OOM kills at exec).
+//! * [`ChaosPoint::Heartbeat`] — the worker keeps running but stops
+//!   beating (livelock, scheduler starvation); the supervisor must
+//!   stall-detect and kill it.
+//! * [`ChaosPoint::Commit`] — the worker writes *half* its result file
+//!   non-atomically and dies (`kill -9` mid-write); the supervisor must
+//!   reject the torn file.
+//!
+//! Injection can never produce a wrong verdict — only lost attempts.
+//! Even `percent: 100` on every point just poisons every lease, and the
+//! supervisor's in-process degradation still completes the run exactly;
+//! the chaos differential suite relies on this to avoid probability
+//! tuning.
+
+use por::fnv1a;
+
+/// A named fault-injection point in the worker lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosPoint {
+    /// Exit before reading the lease.
+    Startup,
+    /// Stop emitting heartbeats after the first couple.
+    Heartbeat,
+    /// Write a torn result file and die.
+    Commit,
+}
+
+impl ChaosPoint {
+    fn tag(self) -> u8 {
+        match self {
+            ChaosPoint::Startup => 1,
+            ChaosPoint::Heartbeat => 2,
+            ChaosPoint::Commit => 3,
+        }
+    }
+}
+
+/// A parsed `FT_CHAOS` specification.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaosSpec {
+    /// Inject at worker startup.
+    pub startup: bool,
+    /// Inject in the heartbeat loop.
+    pub heartbeat: bool,
+    /// Inject at result commit.
+    pub commit: bool,
+    /// Injection probability per (point, lease, attempt), in percent.
+    pub percent: u8,
+    /// Hash seed; different seeds produce different (but individually
+    /// deterministic) fault patterns.
+    pub seed: u64,
+}
+
+impl ChaosSpec {
+    /// Parse the `FT_CHAOS` syntax (see module docs). Percent defaults
+    /// to 100, seed to 0.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the offending token.
+    pub fn parse(s: &str) -> Result<ChaosSpec, String> {
+        let mut parts = s.split(':');
+        let points = parts.next().unwrap_or("");
+        let percent = match parts.next() {
+            None => 100,
+            Some(p) => {
+                let v: u8 = p
+                    .parse()
+                    .map_err(|e| format!("bad chaos percent `{p}`: {e}"))?;
+                if v > 100 {
+                    return Err(format!("chaos percent {v} > 100"));
+                }
+                v
+            }
+        };
+        let seed = match parts.next() {
+            None => 0,
+            Some(p) => p
+                .parse()
+                .map_err(|e| format!("bad chaos seed `{p}`: {e}"))?,
+        };
+        if parts.next().is_some() {
+            return Err(format!("trailing chaos fields in `{s}`"));
+        }
+        let mut spec = ChaosSpec {
+            startup: false,
+            heartbeat: false,
+            commit: false,
+            percent,
+            seed,
+        };
+        for point in points.split(',') {
+            match point {
+                "startup" => spec.startup = true,
+                "heartbeat" => spec.heartbeat = true,
+                "commit" => spec.commit = true,
+                other => return Err(format!("unknown chaos point `{other}`")),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Read `FT_CHAOS` from the environment. `Ok(None)` when unset or
+    /// empty; a set-but-malformed value is an error (typos must not
+    /// silently disable the chaos a test asked for).
+    ///
+    /// # Errors
+    ///
+    /// Any parse failure from [`ChaosSpec::parse`].
+    pub fn from_env() -> Result<Option<ChaosSpec>, String> {
+        match std::env::var("FT_CHAOS") {
+            Ok(v) if !v.is_empty() => ChaosSpec::parse(&v).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Whether to inject a fault at `point` for this lease attempt.
+    /// Deterministic in `(seed, point, lease_id, attempt)`.
+    #[must_use]
+    pub fn hit(&self, point: ChaosPoint, lease_id: u64, attempt: u32) -> bool {
+        let enabled = match point {
+            ChaosPoint::Startup => self.startup,
+            ChaosPoint::Heartbeat => self.heartbeat,
+            ChaosPoint::Commit => self.commit,
+        };
+        if !enabled {
+            return false;
+        }
+        let mut bytes = [0u8; 21];
+        bytes[..8].copy_from_slice(&self.seed.to_le_bytes());
+        bytes[8] = point.tag();
+        bytes[9..17].copy_from_slice(&lease_id.to_le_bytes());
+        bytes[17..21].copy_from_slice(&attempt.to_le_bytes());
+        (fnv1a(&bytes) % 100) < u64::from(self.percent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_the_documented_forms() {
+        let s = ChaosSpec::parse("startup").expect("parse");
+        assert!(s.startup && !s.heartbeat && !s.commit);
+        assert_eq!((s.percent, s.seed), (100, 0));
+
+        let s = ChaosSpec::parse("commit:40:7").expect("parse");
+        assert!(s.commit && !s.startup);
+        assert_eq!((s.percent, s.seed), (40, 7));
+
+        let s = ChaosSpec::parse("startup,heartbeat,commit:30").expect("parse");
+        assert!(s.startup && s.heartbeat && s.commit);
+        assert_eq!((s.percent, s.seed), (30, 0));
+
+        for bad in ["", "teardown", "startup:101", "startup:x", "startup:1:2:3"] {
+            assert!(ChaosSpec::parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn hits_are_deterministic_and_roughly_proportional() {
+        let spec = ChaosSpec::parse("commit:50:3").expect("parse");
+        let a: Vec<bool> = (0..200)
+            .map(|i| spec.hit(ChaosPoint::Commit, i, 0))
+            .collect();
+        let b: Vec<bool> = (0..200)
+            .map(|i| spec.hit(ChaosPoint::Commit, i, 0))
+            .collect();
+        assert_eq!(a, b, "same coordinates must draw the same fault");
+        let hits = a.iter().filter(|&&h| h).count();
+        assert!((50..=150).contains(&hits), "50% of 200 drew {hits}");
+        // Disabled points never fire, whatever the percent.
+        assert!(!spec.hit(ChaosPoint::Startup, 0, 0));
+        // Retries draw independently: some attempt differs from attempt 0.
+        assert!((0..32).any(|at| spec.hit(ChaosPoint::Commit, 11, at) != a[11]));
+    }
+
+    #[test]
+    fn full_percent_always_fires() {
+        let spec = ChaosSpec::parse("startup,heartbeat,commit").expect("parse");
+        for id in 0..50 {
+            for at in 0..4 {
+                assert!(spec.hit(ChaosPoint::Startup, id, at));
+                assert!(spec.hit(ChaosPoint::Heartbeat, id, at));
+                assert!(spec.hit(ChaosPoint::Commit, id, at));
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # ftfleet — the fault-tolerant multi-process exploration fleet
+//!
+//! Partitions an exploration run into **lease-scoped work units** and
+//! farms them out to supervised worker OS processes (`ft_worker`), each
+//! re-entering the seeded work-stealing engine via
+//! [`modelcheck::lease::run_lease`]. The supervisor tolerates worker
+//! crashes, stalls, and `kill -9` mid-write without losing soundness:
+//!
+//! * **Leases** ([`spec`], [`wire`]) — each lease is a [`por::Snapshot`]
+//!   carrying a frontier slice plus the accepted visited-state seed;
+//!   results come back as delta snapshots in a checksummed wire format.
+//!   Both directions use atomic tmp+fsync+rename writes, so a torn
+//!   result is *detected and re-leased*, never accepted.
+//! * **Supervision** ([`supervisor`]) — heartbeat files with deadlines,
+//!   exponential-backoff retry, work reassignment on worker death or
+//!   stall, and a bounded attempt budget after which a lease is
+//!   **poisoned** and the run degrades to in-process completion of the
+//!   leftover frontier. Verdict discipline mirrors the in-process
+//!   engines: violations and state-limit overruns cancel the fleet and
+//!   rerun sequentially; budget exhaustion merges partial coverages into
+//!   one `Inconclusive`.
+//! * **Exactness** — results are accepted in deterministic lease order,
+//!   and any result whose newly claimed fingerprints intersect
+//!   previously accepted claims is rejected and re-leased with the
+//!   updated seed. An accepted chain is therefore bit-identical to a
+//!   sequential resume chain, so in diagnostic mode the merged
+//!   [`ftobs::MetricsSnapshot`] equals a fresh single-process run's —
+//!   the property the chaos differential suite pins down.
+//! * **Chaos** ([`chaos`]) — `FT_CHAOS` injects deterministic faults at
+//!   worker startup, heartbeat emission, and result commit, so the
+//!   failure paths above are exercised on every CI run, not only when
+//!   the real world obliges.
+//!
+//! See `DESIGN.md` §7c for the lease lifecycle, the failure taxonomy,
+//! and the degradation ladder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chaos;
+pub mod spec;
+pub mod supervisor;
+pub mod wire;
+
+pub use chaos::{ChaosPoint, ChaosSpec};
+pub use spec::{JobSpec, ProgramSpec};
+pub use supervisor::{locate_worker, run_fleet, FleetConfig, FleetReport, FleetStats};
+pub use wire::{decode_result, encode_result, read_result, write_atomic_bytes, WireResult};

@@ -1,0 +1,364 @@
+//! Job specifications: the program + configuration a worker process
+//! reconstructs from a plain-text job file.
+//!
+//! The supervisor and its workers are separate OS processes, so the
+//! *entire* check — which lock, how many processes, which fence sites,
+//! which memory model, which properties and bounds — must round-trip
+//! through a file. The format is deliberately boring: a `ftfleet-job v1`
+//! header followed by `key value` lines, one per field, no quoting, no
+//! nesting. A worker that reads a job it cannot parse exits nonzero and
+//! the supervisor's retry/poison ladder handles it like any other worker
+//! failure.
+//!
+//! Correctness does not rest on this codec: the lease snapshot carries
+//! [`por::RunMeta`] (engine label, configuration hash, program hash),
+//! and [`modelcheck::lease::run_lease`] re-validates all three against
+//! what the worker actually reconstructed. A job file that round-trips
+//! wrong produces a validation error, never a silently different check.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+use std::time::Duration;
+
+use fencevm::VmProc;
+use modelcheck::{CheckConfig, Engine, Recorder};
+use simlocks::{build_mutex, FenceMask, LockKind, OrderingInstance};
+use wbmem::{CrashSemantics, Machine, MemoryModel};
+
+/// Which program to check: a lock instance under a memory model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProgramSpec {
+    /// Lock algorithm.
+    pub lock: LockKind,
+    /// Number of competing processes.
+    pub n: usize,
+    /// Enabled fence sites (only bits below `fence_sites` are
+    /// meaningful; the codec serializes exactly those).
+    pub fences: FenceMask,
+    /// How many fence sites the instance exposes (recorded so the codec
+    /// knows which mask bits to serialize).
+    pub fence_sites: u32,
+    /// Memory model to run the programs under.
+    pub model: MemoryModel,
+}
+
+impl ProgramSpec {
+    /// Spec for `lock` × `n` × `fences` under `model`. Builds a probe
+    /// instance once to learn the fence-site count, and normalizes the
+    /// mask to the sites that exist (bits above `fence_sites` never
+    /// affect the built program, so dropping them makes specs with the
+    /// same meaning compare and serialize identically).
+    #[must_use]
+    pub fn new(lock: LockKind, n: usize, fences: FenceMask, model: MemoryModel) -> ProgramSpec {
+        let probe = build_mutex(lock, n, FenceMask::ALL);
+        let sites: Vec<u32> = (0..probe.fence_sites).filter(|&s| fences.has(s)).collect();
+        ProgramSpec {
+            lock,
+            n,
+            fences: FenceMask::only(&sites),
+            fence_sites: probe.fence_sites,
+            model,
+        }
+    }
+
+    /// Build the lock instance this spec names.
+    #[must_use]
+    pub fn instance(&self) -> OrderingInstance {
+        build_mutex(self.lock, self.n, self.fences)
+    }
+
+    /// Build the root machine this spec names.
+    #[must_use]
+    pub fn machine(&self) -> Machine<VmProc> {
+        self.instance().machine(self.model)
+    }
+}
+
+/// Everything a worker process needs to reconstruct the check: the
+/// program plus the checking configuration. The engine is always
+/// [`Engine::ParallelDpor`] — the only engine the fleet coordinates.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobSpec {
+    /// The program under check.
+    pub program: ProgramSpec,
+    /// Check the mutual-exclusion property.
+    pub check_mutex: bool,
+    /// Check the return-value permutation property.
+    pub check_permutation: bool,
+    /// Check global termination (collects the edge graph).
+    pub check_termination: bool,
+    /// Global distinct-state limit.
+    pub max_states: usize,
+    /// Per-process crash budget (0 = no crash injection).
+    pub max_crashes: u32,
+    /// Crash semantics when `max_crashes > 0`.
+    pub crash_semantics: CrashSemantics,
+    /// Worker thread count inside each worker process (0 = per-core).
+    pub threads: usize,
+    /// Reorder bound; `Some(u32::MAX)` is diagnostic mode, the fleet's
+    /// exactness baseline.
+    pub reorder_bound: Option<u32>,
+    /// Wall-clock budget per lease attempt, if any.
+    pub budget_ms: Option<u64>,
+    /// Heartbeat period the worker must beat well within (the
+    /// supervisor's stall deadline is a multiple of this).
+    pub heartbeat_ms: u64,
+}
+
+impl JobSpec {
+    /// A job for `program` with the fleet's defaults: mutex checked,
+    /// permutation and termination off, diagnostic reorder bound, one
+    /// exploration thread per worker process, no crash injection, no
+    /// budget, 200 ms heartbeats.
+    #[must_use]
+    pub fn new(program: ProgramSpec) -> JobSpec {
+        JobSpec {
+            program,
+            check_mutex: true,
+            check_permutation: false,
+            check_termination: false,
+            max_states: 2_000_000,
+            max_crashes: 0,
+            crash_semantics: CrashSemantics::DiscardBuffer,
+            threads: 1,
+            reorder_bound: Some(u32::MAX),
+            budget_ms: None,
+            heartbeat_ms: 200,
+        }
+    }
+
+    /// The [`CheckConfig`] this job describes, with `recorder` attached.
+    /// Both supervisor and worker call this, so the config hash the
+    /// lease metadata validates is computed from the same struct on both
+    /// sides.
+    #[must_use]
+    pub fn config(&self, recorder: Recorder) -> CheckConfig {
+        CheckConfig {
+            max_states: self.max_states,
+            check_mutex: self.check_mutex,
+            check_permutation: self.check_permutation,
+            check_termination: self.check_termination,
+            engine: Engine::ParallelDpor {
+                threads: self.threads,
+                reorder_bound: self.reorder_bound,
+            },
+            max_crashes: self.max_crashes,
+            crash_semantics: self.crash_semantics,
+            budget: self.budget_ms.map(Duration::from_millis),
+            recorder,
+            ..CheckConfig::default()
+        }
+    }
+
+    /// Serialize to the job-file text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("ftfleet-job v1\n");
+        let _ = writeln!(out, "lock {}", self.program.lock);
+        let _ = writeln!(out, "n {}", self.program.n);
+        let sites: Vec<String> = (0..self.program.fence_sites)
+            .filter(|&s| self.program.fences.has(s))
+            .map(|s| s.to_string())
+            .collect();
+        let _ = writeln!(
+            out,
+            "fences {}",
+            if sites.is_empty() {
+                "-".to_string()
+            } else {
+                sites.join(",")
+            }
+        );
+        let _ = writeln!(out, "fence_sites {}", self.program.fence_sites);
+        let _ = writeln!(out, "model {}", self.program.model);
+        let _ = writeln!(out, "check_mutex {}", self.check_mutex);
+        let _ = writeln!(out, "check_permutation {}", self.check_permutation);
+        let _ = writeln!(out, "check_termination {}", self.check_termination);
+        let _ = writeln!(out, "max_states {}", self.max_states);
+        let _ = writeln!(out, "max_crashes {}", self.max_crashes);
+        let _ = writeln!(
+            out,
+            "crash_semantics {}",
+            match self.crash_semantics {
+                CrashSemantics::DiscardBuffer => "discard",
+                CrashSemantics::DrainBuffer => "drain",
+            }
+        );
+        let _ = writeln!(out, "threads {}", self.threads);
+        let _ = writeln!(
+            out,
+            "reorder_bound {}",
+            match self.reorder_bound {
+                None => "none".to_string(),
+                Some(b) => b.to_string(),
+            }
+        );
+        let _ = writeln!(
+            out,
+            "budget_ms {}",
+            match self.budget_ms {
+                None => "-".to_string(),
+                Some(ms) => ms.to_string(),
+            }
+        );
+        let _ = writeln!(out, "heartbeat_ms {}", self.heartbeat_ms);
+        out
+    }
+
+    /// Parse the job-file text format.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first offending line; missing keys are also
+    /// errors (the format has no optional fields).
+    pub fn parse(text: &str) -> Result<JobSpec, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("ftfleet-job v1") => {}
+            other => return Err(format!("bad job header: {other:?}")),
+        }
+        let mut kv = std::collections::HashMap::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (k, v) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("bad job line: `{line}`"))?;
+            kv.insert(k.to_string(), v.trim().to_string());
+        }
+        let get = |k: &str| -> Result<String, String> {
+            kv.get(k)
+                .cloned()
+                .ok_or_else(|| format!("missing key `{k}`"))
+        };
+        let parse_num = |k: &str| -> Result<u64, String> {
+            get(k)?.parse().map_err(|e| format!("bad `{k}`: {e}"))
+        };
+        let parse_bool = |k: &str| -> Result<bool, String> {
+            get(k)?.parse().map_err(|e| format!("bad `{k}`: {e}"))
+        };
+
+        let lock = LockKind::from_str(&get("lock")?)?;
+        let n = parse_num("n")? as usize;
+        let fence_sites = parse_num("fence_sites")? as u32;
+        let fences_raw = get("fences")?;
+        let fences = if fences_raw == "-" {
+            FenceMask::NONE
+        } else {
+            let sites = fences_raw
+                .split(',')
+                .map(|s| s.parse::<u32>().map_err(|e| format!("bad fence site: {e}")))
+                .collect::<Result<Vec<_>, _>>()?;
+            if let Some(&bad) = sites.iter().find(|&&s| s >= fence_sites.max(1)) {
+                return Err(format!("fence site {bad} out of range"));
+            }
+            FenceMask::only(&sites)
+        };
+        let model = MemoryModel::from_str(&get("model")?)?;
+        let crash_semantics = match get("crash_semantics")?.as_str() {
+            "discard" => CrashSemantics::DiscardBuffer,
+            "drain" => CrashSemantics::DrainBuffer,
+            other => return Err(format!("bad crash_semantics `{other}`")),
+        };
+        let reorder_bound = match get("reorder_bound")?.as_str() {
+            "none" => None,
+            num => Some(num.parse().map_err(|e| format!("bad reorder_bound: {e}"))?),
+        };
+        let budget_ms = match get("budget_ms")?.as_str() {
+            "-" => None,
+            num => Some(num.parse().map_err(|e| format!("bad budget_ms: {e}"))?),
+        };
+
+        Ok(JobSpec {
+            program: ProgramSpec {
+                lock,
+                n,
+                fences,
+                fence_sites,
+                model,
+            },
+            check_mutex: parse_bool("check_mutex")?,
+            check_permutation: parse_bool("check_permutation")?,
+            check_termination: parse_bool("check_termination")?,
+            max_states: parse_num("max_states")? as usize,
+            max_crashes: parse_num("max_crashes")? as u32,
+            crash_semantics,
+            threads: parse_num("threads")? as usize,
+            reorder_bound,
+            budget_ms,
+            heartbeat_ms: parse_num("heartbeat_ms")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_spec_roundtrips() {
+        for (lock, n) in [
+            (LockKind::Peterson, 2),
+            (LockKind::Bakery, 3),
+            (LockKind::Gt { f: 2 }, 4),
+        ] {
+            for model in [
+                MemoryModel::Sc,
+                MemoryModel::Tso,
+                MemoryModel::Pso,
+                MemoryModel::Rmo,
+            ] {
+                let mut job = JobSpec::new(ProgramSpec::new(lock, n, FenceMask::ALL, model));
+                job.check_termination = true;
+                job.max_crashes = 2;
+                job.crash_semantics = CrashSemantics::DrainBuffer;
+                job.budget_ms = Some(1500);
+                let back = JobSpec::parse(&job.to_text()).expect("parse");
+                assert_eq!(back, job);
+            }
+        }
+    }
+
+    #[test]
+    fn fence_subsets_roundtrip_to_the_same_program() {
+        let probe = build_mutex(LockKind::Peterson, 2, FenceMask::ALL);
+        let mask = FenceMask::only(&[0]);
+        let job = JobSpec::new(ProgramSpec::new(
+            LockKind::Peterson,
+            2,
+            mask,
+            MemoryModel::Tso,
+        ));
+        assert!(probe.fence_sites > 1);
+        let back = JobSpec::parse(&job.to_text()).expect("parse");
+        // The reconstructed mask enables exactly the same sites, so the
+        // built program is identical.
+        for s in 0..job.program.fence_sites {
+            assert_eq!(back.program.fences.has(s), mask.has(s));
+        }
+    }
+
+    #[test]
+    fn bad_job_lines_are_rejected() {
+        assert!(JobSpec::parse("not a job").is_err());
+        let job = JobSpec::new(ProgramSpec::new(
+            LockKind::Ttas,
+            2,
+            FenceMask::ALL,
+            MemoryModel::Pso,
+        ));
+        let text = job.to_text();
+        // Dropping any line is an error: no optional keys.
+        for skip in 1..text.lines().count() {
+            let mangled: Vec<&str> = text
+                .lines()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, l)| l)
+                .collect();
+            assert!(JobSpec::parse(&mangled.join("\n")).is_err(), "line {skip}");
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Result-file wire format: how a worker ships its lease outcome back.
+//!
+//! A result file wraps the worker's delta [`Snapshot`] in a thin header
+//! that binds it to one specific `(lease, attempt)` — so a stale file
+//! from a killed earlier attempt can never satisfy a later one — plus a
+//! trailing FNV-1a checksum over everything before it. Validation order:
+//! magic, header length, trailing checksum, lease/attempt binding,
+//! status byte, then the inner snapshot's own header and checksum. A
+//! torn file (the chaos harness produces them on purpose, `kill -9` by
+//! accident) fails one of those checks and is **rejected and re-leased,
+//! never accepted** — the property the torn-result tests pin down.
+//!
+//! Workers write results with the same atomic tmp+fsync+rename dance as
+//! checkpoints ([`write_atomic_bytes`]); the checksum is the second line
+//! of defense for the injected non-atomic chaos writes.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use modelcheck::LeaseStatus;
+use por::{fnv1a, Snapshot};
+
+/// Result-file magic: format name + version in one token.
+pub const RESULT_MAGIC: [u8; 8] = *b"FTRSLT01";
+
+/// Fixed header size: magic + lease id (u64) + attempt (u32) + status
+/// (u8) + snapshot length (u64).
+const HEADER: usize = 8 + 8 + 4 + 1 + 8;
+
+/// A decoded, validated result file.
+#[derive(Debug)]
+pub struct WireResult {
+    /// Which lease this result answers.
+    pub lease_id: u64,
+    /// Which attempt produced it.
+    pub attempt: u32,
+    /// How the lease run ended.
+    pub status: LeaseStatus,
+    /// The worker's delta snapshot.
+    pub snapshot: Snapshot,
+}
+
+/// Encode a result for `(lease_id, attempt)` into the wire format.
+#[must_use]
+pub fn encode_result(lease_id: u64, attempt: u32, status: LeaseStatus, snap: &Snapshot) -> Vec<u8> {
+    let payload = snap.to_bytes();
+    let mut out = Vec::with_capacity(HEADER + payload.len() + 8);
+    out.extend_from_slice(&RESULT_MAGIC);
+    out.extend_from_slice(&lease_id.to_le_bytes());
+    out.extend_from_slice(&attempt.to_le_bytes());
+    out.push(status.code());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload);
+    let sum = fnv1a(&out);
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+/// Decode and validate a result file's bytes, checking it answers
+/// exactly `(expect_id, expect_attempt)`.
+///
+/// # Errors
+///
+/// A message naming the first failed check. Every failure means "do not
+/// accept"; the supervisor treats them all as a lost attempt.
+pub fn decode_result(
+    bytes: &[u8],
+    expect_id: u64,
+    expect_attempt: u32,
+) -> Result<WireResult, String> {
+    if bytes.len() < HEADER + 8 {
+        return Err(format!("result truncated: {} bytes", bytes.len()));
+    }
+    if bytes[..8] != RESULT_MAGIC {
+        return Err("bad result magic".to_string());
+    }
+    let body = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a(body) != stored {
+        return Err("result checksum mismatch (torn write)".to_string());
+    }
+    let lease_id = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let attempt = u32::from_le_bytes(bytes[16..20].try_into().unwrap());
+    if lease_id != expect_id || attempt != expect_attempt {
+        return Err(format!(
+            "result is for lease {lease_id} attempt {attempt}, expected {expect_id}/{expect_attempt}"
+        ));
+    }
+    let status = LeaseStatus::from_code(bytes[20]).ok_or("bad result status byte")?;
+    let snap_len = u64::from_le_bytes(bytes[21..29].try_into().unwrap()) as usize;
+    let payload = &body[HEADER..];
+    if payload.len() != snap_len {
+        return Err(format!(
+            "result payload length {} != declared {snap_len}",
+            payload.len()
+        ));
+    }
+    let snapshot = Snapshot::from_bytes(payload).map_err(|e| format!("result snapshot: {e}"))?;
+    Ok(WireResult {
+        lease_id,
+        attempt,
+        status,
+        snapshot,
+    })
+}
+
+/// Read and validate the result file at `path` for `(expect_id,
+/// expect_attempt)`.
+///
+/// # Errors
+///
+/// I/O failures (including the file simply not existing yet) and every
+/// validation failure from [`decode_result`].
+pub fn read_result(path: &Path, expect_id: u64, expect_attempt: u32) -> Result<WireResult, String> {
+    let bytes = fs::read(path).map_err(|e| format!("read result: {e}"))?;
+    decode_result(&bytes, expect_id, expect_attempt)
+}
+
+/// Write `bytes` to `path` atomically: hidden temp sibling, `fsync`,
+/// `rename`, best-effort directory sync — the checkpoint writer's
+/// pattern, for arbitrary byte blobs.
+///
+/// # Errors
+///
+/// A message naming the failing operation.
+pub fn write_atomic_bytes(path: &Path, bytes: &[u8]) -> Result<(), String> {
+    let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+    if let Some(dir) = dir {
+        fs::create_dir_all(dir).map_err(|e| format!("mkdir: {e}"))?;
+    }
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| "result path has no file name".to_string())?;
+    let mut tmp = path.to_path_buf();
+    tmp.set_file_name({
+        let mut n = std::ffi::OsString::from(".");
+        n.push(file_name);
+        n.push(".tmp");
+        n
+    });
+    let mut f = fs::File::create(&tmp).map_err(|e| format!("create temp: {e}"))?;
+    f.write_all(bytes).map_err(|e| format!("write: {e}"))?;
+    f.sync_all().map_err(|e| format!("fsync: {e}"))?;
+    drop(f);
+    fs::rename(&tmp, path).map_err(|e| format!("rename: {e}"))?;
+    if let Some(dir) = dir {
+        if let Ok(d) = fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use por::BaseCounts;
+
+    fn sample_snapshot() -> Snapshot {
+        Snapshot {
+            base: BaseCounts {
+                states: 7,
+                transitions: 19,
+                terminal_states: 1,
+                sleep_hits: 0,
+            },
+            visited: vec![1, 2, 3],
+            ..Snapshot::default()
+        }
+    }
+
+    #[test]
+    fn result_roundtrips() {
+        let snap = sample_snapshot();
+        let bytes = encode_result(42, 3, LeaseStatus::BudgetHit, &snap);
+        let got = decode_result(&bytes, 42, 3).expect("decode");
+        assert_eq!(got.lease_id, 42);
+        assert_eq!(got.attempt, 3);
+        assert_eq!(got.status, LeaseStatus::BudgetHit);
+        assert_eq!(got.snapshot.base, snap.base);
+        assert_eq!(got.snapshot.visited, snap.visited);
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_result(1, 0, LeaseStatus::Completed, &sample_snapshot());
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_result(&bytes[..cut], 1, 0).is_err(),
+                "accepted a result cut to {cut} of {} bytes",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_and_wrong_binding_are_rejected() {
+        let bytes = encode_result(5, 2, LeaseStatus::Completed, &sample_snapshot());
+        for i in 0..bytes.len() {
+            let mut torn = bytes.clone();
+            torn[i] ^= 0x10;
+            assert!(decode_result(&torn, 5, 2).is_err(), "flip at byte {i}");
+        }
+        // A valid result for the wrong lease or a stale attempt is
+        // equally unacceptable.
+        assert!(decode_result(&bytes, 6, 2).is_err());
+        assert!(decode_result(&bytes, 5, 1).is_err());
+    }
+}

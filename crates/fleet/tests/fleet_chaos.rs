@@ -1,0 +1,205 @@
+//! Chaos differential suite: the fleet's verdicts — and, in diagnostic
+//! mode, its merged metrics — must be bit-identical to a fault-free
+//! single-process run, whatever faults `FT_CHAOS` injects.
+//!
+//! The exactness argument (accepted-chain conflict rejection, ordered
+//! merge, in-process endgame) lives in `crates/modelcheck/src/lease.rs`
+//! and `crates/fleet/src/supervisor.rs`; these tests pin it down:
+//!
+//! * a lock × model matrix under mixed startup/heartbeat/commit chaos,
+//! * torn results (100% commit chaos) are *never* accepted,
+//! * a fleet whose every worker dies at startup still terminates with
+//!   the exact verdict via the in-process degradation ladder,
+//! * a fault-free fleet actually distributes work (and agrees too).
+
+use std::path::PathBuf;
+
+use ftfleet::{run_fleet, FleetConfig, FleetReport, JobSpec, ProgramSpec};
+use modelcheck::{check, Verdict};
+use simlocks::{FenceMask, LockKind};
+use wbmem::MemoryModel;
+
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_ft_worker"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ftfleet_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// A small-fleet config tuned for test speed: short backoff, a short
+/// prime phase (so leases get real work even on small spaces), and a
+/// tight-but-not-flaky stall deadline.
+fn fleet_config(dir: PathBuf, chaos: Option<&str>) -> FleetConfig {
+    let mut cfg = FleetConfig::new(worker_bin(), dir);
+    cfg.workers = 2;
+    cfg.leases = 3;
+    cfg.max_attempts = 2;
+    cfg.stall_beats = 5;
+    cfg.backoff_ms = 5;
+    cfg.prime_transitions = 120;
+    cfg.chaos = chaos.map(str::to_string);
+    cfg
+}
+
+fn job(lock: LockKind, n: usize, fences: FenceMask, model: MemoryModel) -> JobSpec {
+    let mut job = JobSpec::new(ProgramSpec::new(lock, n, fences, model));
+    job.heartbeat_ms = 20;
+    job
+}
+
+/// Fault-free single-process baseline with its own fresh recorder.
+fn baseline(job: &JobSpec) -> Verdict {
+    let machine = job.program.machine();
+    let config = job.config(ftobs::Recorder::enabled());
+    check(&machine, &config)
+}
+
+fn run(job: &JobSpec, fleet: &FleetConfig) -> FleetReport {
+    run_fleet(job, fleet, ftobs::Recorder::enabled())
+}
+
+/// The pinned property: same verdict variant, same deterministic stats
+/// (states, transitions, terminals, and the metrics snapshot's
+/// deterministic projection), same counterexample schedule if any.
+#[track_caller]
+fn assert_same_verdict(ours: &Verdict, expect: &Verdict, what: &str) {
+    assert_eq!(
+        std::mem::discriminant(ours),
+        std::mem::discriminant(expect),
+        "{what}: fleet verdict {ours:?} vs single-process {expect:?}"
+    );
+    assert_eq!(ours.stats(), expect.stats(), "{what}: stats diverge");
+    match (ours.counterexample(), expect.counterexample()) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            assert_eq!(a.schedule, b.schedule, "{what}: counterexample diverges");
+        }
+        (a, b) => panic!("{what}: counterexample presence diverges: {a:?} vs {b:?}"),
+    }
+}
+
+#[test]
+fn fault_free_fleet_matches_single_process_and_distributes() {
+    let job = job(LockKind::Peterson, 2, FenceMask::ALL, MemoryModel::Tso);
+    let expect = baseline(&job);
+    let dir = scratch("fault_free");
+    let report = run(&job, &fleet_config(dir.clone(), None));
+    assert_same_verdict(&report.verdict, &expect, "fault-free peterson/TSO");
+    assert!(
+        report.stats.leases_issued >= 1,
+        "space never left the prime phase — shrink prime_transitions"
+    );
+    assert_eq!(report.stats.workers_lost, 0, "no faults were injected");
+    assert_eq!(report.stats.poisoned_leases, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn chaos_matrix_verdicts_and_metrics_are_exact() {
+    // The n=2 matrix: correct locks across every model (Ok expected),
+    // plus a fence-stripped Peterson under TSO (violation expected —
+    // exercises the cancel-and-rerun discipline under chaos) and a
+    // state-capped Bakery (exercises the LimitHit ladder).
+    let mut cells: Vec<(String, JobSpec)> = Vec::new();
+    for lock in [LockKind::Peterson, LockKind::Ttas] {
+        for model in [
+            MemoryModel::Sc,
+            MemoryModel::Tso,
+            MemoryModel::Pso,
+            MemoryModel::Rmo,
+        ] {
+            cells.push((
+                format!("{lock}/{model}"),
+                job(lock, 2, FenceMask::ALL, model),
+            ));
+        }
+    }
+    cells.push((
+        "peterson-nofence/TSO".into(),
+        job(LockKind::Peterson, 2, FenceMask::NONE, MemoryModel::Tso),
+    ));
+    let mut capped = job(LockKind::Bakery, 2, FenceMask::ALL, MemoryModel::Tso);
+    capped.max_states = 3_000;
+    cells.push(("bakery-capped/TSO".into(), capped));
+
+    for (i, (name, job)) in cells.iter().enumerate() {
+        let expect = baseline(job);
+        let dir = scratch(&format!("matrix_{i}"));
+        // Mixed chaos on every injection point, seeded per cell so the
+        // fault pattern differs across the matrix but reproduces per run.
+        let chaos = format!("startup,heartbeat,commit:40:{i}");
+        let report = run(job, &fleet_config(dir.clone(), Some(&chaos)));
+        assert_same_verdict(&report.verdict, &expect, name);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_results_are_never_accepted() {
+    let job = job(LockKind::Peterson, 2, FenceMask::ALL, MemoryModel::Tso);
+    let expect = baseline(&job);
+    let dir = scratch("torn");
+    // 100% commit chaos: every worker writes half a result file,
+    // non-atomically, straight at the final path, then dies. Every
+    // attempt must be rejected (wire checksum), every lease must poison,
+    // and the endgame must still produce the exact verdict and metrics.
+    let report = run(&job, &fleet_config(dir.clone(), Some("commit:100:1")));
+    assert_same_verdict(&report.verdict, &expect, "all-torn peterson/TSO");
+    assert!(report.stats.leases_issued >= 1);
+    assert_eq!(
+        report.stats.workers_lost, report.stats.leases_issued,
+        "every attempt tore its result, so every attempt must count lost"
+    );
+    assert!(
+        report.stats.poisoned_leases >= 1,
+        "with max_attempts=2 and 100% tearing, leases must poison"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_workers_dead_at_startup_degrades_to_exact_in_process_run() {
+    let job = job(LockKind::Ttas, 2, FenceMask::ALL, MemoryModel::Pso);
+    let expect = baseline(&job);
+    let dir = scratch("startup_dead");
+    let report = run(&job, &fleet_config(dir.clone(), Some("startup:100:0")));
+    assert_same_verdict(&report.verdict, &expect, "all-startup-dead ttas/PSO");
+    assert!(report.stats.leases_issued >= 1);
+    assert_eq!(report.stats.workers_lost, report.stats.leases_issued);
+    assert!(
+        report.stats.poisoned_leases >= 1,
+        "every lease must fall through to the in-process endgame"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stalled_workers_are_killed_and_the_run_stays_exact() {
+    // 100% heartbeat chaos: workers go silent after two beats but keep
+    // working. Small slices may commit before the stall deadline (the
+    // kill-after-commit race the supervisor must honor); big ones get
+    // stall-killed and retried. Either path must stay exact.
+    let job = job(LockKind::Bakery, 2, FenceMask::ALL, MemoryModel::Tso);
+    let expect = baseline(&job);
+    let dir = scratch("stall");
+    let report = run(&job, &fleet_config(dir.clone(), Some("heartbeat:100:2")));
+    assert_same_verdict(&report.verdict, &expect, "all-stalled bakery/TSO");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn termination_check_merges_the_edge_graph_across_leases() {
+    // The termination pass runs over the merged edge graph in the
+    // endgame; a lost edge or terminal would flip the verdict.
+    let mut job = job(LockKind::Peterson, 2, FenceMask::ALL, MemoryModel::Tso);
+    job.check_termination = true;
+    let expect = baseline(&job);
+    let dir = scratch("termination");
+    let report = run(&job, &fleet_config(dir.clone(), Some("commit:30:5")));
+    assert_same_verdict(&report.verdict, &expect, "termination peterson/TSO");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -655,6 +655,201 @@ pub(crate) fn check_pardpor<P: Process>(
     Verdict::Ok(stats)
 }
 
+/// What one fleet lease sweep produced: the raw outcome with **no
+/// verdict discipline applied**. The fleet supervisor owns cancellation,
+/// sequential reruns, and the merged termination pass, so a lease run
+/// never falls back to [`check_dpor`] and never runs [`find_stuck`]
+/// locally — a worker process only sees its slice of the graph, and a
+/// partial graph would report bogus stuck states.
+pub(crate) struct LeaseRun {
+    /// A worker hit a property violation (mutex, permutation, or
+    /// invariant). Details come from the supervisor's sequential rerun.
+    pub(crate) violated: bool,
+    /// The global state count (lease base + local claims) overran
+    /// `max_states`.
+    pub(crate) limit_hit: bool,
+    /// The deadline or a stop trigger cut the sweep short; `forks` holds
+    /// the unexplored remainder.
+    pub(crate) budget_hit: bool,
+    /// A worker thread panicked (message preserved); the caller should
+    /// surface this as a process-level failure.
+    pub(crate) panicked: Option<String>,
+    /// Fingerprints this run claimed first — exactly the states *not* in
+    /// the lease's visited seed that the sweep reached. The supervisor's
+    /// conflict check intersects these against previously accepted
+    /// claims.
+    pub(crate) claimed: Vec<u128>,
+    /// Delta counts (this run only; the lease's base is subtracted).
+    pub(crate) base: BaseCounts,
+    /// Unexplored fork points at an early stop (empty on completion).
+    pub(crate) forks: Vec<ForkPoint>,
+    /// New `(parent, child)` edges (termination mode only).
+    pub(crate) edges: Vec<(u128, u128)>,
+    /// New terminal-state fingerprints.
+    pub(crate) terminals: Vec<u128>,
+}
+
+/// Run one fleet lease: the seeded work-stealing sweep of
+/// [`check_pardpor`] with the coordinator's verdict discipline stripped.
+/// The lease's visited set pre-seeds the global first-visit table (so
+/// this run claims only states no earlier accepted run claimed — the
+/// supervisor enforces that by conflict rejection), its fork points seed
+/// the queue, and `seed.base.states` carries the global state count so
+/// the `max_states` limit trips at the right global point. All counts
+/// and metrics reported are this run's deltas.
+///
+/// No watchdog runs here: worker processes are supervised externally via
+/// heartbeat files, and a wedged sweep is killed and re-leased.
+pub(crate) fn check_lease<P: Process>(
+    initial: &Machine<P>,
+    config: &CheckConfig,
+    threads: usize,
+    reorder_bound: Option<u32>,
+    deadline: Option<Instant>,
+    seed: ResumeSeed,
+) -> LeaseRun {
+    let threads = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        threads
+    };
+    let disable_reduction = reorder_bound == Some(u32::MAX);
+    let use_ample = !config.check_termination && !disable_reduction;
+    let obs = &config.recorder;
+    // A policy is required for workers to stash their open frames on an
+    // early stop (that is how the unexplored remainder survives into the
+    // result); when the caller did not set one, a trigger-less dummy
+    // serves — its path is never written.
+    let pol = config
+        .checkpoint
+        .clone()
+        .unwrap_or_else(|| CheckpointPolicy::at(std::path::PathBuf::new()));
+    let policy = Some(&pol);
+
+    let table = FpTable::new();
+    let seed_set: std::collections::HashSet<u128> = seed.visited.iter().copied().collect();
+    for &fp in &seed.visited {
+        table.insert(fp);
+    }
+    let state_count = AtomicUsize::new(seed.base.states as usize);
+    let transitions_now = AtomicUsize::new(0);
+    let cancel = AtomicBool::new(false);
+    let budget_hit = AtomicBool::new(false);
+
+    obs.add(Metric::ResumeReplayed, seed.forks.len() as u64);
+    let queue = ForkQueue::new((threads * 2).max(seed.forks.len()));
+    for fork in seed.forks {
+        let accepted = queue.publish(fork);
+        debug_assert!(accepted.is_ok(), "fresh queue rejected a lease fork point");
+    }
+
+    let heartbeats: Vec<AtomicU64> = (0..threads).map(|_| AtomicU64::new(0)).collect();
+    let busy: Vec<AtomicBool> = (0..threads).map(|_| AtomicBool::new(false)).collect();
+
+    let results: Vec<Result<PReport, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let table = &table;
+                let queue = &queue;
+                let state_count = &state_count;
+                let transitions_now = &transitions_now;
+                let cancel = &cancel;
+                let budget_hit = &budget_hit;
+                let heartbeat = &heartbeats[w];
+                let busy = &busy[w];
+                scope.spawn(move || {
+                    let out = catch_unwind(AssertUnwindSafe(|| {
+                        Worker {
+                            initial,
+                            config,
+                            table,
+                            queue,
+                            state_count,
+                            transitions_now,
+                            cancel,
+                            budget_hit,
+                            deadline,
+                            policy,
+                            heartbeat,
+                            busy,
+                            index: w,
+                            low_water: threads,
+                            disable_reduction,
+                            use_ample,
+                            synced_transitions: 0,
+                            report: PReport::default(),
+                            visited: VisitTable::new(),
+                            est: TreeEstimator::new(),
+                            tctx: config.recorder.trace_ctx(),
+                            cur_span: SpanId::NONE,
+                        }
+                        .run()
+                    }));
+                    if out.is_err() {
+                        cancel.store(true, Ordering::SeqCst);
+                        queue.close();
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(Ok(report)) => Ok(report),
+                Ok(Err(payload)) => Err(panic_message(payload.as_ref())),
+                Err(payload) => Err(panic_message(payload.as_ref())),
+            })
+            .collect()
+    });
+
+    let panicked = results.iter().find_map(|r| r.as_ref().err().cloned());
+    let mut reports: Vec<PReport> = results.into_iter().filter_map(Result::ok).collect();
+
+    if obs.is_enabled() {
+        obs.add(
+            Metric::ForkPublished,
+            reports.iter().map(|r| r.published).sum(),
+        );
+        obs.add(Metric::ForkStolen, reports.iter().map(|r| r.stolen).sum());
+        obs.add(Metric::FpContention, table.contention());
+        obs.gauge_set(Gauge::DedupOccupancy, table.len() as u64);
+    }
+
+    let mut forks: Vec<ForkPoint> = queue.drain();
+    for r in &mut reports {
+        forks.append(&mut r.forks);
+    }
+    let states_now = state_count.load(Ordering::SeqCst);
+    let claimed: Vec<u128> = table
+        .export()
+        .into_iter()
+        .filter(|fp| !seed_set.contains(fp))
+        .collect();
+    LeaseRun {
+        violated: reports.iter().any(|r| r.violated),
+        limit_hit: states_now > config.max_states,
+        budget_hit: budget_hit.load(Ordering::SeqCst),
+        panicked,
+        claimed,
+        base: BaseCounts {
+            states: (states_now as u64).saturating_sub(seed.base.states),
+            transitions: reports.iter().map(|r| r.transitions).sum::<usize>() as u64,
+            terminal_states: reports.iter().map(|r| r.terminal_fps.len()).sum::<usize>() as u64,
+            sleep_hits: reports.iter().map(|r| r.sleep_hits).sum::<usize>() as u64,
+        },
+        forks,
+        edges: reports
+            .iter()
+            .flat_map(|r| r.edges.iter().copied())
+            .collect(),
+        terminals: reports
+            .iter()
+            .flat_map(|r| r.terminal_fps.iter().copied())
+            .collect(),
+    }
+}
+
 /// Run the sequential DPOR engine wrapped in a causal span (`seq_gate`
 /// for the small-space gate, `seq_rerun` for verdict-reproduction
 /// fallbacks), parented on the surrounding engine span.

@@ -41,9 +41,8 @@ use std::time::Instant;
 use por::Snapshot;
 use wbmem::{Machine, Process};
 
-use crate::checker::{
-    config_hash, fingerprint, fold_fp, run_id, CheckConfig, CheckError, Engine, Stats, Verdict,
-};
+use crate::checker::{fingerprint, fold_fp, run_id, CheckConfig, CheckError, Stats, Verdict};
+use crate::lease::{continuation_params, run_meta, validate_meta};
 use crate::pardpor::{check_pardpor, ResumeSeed};
 use ftobs::J;
 
@@ -83,56 +82,15 @@ pub fn resume<P: Process>(initial: &Machine<P>, config: &CheckConfig, path: &Pat
         initial
     };
 
-    if snap.meta.engine != config.engine.label() {
-        return Verdict::Error(
-            Stats::default(),
-            CheckError::Checkpoint(format!(
-                "engine mismatch: checkpoint was written by `{}`, resuming as `{}`",
-                snap.meta.engine,
-                config.engine.label()
-            )),
-        );
+    // The three identity checks and the engine → continuation mapping are
+    // shared with the fleet worker's lease validation (`crate::lease`),
+    // so the two read paths cannot drift.
+    if let Err(msg) = validate_meta(&snap.meta, &run_meta(initial, config)) {
+        return Verdict::Error(Stats::default(), CheckError::Checkpoint(msg));
     }
-    if snap.meta.config_hash != config_hash(config) {
-        return Verdict::Error(
-            Stats::default(),
-            CheckError::Checkpoint(
-                "configuration mismatch: checkpoint was written under different \
-                 properties/bounds/crash settings"
-                    .to_string(),
-            ),
-        );
-    }
-    if snap.meta.program_hash != fingerprint(root) {
-        return Verdict::Error(
-            Stats::default(),
-            CheckError::Checkpoint(
-                "program mismatch: checkpoint was written for a different initial state"
-                    .to_string(),
-            ),
-        );
-    }
-
-    // Map the interrupted engine onto the continuation coordinator: one
-    // worker in diagnostic mode replays the undo engine exactly, one
-    // worker with the original bound replays the DPOR engine, and the
-    // parallel engine resumes as itself.
-    let (threads, reorder_bound) = match config.engine {
-        Engine::Undo => (1, Some(u32::MAX)),
-        Engine::Dpor { reorder_bound } => (1, reorder_bound),
-        Engine::ParallelDpor {
-            threads,
-            reorder_bound,
-        } => (threads, reorder_bound),
-        Engine::CloneDfs | Engine::Parallel { .. } => {
-            return Verdict::Error(
-                Stats::default(),
-                CheckError::Checkpoint(format!(
-                    "engine `{}` does not support checkpoint/resume",
-                    config.engine.label()
-                )),
-            )
-        }
+    let (threads, reorder_bound) = match continuation_params(config.engine) {
+        Ok(params) => params,
+        Err(msg) => return Verdict::Error(Stats::default(), CheckError::Checkpoint(msg)),
     };
 
     let deadline = config.budget.map(|b| start + b);

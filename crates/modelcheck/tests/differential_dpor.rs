@@ -192,6 +192,19 @@ fn dpor_agrees_under_drain_buffer_crashes() {
             compare(&inst, model, &config);
         }
     }
+    // Multi-crash drain cells: with `max_crashes >= 2` the same process
+    // can crash, recover, refill its buffer, and drain again — the
+    // second drain's dependence footprint covers writes the first drain
+    // already committed, a chain single-crash cells never exercise.
+    // (Trimmed to the two cheapest locks; the full-lock single-crash
+    // sweep above pins the rest of the matrix.)
+    for kind in [LockKind::Ttas, LockKind::RecoverableTtas] {
+        let inst = build_mutex(kind, 2, FenceMask::ALL);
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            let config = base.clone().with_crashes(CrashSemantics::DrainBuffer, 2);
+            compare(&inst, model, &config);
+        }
+    }
 }
 
 // --- random programs ---

@@ -208,6 +208,33 @@ fn pardpor_agrees_with_termination_checking() {
     assert!(violations >= 2, "set includes violating configs");
 }
 
+/// Drain-buffer crash semantics with a multi-crash budget: a crash's
+/// drain commits the whole buffer (a many-cell dependence footprint),
+/// and with `max_crashes >= 2` a recovered process can refill and drain
+/// *again* — fork points donated across workers must carry the remaining
+/// crash budget and the post-drain buffer state exactly. The existing
+/// matrices stop at single-crash drain cells; this pins the chain.
+#[test]
+fn pardpor_agrees_under_multi_crash_drain() {
+    force_parallel();
+    let base = CheckConfig {
+        check_termination: false,
+        max_states: 1_000_000,
+        ..CheckConfig::default()
+    };
+    for kind in [LockKind::Ttas, LockKind::RecoverableTtas] {
+        let inst = build_mutex(kind, 2, FenceMask::ALL);
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            for max_crashes in [1u32, 2] {
+                let config = base
+                    .clone()
+                    .with_crashes(CrashSemantics::DrainBuffer, max_crashes);
+                compare(&inst, model, &config);
+            }
+        }
+    }
+}
+
 /// Reorder bounds travel with the donated fork points (the remaining
 /// budget is part of the continuation); bounded verdicts must coincide,
 /// including the bound-0 ≡ SC collapse.

@@ -110,6 +110,18 @@ pub enum Metric {
     TraceSpans,
     /// Causal trace spans dropped (tracing on but no sink attached).
     TraceDropped,
+    /// Fleet leases issued to worker processes (initial grants and
+    /// re-grants alike).
+    LeasesIssued,
+    /// Fleet leases reassigned after a worker death, stall, or torn
+    /// result.
+    LeasesReassigned,
+    /// Worker processes that died or stalled past their heartbeat
+    /// deadline.
+    WorkersLost,
+    /// Leases that exhausted their retry budget and were completed by the
+    /// in-process degradation path.
+    PoisonedLeases,
 }
 
 /// All counters, in `repr(usize)` order.
@@ -148,11 +160,15 @@ pub const METRICS: [Metric; Metric::COUNT] = [
     Metric::CoreSize,
     Metric::TraceSpans,
     Metric::TraceDropped,
+    Metric::LeasesIssued,
+    Metric::LeasesReassigned,
+    Metric::WorkersLost,
+    Metric::PoisonedLeases,
 ];
 
 impl Metric {
     /// Total number of counters.
-    pub const COUNT: usize = Metric::TraceDropped as usize + 1;
+    pub const COUNT: usize = Metric::PoisonedLeases as usize + 1;
 
     /// Counters with index `< DETERMINISTIC_END` compare in snapshot
     /// equality; the rest are traversal- or timing-dependent.
@@ -196,6 +212,10 @@ impl Metric {
             Metric::CoreSize => "core_size",
             Metric::TraceSpans => "trace_spans",
             Metric::TraceDropped => "trace_dropped",
+            Metric::LeasesIssued => "leases_issued",
+            Metric::LeasesReassigned => "leases_reassigned",
+            Metric::WorkersLost => "workers_lost",
+            Metric::PoisonedLeases => "poisoned_leases",
         }
     }
 }

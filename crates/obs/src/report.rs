@@ -172,6 +172,47 @@ pub fn stream_lines(text: &str) -> (Vec<String>, Option<String>) {
     (lines, None)
 }
 
+/// What [`scan_stream`] found in one raw JSONL stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StreamScan {
+    /// The well-formed event lines, in stream order.
+    pub lines: Vec<String>,
+    /// Malformed non-empty lines *before* the tail — corruption in the
+    /// middle of a stream (interleaved writers, disk errors). Skipped,
+    /// never fatal: one bad line must not cost the rest of the stream.
+    pub lines_skipped: usize,
+    /// A truncated trailing line (no newline, unparseable — the
+    /// signature of a process killed mid-write), if any.
+    pub torn_tail: Option<String>,
+}
+
+/// Scan a raw JSONL stream, keeping every well-formed event line and
+/// counting what had to be skipped. Consumers (`obs_report`,
+/// `obs_trace`) surface [`StreamScan::lines_skipped`] as a warning
+/// rather than erroring — a report over a terabyte of telemetry must
+/// survive one corrupt line.
+#[must_use]
+pub fn scan_stream(text: &str) -> StreamScan {
+    let (raw, torn_tail) = stream_lines(text);
+    let mut lines = Vec::with_capacity(raw.len());
+    let mut lines_skipped = 0usize;
+    for l in raw {
+        if l.trim().is_empty() {
+            continue;
+        }
+        if parse_line(&l).is_some() {
+            lines.push(l);
+        } else {
+            lines_skipped += 1;
+        }
+    }
+    StreamScan {
+        lines,
+        lines_skipped,
+        torn_tail,
+    }
+}
+
 /// One parsed event line grouped under its `(workload, engine)` identity.
 #[derive(Clone, Debug)]
 pub struct EventRow {
@@ -210,6 +251,7 @@ fn non_counter_key(key: &str) -> bool {
     matches!(key, "t_ms" | "kind" | "workload" | "engine" | "hot_pcs")
         || RESILIENCE_COLS.contains(&key)
         || SYNTH_COLS.contains(&key)
+        || FLEET_COLS.contains(&key)
         || key.ends_with("_hist")
         || key.starts_with("span_")
         || is_per_proc(key)
@@ -222,6 +264,14 @@ const RESILIENCE_COLS: [&str; 4] = [
     "checkpoint_bytes",
     "resume_replayed",
     "watchdog_trips",
+];
+
+/// Multi-process fleet supervision counters likewise get their own table.
+const FLEET_COLS: [&str; 4] = [
+    "leases_issued",
+    "leases_reassigned",
+    "workers_lost",
+    "poisoned_leases",
 ];
 
 /// Fence-synthesis counters likewise get their own table.
@@ -389,6 +439,52 @@ pub fn render_report(title: &str, lines: &[String]) -> String {
                 .map(|(k, n)| format!("`{k}` × {n}"))
                 .collect();
             let _ = writeln!(out, "Resilience events: {}.\n", pretty.join(", "));
+        }
+    }
+
+    // --- Fleet: multi-process lease supervision activity.
+    let fleet_rows: Vec<(&(String, String), [u64; 4])> = snaps
+        .iter()
+        .map(|(k, f)| {
+            let mut vals = [0u64; 4];
+            for (i, col) in FLEET_COLS.iter().enumerate() {
+                vals[i] = get_u64(f, col);
+            }
+            (k, vals)
+        })
+        .filter(|(_, vals)| vals.iter().any(|&v| v > 0))
+        .collect();
+    let mut fleet_events: BTreeMap<String, u64> = BTreeMap::new();
+    for e in &events {
+        if let Some(kind) = e.fields.get("kind") {
+            if kind.starts_with("fleet_") {
+                *fleet_events.entry(kind.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    if !fleet_rows.is_empty() || !fleet_events.is_empty() {
+        let _ = writeln!(out, "## Fleet\n");
+        if !fleet_rows.is_empty() {
+            let _ = writeln!(
+                out,
+                "| workload | engine | leases issued | leases reassigned | workers lost | poisoned leases |"
+            );
+            let _ = writeln!(out, "|---|---|---:|---:|---:|---:|");
+            for ((workload, engine), vals) in &fleet_rows {
+                let _ = writeln!(
+                    out,
+                    "| {workload} | {engine} | {} | {} | {} | {} |",
+                    vals[0], vals[1], vals[2], vals[3]
+                );
+            }
+            let _ = writeln!(out);
+        }
+        if !fleet_events.is_empty() {
+            let pretty: Vec<String> = fleet_events
+                .iter()
+                .map(|(k, n)| format!("`{k}` × {n}"))
+                .collect();
+            let _ = writeln!(out, "Fleet events: {}.\n", pretty.join(", "));
         }
     }
 
@@ -596,6 +692,58 @@ mod tests {
         // and the counters do not leak into the comparison extras.
         assert!(!r.contains("| quiet | undo | 0 | 0 | 0 | 0 |"));
         assert!(!r.contains("checkpoint_written |"), "no extra column: {r}");
+    }
+
+    #[test]
+    fn scan_stream_skips_malformed_midfile_lines_with_a_count() {
+        // Corruption in the middle of a stream (a half-line from an
+        // interleaved writer, binary garbage) is skipped and counted;
+        // everything around it survives, torn tails stay separate.
+        let text = "{\"kind\":\"a\"}\n\
+                    {\"kind\":\"b\",\"x\"\n\
+                    \x00\x01binary garbage\n\
+                    \n\
+                    {\"kind\":\"c\"}\n\
+                    {\"kind\":\"d\",\"y\"";
+        let scan = scan_stream(text);
+        assert_eq!(
+            scan.lines,
+            vec![
+                "{\"kind\":\"a\"}".to_string(),
+                "{\"kind\":\"c\"}".to_string()
+            ]
+        );
+        assert_eq!(scan.lines_skipped, 2, "two malformed mid-file lines");
+        assert_eq!(scan.torn_tail.as_deref(), Some("{\"kind\":\"d\",\"y\""));
+        // Clean streams scan clean.
+        let scan = scan_stream("{\"kind\":\"a\"}\n");
+        assert_eq!((scan.lines.len(), scan.lines_skipped), (1, 0));
+        assert!(scan.torn_tail.is_none());
+        assert_eq!(scan_stream(""), StreamScan::default());
+    }
+
+    #[test]
+    fn report_renders_fleet_table() {
+        let lines = vec![
+            r#"{"t_ms":1,"kind":"snapshot","workload":"peterson2_tso","engine":"pardpor","states":9,"leases_issued":6,"leases_reassigned":2,"workers_lost":1,"poisoned_leases":1}"#.to_string(),
+            r#"{"t_ms":2,"kind":"fleet_lease_reassigned","workload":"peterson2_tso","engine":"pardpor","lease":1,"faults":1}"#.to_string(),
+            r#"{"t_ms":3,"kind":"fleet_endgame","workload":"peterson2_tso","engine":"pardpor","leftover_forks":3}"#.to_string(),
+            r#"{"t_ms":4,"kind":"snapshot","workload":"quiet","engine":"undo","states":3}"#.to_string(),
+        ];
+        let r = render_report("Test", &lines);
+        assert!(r.contains("## Fleet"), "section present: {r}");
+        assert!(
+            r.contains("| peterson2_tso | pardpor | 6 | 2 | 1 | 1 |"),
+            "counters tabulated: {r}"
+        );
+        assert!(
+            r.contains("`fleet_lease_reassigned` × 1") && r.contains("`fleet_endgame` × 1"),
+            "events counted: {r}"
+        );
+        // All-zero rows stay out; fleet counters never leak into the
+        // comparison extras.
+        assert!(!r.contains("| quiet | undo | 0 | 0 | 0 | 0 |"));
+        assert!(!r.contains("leases_issued |"), "no extra column: {r}");
     }
 
     #[test]

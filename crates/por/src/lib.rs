@@ -64,5 +64,5 @@ pub use expand::{expand, Expansion};
 pub use fork::{ForkPoint, ForkQueue};
 pub use fptable::FpTable;
 pub use sleep::SleepSet;
-pub use snapshot::{BaseCounts, RunMeta, Snapshot, SnapshotError};
+pub use snapshot::{fnv1a, BaseCounts, RunMeta, Snapshot, SnapshotError};
 pub use visited::VisitTable;

@@ -48,8 +48,9 @@ pub const MAGIC: [u8; 6] = *b"FTCKPT";
 /// Current format version. Readers reject any other version (the format
 /// embeds the metric taxonomy's array sizes, so it changes whenever the
 /// taxonomy does — v2 added the fence-synthesis counters; v3 added the
-/// trace counters and the fork points' causal span ids).
-pub const VERSION: u32 = 3;
+/// trace counters and the fork points' causal span ids; v4 added the
+/// fleet supervision counters).
+pub const VERSION: u32 = 4;
 
 /// Why a checkpoint could not be written or read back.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -329,8 +330,9 @@ impl<'a> Dec<'a> {
 
 /// FNV-1a over the payload: dependency-free, and plenty against torn
 /// writes and bit rot (adversarial corruption is out of scope — the
-/// checkpoint sits next to the checker's own binary).
-fn fnv1a(bytes: &[u8]) -> u64 {
+/// checkpoint sits next to the checker's own binary). Public so the
+/// fleet's lease/result wire format checksums with the same function.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);

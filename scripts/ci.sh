@@ -74,6 +74,15 @@ cargo run --release -p ft-bench --bin obs_overhead
 echo "==> parallel DPOR guard (≥1.5x scaling on multi-core, ≤5% threads=1 regression, filter3_pso)"
 cargo run --release -p ft-bench --bin pardpor_guard
 
+echo "==> fleet chaos differential suite (lease reassignment, torn results, degradation ladder)"
+cargo test -q -p ftfleet
+
+echo "==> fleet guard (kill-one-worker chaos smoke: fleet verdict+metrics == fault-free fleet; skipped on 1 core)"
+cargo run --release -p ft-bench --bin fleet_guard
+
+echo "==> E18 fleet experiment (fast mode: 2 cells x fault-free + chaos fleets, exactness asserted)"
+FT_E18_FAST=1 cargo run --release -p ft-bench --bin exp_e18_fleet
+
 echo "==> E15 resume-overhead experiment (fast mode)"
 FT_E15_FAST=1 cargo run --release -p ft-bench --bin exp_e15_resume
 
